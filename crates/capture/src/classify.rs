@@ -1,0 +1,136 @@
+//! Amplitude- and duration-based frame classification.
+//!
+//! The paper separates the two ends of a link purely by received amplitude
+//! (§3.2): the Vubiq is placed so the notebook's frames arrive directly and
+//! the dock's frames arrive via the lid reflection, giving two distinct
+//! amplitude populations. [`split_by_amplitude`] reimplements that
+//! separation as a 1-D 2-means clustering. The short/long frame split of
+//! Figs. 9/10 (5 µs boundary) is a plain duration threshold.
+
+use crate::detect::DetectedFrame;
+use mmwave_sim::time::SimDuration;
+
+/// Which amplitude cluster a frame fell into.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AmplitudeClass {
+    /// The weaker population (e.g. dock frames via the lid reflection).
+    Low,
+    /// The stronger population (e.g. notebook frames on the direct path).
+    High,
+}
+
+/// Split frames into two amplitude populations with 1-D 2-means.
+///
+/// Returns `(assignments, low_centroid, high_centroid)`. With fewer than
+/// two frames, everything is `High` and the centroids collapse.
+pub fn split_by_amplitude(frames: &[DetectedFrame]) -> (Vec<AmplitudeClass>, f64, f64) {
+    if frames.len() < 2 {
+        let c = frames.first().map(|f| f.mean_amplitude_v).unwrap_or(0.0);
+        return (vec![AmplitudeClass::High; frames.len()], c, c);
+    }
+    let amps: Vec<f64> = frames.iter().map(|f| f.mean_amplitude_v).collect();
+    let min = amps.iter().cloned().fold(f64::MAX, f64::min);
+    let max = amps.iter().cloned().fold(f64::MIN, f64::max);
+    let mut lo = min;
+    let mut hi = max;
+    // Lloyd iterations; 1-D with two centroids converges in a handful.
+    for _ in 0..32 {
+        let mid = (lo + hi) / 2.0;
+        let (mut lo_sum, mut lo_n, mut hi_sum, mut hi_n) = (0.0, 0usize, 0.0, 0usize);
+        for &a in &amps {
+            if a <= mid {
+                lo_sum += a;
+                lo_n += 1;
+            } else {
+                hi_sum += a;
+                hi_n += 1;
+            }
+        }
+        let new_lo = if lo_n > 0 { lo_sum / lo_n as f64 } else { lo };
+        let new_hi = if hi_n > 0 { hi_sum / hi_n as f64 } else { hi };
+        if (new_lo - lo).abs() < 1e-12 && (new_hi - hi).abs() < 1e-12 {
+            break;
+        }
+        lo = new_lo;
+        hi = new_hi;
+    }
+    let mid = (lo + hi) / 2.0;
+    let classes = amps
+        .iter()
+        .map(|&a| if a <= mid { AmplitudeClass::Low } else { AmplitudeClass::High })
+        .collect();
+    (classes, lo, hi)
+}
+
+/// The paper's Fig. 10 metric: the fraction of frames longer than
+/// `boundary` (≈ 5 µs separates single-MPDU from aggregated frames).
+pub fn long_frame_fraction(frames: &[DetectedFrame], boundary: SimDuration) -> f64 {
+    if frames.is_empty() {
+        return 0.0;
+    }
+    let long = frames.iter().filter(|f| f.duration() > boundary).count();
+    long as f64 / frames.len() as f64
+}
+
+/// Durations of all frames, in microseconds — the Fig. 9 CDF input.
+pub fn durations_us(frames: &[DetectedFrame]) -> Vec<f64> {
+    frames.iter().map(|f| f.duration().as_micros_f64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_sim::time::SimTime;
+
+    fn frame(start_us: u64, dur_us: u64, amp: f64) -> DetectedFrame {
+        DetectedFrame {
+            start: SimTime::from_micros(start_us),
+            end: SimTime::from_micros(start_us + dur_us),
+            mean_amplitude_v: amp,
+        }
+    }
+
+    #[test]
+    fn two_clear_populations_split() {
+        let mut frames = Vec::new();
+        for i in 0..20 {
+            frames.push(frame(i * 100, 10, 0.2 + 0.01 * (i % 3) as f64));
+            frames.push(frame(i * 100 + 50, 10, 0.6 + 0.01 * (i % 3) as f64));
+        }
+        let (classes, lo, hi) = split_by_amplitude(&frames);
+        assert!(lo < 0.25 && hi > 0.55, "centroids {lo} {hi}");
+        for (f, c) in frames.iter().zip(&classes) {
+            let expect =
+                if f.mean_amplitude_v < 0.4 { AmplitudeClass::Low } else { AmplitudeClass::High };
+            assert_eq!(*c, expect);
+        }
+    }
+
+    #[test]
+    fn single_frame_degenerates_gracefully() {
+        let frames = [frame(0, 10, 0.3)];
+        let (classes, lo, hi) = split_by_amplitude(&frames);
+        assert_eq!(classes, vec![AmplitudeClass::High]);
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (classes, _, _) = split_by_amplitude(&[]);
+        assert!(classes.is_empty());
+        assert_eq!(long_frame_fraction(&[], SimDuration::from_micros(5)), 0.0);
+    }
+
+    #[test]
+    fn long_fraction() {
+        let frames = [frame(0, 3, 0.4), frame(10, 4, 0.4), frame(20, 18, 0.4), frame(50, 22, 0.4)];
+        let frac = long_frame_fraction(&frames, SimDuration::from_micros(5));
+        assert!((frac - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn durations_extraction() {
+        let frames = [frame(0, 5, 0.1), frame(10, 25, 0.1)];
+        assert_eq!(durations_us(&frames), vec![5.0, 25.0]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Signal traces: segment lists and sampled waveforms.
+//!
+//! The simulation knows frame boundaries exactly, so the native trace form
+//! is a list of [`TraceSegment`]s — each one frame's worth of received
+//! envelope at the capture antenna, tagged with its source for ground-truth
+//! checks. Rendering to a *sampled waveform* (what the MSO-X records)
+//! happens on demand: segments become noisy I-channel samples at a chosen
+//! rate, and all detection then works on samples only, exactly as the
+//! paper's Matlab pipeline worked on scope exports.
+
+use mmwave_sim::rng::SimRng;
+use mmwave_sim::time::{SimDuration, SimTime};
+
+/// Ground-truth tag carried by a segment (never used by the detectors —
+/// only by tests validating them).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct SegmentTag {
+    /// Transmitting device id.
+    pub source: usize,
+    /// Coarse frame class for ground truth (e.g. 0 = control, 1 = data…).
+    pub class: u8,
+}
+
+/// One contiguous span of received signal with (approximately) constant
+/// envelope — one frame, or one sub-element of a sweep frame.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSegment {
+    /// Start of the span.
+    pub start: SimTime,
+    /// End of the span (exclusive).
+    pub end: SimTime,
+    /// Envelope amplitude at the scope input, volts (≥ 0).
+    pub amplitude_v: f64,
+    /// Ground-truth tag.
+    pub tag: SegmentTag,
+}
+
+impl TraceSegment {
+    /// Segment duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// A capture: segments over an observation window, plus the front-end
+/// noise amplitude.
+#[derive(Clone, Debug, Default)]
+pub struct SignalTrace {
+    segments: Vec<TraceSegment>,
+    /// RMS noise amplitude of the front end, volts.
+    pub noise_rms_v: f64,
+    /// Observation window start.
+    pub window_start: SimTime,
+    /// Observation window end.
+    pub window_end: SimTime,
+}
+
+impl SignalTrace {
+    /// An empty trace over `[start, end)` with the given noise floor.
+    pub fn new(window_start: SimTime, window_end: SimTime, noise_rms_v: f64) -> SignalTrace {
+        assert!(window_end > window_start);
+        assert!(noise_rms_v >= 0.0);
+        SignalTrace { segments: Vec::new(), noise_rms_v, window_start, window_end }
+    }
+
+    /// Append a segment. Segments may overlap (concurrent transmissions);
+    /// they must fall at least partially inside the window.
+    pub fn push(&mut self, seg: TraceSegment) {
+        debug_assert!(seg.end > seg.start, "empty segment");
+        if seg.end <= self.window_start || seg.start >= self.window_end {
+            return; // outside the observation window
+        }
+        let clipped = TraceSegment {
+            start: seg.start.max(self.window_start),
+            end: seg.end.min(self.window_end),
+            ..seg
+        };
+        self.segments.push(clipped);
+    }
+
+    /// All recorded segments.
+    pub fn segments(&self) -> &[TraceSegment] {
+        &self.segments
+    }
+
+    /// Observation window length.
+    pub fn window(&self) -> SimDuration {
+        self.window_end - self.window_start
+    }
+
+    /// Envelope amplitude at instant `t`: power-sum of overlapping segments
+    /// (amplitudes add in quadrature — incoherent sources).
+    pub fn envelope_at(&self, t: SimTime) -> f64 {
+        let sum_sq: f64 = self
+            .segments
+            .iter()
+            .filter(|s| s.start <= t && t < s.end)
+            .map(|s| s.amplitude_v * s.amplitude_v)
+            .sum();
+        sum_sq.sqrt()
+    }
+
+    /// Render to oscilloscope samples: the I-channel of the undersampled
+    /// down-converted signal. Each sample is
+    /// `envelope · cos(phase) + noise`, with `phase` random per sample —
+    /// exactly the effect of undersampling a 60 GHz carrier at 10⁸ S/s:
+    /// the carrier phase is effectively random sample to sample, so only
+    /// the envelope is recoverable (the paper's "this prevents decoding").
+    /// Returns `(sample_period, samples)`.
+    pub fn sample(&self, rate_hz: f64, rng: &mut SimRng) -> (SimDuration, Vec<f32>) {
+        assert!(rate_hz > 0.0);
+        let period = SimDuration::from_secs_f64(1.0 / rate_hz);
+        let n = (self.window().as_secs_f64() * rate_hz).floor() as usize;
+        // Sort segment starts for an O(n + m) sweep instead of O(n·m).
+        let mut by_start: Vec<&TraceSegment> = self.segments.iter().collect();
+        by_start.sort_by_key(|s| s.start);
+        let mut active: Vec<&TraceSegment> = Vec::new();
+        let mut next_seg = 0;
+        let mut out = Vec::with_capacity(n);
+        let mut t = self.window_start;
+        for _ in 0..n {
+            while next_seg < by_start.len() && by_start[next_seg].start <= t {
+                active.push(by_start[next_seg]);
+                next_seg += 1;
+            }
+            active.retain(|s| s.end > t);
+            let env_sq: f64 = active.iter().map(|s| s.amplitude_v * s.amplitude_v).sum();
+            let phase = rng.uniform(0.0, std::f64::consts::TAU);
+            let noise = rng.normal(0.0, self.noise_rms_v);
+            out.push((env_sq.sqrt() * phase.cos() + noise) as f32);
+            t += period;
+        }
+        (period, out)
+    }
+
+    /// Ground-truth busy intervals (union of all segments) — used to
+    /// validate the threshold detector against exact knowledge.
+    pub fn ground_truth_busy(&self) -> mmwave_sim::stats::BusyTracker {
+        let mut b = mmwave_sim::stats::BusyTracker::new();
+        for s in &self.segments {
+            b.add(s.start, s.end);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn tag(src: usize) -> SegmentTag {
+        SegmentTag { source: src, class: 1 }
+    }
+
+    #[test]
+    fn push_clips_to_window() {
+        let mut tr = SignalTrace::new(t(100), t(200), 0.01);
+        tr.push(TraceSegment { start: t(50), end: t(150), amplitude_v: 0.5, tag: tag(0) });
+        tr.push(TraceSegment { start: t(300), end: t(400), amplitude_v: 0.5, tag: tag(0) });
+        assert_eq!(tr.segments().len(), 1);
+        assert_eq!(tr.segments()[0].start, t(100));
+        assert_eq!(tr.segments()[0].end, t(150));
+    }
+
+    #[test]
+    fn envelope_adds_in_quadrature() {
+        let mut tr = SignalTrace::new(t(0), t(100), 0.0);
+        tr.push(TraceSegment { start: t(10), end: t(50), amplitude_v: 0.3, tag: tag(0) });
+        tr.push(TraceSegment { start: t(30), end: t(80), amplitude_v: 0.4, tag: tag(1) });
+        assert_eq!(tr.envelope_at(t(20)), 0.3);
+        assert!((tr.envelope_at(t(40)) - 0.5).abs() < 1e-12); // sqrt(0.09+0.16)
+        assert_eq!(tr.envelope_at(t(60)), 0.4);
+        assert_eq!(tr.envelope_at(t(90)), 0.0);
+    }
+
+    #[test]
+    fn sampling_produces_expected_count_and_bounds() {
+        let mut tr = SignalTrace::new(t(0), t(1000), 0.005);
+        tr.push(TraceSegment { start: t(100), end: t(300), amplitude_v: 0.5, tag: tag(0) });
+        let mut rng = SimRng::root(1).stream("sample");
+        let (period, samples) = tr.sample(1e8, &mut rng);
+        assert_eq!(samples.len(), 100_000); // 1 ms at 100 MS/s
+        assert_eq!(period, SimDuration::from_nanos(10));
+        // Samples inside the frame reach near ±0.5; outside only noise.
+        let in_frame: Vec<f32> = samples[10_000..30_000].to_vec();
+        let outside: Vec<f32> = samples[50_000..70_000].to_vec();
+        let max_in = in_frame.iter().fold(0f32, |a, &b| a.max(b.abs()));
+        let max_out = outside.iter().fold(0f32, |a, &b| a.max(b.abs()));
+        assert!(max_in > 0.4, "{max_in}");
+        assert!(max_out < 0.05, "{max_out}");
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let mut tr = SignalTrace::new(t(0), t(100), 0.01);
+        tr.push(TraceSegment { start: t(10), end: t(90), amplitude_v: 0.2, tag: tag(0) });
+        let (_, a) = tr.sample(1e7, &mut SimRng::root(5).stream("s"));
+        let (_, b) = tr.sample(1e7, &mut SimRng::root(5).stream("s"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ground_truth_busy_merges() {
+        let mut tr = SignalTrace::new(t(0), t(100), 0.0);
+        tr.push(TraceSegment { start: t(10), end: t(30), amplitude_v: 0.1, tag: tag(0) });
+        tr.push(TraceSegment { start: t(20), end: t(40), amplitude_v: 0.1, tag: tag(1) });
+        let busy = tr.ground_truth_busy();
+        assert!((busy.utilization(t(0), t(100)) - 0.3).abs() < 1e-9);
+    }
+}

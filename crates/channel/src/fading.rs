@@ -1,0 +1,235 @@
+//! Slow channel dynamics.
+//!
+//! Two distinct processes shape the paper's long time-scale observations:
+//!
+//! * **AR(1) slow fading** — small, correlated wobble of the link gain
+//!   (people far away, temperature drift, oscillator gain variation). This
+//!   makes the 8 m / 14 m traces in Fig. 12 fluctuate across MCS
+//!   boundaries while the 2 m trace stays pinned at the top rate.
+//! * **Perturbation events** — sparse, larger disturbances that change the
+//!   optimal beam pair and trigger a realignment. Fig. 14 shows these:
+//!   every amplitude step over the 80-minute trace coincides with a rate
+//!   change because beam selection and rate adaptation are one joint
+//!   process on the D5000.
+
+use mmwave_sim::rng::SimRng;
+use mmwave_sim::time::{SimDuration, SimTime};
+
+/// First-order autoregressive gain process in dB:
+/// `x' = ρ·x + √(1−ρ²)·σ·w`, stepped on a fixed tick.
+#[derive(Debug)]
+pub struct Ar1Fading {
+    level_db: f64,
+    sigma_db: f64,
+    rho: f64,
+    tick: SimDuration,
+    last_step: SimTime,
+    rng: SimRng,
+}
+
+impl Ar1Fading {
+    /// Create a fading process.
+    ///
+    /// * `sigma_db` — stationary standard deviation of the gain wobble.
+    /// * `correlation_time` — time for the autocorrelation to fall to 1/e.
+    /// * `tick` — update granularity (the process is stepped lazily).
+    pub fn new(
+        rng: SimRng,
+        sigma_db: f64,
+        correlation_time: SimDuration,
+        tick: SimDuration,
+    ) -> Ar1Fading {
+        assert!(sigma_db >= 0.0 && !tick.is_zero());
+        let rho = (-(tick.as_secs_f64() / correlation_time.as_secs_f64())).exp();
+        Ar1Fading { level_db: 0.0, sigma_db, rho, tick, last_step: SimTime::ZERO, rng }
+    }
+
+    /// Typical link fading for a static indoor 60 GHz link: σ = 1.2 dB,
+    /// ~6 s correlation, 1 s ticks (people and doors moving at the edge of
+    /// the environment wobble even a "static" link on this time scale —
+    /// compare the fluctuations of Figs. 12/23).
+    pub fn indoor_default(rng: SimRng) -> Ar1Fading {
+        Ar1Fading::new(rng, 1.2, SimDuration::from_secs(6), SimDuration::from_secs(1))
+    }
+
+    /// Gain offset (dB) at simulated time `now`; steps the process forward
+    /// as many ticks as have elapsed. Calls must use non-decreasing `now`.
+    pub fn level_at(&mut self, now: SimTime) -> f64 {
+        debug_assert!(now >= self.last_step, "fading stepped backwards");
+        let steps = now.since(self.last_step) / self.tick;
+        // Avoid unbounded catch-up loops after long idle gaps: beyond ~30
+        // correlation times the state is independent anyway.
+        let max_steps = 2000;
+        if steps > max_steps {
+            self.level_db = self.rng.normal(0.0, self.sigma_db);
+            self.last_step = now;
+            return self.level_db;
+        }
+        for _ in 0..steps {
+            let innovation = (1.0 - self.rho * self.rho).sqrt() * self.sigma_db;
+            self.level_db = self.rho * self.level_db + self.rng.normal(0.0, innovation);
+            self.last_step += self.tick;
+        }
+        self.level_db
+    }
+}
+
+/// Sparse channel perturbations: Poisson events that each shift the
+/// channel by a random amount, prompting the device to retrain its beam.
+#[derive(Debug)]
+pub struct PerturbationProcess {
+    next_at: SimTime,
+    mean_interval: SimDuration,
+    shift_sigma_db: f64,
+    rng: SimRng,
+    /// Cumulative gain shift applied by past events, dB.
+    current_shift_db: f64,
+}
+
+/// A perturbation event: when it happened and the new cumulative shift.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Perturbation {
+    /// Event time.
+    pub at: SimTime,
+    /// New cumulative gain shift, dB.
+    pub shift_db: f64,
+}
+
+impl PerturbationProcess {
+    /// Create a process with exponential inter-arrival times.
+    pub fn new(mut rng: SimRng, mean_interval: SimDuration, shift_sigma_db: f64) -> Self {
+        let first = SimDuration::from_secs_f64(rng.exponential(mean_interval.as_secs_f64()));
+        PerturbationProcess {
+            next_at: SimTime::ZERO + first,
+            mean_interval,
+            shift_sigma_db,
+            rng,
+            current_shift_db: 0.0,
+        }
+    }
+
+    /// The Fig. 14 regime: a realignment-provoking event every ~8 minutes
+    /// on average, shifting the channel by σ = 2.5 dB.
+    pub fn fig14_default(rng: SimRng) -> Self {
+        PerturbationProcess::new(rng, SimDuration::from_secs(8 * 60), 2.5)
+    }
+
+    /// Advance to `now`, returning every event that fired in the interval
+    /// (possibly none). The cumulative shift decays towards zero at each
+    /// event so the channel doesn't random-walk away.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Perturbation> {
+        let mut events = Vec::new();
+        while self.next_at <= now {
+            let fresh = self.rng.normal(0.0, self.shift_sigma_db);
+            self.current_shift_db = 0.5 * self.current_shift_db + fresh;
+            events.push(Perturbation { at: self.next_at, shift_db: self.current_shift_db });
+            let gap = SimDuration::from_secs_f64(
+                self.rng.exponential(self.mean_interval.as_secs_f64()).max(1.0),
+            );
+            self.next_at += gap;
+        }
+        events
+    }
+
+    /// The current cumulative shift, dB.
+    pub fn current_shift_db(&self) -> f64 {
+        self.current_shift_db
+    }
+
+    /// Time of the next scheduled event (for test introspection).
+    pub fn next_at(&self) -> SimTime {
+        self.next_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::root(99).stream("fading-test")
+    }
+
+    #[test]
+    fn fading_is_zero_at_start() {
+        let mut f = Ar1Fading::indoor_default(rng());
+        assert_eq!(f.level_at(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn fading_stationary_moments() {
+        let mut f = Ar1Fading::new(
+            rng(),
+            2.0,
+            SimDuration::from_secs(5),
+            SimDuration::from_millis(500),
+        );
+        let mut samples = Vec::new();
+        // Skip burn-in, then collect.
+        for i in 0..20_000u64 {
+            let t = SimTime::from_millis(500 * i);
+            let v = f.level_at(t);
+            if i > 200 {
+                samples.push(v);
+            }
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.4, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.4, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn fading_is_correlated_over_short_times() {
+        let mut f = Ar1Fading::indoor_default(rng());
+        // Warm the process up.
+        let mut t = SimTime::from_secs(100);
+        let a = f.level_at(t);
+        t += SimDuration::from_secs(1);
+        let b = f.level_at(t);
+        // One second apart with 6 s correlation: the innovation std is
+        // σ·√(1−ρ²) ≈ 0.64 dB, so a 2.5 dB jump would be > 3.9σ.
+        assert!((a - b).abs() < 2.5, "a {a} b {b}");
+    }
+
+    #[test]
+    fn fading_long_gap_resamples() {
+        let mut f = Ar1Fading::indoor_default(rng());
+        let _ = f.level_at(SimTime::ZERO);
+        // A gap of days: lazily resampled, still finite and reasonable.
+        let v = f.level_at(SimTime::from_secs(200_000));
+        assert!(v.abs() < 10.0);
+    }
+
+    #[test]
+    fn perturbations_fire_roughly_at_rate() {
+        let mut p = PerturbationProcess::new(rng(), SimDuration::from_secs(60), 2.0);
+        let events = p.poll(SimTime::from_secs(60 * 60));
+        // One hour at one event per minute: expect ~60, accept wide band.
+        assert!((30..=100).contains(&events.len()), "{} events", events.len());
+        // Events are time-ordered.
+        for w in events.windows(2) {
+            assert!(w[1].at > w[0].at);
+        }
+    }
+
+    #[test]
+    fn poll_is_incremental() {
+        let mut p = PerturbationProcess::new(rng(), SimDuration::from_secs(10), 1.0);
+        let first = p.poll(SimTime::from_secs(300));
+        let again = p.poll(SimTime::from_secs(300));
+        assert!(!first.is_empty());
+        assert!(again.is_empty(), "same horizon must not re-emit events");
+        let more = p.poll(SimTime::from_secs(600));
+        assert!(!more.is_empty());
+    }
+
+    #[test]
+    fn shift_does_not_random_walk_away() {
+        let mut p = PerturbationProcess::new(rng(), SimDuration::from_secs(10), 2.0);
+        let events = p.poll(SimTime::from_secs(100_000));
+        let max_abs = events.iter().map(|e| e.shift_db.abs()).fold(0.0, f64::max);
+        // With the 0.5 decay, the shift stays bounded (σ_stat ≈ 2.3 dB).
+        assert!(max_abs < 12.0, "shift escaped: {max_abs}");
+    }
+}

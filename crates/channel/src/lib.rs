@@ -1,0 +1,27 @@
+//! # mmwave-channel — composing geometry and PHY into radio links
+//!
+//! This crate answers the one question every experiment keeps asking:
+//! *given two devices with particular antenna patterns, positions and
+//! orientations inside a particular room, how much power arrives, over
+//! which paths, and with what SINR under concurrent transmissions?*
+//!
+//! * [`node`] — a positioned, oriented radio ([`RadioNode`]): world-to-array
+//!   azimuth conversion lives here and nowhere else.
+//! * [`environment`] — the immutable scene: room geometry, ray-tracing
+//!   limits, the link budget, plus a per-run atmospheric loss offset (the
+//!   day-to-day spread behind Fig. 13's 10–17 m range variation).
+//! * [`propagate`] — per-path received power with TX/RX pattern weighting,
+//!   incoherent multipath combination, SINR, and per-direction incident
+//!   power (the primitive behind the angular-profile scans of Figs. 18–20).
+//! * [`fading`] — slow AR(1) link fading and the sparse perturbation
+//!   process that triggers the beam realignments of Fig. 14.
+
+pub mod environment;
+pub mod fading;
+pub mod node;
+pub mod propagate;
+
+pub use environment::Environment;
+pub use fading::{Ar1Fading, PerturbationProcess};
+pub use node::{NodeId, RadioNode};
+pub use propagate::{incident_from_direction, link_state, sinr_db, LinkState, PathGain};

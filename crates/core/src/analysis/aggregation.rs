@@ -1,0 +1,107 @@
+//! Aggregation-gain arithmetic (§4.1 and the §5 design principle).
+//!
+//! The paper's headline: WiGig scales TCP throughput 5.4× (171 → 934 Mb/s)
+//! at constant MCS and medium usage purely by aggregating up to 25 µs of
+//! data — 320× less aggregation time than the 8 ms 802.11ac needs for a
+//! mere 2× gain.
+
+/// One operating point of the throughput sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// Measured TCP goodput, Mb/s.
+    pub throughput_mbps: f64,
+    /// Fraction of data frames longer than the short/long boundary.
+    pub long_frame_fraction: f64,
+    /// Windowed medium usage (Fig. 11 metric), 0–1.
+    pub medium_usage: f64,
+    /// Dominant MCS index during the run.
+    pub mcs: u8,
+    /// Maximum observed data-frame duration, µs.
+    pub max_frame_us: f64,
+}
+
+/// Summary of the aggregation behaviour across a sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct AggregationSummary {
+    /// Lowest "high-load" throughput (first point with saturated medium
+    /// usage), Mb/s.
+    pub base_mbps: f64,
+    /// Highest throughput, Mb/s.
+    pub peak_mbps: f64,
+    /// Throughput gain attributable to aggregation.
+    pub gain: f64,
+    /// Longest aggregated frame, µs.
+    pub max_aggregation_us: f64,
+    /// True if MCS stayed constant across the compared points.
+    pub constant_mcs: bool,
+}
+
+/// Compute the aggregation gain between the first medium-saturated point
+/// and the peak, mirroring §4.1's 171 → 934 Mb/s comparison. Returns
+/// `None` if no point saturates the medium.
+pub fn summarize(points: &[SweepPoint]) -> Option<AggregationSummary> {
+    let saturated: Vec<&SweepPoint> =
+        points.iter().filter(|p| p.medium_usage > 0.9).collect();
+    let base = saturated
+        .iter()
+        .min_by(|a, b| a.throughput_mbps.partial_cmp(&b.throughput_mbps).expect("finite"))?;
+    let peak = saturated
+        .iter()
+        .max_by(|a, b| a.throughput_mbps.partial_cmp(&b.throughput_mbps).expect("finite"))?;
+    Some(AggregationSummary {
+        base_mbps: base.throughput_mbps,
+        peak_mbps: peak.throughput_mbps,
+        gain: peak.throughput_mbps / base.throughput_mbps,
+        max_aggregation_us: points.iter().map(|p| p.max_frame_us).fold(0.0, f64::max),
+        constant_mcs: base.mcs == peak.mcs,
+    })
+}
+
+/// The 802.11ac comparison from §5 / [19]: 2× gain needs 8 ms frames.
+pub const AC_GAIN: f64 = 2.0;
+/// 802.11ac frame length for that gain, µs.
+pub const AC_FRAME_US: f64 = 8_000.0;
+
+/// "How many times less aggregation time than 802.11ac" (the paper's
+/// 320× with 25 µs frames).
+pub fn timescale_advantage(max_aggregation_us: f64) -> f64 {
+    AC_FRAME_US / max_aggregation_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(mbps: f64, usage: f64, mcs: u8, max_us: f64) -> SweepPoint {
+        SweepPoint {
+            throughput_mbps: mbps,
+            long_frame_fraction: 0.5,
+            medium_usage: usage,
+            mcs,
+            max_frame_us: max_us,
+        }
+    }
+
+    #[test]
+    fn summarize_papers_numbers() {
+        let pts = [
+            p(0.0097, 0.001, 11, 5.1),
+            p(171.0, 1.0, 11, 8.2),
+            p(372.0, 1.0, 11, 15.0),
+            p(934.0, 1.0, 11, 24.5),
+        ];
+        let s = summarize(&pts).expect("saturated points exist");
+        assert!((s.gain - 5.46).abs() < 0.1, "gain {}", s.gain);
+        assert!(s.constant_mcs);
+        assert!((s.max_aggregation_us - 24.5).abs() < 1e-9);
+        // ≈ 326× less aggregation time than 802.11ac.
+        let adv = timescale_advantage(s.max_aggregation_us);
+        assert!((adv - 326.5).abs() < 1.0, "{adv}");
+    }
+
+    #[test]
+    fn no_saturated_points_gives_none() {
+        let pts = [p(0.01, 0.001, 11, 5.0)];
+        assert!(summarize(&pts).is_none());
+    }
+}

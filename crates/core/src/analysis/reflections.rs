@@ -1,0 +1,168 @@
+//! Rotation-scan angular profiles (§3.2, Figs. 4 and 18–20).
+//!
+//! The Vubiq sits on a programmable rotation stage at a probe position and
+//! sweeps a highly directional horn through the full circle; incident
+//! power per look direction forms the angular profile. Against an *active
+//! link*, the profile mixes both link directions weighted by their
+//! airtime, exactly as the paper's dwell-and-average procedure does.
+
+
+use mmwave_capture::scan::{angular_profile, AngularProfile};
+use mmwave_geom::{Angle, Point};
+use mmwave_mac::Net;
+use mmwave_phy::{db_to_lin, lin_to_db};
+use mmwave_sim::time::SimTime;
+
+/// Measure the angular profile at `probe`: for each of `n_dirs` look
+/// directions, the airtime-weighted average incident power of every
+/// logged transmission in the window.
+///
+/// Implementation note: the log is first collapsed into per
+/// `(source, pattern)` contributions — for each, the ray trace and the
+/// transmit-side gains are computed once, and only the horn's receive
+/// gain varies with the look direction. This keeps the 6-probe ×
+/// 120-direction scans of Figs. 18/19 fast.
+pub fn measure_profile(
+    net: &Net,
+    probe: Point,
+    n_dirs: usize,
+    from: SimTime,
+    to: SimTime,
+) -> AngularProfile {
+    use std::collections::HashMap;
+    // Airtime per (src, pattern) combination.
+    let mut airtime: HashMap<(usize, mmwave_mac::PatKey), f64> = HashMap::new();
+    let mut extra: HashMap<(usize, mmwave_mac::PatKey), f64> = HashMap::new();
+    for e in net.txlog().in_window(from, to) {
+        *airtime.entry((e.src, e.pattern)).or_insert(0.0) +=
+            (e.end - e.start).as_secs_f64();
+        // Control-class frames carry the boost; a (src, pattern) combo is
+        // only ever used by one class in practice, so last-write wins.
+        let boost = match e.class {
+            mmwave_mac::FrameClass::Beacon
+            | mmwave_mac::FrameClass::DiscoverySub
+            | mmwave_mac::FrameClass::WihdBeacon
+            | mmwave_mac::FrameClass::Training => net.config().control_power_offset_db,
+            _ => 0.0,
+        };
+        extra.insert((e.src, e.pattern), boost);
+    }
+    let total_time: f64 = airtime.values().sum();
+    // Per combination: (arrival azimuth, linear power *without* the horn
+    // gain) for every path, scaled by the combo's airtime share.
+    let mut components: Vec<(Angle, f64)> = Vec::new();
+    let horn = mmwave_phy::horn_25dbi();
+    for (&(src, pat), &t) in &airtime {
+        let dev = net.device(src);
+        let paths = net.env.paths(dev.node.position, probe);
+        let tx_pattern = dev.pattern(pat);
+        for path in &paths {
+            let ga = dev.node.gain_toward(tx_pattern, path.departure);
+            let dbm = net.env.budget.rx_power_dbm(ga, 0.0, path) + dev.tx_power_offset_db
+                + extra[&(src, pat)]
+                - net.env.extra_loss_db;
+            components.push((path.arrival, db_to_lin(dbm) * t / total_time.max(1e-12)));
+        }
+    }
+    angular_profile(n_dirs, |look: Angle| {
+        if components.is_empty() {
+            return -120.0;
+        }
+        let lin: f64 = components
+            .iter()
+            .map(|(arrival, base)| {
+                base * db_to_lin(horn.gain_dbi(arrival.diff(look)))
+            })
+            .sum();
+        lin_to_db(lin)
+    })
+}
+
+/// Attribution helpers: expected arrival directions at a probe.
+pub struct Expected {
+    /// Direction towards the transmitter (LoS).
+    pub toward_tx: Angle,
+    /// Direction towards the receiver (its ACK/beacon traffic).
+    pub toward_rx: Angle,
+}
+
+/// Compute the LoS arrival directions at `probe` for a TX/RX pair.
+pub fn expected_directions(net: &Net, probe: Point, tx: usize, rx: usize) -> Expected {
+    let t = net.device(tx).node.position;
+    let r = net.device(rx).node.position;
+    Expected {
+        toward_tx: Angle::from_radians((t - probe).angle()),
+        toward_rx: Angle::from_radians((r - probe).angle()),
+    }
+}
+
+/// Lobes of a profile that do **not** point at either link endpoint —
+/// the paper's indicator of wall reflections ("additional lobes … do not
+/// point to any of the devices in the room").
+pub fn unattributed_lobes(
+    profile: &AngularProfile,
+    expected: &Expected,
+    tolerance: f64,
+    min_prominence_db: f64,
+    max_below_peak_db: f64,
+) -> Vec<Angle> {
+    let pattern = profile.as_pattern();
+    let peak = pattern.peak().gain_dbi;
+    pattern
+        .lobes(min_prominence_db)
+        .into_iter()
+        .filter(|l| l.gain_dbi >= peak - max_below_peak_db)
+        .map(|l| l.direction)
+        .filter(|d| {
+            d.distance(expected.toward_tx) > tolerance
+                && d.distance(expected.toward_rx) > tolerance
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{reflection_room, RoomSystem};
+    use mmwave_mac::NetConfig;
+
+    #[test]
+    fn profile_of_active_wigig_link_sees_both_endpoints() {
+        let mut r = reflection_room(
+            RoomSystem::Wigig,
+            NetConfig { seed: 5, enable_fading: false, ..NetConfig::default() },
+        );
+        // Load the link so data flows (laptop is the transmitter).
+        for i in 0..2000u64 {
+            r.net.push_mpdu(r.tx, 1500, i);
+        }
+        r.net.run_until(SimTime::from_millis(40));
+        let probe = r.layout.probe('A');
+        let profile =
+            measure_profile(&r.net, probe, 120, SimTime::ZERO, SimTime::from_millis(40));
+        let exp = expected_directions(&r.net, probe, r.tx, r.rx);
+        // Lobes towards the transmitter and the receiver (§4.3: "one
+        // pointing to the transmitter and one pointing to the receiver").
+        assert!(
+            profile.has_lobe_toward(exp.toward_tx, 20f64.to_radians(), 1.0, 20.0),
+            "no TX lobe"
+        );
+        assert!(
+            profile.has_lobe_toward(exp.toward_rx, 20f64.to_radians(), 1.0, 20.0),
+            "no RX lobe"
+        );
+    }
+
+    #[test]
+    fn expected_directions_geometry() {
+        let r = reflection_room(
+            RoomSystem::Wigig,
+            NetConfig { seed: 6, enable_fading: false, ..NetConfig::default() },
+        );
+        let probe = r.layout.probe('C'); // upper row, left third
+        let exp = expected_directions(&r.net, probe, r.tx, r.rx);
+        // TX is to the right of C, RX to the left.
+        assert!(exp.toward_tx.degrees().abs() < 45.0, "{}", exp.toward_tx);
+        assert!(exp.toward_rx.degrees().abs() > 135.0, "{}", exp.toward_rx);
+    }
+}

@@ -1,0 +1,110 @@
+//! Command-line experiment runner.
+//!
+//! ```text
+//! experiments [--quick] [--seed N] [--out DIR] [--list] [all | <id> ...]
+//! ```
+//!
+//! Runs the requested experiments (default: all) and prints the
+//! paper-style rows/series plus the shape-check verdicts. With `--out`,
+//! each report is also written to `DIR/<id>.txt` (handy for diffing two
+//! campaigns). Exit code 1 if any shape check failed.
+
+use mmwave_core::experiments::{self, RunReport};
+
+struct Cli {
+    quick: bool,
+    seed: u64,
+    out_dir: Option<String>,
+    list: bool,
+    ids: Vec<String>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli =
+        Cli { quick: false, seed: 1, out_dir: None, list: false, ids: Vec::new() };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cli.quick = true,
+            "--list" => cli.list = true,
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                cli.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--out" => {
+                cli.out_dir = Some(args.next().ok_or("--out needs a directory")?);
+            }
+            "all" => {}
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            id => cli.ids.push(id.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}\nusage: experiments [--quick] [--seed N] [--out DIR] [--list] [all | <id> ...]");
+            std::process::exit(2);
+        }
+    };
+    if cli.list {
+        println!("available experiment ids (paper order):");
+        for id in experiments::ALL {
+            println!("  {id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if cli.ids.is_empty() {
+        experiments::ALL.to_vec()
+    } else {
+        cli.ids.iter().map(|s| s.as_str()).collect()
+    };
+    if let Some(dir) = &cli.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let mut failures = 0;
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        let Some(report): Option<RunReport> = experiments::run(id, cli.quick, cli.seed) else {
+            eprintln!("unknown experiment id: {id} (try --list)");
+            failures += 1;
+            continue;
+        };
+        println!("\n################################################################");
+        println!("# {} — {}", report.id, report.title);
+        println!("################################################################");
+        println!("{}", report.output);
+        if report.passed() {
+            println!("[PASS] all shape checks hold ({:.1?})", t0.elapsed());
+        } else {
+            failures += 1;
+            println!("[FAIL] {} shape check(s) violated:", report.violations.len());
+            for v in &report.violations {
+                println!("  - {v}");
+            }
+        }
+        if let Some(dir) = &cli.out_dir {
+            let verdict = if report.passed() {
+                "PASS".to_string()
+            } else {
+                format!("FAIL\n{}", report.violations.join("\n"))
+            };
+            let body = format!("{}\n\n{}\n{}\n", report.title, report.output, verdict);
+            if let Err(e) = std::fs::write(format!("{dir}/{}.txt", report.id), body) {
+                eprintln!("cannot write report for {id}: {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Prototypes of the paper's §5 design principles.
+//!
+//! The paper closes with four principles for 60 GHz protocol designers.
+//! None of them is evaluated there — they are "derive"d from the
+//! measurements. This module turns each into working code and evaluates
+//! it against the same simulated hardware the measurements came from:
+//!
+//! * [`mac_switching`] — *"60 GHz networks should implement multiple MAC
+//!   behaviors and choose the one which is most suitable for the beam
+//!   patterns of the individual devices"*: a selector that measures the
+//!   realized pattern of a link and picks aggressive spatial reuse versus
+//!   conservative CSMA accordingly.
+//! * [`geometric_mac`] — *"such protocols should extend this geometric
+//!   approach to include up to two signal reflections"*: an interference
+//!   map that predicts which link pairs collide, with and without
+//!   reflection awareness, validated against the simulated ground truth.
+//! * [`power_control`] — *"devices may need to adjust their transmit
+//!   power to control interference even in quasi-static scenarios"*: a
+//!   margin-based power controller evaluated on the Fig. 6 floor.
+
+pub mod geometric_mac;
+pub mod mac_switching;
+pub mod power_control;

@@ -1,0 +1,101 @@
+//! §5, principle 4: *"devices may need to adjust their transmit power to
+//! control interference even in quasi-static scenarios, such as homes."*
+//!
+//! The prototype: a margin-based transmit power controller. A link that
+//! enjoys more SNR than its operating MCS needs is wasting the excess as
+//! interference into its neighbours; the controller trims the conducted
+//! power down to `required + target_margin`, never below a safety floor.
+
+use mmwave_mac::{Net, PatKey};
+
+/// How much SNR headroom to keep above the current MCS's selection point.
+pub const TARGET_MARGIN_DB: f64 = 5.0;
+/// Never trim more than this (hardware ranges are finite).
+pub const MAX_TRIM_DB: f64 = 12.0;
+
+/// The SNR the device's current link enjoys, measured the way its beacon
+/// path does (trained sectors, no fading snapshot).
+pub fn link_snr_db(net: &mut Net, dev: usize) -> Option<f64> {
+    let w = net.device(dev).wigig()?;
+    let peer = w.peer?;
+    let peer_sector = net.device(peer).wigig()?.tx_sector;
+    let rx = net.medium_rx_power_dbm(peer, PatKey::Dir(peer_sector), dev);
+    Some(rx - net.env.noise_floor_dbm())
+}
+
+/// Compute the power trim (≤ 0 dB) that leaves `TARGET_MARGIN_DB` of
+/// headroom above the MCS the device currently runs.
+pub fn recommend_trim_db(net: &mut Net, dev: usize) -> Option<f64> {
+    let snr = link_snr_db(net, dev)?;
+    let w = net.device(dev).wigig()?;
+    let needed = w.adapter.current().snr_threshold_db(net.env.noise_floor_dbm());
+    let excess = snr - (needed + TARGET_MARGIN_DB);
+    Some((-excess).clamp(-MAX_TRIM_DB, 0.0))
+}
+
+/// Apply the recommended trim to a device's conducted power. Returns the
+/// trim applied (0 when the link has no headroom).
+pub fn apply_to_device(net: &mut Net, dev: usize) -> Option<f64> {
+    let trim = recommend_trim_db(net, dev)?;
+    net.device_mut(dev).tx_power_offset_db += trim;
+    Some(trim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::point_to_point;
+    use mmwave_mac::NetConfig;
+    use mmwave_sim::time::SimTime;
+
+    fn quiet(seed: u64) -> NetConfig {
+        NetConfig { seed, enable_fading: false, ..NetConfig::default() }
+    }
+
+    #[test]
+    fn short_link_gets_trimmed() {
+        // A 2 m link runs MCS 11 with ~10 dB of excess SNR: the controller
+        // trims but leaves the MCS intact.
+        let mut p = point_to_point(2.0, quiet(1));
+        let before = link_snr_db(&mut p.net, p.dock).expect("link up");
+        let trim = apply_to_device(&mut p.net, p.laptop).expect("wigig");
+        assert!(trim < -3.0, "expected a real trim, got {trim}");
+        assert!(trim >= -MAX_TRIM_DB);
+        let after = link_snr_db(&mut p.net, p.dock).expect("link up");
+        assert!((before + trim - after).abs() < 0.5, "trim maps 1:1 onto SNR");
+        // The link still carries data at the same MCS.
+        for i in 0..30u64 {
+            p.net.push_mpdu(p.laptop, 1500, i);
+        }
+        p.net.run_until(SimTime::from_millis(10));
+        assert_eq!(p.net.device(p.dock).stats.mpdus_rx, 30);
+        let w = p.net.device(p.laptop).wigig().expect("wigig");
+        assert_eq!(w.adapter.current().index, 11, "MCS survives the trim");
+    }
+
+    #[test]
+    fn marginal_link_is_left_alone() {
+        // A 12 m link has little headroom: no trim.
+        let mut p = point_to_point(12.0, quiet(2));
+        let trim = recommend_trim_db(&mut p.net, p.dock).expect("wigig");
+        assert!(trim > -2.0, "marginal link must keep its power: {trim}");
+    }
+
+    #[test]
+    fn trimming_reduces_interference_at_a_bystander() {
+        // The trimmed transmitter leaks less energy into a third party.
+        let mut p = point_to_point(2.0, quiet(3));
+        let bystander = p.net.add_device(mmwave_mac::Device::wigig_dock(
+            "bystander",
+            mmwave_geom::Point::new(1.0, 3.0),
+            mmwave_geom::Angle::from_degrees(-90.0),
+            7,
+        ));
+        let laptop = p.laptop;
+        let sector = p.net.device(laptop).wigig().expect("wigig").tx_sector;
+        let before = p.net.medium_rx_power_dbm(laptop, PatKey::Dir(sector), bystander);
+        let trim = apply_to_device(&mut p.net, laptop).expect("wigig");
+        let after = p.net.medium_rx_power_dbm(laptop, PatKey::Dir(sector), bystander);
+        assert!((before + trim - after).abs() < 0.5, "interference drops by the trim");
+    }
+}

@@ -1,0 +1,81 @@
+//! One module per evaluation artifact (table/figure).
+//!
+//! Every experiment exposes `run(quick, seed) -> RunReport`. The report
+//! carries the rendered rows/series (what the paper's table or figure
+//! shows) and a list of *shape violations*: qualitative properties from
+//! the paper that the reproduction must satisfy (who wins, by what factor,
+//! where thresholds fall). An empty violation list is the reproduction
+//! criterion; the integration suite asserts it for every experiment.
+//!
+//! `quick` trades statistical smoothness for runtime (shorter campaigns,
+//! fewer sweep points); the shape checks hold in both modes.
+
+pub mod fig03;
+pub mod fig08;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+pub mod fig23;
+pub mod sweep;
+pub mod table1;
+
+/// Outcome of one experiment run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Experiment id ("fig09", "table1", …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Rendered rows/series (paper-style output).
+    pub output: String,
+    /// Qualitative checks that failed (empty = reproduction holds).
+    pub violations: Vec<String>,
+}
+
+impl RunReport {
+    /// True if every shape check passed.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// All experiment ids in paper order.
+pub const ALL: &[&str] = &[
+    "table1", "fig03", "fig08", "fig09", "fig10", "fig11", "aggr", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
+    "fig23",
+];
+
+/// Run one experiment by id. `None` for an unknown id.
+pub fn run(id: &str, quick: bool, seed: u64) -> Option<RunReport> {
+    Some(match id {
+        "table1" => table1::run(quick, seed),
+        "fig03" => fig03::run(quick, seed),
+        "fig08" => fig08::run(quick, seed),
+        "fig09" => sweep::run_fig09(quick, seed),
+        "fig10" => sweep::run_fig10(quick, seed),
+        "fig11" => sweep::run_fig11(quick, seed),
+        "aggr" => sweep::run_aggr(quick, seed),
+        "fig12" => fig12::run(quick, seed),
+        "fig13" => fig13::run(quick, seed),
+        "fig14" => fig14::run(quick, seed),
+        "fig15" => fig15::run(quick, seed),
+        "fig16" => fig16::run(quick, seed),
+        "fig17" => fig17::run(quick, seed),
+        "fig18" => fig18::run(quick, seed),
+        "fig19" => fig19::run(quick, seed),
+        "fig20" => fig20::run(quick, seed),
+        "fig21" => fig21::run(quick, seed),
+        "fig22" => fig22::run(quick, seed),
+        "fig23" => fig23::run(quick, seed),
+        _ => return None,
+    })
+}

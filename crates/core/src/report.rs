@@ -1,0 +1,146 @@
+//! Plain-text rendering of tables, series and polar profiles.
+//!
+//! Every experiment prints through these helpers so the `experiments`
+//! binary's output reads like the paper's tables and figure data.
+
+use mmwave_geom::Angle;
+
+/// Render an aligned two-column-plus table. `header` and every row must
+/// have the same arity.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an (x, y) series as aligned columns.
+pub fn series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let rows: Vec<Vec<String>> =
+        points.iter().map(|(x, y)| vec![format!("{x:.3}"), format!("{y:.3}")]).collect();
+    table(title, &[x_label, y_label], &rows)
+}
+
+/// A crude ASCII bar chart (one row per point), handy for eyeballing CDFs
+/// and sweeps in the terminal.
+pub fn bars(title: &str, points: &[(String, f64)], max_width: usize) -> String {
+    let peak = points.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-12);
+    let label_w = points.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("== {title} ==\n");
+    for (label, v) in points {
+        let n = ((v / peak) * max_width as f64).round().max(0.0) as usize;
+        out.push_str(&format!("{label:<label_w$} |{} {v:.2}\n", "#".repeat(n)));
+    }
+    out
+}
+
+/// Render a polar profile (angle → dB) as rows of 15° bins, the text
+/// analogue of the paper's polar plots. Values are normalized to peak 0 dB.
+pub fn polar(title: &str, points: &[(Angle, f64)]) -> String {
+    let peak = points.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let mut bins: Vec<(i32, Vec<f64>)> = (0..24).map(|i| (i * 15 - 180, Vec::new())).collect();
+    for (a, v) in points {
+        let deg = a.degrees();
+        let idx = (((deg + 180.0) / 15.0).floor() as i32).clamp(0, 23) as usize;
+        bins[idx].1.push(v - peak);
+    }
+    let mut out = format!("== {title} (dB rel. peak) ==\n");
+    for (start, vals) in &bins {
+        if vals.is_empty() {
+            continue;
+        }
+        let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+        let bar_len = ((avg + 30.0).max(0.0) / 30.0 * 30.0).round() as usize;
+        out.push_str(&format!(
+            "{:>4}°..{:>4}°  {:>6.1}  |{}\n",
+            start,
+            start + 15,
+            avg,
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            "T",
+            &["name", "value"],
+            &[
+                vec!["alpha".into(), "1".into()],
+                vec!["b".into(), "12345".into()],
+            ],
+        );
+        assert!(t.contains("== T =="));
+        let lines: Vec<&str> = t.lines().collect();
+        // Title, header, rule, two rows.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[4].starts_with("b    "));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_checks_arity() {
+        table("T", &["a", "b"], &[vec!["only one".into()]]);
+    }
+
+    #[test]
+    fn series_renders_points() {
+        let s = series("S", "x", "y", &[(1.0, 2.0), (3.0, 4.5)]);
+        assert!(s.contains("1.000"));
+        assert!(s.contains("4.500"));
+    }
+
+    #[test]
+    fn bars_scale_to_peak() {
+        let b = bars("B", &[("a".into(), 10.0), ("bb".into(), 5.0)], 20);
+        let lines: Vec<&str> = b.lines().collect();
+        let hashes = |s: &str| s.matches('#').count();
+        assert_eq!(hashes(lines[1]), 20);
+        assert_eq!(hashes(lines[2]), 10);
+    }
+
+    #[test]
+    fn polar_normalizes() {
+        let pts: Vec<(Angle, f64)> = (0..360)
+            .map(|d| (Angle::from_degrees(d as f64), -60.0 - (d % 90) as f64 / 10.0))
+            .collect();
+        let p = polar("P", &pts);
+        assert!(p.contains("dB rel. peak"));
+        // The peak bin's bar is (nearly) full width.
+        let longest = p.lines().map(|l| l.matches('#').count()).max().expect("lines");
+        assert!(longest >= 29, "longest bar {longest}");
+    }
+}

@@ -1,0 +1,377 @@
+//! Image-method (mirror-source) ray tracing.
+//!
+//! At 60 GHz, propagation is quasi-optical: energy travels along the line of
+//! sight and along a handful of specular reflections. The paper shows
+//! (§4.3) that first-order *and second-order* wall reflections carry enough
+//! energy to matter for both range extension (Fig. 20) and interference
+//! (Figs. 18, 19, 23). This module enumerates exactly those paths:
+//!
+//! * order 0 — the line of sight, if unobstructed;
+//! * order 1 — one specular bounce off any wall;
+//! * order 2 — two bounces off any ordered pair of distinct walls.
+//!
+//! Each returned [`PropPath`] carries the geometry the PHY layer needs:
+//! total length (for Friis loss and delay), the departure azimuth at the
+//! transmitter and arrival azimuth at the receiver (for antenna-pattern
+//! weighting), and the summed material reflection loss.
+
+use crate::angle::Angle;
+use crate::material::Material;
+use crate::room::Room;
+use crate::segment::GEOM_EPS;
+use crate::vec2::Point;
+
+/// Skip radius for obstruction tests at path endpoints and bounce points,
+/// in metres. Legs legitimately begin/end on reflecting walls; a crossing
+/// within 1 mm of a leg endpoint is that same wall, not an obstruction.
+const SKIP_NEAR: f64 = 1e-3;
+
+/// Kind of propagation path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathKind {
+    /// Direct, unobstructed line of sight.
+    LineOfSight,
+    /// Specular reflection path with the given bounce count (1 or 2).
+    Reflected {
+        /// Number of wall bounces.
+        order: usize,
+    },
+}
+
+/// One propagation path from a transmitter to a receiver.
+#[derive(Clone, Debug)]
+pub struct PropPath {
+    /// LoS or reflected.
+    pub kind: PathKind,
+    /// Total unfolded path length in metres.
+    pub length_m: f64,
+    /// Azimuth at which the path leaves the transmitter.
+    pub departure: Angle,
+    /// Azimuth *from which* the path arrives at the receiver (i.e. pointing
+    /// from the receiver towards the last bounce or the transmitter). This
+    /// is the direction a rotating horn must face to capture the path.
+    pub arrival: Angle,
+    /// Sum of per-bounce reflection losses, in dB (0 for LoS).
+    pub reflection_loss_db: f64,
+    /// Path polyline: transmitter, bounce points…, receiver.
+    pub vertices: Vec<Point>,
+    /// Materials bounced off, in order.
+    pub materials: Vec<Material>,
+    /// Labels of the walls bounced off, in order.
+    pub wall_labels: Vec<String>,
+}
+
+impl PropPath {
+    /// Reflection order (0 for LoS).
+    pub fn order(&self) -> usize {
+        match self.kind {
+            PathKind::LineOfSight => 0,
+            PathKind::Reflected { order } => order,
+        }
+    }
+
+    /// Propagation delay in seconds (speed of light in air).
+    pub fn delay_s(&self) -> f64 {
+        self.length_m / 299_792_458.0
+    }
+}
+
+/// Ray-tracing configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Maximum reflection order to enumerate (0, 1 or 2).
+    pub max_order: usize,
+    /// Bounces off materials with reflection loss above this are skipped
+    /// (absorbers and humans reflect nothing useful).
+    pub max_bounce_loss_db: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { max_order: 2, max_bounce_loss_db: 20.0 }
+    }
+}
+
+fn make_path(kind: PathKind, vertices: Vec<Point>, bounces: &[(&Material, &str)]) -> PropPath {
+    debug_assert!(vertices.len() >= 2);
+    let length_m = vertices.windows(2).map(|w| w[0].distance(w[1])).sum();
+    let departure = Angle::from_radians((vertices[1] - vertices[0]).angle());
+    let n = vertices.len();
+    let arrival = Angle::from_radians((vertices[n - 2] - vertices[n - 1]).angle());
+    PropPath {
+        kind,
+        length_m,
+        departure,
+        arrival,
+        reflection_loss_db: bounces.iter().map(|(m, _)| m.reflection_loss_db()).sum(),
+        vertices,
+        materials: bounces.iter().map(|(m, _)| **m).collect(),
+        wall_labels: bounces.iter().map(|(_, l)| l.to_string()).collect(),
+    }
+}
+
+/// Check every leg of `vertices` for obstructions.
+fn legs_clear(room: &Room, vertices: &[Point]) -> bool {
+    vertices.windows(2).all(|w| {
+        // Degenerate legs (bounce point coincides with an endpoint, e.g. in
+        // a wall corner) invalidate the path.
+        w[0].distance(w[1]) > SKIP_NEAR && room.is_clear(w[0], w[1], SKIP_NEAR)
+    })
+}
+
+/// Enumerate all unobstructed propagation paths from `tx` to `rx` in `room`,
+/// up to `cfg.max_order` specular reflections. Paths are returned sorted by
+/// increasing length (the LoS first when present).
+pub fn trace_paths(room: &Room, tx: Point, rx: Point, cfg: &TraceConfig) -> Vec<PropPath> {
+    let mut paths = Vec::new();
+    if tx.distance(rx) <= GEOM_EPS {
+        return paths;
+    }
+
+    // Order 0: line of sight.
+    if room.is_clear(tx, rx, SKIP_NEAR) {
+        paths.push(make_path(PathKind::LineOfSight, vec![tx, rx], &[]));
+    }
+
+    let reflective: Vec<_> = room
+        .walls()
+        .iter()
+        .filter(|w| w.material.reflection_loss_db() <= cfg.max_bounce_loss_db)
+        .collect();
+
+    // Order 1: mirror tx across each wall; the bounce point is where the
+    // image–rx segment crosses the wall.
+    if cfg.max_order >= 1 {
+        for w in &reflective {
+            let d = w.seg.direction();
+            let image = tx.mirror_across(w.seg.a, d);
+            if image.distance(rx) <= GEOM_EPS {
+                continue;
+            }
+            let Some((_, bounce)) = w.seg.intersect(image, rx) else {
+                continue;
+            };
+            let verts = vec![tx, bounce, rx];
+            if legs_clear(room, &verts) {
+                paths.push(make_path(
+                    PathKind::Reflected { order: 1 },
+                    verts,
+                    &[(&w.material, w.label.as_str())],
+                ));
+            }
+        }
+    }
+
+    // Order 2: mirror tx across w1, then that image across w2; unfold from
+    // the receiver back through both walls.
+    if cfg.max_order >= 2 {
+        for (i, w1) in reflective.iter().enumerate() {
+            let d1 = w1.seg.direction();
+            let image1 = tx.mirror_across(w1.seg.a, d1);
+            for (j, w2) in reflective.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let d2 = w2.seg.direction();
+                let image2 = image1.mirror_across(w2.seg.a, d2);
+                if image2.distance(rx) <= GEOM_EPS {
+                    continue;
+                }
+                let Some((_, b2)) = w2.seg.intersect(image2, rx) else {
+                    continue;
+                };
+                if image1.distance(b2) <= GEOM_EPS {
+                    continue;
+                }
+                let Some((_, b1)) = w1.seg.intersect(image1, b2) else {
+                    continue;
+                };
+                let verts = vec![tx, b1, b2, rx];
+                if legs_clear(room, &verts) {
+                    paths.push(make_path(
+                        PathKind::Reflected { order: 2 },
+                        verts,
+                        &[
+                            (&w1.material, w1.label.as_str()),
+                            (&w2.material, w2.label.as_str()),
+                        ],
+                    ));
+                }
+            }
+        }
+    }
+
+    paths.sort_by(|a, b| a.length_m.partial_cmp(&b.length_m).expect("finite lengths"));
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::room::{Room, Wall};
+    use crate::segment::Segment;
+    use crate::vec2::Vec2;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn mirror_room() -> Room {
+        // A single metal wall along the x-axis from (0,0) to (10,0).
+        Room::open_space().with_wall(Wall::new(
+            Segment::new(p(0.0, 0.0), p(10.0, 0.0)),
+            Material::Metal,
+            "mirror",
+        ))
+    }
+
+    #[test]
+    fn open_space_has_only_los() {
+        let paths = trace_paths(&Room::open_space(), p(0.0, 0.0), p(5.0, 0.0), &TraceConfig::default());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].kind, PathKind::LineOfSight);
+        assert!((paths[0].length_m - 5.0).abs() < 1e-12);
+        assert!((paths[0].departure.degrees() - 0.0).abs() < 1e-9);
+        assert!((paths[0].arrival.degrees().abs() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_mirror_geometry() {
+        // TX at (2,1), RX at (6,1): LoS of length 4 plus one bounce at (4,0)
+        // with total length 2·√(2²+1²) = 2√5.
+        let paths = trace_paths(&mirror_room(), p(2.0, 1.0), p(6.0, 1.0), &TraceConfig::default());
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].kind, PathKind::LineOfSight);
+        let refl = &paths[1];
+        assert_eq!(refl.kind, PathKind::Reflected { order: 1 });
+        assert!((refl.length_m - 2.0 * 5f64.sqrt()).abs() < 1e-9);
+        let bounce = refl.vertices[1];
+        assert!((bounce.x - 4.0).abs() < 1e-9 && bounce.y.abs() < 1e-9);
+        // Specular: angle of incidence equals angle of reflection.
+        let in_dir = (bounce - refl.vertices[0]).normalized();
+        let out_dir = (refl.vertices[2] - bounce).normalized();
+        let n = Vec2::new(0.0, 1.0);
+        assert!((in_dir.dot(n) + out_dir.dot(n)).abs() < 1e-9);
+        assert!((refl.reflection_loss_db - Material::Metal.reflection_loss_db()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounce_point_must_lie_on_wall_segment() {
+        // Wall only spans x ∈ [0,10]; a would-be bounce at x = 15 is invalid.
+        let paths = trace_paths(&mirror_room(), p(14.0, 1.0), p(16.0, 1.0), &TraceConfig::default());
+        assert_eq!(paths.len(), 1, "only LoS should remain");
+        assert_eq!(paths[0].kind, PathKind::LineOfSight);
+    }
+
+    #[test]
+    fn blocked_los_leaves_reflection() {
+        let mut room = mirror_room();
+        // Absorbing screen between TX and RX, above the mirror, blocking LoS
+        // but not the floor bounce.
+        room.add_obstacle(Segment::new(p(4.0, 0.5), p(4.0, 2.0)), Material::Absorber, "screen");
+        let paths = trace_paths(&room, p(2.0, 1.0), p(6.0, 1.0), &TraceConfig::default());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].kind, PathKind::Reflected { order: 1 });
+    }
+
+    #[test]
+    fn absorber_produces_no_bounce() {
+        let room = Room::open_space().with_wall(Wall::new(
+            Segment::new(p(0.0, 0.0), p(10.0, 0.0)),
+            Material::Absorber,
+            "absorber floor",
+        ));
+        let paths = trace_paths(&room, p(2.0, 1.0), p(6.0, 1.0), &TraceConfig::default());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].kind, PathKind::LineOfSight);
+    }
+
+    #[test]
+    fn parallel_mirrors_give_second_order() {
+        // Metal walls at y=0 and y=3; TX and RX between them. Expect LoS,
+        // two order-1 and at least two order-2 paths (floor→ceiling and
+        // ceiling→floor).
+        let room = Room::open_space()
+            .with_wall(Wall::new(Segment::new(p(-50.0, 0.0), p(50.0, 0.0)), Material::Metal, "floor"))
+            .with_wall(Wall::new(Segment::new(p(-50.0, 3.0), p(50.0, 3.0)), Material::Metal, "ceiling"));
+        let paths = trace_paths(&room, p(0.0, 1.0), p(6.0, 1.0), &TraceConfig::default());
+        let by_order = |o: usize| paths.iter().filter(|p| p.order() == o).count();
+        assert_eq!(by_order(0), 1);
+        assert_eq!(by_order(1), 2);
+        assert_eq!(by_order(2), 2);
+        // Order-2 paths accumulate two bounces of loss.
+        for path in paths.iter().filter(|p| p.order() == 2) {
+            assert!((path.reflection_loss_db - 2.0 * Material::Metal.reflection_loss_db()).abs() < 1e-12);
+            assert_eq!(path.materials.len(), 2);
+            assert_eq!(path.vertices.len(), 4);
+        }
+    }
+
+    #[test]
+    fn order_2_specular_at_both_bounces() {
+        let room = Room::open_space()
+            .with_wall(Wall::new(Segment::new(p(-50.0, 0.0), p(50.0, 0.0)), Material::Metal, "floor"))
+            .with_wall(Wall::new(Segment::new(p(-50.0, 3.0), p(50.0, 3.0)), Material::Metal, "ceiling"));
+        let paths = trace_paths(&room, p(0.0, 1.0), p(6.0, 1.0), &TraceConfig::default());
+        for path in paths.iter().filter(|p| p.order() == 2) {
+            for k in 1..=2 {
+                let prev = path.vertices[k - 1];
+                let here = path.vertices[k];
+                let next = path.vertices[k + 1];
+                let n = Vec2::new(0.0, 1.0); // both walls horizontal
+                let i = (here - prev).normalized();
+                let o = (next - here).normalized();
+                assert!((i.dot(n) + o.dot(n)).abs() < 1e-9, "non-specular bounce");
+            }
+        }
+    }
+
+    #[test]
+    fn max_order_caps_enumeration() {
+        let room = Room::rectangular(
+            8.0,
+            4.0,
+            (Material::Metal, Material::Metal, Material::Metal, Material::Metal),
+        );
+        let tx = p(1.0, 2.0);
+        let rx = p(7.0, 2.0);
+        let n0 = trace_paths(&room, tx, rx, &TraceConfig { max_order: 0, ..Default::default() }).len();
+        let n1 = trace_paths(&room, tx, rx, &TraceConfig { max_order: 1, ..Default::default() }).len();
+        let n2 = trace_paths(&room, tx, rx, &TraceConfig { max_order: 2, ..Default::default() }).len();
+        assert_eq!(n0, 1);
+        assert!(n1 > n0);
+        assert!(n2 > n1);
+    }
+
+    #[test]
+    fn paths_sorted_by_length_and_los_is_shortest() {
+        let room = Room::rectangular(
+            9.0,
+            3.25,
+            (Material::Wood, Material::Glass, Material::Brick, Material::Brick),
+        );
+        let paths = trace_paths(&room, p(0.5, 1.3), p(8.5, 1.3), &TraceConfig::default());
+        assert!(paths.len() >= 3);
+        for w in paths.windows(2) {
+            assert!(w[0].length_m <= w[1].length_m);
+        }
+        assert_eq!(paths[0].kind, PathKind::LineOfSight);
+    }
+
+    #[test]
+    fn arrival_points_back_along_last_leg() {
+        let paths = trace_paths(&mirror_room(), p(2.0, 1.0), p(6.0, 1.0), &TraceConfig::default());
+        let refl = paths.iter().find(|p| p.order() == 1).expect("bounce path");
+        // Last leg rises from the floor bounce to RX, so the arrival azimuth
+        // (looking back from RX) must point down-left: between -90° and -180°.
+        let deg = refl.arrival.degrees();
+        assert!((-180.0..=-90.0).contains(&deg), "arrival {deg}");
+    }
+
+    #[test]
+    fn delay_matches_length() {
+        let paths = trace_paths(&Room::open_space(), p(0.0, 0.0), p(3.0, 0.0), &TraceConfig::default());
+        let d = paths[0].delay_s();
+        assert!((d - 3.0 / 299_792_458.0).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,167 @@
+//! Line segments: the building block of walls, blockers and reflectors.
+
+use crate::vec2::{Point, Vec2};
+
+/// Tolerance for "on the segment" decisions, in metres. Well below any
+/// physical dimension in the scenarios (devices are centimetres apart at
+/// minimum) but far above f64 noise.
+pub const GEOM_EPS: f64 = 1e-9;
+
+/// A directed line segment from `a` to `b`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Construct from endpoints. Panics in debug builds on degenerate
+    /// (zero-length) segments.
+    pub fn new(a: Point, b: Point) -> Segment {
+        debug_assert!(a.distance(b) > GEOM_EPS, "degenerate segment");
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    pub fn length(self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Direction unit vector from `a` to `b`.
+    pub fn direction(self) -> Vec2 {
+        (self.b - self.a).normalized()
+    }
+
+    /// A unit normal (rotated +90° from the direction). The sign is
+    /// irrelevant for specular reflection, which is symmetric in `n`.
+    pub fn normal(self) -> Vec2 {
+        self.direction().perp()
+    }
+
+    /// Midpoint.
+    pub fn midpoint(self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Point at parameter `t` ∈ [0, 1] along the segment.
+    pub fn at(self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Intersection of the open segment `p → q` with this segment.
+    ///
+    /// Returns `(t, point)` where `t` ∈ (0, 1) parameterizes `p → q`,
+    /// or `None` if they don't cross. Endpoint grazes within [`GEOM_EPS`]
+    /// are treated as misses so a ray reflecting *off* a wall is not also
+    /// "blocked" by the same wall.
+    pub fn intersect(self, p: Point, q: Point) -> Option<(f64, Point)> {
+        let r = q - p;
+        let s = self.b - self.a;
+        let denom = r.cross(s);
+        if denom.abs() < GEOM_EPS {
+            return None; // parallel or collinear: no transversal crossing
+        }
+        let ap = self.a - p;
+        let t = ap.cross(s) / denom; // along p->q
+        let u = ap.cross(r) / denom; // along self
+        let tol_t = GEOM_EPS / r.length().max(GEOM_EPS);
+        let tol_u = GEOM_EPS / s.length().max(GEOM_EPS);
+        if t > tol_t && t < 1.0 - tol_t && u >= -tol_u && u <= 1.0 + tol_u {
+            Some((t, p + r * t))
+        } else {
+            None
+        }
+    }
+
+    /// True if the open segment `p → q` crosses this segment, ignoring
+    /// crossings within `skip_near` metres of either `p` or `q`. Used for
+    /// obstruction tests where the path legitimately starts or ends on a
+    /// reflecting wall.
+    pub fn obstructs(self, p: Point, q: Point, skip_near: f64) -> bool {
+        match self.intersect(p, q) {
+            None => false,
+            Some((_, x)) => x.distance(p) > skip_near && x.distance(q) > skip_near,
+        }
+    }
+
+    /// Shortest distance from a point to this segment.
+    pub fn distance_to(self, p: Point) -> f64 {
+        let ab = self.b - self.a;
+        let t = ((p - self.a).dot(ab) / ab.length_sq()).clamp(0.0, 1.0);
+        p.distance(self.at(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn basic_properties() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert!((s.length() - 5.0).abs() < 1e-12);
+        assert_eq!(s.midpoint(), Point::new(1.5, 2.0));
+        let d = s.direction();
+        assert!((d.x - 0.6).abs() < 1e-12 && (d.y - 0.8).abs() < 1e-12);
+        assert!(s.normal().dot(d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_intersection() {
+        let wall = seg(0.0, -1.0, 0.0, 1.0);
+        let hit = wall.intersect(Point::new(-1.0, 0.0), Point::new(1.0, 0.0));
+        let (t, p) = hit.expect("should cross");
+        assert!((t - 0.5).abs() < 1e-12);
+        assert!(p.distance(Point::new(0.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn parallel_misses() {
+        let wall = seg(0.0, 0.0, 10.0, 0.0);
+        assert!(wall.intersect(Point::new(0.0, 1.0), Point::new(10.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn beyond_segment_misses() {
+        let wall = seg(0.0, -1.0, 0.0, 1.0);
+        // Crosses the wall's infinite line but above the segment.
+        assert!(wall.intersect(Point::new(-1.0, 5.0), Point::new(1.0, 5.0)).is_none());
+    }
+
+    #[test]
+    fn endpoint_graze_is_a_miss() {
+        let wall = seg(0.0, -1.0, 0.0, 1.0);
+        // Path *starting* exactly on the wall must not be blocked by it.
+        assert!(wall.intersect(Point::new(0.0, 0.0), Point::new(5.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn obstructs_skips_near_endpoints() {
+        let wall = seg(0.0, -1.0, 0.0, 1.0);
+        let p = Point::new(-0.001, 0.0);
+        let q = Point::new(5.0, 0.0);
+        assert!(wall.obstructs(p, q, 0.0));
+        // With a skip radius bigger than the crossing distance it's ignored.
+        assert!(!wall.obstructs(p, q, 0.01));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert!((s.distance_to(Point::new(5.0, 3.0)) - 3.0).abs() < 1e-12);
+        assert!((s.distance_to(Point::new(-4.0, 3.0)) - 5.0).abs() < 1e-12); // clamps to endpoint
+    }
+
+    #[test]
+    fn intersection_point_lies_on_both() {
+        let w = seg(2.0, 0.0, 2.0, 10.0);
+        let (_, p) = w.intersect(Point::new(0.0, 1.0), Point::new(4.0, 9.0)).expect("crosses");
+        assert!(w.distance_to(p) < 1e-9);
+    }
+}

@@ -1,0 +1,291 @@
+//! Planar points and vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-D vector (metres).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Vec2 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+}
+
+/// A 2-D point (metres). Points and vectors are kept distinct so the type
+/// system catches "added two positions" mistakes.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Point {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Construct from components.
+    pub const fn new(x: f64, y: f64) -> Vec2 {
+        Vec2 { x, y }
+    }
+
+    /// Unit vector at `angle_rad` from the +x axis (counter-clockwise).
+    pub fn from_angle(angle_rad: f64) -> Vec2 {
+        Vec2 { x: angle_rad.cos(), y: angle_rad.sin() }
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared length (avoids the sqrt when comparing distances).
+    pub fn length_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    pub fn dot(self, rhs: Vec2) -> f64 {
+        self.x * rhs.x + self.y * rhs.y
+    }
+
+    /// 2-D cross product (z component of the 3-D cross product).
+    pub fn cross(self, rhs: Vec2) -> f64 {
+        self.x * rhs.y - self.y * rhs.x
+    }
+
+    /// Unit vector in the same direction. Panics in debug on zero length.
+    pub fn normalized(self) -> Vec2 {
+        let len = self.length();
+        debug_assert!(len > 0.0, "normalizing zero vector");
+        self / len
+    }
+
+    /// Perpendicular vector (rotated +90°).
+    pub fn perp(self) -> Vec2 {
+        Vec2 { x: -self.y, y: self.x }
+    }
+
+    /// Azimuth of this vector in radians, in (-π, π].
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Reflect this (incident) direction about a surface with unit normal
+    /// `n`: `v - 2 (v·n) n`.
+    pub fn reflect(self, n: Vec2) -> Vec2 {
+        debug_assert!((n.length() - 1.0).abs() < 1e-9, "normal must be unit length");
+        self - n * (2.0 * self.dot(n))
+    }
+
+    /// Rotate counter-clockwise by `rad`.
+    pub fn rotated(self, rad: f64) -> Vec2 {
+        let (s, c) = rad.sin_cos();
+        Vec2 { x: self.x * c - self.y * s, y: self.x * s + self.y * c }
+    }
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Construct from coordinates.
+    pub const fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        (other - self).length()
+    }
+
+    /// Vector from `self` to `other`.
+    pub fn to(self, other: Point) -> Vec2 {
+        other - self
+    }
+
+    /// Midpoint between two points.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point { x: (self.x + other.x) / 2.0, y: (self.y + other.y) / 2.0 }
+    }
+
+    /// Linear interpolation: `self` at t = 0, `other` at t = 1.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self + (other - self) * t
+    }
+
+    /// Mirror this point across the infinite line through `a` with unit
+    /// direction `d` (the image-source construction).
+    pub fn mirror_across(self, a: Point, d: Vec2) -> Point {
+        debug_assert!((d.length() - 1.0).abs() < 1e-9);
+        let v = self - a;
+        let along = d * v.dot(d);
+        let across = v - along;
+        a + along - across
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    fn add(self, rhs: Vec2) -> Point {
+        Point { x: self.x + rhs.x, y: self.y + rhs.y }
+    }
+}
+impl AddAssign<Vec2> for Point {
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    fn sub(self, rhs: Vec2) -> Point {
+        Point { x: self.x - rhs.x, y: self.y - rhs.y }
+    }
+}
+impl Sub<Point> for Point {
+    type Output = Vec2;
+    fn sub(self, rhs: Point) -> Vec2 {
+        Vec2 { x: self.x - rhs.x, y: self.y - rhs.y }
+    }
+}
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2 { x: self.x + rhs.x, y: self.y + rhs.y }
+    }
+}
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2 { x: self.x - rhs.x, y: self.y - rhs.y }
+    }
+}
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2 { x: self.x * rhs, y: self.y * rhs }
+    }
+}
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2 { x: self.x / rhs, y: self.y / rhs }
+    }
+}
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2 { x: -self.x, y: -self.y }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn vector_basics() {
+        let v = Vec2::new(3.0, 4.0);
+        assert!((v.length() - 5.0).abs() < EPS);
+        assert!((v.length_sq() - 25.0).abs() < EPS);
+        assert!((v.normalized().length() - 1.0).abs() < EPS);
+        assert!((v.dot(Vec2::new(1.0, 0.0)) - 3.0).abs() < EPS);
+        assert!((v.cross(Vec2::new(1.0, 0.0)) + 4.0).abs() < EPS);
+    }
+
+    #[test]
+    fn from_angle_and_angle_roundtrip() {
+        for deg in [-170, -90, -30, 0, 45, 90, 179] {
+            let rad = deg as f64 * PI / 180.0;
+            let v = Vec2::from_angle(rad);
+            assert!((v.angle() - rad).abs() < 1e-12, "deg {deg}");
+            assert!((v.length() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn perp_is_ccw_90() {
+        let v = Vec2::new(1.0, 0.0);
+        let p = v.perp();
+        assert!((p.x - 0.0).abs() < EPS && (p.y - 1.0).abs() < EPS);
+        assert!(v.dot(p).abs() < EPS);
+    }
+
+    #[test]
+    fn reflection_about_vertical_normal() {
+        // Ray going down-right reflects off a horizontal floor (normal +y)
+        // into up-right.
+        let v = Vec2::new(1.0, -1.0);
+        let r = v.reflect(Vec2::new(0.0, 1.0));
+        assert!((r.x - 1.0).abs() < EPS && (r.y - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn reflection_preserves_length() {
+        let v = Vec2::new(2.5, -1.5);
+        let n = Vec2::new(0.6, 0.8);
+        assert!((v.reflect(n).length() - v.length()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation() {
+        let v = Vec2::new(1.0, 0.0).rotated(FRAC_PI_2);
+        assert!(v.x.abs() < EPS && (v.y - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn point_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!((a.distance(b) - 5.0).abs() < EPS);
+        assert_eq!(a.midpoint(b), Point::new(2.5, 4.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a + (b - a), b);
+    }
+
+    #[test]
+    fn mirror_across_x_axis() {
+        let p = Point::new(3.0, 2.0);
+        let m = p.mirror_across(Point::ORIGIN, Vec2::new(1.0, 0.0));
+        assert!((m.x - 3.0).abs() < EPS && (m.y + 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn mirror_is_involution() {
+        let p = Point::new(-1.7, 4.2);
+        let a = Point::new(2.0, -3.0);
+        let d = Vec2::new(0.6, 0.8);
+        let twice = p.mirror_across(a, d).mirror_across(a, d);
+        assert!((twice.x - p.x).abs() < 1e-12 && (twice.y - p.y).abs() < 1e-12);
+    }
+}

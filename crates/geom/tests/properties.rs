@@ -1,0 +1,139 @@
+//! Property-based tests for the geometric invariants the ray tracer
+//! depends on. If any of these break, reflection figures (18–20) silently
+//! produce wrong lobes, so they are pinned here with proptest.
+
+use mmwave_geom::{trace_paths, Angle, Material, PathKind, Point, Room, Segment, TraceConfig, Vec2, Wall};
+use proptest::prelude::*;
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -50.0..50.0f64
+}
+
+proptest! {
+    /// Specular reflection preserves vector length for any unit normal.
+    #[test]
+    fn reflect_preserves_length(vx in finite_coord(), vy in finite_coord(), ang in -3.14..3.14f64) {
+        prop_assume!(vx.abs() > 1e-6 || vy.abs() > 1e-6);
+        let v = Vec2::new(vx, vy);
+        let n = Vec2::from_angle(ang);
+        let r = v.reflect(n);
+        prop_assert!((r.length() - v.length()).abs() < 1e-9);
+        // Reflecting twice about the same normal is the identity.
+        let rr = r.reflect(n);
+        prop_assert!((rr.x - v.x).abs() < 1e-9 && (rr.y - v.y).abs() < 1e-9);
+    }
+
+    /// Mirroring a point across a line is an involution and preserves the
+    /// distance to the line.
+    #[test]
+    fn mirror_involution(px in finite_coord(), py in finite_coord(),
+                         ax in finite_coord(), ay in finite_coord(),
+                         ang in -3.14..3.14f64) {
+        let p = Point::new(px, py);
+        let a = Point::new(ax, ay);
+        let d = Vec2::from_angle(ang);
+        let m = p.mirror_across(a, d);
+        let back = m.mirror_across(a, d);
+        prop_assert!(back.distance(p) < 1e-8);
+    }
+
+    /// Angle normalization always lands in (-180, 180] and diff is
+    /// antisymmetric.
+    #[test]
+    fn angle_normalization(deg in -10_000.0..10_000.0f64, deg2 in -10_000.0..10_000.0f64) {
+        let a = Angle::from_degrees(deg);
+        prop_assert!(a.degrees() > -180.0 - 1e-9 && a.degrees() <= 180.0 + 1e-9);
+        let b = Angle::from_degrees(deg2);
+        let d1 = a.diff(b).radians();
+        let d2 = b.diff(a).radians();
+        // Antisymmetric except at the ±π boundary where both map to +π.
+        if d1.abs() < std::f64::consts::PI - 1e-9 {
+            prop_assert!((d1 + d2).abs() < 1e-9);
+        }
+        prop_assert!(a.distance(b) <= std::f64::consts::PI + 1e-12);
+    }
+
+    /// Segment intersection, when it reports a hit, returns a point on both
+    /// segments.
+    #[test]
+    fn intersection_point_on_both(ax in finite_coord(), ay in finite_coord(),
+                                  bx in finite_coord(), by in finite_coord(),
+                                  px in finite_coord(), py in finite_coord(),
+                                  qx in finite_coord(), qy in finite_coord()) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let p = Point::new(px, py);
+        let q = Point::new(qx, qy);
+        prop_assume!(a.distance(b) > 1e-3 && p.distance(q) > 1e-3);
+        let seg = Segment::new(a, b);
+        if let Some((t, x)) = seg.intersect(p, q) {
+            prop_assert!(t > 0.0 && t < 1.0);
+            prop_assert!(seg.distance_to(x) < 1e-6);
+            // x on segment p->q too.
+            let pq = Segment::new(p, q);
+            prop_assert!(pq.distance_to(x) < 1e-6);
+        }
+    }
+
+    /// In a rectangular metal room every traced path obeys physics:
+    /// LoS length equals the euclidean distance, reflected paths are longer,
+    /// every bounce is specular, and losses grow with order.
+    #[test]
+    fn traced_paths_are_physical(txx in 0.5..7.5f64, txy in 0.5..3.5f64,
+                                 rxx in 0.5..7.5f64, rxy in 0.5..3.5f64) {
+        let tx = Point::new(txx, txy);
+        let rx = Point::new(rxx, rxy);
+        prop_assume!(tx.distance(rx) > 0.2);
+        let room = Room::rectangular(8.0, 4.0,
+            (Material::Metal, Material::Metal, Material::Metal, Material::Metal));
+        let paths = trace_paths(&room, tx, rx, &TraceConfig::default());
+        let euclid = tx.distance(rx);
+        let mut saw_los = false;
+        for path in &paths {
+            match path.kind {
+                PathKind::LineOfSight => {
+                    saw_los = true;
+                    prop_assert!((path.length_m - euclid).abs() < 1e-9);
+                    prop_assert!(path.reflection_loss_db == 0.0);
+                }
+                PathKind::Reflected { order } => {
+                    prop_assert!(path.length_m > euclid - 1e-9);
+                    prop_assert_eq!(path.materials.len(), order);
+                    prop_assert!((path.reflection_loss_db
+                        - order as f64 * Material::Metal.reflection_loss_db()).abs() < 1e-9);
+                    // Specularity at every bounce: walls are axis-aligned,
+                    // so the incident and outgoing direction components
+                    // normal to the wall flip sign.
+                    for k in 1..path.vertices.len() - 1 {
+                        let prev = path.vertices[k - 1];
+                        let here = path.vertices[k];
+                        let next = path.vertices[k + 1];
+                        let horizontal_wall = here.y.abs() < 1e-6 || (here.y - 4.0).abs() < 1e-6;
+                        let n = if horizontal_wall { Vec2::new(0.0, 1.0) } else { Vec2::new(1.0, 0.0) };
+                        let i = (here - prev).normalized();
+                        let o = (next - here).normalized();
+                        prop_assert!((i.dot(n) + o.dot(n)).abs() < 1e-6, "non-specular");
+                    }
+                }
+            }
+        }
+        prop_assert!(saw_los, "LoS must exist in an empty room");
+        // Sorted by length.
+        for w in paths.windows(2) {
+            prop_assert!(w[0].length_m <= w[1].length_m + 1e-12);
+        }
+    }
+
+    /// Obstruction is symmetric: p→q blocked iff q→p blocked.
+    #[test]
+    fn clearness_symmetric(px in 0.5..8.5f64, py in 0.5..2.5f64,
+                           qx in 0.5..8.5f64, qy in 0.5..2.5f64) {
+        let room = Room::open_space().with_wall(Wall::new(
+            Segment::new(Point::new(4.0, 0.0), Point::new(4.0, 2.0)),
+            Material::Brick, "divider"));
+        let p = Point::new(px, py);
+        let q = Point::new(qx, qy);
+        prop_assume!(p.distance(q) > 1e-3);
+        prop_assert_eq!(room.is_clear(p, q, 1e-6), room.is_clear(q, p, 1e-6));
+    }
+}

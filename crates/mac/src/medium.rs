@@ -1,0 +1,354 @@
+//! The shared medium: concurrent transmissions, receive powers,
+//! interference accumulation and carrier sensing.
+//!
+//! Whenever a frame starts, its receive power at *every* device is
+//! computed through the channel model (with the transmitter's actual
+//! pattern and each receiver's current listening pattern) and remembered
+//! for the frame's lifetime. That one vector powers everything the paper
+//! measures: SINR-based frame loss, carrier-sense deferral, and — through
+//! the monitors — the busy-time traces.
+
+use crate::device::{Device, PatKey};
+use crate::frame::Frame;
+use mmwave_channel::Environment;
+use mmwave_geom::PropPath;
+use mmwave_phy::{db_to_lin, lin_to_db};
+use mmwave_sim::time::SimTime;
+use std::collections::HashMap;
+
+/// A transmission currently on the air.
+#[derive(Debug)]
+pub struct ActiveTx {
+    /// Medium-assigned id.
+    pub id: u64,
+    /// The frame.
+    pub frame: Frame,
+    /// The transmit pattern used.
+    pub pattern: PatKey,
+    /// Start time.
+    pub start: SimTime,
+    /// Scheduled end time.
+    pub end: SimTime,
+    /// Receive power at every device index, dBm (−300 at the source).
+    pub power_at: Vec<f64>,
+    /// Accumulated interference power at the destination, linear mW.
+    pub interference_lin: f64,
+    /// The destination itself transmitted while this frame was on the air
+    /// (half-duplex violation → certain loss).
+    pub dst_was_busy: bool,
+}
+
+/// The medium arbiter.
+#[derive(Debug, Default)]
+pub struct Medium {
+    active: Vec<ActiveTx>,
+    next_id: u64,
+    path_cache: HashMap<(usize, usize), Vec<PropPath>>,
+    /// Per device: when the channel was last heard busy (above the
+    /// carrier-sense threshold) — the basis for AIFS-long idle checks.
+    last_heard_end: Vec<SimTime>,
+}
+
+impl Medium {
+    /// An idle medium.
+    pub fn new() -> Medium {
+        Medium::default()
+    }
+
+    /// Drop cached geometry (call after moving or rotating any device —
+    /// orientation changes do *not* require it, only position changes,
+    /// but invalidating is always safe).
+    pub fn invalidate_paths(&mut self) {
+        self.path_cache.clear();
+    }
+
+    fn paths<'a>(
+        cache: &'a mut HashMap<(usize, usize), Vec<PropPath>>,
+        env: &Environment,
+        devices: &[Device],
+        a: usize,
+        b: usize,
+    ) -> &'a [PropPath] {
+        cache
+            .entry((a, b))
+            .or_insert_with(|| env.paths(devices[a].node.position, devices[b].node.position))
+    }
+
+    /// Pattern-weighted received power from `src` (radiating `src_pat`) at
+    /// `dst` (listening with its current pattern), dBm, before fading.
+    pub fn rx_power_dbm(
+        &mut self,
+        env: &Environment,
+        devices: &[Device],
+        src: usize,
+        src_pat: PatKey,
+        dst: usize,
+        extra_power_db: f64,
+    ) -> f64 {
+        let dst_key = devices[dst].listen_key();
+        let paths = Self::paths(&mut self.path_cache, env, devices, src, dst);
+        let tx_pattern = devices[src].pattern(src_pat);
+        let rx_pattern = devices[dst].pattern(dst_key);
+        let lin: f64 = paths
+            .iter()
+            .map(|p| {
+                let ga = devices[src].node.gain_toward(tx_pattern, p.departure);
+                let gb = devices[dst].node.gain_toward(rx_pattern, p.arrival);
+                db_to_lin(
+                    env.budget.rx_power_dbm(ga, gb, p)
+                        + devices[src].tx_power_offset_db
+                        + extra_power_db
+                        - env.extra_loss_db,
+                )
+            })
+            .sum();
+        lin_to_db(lin)
+    }
+
+    /// Put a frame on the air. `link_offsets[d]` is the fading offset (dB)
+    /// applied to the path from the source to device `d`. Returns the
+    /// transmission id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_tx(
+        &mut self,
+        env: &Environment,
+        devices: &[Device],
+        frame: Frame,
+        pattern: PatKey,
+        extra_power_db: f64,
+        start: SimTime,
+        end: SimTime,
+        link_offsets: &[f64],
+    ) -> u64 {
+        debug_assert_eq!(link_offsets.len(), devices.len());
+        let src = frame.src;
+        let power_at: Vec<f64> = (0..devices.len())
+            .map(|d| {
+                if d == src {
+                    -300.0
+                } else {
+                    self.rx_power_dbm(env, devices, src, pattern, d, extra_power_db)
+                        + link_offsets[d]
+                }
+            })
+            .collect();
+
+        // Interference bookkeeping, both directions.
+        let mut interference_lin = 0.0;
+        let mut dst_was_busy = false;
+        for other in &mut self.active {
+            // The new frame interferes with every ongoing addressed frame.
+            if let Some(odst) = other.frame.dst {
+                if odst != src {
+                    other.interference_lin += db_to_lin(power_at[odst]);
+                } else {
+                    // Their receiver just started transmitting.
+                    other.dst_was_busy = true;
+                }
+            }
+            // Ongoing frames interfere with the new one.
+            if let Some(dst) = frame.dst {
+                if other.frame.src == dst {
+                    dst_was_busy = true;
+                } else {
+                    interference_lin += db_to_lin(other.power_at[dst]);
+                }
+            }
+        }
+
+        let id = self.next_id;
+        self.next_id += 1;
+        self.active.push(ActiveTx {
+            id,
+            frame,
+            pattern,
+            start,
+            end,
+            power_at,
+            interference_lin,
+            dst_was_busy,
+        });
+        id
+    }
+
+    /// Remove a finished transmission and return it. `cs_threshold_dbm`
+    /// decides which devices "heard" it (for AIFS idle tracking).
+    pub fn finish_tx(&mut self, id: u64, cs_threshold_dbm: f64) -> Option<ActiveTx> {
+        let idx = self.active.iter().position(|t| t.id == id)?;
+        let tx = self.active.swap_remove(idx);
+        if self.last_heard_end.len() < tx.power_at.len() {
+            self.last_heard_end.resize(tx.power_at.len(), SimTime::ZERO);
+        }
+        for (d, &p) in tx.power_at.iter().enumerate() {
+            if p > cs_threshold_dbm || d == tx.frame.src {
+                self.last_heard_end[d] = self.last_heard_end[d].max(tx.end);
+            }
+        }
+        Some(tx)
+    }
+
+    /// True if `dev` has seen the channel idle (no energy above
+    /// `threshold_dbm`) continuously for `idle_needed` ending at `now`.
+    pub fn idle_for(
+        &self,
+        dev: usize,
+        threshold_dbm: f64,
+        now: SimTime,
+        idle_needed: mmwave_sim::time::SimDuration,
+    ) -> bool {
+        if self.is_busy_for(dev, threshold_dbm) {
+            return false;
+        }
+        let last = self.last_heard_end.get(dev).copied().unwrap_or(SimTime::ZERO);
+        now.saturating_since(last) >= idle_needed
+    }
+
+    /// Total received energy at device `dev` from all ongoing
+    /// transmissions, dBm (−300 when quiet).
+    pub fn energy_at(&self, dev: usize) -> f64 {
+        lin_to_db(self.active.iter().map(|t| db_to_lin(t.power_at[dev])).sum())
+    }
+
+    /// Carrier-sense verdict for `dev` at the given threshold.
+    pub fn is_busy_for(&self, dev: usize, threshold_dbm: f64) -> bool {
+        self.energy_at(dev) > threshold_dbm
+    }
+
+    /// Is this device currently transmitting?
+    pub fn is_transmitting(&self, dev: usize) -> bool {
+        self.active.iter().any(|t| t.frame.src == dev)
+    }
+
+    /// Number of concurrent transmissions.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{FrameKind, Mpdu};
+    use mmwave_geom::{Angle, Point, Room};
+
+    fn setup() -> (Environment, Vec<Device>) {
+        let env = Environment::new(Room::open_space());
+        let mut dock = Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13);
+        let mut laptop =
+            Device::wigig_laptop("laptop", Point::new(2.0, 0.0), Angle::from_degrees(180.0), 11);
+        // Associate both directly for the test.
+        for (d, sector) in [(&mut dock, 16), (&mut laptop, 16)] {
+            let w = d.wigig_mut().expect("wigig");
+            w.state = crate::device::WigigState::Associated;
+            w.tx_sector = sector;
+        }
+        (env, vec![dock, laptop])
+    }
+
+    fn data_frame(src: usize, dst: usize, seq: u64) -> Frame {
+        Frame {
+            src,
+            dst: Some(dst),
+            kind: FrameKind::Data { mpdus: vec![Mpdu { bytes: 1500, tag: 0 }], mcs: 11, retry: 0 },
+            seq,
+        }
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn begin_tx_computes_strong_trained_power() {
+        let (env, devices) = setup();
+        let mut m = Medium::new();
+        let offs = vec![0.0; devices.len()];
+        let id =
+            m.begin_tx(&env, &devices, data_frame(0, 1, 1), PatKey::Dir(16), 0.0, t(0), t(5), &offs);
+        let tx = m.finish_tx(id, -68.0).expect("tx exists");
+        // Trained 2 m link: roughly 7 + 2·16 − 74 − 14 ≈ −49 dBm.
+        assert!(tx.power_at[1] > -60.0, "power {}", tx.power_at[1]);
+        assert_eq!(tx.power_at[0], -300.0, "no self-reception");
+        assert!(!tx.dst_was_busy);
+        assert_eq!(tx.interference_lin, 0.0);
+    }
+
+    #[test]
+    fn energy_and_carrier_sense() {
+        let (env, devices) = setup();
+        let mut m = Medium::new();
+        let offs = vec![0.0; devices.len()];
+        assert!(!m.is_busy_for(1, -68.0));
+        let id =
+            m.begin_tx(&env, &devices, data_frame(0, 1, 1), PatKey::Dir(16), 0.0, t(0), t(5), &offs);
+        assert!(m.is_busy_for(1, -68.0), "laptop must sense the dock");
+        assert!(m.is_transmitting(0));
+        assert!(!m.is_transmitting(1));
+        m.finish_tx(id, -68.0);
+        assert!(!m.is_busy_for(1, -68.0));
+        assert_eq!(m.active_count(), 0);
+    }
+
+    #[test]
+    fn overlapping_tx_accumulates_interference() {
+        let (env, mut devices) = setup();
+        // Add a second pair further away.
+        let mut dock_b =
+            Device::wigig_dock("dock B", Point::new(0.0, 3.0), Angle::ZERO, 7);
+        let mut laptop_b =
+            Device::wigig_laptop("laptop B", Point::new(2.0, 3.0), Angle::from_degrees(180.0), 5);
+        for d in [&mut dock_b, &mut laptop_b] {
+            let w = d.wigig_mut().expect("wigig");
+            w.state = crate::device::WigigState::Associated;
+            w.tx_sector = 16;
+        }
+        devices.push(dock_b);
+        devices.push(laptop_b);
+        let mut m = Medium::new();
+        let offs = vec![0.0; devices.len()];
+        let a = m.begin_tx(&env, &devices, data_frame(0, 1, 1), PatKey::Dir(16), 0.0, t(0), t(5), &offs);
+        let _b =
+            m.begin_tx(&env, &devices, data_frame(2, 3, 2), PatKey::Dir(16), 0.0, t(1), t(6), &offs);
+        let tx_a = m.finish_tx(a, -68.0).expect("tx a");
+        // Frame A suffered interference from B (side lobes), recorded in mW.
+        assert!(tx_a.interference_lin > 0.0);
+        assert!(!tx_a.dst_was_busy);
+    }
+
+    #[test]
+    fn half_duplex_violation_detected() {
+        let (env, devices) = setup();
+        let mut m = Medium::new();
+        let offs = vec![0.0; devices.len()];
+        // Dock sends to laptop; laptop starts sending back mid-frame.
+        let a = m.begin_tx(&env, &devices, data_frame(0, 1, 1), PatKey::Dir(16), 0.0, t(0), t(5), &offs);
+        let b = m.begin_tx(&env, &devices, data_frame(1, 0, 2), PatKey::Dir(16), 0.0, t(2), t(7), &offs);
+        let tx_a = m.finish_tx(a, -68.0).expect("a");
+        assert!(tx_a.dst_was_busy, "laptop was transmitting during reception");
+        let tx_b = m.finish_tx(b, -68.0).expect("b");
+        assert!(tx_b.dst_was_busy, "dock was transmitting when b started");
+    }
+
+    #[test]
+    fn extra_power_shifts_rx() {
+        let (env, devices) = setup();
+        let mut m = Medium::new();
+        let base = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 1, 0.0);
+        let boosted = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 1, 6.0);
+        assert!((boosted - base - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_cache_invalidation_changes_power_after_move() {
+        let (env, mut devices) = setup();
+        let mut m = Medium::new();
+        let near = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 1, 0.0);
+        devices[1].node.position = Point::new(8.0, 0.0);
+        // Without invalidation the cache returns stale geometry.
+        let stale = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 1, 0.0);
+        assert!((stale - near).abs() < 3.0, "cache should still be warm");
+        m.invalidate_paths();
+        let far = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 1, 0.0);
+        assert!(near - far > 8.0, "8 m vs 2 m ≈ 12 dB: {near} vs {far}");
+    }
+}

@@ -1,0 +1,605 @@
+//! The network: devices + medium + event loop.
+//!
+//! [`Net`] is a self-contained discrete-event simulation of one radio
+//! scenario. It is deliberately *not* generic over a world type: the
+//! transport crate drives it through a narrow interface — push MPDUs in,
+//! step time forward, take deliveries out — so TCP and the MAC advance in
+//! lock-step without either crate knowing the other's internals.
+
+use crate::device::{DevKind, Device, PatKey, WigigState};
+use crate::frame::{airtime, Frame, FrameClass, FrameKind, Mpdu};
+use crate::medium::Medium;
+use crate::params::MacParams;
+use crate::txlog::{TxLog, TxLogEntry};
+use crate::{wigig, wihd};
+use mmwave_channel::{Ar1Fading, Environment, PerturbationProcess, RadioNode};
+use mmwave_geom::{Angle, Point, PropPath};
+use mmwave_phy::{AntennaPattern, McsTable};
+use mmwave_sim::queue::EventQueue;
+use mmwave_sim::rng::SimRng;
+use mmwave_sim::stats::BusyTracker;
+use mmwave_sim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Network events.
+#[derive(Debug)]
+pub(crate) enum NetEv {
+    /// A transmission finished.
+    TxEnd { tx_id: u64 },
+    /// Put a prepared frame on the air now.
+    SendFrame { frame: Frame, pattern: PatKey, extra_power_db: f64 },
+    /// Unassociated dock: emit a discovery sweep.
+    DiscoveryTick { dev: usize },
+    /// Association handshake finished; train and go to data phase.
+    AssocComplete { dock: usize, station: usize },
+    /// Periodic beacon exchange (dock side drives it).
+    BeaconTick { dev: usize },
+    /// CSMA attempt to begin a TXOP.
+    TxopAttempt { dev: usize },
+    /// Send the next data PPDU inside the current TXOP.
+    TxopData { dev: usize },
+    /// No CTS arrived after our RTS.
+    CtsTimeout { dev: usize },
+    /// No ACK arrived after our data frame.
+    AckTimeout { dev: usize },
+    /// WiHD sink beacon.
+    WihdBeaconTick { dev: usize },
+    /// WiHD source: new video frame enters the queue.
+    WihdVideoTick { dev: usize },
+    /// WiHD source: transmit the next queued data frame.
+    WihdSendNext { dev: usize },
+    /// Unpaired WiHD source: emit a discovery sweep.
+    WihdDiscoveryTick { dev: usize },
+    /// WiHD pairing completes.
+    WihdPairComplete { source: usize, sink: usize },
+}
+
+/// Something the MAC hands up to the transport layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// An MPDU arrived at `dev`.
+    Mpdu {
+        /// Receiving device.
+        dev: usize,
+        /// Sending device.
+        src: usize,
+        /// Payload bytes.
+        bytes: u32,
+        /// Transport cookie from [`Net::push_mpdu`].
+        tag: u64,
+    },
+    /// The sender gave up on these MPDUs after the retry limit.
+    Dropped {
+        /// Sending device.
+        dev: usize,
+        /// Transport cookies of the dropped MPDUs.
+        tags: Vec<u64>,
+    },
+}
+
+/// Network-level configuration.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Root seed for all stochastic processes.
+    pub seed: u64,
+    /// Shared MAC timing.
+    pub params: MacParams,
+    /// Power boost of control/beacon/discovery frames over data frames,
+    /// dB (§3.2: control frames are "transmitted with higher power").
+    pub control_power_offset_db: f64,
+    /// Enable the slow AR(1) fading process on every link.
+    pub enable_fading: bool,
+    /// Enable the sparse perturbation process (beam-realignment trigger).
+    pub enable_perturbations: bool,
+    /// Minimum SNR (dB) a WiGig link must sustain; below this the devices
+    /// drop the association instead of riding low MCS levels. The value is
+    /// the MCS-3 selection point (threshold + rate-adapter margin): the
+    /// dock's wireless-bus tunneling needs ≈ 1 Gb/s of PHY rate, so links
+    /// that cannot hold MCS 3 disconnect — reproducing §4.1's "links …
+    /// often break before the transmitter switches to rates below 1 gbps"
+    /// and the abrupt per-run throughput fall of Fig. 13.
+    pub min_link_snr_db: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            seed: 1,
+            params: MacParams::default(),
+            control_power_offset_db: 6.0,
+            enable_fading: true,
+            enable_perturbations: false,
+            min_link_snr_db: 8.5,
+        }
+    }
+}
+
+/// A passive utilization monitor: a position + antenna + threshold whose
+/// busy time accumulates for the whole run (the cheap equivalent of
+/// parking a Vubiq for seven minutes — Fig. 22's methodology).
+#[derive(Debug)]
+pub struct UtilizationMonitor {
+    node: RadioNode,
+    pattern: AntennaPattern,
+    threshold_dbm: f64,
+    busy: BusyTracker,
+    started: SimTime,
+    paths: HashMap<usize, Vec<PropPath>>,
+}
+
+/// A radio scenario under simulation.
+pub struct Net {
+    /// The propagation environment.
+    pub env: Environment,
+    pub(crate) cfg: NetConfig,
+    pub(crate) devices: Vec<Device>,
+    pub(crate) medium: Medium,
+    pub(crate) queue: EventQueue<NetEv>,
+    now: SimTime,
+    pub(crate) rng: SimRng,
+    pub(crate) txlog: TxLog,
+    pub(crate) delivered: Vec<Delivery>,
+    fading: HashMap<(usize, usize), Ar1Fading>,
+    pub(crate) perturb: HashMap<(usize, usize), PerturbationProcess>,
+    pub(crate) seq: u64,
+    monitors: Vec<UtilizationMonitor>,
+    pub(crate) mcs_table: McsTable,
+}
+
+impl Net {
+    /// Build an empty network in `env`.
+    pub fn new(env: Environment, cfg: NetConfig) -> Net {
+        let rng = SimRng::root(cfg.seed).stream("mac-net");
+        Net {
+            env,
+            cfg,
+            devices: Vec::new(),
+            medium: Medium::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng,
+            txlog: TxLog::new(),
+            delivered: Vec::new(),
+            fading: HashMap::new(),
+            perturb: HashMap::new(),
+            seq: 0,
+            monitors: Vec::new(),
+            mcs_table: McsTable::ieee_802_11ad(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scenario construction
+    // ------------------------------------------------------------------
+
+    /// Add a device; returns its index.
+    pub fn add_device(&mut self, mut dev: Device) -> usize {
+        let id = self.devices.len();
+        dev.node.id = mmwave_channel::NodeId(id);
+        self.devices.push(dev);
+        self.medium.invalidate_paths();
+        id
+    }
+
+    /// Pre-wire two devices as a link (peer assignment only; association
+    /// still happens through discovery unless
+    /// [`Net::associate_instantly`] is used).
+    pub fn pair(&mut self, a: usize, b: usize) {
+        match &mut self.devices[a].kind {
+            DevKind::Wigig(w) => w.peer = Some(b),
+            DevKind::Wihd(w) => w.peer = Some(b),
+        }
+        match &mut self.devices[b].kind {
+            DevKind::Wigig(w) => w.peer = Some(a),
+            DevKind::Wihd(w) => w.peer = Some(a),
+        }
+    }
+
+    /// Register a passive utilization monitor. `threshold_dbm` mirrors the
+    /// paper's detection threshold.
+    pub fn add_monitor(
+        &mut self,
+        position: Point,
+        orientation: Angle,
+        pattern: AntennaPattern,
+        threshold_dbm: f64,
+    ) -> usize {
+        self.monitors.push(UtilizationMonitor {
+            node: RadioNode::new(usize::MAX - self.monitors.len(), "monitor", position, orientation),
+            pattern,
+            threshold_dbm,
+            busy: BusyTracker::new(),
+            started: self.now,
+            paths: HashMap::new(),
+        });
+        self.monitors.len() - 1
+    }
+
+    /// The measured utilization of a monitor since it was added (or since
+    /// `from`, if later).
+    pub fn monitor_utilization(&self, idx: usize, from: SimTime) -> f64 {
+        let m = &self.monitors[idx];
+        let start = m.started.max(from);
+        m.busy.utilization(start, self.now)
+    }
+
+    /// Kick off the protocol machinery: discovery ticks for unassociated
+    /// docks and unpaired WiHD sources. Call once after adding devices.
+    pub fn start(&mut self) {
+        for i in 0..self.devices.len() {
+            match &self.devices[i].kind {
+                DevKind::Wigig(w)
+                    if w.role == crate::device::WigigRole::Dock
+                        && w.state == WigigState::Unassociated =>
+                {
+                    // First sweep after a short stagger so co-located docks
+                    // don't sweep in lockstep.
+                    let stagger = SimDuration::from_micros(137 * (i as u64 + 1));
+                    self.queue.schedule(self.now + stagger, NetEv::DiscoveryTick { dev: i });
+                }
+                DevKind::Wihd(w)
+                    if w.role == crate::device::WihdRole::Source && !w.paired =>
+                {
+                    let stagger = SimDuration::from_micros(211 * (i as u64 + 1));
+                    self.queue
+                        .schedule(self.now + stagger, NetEv::WihdDiscoveryTick { dev: i });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Skip discovery: train the pair and enter the data phase right away.
+    /// Most experiments use this; the discovery path itself is exercised by
+    /// Table 1 / Fig. 3.
+    pub fn associate_instantly(&mut self, dock: usize, station: usize) {
+        self.pair(dock, station);
+        wigig::complete_association(self, dock, station);
+    }
+
+    /// Skip WiHD pairing: train and start beacon/video timers right away.
+    pub fn pair_wihd_instantly(&mut self, source: usize, sink: usize) {
+        self.pair(source, sink);
+        wihd::complete_pairing(self, source, sink);
+    }
+
+    /// Turn a WiHD source's video stream on or off (Fig. 23's power
+    /// switch).
+    pub fn set_video(&mut self, dev: usize, on: bool) {
+        if let Some(w) = self.devices[dev].wihd_mut() {
+            w.video_on = on;
+            if !on {
+                w.queue_bytes = 0;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transport interface
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Enqueue an MPDU on `dev` towards its peer. Returns false (and
+    /// drops) if the device has no associated peer.
+    pub fn push_mpdu(&mut self, dev: usize, bytes: u32, tag: u64) -> bool {
+        let now = self.now;
+        let batch_ready = {
+            let Some(w) = self.devices[dev].wigig_mut() else {
+                return false;
+            };
+            if w.state != WigigState::Associated {
+                return false;
+            }
+            if w.queue.is_empty() {
+                w.oldest_wait_start = now;
+            }
+            w.queue.push_back(Mpdu { bytes, tag });
+            // Crossing the batch threshold wakes a sender waiting out its
+            // batch timer.
+            w.queue.len() == w.cfg.min_aggregation
+        };
+        wigig::maybe_contend(self, dev, SimDuration::ZERO);
+        if batch_ready {
+            let aifs = self.cfg.params.aifs();
+            self.queue.schedule(now + aifs, NetEv::TxopAttempt { dev });
+        }
+        true
+    }
+
+    /// Outbound queue length of a device (MPDUs).
+    pub fn queue_len(&self, dev: usize) -> usize {
+        self.devices[dev].wigig().map(|w| w.queue.len()).unwrap_or(0)
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Process one event. Returns false if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.dispatch(ev);
+        true
+    }
+
+    /// Process every event up to `horizon` and advance the clock to it.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            self.step();
+        }
+        if horizon > self.now {
+            self.now = horizon;
+        }
+    }
+
+    /// Drain the MPDUs (and drop notices) delivered since the last call.
+    pub fn take_deliveries(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Device accessor.
+    pub fn device(&self, i: usize) -> &Device {
+        &self.devices[i]
+    }
+
+    /// Mutable device accessor. Invalidate the medium path cache yourself
+    /// if you move a device (see [`Net::move_device`]).
+    pub fn device_mut(&mut self, i: usize) -> &mut Device {
+        &mut self.devices[i]
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Pattern-weighted received power from `src` (radiating `pattern`)
+    /// at `dst`, dBm, before fading — the radiometric primitive exposed
+    /// for analyses that need link budgets of a live scenario.
+    pub fn medium_rx_power_dbm(&mut self, src: usize, pattern: PatKey, dst: usize) -> f64 {
+        self.medium.rx_power_dbm(&self.env, &self.devices, src, pattern, dst, 0.0)
+    }
+
+    /// Move/rotate a device and invalidate cached geometry.
+    pub fn move_device(&mut self, i: usize, position: Point, orientation: Angle) {
+        self.devices[i].node.position = position;
+        self.devices[i].node.orientation = orientation;
+        self.invalidate_geometry();
+    }
+
+    /// Drop every cached propagation path. Call after mutating the
+    /// environment's room (e.g. a person walking into the line of sight).
+    pub fn invalidate_geometry(&mut self) {
+        self.medium.invalidate_paths();
+        for m in &mut self.monitors {
+            m.paths.clear();
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// The transmission log.
+    pub fn txlog(&self) -> &TxLog {
+        &self.txlog
+    }
+
+    /// Mutable transmission log (to set windows / clear).
+    pub fn txlog_mut(&mut self) -> &mut TxLog {
+        &mut self.txlog
+    }
+
+    /// The shared RNG (labelled substreams derive from the net seed).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    // ------------------------------------------------------------------
+    // Internals shared with the protocol modules
+    // ------------------------------------------------------------------
+
+    /// Fading offset for the directed link `a → b` at the current time.
+    pub(crate) fn link_offset_db(&mut self, a: usize, b: usize) -> f64 {
+        if !self.cfg.enable_fading {
+            return 0.0;
+        }
+        let key = (a.min(b), a.max(b));
+        let now = self.now;
+        let seed_rng = SimRng::root(self.cfg.seed);
+        self.fading
+            .entry(key)
+            .or_insert_with(|| {
+                Ar1Fading::indoor_default(
+                    seed_rng.stream_n("link-fading", (key.0 as u64) << 32 | key.1 as u64),
+                )
+            })
+            .level_at(now)
+    }
+
+    /// Put a frame on the air now; returns `(tx id, end time)`.
+    pub(crate) fn start_tx(
+        &mut self,
+        frame: Frame,
+        pattern: PatKey,
+        extra_power_db: f64,
+    ) -> (u64, SimTime) {
+        let src = frame.src;
+        let sub_dur = match &self.devices[src].kind {
+            DevKind::Wigig(w) => w.cfg.discovery_sub_duration,
+            DevKind::Wihd(w) => w.cfg.discovery_sub_duration,
+        };
+        let dur = airtime(&self.cfg.params, &frame.kind, sub_dur);
+        let start = self.now;
+        let end = start + dur;
+
+        let offsets: Vec<f64> =
+            (0..self.devices.len()).map(|d| if d == src { 0.0 } else { self.link_offset_db(src, d) }).collect();
+
+        let class = frame.kind.class();
+        let dst = frame.dst;
+        let seq = frame.seq;
+        let mcs = match &frame.kind {
+            FrameKind::Data { mcs, .. } => Some(*mcs),
+            _ => None,
+        };
+        let tx_id = self.medium.begin_tx(
+            &self.env,
+            &self.devices,
+            frame,
+            pattern,
+            extra_power_db,
+            start,
+            end,
+            &offsets,
+        );
+        self.txlog.push(TxLogEntry {
+            start,
+            end,
+            src,
+            dst,
+            class,
+            pattern,
+            mcs,
+            seq,
+            delivered: None,
+        });
+        self.devices[src].stats.frames_tx += 1;
+        self.record_monitors(src, pattern, extra_power_db, start, end);
+        self.queue.schedule(end, NetEv::TxEnd { tx_id });
+        (tx_id, end)
+    }
+
+    /// Allocate the next frame sequence number.
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn record_monitors(
+        &mut self,
+        src: usize,
+        pattern: PatKey,
+        extra_power_db: f64,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if self.monitors.is_empty() {
+            return;
+        }
+        let dev = &self.devices[src];
+        let tx_pattern = dev.pattern(pattern);
+        for m in &mut self.monitors {
+            let paths = m.paths.entry(src).or_insert_with(|| {
+                self.env.paths(dev.node.position, m.node.position)
+            });
+            let lin: f64 = paths
+                .iter()
+                .map(|p| {
+                    let ga = dev.node.gain_toward(tx_pattern, p.departure);
+                    let gb = m.node.gain_toward(&m.pattern, p.arrival);
+                    mmwave_phy::db_to_lin(
+                        self.env.budget.rx_power_dbm(ga, gb, p)
+                            + dev.tx_power_offset_db
+                            + extra_power_db
+                            - self.env.extra_loss_db,
+                    )
+                })
+                .sum();
+            if mmwave_phy::lin_to_db(lin) > m.threshold_dbm {
+                m.busy.add(start, end);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: NetEv) {
+        match ev {
+            NetEv::TxEnd { tx_id } => self.on_tx_end(tx_id),
+            NetEv::SendFrame { frame, pattern, extra_power_db } => {
+                self.start_tx(frame, pattern, extra_power_db);
+            }
+            NetEv::DiscoveryTick { dev } => wigig::on_discovery_tick(self, dev),
+            NetEv::AssocComplete { dock, station } => {
+                wigig::complete_association(self, dock, station)
+            }
+            NetEv::BeaconTick { dev } => wigig::on_beacon_tick(self, dev),
+            NetEv::TxopAttempt { dev } => wigig::on_txop_attempt(self, dev),
+            NetEv::TxopData { dev } => wigig::send_next_data(self, dev),
+            NetEv::CtsTimeout { dev } => wigig::on_cts_timeout(self, dev),
+            NetEv::AckTimeout { dev } => wigig::on_ack_timeout(self, dev),
+            NetEv::WihdBeaconTick { dev } => wihd::on_beacon_tick(self, dev),
+            NetEv::WihdVideoTick { dev } => wihd::on_video_tick(self, dev),
+            NetEv::WihdSendNext { dev } => wihd::send_next(self, dev),
+            NetEv::WihdDiscoveryTick { dev } => wihd::on_discovery_tick(self, dev),
+            NetEv::WihdPairComplete { source, sink } => {
+                wihd::complete_pairing(self, source, sink)
+            }
+        }
+    }
+
+    fn on_tx_end(&mut self, tx_id: u64) {
+        let cs_thr = self.cfg.params.cs_threshold_dbm;
+        let Some(tx) = self.medium.finish_tx(tx_id, cs_thr) else {
+            return;
+        };
+        // Decide delivery for addressed frames.
+        let delivered = tx.frame.dst.map(|dst| {
+            if tx.dst_was_busy {
+                false
+            } else {
+                let noise_lin = mmwave_phy::db_to_lin(self.env.noise_floor_dbm());
+                let sinr =
+                    tx.power_at[dst] - mmwave_phy::lin_to_db(noise_lin + tx.interference_lin);
+                let (mcs_idx, bits) = match &tx.frame.kind {
+                    FrameKind::Data { mcs, mpdus, .. } => {
+                        (*mcs, crate::frame::data_bits(&self.cfg.params, mpdus))
+                    }
+                    FrameKind::Rts | FrameKind::Cts | FrameKind::Ack => (1, 200),
+                    FrameKind::WihdData { bytes } => (7, *bytes as u64 * 8),
+                    _ => (0, 300),
+                };
+                let per = self.mcs_table.get(mcs_idx).per(
+                    sinr,
+                    bits,
+                    self.env.noise_floor_dbm(),
+                );
+                let ok = !self.rng.chance(per);
+                if !ok {
+                    self.devices[dst].stats.rx_corrupted += 1;
+                }
+                ok
+            }
+        });
+        if let Some(ok) = delivered {
+            self.txlog.mark_delivered(tx.frame.seq, ok);
+        }
+        match tx.frame.kind.class() {
+            FrameClass::Beacon
+            | FrameClass::Control
+            | FrameClass::Data
+            | FrameClass::Ack
+            | FrameClass::Training
+            | FrameClass::DiscoverySub => wigig::on_frame_end(self, &tx, delivered),
+            FrameClass::WihdBeacon | FrameClass::WihdData => {
+                wihd::on_frame_end(self, &tx, delivered)
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The transmission log — the simulation's "air interface tap".
+//!
+//! Every frame put on the air is appended here. The capture pipeline
+//! replays the log through the channel model to synthesize what a Vubiq
+//! placed anywhere in the room would have recorded; the frame-level
+//! analyses (Figs. 3, 8, 9, 15, 21 and Table 1) all consume this log.
+//!
+//! Long campaigns (the 7-minute utilization traces) would accumulate tens
+//! of millions of entries, so the log supports a retention window —
+//! utilization over long runs is tracked by the cheaper monitors in
+//! [`crate::net`].
+
+use crate::device::PatKey;
+use crate::frame::FrameClass;
+use mmwave_sim::time::SimTime;
+
+/// One logged transmission.
+#[derive(Clone, Copy, Debug)]
+pub struct TxLogEntry {
+    /// Transmission start.
+    pub start: SimTime,
+    /// Transmission end.
+    pub end: SimTime,
+    /// Transmitting device.
+    pub src: usize,
+    /// Destination device, if addressed.
+    pub dst: Option<usize>,
+    /// Frame class.
+    pub class: FrameClass,
+    /// Antenna configuration used.
+    pub pattern: PatKey,
+    /// MCS index for data frames.
+    pub mcs: Option<u8>,
+    /// Network-wide frame sequence number.
+    pub seq: u64,
+    /// Whether the addressed receiver decoded it (None for broadcast or
+    /// not-yet-finished).
+    pub delivered: Option<bool>,
+}
+
+/// Append-only transmission log with an optional retention window.
+#[derive(Clone, Debug, Default)]
+pub struct TxLog {
+    entries: Vec<TxLogEntry>,
+    window: Option<(SimTime, SimTime)>,
+    enabled: bool,
+}
+
+impl TxLog {
+    /// A new, enabled log with no retention window.
+    pub fn new() -> TxLog {
+        TxLog { entries: Vec::new(), window: None, enabled: true }
+    }
+
+    /// Enable or disable logging entirely.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Retain only entries overlapping `[from, to)`; future appends outside
+    /// the window are discarded.
+    pub fn set_window(&mut self, from: SimTime, to: SimTime) {
+        self.window = Some((from, to));
+        self.entries.retain(|e| e.end > from && e.start < to);
+    }
+
+    /// Append an entry (subject to enablement and window). Returns the
+    /// entry's index if kept.
+    pub fn push(&mut self, entry: TxLogEntry) -> Option<usize> {
+        if !self.enabled {
+            return None;
+        }
+        if let Some((from, to)) = self.window {
+            if entry.end <= from || entry.start >= to {
+                return None;
+            }
+        }
+        self.entries.push(entry);
+        Some(self.entries.len() - 1)
+    }
+
+    /// Record the delivery outcome of the entry with sequence `seq`
+    /// (scans backwards — the entry is always near the tail).
+    pub fn mark_delivered(&mut self, seq: u64, delivered: bool) {
+        for e in self.entries.iter_mut().rev() {
+            if e.seq == seq {
+                e.delivered = Some(delivered);
+                return;
+            }
+        }
+    }
+
+    /// All retained entries in append (time) order.
+    pub fn entries(&self) -> &[TxLogEntry] {
+        &self.entries
+    }
+
+    /// Entries overlapping `[from, to)`.
+    pub fn in_window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &TxLogEntry> {
+        self.entries.iter().filter(move |e| e.end > from && e.start < to)
+    }
+
+    /// Entries of one class from one source.
+    pub fn of(&self, src: usize, class: FrameClass) -> impl Iterator<Item = &TxLogEntry> {
+        self.entries.iter().filter(move |e| e.src == src && e.class == class)
+    }
+
+    /// Drop everything (keep settings).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(start_us: u64, end_us: u64, seq: u64) -> TxLogEntry {
+        TxLogEntry {
+            start: SimTime::from_micros(start_us),
+            end: SimTime::from_micros(end_us),
+            src: 0,
+            dst: Some(1),
+            class: FrameClass::Data,
+            pattern: PatKey::Dir(0),
+            mcs: Some(11),
+            seq,
+            delivered: None,
+        }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut log = TxLog::new();
+        log.push(entry(0, 10, 1));
+        log.push(entry(20, 30, 2));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.in_window(SimTime::from_micros(5), SimTime::from_micros(25)).count(), 2);
+        assert_eq!(log.in_window(SimTime::from_micros(11), SimTime::from_micros(19)).count(), 0);
+        assert_eq!(log.of(0, FrameClass::Data).count(), 2);
+        assert_eq!(log.of(1, FrameClass::Data).count(), 0);
+    }
+
+    #[test]
+    fn disabled_log_keeps_nothing() {
+        let mut log = TxLog::new();
+        log.set_enabled(false);
+        assert!(log.push(entry(0, 10, 1)).is_none());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn window_filters_appends_and_prunes() {
+        let mut log = TxLog::new();
+        log.push(entry(0, 10, 1));
+        log.push(entry(100, 110, 2));
+        log.set_window(SimTime::from_micros(50), SimTime::from_micros(200));
+        assert_eq!(log.len(), 1, "old out-of-window entry pruned");
+        assert!(log.push(entry(300, 310, 3)).is_none(), "future out-of-window discarded");
+        assert!(log.push(entry(150, 160, 4)).is_some());
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn mark_delivered_finds_entry() {
+        let mut log = TxLog::new();
+        log.push(entry(0, 10, 7));
+        log.push(entry(20, 30, 8));
+        log.mark_delivered(7, true);
+        log.mark_delivered(8, false);
+        assert_eq!(log.entries()[0].delivered, Some(true));
+        assert_eq!(log.entries()[1].delivered, Some(false));
+        // Unknown seq is a no-op.
+        log.mark_delivered(99, true);
+    }
+}

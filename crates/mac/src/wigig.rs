@@ -1,0 +1,676 @@
+//! The WiGig (Dell D5000 + laptop) protocol state machine.
+//!
+//! Implements the three phases §4.1 identifies: device discovery
+//! (32-sub-element quasi-omni sweeps every 102.4 ms), association with
+//! beam training, and the data phase — CSMA/CA TXOP bursts capped at 2 ms,
+//! opened by RTS/CTS, carrying A-MPDU data/ACK exchanges, with a 1.1 ms
+//! beacon exchange that doubles as the SNR probe and beam-realignment
+//! hook (the joint rate/beam process inferred from Fig. 14).
+
+use crate::device::{PatKey, WigigState};
+use crate::frame::{airtime, Frame, FrameKind, Mpdu};
+use crate::net::{Delivery, Net, NetEv};
+use crate::{medium::ActiveTx, training};
+use mmwave_geom::Angle;
+use mmwave_sim::time::SimDuration;
+
+/// Sensitivity margin (dB over the control-PHY sensitivity) required for a
+/// discovery frame to be considered heard.
+const DISCOVERY_MARGIN_DB: f64 = 3.0;
+
+/// The carrier-sense threshold this device operates with (per-device
+/// override, else the network default).
+pub(crate) fn cs_threshold(net: &Net, dev: usize) -> f64 {
+    net.devices[dev]
+        .cs_threshold_override_dbm
+        .unwrap_or(net.cfg.params.cs_threshold_dbm)
+}
+
+// ---------------------------------------------------------------------
+// Discovery and association
+// ---------------------------------------------------------------------
+
+/// Emit one 32-sub-element discovery sweep and schedule the next tick.
+pub(crate) fn on_discovery_tick(net: &mut Net, dev: usize) {
+    let (state, n_subs, sub_dur, interval) = {
+        let Some(w) = net.devices[dev].wigig() else { return };
+        (w.state, w.cfg.discovery_sub_elements, w.cfg.discovery_sub_duration, w.cfg.discovery_interval)
+    };
+    if state != WigigState::Unassociated {
+        return; // associated meanwhile; sweeps stop
+    }
+    net.devices[dev].stats.discovery_sweeps += 1;
+    let now = net.now();
+    for i in 0..n_subs {
+        let seq = net.next_seq();
+        let frame = Frame {
+            src: dev,
+            dst: None,
+            kind: FrameKind::DiscoverySub { pattern_idx: i },
+            seq,
+        };
+        let pattern = PatKey::Qo(i);
+        let extra = net.cfg.control_power_offset_db;
+        if i == 0 {
+            net.start_tx(frame, pattern, extra);
+        } else {
+            net.queue.schedule(
+                now + sub_dur * i as u32,
+                NetEv::SendFrame { frame, pattern, extra_power_db: extra },
+            );
+        }
+    }
+    net.queue.schedule(now + interval, NetEv::DiscoveryTick { dev });
+}
+
+/// After the last sub-element: did the pre-wired peer hear the sweep?
+fn check_discovery_response(net: &mut Net, dock: usize) {
+    let Some(w) = net.devices[dock].wigig() else { return };
+    if w.state != WigigState::Unassociated {
+        return;
+    }
+    let Some(station) = w.peer else { return };
+    if net.devices[station]
+        .wigig()
+        .map(|s| s.state != WigigState::Unassociated)
+        .unwrap_or(true)
+    {
+        return;
+    }
+    // Reachability check: the best trained pair must promise a
+    // *sustainable* link (the same criterion that breaks links — otherwise
+    // a just-broken link would instantly re-associate and flap).
+    let result = training::best_pair(&net.env, &net.devices[dock], &net.devices[station]);
+    let snr = result.rx_dbm - net.env.noise_floor_dbm();
+    if snr < net.cfg.min_link_snr_db + DISCOVERY_MARGIN_DB {
+        return; // out of range; keep sweeping
+    }
+    // Handshake: a short exchange of training frames, then association.
+    for (i, (src, dst)) in [(station, dock), (dock, station), (station, dock), (dock, station)]
+        .into_iter()
+        .enumerate()
+    {
+        let seq = net.next_seq();
+        let frame = Frame { src, dst: Some(dst), kind: FrameKind::Training, seq };
+        let extra = net.cfg.control_power_offset_db;
+        let at = net.now() + SimDuration::from_micros(120 * (i as u64 + 1));
+        net.queue.schedule(at, NetEv::SendFrame { frame, pattern: PatKey::Qo(0), extra_power_db: extra });
+    }
+    for d in [dock, station] {
+        if let Some(w) = net.devices[d].wigig_mut() {
+            w.state = WigigState::Associating;
+        }
+    }
+    let at = net.now() + SimDuration::from_millis(1);
+    net.queue.schedule(at, NetEv::AssocComplete { dock, station });
+}
+
+/// Train the sector pair and enter the data phase.
+pub(crate) fn complete_association(net: &mut Net, dock: usize, station: usize) {
+    let result = training::best_pair(&net.env, &net.devices[dock], &net.devices[station]);
+    let beacon_interval = {
+        let w = net.devices[dock].wigig_mut().expect("dock is wigig");
+        w.state = WigigState::Associated;
+        w.tx_sector = result.a_sector;
+        w.peer = Some(station);
+        net.devices[dock].stats.retrains += 1;
+        net.devices[dock].wigig().expect("dock").cfg.beacon_interval
+    };
+    {
+        let w = net.devices[station].wigig_mut().expect("station is wigig");
+        w.state = WigigState::Associated;
+        w.tx_sector = result.b_sector;
+        w.peer = Some(dock);
+        net.devices[station].stats.retrains += 1;
+    }
+    update_link_snr(net, dock, station);
+    update_link_snr(net, station, dock);
+    let at = net.now() + beacon_interval;
+    net.queue.schedule(at, NetEv::BeaconTick { dev: dock });
+    // Data may already be queued.
+    for d in [dock, station] {
+        maybe_contend(net, d, SimDuration::ZERO);
+    }
+}
+
+/// Measure the trained-link SNR at `me` (signal from `peer`) and feed the
+/// rate adapter.
+fn update_link_snr(net: &mut Net, me: usize, peer: usize) {
+    update_link_snr_inner(net, me, peer, true);
+}
+
+fn update_link_snr_inner(net: &mut Net, me: usize, peer: usize, allow_retrain: bool) {
+    let peer_sector = net.devices[peer].wigig().map(|w| w.tx_sector).unwrap_or(0);
+    let rx = net.medium.rx_power_dbm(
+        &net.env,
+        &net.devices,
+        peer,
+        PatKey::Dir(peer_sector),
+        me,
+        0.0,
+    ) + net.link_offset_db(peer, me);
+    let noise = net.env.noise_floor_dbm();
+    let snr = rx - noise;
+    if let Some(w) = net.devices[me].wigig_mut() {
+        w.adapter.on_snr(snr, noise);
+    }
+    if snr < net.cfg.min_link_snr_db {
+        // The current beam pair is no longer sustainable. Before giving
+        // the link up, retrain once — the channel may have changed (e.g.
+        // blockage) while a usable reflection path exists.
+        if allow_retrain {
+            let best = training::best_pair(&net.env, &net.devices[me], &net.devices[peer]);
+            if best.rx_dbm - noise >= net.cfg.min_link_snr_db {
+                retrain(net, me, peer);
+                return;
+            }
+        }
+        break_link(net, me, peer);
+    }
+}
+
+/// Tear an association down: both sides return to the discovery phase.
+/// The dock's next sweep may re-associate if conditions recover.
+pub(crate) fn break_link(net: &mut Net, a: usize, b: usize) {
+    use crate::device::WigigRole;
+    for d in [a, b] {
+        let (pending, lost_tags): (Vec<_>, Vec<u64>) = {
+            let Some(w) = net.devices[d].wigig_mut() else { continue };
+            if w.state != WigigState::Associated {
+                continue;
+            }
+            w.state = WigigState::Unassociated;
+            w.in_txop = false;
+            w.contending = false;
+            w.retry = 0;
+            w.cw = 8;
+            let mut lost: Vec<u64> = w.queue.drain(..).map(|m| m.tag).collect();
+            let mut ids = Vec::new();
+            if let Some(aa) = w.awaiting_ack.take() {
+                ids.push(aa.timeout);
+                lost.extend(aa.mpdus.iter().map(|m| m.tag));
+            }
+            if let Some(id) = w.pending_cts.take() {
+                ids.push(id);
+            }
+            (ids, lost)
+        };
+        for id in pending {
+            net.queue.cancel(id);
+        }
+        if !lost_tags.is_empty() {
+            net.devices[d].stats.drops += 1;
+            net.delivered.push(Delivery::Dropped { dev: d, tags: lost_tags });
+        }
+        let is_dock = net.devices[d]
+            .wigig()
+            .map(|w| w.role == WigigRole::Dock)
+            .unwrap_or(false);
+        if is_dock {
+            let interval = net.devices[d].wigig().expect("wigig").cfg.discovery_interval;
+            let at = net.now() + interval;
+            net.queue.schedule(at, NetEv::DiscoveryTick { dev: d });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Beacons and realignment
+// ---------------------------------------------------------------------
+
+/// The dock-driven 1.1 ms beacon exchange.
+pub(crate) fn on_beacon_tick(net: &mut Net, dev: usize) {
+    let (state, peer, interval) = {
+        let Some(w) = net.devices[dev].wigig() else { return };
+        (w.state, w.peer, w.cfg.beacon_interval)
+    };
+    if state != WigigState::Associated {
+        return;
+    }
+    let Some(peer) = peer else { return };
+
+    // Perturbation poll: sparse events jitter the peer's orientation and
+    // trigger a retrain — the Fig. 14 realignment mechanism.
+    if net.cfg.enable_perturbations {
+        let key = (dev.min(peer), dev.max(peer));
+        let now = net.now();
+        let seed = net.cfg.seed;
+        let process = net.perturb.entry(key).or_insert_with(|| {
+            mmwave_channel::PerturbationProcess::fig14_default(
+                mmwave_sim::rng::SimRng::root(seed)
+                    .stream_n("perturb", (key.0 as u64) << 32 | key.1 as u64),
+            )
+        });
+        let events = process.poll(now);
+        if !events.is_empty() {
+            let jitter = net.rng.normal(0.0, 2.0);
+            let station = peer;
+            let new_orientation =
+                net.devices[station].node.orientation + Angle::from_degrees(jitter);
+            let pos = net.devices[station].node.position;
+            net.move_device(station, pos, new_orientation);
+            retrain(net, dev, station);
+        }
+    }
+
+    // Beacons go out *between* bursts ("outside the bursts, the channel
+    // is idle except for a regular beacon exchange") — defer while this
+    // device is mid-exchange or the medium is not AIFS-idle.
+    let mid_exchange = {
+        let w = net.devices[dev].wigig().expect("wigig");
+        w.in_txop || w.awaiting_ack.is_some() || w.pending_cts.is_some()
+    };
+    let idle = net.medium.idle_for(dev, cs_threshold(net, dev), net.now(), net.cfg.params.sifs);
+    if net.medium.is_transmitting(dev) || mid_exchange || !idle {
+        let at = net.now() + SimDuration::from_micros(53);
+        net.queue.schedule(at, NetEv::BeaconTick { dev });
+        return;
+    }
+    let seq = net.next_seq();
+    let beacon_idx = (seq % 32) as usize;
+    let frame = Frame { src: dev, dst: Some(peer), kind: FrameKind::Beacon, seq };
+    let extra = net.cfg.control_power_offset_db;
+    net.devices[dev].stats.beacons_tx += 1;
+    net.start_tx(frame, PatKey::Qo(beacon_idx), extra);
+    let at = net.now() + interval;
+    net.queue.schedule(at, NetEv::BeaconTick { dev });
+}
+
+/// Re-run beam training on an established link (realignment).
+fn retrain(net: &mut Net, a: usize, b: usize) {
+    let result = training::best_pair(&net.env, &net.devices[a], &net.devices[b]);
+    if let Some(w) = net.devices[a].wigig_mut() {
+        w.tx_sector = result.a_sector;
+    }
+    if let Some(w) = net.devices[b].wigig_mut() {
+        w.tx_sector = result.b_sector;
+    }
+    net.devices[a].stats.retrains += 1;
+    net.devices[b].stats.retrains += 1;
+    update_link_snr_inner(net, a, b, false);
+    update_link_snr_inner(net, b, a, false);
+}
+
+// ---------------------------------------------------------------------
+// TXOP bursts
+// ---------------------------------------------------------------------
+
+/// Schedule a contention attempt after `extra` delay if the device is idle
+/// and has queued data.
+pub(crate) fn maybe_contend(net: &mut Net, dev: usize, extra: SimDuration) {
+    let aifs = net.cfg.params.aifs();
+    let now = net.now();
+    let Some(w) = net.devices[dev].wigig_mut() else { return };
+    if w.state == WigigState::Associated
+        && !w.queue.is_empty()
+        && !w.in_txop
+        && !w.contending
+        && w.awaiting_ack.is_none()
+        && w.pending_cts.is_none()
+    {
+        w.contending = true;
+        net.queue.schedule(now + aifs + extra, NetEv::TxopAttempt { dev });
+    }
+}
+
+/// CSMA attempt to open a TXOP.
+pub(crate) fn on_txop_attempt(net: &mut Net, dev: usize) {
+    let now = net.now();
+    let (ready, batch_wait_until, peer, sector, cw) = {
+        let Some(w) = net.devices[dev].wigig_mut() else { return };
+        w.contending = false;
+        let ready = w.state == WigigState::Associated
+            && !w.queue.is_empty()
+            && !w.in_txop
+            && w.awaiting_ack.is_none()
+            && w.pending_cts.is_none();
+        // Batch service: hold back until the batch fills or the head of
+        // the queue has waited long enough.
+        let batch_wait_until = if ready
+            && w.queue.len() < w.cfg.min_aggregation
+            && now < w.oldest_wait_start + w.cfg.max_queue_wait
+        {
+            Some(w.oldest_wait_start + w.cfg.max_queue_wait)
+        } else {
+            None
+        };
+        (ready, batch_wait_until, w.peer, w.tx_sector, w.cw)
+    };
+    if !ready {
+        return;
+    }
+    if let Some(at) = batch_wait_until {
+        if let Some(w) = net.devices[dev].wigig_mut() {
+            w.contending = true;
+        }
+        net.queue.schedule(at, NetEv::TxopAttempt { dev });
+        return;
+    }
+    let Some(peer) = peer else { return };
+
+    // Proper CSMA: the channel must have been idle for a full AIFS, not
+    // merely at this instant (otherwise attempts landing inside the SIFS
+    // gaps of a peer's burst collide with the next burst frame).
+    let busy = !net.medium.idle_for(dev, cs_threshold(net, dev), net.now(), net.cfg.params.aifs())
+        || net.medium.is_transmitting(dev);
+    if busy {
+        // Defer: retry after AIFS + random backoff.
+        net.devices[dev].stats.cs_defers += 1;
+        let slots = 1 + (rand::RngCore::next_u64(&mut net.rng) % cw as u64) as u32;
+        let delay = net.cfg.params.aifs() + net.cfg.params.slot * slots;
+        let now = net.now();
+        if let Some(w) = net.devices[dev].wigig_mut() {
+            w.contending = true;
+        }
+        net.queue.schedule(now + delay, NetEv::TxopAttempt { dev });
+        return;
+    }
+
+    // Open the TXOP with an RTS.
+    {
+        let now = net.now();
+        let w = net.devices[dev].wigig_mut().expect("wigig");
+        w.in_txop = true;
+        w.txop_start = now;
+    }
+    let seq = net.next_seq();
+    let frame = Frame { src: dev, dst: Some(peer), kind: FrameKind::Rts, seq };
+    let (_, end) = net.start_tx(frame, PatKey::Dir(sector), 0.0);
+    let sifs = net.cfg.params.sifs;
+    let cts_dur = airtime(&net.cfg.params, &FrameKind::Cts, SimDuration::from_micros(30));
+    let timeout_at = end + sifs + cts_dur + SimDuration::from_micros(3);
+    let id = net.queue.schedule(timeout_at, NetEv::CtsTimeout { dev });
+    if let Some(w) = net.devices[dev].wigig_mut() {
+        w.pending_cts = Some(id);
+    }
+}
+
+/// The RTS produced no CTS. This is *deferral*, not loss: the receiver
+/// refuses the CTS while its medium is busy, so the sender backs off with
+/// a bounded window and retries. Only a very long streak (a dead link)
+/// drops the head-of-queue batch.
+pub(crate) fn on_cts_timeout(net: &mut Net, dev: usize) {
+    const CTS_CW_CAP: u32 = 64;
+    const CTS_DEAD_STREAK: u8 = 25;
+    let dropped: Option<Vec<u64>> = {
+        let Some(w) = net.devices[dev].wigig_mut() else { return };
+        if w.pending_cts.is_none() {
+            return;
+        }
+        w.pending_cts = None;
+        w.in_txop = false;
+        w.cw = (w.cw * 2).min(CTS_CW_CAP);
+        w.cts_fail_streak = w.cts_fail_streak.saturating_add(1);
+        if w.cts_fail_streak > CTS_DEAD_STREAK {
+            w.cts_fail_streak = 0;
+            let n = w.cfg.max_aggregation.min(w.queue.len());
+            Some(w.queue.drain(..n).map(|m| m.tag).collect())
+        } else {
+            None
+        }
+    };
+    net.devices[dev].stats.cs_defers += 1;
+    if let Some(tags) = dropped {
+        if !tags.is_empty() {
+            net.devices[dev].stats.drops += 1;
+            net.delivered.push(Delivery::Dropped { dev, tags });
+        }
+    }
+    backoff_and_contend(net, dev);
+}
+
+fn backoff_and_contend(net: &mut Net, dev: usize) {
+    let cw = net.devices[dev].wigig().map(|w| w.cw).unwrap_or(8);
+    let slots = 1 + (rand::RngCore::next_u64(&mut net.rng) % cw as u64) as u32;
+    let extra = net.cfg.params.slot * slots;
+    maybe_contend(net, dev, extra);
+}
+
+/// Send the next aggregated data PPDU of the current TXOP.
+pub(crate) fn send_next_data(net: &mut Net, dev: usize) {
+    let params = net.cfg.params;
+    let now = net.now();
+    let (peer, sector, mcs, mpdus) = {
+        let Some(w) = net.devices[dev].wigig_mut() else { return };
+        if !w.in_txop || w.awaiting_ack.is_some() {
+            return;
+        }
+        if w.queue.is_empty() {
+            w.in_txop = false;
+            return;
+        }
+        if w.queue.len() < w.cfg.min_aggregation
+            && now < w.oldest_wait_start + w.cfg.max_queue_wait
+        {
+            // Not enough for a batch: close the TXOP and let the batch
+            // timer (or the threshold crossing) re-open one.
+            w.in_txop = false;
+            w.contending = true;
+            let at = w.oldest_wait_start + w.cfg.max_queue_wait;
+            net.queue.schedule(at.max(now), NetEv::TxopAttempt { dev });
+            return;
+        }
+        let mcs = w.adapter.current().index;
+        let rate = w.adapter.current().rate_bps;
+        // Aggregate as long as the PPDU stays under the duration cap and
+        // the aggregation limit.
+        let mut mpdus: Vec<Mpdu> = Vec::new();
+        while mpdus.len() < w.cfg.max_aggregation {
+            let Some(&next) = w.queue.front() else { break };
+            let mut candidate = mpdus.clone();
+            candidate.push(next);
+            if crate::frame::data_airtime(&params, &candidate, rate) > w.cfg.max_ppdu_duration
+                && !mpdus.is_empty()
+            {
+                break;
+            }
+            w.queue.pop_front();
+            mpdus = candidate;
+        }
+        // The remaining queue head starts a fresh batch-wait window.
+        w.oldest_wait_start = now;
+        (w.peer.expect("associated"), w.tx_sector, mcs, mpdus)
+    };
+    if mpdus.is_empty() {
+        return;
+    }
+    let retry = net.devices[dev].wigig().map(|w| w.retry).unwrap_or(0);
+    net.devices[dev].stats.data_tx += 1;
+    if retry > 0 {
+        net.devices[dev].stats.data_retx += 1;
+    }
+    let seq = net.next_seq();
+    let frame = Frame {
+        src: dev,
+        dst: Some(peer),
+        kind: FrameKind::Data { mpdus: mpdus.clone(), mcs, retry },
+        seq,
+    };
+    let (_, end) = net.start_tx(frame, PatKey::Dir(sector), 0.0);
+    let timeout_at = end + params.ack_timeout;
+    let id = net.queue.schedule(timeout_at, NetEv::AckTimeout { dev });
+    if let Some(w) = net.devices[dev].wigig_mut() {
+        w.awaiting_ack = Some(crate::device::AwaitingAck { mpdus, seq, timeout: id });
+    }
+}
+
+/// ACK never arrived: count the loss, requeue or drop, back off.
+pub(crate) fn on_ack_timeout(net: &mut Net, dev: usize) {
+    let retry_limit = net.cfg.params.retry_limit;
+    let cw_max = net.cfg.params.cw_max;
+    let dropped: Option<Vec<u64>> = {
+        let Some(w) = net.devices[dev].wigig_mut() else { return };
+        let Some(aa) = w.awaiting_ack.take() else { return };
+        w.adapter.on_frame_result(false);
+        w.retry += 1;
+        w.cw = (w.cw * 2).min(cw_max);
+        w.in_txop = false;
+        if w.retry > retry_limit {
+            w.retry = 0;
+            Some(aa.mpdus.iter().map(|m| m.tag).collect())
+        } else {
+            // Requeue at the front, preserving order.
+            for m in aa.mpdus.into_iter().rev() {
+                w.queue.push_front(m);
+            }
+            None
+        }
+    };
+    net.devices[dev].stats.ack_timeouts += 1;
+    if let Some(tags) = dropped {
+        net.devices[dev].stats.drops += 1;
+        net.delivered.push(Delivery::Dropped { dev, tags });
+    }
+    backoff_and_contend(net, dev);
+}
+
+// ---------------------------------------------------------------------
+// Frame-end dispatch
+// ---------------------------------------------------------------------
+
+/// Handle the end of any WiGig-class frame.
+pub(crate) fn on_frame_end(net: &mut Net, tx: &ActiveTx, delivered: Option<bool>) {
+    let sifs = net.cfg.params.sifs;
+    match &tx.frame.kind {
+        FrameKind::DiscoverySub { pattern_idx } => {
+            let n_subs = net.devices[tx.frame.src]
+                .wigig()
+                .map(|w| w.cfg.discovery_sub_elements)
+                .unwrap_or(32);
+            if *pattern_idx + 1 == n_subs {
+                check_discovery_response(net, tx.frame.src);
+            }
+        }
+        FrameKind::Training => {}
+        FrameKind::Beacon
+            if delivered == Some(true) => {
+                let me = tx.frame.dst.expect("beacons are addressed");
+                let peer = tx.frame.src;
+                update_link_snr(net, me, peer);
+                // The station replies to the dock's beacon (not recursively).
+                let reply_is_due = net.devices[me]
+                    .wigig()
+                    .map(|w| w.role == crate::device::WigigRole::Station)
+                    .unwrap_or(false);
+                if reply_is_due && !net.medium.is_transmitting(me) {
+                    let seq = net.next_seq();
+                    let frame = Frame { src: me, dst: Some(peer), kind: FrameKind::Beacon, seq };
+                    let extra = net.cfg.control_power_offset_db;
+                    let at = net.now() + sifs;
+                    net.devices[me].stats.beacons_tx += 1;
+                    net.queue.schedule(
+                        at,
+                        NetEv::SendFrame {
+                            frame,
+                            pattern: PatKey::Qo((seq % 32) as usize),
+                            extra_power_db: extra,
+                        },
+                    );
+                }
+            }
+        FrameKind::Rts
+            if delivered == Some(true) => {
+                let responder = tx.frame.dst.expect("rts addressed");
+                // Virtual carrier sense: grant the CTS only if the
+                // responder's own medium is clear — this is what protects
+                // the receiver from transmitters the RTS sender cannot
+                // hear (the hidden-interferer case of §4.4).
+                let clear = !net
+                    .medium
+                    .is_busy_for(responder, net.cfg.params.cts_grant_threshold_dbm)
+                    && !net.medium.is_transmitting(responder);
+                if clear {
+                    let sector =
+                        net.devices[responder].wigig().map(|w| w.tx_sector).unwrap_or(0);
+                    let seq = net.next_seq();
+                    let frame = Frame {
+                        src: responder,
+                        dst: Some(tx.frame.src),
+                        kind: FrameKind::Cts,
+                        seq,
+                    };
+                    let at = net.now() + sifs;
+                    net.queue.schedule(
+                        at,
+                        NetEv::SendFrame { frame, pattern: PatKey::Dir(sector), extra_power_db: 0.0 },
+                    );
+                } else {
+                    net.devices[responder].stats.cs_defers += 1;
+                }
+            }
+        FrameKind::Cts
+            if delivered == Some(true) => {
+                let owner = tx.frame.dst.expect("cts addressed");
+                let pending = net.devices[owner].wigig_mut().and_then(|w| {
+                    w.cts_fail_streak = 0;
+                    w.pending_cts.take()
+                });
+                if let Some(id) = pending {
+                    net.queue.cancel(id);
+                    let at = net.now() + sifs;
+                    net.queue.schedule(at, NetEv::TxopData { dev: owner });
+                }
+            }
+        FrameKind::Data { mpdus, .. }
+            if delivered == Some(true) => {
+                let receiver = tx.frame.dst.expect("data addressed");
+                for m in mpdus {
+                    net.devices[receiver].stats.mpdus_rx += 1;
+                    net.devices[receiver].stats.bytes_rx += m.bytes as u64;
+                    net.delivered.push(Delivery::Mpdu {
+                        dev: receiver,
+                        src: tx.frame.src,
+                        bytes: m.bytes,
+                        tag: m.tag,
+                    });
+                }
+                let sector = net.devices[receiver].wigig().map(|w| w.tx_sector).unwrap_or(0);
+                let seq = net.next_seq();
+                let frame =
+                    Frame { src: receiver, dst: Some(tx.frame.src), kind: FrameKind::Ack, seq };
+                let at = net.now() + sifs;
+                net.queue.schedule(
+                    at,
+                    NetEv::SendFrame { frame, pattern: PatKey::Dir(sector), extra_power_db: 0.0 },
+                );
+            }
+        FrameKind::Ack
+            if delivered == Some(true) => {
+                let owner = tx.frame.dst.expect("ack addressed");
+                let txop_max;
+                let proceed = {
+                    let Some(w) = net.devices[owner].wigig_mut() else { return };
+                    txop_max = w.cfg.txop_max;
+                    if let Some(aa) = w.awaiting_ack.take() {
+                        w.adapter.on_frame_result(true);
+                        w.retry = 0;
+                        w.cw = 16;
+                        Some(aa.timeout)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(timeout) = proceed {
+                    net.queue.cancel(timeout);
+                    net.devices[owner].stats.acks_rx += 1;
+                    let now = net.now();
+                    let (more, in_budget) = {
+                        let w = net.devices[owner].wigig().expect("wigig");
+                        (!w.queue.is_empty(), now.since(w.txop_start) < txop_max)
+                    };
+                    if more && in_budget {
+                        let at = now + sifs;
+                        net.queue.schedule(at, NetEv::TxopData { dev: owner });
+                    } else {
+                        if let Some(w) = net.devices[owner].wigig_mut() {
+                            w.in_txop = false;
+                        }
+                        if more {
+                            backoff_and_contend(net, owner);
+                        }
+                    }
+                }
+            }
+        _ => {}
+    }
+}

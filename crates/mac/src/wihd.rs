@@ -1,0 +1,227 @@
+//! The WiHD (DVDO Air-3c) protocol model.
+//!
+//! Sink-driven TDD, as observed in §4.1 / Fig. 15: the sink emits beacons
+//! every 224 µs; after a beacon, the source transmits queued video data as
+//! a train of variable-length frames with no acknowledgements — and,
+//! crucially, **without any carrier sensing**, which is what makes this
+//! system the interferer of §4.4.
+
+use crate::device::PatKey;
+use crate::frame::{Frame, FrameKind};
+use crate::medium::ActiveTx;
+use crate::net::{Net, NetEv};
+use crate::training;
+use mmwave_sim::time::SimDuration;
+
+/// Margin over control sensitivity for pairing reachability.
+const PAIRING_MARGIN_DB: f64 = 3.0;
+
+/// Unpaired source: sweep discovery sub-elements in shuffled order
+/// (§4.2: "their order changes with every transmitted device discovery
+/// frame"), then check whether the sink responded.
+pub(crate) fn on_discovery_tick(net: &mut Net, dev: usize) {
+    let (paired, n_subs, sub_dur, interval) = {
+        let Some(w) = net.devices[dev].wihd() else { return };
+        (w.paired, w.cfg.discovery_sub_elements, w.cfg.discovery_sub_duration, w.cfg.discovery_interval)
+    };
+    if paired {
+        return;
+    }
+    // Shuffled pattern order, fresh each frame.
+    let mut order: Vec<usize> = (0..n_subs).collect();
+    for i in (1..order.len()).rev() {
+        let j = (rand::RngCore::next_u64(&mut net.rng) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let now = net.now();
+    net.devices[dev].stats.discovery_sweeps += 1;
+    for (slot, &pattern_idx) in order.iter().enumerate() {
+        let seq = net.next_seq();
+        let frame = Frame { src: dev, dst: None, kind: FrameKind::DiscoverySub { pattern_idx }, seq };
+        let pattern = PatKey::Qo(pattern_idx);
+        let extra = net.cfg.control_power_offset_db;
+        if slot == 0 {
+            net.start_tx(frame, pattern, extra);
+        } else {
+            net.queue.schedule(
+                now + sub_dur * slot as u32,
+                NetEv::SendFrame { frame, pattern, extra_power_db: extra },
+            );
+        }
+    }
+    // Pairing check shortly after the sweep completes.
+    let sweep_end = now + sub_dur * n_subs as u32;
+    let (peer, reachable) = {
+        let w = net.devices[dev].wihd().expect("wihd");
+        match w.peer {
+            Some(p) => {
+                let r = training::best_pair(&net.env, &net.devices[dev], &net.devices[p]);
+                let sens = net.mcs_table.control().sensitivity_dbm;
+                (Some(p), r.rx_dbm >= sens + PAIRING_MARGIN_DB)
+            }
+            None => (None, false),
+        }
+    };
+    if let (Some(sink), true) = (peer, reachable) {
+        net.queue.schedule(
+            sweep_end + SimDuration::from_millis(2),
+            NetEv::WihdPairComplete { source: dev, sink },
+        );
+    } else {
+        net.queue.schedule(now + interval, NetEv::WihdDiscoveryTick { dev });
+    }
+}
+
+/// Train the pair, mark both paired, start beacon and video timers.
+pub(crate) fn complete_pairing(net: &mut Net, source: usize, sink: usize) {
+    if net.devices[source].wihd().map(|w| w.paired).unwrap_or(true) {
+        return;
+    }
+    let result = training::best_pair(&net.env, &net.devices[source], &net.devices[sink]);
+    let (beacon_interval, video_interval) = {
+        let w = net.devices[source].wihd_mut().expect("source is wihd");
+        w.paired = true;
+        w.tx_sector = result.a_sector;
+        w.peer = Some(sink);
+        (w.cfg.beacon_interval, w.cfg.video_frame_interval)
+    };
+    {
+        let w = net.devices[sink].wihd_mut().expect("sink is wihd");
+        w.paired = true;
+        w.tx_sector = result.b_sector;
+        w.peer = Some(source);
+    }
+    net.devices[source].stats.retrains += 1;
+    net.devices[sink].stats.retrains += 1;
+    let now = net.now();
+    net.queue.schedule(now + beacon_interval, NetEv::WihdBeaconTick { dev: sink });
+    net.queue.schedule(now + video_interval, NetEv::WihdVideoTick { dev: source });
+}
+
+/// Sink beacon: emitted blindly on the fixed 224 µs grid.
+pub(crate) fn on_beacon_tick(net: &mut Net, dev: usize) {
+    let (paired, peer, sector, interval) = {
+        let Some(w) = net.devices[dev].wihd() else { return };
+        (w.paired, w.peer, w.tx_sector, w.cfg.beacon_interval)
+    };
+    if !paired {
+        return;
+    }
+    let now = net.now();
+    // Record the grid so the source knows when to stop a burst.
+    if let Some(w) = net.devices[dev].wihd_mut() {
+        w.next_beacon_at = now + interval;
+    }
+    if let Some(peer) = peer {
+        let seq = net.next_seq();
+        let frame = Frame { src: dev, dst: Some(peer), kind: FrameKind::WihdBeacon, seq };
+        let extra = net.cfg.control_power_offset_db;
+        net.devices[dev].stats.beacons_tx += 1;
+        net.start_tx(frame, PatKey::Dir(sector), extra);
+    }
+    net.queue.schedule(now + interval, NetEv::WihdBeaconTick { dev });
+}
+
+/// A new video frame enters the source queue (VBR around the mean rate).
+pub(crate) fn on_video_tick(net: &mut Net, dev: usize) {
+    let (paired, video_on, interval, rate) = {
+        let Some(w) = net.devices[dev].wihd() else { return };
+        (w.paired, w.video_on, w.cfg.video_frame_interval, w.cfg.video_rate_bps)
+    };
+    if !paired {
+        return;
+    }
+    if video_on {
+        let mean_bytes = rate as f64 * interval.as_secs_f64() / 8.0;
+        let bytes = net.rng.normal(mean_bytes, 0.15 * mean_bytes).max(0.0) as u64;
+        if let Some(w) = net.devices[dev].wihd_mut() {
+            // Bound the backlog: a real encoder drops frames rather than
+            // buffering unboundedly.
+            w.queue_bytes = (w.queue_bytes + bytes).min(4 * mean_bytes as u64);
+        }
+    }
+    let now = net.now();
+    net.queue.schedule(now + interval, NetEv::WihdVideoTick { dev });
+}
+
+/// Transmit the next queued data frame (no carrier sense, no ACKs).
+pub(crate) fn send_next(net: &mut Net, dev: usize) {
+    let params_overhead = net.cfg.params.data_phy_overhead;
+    let (queue, peer, sector, max_dur, phy_rate, guard, video_on) = {
+        let Some(w) = net.devices[dev].wihd() else { return };
+        (
+            w.queue_bytes,
+            w.peer,
+            w.tx_sector,
+            w.cfg.max_data_duration,
+            w.cfg.phy_rate_bps,
+            w.cfg.beacon_guard,
+            w.video_on,
+        )
+    };
+    let Some(peer) = peer else { return };
+    if queue == 0 || !video_on {
+        if let Some(w) = net.devices[dev].wihd_mut() {
+            w.bursting = false;
+        }
+        return;
+    }
+    let max_bytes = (max_dur.saturating_sub(params_overhead)).bits_at(phy_rate) / 8;
+    let bytes = queue.min(max_bytes) as u32;
+    // Respect the beacon grid: stop the burst if this frame would overrun.
+    let next_beacon = net.devices[peer].wihd().map(|w| w.next_beacon_at).unwrap_or_default();
+    let frame_dur =
+        params_overhead + SimDuration::for_bits(bytes as u64 * 8, phy_rate);
+    let now = net.now();
+    if next_beacon > now && now + frame_dur + guard > next_beacon {
+        if let Some(w) = net.devices[dev].wihd_mut() {
+            w.bursting = false;
+        }
+        return;
+    }
+    if let Some(w) = net.devices[dev].wihd_mut() {
+        w.queue_bytes -= bytes as u64;
+        w.bursting = true;
+    }
+    let seq = net.next_seq();
+    let frame = Frame { src: dev, dst: Some(peer), kind: FrameKind::WihdData { bytes }, seq };
+    net.devices[dev].stats.data_tx += 1;
+    net.start_tx(frame, PatKey::Dir(sector), 0.0);
+}
+
+/// WiHD frame completions.
+pub(crate) fn on_frame_end(net: &mut Net, tx: &ActiveTx, delivered: Option<bool>) {
+    match &tx.frame.kind {
+        FrameKind::WihdBeacon => {
+            // A beacon prompts the source to burst if it has data. The
+            // source reacts even if the beacon decoding failed: the grid
+            // timing is known after pairing (and real WiHD sources keep
+            // streaming through corrupted beacons).
+            let source = tx.frame.dst.expect("beacon addressed to source");
+            let has_data = net.devices[source]
+                .wihd()
+                .map(|w| w.paired && w.queue_bytes > 0 && w.video_on)
+                .unwrap_or(false);
+            if has_data {
+                let at = net.now() + net.cfg.params.sifs;
+                net.queue.schedule(at, NetEv::WihdSendNext { dev: source });
+            }
+        }
+        FrameKind::WihdData { bytes } => {
+            if delivered == Some(true) {
+                let sink = tx.frame.dst.expect("data addressed");
+                net.devices[sink].stats.bytes_rx += *bytes as u64;
+                net.devices[sink].stats.mpdus_rx += 1;
+            }
+            // Continue the burst back-to-back.
+            let src = tx.frame.src;
+            let bursting = net.devices[src].wihd().map(|w| w.bursting).unwrap_or(false);
+            if bursting {
+                let sbifs = net.devices[src].wihd().expect("wihd").cfg.sbifs;
+                let at = net.now() + sbifs;
+                net.queue.schedule(at, NetEv::WihdSendNext { dev: src });
+            }
+        }
+        _ => {}
+    }
+}

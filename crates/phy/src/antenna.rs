@@ -1,0 +1,222 @@
+//! Radiating elements and phase shifters — the cheap parts that make
+//! consumer 60 GHz beams imperfect.
+
+use mmwave_geom::Angle;
+use std::f64::consts::TAU;
+
+/// Speed of light in m/s.
+pub const C: f64 = 299_792_458.0;
+
+/// A single radiating element with a `cos^q` power pattern.
+///
+/// `q` controls the element beamwidth: patch antennas on consumer modules
+/// have q ≈ 2 (≈ 7.8 dBi 3-D directivity), which also produces the ~10 dB
+/// scan loss the paper observes when steering 70° off boresight.
+#[derive(Clone, Copy, Debug)]
+pub struct ElementPattern {
+    /// Power-pattern exponent.
+    pub q: f64,
+    /// Boresight gain in dBi.
+    pub boresight_gain_dbi: f64,
+    /// Back-lobe floor relative to boresight, in dB (elements leak a bit of
+    /// energy behind the ground plane; −15…−25 dB is typical).
+    pub back_floor_db: f64,
+}
+
+impl ElementPattern {
+    /// A consumer-grade patch element. The exponent is calibrated so the
+    /// 70°-steered link of Figs. 17/22 loses ≈ 8–10 dB yet stays usable,
+    /// as the paper observes.
+    pub fn patch() -> ElementPattern {
+        ElementPattern { q: 1.6, boresight_gain_dbi: 5.0, back_floor_db: -18.0 }
+    }
+
+    /// A wider, lower-gain element (the irregular WiHD array).
+    pub fn wide() -> ElementPattern {
+        ElementPattern { q: 1.0, boresight_gain_dbi: 3.0, back_floor_db: -14.0 }
+    }
+
+    /// Element power gain in dBi at local azimuth `theta` (0 = boresight).
+    pub fn gain_dbi(&self, theta: Angle) -> f64 {
+        let c = theta.radians().cos();
+        let front = if c > 0.0 {
+            self.boresight_gain_dbi + 10.0 * self.q * c.log10().max(-30.0)
+        } else {
+            f64::NEG_INFINITY
+        };
+        // The back floor keeps the pattern finite everywhere.
+        front.max(self.boresight_gain_dbi + self.back_floor_db)
+    }
+
+    /// Linear *amplitude* (field) gain at local azimuth `theta`.
+    pub fn amplitude(&self, theta: Angle) -> f64 {
+        10f64.powf(self.gain_dbi(theta) / 20.0)
+    }
+}
+
+/// A digital phase shifter with `bits` of resolution.
+///
+/// 2-bit shifters (0°/90°/180°/270°) are the classic consumer-grade choice;
+/// their coarse quantization is the dominant source of the strong side
+/// lobes measured in §4.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseShifter {
+    /// Resolution in bits (1–8).
+    pub bits: u8,
+}
+
+impl PhaseShifter {
+    /// Construct; panics outside 1..=8 bits.
+    pub fn new(bits: u8) -> PhaseShifter {
+        assert!((1..=8).contains(&bits), "unrealistic phase shifter");
+        PhaseShifter { bits }
+    }
+
+    /// Number of realizable phase states.
+    pub fn states(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Quantize an ideal phase (radians) to the nearest realizable state.
+    pub fn quantize(&self, phase: f64) -> f64 {
+        let step = TAU / self.states() as f64;
+        (phase / step).round() * step
+    }
+
+    /// Worst-case quantization error in radians (half a step).
+    pub fn max_error(&self) -> f64 {
+        TAU / self.states() as f64 / 2.0
+    }
+}
+
+/// Geometry + imperfection description of a phased array.
+///
+/// The array is a uniform grid along the device's local y-axis (azimuth
+/// plane); `rows` stacks identical rows in elevation, which in the azimuth
+/// cut contributes a constant gain factor. Per-element gain/phase errors
+/// model manufacturing spread; they are drawn deterministically from
+/// `error_seed` so a given "device" always has the same pattern.
+#[derive(Clone, Debug)]
+pub struct ArrayConfig {
+    /// Elements along the azimuth axis.
+    pub columns: usize,
+    /// Rows stacked in elevation (gain only in the azimuth cut).
+    pub rows: usize,
+    /// Element spacing in wavelengths (0.5 = λ/2).
+    pub spacing_wl: f64,
+    /// The radiating element.
+    pub element: ElementPattern,
+    /// Phase shifter resolution.
+    pub shifter: PhaseShifter,
+    /// 1-σ per-element amplitude error in dB.
+    pub amp_error_db: f64,
+    /// 1-σ per-element phase error in radians (feed-line mismatch).
+    pub phase_error_rad: f64,
+    /// Seed fixing this particular device's manufacturing errors.
+    pub error_seed: u64,
+    /// Irregular element placement jitter in wavelengths (the WiHD module's
+    /// "irregular alignment"); 0 for a regular grid.
+    pub placement_jitter_wl: f64,
+}
+
+impl ArrayConfig {
+    /// The D5000 / laptop WiGig module: 2×8 patch array, λ/2 spacing,
+    /// 2-bit shifters, moderate manufacturing spread.
+    pub fn wigig_2x8(error_seed: u64) -> ArrayConfig {
+        ArrayConfig {
+            columns: 8,
+            rows: 2,
+            spacing_wl: 0.5,
+            element: ElementPattern::patch(),
+            shifter: PhaseShifter::new(2),
+            amp_error_db: 2.5,
+            phase_error_rad: 0.55,
+            error_seed,
+            placement_jitter_wl: 0.0,
+        }
+    }
+
+    /// The DVDO Air-3c WiHD module: 24 elements with irregular placement,
+    /// wider elements, similar cheap shifters. Produces the visibly wider
+    /// patterns of Fig. 19.
+    pub fn wihd_24(error_seed: u64) -> ArrayConfig {
+        ArrayConfig {
+            columns: 6,
+            rows: 4,
+            spacing_wl: 0.58,
+            element: ElementPattern::wide(),
+            shifter: PhaseShifter::new(2),
+            amp_error_db: 2.0,
+            phase_error_rad: 0.45,
+            error_seed,
+            placement_jitter_wl: 0.12,
+        }
+    }
+
+    /// Total element count.
+    pub fn n_elements(&self) -> usize {
+        self.columns * self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_boresight_gain() {
+        let e = ElementPattern::patch();
+        assert!((e.gain_dbi(Angle::ZERO) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn element_rolls_off_with_angle() {
+        let e = ElementPattern::patch();
+        let g0 = e.gain_dbi(Angle::ZERO);
+        let g45 = e.gain_dbi(Angle::from_degrees(45.0));
+        let g70 = e.gain_dbi(Angle::from_degrees(70.0));
+        assert!(g45 < g0 && g70 < g45);
+        // q = 1.6 gives 16·log10(cos 70°) ≈ −7.5 dB element roll-off at 70°.
+        assert!((g0 - g70 - 7.46).abs() < 0.2, "scan loss {}", g0 - g70);
+    }
+
+    #[test]
+    fn element_back_floor_is_finite() {
+        let e = ElementPattern::patch();
+        let g = e.gain_dbi(Angle::from_degrees(180.0));
+        assert!((g - (5.0 - 18.0)).abs() < 1e-9);
+        assert!(e.amplitude(Angle::from_degrees(180.0)) > 0.0);
+    }
+
+    #[test]
+    fn quantizer_hits_exact_states() {
+        let ps = PhaseShifter::new(2);
+        assert_eq!(ps.states(), 4);
+        for k in 0..4 {
+            let phase = k as f64 * TAU / 4.0;
+            assert!((ps.quantize(phase) - phase).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantizer_error_bounded() {
+        let ps = PhaseShifter::new(2);
+        for i in 0..1000 {
+            let phase = i as f64 * 0.0123;
+            let err = (ps.quantize(phase) - phase).abs();
+            assert!(err <= ps.max_error() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        assert!(PhaseShifter::new(6).max_error() < PhaseShifter::new(2).max_error());
+    }
+
+    #[test]
+    fn device_configs() {
+        assert_eq!(ArrayConfig::wigig_2x8(0).n_elements(), 16);
+        assert_eq!(ArrayConfig::wihd_24(0).n_elements(), 24);
+        assert!(ArrayConfig::wihd_24(0).placement_jitter_wl > 0.0);
+    }
+}

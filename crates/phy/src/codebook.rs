@@ -1,0 +1,268 @@
+//! Beam codebooks: the predefined pattern sets consumer devices sweep.
+//!
+//! Millimetre-wave transceivers avoid per-packet beam computation by
+//! selecting from a *codebook* of predefined antenna configurations (§2,
+//! "Beam Steering"). The paper observes two codebooks on the D5000:
+//!
+//! * a **directional** codebook used during data transmission — highly
+//!   directional sectors fanned across the serviced cone;
+//! * a **quasi-omni** codebook of exactly **32 wide patterns** swept by the
+//!   device-discovery frame (Fig. 3), each imperfect, with deep gaps
+//!   (Fig. 16).
+//!
+//! Both are built here from a [`PhasedArray`], so every imperfection in the
+//! pattern (side lobes, gaps, scan loss at the sector fan's edge) comes from
+//! the array model, not from hand-drawn shapes.
+
+use crate::array::PhasedArray;
+use mmwave_geom::Angle;
+use std::f64::consts::PI;
+
+/// What a codebook is for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CodebookKind {
+    /// Narrow sectors for data transmission.
+    Directional,
+    /// Wide patterns for device discovery / beam training.
+    QuasiOmni,
+}
+
+/// One codebook entry: a nominal steering direction and its realized
+/// (imperfect) pattern.
+#[derive(Clone, Debug)]
+pub struct Sector {
+    /// Index within the codebook.
+    pub id: usize,
+    /// Nominal steering azimuth (array-local).
+    pub steer: Angle,
+    /// The realized gain pattern.
+    pub pattern: crate::pattern::AntennaPattern,
+}
+
+/// An ordered set of sectors.
+#[derive(Clone, Debug)]
+pub struct Codebook {
+    kind: CodebookKind,
+    sectors: Vec<Sector>,
+}
+
+impl Codebook {
+    /// Build a directional codebook: `n` sectors with steering azimuths
+    /// fanned uniformly over ±`half_span`. The D5000's serviced area is a
+    /// 120°-wide cone, but the paper finds it operating over a wider range
+    /// indoors, so the default fan reaches ±77.5°.
+    pub fn directional(array: &PhasedArray, n: usize, half_span: f64) -> Codebook {
+        assert!(n >= 2 && half_span > 0.0 && half_span < PI);
+        let sectors = (0..n)
+            .map(|i| {
+                let frac = i as f64 / (n - 1) as f64;
+                let steer = Angle::from_radians(-half_span + 2.0 * half_span * frac);
+                Sector { id: i, steer, pattern: array.steered_pattern(steer) }
+            })
+            .collect();
+        Codebook { kind: CodebookKind::Directional, sectors }
+    }
+
+    /// The default directional codebook used by the WiGig device models:
+    /// 32 sectors over ±77.5°.
+    pub fn directional_default(array: &PhasedArray) -> Codebook {
+        Codebook::directional(array, 32, 77.5f64.to_radians())
+    }
+
+    /// Build the 32-entry quasi-omni discovery codebook.
+    ///
+    /// Each entry activates a small subset of columns:
+    /// * entries 0–27: adjacent pairs `(i, i+1)` with one of four phase
+    ///   offsets — a 2-element interferometer whose wide (≈ 60° HPBW) beam
+    ///   squints with the phase offset;
+    /// * entries 28–31: pairs spaced two columns apart, whose grating lobes
+    ///   carve the deep gaps seen in Fig. 16.
+    ///
+    /// The sweep order is fixed, matching the D5000's repeatable
+    /// sub-element sequence (§3.2 relies on this to average patterns
+    /// across discovery frames).
+    pub fn quasi_omni_32(array: &PhasedArray) -> Codebook {
+        let cols = array.config().columns;
+        assert!(cols >= 4, "quasi-omni codebook needs at least 4 columns");
+        let phases = [0.0, PI / 2.0, PI, -PI / 2.0];
+        let mut sectors = Vec::with_capacity(32);
+        let mut id = 0;
+        'outer: for &dp in &phases {
+            for i in 0..cols - 1 {
+                sectors.push(Sector {
+                    id,
+                    // Nominal direction of a 2-element pair with phase
+                    // difference dp at λ/2 spacing: sinθ = dp/π.
+                    steer: Angle::from_radians((dp / PI).clamp(-1.0, 1.0).asin()),
+                    pattern: array.quasi_omni_pattern(&[(i, 0.0), (i + 1, dp)]),
+                });
+                id += 1;
+                if id == 28 {
+                    break 'outer;
+                }
+            }
+        }
+        // Spaced pairs: grating-lobed wide patterns.
+        for k in 0..4 {
+            let i = k % (cols - 2);
+            let dp = phases[k % 4];
+            sectors.push(Sector {
+                id,
+                steer: Angle::ZERO,
+                pattern: array.quasi_omni_pattern(&[(i, 0.0), (i + 2, dp)]),
+            });
+            id += 1;
+        }
+        debug_assert_eq!(sectors.len(), 32);
+        Codebook { kind: CodebookKind::QuasiOmni, sectors }
+    }
+
+    /// Codebook kind.
+    pub fn kind(&self) -> CodebookKind {
+        self.kind
+    }
+
+    /// Number of sectors.
+    pub fn len(&self) -> usize {
+        self.sectors.len()
+    }
+
+    /// True if the codebook is empty (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.sectors.is_empty()
+    }
+
+    /// Sector by index; panics on out-of-range.
+    pub fn sector(&self, id: usize) -> &Sector {
+        &self.sectors[id]
+    }
+
+    /// All sectors in sweep order.
+    pub fn sectors(&self) -> &[Sector] {
+        &self.sectors
+    }
+
+    /// The sector whose realized pattern has the highest gain towards
+    /// `toward` (array-local azimuth) — what an exhaustive sector sweep
+    /// against an omni peer would select.
+    pub fn best_toward(&self, toward: Angle) -> &Sector {
+        self.sectors
+            .iter()
+            .max_by(|a, b| {
+                a.pattern
+                    .gain_dbi(toward)
+                    .partial_cmp(&b.pattern.gain_dbi(toward))
+                    .expect("finite gains")
+            })
+            .expect("non-empty codebook")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antenna::ArrayConfig;
+
+    fn wigig_array() -> PhasedArray {
+        PhasedArray::new(ArrayConfig::wigig_2x8(11))
+    }
+
+    #[test]
+    fn directional_codebook_spans_fan() {
+        let cb = Codebook::directional_default(&wigig_array());
+        assert_eq!(cb.len(), 32);
+        assert_eq!(cb.kind(), CodebookKind::Directional);
+        assert!((cb.sector(0).steer.degrees() + 77.5).abs() < 1e-9);
+        assert!((cb.sector(31).steer.degrees() - 77.5).abs() < 1e-9);
+        // Steering azimuths are strictly increasing.
+        for w in cb.sectors().windows(2) {
+            assert!(w[1].steer.degrees() > w[0].steer.degrees());
+        }
+    }
+
+    #[test]
+    fn directional_sectors_point_roughly_at_their_steer() {
+        // With 2-bit shifters and manufacturing errors an occasional sector
+        // squints badly (that is the paper's point!), but the large
+        // majority of inner sectors must still point near their nominal
+        // steering azimuth.
+        let cb = Codebook::directional_default(&wigig_array());
+        let inner: Vec<_> =
+            cb.sectors().iter().filter(|s| s.steer.degrees().abs() < 50.0).collect();
+        let good = inner
+            .iter()
+            .filter(|s| s.pattern.peak().direction.distance(s.steer) < 12f64.to_radians())
+            .count();
+        assert!(
+            good * 10 >= inner.len() * 8,
+            "only {good}/{} inner sectors point at their steer",
+            inner.len()
+        );
+    }
+
+    #[test]
+    fn best_toward_picks_matching_sector() {
+        let cb = Codebook::directional_default(&wigig_array());
+        let target = Angle::from_degrees(30.0);
+        let best = cb.best_toward(target);
+        // The chosen sector's gain towards the target beats the average
+        // sector by a clear margin.
+        let avg: f64 = cb.sectors().iter().map(|s| s.pattern.gain_dbi(target)).sum::<f64>()
+            / cb.len() as f64;
+        assert!(best.pattern.gain_dbi(target) > avg + 3.0);
+    }
+
+    #[test]
+    fn quasi_omni_has_32_entries() {
+        let cb = Codebook::quasi_omni_32(&wigig_array());
+        assert_eq!(cb.len(), 32);
+        assert_eq!(cb.kind(), CodebookKind::QuasiOmni);
+        for (i, s) in cb.sectors().iter().enumerate() {
+            assert_eq!(s.id, i);
+        }
+    }
+
+    #[test]
+    fn quasi_omni_wider_than_directional() {
+        let arr = wigig_array();
+        let qo = Codebook::quasi_omni_32(&arr);
+        let dir = Codebook::directional_default(&arr);
+        let qo_hpbw: f64 =
+            qo.sectors().iter().map(|s| s.pattern.hpbw()).sum::<f64>() / qo.len() as f64;
+        let dir_hpbw: f64 =
+            dir.sectors().iter().map(|s| s.pattern.hpbw()).sum::<f64>() / dir.len() as f64;
+        assert!(qo_hpbw > 2.0 * dir_hpbw, "qo {qo_hpbw} dir {dir_hpbw}");
+    }
+
+    #[test]
+    fn quasi_omni_sweep_order_is_deterministic() {
+        let arr = wigig_array();
+        let a = Codebook::quasi_omni_32(&arr);
+        let b = Codebook::quasi_omni_32(&arr);
+        for (sa, sb) in a.sectors().iter().zip(b.sectors()) {
+            assert_eq!(sa.pattern.samples(), sb.pattern.samples());
+        }
+    }
+
+    #[test]
+    fn quasi_omni_union_covers_front_hemisphere() {
+        // Together the 32 patterns must reach a pairing device anywhere in
+        // the serviced cone (the D5000's spec is a 120°-wide cone, i.e.
+        // ±60°): max-over-patterns gain within 12 dB of the best direction.
+        // Outside the cone, element roll-off makes holes physical.
+        let cb = Codebook::quasi_omni_32(&wigig_array());
+        let best_of = |a: Angle| -> f64 {
+            cb.sectors()
+                .iter()
+                .map(|s| s.pattern.gain_dbi(a))
+                .fold(f64::MIN, f64::max)
+        };
+        let overall_best = (-60..=60)
+            .map(|d| best_of(Angle::from_degrees(d as f64)))
+            .fold(f64::MIN, f64::max);
+        for d in (-60..=60).step_by(5) {
+            let g = best_of(Angle::from_degrees(d as f64));
+            assert!(g > overall_best - 12.0, "coverage hole at {d}°: {g} vs {overall_best}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Measurement antennas: the Vubiq front-end options.
+//!
+//! The paper attaches either a **25 dBi gain horn** (beam-pattern and
+//! angular-profile measurements — its high directivity isolates the device
+//! under test) or the bare **open waveguide** (frame-level protocol
+//! analysis — its wide pattern overhears both link directions) to the
+//! down-converter's WR-15 flange. Both are modelled as analytic patterns.
+
+use crate::pattern::AntennaPattern;
+use mmwave_geom::Angle;
+
+/// A Gaussian-main-lobe horn pattern: `gain − 12·(θ/HPBW)²` dB with a flat
+/// side/back floor `floor_db` below the peak.
+pub fn gaussian_horn(gain_dbi: f64, hpbw_deg: f64, floor_db: f64) -> AntennaPattern {
+    assert!(hpbw_deg > 0.0 && floor_db > 0.0);
+    AntennaPattern::from_fn(AntennaPattern::DEFAULT_SAMPLES, move |theta: Angle| {
+        let off = theta.distance(Angle::ZERO).to_degrees();
+        let roll = 12.0 * (off / hpbw_deg).powi(2);
+        (gain_dbi - roll).max(gain_dbi - floor_db)
+    })
+}
+
+/// The 25 dBi standard-gain horn used for beam-pattern measurements:
+/// ≈ 10° half-power beamwidth, ≈ 35 dB side/back floor.
+pub fn horn_25dbi() -> AntennaPattern {
+    gaussian_horn(25.0, 10.0, 35.0)
+}
+
+/// The open WR-15 waveguide used for frame-level protocol analysis:
+/// ≈ 6.5 dBi gain with a very wide (≈ 90°) beam that overhears both ends
+/// of a link.
+pub fn open_waveguide() -> AntennaPattern {
+    gaussian_horn(6.5, 90.0, 15.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horn_peak_gain() {
+        let h = horn_25dbi();
+        assert!((h.peak().gain_dbi - 25.0).abs() < 1e-9);
+        assert!(h.peak().direction.distance(Angle::ZERO) < 0.01);
+    }
+
+    #[test]
+    fn horn_hpbw_matches_spec() {
+        let hpbw = horn_25dbi().hpbw().to_degrees();
+        assert!((hpbw - 10.0).abs() < 1.5, "hpbw {hpbw}");
+    }
+
+    #[test]
+    fn horn_rejects_off_axis() {
+        let h = horn_25dbi();
+        // 60° off axis the horn is at its floor, 35 dB down.
+        let g = h.gain_dbi(Angle::from_degrees(60.0));
+        assert!((g - (25.0 - 35.0)).abs() < 0.5, "{g}");
+    }
+
+    #[test]
+    fn waveguide_much_wider_than_horn() {
+        let wg = open_waveguide();
+        let horn = horn_25dbi();
+        assert!(wg.hpbw() > 6.0 * horn.hpbw());
+        assert!(wg.peak().gain_dbi < horn.peak().gain_dbi - 15.0);
+    }
+
+    #[test]
+    fn waveguide_hears_sideways() {
+        // The open waveguide must still pick up signal 90° off axis —
+        // that's how it overhears both the dock and the laptop.
+        let wg = open_waveguide();
+        let g = wg.gain_dbi(Angle::from_degrees(90.0));
+        assert!(g > 6.5 - 15.0 - 0.5, "{g}");
+    }
+}

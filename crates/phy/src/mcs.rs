@@ -1,0 +1,258 @@
+//! The IEEE 802.11ad single-carrier MCS table.
+//!
+//! The D5000's driver reports PHY rates that match the standard's
+//! single-carrier MCS set exactly (§4.1, Fig. 12), so the model uses the
+//! real table: MCS 1–12 data rates, modulation/coding labels, receiver
+//! sensitivities from the standard, and the SNR thresholds they imply.
+//! The control PHY (MCS 0) carries beacons, discovery and RTS/CTS frames
+//! at 27.5 Mb/s with much higher robustness.
+
+use std::fmt;
+
+/// Modulation of an MCS.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Modulation {
+    /// Differential BPSK (control PHY).
+    Dbpsk,
+    /// π/2-BPSK.
+    Bpsk,
+    /// π/2-QPSK.
+    Qpsk,
+    /// π/2-16-QAM.
+    Qam16,
+}
+
+impl fmt::Display for Modulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Modulation::Dbpsk => "DBPSK",
+            Modulation::Bpsk => "BPSK",
+            Modulation::Qpsk => "QPSK",
+            Modulation::Qam16 => "16-QAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One modulation-and-coding scheme.
+#[derive(Clone, Copy, Debug)]
+pub struct Mcs {
+    /// Index in the standard (0 = control PHY).
+    pub index: u8,
+    /// Modulation.
+    pub modulation: Modulation,
+    /// Code rate as (numerator, denominator).
+    pub code_rate: (u8, u8),
+    /// PHY data rate in bits per second.
+    pub rate_bps: u64,
+    /// Receiver sensitivity from the standard, in dBm.
+    pub sensitivity_dbm: f64,
+}
+
+impl Mcs {
+    /// Human-readable "QPSK, 5/8" style label (as used in Fig. 12).
+    pub fn label(&self) -> String {
+        format!("{}, {}/{}", self.modulation, self.code_rate.0, self.code_rate.1)
+    }
+
+    /// Data rate in Gb/s (as reported by the D5000 application).
+    pub fn rate_gbps(&self) -> f64 {
+        self.rate_bps as f64 / 1e9
+    }
+
+    /// Minimum SNR for reliable reception given `noise_floor_dbm`
+    /// (sensitivity − noise floor).
+    pub fn snr_threshold_db(&self, noise_floor_dbm: f64) -> f64 {
+        self.sensitivity_dbm - noise_floor_dbm
+    }
+
+    /// Packet error probability at the given SINR, for a packet of
+    /// `bits` bits.
+    ///
+    /// A logistic waterfall centred `0.5 dB` above threshold with a 0.25 dB
+    /// slope approximates the steep coded-PER curves of the standard (LDPC
+    /// waterfalls drop several decades per dB); the per-bit extrapolation
+    /// makes longer (aggregated) frames slightly more fragile, as in
+    /// reality.
+    pub fn per(&self, sinr_db: f64, bits: u64, noise_floor_dbm: f64) -> f64 {
+        let thr = self.snr_threshold_db(noise_floor_dbm) + 0.5;
+        let p_ref = 1.0 / (1.0 + ((sinr_db - thr) / 0.25).exp());
+        // p_ref is calibrated for a 1500-byte MPDU; scale with length.
+        let scale = bits as f64 / 12_000.0;
+        let ok = (1.0 - p_ref).powf(scale.max(1e-6));
+        (1.0 - ok).clamp(0.0, 1.0)
+    }
+}
+
+/// The full single-carrier table (plus control PHY).
+#[derive(Clone, Debug)]
+pub struct McsTable {
+    entries: Vec<Mcs>,
+}
+
+impl McsTable {
+    /// The 802.11ad control + SC MCS set.
+    pub fn ieee_802_11ad() -> McsTable {
+        let e = |index, modulation, code_rate, mbps: f64, sensitivity_dbm| Mcs {
+            index,
+            modulation,
+            code_rate,
+            rate_bps: (mbps * 1e6) as u64,
+            sensitivity_dbm,
+        };
+        use Modulation::*;
+        McsTable {
+            entries: vec![
+                e(0, Dbpsk, (1, 2), 27.5, -78.0),
+                e(1, Bpsk, (1, 2), 385.0, -68.0),
+                e(2, Bpsk, (1, 2), 770.0, -66.0),
+                e(3, Bpsk, (5, 8), 962.5, -65.0),
+                e(4, Bpsk, (3, 4), 1155.0, -64.0),
+                e(5, Bpsk, (13, 16), 1251.25, -62.0),
+                e(6, Qpsk, (1, 2), 1540.0, -63.0),
+                e(7, Qpsk, (5, 8), 1925.0, -62.0),
+                e(8, Qpsk, (3, 4), 2310.0, -61.0),
+                e(9, Qpsk, (13, 16), 2502.5, -59.0),
+                e(10, Qam16, (1, 2), 3080.0, -55.0),
+                e(11, Qam16, (5, 8), 3850.0, -54.0),
+                e(12, Qam16, (3, 4), 4620.0, -53.0),
+            ],
+        }
+    }
+
+    /// Entry by index. Panics on an index outside the table.
+    pub fn get(&self, index: u8) -> &Mcs {
+        &self.entries[index as usize]
+    }
+
+    /// The control PHY (MCS 0).
+    pub fn control(&self) -> &Mcs {
+        self.get(0)
+    }
+
+    /// Highest data MCS index.
+    pub fn max_index(&self) -> u8 {
+        (self.entries.len() - 1) as u8
+    }
+
+    /// All data-phy entries (MCS ≥ 1).
+    pub fn data_entries(&self) -> &[Mcs] {
+        &self.entries[1..]
+    }
+
+    /// Highest MCS (≤ `cap`) whose SNR threshold plus `margin_db` is met at
+    /// `snr_db`; falls back to MCS 1 if even that is not workable.
+    pub fn best_for_snr(&self, snr_db: f64, noise_floor_dbm: f64, margin_db: f64, cap: u8) -> &Mcs {
+        self.entries[1..=cap.min(self.max_index()) as usize]
+            .iter()
+            .rev()
+            .find(|m| snr_db >= m.snr_threshold_db(noise_floor_dbm) + margin_db)
+            .unwrap_or(self.get(1))
+    }
+}
+
+impl Default for McsTable {
+    fn default() -> Self {
+        McsTable::ieee_802_11ad()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NOISE: f64 = -71.5; // 1.76 GHz BW, NF 10 dB
+
+    #[test]
+    fn table_matches_standard_rates() {
+        let t = McsTable::ieee_802_11ad();
+        assert_eq!(t.get(1).rate_bps, 385_000_000);
+        assert_eq!(t.get(6).rate_bps, 1_540_000_000);
+        assert_eq!(t.get(11).rate_bps, 3_850_000_000);
+        assert_eq!(t.get(12).rate_bps, 4_620_000_000);
+        assert_eq!(t.max_index(), 12);
+    }
+
+    #[test]
+    fn labels_match_fig12() {
+        let t = McsTable::ieee_802_11ad();
+        assert_eq!(t.get(11).label(), "16-QAM, 5/8");
+        assert_eq!(t.get(8).label(), "QPSK, 3/4");
+        assert_eq!(t.get(7).label(), "QPSK, 5/8");
+        assert_eq!(t.get(6).label(), "QPSK, 1/2");
+        assert_eq!(t.get(4).label(), "BPSK, 3/4");
+    }
+
+    #[test]
+    fn rates_monotone_in_index() {
+        let t = McsTable::ieee_802_11ad();
+        for w in t.data_entries().windows(2) {
+            assert!(w[1].rate_bps > w[0].rate_bps);
+        }
+    }
+
+    #[test]
+    fn higher_rate_needs_higher_snr_within_modulation() {
+        let t = McsTable::ieee_802_11ad();
+        // Sensitivities are monotone within each modulation family.
+        for fam in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16] {
+            let sens: Vec<f64> = t
+                .data_entries()
+                .iter()
+                .filter(|m| m.modulation == fam)
+                .map(|m| m.sensitivity_dbm)
+                .collect();
+            for w in sens.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn control_phy_is_most_robust() {
+        let t = McsTable::ieee_802_11ad();
+        for m in t.data_entries() {
+            assert!(t.control().sensitivity_dbm < m.sensitivity_dbm);
+        }
+    }
+
+    #[test]
+    fn best_for_snr_selects_correctly() {
+        let t = McsTable::ieee_802_11ad();
+        // Very high SNR, uncapped: MCS 12.
+        assert_eq!(t.best_for_snr(40.0, NOISE, 2.0, 12).index, 12);
+        // Very high SNR but capped at 11 (the D5000 never uses MCS 12).
+        assert_eq!(t.best_for_snr(40.0, NOISE, 2.0, 11).index, 11);
+        // Hopeless SNR falls back to MCS 1.
+        assert_eq!(t.best_for_snr(-10.0, NOISE, 2.0, 12).index, 1);
+        // Threshold arithmetic: MCS 6 needs −63 − (−71.5) = 8.5 dB.
+        assert!((t.get(6).snr_threshold_db(NOISE) - 8.5).abs() < 1e-9);
+        let m = t.best_for_snr(8.5 + 2.0, NOISE, 2.0, 12);
+        assert!(m.index >= 6, "got MCS {}", m.index);
+    }
+
+    #[test]
+    fn per_waterfall_shape() {
+        let t = McsTable::ieee_802_11ad();
+        let m = t.get(8);
+        let thr = m.snr_threshold_db(NOISE);
+        // Well below threshold: certain loss. Well above: reliable.
+        assert!(m.per(thr - 5.0, 12_000, NOISE) > 0.99);
+        assert!(m.per(thr + 5.0, 12_000, NOISE) < 1e-3);
+        // Monotone decreasing in SINR.
+        let mut prev = 1.0;
+        for k in 0..40 {
+            let p = m.per(thr - 4.0 + k as f64 * 0.25, 12_000, NOISE);
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn longer_frames_are_more_fragile() {
+        let t = McsTable::ieee_802_11ad();
+        let m = t.get(11);
+        let s = m.snr_threshold_db(NOISE) + 1.5;
+        assert!(m.per(s, 96_000, NOISE) > m.per(s, 12_000, NOISE));
+    }
+}

@@ -1,0 +1,307 @@
+//! Sampled azimuth antenna patterns and their analysis.
+//!
+//! Every antenna in the workspace — synthesized array patterns, horns,
+//! quasi-omni discovery patterns — is ultimately evaluated as an
+//! [`AntennaPattern`]: power gain (dBi) sampled uniformly over the full
+//! circle. The analysis helpers (peak, HPBW, lobe finding, side-lobe level,
+//! gap detection) implement the metrics §4.2 of the paper reports.
+
+use mmwave_geom::Angle;
+use std::f64::consts::TAU;
+
+/// A power-gain pattern sampled uniformly over [0, 2π).
+#[derive(Clone, Debug)]
+pub struct AntennaPattern {
+    /// Gain samples in dBi; sample `i` is at azimuth `i · 2π/n` in
+    /// *array-local* coordinates (0 = boresight).
+    samples: Vec<f64>,
+}
+
+/// A detected pattern lobe.
+#[derive(Clone, Copy, Debug)]
+pub struct Lobe {
+    /// Lobe peak direction (array-local).
+    pub direction: Angle,
+    /// Lobe peak gain in dBi.
+    pub gain_dbi: f64,
+}
+
+impl AntennaPattern {
+    /// Default angular resolution used by the synthesizers (0.5°).
+    pub const DEFAULT_SAMPLES: usize = 720;
+
+    /// Build from a gain function evaluated at `n` uniform azimuths.
+    pub fn from_fn(n: usize, f: impl Fn(Angle) -> f64) -> AntennaPattern {
+        assert!(n >= 8, "pattern too coarse");
+        let samples = (0..n)
+            .map(|i| {
+                let g = f(Angle::from_radians(TAU * i as f64 / n as f64));
+                debug_assert!(g.is_finite(), "non-finite gain");
+                g
+            })
+            .collect();
+        AntennaPattern { samples }
+    }
+
+    /// An isotropic pattern of the given gain (used for idealized tests).
+    pub fn isotropic(gain_dbi: f64) -> AntennaPattern {
+        AntennaPattern { samples: vec![gain_dbi; Self::DEFAULT_SAMPLES] }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the pattern has no samples (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Raw samples (dBi), sample `i` at azimuth `i · 2π/n`.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Gain in dBi at `theta` (array-local), circularly interpolated.
+    pub fn gain_dbi(&self, theta: Angle) -> f64 {
+        let n = self.samples.len() as f64;
+        let pos = theta.radians().rem_euclid(TAU) / TAU * n;
+        let i0 = pos.floor() as usize % self.samples.len();
+        let i1 = (i0 + 1) % self.samples.len();
+        let frac = pos - pos.floor();
+        self.samples[i0] * (1.0 - frac) + self.samples[i1] * frac
+    }
+
+    /// Peak gain (dBi) and its direction.
+    pub fn peak(&self) -> Lobe {
+        let (i, &g) = self
+            .samples
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite gains"))
+            .expect("non-empty pattern");
+        Lobe { direction: self.direction_of(i), gain_dbi: g }
+    }
+
+    fn direction_of(&self, i: usize) -> Angle {
+        Angle::from_radians(TAU * i as f64 / self.samples.len() as f64)
+    }
+
+    /// Half-power beamwidth of the main lobe, in radians: the angular width
+    /// around the peak where gain stays within 3 dB of the peak.
+    pub fn hpbw(&self) -> f64 {
+        let n = self.samples.len();
+        let peak_idx = self
+            .samples
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let limit = self.samples[peak_idx] - 3.0;
+        let step = TAU / n as f64;
+        let mut width = step; // the peak sample itself
+        // Walk right.
+        for k in 1..n {
+            if self.samples[(peak_idx + k) % n] >= limit {
+                width += step;
+            } else {
+                break;
+            }
+        }
+        // Walk left.
+        for k in 1..n {
+            if self.samples[(peak_idx + n - k) % n] >= limit {
+                width += step;
+            } else {
+                break;
+            }
+        }
+        width.min(TAU)
+    }
+
+    /// All local maxima at least `min_rel_db` above the pattern minimum and
+    /// with at least `min_prominence_db` of prominence over the adjacent
+    /// valleys, sorted by descending gain. The first entry is the main lobe.
+    pub fn lobes(&self, min_prominence_db: f64) -> Vec<Lobe> {
+        let n = self.samples.len();
+        let mut lobes = Vec::new();
+        for i in 0..n {
+            let prev = self.samples[(i + n - 1) % n];
+            let here = self.samples[i];
+            let next = self.samples[(i + 1) % n];
+            if here >= prev && here > next {
+                // Walk out to the valleys on both sides to get prominence.
+                let mut lo = here;
+                let mut k = 1;
+                while k < n {
+                    let v = self.samples[(i + n - k) % n];
+                    if v > here {
+                        break;
+                    }
+                    lo = lo.min(v);
+                    k += 1;
+                }
+                let mut hi_side = here;
+                let mut k = 1;
+                while k < n {
+                    let v = self.samples[(i + k) % n];
+                    if v > here {
+                        break;
+                    }
+                    hi_side = hi_side.min(v);
+                    k += 1;
+                }
+                let prominence = here - lo.max(hi_side);
+                if prominence >= min_prominence_db {
+                    lobes.push(Lobe { direction: self.direction_of(i), gain_dbi: here });
+                }
+            }
+        }
+        lobes.sort_by(|a, b| b.gain_dbi.partial_cmp(&a.gain_dbi).expect("finite"));
+        lobes
+    }
+
+    /// Side-lobe level: gain of the strongest lobe other than the main one,
+    /// relative to the main lobe, in dB (negative). `None` if the pattern
+    /// has a single lobe. Lobes inside the main lobe's half-power width are
+    /// not counted as side lobes.
+    pub fn side_lobe_level_db(&self) -> Option<f64> {
+        let lobes = self.lobes(1.0);
+        let main = lobes.first()?;
+        let hpbw = self.hpbw();
+        lobes
+            .iter()
+            .skip(1)
+            .find(|l| l.direction.distance(main.direction) > hpbw / 2.0)
+            .map(|l| l.gain_dbi - main.gain_dbi)
+    }
+
+    /// Deep gaps: directions within ±`sector` of boresight where the gain
+    /// falls more than `depth_db` below the pattern's peak. Returns the
+    /// gap directions. Used to quantify the quasi-omni imperfections of
+    /// Fig. 16.
+    pub fn gaps(&self, sector: f64, depth_db: f64) -> Vec<Angle> {
+        let peak = self.peak().gain_dbi;
+        let n = self.samples.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let dir = self.direction_of(i);
+            if dir.distance(Angle::ZERO) <= sector && self.samples[i] < peak - depth_db {
+                // Only record local minima so a wide gap counts once.
+                let prev = self.samples[(i + n - 1) % n];
+                let next = self.samples[(i + 1) % n];
+                if self.samples[i] <= prev && self.samples[i] < next {
+                    out.push(dir);
+                }
+            }
+        }
+        out
+    }
+
+    /// A copy normalized so the peak is 0 dB (figure-style presentation).
+    pub fn normalized(&self) -> AntennaPattern {
+        let peak = self.peak().gain_dbi;
+        AntennaPattern { samples: self.samples.iter().map(|g| g - peak).collect() }
+    }
+
+    /// Azimuthal directivity estimate: peak linear gain over the circular
+    /// average of linear gain. For sanity checks on synthesized patterns.
+    pub fn directivity_db(&self) -> f64 {
+        let lin: Vec<f64> = self.samples.iter().map(|g| 10f64.powf(g / 10.0)).collect();
+        let avg = lin.iter().sum::<f64>() / lin.len() as f64;
+        let peak = lin.iter().cloned().fold(f64::MIN, f64::max);
+        10.0 * (peak / avg).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic pattern: one main lobe at 0° and one side lobe at 90°.
+    fn two_lobe_pattern(side_level_db: f64) -> AntennaPattern {
+        AntennaPattern::from_fn(720, |a| {
+            let main = 20.0 - (a.distance(Angle::ZERO).to_degrees() / 10.0).powi(2);
+            let side = 20.0 + side_level_db
+                - (a.distance(Angle::from_degrees(90.0)).to_degrees() / 8.0).powi(2);
+            main.max(side).max(-30.0)
+        })
+    }
+
+    #[test]
+    fn isotropic_has_no_side_lobes() {
+        let p = AntennaPattern::isotropic(3.0);
+        assert_eq!(p.gain_dbi(Angle::from_degrees(123.0)), 3.0);
+        assert!(p.lobes(1.0).is_empty());
+        assert!(p.side_lobe_level_db().is_none());
+    }
+
+    #[test]
+    fn peak_and_interpolation() {
+        let p = two_lobe_pattern(-10.0);
+        let peak = p.peak();
+        assert!(peak.direction.distance(Angle::ZERO) < 0.02);
+        assert!((peak.gain_dbi - 20.0).abs() < 0.01);
+        // Interpolated lookup between samples is close to the function.
+        let g = p.gain_dbi(Angle::from_degrees(0.25));
+        assert!((g - 20.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn hpbw_of_gaussian_lobe() {
+        // main = 20 − (θ°/10)²  →  −3 dB at θ = ±10·√3 ≈ ±17.3°, HPBW ≈ 34.6°.
+        let p = two_lobe_pattern(-20.0);
+        let hpbw_deg = p.hpbw().to_degrees();
+        assert!((hpbw_deg - 34.6).abs() < 1.5, "hpbw {hpbw_deg}");
+    }
+
+    #[test]
+    fn lobe_detection_finds_both() {
+        let p = two_lobe_pattern(-6.0);
+        let lobes = p.lobes(2.0);
+        assert_eq!(lobes.len(), 2, "lobes: {lobes:?}");
+        assert!(lobes[0].direction.distance(Angle::ZERO) < 0.02);
+        assert!(lobes[1].direction.distance(Angle::from_degrees(90.0)) < 0.02);
+    }
+
+    #[test]
+    fn side_lobe_level() {
+        for sll in [-1.0, -4.0, -6.0, -12.0] {
+            let p = two_lobe_pattern(sll);
+            let measured = p.side_lobe_level_db().expect("side lobe");
+            assert!((measured - sll).abs() < 0.1, "target {sll} measured {measured}");
+        }
+    }
+
+    #[test]
+    fn normalized_peak_is_zero() {
+        let p = two_lobe_pattern(-5.0).normalized();
+        assert!(p.peak().gain_dbi.abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaps_detected_in_sector() {
+        // A pattern with a sharp notch at +20°.
+        let p = AntennaPattern::from_fn(720, |a| {
+            if a.distance(Angle::from_degrees(20.0)).to_degrees() < 3.0 {
+                -15.0
+            } else {
+                0.0
+            }
+        });
+        let gaps = p.gaps(60f64.to_radians(), 8.0);
+        assert!(!gaps.is_empty());
+        assert!(gaps.iter().any(|g| g.distance(Angle::from_degrees(20.0)) < 0.1));
+        // Nothing outside the sector.
+        assert!(p.gaps(10f64.to_radians(), 8.0).is_empty());
+    }
+
+    #[test]
+    fn directivity_increases_with_focus() {
+        let wide = AntennaPattern::from_fn(720, |a| 10.0 - a.distance(Angle::ZERO).to_degrees() / 10.0);
+        let narrow = AntennaPattern::from_fn(720, |a| 10.0 - a.distance(Angle::ZERO).to_degrees());
+        assert!(narrow.directivity_db() > wide.directivity_db());
+    }
+}

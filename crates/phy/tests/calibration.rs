@@ -1,0 +1,144 @@
+//! Calibration tests: the beam-pattern imperfections measured in §4.2 of
+//! the paper must *emerge* from the array model for the canonical device
+//! seeds used throughout the workspace. If a refactor of the synthesis
+//! breaks any of these, every downstream interference experiment loses its
+//! physical justification — so the paper's numbers are pinned here.
+//!
+//! Canonical seeds (shared with the device models in `mmwave-mac`):
+//! dock = 13, laptop = 11, WiHD TX = 21, WiHD RX = 22.
+
+use mmwave_geom::Angle;
+use mmwave_phy::{ArrayConfig, Codebook, PhasedArray};
+
+/// The dock's array (canonical seed 13).
+fn dock_array() -> PhasedArray {
+    PhasedArray::new(ArrayConfig::wigig_2x8(13))
+}
+
+/// The laptop's array (canonical seed 11).
+fn laptop_array() -> PhasedArray {
+    PhasedArray::new(ArrayConfig::wigig_2x8(11))
+}
+
+#[test]
+fn directional_hpbw_below_20_degrees() {
+    // §4.2: "patterns are of highly directional nature with a HPBW below
+    // 20 degree".
+    for arr in [dock_array(), laptop_array()] {
+        let cb = Codebook::directional_default(&arr);
+        let trained = cb.best_toward(Angle::ZERO);
+        let hpbw = trained.pattern.hpbw().to_degrees();
+        assert!(hpbw < 20.0, "hpbw {hpbw}");
+        assert!(hpbw > 8.0, "implausibly narrow for a 8-column array: {hpbw}");
+    }
+}
+
+#[test]
+fn boresight_side_lobes_minus_4_to_6_db() {
+    // §4.2: "side lobes can have a transmit power in the range of −4 to
+    // −6 dB compared to the main lobe". Allow the physically-derived
+    // patterns a little slack around that band.
+    for (name, arr) in [("dock", dock_array()), ("laptop", laptop_array())] {
+        let cb = Codebook::directional_default(&arr);
+        let sll = cb
+            .best_toward(Angle::ZERO)
+            .pattern
+            .side_lobe_level_db()
+            .expect("side lobes exist");
+        assert!((-8.0..=-3.5).contains(&sll), "{name} SLL {sll} outside −4…−6 dB band");
+    }
+}
+
+#[test]
+fn boundary_steering_loses_about_10_db() {
+    // §4.2: measuring the 70°-rotated pattern required "+10 dB receiver
+    // gain" — i.e. ~10 dB less link gain at the array's coverage boundary.
+    for arr in [dock_array(), laptop_array()] {
+        let cb = Codebook::directional_default(&arr);
+        let boresight_peak = cb.best_toward(Angle::ZERO).pattern.peak().gain_dbi;
+        let target = Angle::from_degrees(70.0);
+        let edge_gain = cb.best_toward(target).pattern.gain_dbi(target);
+        let loss = boresight_peak - edge_gain;
+        assert!((7.0..=14.0).contains(&loss), "scan loss {loss} not ≈10 dB");
+    }
+}
+
+#[test]
+fn boundary_steering_has_near_0db_side_lobes() {
+    // §4.2: at 70° misalignment, "a much higher number of side lobes as
+    // strong as −1 dB with respect to the main lobe".
+    for (name, arr) in [("dock", dock_array()), ("laptop", laptop_array())] {
+        let cb = Codebook::directional_default(&arr);
+        let target = Angle::from_degrees(70.0);
+        let edge = &cb.best_toward(target).pattern;
+        let sll = edge.side_lobe_level_db().expect("side lobes exist");
+        assert!(sll >= -3.0, "{name} boundary SLL {sll}, expected ≈ −1 dB");
+        // And clearly more *strong* lobes (within 3 dB of the peak) than
+        // the aligned pattern — the paper's "much higher number of side
+        // lobes as strong as −1 dB".
+        let strong = |p: &mmwave_phy::AntennaPattern| {
+            let peak = p.peak().gain_dbi;
+            p.lobes(1.0).iter().filter(|l| l.gain_dbi >= peak - 3.0).count()
+        };
+        let aligned_strong = strong(&cb.best_toward(Angle::ZERO).pattern);
+        let edge_strong = strong(edge);
+        assert!(
+            edge_strong > aligned_strong,
+            "{name}: {edge_strong} strong edge lobes vs {aligned_strong} aligned"
+        );
+    }
+}
+
+#[test]
+fn quasi_omni_hpbw_up_to_60_degrees_with_gaps() {
+    // §4.2: "the half power beam width (HPBW) can be as wide as 60
+    // degrees, each pattern contains several deep gaps".
+    let arr = dock_array();
+    let qo = Codebook::quasi_omni_32(&arr);
+    let widest = qo
+        .sectors()
+        .iter()
+        .map(|s| s.pattern.hpbw().to_degrees())
+        .fold(f64::MIN, f64::max);
+    assert!((45.0..=80.0).contains(&widest), "widest quasi-omni HPBW {widest}");
+    // Most patterns show at least one deep (>6 dB) gap in the front sector.
+    let with_gaps = qo
+        .sectors()
+        .iter()
+        .filter(|s| !s.pattern.gaps(90f64.to_radians(), 6.0).is_empty())
+        .count();
+    assert!(with_gaps * 2 > qo.len(), "only {with_gaps}/32 patterns have deep gaps");
+}
+
+#[test]
+fn wihd_patterns_wider_than_wigig() {
+    // §4.3: "the WiHD system transmits with a much wider antenna pattern
+    // than the D5000" — the premise of the interference analysis.
+    let wigig = dock_array();
+    let wihd = PhasedArray::new(ArrayConfig::wihd_24(21));
+    let wigig_cb = Codebook::directional_default(&wigig);
+    let wihd_cb = Codebook::directional_default(&wihd);
+    let avg = |cb: &Codebook| {
+        cb.sectors().iter().map(|s| s.pattern.hpbw()).sum::<f64>() / cb.len() as f64
+    };
+    assert!(avg(&wihd_cb) > 1.2 * avg(&wigig_cb), "WiHD not wider");
+}
+
+#[test]
+fn canonical_seeds_are_stable() {
+    // The exact SLL values the experiments were calibrated against.
+    // These change only if the synthesis algorithm changes — in which case
+    // all calibration must be revisited (update DESIGN.md too).
+    let dock_sll = Codebook::directional_default(&dock_array())
+        .best_toward(Angle::ZERO)
+        .pattern
+        .side_lobe_level_db()
+        .expect("sll");
+    let laptop_sll = Codebook::directional_default(&laptop_array())
+        .best_toward(Angle::ZERO)
+        .pattern
+        .side_lobe_level_db()
+        .expect("sll");
+    assert!((dock_sll - -6.5).abs() < 0.5, "dock SLL drifted: {dock_sll}");
+    assert!((laptop_sll - -5.4).abs() < 0.5, "laptop SLL drifted: {laptop_sll}");
+}

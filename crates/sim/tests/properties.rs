@@ -1,0 +1,122 @@
+//! Property tests for the simulation kernel: ordering and accounting
+//! invariants the whole workspace assumes.
+
+use mmwave_sim::queue::EventQueue;
+use mmwave_sim::stats::{BusyTracker, Cdf, OnlineStats};
+use mmwave_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Whatever order events are scheduled in, they pop sorted by time,
+    /// and equal timestamps pop in insertion order.
+    #[test]
+    fn queue_pops_sorted_and_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((at, idx)) = q.pop() {
+            popped.push((at, idx));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at equal times");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn queue_cancellation_exact(times in proptest::collection::vec(0u64..1_000, 1..100),
+                                mask in proptest::collection::vec(any::<bool>(), 100)) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_nanos(t), i))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if mask[i % mask.len()] {
+                prop_assert!(q.cancel(*id));
+            } else {
+                kept.push(i);
+            }
+        }
+        let mut popped = Vec::new();
+        while let Some((_, idx)) = q.pop() {
+            popped.push(idx);
+        }
+        popped.sort();
+        kept.sort();
+        prop_assert_eq!(popped, kept);
+    }
+
+    /// BusyTracker: the merged busy time never exceeds the window, never
+    /// exceeds the sum of interval lengths, and equals it when intervals
+    /// are disjoint.
+    #[test]
+    fn busy_tracker_bounds(spans in proptest::collection::vec((0u64..10_000, 1u64..500), 1..60)) {
+        let mut b = BusyTracker::new();
+        let mut sum = 0u64;
+        for &(s, len) in &spans {
+            b.add(SimTime::from_nanos(s), SimTime::from_nanos(s + len));
+            sum += len;
+        }
+        let window = (SimTime::ZERO, SimTime::from_nanos(11_000));
+        let busy = b.busy_within(window.0, window.1).as_nanos();
+        prop_assert!(busy <= sum, "merged busy {busy} > raw sum {sum}");
+        prop_assert!(busy <= 11_000);
+        let util = b.utilization(window.0, window.1);
+        prop_assert!((0.0..=1.0).contains(&util));
+        // Intervals are disjoint and sorted after merging.
+        for w in b.intervals().windows(2) {
+            prop_assert!(w[0].1 < w[1].0);
+        }
+    }
+
+    /// CDF quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn cdf_quantile_monotone(samples in proptest::collection::vec(-1e6..1e6f64, 1..300)) {
+        let mut cdf = Cdf::from_samples(samples.iter().cloned());
+        let mut last = f64::MIN;
+        for k in 0..=10 {
+            let v = cdf.quantile(k as f64 / 10.0);
+            prop_assert!(v >= last);
+            last = v;
+        }
+        prop_assert_eq!(cdf.quantile(0.0), cdf.min());
+        prop_assert_eq!(cdf.quantile(1.0), cdf.max());
+        // probability_at is a valid CDF.
+        prop_assert_eq!(cdf.probability_at(f64::MAX / 2.0), 1.0);
+        prop_assert_eq!(cdf.probability_at(-f64::MAX / 2.0), 0.0);
+    }
+
+    /// Welford matches the two-pass computation.
+    #[test]
+    fn online_stats_match_two_pass(samples in proptest::collection::vec(-1e3..1e3f64, 2..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &samples {
+            s.add(x);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-6 * (1.0 + var));
+    }
+
+    /// Duration arithmetic: for_bits/bits_at round-trip within rounding.
+    #[test]
+    fn duration_bits_roundtrip(bits in 1u64..1_000_000_000, rate in 1_000_000u64..5_000_000_000) {
+        let d = SimDuration::for_bits(bits, rate);
+        let back = d.bits_at(rate);
+        prop_assert!(back >= bits);
+        // Rounding up by at most one nanosecond's worth of bits.
+        let slack = rate / 1_000_000_000 + 1;
+        prop_assert!(back - bits <= slack, "{} extra bits", back - bits);
+    }
+}

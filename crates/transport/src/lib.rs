@@ -1,0 +1,47 @@
+//! # mmwave-transport — Iperf over the 60 GHz link
+//!
+//! The paper's throughput numbers are all produced by Iperf over TCP, with
+//! the TCP *window size* as the experiment knob (§4.1: "We control the TCP
+//! throughput by adjusting its window size in Iperf") and a Gigabit
+//! Ethernet interface capping everything near 934 Mb/s. This crate
+//! provides exactly that measurement stack:
+//!
+//! * [`tcp`] — a compact Reno-style TCP: slow start, congestion avoidance,
+//!   fast retransmit on triple duplicate ACKs, RTO with backoff, a window
+//!   clamp (the Iperf `-w` knob) and optional application pacing (for the
+//!   kb/s operating points of Figs. 9–11, which the real setup reached
+//!   through pathological small-window behaviour — see DESIGN.md).
+//! * [`ethernet`] — the 1 Gb/s store-and-forward bottleneck between the
+//!   wired Iperf endpoint and the dock's air interface.
+//! * [`stack`] — the co-simulation driver that interleaves TCP timers with
+//!   the MAC event loop and collects per-interval throughput series
+//!   (the Iperf report).
+
+//! ## Example
+//!
+//! ```
+//! use mmwave_channel::Environment;
+//! use mmwave_geom::{Angle, Point, Room};
+//! use mmwave_mac::{Device, Net, NetConfig};
+//! use mmwave_sim::time::SimTime;
+//! use mmwave_transport::{Stack, TcpConfig};
+//!
+//! let mut net = Net::new(Environment::new(Room::open_space()), NetConfig::default());
+//! let dock = net.add_device(Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13));
+//! let laptop = net.add_device(Device::wigig_laptop(
+//!     "laptop", Point::new(2.0, 0.0), Angle::from_degrees(180.0), 11));
+//! net.associate_instantly(dock, laptop);
+//!
+//! let mut stack = Stack::new(net);
+//! let flow = stack.add_flow(TcpConfig::bulk(dock, laptop, 256 * 1024));
+//! stack.run_until(SimTime::from_millis(200));
+//! assert!(stack.flow_stats(flow).bytes_acked > 1_000_000);
+//! ```
+
+pub mod ethernet;
+pub mod stack;
+pub mod tcp;
+
+pub use ethernet::RateLimiter;
+pub use stack::{FlowId, Stack};
+pub use tcp::{FlowStats, TcpConfig, TcpFlow};

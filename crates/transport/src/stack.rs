@@ -1,0 +1,160 @@
+//! The MAC/transport co-simulation driver.
+//!
+//! [`Stack`] owns a [`Net`] plus any number of TCP flows and advances both
+//! in timestamp order: whichever has the earlier next event (a MAC frame
+//! boundary or a TCP timer) runs first, and every MAC delivery is handed
+//! to its flow before the clock moves again. This is the place the
+//! experiments drive; they never touch TCP or MAC internals directly.
+
+use crate::tcp::{decode_tag, FlowStats, TcpAction, TcpConfig, TcpFlow};
+use mmwave_mac::{Delivery, Net};
+use mmwave_sim::time::SimTime;
+
+/// Identifier of a flow within a [`Stack`].
+pub type FlowId = u16;
+
+/// A network plus its transport flows.
+pub struct Stack {
+    /// The underlying MAC/PHY simulation.
+    pub net: Net,
+    flows: Vec<TcpFlow>,
+}
+
+impl Stack {
+    /// Wrap a network.
+    pub fn new(net: Net) -> Stack {
+        Stack { net, flows: Vec::new() }
+    }
+
+    /// Add a TCP flow; it starts transmitting as the clock advances.
+    pub fn add_flow(&mut self, cfg: TcpConfig) -> FlowId {
+        let id = self.flows.len() as u16;
+        let flow = TcpFlow::new(id, cfg, self.net.now());
+        self.flows.push(flow);
+        id
+    }
+
+    /// Statistics of a flow.
+    pub fn flow_stats(&self, id: FlowId) -> &FlowStats {
+        &self.flows[id as usize].stats
+    }
+
+    /// The flow itself (diagnostics).
+    pub fn flow(&self, id: FlowId) -> &TcpFlow {
+        &self.flows[id as usize]
+    }
+
+    /// True if the flow transferred (and had acknowledged) all its bytes.
+    pub fn flow_finished(&self, id: FlowId) -> bool {
+        self.flows[id as usize].finished()
+    }
+
+    fn apply(net: &mut Net, actions: Vec<TcpAction>) {
+        for a in actions {
+            match a {
+                TcpAction::Push { dev, bytes, tag } => {
+                    net.push_mpdu(dev, bytes, tag);
+                }
+            }
+        }
+    }
+
+    fn pump_flow(net: &mut Net, flow: &mut TcpFlow, now: SimTime) {
+        let qlen = net.queue_len(flow.cfg.src_dev);
+        let actions = flow.pump(now, qlen);
+        Self::apply(net, actions);
+    }
+
+    fn handle_deliveries(&mut self) {
+        let now = self.net.now();
+        for d in self.net.take_deliveries() {
+            match d {
+                Delivery::Mpdu { dev, tag, .. } => {
+                    let (flow_id, is_ack, seq) = decode_tag(tag);
+                    let Some(flow) = self.flows.get_mut(flow_id as usize) else {
+                        continue; // not transport traffic (e.g. raw pushes)
+                    };
+                    if is_ack {
+                        if dev != flow.cfg.src_dev {
+                            continue;
+                        }
+                        flow.on_ack(seq, now);
+                        if let Some(r) = flow.take_fast_retransmit(now) {
+                            Self::apply(&mut self.net, vec![r]);
+                        }
+                        Self::pump_flow(&mut self.net, flow, now);
+                    } else {
+                        if dev != flow.cfg.dst_dev {
+                            continue;
+                        }
+                        if let Some(ack) = flow.on_data(seq, now) {
+                            Self::apply(&mut self.net, vec![ack]);
+                        }
+                    }
+                }
+                Delivery::Dropped { .. } => {
+                    // MAC gave up; TCP's own RTO recovers the loss.
+                }
+            }
+        }
+    }
+
+    /// Advance the co-simulation to `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        // Initial pump so fresh flows start sending.
+        let now = self.net.now();
+        for flow in &mut self.flows {
+            Self::pump_flow(&mut self.net, flow, now);
+        }
+        // Livelock guard: a healthy co-simulation never revisits the same
+        // instant more than a handful of times (bounded fan-out per event).
+        let mut last_next: Option<SimTime> = None;
+        let mut same_count: u64 = 0;
+        loop {
+            let t_net = self.net.peek_time();
+            let t_tcp = self
+                .flows
+                .iter()
+                .filter_map(|f| f.next_timer())
+                .min();
+            let next = match (t_net, t_tcp) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            if next > horizon {
+                break;
+            }
+            if last_next == Some(next) {
+                same_count += 1;
+            } else {
+                same_count = 0;
+                last_next = Some(next);
+            }
+            assert!(
+                same_count <= 100_000,
+                "transport/MAC livelock at {next:?} (t_net {t_net:?}, t_tcp {t_tcp:?})"
+            );
+            if t_tcp == Some(next) && t_net.is_none_or(|a| next <= a) {
+                // TCP timer first (ties: TCP before MAC keeps pacing exact).
+                self.net.run_until(next);
+                for i in 0..self.flows.len() {
+                    if self.flows[i].next_timer() == Some(next) {
+                        let flow = &mut self.flows[i];
+                        Self::pump_flow(&mut self.net, flow, next);
+                    }
+                }
+            } else {
+                self.net.step();
+                self.handle_deliveries();
+            }
+        }
+        self.net.run_until(horizon);
+        // Final stats flush.
+        let now = self.net.now();
+        for flow in &mut self.flows {
+            Self::pump_flow(&mut self.net, flow, now);
+        }
+    }
+}

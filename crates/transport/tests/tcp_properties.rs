@@ -1,0 +1,152 @@
+//! Property tests for the TCP model: sequence-number and congestion
+//! invariants under arbitrary delivery/loss/reorder schedules.
+
+use mmwave_sim::time::SimTime;
+use mmwave_transport::tcp::TcpAction;
+use mmwave_transport::{TcpConfig, TcpFlow};
+use proptest::prelude::*;
+
+/// A random interleaving script: each step either delivers a data segment
+/// to the receiver (possibly out of order or duplicated), delivers the
+/// latest ACK to the sender, or advances time to the next timer.
+#[derive(Clone, Debug)]
+enum Step {
+    DeliverData { skip: u8, dup: bool },
+    DeliverAck,
+    AdvanceTimer,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..3, any::<bool>()).prop_map(|(skip, dup)| Step::DeliverData { skip, dup }),
+            Just(Step::DeliverAck),
+            Just(Step::AdvanceTimer),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn tcp_invariants_hold(script in steps(), window_kb in 2u64..128) {
+        let cfg = TcpConfig { bottleneck: None, ..TcpConfig::bulk(0, 1, window_kb * 1024) };
+        let mss = cfg.mss;
+        let mut flow = TcpFlow::new(1, cfg, SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        // Segments "in flight" between sender and receiver.
+        let mut air: Vec<u64> = Vec::new();
+        let mut last_ack: Option<u64> = None;
+        let mut prev_una = 0u64;
+        let mut prev_rcv_bytes = 0u64;
+
+        let push_actions = |actions: Vec<TcpAction>, air: &mut Vec<u64>| {
+            for a in actions {
+                let TcpAction::Push { tag, bytes, .. } = a;
+                // Decode: data segments have bytes == mss.
+                if bytes == mss {
+                    air.push(tag & ((1 << 48) - 1));
+                }
+            }
+        };
+
+        let actions = flow.pump(now, 0);
+        push_actions(actions, &mut air);
+
+        for step in script {
+            now += mmwave_sim::time::SimDuration::from_micros(37);
+            match step {
+                Step::DeliverData { skip, dup } => {
+                    if air.is_empty() { continue; }
+                    let idx = (skip as usize).min(air.len() - 1);
+                    let seq = if dup && idx > 0 { air[idx - 1] } else { air.remove(idx) };
+                    if let Some(ack) = flow.on_data(seq, now) {
+                        let TcpAction::Push { tag, .. } = ack;
+                        last_ack = Some(tag & ((1 << 48) - 1));
+                    }
+                }
+                Step::DeliverAck => {
+                    if let Some(cum) = last_ack {
+                        flow.on_ack(cum, now);
+                        if let Some(r) = flow.take_fast_retransmit(now) {
+                            push_actions(vec![r], &mut air);
+                        }
+                        let actions = flow.pump(now, 0);
+                        push_actions(actions, &mut air);
+                    }
+                }
+                Step::AdvanceTimer => {
+                    if let Some(t) = flow.next_timer() {
+                        now = now.max(t);
+                        let actions = flow.pump(now, 0);
+                        push_actions(actions, &mut air);
+                    }
+                }
+            }
+
+            // --- invariants ---
+            let (una, nxt) = flow.sender_progress();
+            prop_assert!(una <= nxt, "snd_una beyond snd_nxt");
+            prop_assert!(una >= prev_una, "cumulative ack went backwards");
+            prev_una = una;
+            prop_assert_eq!(flow.stats.bytes_acked, una * mss as u64);
+            prop_assert!(flow.stats.bytes_received >= prev_rcv_bytes);
+            prev_rcv_bytes = flow.stats.bytes_received;
+            prop_assert!(flow.cwnd_segments() >= 1.0, "cwnd collapsed below 1");
+            // Window clamp respected at send time: in-flight never exceeds
+            // clamp + 1 segment of slack (the retransmit).
+            let clamp = (window_kb * 1024) / mss as u64 + 2;
+            prop_assert!(nxt - una <= clamp.max(5), "flight {} > clamp {}", nxt - una, clamp);
+        }
+    }
+
+    /// A lossless in-order channel delivers and acknowledges everything:
+    /// eventually `finished()` with exact byte counts.
+    #[test]
+    fn lossless_channel_completes(total_segs in 1u64..200) {
+        let cfg = TcpConfig {
+            bottleneck: None,
+            total_bytes: Some(total_segs * 1500),
+            ..TcpConfig::bulk(0, 1, 1 << 20)
+        };
+        let mut flow = TcpFlow::new(1, cfg, SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        let mut air: std::collections::VecDeque<u64> = Default::default();
+        for _ in 0..10_000 {
+            if flow.finished() { break; }
+            now += mmwave_sim::time::SimDuration::from_micros(50);
+            for a in flow.pump(now, 0) {
+                let TcpAction::Push { tag, bytes, .. } = a;
+                if bytes == 1500 { air.push_back(tag & ((1 << 48) - 1)); }
+            }
+            let mut cum = None;
+            while let Some(seq) = air.pop_front() {
+                if let Some(TcpAction::Push { tag, .. }) = flow.on_data(seq, now) {
+                    cum = Some(tag & ((1 << 48) - 1));
+                }
+            }
+            // Flush any delayed ack via its timer.
+            if cum.is_none() {
+                if let Some(t) = flow.next_timer() {
+                    now = now.max(t);
+                    for a in flow.pump(now, 0) {
+                        let TcpAction::Push { tag, bytes, .. } = a;
+                        if bytes == 1500 {
+                            air.push_back(tag & ((1 << 48) - 1));
+                        } else {
+                            cum = Some(tag & ((1 << 48) - 1));
+                        }
+                    }
+                }
+            }
+            if let Some(c) = cum {
+                flow.on_ack(c, now);
+            }
+        }
+        prop_assert!(flow.finished(), "flow did not finish: {:?}", flow.sender_progress());
+        prop_assert_eq!(flow.stats.bytes_acked, total_segs * 1500);
+        prop_assert_eq!(flow.stats.retransmits, 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Explore the synthesized consumer-grade beam patterns: the directional
+//! sector fan, the 32 quasi-omni discovery patterns, and the ablation the
+//! paper's §5 design discussion begs for — what finer phase shifters would
+//! have bought.
+//!
+//! ```text
+//! cargo run --example beam_explorer
+//! ```
+
+use mmwave_geom::Angle;
+use mmwave_phy::{ArrayConfig, Codebook, PhaseShifter, PhasedArray};
+
+fn main() {
+    let array = PhasedArray::new(ArrayConfig::wigig_2x8(13));
+
+    println!("== directional codebook (32 sectors over ±77.5°) ==");
+    let cb = Codebook::directional_default(&array);
+    println!("{:>6}  {:>8}  {:>9}  {:>7}  {:>6}", "sector", "steer", "peak dBi", "HPBW", "SLL");
+    for s in cb.sectors().iter().step_by(4) {
+        let peak = s.pattern.peak();
+        println!(
+            "{:>6}  {:>8}  {:>9.1}  {:>6.1}°  {:>5.1}",
+            s.id,
+            format!("{}", s.steer),
+            peak.gain_dbi,
+            s.pattern.hpbw().to_degrees(),
+            s.pattern.side_lobe_level_db().unwrap_or(f64::NAN),
+        );
+    }
+
+    println!("\n== quasi-omni discovery codebook (Fig. 16's patterns) ==");
+    let qo = Codebook::quasi_omni_32(&array);
+    let mut gaps_total = 0;
+    for s in qo.sectors().iter().take(6) {
+        let gaps = s.pattern.gaps(90f64.to_radians(), 6.0);
+        gaps_total += gaps.len();
+        println!(
+            "entry {:>2}: HPBW {:>5.1}°, peak {:>5.1} dBi, {} deep gaps",
+            s.id,
+            s.pattern.hpbw().to_degrees(),
+            s.pattern.peak().gain_dbi,
+            gaps.len()
+        );
+    }
+    println!("(first 6 entries shown; {gaps_total} deep gaps among them)");
+
+    println!("\n== ablation: phase-shifter resolution vs side lobes ==");
+    println!("the paper blames cost-effective hardware for the −4…−6 dB side");
+    println!("lobes; here is what better shifters would have bought:");
+    println!("{:>5}  {:>12}  {:>14}", "bits", "SLL @ 0°", "SLL @ 60° steer");
+    for bits in 1..=6u8 {
+        let mut cfg = ArrayConfig::wigig_2x8(13);
+        cfg.shifter = PhaseShifter::new(bits);
+        cfg.amp_error_db = 0.0;
+        cfg.phase_error_rad = 0.0;
+        let arr = PhasedArray::new(cfg);
+        let sll0 = arr
+            .steered_pattern(Angle::ZERO)
+            .side_lobe_level_db()
+            .unwrap_or(f64::NAN);
+        let sll60 = arr
+            .steered_pattern(Angle::from_degrees(60.0))
+            .side_lobe_level_db()
+            .unwrap_or(f64::NAN);
+        println!("{bits:>5}  {sll0:>10.1} dB  {sll60:>12.1} dB");
+    }
+    println!("\n(manufacturing errors excluded above; with the calibrated errors");
+    println!("the 2-bit row lands in the paper's measured −4…−6 dB band)");
+}

@@ -1,0 +1,53 @@
+//! The paper's §5 design principles, running: assess each device's
+//! realized beam pattern and pick its MAC posture, build the
+//! reflection-aware interference map, and trim transmit power where the
+//! link has headroom.
+//!
+//! ```text
+//! cargo run --example design_principles
+//! ```
+
+use mmwave_core::design::{geometric_mac, mac_switching, power_control};
+use mmwave_core::scenarios::{interference_floor, reflector_rig};
+use mmwave_geom::Angle;
+use mmwave_mac::NetConfig;
+
+fn main() {
+    let cfg = NetConfig { seed: 5, enable_fading: false, ..NetConfig::default() };
+
+    println!("== principle 1: choose the MAC behaviour per beam pattern ==");
+    let mut f = interference_floor(1.5, Angle::from_degrees(50.0), cfg.clone());
+    for (name, dev) in [("dock A (aligned)", f.dock_a), ("dock B (rotated)", f.dock_b)] {
+        let sector = f.net.device(dev).wigig().expect("wigig").tx_sector;
+        let a = mac_switching::assess(
+            f.net.device(dev).pattern(mmwave_mac::PatKey::Dir(sector)),
+        );
+        let choice = mac_switching::apply_to_device(&mut f.net, dev).expect("wigig");
+        println!(
+            "  {name}: HPBW {:.0}°, SLL {:.1} dB, {} strong lobes → {:?} (CS {} dBm)",
+            a.hpbw_deg,
+            a.sll_db,
+            a.strong_lobes,
+            choice,
+            choice.cs_threshold_dbm()
+        );
+    }
+
+    println!("\n== principle 2: include reflections in the interference map ==");
+    let r = reflector_rig(cfg.clone());
+    let blind = geometric_mac::predicted_interference_dbm(&r.net, r.hdmi_tx, r.dock, 0);
+    let aware = geometric_mac::predicted_interference_dbm(&r.net, r.hdmi_tx, r.dock, 2);
+    println!("  Fig. 7 rig, WiHD TX → dock: geometry-only map predicts {blind:.0} dBm (no");
+    println!("  conflict); the 2-reflection map predicts {aware:.1} dBm — the conflict that");
+    println!("  actually costs ≈20% TCP throughput in Fig. 23.");
+
+    println!("\n== principle 4: trim power in quasi-static scenes ==");
+    let mut p = mmwave_core::scenarios::point_to_point(2.0, cfg);
+    let before = power_control::link_snr_db(&mut p.net, p.dock).expect("link");
+    let trim = power_control::apply_to_device(&mut p.net, p.laptop).expect("wigig");
+    let after = power_control::link_snr_db(&mut p.net, p.dock).expect("link");
+    println!(
+        "  2 m link: SNR {before:.1} dB → trim {trim:.1} dB → {after:.1} dB, still 16-QAM 5/8;"
+    );
+    println!("  every trimmed dB is a dB less interference at the neighbours.");
+}

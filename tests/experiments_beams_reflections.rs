@@ -1,0 +1,54 @@
+//! Integration: beam-pattern and reflection experiments (Figs. 12–14,
+//! 16–20) reproduce the paper's shapes in quick mode.
+
+use mmwave_core::experiments;
+
+fn assert_passes(id: &str) {
+    let report = experiments::run(id, true, 1).expect("known experiment id");
+    assert!(
+        report.passed(),
+        "{id} violated its shape checks:\n{}\noutput:\n{}",
+        report.violations.join("\n"),
+        report.output
+    );
+}
+
+#[test]
+fn fig12_mcs_with_low_traffic() {
+    assert_passes("fig12");
+}
+
+#[test]
+fn fig13_throughput_vs_distance() {
+    assert_passes("fig13");
+}
+
+#[test]
+fn fig14_amplitude_and_rate() {
+    assert_passes("fig14");
+}
+
+#[test]
+fn fig16_quasi_omni_patterns() {
+    assert_passes("fig16");
+}
+
+#[test]
+fn fig17_directional_patterns() {
+    assert_passes("fig17");
+}
+
+#[test]
+fn fig18_reflections_wigig() {
+    assert_passes("fig18");
+}
+
+#[test]
+fn fig19_reflections_wihd() {
+    assert_passes("fig19");
+}
+
+#[test]
+fn fig20_blocked_los() {
+    assert_passes("fig20");
+}

@@ -1,0 +1,30 @@
+//! Integration: the interference experiments (Figs. 21–23) reproduce the
+//! paper's shapes in quick mode. These are the heaviest campaigns (multi-
+//! system scenarios over seconds of simulated time).
+
+use mmwave_core::experiments;
+
+fn assert_passes(id: &str) {
+    let report = experiments::run(id, true, 1).expect("known experiment id");
+    assert!(
+        report.passed(),
+        "{id} violated its shape checks:\n{}\noutput:\n{}",
+        report.violations.join("\n"),
+        report.output
+    );
+}
+
+#[test]
+fn fig21_frame_level_interference() {
+    assert_passes("fig21");
+}
+
+#[test]
+fn fig22_side_lobe_interference() {
+    assert_passes("fig22");
+}
+
+#[test]
+fn fig23_reflection_interference() {
+    assert_passes("fig23");
+}

@@ -1,0 +1,57 @@
+//! Integration: the protocol-analysis experiments (Table 1, Figs. 3, 8, 15
+//! and the Fig. 9–11 throughput sweep) reproduce the paper's shapes.
+//!
+//! Every test runs the same code path as `cargo run --bin experiments`
+//! (quick mode) and asserts that no shape check was violated.
+
+use mmwave_core::experiments;
+
+fn assert_passes(id: &str) {
+    let report = experiments::run(id, true, 1).expect("known experiment id");
+    assert!(
+        report.passed(),
+        "{id} violated its shape checks:\n{}\noutput:\n{}",
+        report.violations.join("\n"),
+        report.output
+    );
+}
+
+#[test]
+fn table1_frame_periodicity() {
+    assert_passes("table1");
+}
+
+#[test]
+fn fig03_discovery_frame() {
+    assert_passes("fig03");
+}
+
+#[test]
+fn fig08_frame_flow() {
+    assert_passes("fig08");
+}
+
+#[test]
+fn fig09_frame_length_cdf() {
+    assert_passes("fig09");
+}
+
+#[test]
+fn fig10_long_frame_fraction() {
+    assert_passes("fig10");
+}
+
+#[test]
+fn fig11_medium_usage() {
+    assert_passes("fig11");
+}
+
+#[test]
+fn aggregation_gain() {
+    assert_passes("aggr");
+}
+
+#[test]
+fn fig15_wihd_frame_flow() {
+    assert_passes("fig15");
+}
