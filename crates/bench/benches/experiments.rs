@@ -1,10 +1,10 @@
 //! One benchmark per paper table/figure: each target runs the exact
-//! regeneration code (`mmwave_core::experiments::run` in quick mode) and
+//! regeneration code (`mmwave_core::experiments` in quick mode) and
 //! reports how long reproducing that artifact takes. `cargo bench` output
 //! therefore doubles as a full-reproduction smoke run — a benched
 //! experiment that started violating its shape checks panics.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmwave_bench::bench;
 use mmwave_core::experiments;
 
 fn run_checked(id: &str) -> usize {
@@ -17,46 +17,22 @@ fn run_checked(id: &str) -> usize {
     report.output.len()
 }
 
-fn bench_fast_artifacts(c: &mut Criterion) {
-    let mut g = c.benchmark_group("artifact");
-    g.sample_size(10);
+fn main() {
+    // Fast artifacts.
     for id in ["table1", "fig03", "fig08", "fig15", "fig16", "fig17", "fig18", "fig19"] {
-        g.bench_with_input(BenchmarkId::from_parameter(id), id, |b, id| {
-            b.iter(|| black_box(run_checked(id)))
-        });
+        bench(&format!("artifact/{id}"), || run_checked(id));
     }
-    g.finish();
-}
-
-fn bench_medium_artifacts(c: &mut Criterion) {
-    let mut g = c.benchmark_group("artifact");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(20));
-    // Note: fig09/fig10/fig11/aggr share one cached TCP sweep, so their
-    // per-iteration numbers reflect the (cheap) analysis over the cached
-    // campaign; the campaign itself is paid once during warm-up.
+    // Medium artifacts. Note: fig09/fig10/fig11/aggr share one cached TCP
+    // sweep, so their per-iteration numbers reflect the (cheap) analysis
+    // over the cached campaign; the campaign itself is paid once during
+    // the calibration run.
     for id in ["fig09", "fig10", "fig11", "aggr", "fig12", "fig20", "fig21"] {
-        g.bench_with_input(BenchmarkId::from_parameter(id), id, |b, id| {
-            b.iter(|| black_box(run_checked(id)))
-        });
+        bench(&format!("artifact/{id}"), || run_checked(id));
     }
-    g.finish();
-}
-
-fn bench_slow_artifacts(c: &mut Criterion) {
-    let mut g = c.benchmark_group("artifact");
-    // The full campaigns behind Figs. 13, 14, 22 and 23 take seconds per
-    // run even in quick mode; one measured iteration per sample keeps
-    // `cargo bench` tractable while still timing the real regenerators.
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(60));
+    // Slow artifacts: the full campaigns behind Figs. 13, 14, 22 and 23
+    // take seconds per run even in quick mode; the harness degrades to one
+    // iteration per sample for these, keeping `cargo bench` tractable.
     for id in ["fig13", "fig14", "fig22", "fig23"] {
-        g.bench_with_input(BenchmarkId::from_parameter(id), id, |b, id| {
-            b.iter(|| black_box(run_checked(id)))
-        });
+        bench(&format!("artifact/{id}"), || run_checked(id));
     }
-    g.finish();
 }
-
-criterion_group!(artifacts, bench_fast_artifacts, bench_medium_artifacts, bench_slow_artifacts);
-criterion_main!(artifacts);

@@ -2,7 +2,7 @@
 //! the event queue, the image-method ray tracer, phased-array synthesis,
 //! pattern lookups, the PER model, the frame detector and the TCP pump.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mmwave_bench::{bench, black_box};
 use mmwave_capture::trace::{SegmentTag, TraceSegment};
 use mmwave_capture::{detect_frames, DetectorConfig, SignalTrace};
 use mmwave_geom::{trace_paths, Angle, Material, Point, Room, TraceConfig};
@@ -11,71 +11,61 @@ use mmwave_sim::queue::EventQueue;
 use mmwave_sim::rng::SimRng;
 use mmwave_sim::time::SimTime;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/schedule_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        })
+fn bench_event_queue() {
+    bench("event_queue/schedule_pop_10k", || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
     });
 }
 
-fn bench_raytrace(c: &mut Criterion) {
+fn bench_raytrace() {
     let room = Room::rectangular(
         9.0,
         3.25,
         (Material::Wood, Material::Glass, Material::Brick, Material::Brick),
     );
     let cfg = TraceConfig::default();
-    c.bench_function("raytrace/conference_room_order2", |b| {
-        b.iter(|| {
-            black_box(trace_paths(
-                &room,
-                black_box(Point::new(0.5, 1.3)),
-                black_box(Point::new(8.5, 1.3)),
-                &cfg,
-            ))
-        })
+    bench("raytrace/conference_room_order2", || {
+        trace_paths(
+            &room,
+            black_box(Point::new(0.5, 1.3)),
+            black_box(Point::new(8.5, 1.3)),
+            &cfg,
+        )
     });
 }
 
-fn bench_array_synthesis(c: &mut Criterion) {
+fn bench_array_synthesis() {
     let array = PhasedArray::new(ArrayConfig::wigig_2x8(13));
-    c.bench_function("phy/steered_pattern", |b| {
-        b.iter(|| black_box(array.steered_pattern(black_box(Angle::from_degrees(17.0)))))
+    bench("phy/steered_pattern", || {
+        array.steered_pattern(black_box(Angle::from_degrees(17.0)))
     });
-    c.bench_function("phy/directional_codebook_32", |b| {
-        b.iter(|| black_box(Codebook::directional_default(&array)))
-    });
+    bench("phy/directional_codebook_32", || Codebook::directional_default(&array));
     let pattern = array.steered_pattern(Angle::ZERO);
-    c.bench_function("phy/pattern_gain_lookup", |b| {
-        let mut deg = 0.0;
-        b.iter(|| {
-            deg += 0.37;
-            black_box(pattern.gain_dbi(Angle::from_degrees(deg)))
-        })
+    let mut deg = 0.0;
+    bench("phy/pattern_gain_lookup", move || {
+        deg += 0.37;
+        pattern.gain_dbi(Angle::from_degrees(deg))
     });
 }
 
-fn bench_per(c: &mut Criterion) {
+fn bench_per() {
     let table = McsTable::ieee_802_11ad();
-    c.bench_function("phy/per_evaluation", |b| {
-        let mut snr = 0.0;
-        b.iter(|| {
-            snr += 0.01;
-            black_box(table.get(11).per(10.0 + (snr % 15.0), 86_352, -71.5))
-        })
+    let mut snr = 0.0;
+    bench("phy/per_evaluation", move || {
+        snr += 0.01;
+        table.get(11).per(10.0 + (snr % 15.0), 86_352, -71.5)
     });
 }
 
-fn bench_detector(c: &mut Criterion) {
+fn bench_detector() {
     // A 1 ms trace with 20 frames, sampled at 100 MS/s.
     let mut trace = SignalTrace::new(SimTime::ZERO, SimTime::from_millis(1), 0.01);
     for i in 0..20u64 {
@@ -88,79 +78,71 @@ fn bench_detector(c: &mut Criterion) {
     }
     let mut rng = SimRng::root(1).stream("bench");
     let (period, samples) = trace.sample(1e8, &mut rng);
-    c.bench_function("capture/detect_100k_samples", |b| {
-        b.iter(|| {
-            black_box(detect_frames(
-                black_box(&samples),
-                period,
-                SimTime::ZERO,
-                0.01,
-                &DetectorConfig::default(),
-            ))
-        })
+    bench("capture/detect_100k_samples", || {
+        detect_frames(
+            black_box(&samples),
+            period,
+            SimTime::ZERO,
+            0.01,
+            &DetectorConfig::default(),
+        )
     });
-    c.bench_function("capture/sample_1ms_trace", |b| {
-        let mut rng = SimRng::root(2).stream("bench2");
-        b.iter(|| black_box(trace.sample(1e8, &mut rng)))
-    });
+    let mut rng2 = SimRng::root(2).stream("bench2");
+    bench("capture/sample_1ms_trace", move || trace.sample(1e8, &mut rng2));
 }
 
-fn bench_mac_second(c: &mut Criterion) {
+fn bench_mac_second() {
     use mmwave_channel::Environment;
     use mmwave_mac::{Device, Net, NetConfig};
-    c.bench_function("mac/idle_link_100ms", |b| {
-        b.iter(|| {
-            let mut net = Net::new(
-                Environment::new(Room::open_space()),
-                NetConfig { seed: 1, enable_fading: false, ..NetConfig::default() },
-            );
-            let dock =
-                net.add_device(Device::wigig_dock("d", Point::new(0.0, 0.0), Angle::ZERO, 13));
-            let laptop = net.add_device(Device::wigig_laptop(
-                "l",
-                Point::new(2.0, 0.0),
-                Angle::from_degrees(180.0),
-                11,
-            ));
-            net.associate_instantly(dock, laptop);
-            net.run_until(SimTime::from_millis(100));
-            black_box(net.txlog().len())
-        })
+    bench("mac/idle_link_100ms", || {
+        let mut net = Net::new(
+            Environment::new(Room::open_space()),
+            NetConfig { seed: 1, enable_fading: false, ..NetConfig::default() },
+        );
+        let dock = net.add_device(Device::wigig_dock("d", Point::new(0.0, 0.0), Angle::ZERO, 13));
+        let laptop = net.add_device(Device::wigig_laptop(
+            "l",
+            Point::new(2.0, 0.0),
+            Angle::from_degrees(180.0),
+            11,
+        ));
+        net.associate_instantly(dock, laptop);
+        net.run_until(SimTime::from_millis(100));
+        net.txlog().len()
     });
 }
 
-fn bench_tcp_second(c: &mut Criterion) {
+fn bench_tcp_second() {
     use mmwave_channel::Environment;
     use mmwave_mac::{Device, Net, NetConfig};
     use mmwave_transport::{Stack, TcpConfig};
-    c.bench_function("transport/tcp_100ms_full_rate", |b| {
-        b.iter(|| {
-            let mut net = Net::new(
-                Environment::new(Room::open_space()),
-                NetConfig { seed: 1, enable_fading: false, ..NetConfig::default() },
-            );
-            net.txlog_mut().set_enabled(false);
-            let dock =
-                net.add_device(Device::wigig_dock("d", Point::new(0.0, 0.0), Angle::ZERO, 13));
-            let laptop = net.add_device(Device::wigig_laptop(
-                "l",
-                Point::new(2.0, 0.0),
-                Angle::from_degrees(180.0),
-                11,
-            ));
-            net.associate_instantly(dock, laptop);
-            let mut stack = Stack::new(net);
-            let flow = stack.add_flow(TcpConfig::bulk(dock, laptop, 256 * 1024));
-            stack.run_until(SimTime::from_millis(100));
-            black_box(stack.flow_stats(flow).bytes_acked)
-        })
+    bench("transport/tcp_100ms_full_rate", || {
+        let mut net = Net::new(
+            Environment::new(Room::open_space()),
+            NetConfig { seed: 1, enable_fading: false, ..NetConfig::default() },
+        );
+        net.txlog_mut().set_enabled(false);
+        let dock = net.add_device(Device::wigig_dock("d", Point::new(0.0, 0.0), Angle::ZERO, 13));
+        let laptop = net.add_device(Device::wigig_laptop(
+            "l",
+            Point::new(2.0, 0.0),
+            Angle::from_degrees(180.0),
+            11,
+        ));
+        net.associate_instantly(dock, laptop);
+        let mut stack = Stack::new(net);
+        let flow = stack.add_flow(TcpConfig::bulk(dock, laptop, 256 * 1024));
+        stack.run_until(SimTime::from_millis(100));
+        stack.flow_stats(flow).bytes_acked
     });
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(20);
-    targets = bench_event_queue, bench_raytrace, bench_array_synthesis, bench_per,
-              bench_detector, bench_mac_second, bench_tcp_second
+fn main() {
+    bench_event_queue();
+    bench_raytrace();
+    bench_array_synthesis();
+    bench_per();
+    bench_detector();
+    bench_mac_second();
+    bench_tcp_second();
 }
-criterion_main!(kernels);

@@ -1,0 +1,268 @@
+//! Structured campaign artifacts: the manifest and per-run reports.
+//!
+//! Layout under the output directory:
+//!
+//! ```text
+//! <out>/manifest.json          — campaign summary + index of runs
+//! <out>/runs/<id>-s<seed>.json — one structured report per matrix cell
+//! ```
+//!
+//! Everything except *execution metadata* is a pure function of the
+//! campaign matrix, so artifacts produced with different `--jobs` values
+//! are byte-identical after [`normalize_execution`]. Execution metadata is
+//! exactly: every `wall_ms` field, and the manifest's `jobs` field.
+//!
+//! Schemas (see DESIGN.md for the field-by-field description):
+//!
+//! * manifest: `schema = "mmwave-campaign/1"`
+//! * run:      `schema = "mmwave-campaign-run/1"`
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::{CampaignResult, RunRecord, RunStatus};
+use mmwave_sim::metrics::EngineCounters;
+
+pub const MANIFEST_SCHEMA: &str = "mmwave-campaign/1";
+pub const RUN_SCHEMA: &str = "mmwave-campaign-run/1";
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Relative artifact path for one run: `runs/<id>-s<seed>.json`.
+pub fn run_artifact_name(experiment: &str, seed: u64) -> String {
+    format!("runs/{experiment}-s{seed}.json")
+}
+
+/// Encode one run record.
+pub fn run_to_json(r: &RunRecord) -> Json {
+    obj(vec![
+        ("schema", Json::Str(RUN_SCHEMA.into())),
+        ("experiment", Json::Str(r.experiment.clone())),
+        ("title", Json::Str(r.title.clone())),
+        ("seed", Json::Int(r.seed)),
+        ("quick", Json::Bool(r.quick)),
+        ("status", Json::Str(r.status.as_str().into())),
+        (
+            "violations",
+            Json::Arr(r.violations.iter().map(|v| Json::Str(v.clone())).collect()),
+        ),
+        (
+            "panic",
+            r.panic_message.clone().map_or(Json::Null, Json::Str),
+        ),
+        ("output", Json::Str(r.output.clone())),
+        ("wall_ms", Json::Num(r.wall_ms)),
+        (
+            "engine",
+            obj(vec![
+                ("events_popped", Json::Int(r.engine.events_popped)),
+                ("events_cancelled", Json::Int(r.engine.events_cancelled)),
+                ("peak_queue_depth", Json::Int(r.engine.peak_queue_depth)),
+            ]),
+        ),
+    ])
+}
+
+/// Decode one run record (inverse of [`run_to_json`]).
+pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
+    let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field '{k}'"));
+    let schema = field("schema")?.as_str().ok_or("schema must be a string")?;
+    if schema != RUN_SCHEMA {
+        return Err(format!("unknown run schema '{schema}'"));
+    }
+    let engine = field("engine")?;
+    let counter = |k: &str| -> Result<u64, String> {
+        engine
+            .get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("engine.{k} must be a non-negative integer"))
+    };
+    Ok(RunRecord {
+        experiment: field("experiment")?.as_str().ok_or("experiment must be a string")?.into(),
+        title: field("title")?.as_str().ok_or("title must be a string")?.into(),
+        seed: field("seed")?.as_u64().ok_or("seed must be a non-negative integer")?,
+        quick: field("quick")?.as_bool().ok_or("quick must be a bool")?,
+        status: field("status")?
+            .as_str()
+            .and_then(RunStatus::from_str)
+            .ok_or("status must be pass|shape-fail|panicked")?,
+        violations: field("violations")?
+            .as_arr()
+            .ok_or("violations must be an array")?
+            .iter()
+            .map(|x| x.as_str().map(String::from).ok_or("violation must be a string"))
+            .collect::<Result<_, _>>()?,
+        panic_message: match field("panic")? {
+            Json::Null => None,
+            Json::Str(s) => Some(s.clone()),
+            _ => return Err("panic must be null or a string".into()),
+        },
+        output: field("output")?.as_str().ok_or("output must be a string")?.into(),
+        wall_ms: field("wall_ms")?.as_f64().ok_or("wall_ms must be a number")?,
+        engine: EngineCounters {
+            events_popped: counter("events_popped")?,
+            events_cancelled: counter("events_cancelled")?,
+            peak_queue_depth: counter("peak_queue_depth")?,
+        },
+    })
+}
+
+/// Encode the campaign manifest: config echo, totals, and a run index.
+pub fn manifest_to_json(result: &CampaignResult) -> Json {
+    let (passed, shape_failed, panicked) = result.counts();
+    obj(vec![
+        ("schema", Json::Str(MANIFEST_SCHEMA.into())),
+        ("quick", Json::Bool(result.quick)),
+        ("seeds", Json::Arr(result.seeds.iter().map(|&s| Json::Int(s)).collect())),
+        ("total_runs", Json::Int(result.records.len() as u64)),
+        ("passed", Json::Int(passed as u64)),
+        ("shape_failed", Json::Int(shape_failed as u64)),
+        ("panicked", Json::Int(panicked as u64)),
+        ("jobs", Json::Int(result.jobs as u64)),
+        ("wall_ms", Json::Num(result.wall_ms)),
+        (
+            "runs",
+            Json::Arr(
+                result
+                    .records
+                    .iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("experiment", Json::Str(r.experiment.clone())),
+                            ("title", Json::Str(r.title.clone())),
+                            ("seed", Json::Int(r.seed)),
+                            ("status", Json::Str(r.status.as_str().into())),
+                            (
+                                "artifact",
+                                Json::Str(run_artifact_name(&r.experiment, r.seed)),
+                            ),
+                            ("wall_ms", Json::Num(r.wall_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Zero out execution metadata in place: every `wall_ms` field (at any
+/// nesting depth) and any top-level `jobs` field. After this, artifacts
+/// from the same matrix are byte-identical regardless of worker count.
+pub fn normalize_execution(v: &mut Json) {
+    match v {
+        Json::Obj(fields) => {
+            for (k, val) in fields.iter_mut() {
+                if k == "wall_ms" {
+                    *val = Json::Num(0.0);
+                } else if k == "jobs" {
+                    *val = Json::Int(0);
+                } else {
+                    normalize_execution(val);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for item in items.iter_mut() {
+                normalize_execution(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Write `manifest.json` plus every per-run report under `out`.
+/// Returns the manifest path.
+pub fn write_artifacts(result: &CampaignResult, out: &Path) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(out.join("runs"))?;
+    for r in &result.records {
+        let path = out.join(run_artifact_name(&r.experiment, r.seed));
+        std::fs::write(path, run_to_json(r).render())?;
+    }
+    let manifest_path = out.join("manifest.json");
+    std::fs::write(&manifest_path, manifest_to_json(result).render())?;
+    Ok(manifest_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(status: RunStatus) -> RunRecord {
+        RunRecord {
+            experiment: "fig09".into(),
+            title: "Fig. 9: WiGig data frame length".into(),
+            seed: 42,
+            quick: true,
+            status,
+            violations: if status == RunStatus::ShapeFail {
+                vec!["median off by 2×".into()]
+            } else {
+                vec![]
+            },
+            output: "== table ==\nrow 1\n".into(),
+            panic_message: if status == RunStatus::Panicked {
+                Some("boom".into())
+            } else {
+                None
+            },
+            wall_ms: 12.5,
+            engine: EngineCounters {
+                events_popped: 1000,
+                events_cancelled: 17,
+                peak_queue_depth: 23,
+            },
+        }
+    }
+
+    #[test]
+    fn run_record_roundtrips_through_json_text() {
+        for status in [RunStatus::Pass, RunStatus::ShapeFail, RunStatus::Panicked] {
+            let r = record(status);
+            let text = run_to_json(&r).render();
+            let back =
+                run_from_json(&Json::parse(&text).expect("parses")).expect("decodes");
+            assert_eq!(back.experiment, r.experiment);
+            assert_eq!(back.status, r.status);
+            assert_eq!(back.violations, r.violations);
+            assert_eq!(back.panic_message, r.panic_message);
+            assert_eq!(back.output, r.output);
+            assert_eq!(back.wall_ms, r.wall_ms);
+            assert_eq!(back.engine, r.engine);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_schema_and_missing_fields() {
+        let mut j = run_to_json(&record(RunStatus::Pass));
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::Str("other/9".into());
+        }
+        assert!(run_from_json(&j).is_err());
+        assert!(run_from_json(&Json::Obj(vec![])).is_err());
+    }
+
+    #[test]
+    fn normalize_zeroes_wall_times_and_jobs() {
+        let result = CampaignResult {
+            records: vec![record(RunStatus::Pass)],
+            seeds: vec![42],
+            quick: true,
+            jobs: 8,
+            wall_ms: 777.7,
+        };
+        let mut m = manifest_to_json(&result);
+        normalize_execution(&mut m);
+        assert_eq!(m.get("wall_ms"), Some(&Json::Num(0.0)));
+        assert_eq!(m.get("jobs"), Some(&Json::Int(0)));
+        let runs = m.get("runs").and_then(Json::as_arr).expect("runs");
+        assert_eq!(runs[0].get("wall_ms"), Some(&Json::Num(0.0)));
+    }
+
+    #[test]
+    fn artifact_names_are_stable() {
+        assert_eq!(run_artifact_name("fig12", 7), "runs/fig12-s7.json");
+    }
+}

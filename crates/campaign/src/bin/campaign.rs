@@ -1,0 +1,179 @@
+//! Campaign CLI: run the experiment × seed matrix on a worker pool.
+//!
+//! ```text
+//! campaign [--jobs N] [--seeds A..B | --seeds N] [--quick] [--out DIR]
+//!          [--json] [--list] [all | <id> ...]
+//! ```
+//!
+//! * `--jobs N`    worker threads (default: one per core)
+//! * `--seeds A..B` half-open seed range (`--seeds 1..5` = seeds 1,2,3,4);
+//!   a single number runs just that seed (default: 1)
+//! * `--quick`     quick mode (shorter campaigns, fewer sweep points)
+//! * `--out DIR`   write `manifest.json` + `runs/*.json` artifacts
+//! * `--json`      print the manifest JSON to stdout instead of the table
+//! * `--list`      list registered experiments and exit
+//!
+//! Exit status: 0 if every run passed, 1 if any run failed its shape
+//! checks or panicked (the campaign always completes — a panicking
+//! experiment becomes a failed run, it does not abort the matrix), 2 on
+//! usage errors.
+
+use mmwave_campaign::{artifact, runner, CampaignConfig};
+use mmwave_core::experiments::{self, Experiment};
+
+struct Cli {
+    jobs: usize,
+    seeds: Vec<u64>,
+    quick: bool,
+    out_dir: Option<String>,
+    json: bool,
+    list: bool,
+    ids: Vec<String>,
+}
+
+fn parse_seeds(spec: &str) -> Result<Vec<u64>, String> {
+    if let Some((a, b)) = spec.split_once("..") {
+        let a: u64 = a.parse().map_err(|_| format!("bad seed range start: {a}"))?;
+        let b: u64 = b.parse().map_err(|_| format!("bad seed range end: {b}"))?;
+        if a >= b {
+            return Err(format!("empty seed range: {spec}"));
+        }
+        Ok((a..b).collect())
+    } else {
+        let n: u64 = spec.parse().map_err(|_| format!("bad seed: {spec}"))?;
+        Ok(vec![n])
+    }
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        jobs: 0,
+        seeds: vec![1],
+        quick: false,
+        out_dir: None,
+        json: false,
+        list: false,
+        ids: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cli.quick = true,
+            "--json" => cli.json = true,
+            "--list" => cli.list = true,
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                cli.jobs = v.parse().map_err(|_| format!("bad job count: {v}"))?;
+            }
+            "--seeds" => {
+                let v = args.next().ok_or("--seeds needs a value (N or A..B)")?;
+                cli.seeds = parse_seeds(&v)?;
+            }
+            "--out" => {
+                cli.out_dir = Some(args.next().ok_or("--out needs a directory")?);
+            }
+            "all" => {}
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            id => cli.ids.push(id.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+fn select(ids: &[String]) -> Result<Vec<&'static Experiment>, String> {
+    if ids.is_empty() {
+        return Ok(experiments::REGISTRY.iter().collect());
+    }
+    ids.iter()
+        .map(|id| {
+            experiments::find(id).ok_or_else(|| format!("unknown experiment id: {id} (try --list)"))
+        })
+        .collect()
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "{e}\nusage: campaign [--jobs N] [--seeds A..B] [--quick] [--out DIR] [--json] [--list] [all | <id> ...]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if cli.list {
+        println!("registered experiments (paper order):");
+        for e in experiments::REGISTRY {
+            println!("  {:<8} [{:?}] {}", e.id, e.cost, e.title);
+        }
+        return;
+    }
+    let selected = match select(&cli.ids) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    let cfg = CampaignConfig {
+        experiments: selected,
+        seeds: cli.seeds,
+        quick: cli.quick,
+        jobs: cli.jobs,
+    };
+    let result = runner::run(&cfg);
+
+    if let Some(dir) = &cli.out_dir {
+        match artifact::write_artifacts(&result, std::path::Path::new(dir)) {
+            Ok(manifest) => eprintln!("wrote {}", manifest.display()),
+            Err(e) => {
+                eprintln!("cannot write artifacts to {dir}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if cli.json {
+        print!("{}", artifact::manifest_to_json(&result).render());
+    } else {
+        println!(
+            "{:<8} {:>6} {:>10} {:>12} {:>10} {:>9}  status",
+            "id", "seed", "wall ms", "events", "cancelled", "peak q"
+        );
+        for r in &result.records {
+            println!(
+                "{:<8} {:>6} {:>10.1} {:>12} {:>10} {:>9}  {}",
+                r.experiment,
+                r.seed,
+                r.wall_ms,
+                r.engine.events_popped,
+                r.engine.events_cancelled,
+                r.engine.peak_queue_depth,
+                r.status.as_str(),
+            );
+            for v in &r.violations {
+                println!("         - {v}");
+            }
+            if let Some(p) = &r.panic_message {
+                println!("         ! panicked: {p}");
+            }
+        }
+        let (passed, shape_failed, panicked) = result.counts();
+        println!(
+            "\n{} runs on {} worker(s) in {:.1} ms: {} passed, {} shape-failed, {} panicked",
+            result.records.len(),
+            result.jobs,
+            result.wall_ms,
+            passed,
+            shape_failed,
+            panicked
+        );
+    }
+
+    if !result.all_passed() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Command-line experiment runner (single-seed convenience front-end).
+//!
+//! ```text
+//! experiments [--quick] [--seed N] [--jobs N] [--out DIR] [--list] [all | <id> ...]
+//! ```
+//!
+//! Runs the requested experiments (default: all) and prints the
+//! paper-style rows/series plus the shape-check verdicts. With `--out`,
+//! each report is also written to `DIR/<id>.txt` (handy for diffing two
+//! campaigns). Exit code 1 if any shape check failed or panicked.
+//!
+//! This is a thin wrapper over the `mmwave-campaign` subsystem: it builds
+//! a one-seed [`CampaignConfig`] and pretty-prints the records. For
+//! multi-seed matrices and structured JSON artifacts use the `campaign`
+//! binary instead.
+
+use mmwave_campaign::{runner, CampaignConfig, RunStatus};
+use mmwave_core::experiments::{self, Experiment};
+
+struct Cli {
+    quick: bool,
+    seed: u64,
+    jobs: usize,
+    out_dir: Option<String>,
+    list: bool,
+    ids: Vec<String>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli =
+        Cli { quick: false, seed: 1, jobs: 1, out_dir: None, list: false, ids: Vec::new() };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cli.quick = true,
+            "--list" => cli.list = true,
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                cli.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                cli.jobs = v.parse().map_err(|_| format!("bad job count: {v}"))?;
+            }
+            "--out" => {
+                cli.out_dir = Some(args.next().ok_or("--out needs a directory")?);
+            }
+            "all" => {}
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            id => cli.ids.push(id.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}\nusage: experiments [--quick] [--seed N] [--jobs N] [--out DIR] [--list] [all | <id> ...]");
+            std::process::exit(2);
+        }
+    };
+    if cli.list {
+        println!("available experiment ids (paper order):");
+        for id in experiments::ids() {
+            println!("  {id}");
+        }
+        return;
+    }
+    let mut failures = 0;
+    let selected: Vec<&'static Experiment> = if cli.ids.is_empty() {
+        experiments::REGISTRY.iter().collect()
+    } else {
+        cli.ids
+            .iter()
+            .filter_map(|id| {
+                let found = experiments::find(id);
+                if found.is_none() {
+                    eprintln!("unknown experiment id: {id} (try --list)");
+                    failures += 1;
+                }
+                found
+            })
+            .collect()
+    };
+    if let Some(dir) = &cli.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let cfg = CampaignConfig {
+        experiments: selected,
+        seeds: vec![cli.seed],
+        quick: cli.quick,
+        jobs: cli.jobs,
+    };
+    let result = runner::run(&cfg);
+
+    for r in &result.records {
+        println!("\n################################################################");
+        println!("# {} — {}", r.experiment, r.title);
+        println!("################################################################");
+        println!("{}", r.output);
+        match r.status {
+            RunStatus::Pass => {
+                println!("[PASS] all shape checks hold ({:.1} ms)", r.wall_ms);
+            }
+            RunStatus::ShapeFail => {
+                failures += 1;
+                println!("[FAIL] {} shape check(s) violated:", r.violations.len());
+                for v in &r.violations {
+                    println!("  - {v}");
+                }
+            }
+            RunStatus::Panicked => {
+                failures += 1;
+                println!(
+                    "[FAIL] panicked: {}",
+                    r.panic_message.as_deref().unwrap_or("unknown panic")
+                );
+            }
+        }
+        if let Some(dir) = &cli.out_dir {
+            let verdict = match r.status {
+                RunStatus::Pass => "PASS".to_string(),
+                RunStatus::ShapeFail => format!("FAIL\n{}", r.violations.join("\n")),
+                RunStatus::Panicked => {
+                    format!("PANIC\n{}", r.panic_message.as_deref().unwrap_or(""))
+                }
+            };
+            let body = format!("{}\n\n{}\n{}\n", r.title, r.output, verdict);
+            if let Err(e) = std::fs::write(format!("{dir}/{}.txt", r.experiment), body) {
+                eprintln!("cannot write report for {}: {e}", r.experiment);
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,242 @@
+//! The sharded campaign runner.
+//!
+//! Tasks are pre-loaded into an mpsc channel (heaviest cost tier first —
+//! longest-processing-time order) and a pool of `std::thread` workers
+//! pulls from the shared receiver: an idle worker "steals" the next task
+//! the moment it frees up, so load balances itself without a scheduler.
+//! Each worker:
+//!
+//! 1. resets the thread-local engine-metrics accumulator,
+//! 2. runs the experiment under `catch_unwind` (a panic becomes a
+//!    [`RunStatus::Panicked`] record, not a dead campaign),
+//! 3. snapshots wall time + scheduler counters into a [`RunRecord`].
+//!
+//! Determinism: a task's result depends only on `(experiment id, seed,
+//! quick)` — experiments derive all randomness from the seed via labelled
+//! `SimRng` substreams and share no mutable state across tasks — and the
+//! collected records are re-sorted into matrix order. Worker count and
+//! scheduling therefore cannot change any byte of any artifact, only the
+//! wall-time metadata.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::{CampaignConfig, CampaignResult, RunRecord, RunStatus, TaskSpec};
+use mmwave_sim::metrics;
+
+/// Run the campaign matrix; blocks until every task completed.
+pub fn run(cfg: &CampaignConfig) -> CampaignResult {
+    silence_worker_panics();
+    let t0 = Instant::now();
+
+    let mut tasks = cfg.tasks();
+    // Longest-processing-time dispatch: heavy tiers first. The sort is
+    // stable, so within a tier the matrix order is preserved.
+    tasks.sort_by_key(|t| std::cmp::Reverse(t.exp.cost));
+
+    let jobs = cfg.effective_jobs().min(tasks.len()).max(1);
+
+    let (task_tx, task_rx) = mpsc::channel::<TaskSpec>();
+    for t in tasks {
+        task_tx.send(t).expect("receiver alive");
+    }
+    drop(task_tx); // workers drain until the channel reports empty+closed
+
+    let shared_rx = Arc::new(Mutex::new(task_rx));
+    let (rec_tx, rec_rx) = mpsc::channel::<((usize, u64), RunRecord)>();
+
+    let mut workers = Vec::with_capacity(jobs);
+    for w in 0..jobs {
+        let rx = Arc::clone(&shared_rx);
+        let tx = rec_tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("campaign-worker-{w}"))
+            .spawn(move || worker_loop(rx, tx))
+            .expect("spawn campaign worker");
+        workers.push(handle);
+    }
+    drop(rec_tx);
+
+    let mut keyed: Vec<((usize, u64), RunRecord)> = rec_rx.iter().collect();
+    for w in workers {
+        w.join().expect("campaign worker infrastructure must not panic");
+    }
+
+    keyed.sort_by_key(|(key, _)| *key);
+    CampaignResult {
+        records: keyed.into_iter().map(|(_, r)| r).collect(),
+        seeds: cfg.seeds.clone(),
+        quick: cfg.quick,
+        jobs,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn worker_loop(
+    rx: Arc<Mutex<mpsc::Receiver<TaskSpec>>>,
+    tx: mpsc::Sender<((usize, u64), RunRecord)>,
+) {
+    loop {
+        // Hold the lock only for the receive, not for the run. `recv`
+        // keeps yielding buffered tasks after the sender dropped and only
+        // errors once the channel is both empty and closed.
+        let task = match rx.lock().expect("task channel lock").recv() {
+            Ok(t) => t,
+            Err(_) => return,
+        };
+        let record = run_task(&task);
+        if tx.send(((task.exp_index, task.seed), record)).is_err() {
+            return; // collector gone; nothing left to report to
+        }
+    }
+}
+
+/// Execute one matrix cell, isolating panics and collecting metrics.
+pub fn run_task(task: &TaskSpec) -> RunRecord {
+    metrics::reset();
+    let t0 = Instant::now();
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| (task.exp.run)(task.quick, task.seed)));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // Counters survive a panic: whatever the run scheduled before dying is
+    // still useful failure forensics.
+    let engine = metrics::snapshot();
+
+    match outcome {
+        Ok(report) => {
+            let status =
+                if report.passed() { RunStatus::Pass } else { RunStatus::ShapeFail };
+            RunRecord {
+                experiment: report.id.to_string(),
+                title: report.title.to_string(),
+                seed: task.seed,
+                quick: task.quick,
+                status,
+                violations: report.violations,
+                output: report.output,
+                panic_message: None,
+                wall_ms,
+                engine,
+            }
+        }
+        Err(payload) => RunRecord {
+            experiment: task.exp.id.to_string(),
+            title: task.exp.title.to_string(),
+            seed: task.seed,
+            quick: task.quick,
+            status: RunStatus::Panicked,
+            violations: Vec::new(),
+            output: String::new(),
+            panic_message: Some(panic_payload_message(payload.as_ref())),
+            wall_ms,
+            engine,
+        },
+    }
+}
+
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Install (once, process-wide) a panic hook that suppresses the default
+/// stderr backtrace spam for campaign worker threads — their panics are
+/// captured into `RunRecord`s — while delegating unchanged for every other
+/// thread.
+fn silence_worker_panics() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let in_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("campaign-worker-"));
+            if !in_worker {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_core::experiments::{CostTier, Experiment, RunReport};
+
+    fn fake(id: &'static str, run: fn(bool, u64) -> RunReport) -> &'static Experiment {
+        Box::leak(Box::new(Experiment { id, title: id, cost: CostTier::Fast, run }))
+    }
+
+    fn passing(_q: bool, seed: u64) -> RunReport {
+        RunReport { id: "ok", title: "ok", output: format!("seed={seed}"), violations: vec![] }
+    }
+
+    fn failing(_q: bool, _s: u64) -> RunReport {
+        RunReport {
+            id: "bad",
+            title: "bad",
+            output: String::new(),
+            violations: vec!["threshold off".into()],
+        }
+    }
+
+    fn panicking(_q: bool, _s: u64) -> RunReport {
+        panic!("simulated experiment crash");
+    }
+
+    #[test]
+    fn campaign_survives_panicking_experiment() {
+        let cfg = CampaignConfig {
+            experiments: vec![fake("ok", passing), fake("boom", panicking), fake("bad", failing)],
+            seeds: vec![1, 2],
+            quick: true,
+            jobs: 3,
+        };
+        let result = run(&cfg);
+        assert_eq!(result.records.len(), 6);
+        let (pass, shape, panicked) = result.counts();
+        assert_eq!((pass, shape, panicked), (2, 2, 2));
+        assert!(!result.all_passed());
+        let boom: Vec<_> =
+            result.records.iter().filter(|r| r.status == RunStatus::Panicked).collect();
+        assert_eq!(boom.len(), 2);
+        for r in boom {
+            assert_eq!(r.experiment, "boom");
+            assert_eq!(r.panic_message.as_deref(), Some("simulated experiment crash"));
+        }
+    }
+
+    #[test]
+    fn records_come_back_in_matrix_order_any_jobs() {
+        let cfg1 = CampaignConfig {
+            experiments: vec![fake("a", passing), fake("b", passing)],
+            seeds: vec![5, 9],
+            quick: true,
+            jobs: 1,
+        };
+        let mut cfg4 = cfg1.clone();
+        cfg4.jobs = 4;
+        for result in [run(&cfg1), run(&cfg4)] {
+            let order: Vec<(String, u64)> =
+                result.records.iter().map(|r| (r.experiment.clone(), r.seed)).collect();
+            // "a"/"b" pass `passing`, whose report id is "ok"; order is by
+            // matrix position, so seeds iterate within each experiment.
+            assert_eq!(order.iter().map(|(_, s)| *s).collect::<Vec<_>>(), vec![5, 9, 5, 9]);
+        }
+    }
+
+    #[test]
+    fn run_task_reports_wall_time_and_counters() {
+        let t = TaskSpec { exp: fake("ok", passing), exp_index: 0, seed: 3, quick: true };
+        let rec = run_task(&t);
+        assert!(rec.status.is_pass());
+        assert!(rec.wall_ms >= 0.0);
+        assert_eq!(rec.output, "seed=3");
+    }
+}

@@ -1,0 +1,49 @@
+//! The campaign subsystem's core promise: artifacts are bitwise identical
+//! regardless of worker count. Scheduling, work stealing and LPT dispatch
+//! may reorder *execution*, but never any emitted byte (once execution
+//! metadata — wall times and the jobs count — is normalized out).
+
+use mmwave_campaign::{artifact, runner, CampaignConfig};
+use mmwave_core::experiments;
+
+/// Cheap experiments only: this is about scheduling, not physics.
+/// fig09/fig11 share the process-global TCP-sweep cache, so their
+/// presence asserts that cache hits report the same engine counters as
+/// the run that filled it (whichever worker that happens to be).
+fn quick_subset() -> Vec<&'static experiments::Experiment> {
+    ["table1", "fig03", "fig08", "fig15", "fig09", "fig11"]
+        .iter()
+        .map(|id| experiments::find(id).expect("registered"))
+        .collect()
+}
+
+fn normalized_artifacts(jobs: usize) -> Vec<(String, String)> {
+    let cfg = CampaignConfig {
+        experiments: quick_subset(),
+        seeds: vec![1, 2],
+        quick: true,
+        jobs,
+    };
+    let result = runner::run(&cfg);
+    let mut files = Vec::new();
+    let mut manifest = artifact::manifest_to_json(&result);
+    artifact::normalize_execution(&mut manifest);
+    files.push(("manifest.json".to_string(), manifest.render()));
+    for r in &result.records {
+        let mut j = artifact::run_to_json(r);
+        artifact::normalize_execution(&mut j);
+        files.push((artifact::run_artifact_name(&r.experiment, r.seed), j.render()));
+    }
+    files
+}
+
+#[test]
+fn artifacts_identical_for_jobs_1_and_4() {
+    let serial = normalized_artifacts(1);
+    let sharded = normalized_artifacts(4);
+    assert_eq!(serial.len(), sharded.len());
+    for ((name_a, body_a), (name_b, body_b)) in serial.iter().zip(&sharded) {
+        assert_eq!(name_a, name_b, "artifact order must match");
+        assert_eq!(body_a, body_b, "artifact {name_a} differs between jobs=1 and jobs=4");
+    }
+}

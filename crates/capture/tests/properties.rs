@@ -1,16 +1,24 @@
 //! Property tests for the capture pipeline: whatever the workload, the
 //! detector and classifiers must obey their contracts.
+//!
+//! Std-only: cases are drawn from deterministic `SimRng` streams with
+//! fixed seeds (no proptest — the workspace builds offline). Failures
+//! print the case number, which reproduces the exact inputs.
 
 use mmwave_capture::classify::{long_frame_fraction, split_by_amplitude};
 use mmwave_capture::trace::{SegmentTag, TraceSegment};
 use mmwave_capture::{detect_frames, utilization, DetectorConfig, SignalTrace};
 use mmwave_sim::rng::SimRng;
 use mmwave_sim::time::{SimDuration, SimTime};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 /// Random frame layout: (start µs, duration µs, amplitude).
-fn frames_strategy() -> impl Strategy<Value = Vec<(u64, u64, f64)>> {
-    proptest::collection::vec((0u64..900, 2u64..30, 0.1..0.6f64), 0..25)
+fn gen_frames(r: &mut SimRng) -> Vec<(u64, u64, f64)> {
+    let n = (r.next_u64() % 25) as usize;
+    (0..n)
+        .map(|_| (r.next_u64() % 900, 2 + r.next_u64() % 28, r.uniform(0.1, 0.6)))
+        .collect()
 }
 
 fn build_trace(frames: &[(u64, u64, f64)]) -> SignalTrace {
@@ -26,51 +34,65 @@ fn build_trace(frames: &[(u64, u64, f64)]) -> SignalTrace {
     tr
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Detected frames are ordered, disjoint, inside the window, and their
-    /// total never exceeds the ground-truth busy time by more than the
-    /// detector's smoothing slack.
-    #[test]
-    fn detector_contract(frames in frames_strategy(), seed in 0u64..20) {
+/// Detected frames are ordered, disjoint, inside the window, and their
+/// total never exceeds the ground-truth busy time by more than the
+/// detector's smoothing slack.
+#[test]
+fn detector_contract() {
+    for case in 0..CASES {
+        let mut r = SimRng::root(case).stream("cap-frames");
+        let frames = gen_frames(&mut r);
+        let seed = r.next_u64() % 20;
         let tr = build_trace(&frames);
         let mut rng = SimRng::root(seed).stream("prop");
         let (period, samples) = tr.sample(1e8, &mut rng);
-        let det = detect_frames(&samples, period, SimTime::ZERO, tr.noise_rms_v, &DetectorConfig::default());
+        let det =
+            detect_frames(&samples, period, SimTime::ZERO, tr.noise_rms_v, &DetectorConfig::default());
         for w in det.windows(2) {
-            prop_assert!(w[0].end <= w[1].start, "overlapping detections");
+            assert!(w[0].end <= w[1].start, "case {case}: overlapping detections");
         }
         for f in &det {
-            prop_assert!(f.start >= SimTime::ZERO && f.end <= SimTime::from_millis(1));
-            prop_assert!(f.end > f.start);
-            prop_assert!(f.mean_amplitude_v >= 0.0);
+            assert!(f.start >= SimTime::ZERO && f.end <= SimTime::from_millis(1), "case {case}");
+            assert!(f.end > f.start, "case {case}");
+            assert!(f.mean_amplitude_v >= 0.0, "case {case}");
         }
         let truth = tr.ground_truth_busy().busy_within(SimTime::ZERO, SimTime::from_millis(1));
         let detected: u64 = det.iter().map(|f| f.duration().as_nanos()).sum();
         // Slack: merging gaps ≤ 600 ns between frames plus edge smearing.
         let slack = 2_000 * (frames.len() as u64 + 1);
-        prop_assert!(detected <= truth.as_nanos() + slack,
-            "detected {detected} vs truth {}", truth.as_nanos());
+        assert!(
+            detected <= truth.as_nanos() + slack,
+            "case {case}: detected {detected} vs truth {}",
+            truth.as_nanos()
+        );
     }
+}
 
-    /// Segment-level utilization is within [0, 1], monotone in threshold.
-    #[test]
-    fn utilization_monotone_in_threshold(frames in frames_strategy()) {
+/// Segment-level utilization is within [0, 1], monotone in threshold.
+#[test]
+fn utilization_monotone_in_threshold() {
+    for case in 0..CASES {
+        let mut r = SimRng::root(case).stream("cap-util");
+        let frames = gen_frames(&mut r);
         let tr = build_trace(&frames);
         let mut last = 1.0;
         for thr in [0.0, 0.1, 0.2, 0.4, 0.7] {
             let u = utilization(&tr, thr);
-            prop_assert!((0.0..=1.0).contains(&u));
-            prop_assert!(u <= last + 1e-12, "utilization rose with threshold");
+            assert!((0.0..=1.0).contains(&u), "case {case}");
+            assert!(u <= last + 1e-12, "case {case}: utilization rose with threshold");
             last = u;
         }
     }
+}
 
-    /// Amplitude clustering assigns every frame and splits around the
-    /// centroids' midpoint.
-    #[test]
-    fn amplitude_split_is_partition(amps in proptest::collection::vec(0.05..0.8f64, 2..60)) {
+/// Amplitude clustering assigns every frame and splits around the
+/// centroids' midpoint.
+#[test]
+fn amplitude_split_is_partition() {
+    for case in 0..CASES {
+        let mut r = SimRng::root(case).stream("cap-amp");
+        let n = 2 + (r.next_u64() % 58) as usize;
+        let amps: Vec<f64> = (0..n).map(|_| r.uniform(0.05, 0.8)).collect();
         let frames: Vec<_> = amps
             .iter()
             .enumerate()
@@ -81,32 +103,39 @@ proptest! {
             })
             .collect();
         let (classes, lo, hi) = split_by_amplitude(&frames);
-        prop_assert_eq!(classes.len(), frames.len());
-        prop_assert!(lo <= hi + 1e-12);
+        assert_eq!(classes.len(), frames.len(), "case {case}");
+        assert!(lo <= hi + 1e-12, "case {case}");
         let mid = (lo + hi) / 2.0;
         for (f, c) in frames.iter().zip(&classes) {
             match c {
-                mmwave_capture::AmplitudeClass::Low =>
-                    prop_assert!(f.mean_amplitude_v <= mid + 1e-9),
-                mmwave_capture::AmplitudeClass::High =>
-                    prop_assert!(f.mean_amplitude_v >= mid - 1e-9),
+                mmwave_capture::AmplitudeClass::Low => {
+                    assert!(f.mean_amplitude_v <= mid + 1e-9, "case {case}")
+                }
+                mmwave_capture::AmplitudeClass::High => {
+                    assert!(f.mean_amplitude_v >= mid - 1e-9, "case {case}")
+                }
             }
         }
     }
+}
 
-    /// The long-frame fraction is a fraction and increases as the boundary
-    /// decreases.
-    #[test]
-    fn long_fraction_monotone(frames in frames_strategy()) {
+/// The long-frame fraction is a fraction and increases as the boundary
+/// decreases.
+#[test]
+fn long_fraction_monotone() {
+    for case in 0..CASES {
+        let mut r = SimRng::root(case).stream("cap-long");
+        let frames = gen_frames(&mut r);
         let tr = build_trace(&frames);
         let mut rng = SimRng::root(1).stream("prop2");
         let (period, samples) = tr.sample(1e8, &mut rng);
-        let det = detect_frames(&samples, period, SimTime::ZERO, tr.noise_rms_v, &DetectorConfig::default());
+        let det =
+            detect_frames(&samples, period, SimTime::ZERO, tr.noise_rms_v, &DetectorConfig::default());
         let mut last = 0.0;
         for boundary_us in [30.0, 20.0, 10.0, 5.0, 1.0] {
             let frac = long_frame_fraction(&det, SimDuration::from_micros_f64(boundary_us));
-            prop_assert!((0.0..=1.0).contains(&frac));
-            prop_assert!(frac >= last - 1e-12);
+            assert!((0.0..=1.0).contains(&frac), "case {case}");
+            assert!(frac >= last - 1e-12, "case {case}");
             last = frac;
         }
     }

@@ -9,6 +9,15 @@
 //!
 //! `quick` trades statistical smoothness for runtime (shorter campaigns,
 //! fewer sweep points); the shape checks hold in both modes.
+//!
+//! Experiments are exposed through a **typed registry** ([`REGISTRY`]):
+//! each entry is an [`Experiment`] descriptor carrying the id, the human
+//! title, a relative [`CostTier`] (a scheduling hint for the campaign
+//! layer — heavy runs dispatch first so a worker pool drains evenly) and
+//! the run function itself. The registry replaces the old stringly-typed
+//! id list plus `match` dispatch: consumers iterate descriptors and call
+//! through function pointers, so adding an experiment is one new entry
+//! and the campaign/CLI layers pick it up untouched.
 
 pub mod fig03;
 pub mod fig08;
@@ -47,35 +56,196 @@ impl RunReport {
     }
 }
 
-/// All experiment ids in paper order.
-pub const ALL: &[&str] = &[
-    "table1", "fig03", "fig08", "fig09", "fig10", "fig11", "aggr", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
-    "fig23",
+/// Relative runtime of an experiment in quick mode. Used by the campaign
+/// scheduler to dispatch the heaviest runs first (longest-processing-time
+/// order), which keeps a worker pool from idling on a late-arriving
+/// multi-second run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum CostTier {
+    /// Milliseconds: single-link protocol traces and beam patterns.
+    Fast,
+    /// Hundreds of milliseconds: TCP sweeps and interference scenes.
+    Medium,
+    /// Seconds: full distance/interference campaigns.
+    Slow,
+}
+
+/// A typed experiment descriptor: everything a runner needs to schedule,
+/// execute and label one paper artifact.
+pub struct Experiment {
+    /// Stable id ("fig09", "table1", …) used in CLIs and artifact names.
+    pub id: &'static str,
+    /// Human title matching the `RunReport` the run function produces.
+    pub title: &'static str,
+    /// Scheduling hint: relative cost in quick mode.
+    pub cost: CostTier,
+    /// The artifact regenerator.
+    pub run: fn(quick: bool, seed: u64) -> RunReport,
+}
+
+impl Experiment {
+    /// Run this experiment.
+    pub fn run(&self, quick: bool, seed: u64) -> RunReport {
+        (self.run)(quick, seed)
+    }
+}
+
+/// Every experiment, in paper order.
+pub const REGISTRY: &[Experiment] = &[
+    Experiment {
+        id: "table1",
+        title: "Table 1: D5000 and WiHD frame periodicity",
+        cost: CostTier::Fast,
+        run: table1::run,
+    },
+    Experiment {
+        id: "fig03",
+        title: "Fig. 3: Dell D5000 device discovery frame",
+        cost: CostTier::Fast,
+        run: fig03::run,
+    },
+    Experiment {
+        id: "fig08",
+        title: "Fig. 8: Dell D5000 frame flow",
+        cost: CostTier::Fast,
+        run: fig08::run,
+    },
+    Experiment {
+        id: "fig09",
+        title: "Fig. 9: WiGig data frame length (CDF per TCP throughput)",
+        cost: CostTier::Medium,
+        run: sweep::run_fig09,
+    },
+    Experiment {
+        id: "fig10",
+        title: "Fig. 10: percentage of long frames in WiGig",
+        cost: CostTier::Medium,
+        run: sweep::run_fig10,
+    },
+    Experiment {
+        id: "fig11",
+        title: "Fig. 11: WiGig medium usage",
+        cost: CostTier::Medium,
+        run: sweep::run_fig11,
+    },
+    Experiment {
+        id: "aggr",
+        title: "§4.1/§5: aggregation gain at 60 GHz timescales",
+        cost: CostTier::Medium,
+        run: sweep::run_aggr,
+    },
+    Experiment {
+        id: "fig12",
+        title: "Fig. 12: MCS with low traffic",
+        cost: CostTier::Medium,
+        run: fig12::run,
+    },
+    Experiment {
+        id: "fig13",
+        title: "Fig. 13: throughput decrease with distance",
+        cost: CostTier::Slow,
+        run: fig13::run,
+    },
+    Experiment {
+        id: "fig14",
+        title: "Fig. 14: D5000 frame amplitudes and rate over 80 minutes",
+        cost: CostTier::Slow,
+        run: fig14::run,
+    },
+    Experiment {
+        id: "fig15",
+        title: "Fig. 15: DVDO Air-3c WiHD frame flow",
+        cost: CostTier::Fast,
+        run: fig15::run,
+    },
+    Experiment {
+        id: "fig16",
+        title: "Fig. 16: quasi omni-directional beam patterns swept by the D5000",
+        cost: CostTier::Fast,
+        run: fig16::run,
+    },
+    Experiment {
+        id: "fig17",
+        title: "Fig. 17: laptop and D5000 beam patterns (aligned and rotated 70°)",
+        cost: CostTier::Fast,
+        run: fig17::run,
+    },
+    Experiment {
+        id: "fig18",
+        title: "Fig. 18: reflections for Dell D5000 (conference room, probes A–F)",
+        cost: CostTier::Fast,
+        run: fig18::run,
+    },
+    Experiment {
+        id: "fig19",
+        title: "Fig. 19: reflections for DVDO Air-3c WiHD (conference room)",
+        cost: CostTier::Fast,
+        run: fig19::run,
+    },
+    Experiment {
+        id: "fig20",
+        title: "Fig. 20: angular profile and throughput with link blockage",
+        cost: CostTier::Medium,
+        run: fig20::run,
+    },
+    Experiment {
+        id: "fig21",
+        title: "Fig. 21: inter-system interference effects (collisions + carrier sensing)",
+        cost: CostTier::Medium,
+        run: fig21::run,
+    },
+    Experiment {
+        id: "fig22",
+        title: "Fig. 22: side lobe interference impact",
+        cost: CostTier::Slow,
+        run: fig22::run,
+    },
+    Experiment {
+        id: "fig23",
+        title: "Fig. 23: reflection interference impact on TCP throughput",
+        cost: CostTier::Slow,
+        run: fig23::run,
+    },
 ];
+
+/// Look up an experiment descriptor by id.
+pub fn find(id: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.id == id)
+}
+
+/// All experiment ids in paper order.
+pub fn ids() -> impl Iterator<Item = &'static str> {
+    REGISTRY.iter().map(|e| e.id)
+}
 
 /// Run one experiment by id. `None` for an unknown id.
 pub fn run(id: &str, quick: bool, seed: u64) -> Option<RunReport> {
-    Some(match id {
-        "table1" => table1::run(quick, seed),
-        "fig03" => fig03::run(quick, seed),
-        "fig08" => fig08::run(quick, seed),
-        "fig09" => sweep::run_fig09(quick, seed),
-        "fig10" => sweep::run_fig10(quick, seed),
-        "fig11" => sweep::run_fig11(quick, seed),
-        "aggr" => sweep::run_aggr(quick, seed),
-        "fig12" => fig12::run(quick, seed),
-        "fig13" => fig13::run(quick, seed),
-        "fig14" => fig14::run(quick, seed),
-        "fig15" => fig15::run(quick, seed),
-        "fig16" => fig16::run(quick, seed),
-        "fig17" => fig17::run(quick, seed),
-        "fig18" => fig18::run(quick, seed),
-        "fig19" => fig19::run(quick, seed),
-        "fig20" => fig20::run(quick, seed),
-        "fig21" => fig21::run(quick, seed),
-        "fig22" => fig22::run(quick, seed),
-        "fig23" => fig23::run(quick, seed),
-        _ => return None,
-    })
+    find(id).map(|e| e.run(quick, seed))
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique_and_find_consistent() {
+        let mut seen = std::collections::HashSet::new();
+        for e in REGISTRY {
+            assert!(seen.insert(e.id), "duplicate id {}", e.id);
+            let found = find(e.id).expect("find by id");
+            assert_eq!(found.title, e.title);
+        }
+        assert!(find("nope").is_none());
+        assert_eq!(ids().count(), REGISTRY.len());
+    }
+
+    #[test]
+    fn registry_titles_match_reports() {
+        // The cheapest experiment: verify descriptor metadata agrees with
+        // what the run function reports about itself.
+        let e = find("table1").expect("table1 registered");
+        let r = e.run(true, 1);
+        assert_eq!(r.id, e.id);
+        assert_eq!(r.title, e.title);
+    }
 }

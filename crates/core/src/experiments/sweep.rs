@@ -14,6 +14,7 @@ use crate::analysis::frame_level;
 use crate::report;
 use crate::scenarios::point_to_point;
 use mmwave_mac::{FrameClass, NetConfig};
+use mmwave_sim::metrics;
 use mmwave_sim::stats::Cdf;
 use mmwave_sim::time::{SimDuration, SimTime};
 use mmwave_transport::{Stack, TcpConfig};
@@ -95,17 +96,25 @@ fn run_point(seed: u64, pace_bps: Option<u64>, window: u64, secs: f64) -> PointD
 
 /// Collect the full sweep (cached per `(quick, seed)` because four
 /// experiments share it).
+///
+/// The cache also stores the engine-counter delta of the simulation that
+/// filled it, and merges it into the thread-local accumulator on every
+/// hit (see [`mmwave_sim::metrics::merge`]) — so fig09/10/11/aggr all
+/// report the same scheduler activity no matter which of them ran first,
+/// and campaign artifacts stay independent of worker scheduling.
 pub fn collect(quick: bool, seed: u64) -> Vec<PointData> {
-    type SweepCache = HashMap<(bool, u64), Vec<PointData>>;
+    type SweepCache = HashMap<(bool, u64), (Vec<PointData>, metrics::EngineCounters)>;
     static CACHE: Mutex<Option<SweepCache>> = Mutex::new(None);
     {
         let guard = CACHE.lock().expect("sweep cache");
         if let Some(map) = guard.as_ref() {
-            if let Some(v) = map.get(&(quick, seed)) {
+            if let Some((v, counters)) = map.get(&(quick, seed)) {
+                metrics::merge(*counters);
                 return v.clone();
             }
         }
     }
+    let before = metrics::snapshot();
     let secs: f64 = if quick { 0.6 } else { 2.0 };
     // Paced points reproduce the paper's low/medium ladder (9.7 kb/s …
     // 372 Mb/s). The real setup reached these via the Iperf window knob
@@ -131,10 +140,19 @@ pub fn collect(quick: bool, seed: u64) -> Vec<PointData> {
         points.push(run_point(seed + 20 + i as u64, None, w, secs));
     }
     points.sort_by(|a, b| a.throughput_mbps.partial_cmp(&b.throughput_mbps).expect("finite"));
+    let after = metrics::snapshot();
+    let delta = metrics::EngineCounters {
+        events_popped: after.events_popped - before.events_popped,
+        events_cancelled: after.events_cancelled - before.events_cancelled,
+        // The watermark isn't separable from prior activity; campaign
+        // tasks reset the accumulator before running, and all four sweep
+        // consumers call collect() first, so this is the fill's own peak.
+        peak_queue_depth: after.peak_queue_depth,
+    };
     let mut guard = CACHE.lock().expect("sweep cache");
     guard
         .get_or_insert_with(HashMap::new)
-        .insert((quick, seed), points.clone());
+        .insert((quick, seed), (points.clone(), delta));
     points
 }
 

@@ -18,6 +18,11 @@ pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     out.push_str(&format!("== {title} ==\n"));
+    if cols == 0 {
+        // No columns: just the title. Guards the rule width below, which
+        // would otherwise underflow on `cols - 1`.
+        return out;
+    }
     let fmt_row = |cells: &[String]| -> String {
         cells
             .iter()
@@ -114,6 +119,14 @@ mod tests {
     #[should_panic(expected = "row arity mismatch")]
     fn table_checks_arity() {
         table("T", &["a", "b"], &[vec!["only one".into()]]);
+    }
+
+    #[test]
+    fn empty_header_renders_title_only() {
+        // Regression: `cols == 0` used to underflow the rule width
+        // (`2 * (cols - 1)`) and panic.
+        let t = table("empty", &[], &[]);
+        assert_eq!(t, "== empty ==\n");
     }
 
     #[test]

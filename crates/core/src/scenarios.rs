@@ -9,20 +9,23 @@ use mmwave_channel::Environment;
 use mmwave_geom::{Angle, ConferenceRoom, Material, Point, Room, Segment};
 use mmwave_mac::{Device, Net, NetConfig};
 
-/// Canonical array seeds (see `crates/phy/tests/calibration.rs`).
+/// Canonical array seeds, re-exported from the calibrated definitions in
+/// [`mmwave_phy::calib`] (pinned by `crates/phy/tests/calibration.rs`).
 pub mod seeds {
+    use mmwave_phy::calib;
+
     /// Dock A / the dock under test.
-    pub const DOCK_A: u64 = 13;
+    pub const DOCK_A: u64 = calib::DOCK_SEED;
     /// Dock B (second link in Fig. 6).
-    pub const DOCK_B: u64 = 7;
+    pub const DOCK_B: u64 = calib::DOCK_B_SEED;
     /// Laptop A / the laptop under test.
-    pub const LAPTOP_A: u64 = 11;
+    pub const LAPTOP_A: u64 = calib::LAPTOP_SEED;
     /// Laptop B.
-    pub const LAPTOP_B: u64 = 5;
+    pub const LAPTOP_B: u64 = calib::LAPTOP_B_SEED;
     /// WiHD source (HDMI TX).
-    pub const WIHD_TX: u64 = 21;
+    pub const WIHD_TX: u64 = calib::WIHD_TX_SEED;
     /// WiHD sink (HDMI RX).
-    pub const WIHD_RX: u64 = 22;
+    pub const WIHD_RX: u64 = calib::WIHD_RX_SEED;
 }
 
 /// A simple point-to-point dock↔laptop link at `distance_m` in open space

@@ -203,7 +203,8 @@ pub struct Device {
 }
 
 impl Device {
-    /// A docking station (canonical array seed 13 unless varied).
+    /// A docking station (canonical array seed `mmwave_phy::calib::DOCK_SEED`
+    /// unless varied).
     pub fn wigig_dock(label: &str, pos: Point, facing: Angle, array_seed: u64) -> Device {
         Device {
             node: RadioNode::new(0, label, pos, facing),
@@ -214,7 +215,8 @@ impl Device {
         }
     }
 
-    /// A laptop station (canonical array seed 11 unless varied).
+    /// A laptop station (canonical array seed
+    /// `mmwave_phy::calib::LAPTOP_SEED` unless varied).
     pub fn wigig_laptop(label: &str, pos: Point, facing: Angle, array_seed: u64) -> Device {
         Device {
             node: RadioNode::new(0, label, pos, facing),
@@ -229,7 +231,7 @@ impl Device {
         }
     }
 
-    /// A WiHD video source (canonical seed 21).
+    /// A WiHD video source (canonical seed `mmwave_phy::calib::WIHD_TX_SEED`).
     pub fn wihd_source(label: &str, pos: Point, facing: Angle, array_seed: u64) -> Device {
         let cfg = WihdConfig::default();
         Device {
@@ -241,7 +243,7 @@ impl Device {
         }
     }
 
-    /// A WiHD video sink (canonical seed 22).
+    /// A WiHD video sink (canonical seed `mmwave_phy::calib::WIHD_RX_SEED`).
     pub fn wihd_sink(label: &str, pos: Point, facing: Angle, array_seed: u64) -> Device {
         let cfg = WihdConfig::default();
         Device {

@@ -356,7 +356,7 @@ pub(crate) fn on_txop_attempt(net: &mut Net, dev: usize) {
     if busy {
         // Defer: retry after AIFS + random backoff.
         net.devices[dev].stats.cs_defers += 1;
-        let slots = 1 + (rand::RngCore::next_u64(&mut net.rng) % cw as u64) as u32;
+        let slots = 1 + (net.rng.next_u64() % cw as u64) as u32;
         let delay = net.cfg.params.aifs() + net.cfg.params.slot * slots;
         let now = net.now();
         if let Some(w) = net.devices[dev].wigig_mut() {
@@ -421,7 +421,7 @@ pub(crate) fn on_cts_timeout(net: &mut Net, dev: usize) {
 
 fn backoff_and_contend(net: &mut Net, dev: usize) {
     let cw = net.devices[dev].wigig().map(|w| w.cw).unwrap_or(8);
-    let slots = 1 + (rand::RngCore::next_u64(&mut net.rng) % cw as u64) as u32;
+    let slots = 1 + (net.rng.next_u64() % cw as u64) as u32;
     let extra = net.cfg.params.slot * slots;
     maybe_contend(net, dev, extra);
 }

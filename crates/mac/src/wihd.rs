@@ -30,7 +30,7 @@ pub(crate) fn on_discovery_tick(net: &mut Net, dev: usize) {
     // Shuffled pattern order, fresh each frame.
     let mut order: Vec<usize> = (0..n_subs).collect();
     for i in (1..order.len()).rev() {
-        let j = (rand::RngCore::next_u64(&mut net.rng) % (i as u64 + 1)) as usize;
+        let j = (net.rng.next_u64() % (i as u64 + 1)) as usize;
         order.swap(i, j);
     }
     let now = net.now();

@@ -32,6 +32,7 @@
 
 pub mod antenna;
 pub mod array;
+pub mod calib;
 pub mod codebook;
 pub mod horn;
 pub mod mcs;

@@ -1,86 +1,126 @@
 //! Property tests for the PHY: pattern synthesis, quantization, link
 //! budget and MCS invariants.
+//!
+//! Std-only: cases are drawn from deterministic `SimRng` streams with
+//! fixed seeds (no proptest — the workspace builds offline). Failures
+//! print the case number, which reproduces the exact inputs.
 
 use mmwave_geom::Angle;
 use mmwave_phy::{
     db_to_lin, lin_to_db, sum_dbm, ArrayConfig, McsTable, PhaseShifter, PhasedArray,
 };
-use proptest::prelude::*;
+use mmwave_sim::rng::SimRng;
 
-proptest! {
-    /// Interpolated pattern lookups never leave the sample range.
-    #[test]
-    fn pattern_lookup_bounded(seed in 0u64..50, steer_deg in -75.0..75.0f64, query_deg in -180.0..180.0f64) {
+const CASES: u64 = 96;
+
+/// Interpolated pattern lookups never leave the sample range.
+#[test]
+fn pattern_lookup_bounded() {
+    for case in 0..CASES {
+        let mut r = SimRng::root(case).stream("phy-pattern");
+        let seed = r.next_u64() % 50;
+        let steer_deg = r.uniform(-75.0, 75.0);
+        let query_deg = r.uniform(-180.0, 180.0);
         let arr = PhasedArray::new(ArrayConfig::wigig_2x8(seed));
         let p = arr.steered_pattern(Angle::from_degrees(steer_deg));
         let lo = p.samples().iter().cloned().fold(f64::MAX, f64::min);
         let hi = p.samples().iter().cloned().fold(f64::MIN, f64::max);
         let g = p.gain_dbi(Angle::from_degrees(query_deg));
-        prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9);
+        assert!(g >= lo - 1e-9 && g <= hi + 1e-9, "case {case}");
     }
+}
 
-    /// Quantization is idempotent and never moves a phase by more than
-    /// half a step.
-    #[test]
-    fn quantization_idempotent(bits in 1u8..=8, phase in -20.0..20.0f64) {
+/// Quantization is idempotent and never moves a phase by more than
+/// half a step.
+#[test]
+fn quantization_idempotent() {
+    for case in 0..CASES {
+        let mut r = SimRng::root(case).stream("phy-quant");
+        let bits = 1 + (r.next_u64() % 8) as u8;
+        let phase = r.uniform(-20.0, 20.0);
         let ps = PhaseShifter::new(bits);
         let q = ps.quantize(phase);
-        prop_assert!((ps.quantize(q) - q).abs() < 1e-9);
-        prop_assert!((q - phase).abs() <= ps.max_error() + 1e-9);
+        assert!((ps.quantize(q) - q).abs() < 1e-9, "case {case}");
+        assert!((q - phase).abs() <= ps.max_error() + 1e-9, "case {case}");
     }
+}
 
-    /// Power summation dominates its strongest term and is no more than
-    /// 10·log10(n) above it.
-    #[test]
-    fn sum_dbm_bounds(levels in proptest::collection::vec(-120.0..0.0f64, 1..20)) {
+/// Power summation dominates its strongest term and is no more than
+/// 10·log10(n) above it.
+#[test]
+fn sum_dbm_bounds() {
+    for case in 0..CASES {
+        let mut r = SimRng::root(case).stream("phy-sum");
+        let n = 1 + (r.next_u64() % 19) as usize;
+        let levels: Vec<f64> = (0..n).map(|_| r.uniform(-120.0, 0.0)).collect();
         let max = levels.iter().cloned().fold(f64::MIN, f64::max);
         let total = sum_dbm(levels.iter().cloned());
-        prop_assert!(total >= max - 1e-9);
-        prop_assert!(total <= max + 10.0 * (levels.len() as f64).log10() + 1e-9);
+        assert!(total >= max - 1e-9, "case {case}");
+        assert!(total <= max + 10.0 * (levels.len() as f64).log10() + 1e-9, "case {case}");
     }
+}
 
-    /// dB↔linear conversions are inverse of each other.
-    #[test]
-    fn db_lin_roundtrip(db in -200.0..100.0f64) {
-        prop_assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-9);
+/// dB↔linear conversions are inverse of each other.
+#[test]
+fn db_lin_roundtrip() {
+    for case in 0..CASES {
+        let mut r = SimRng::root(case).stream("phy-db");
+        let db = r.uniform(-200.0, 100.0);
+        assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-9, "case {case}");
     }
+}
 
-    /// PER is a probability, monotone non-increasing in SINR and
-    /// non-decreasing in frame length.
-    #[test]
-    fn per_is_sane(mcs in 1u8..=12, sinr in -20.0..40.0f64, bits in 1_000u64..200_000) {
+/// PER is a probability, monotone non-increasing in SINR and
+/// non-decreasing in frame length.
+#[test]
+fn per_is_sane() {
+    for case in 0..CASES {
+        let mut r = SimRng::root(case).stream("phy-per");
+        let mcs = 1 + (r.next_u64() % 12) as u8;
+        let sinr = r.uniform(-20.0, 40.0);
+        let bits = 1_000 + r.next_u64() % 199_000;
         let t = McsTable::ieee_802_11ad();
         let m = t.get(mcs);
         let p = m.per(sinr, bits, -71.5);
-        prop_assert!((0.0..=1.0).contains(&p));
-        prop_assert!(m.per(sinr + 1.0, bits, -71.5) <= p + 1e-12);
-        prop_assert!(m.per(sinr, bits * 2, -71.5) >= p - 1e-12);
+        assert!((0.0..=1.0).contains(&p), "case {case}");
+        assert!(m.per(sinr + 1.0, bits, -71.5) <= p + 1e-12, "case {case}");
+        assert!(m.per(sinr, bits * 2, -71.5) >= p - 1e-12, "case {case}");
     }
+}
 
-    /// best_for_snr returns an entry whose threshold is met when any is,
-    /// and respects the cap.
-    #[test]
-    fn best_for_snr_valid(snr in -10.0..45.0f64, cap in 1u8..=12) {
+/// best_for_snr returns an entry whose threshold is met when any is,
+/// and respects the cap.
+#[test]
+fn best_for_snr_valid() {
+    for case in 0..CASES {
+        let mut r = SimRng::root(case).stream("phy-best");
+        let snr = r.uniform(-10.0, 45.0);
+        let cap = 1 + (r.next_u64() % 12) as u8;
         let t = McsTable::ieee_802_11ad();
         let m = t.best_for_snr(snr, -71.5, 2.0, cap);
-        prop_assert!(m.index >= 1 && m.index <= cap);
+        assert!(m.index >= 1 && m.index <= cap, "case {case}");
         if m.index > 1 {
-            prop_assert!(snr >= m.snr_threshold_db(-71.5) + 2.0);
+            assert!(snr >= m.snr_threshold_db(-71.5) + 2.0, "case {case}");
             // And the next one up (within the cap) would not fit.
             if m.index < cap {
                 let next = t.get(m.index + 1);
-                prop_assert!(snr < next.snr_threshold_db(-71.5) + 2.0);
+                assert!(snr < next.snr_threshold_db(-71.5) + 2.0, "case {case}");
             }
         }
     }
+}
 
-    /// Steering never raises the peak above the boresight-steered peak by
-    /// more than a dB (beam-forming can't create energy).
-    #[test]
-    fn steering_cannot_gain_energy(seed in 0u64..30, steer_deg in -77.0..77.0f64) {
+/// Steering never raises the peak above the boresight-steered peak by
+/// more than a dB (beam-forming can't create energy).
+#[test]
+fn steering_cannot_gain_energy() {
+    for case in 0..CASES {
+        let mut r = SimRng::root(case).stream("phy-steer");
+        let seed = r.next_u64() % 30;
+        let steer_deg = r.uniform(-77.0, 77.0);
         let arr = PhasedArray::new(ArrayConfig::wigig_2x8(seed));
         let bore = arr.steered_pattern(Angle::ZERO).peak().gain_dbi;
         let steered = arr.steered_pattern(Angle::from_degrees(steer_deg)).peak().gain_dbi;
-        prop_assert!(steered <= bore + 1.5, "steered {steered} vs boresight {bore}");
+        assert!(steered <= bore + 1.5, "case {case}: steered {steered} vs boresight {bore}");
     }
 }

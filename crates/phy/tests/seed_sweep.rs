@@ -1,0 +1,102 @@
+//! Recalibration helper: sweep candidate `error_seed` values for the
+//! canonical WiGig devices and print those whose *emergent* pattern
+//! metrics land in the paper's measured bands (§4.2).
+//!
+//! The canonical seeds (see `mmwave_phy::calib`) pin "this particular
+//! manufactured device". Whenever the pattern-synthesis pipeline or the
+//! RNG stream changes, the same numeric seed describes a different
+//! device, and the seeds must be re-picked. Run:
+//!
+//! ```text
+//! cargo test -p mmwave-phy --test seed_sweep -- --ignored --nocapture
+//! ```
+//!
+//! and copy suitable seeds into `mmwave_phy::calib` (then re-pin the
+//! exact SLLs in `tests/calibration.rs` and update DESIGN.md).
+
+use mmwave_geom::Angle;
+use mmwave_phy::{AntennaPattern, ArrayConfig, Codebook, PhasedArray};
+
+struct Metrics {
+    hpbw_deg: f64,
+    sll_db: f64,
+    scan_loss_db: f64,
+    /// Aligned peak minus the 70°-trained pattern's own peak (the Fig. 17
+    /// "+10 dB receiver gain" number).
+    peak_drop_db: f64,
+    edge_sll_db: f64,
+    aligned_strong: usize,
+    edge_strong: usize,
+    qo_widest_deg: f64,
+    qo_with_gaps: usize,
+    qo_total: usize,
+}
+
+fn strong_lobes(p: &AntennaPattern) -> usize {
+    let peak = p.peak().gain_dbi;
+    p.lobes(1.0).iter().filter(|l| l.gain_dbi >= peak - 3.0).count()
+}
+
+fn measure(seed: u64) -> Option<Metrics> {
+    let arr = PhasedArray::new(ArrayConfig::wigig_2x8(seed));
+    let cb = Codebook::directional_default(&arr);
+    let aligned = cb.best_toward(Angle::ZERO);
+    let sll_db = aligned.pattern.side_lobe_level_db()?;
+    let target = Angle::from_degrees(70.0);
+    let edge = cb.best_toward(target);
+    let qo = Codebook::quasi_omni_32(&arr);
+    Some(Metrics {
+        hpbw_deg: aligned.pattern.hpbw().to_degrees(),
+        sll_db,
+        scan_loss_db: aligned.pattern.peak().gain_dbi - edge.pattern.gain_dbi(target),
+        peak_drop_db: aligned.pattern.peak().gain_dbi - edge.pattern.peak().gain_dbi,
+        edge_sll_db: edge.pattern.side_lobe_level_db()?,
+        aligned_strong: strong_lobes(&aligned.pattern),
+        edge_strong: strong_lobes(&edge.pattern),
+        qo_widest_deg: qo
+            .sectors()
+            .iter()
+            .map(|s| s.pattern.hpbw().to_degrees())
+            .fold(f64::MIN, f64::max),
+        qo_with_gaps: qo
+            .sectors()
+            .iter()
+            .filter(|s| !s.pattern.gaps(90f64.to_radians(), 6.0).is_empty())
+            .count(),
+        qo_total: qo.len(),
+    })
+}
+
+/// All the bands `tests/calibration.rs` asserts for a canonical device.
+fn in_paper_bands(m: &Metrics) -> bool {
+    (8.0..20.0).contains(&m.hpbw_deg)
+        && (-8.0..=-3.5).contains(&m.sll_db)
+        && (7.0..=14.0).contains(&m.scan_loss_db)
+        && m.edge_sll_db >= -3.0
+        && m.edge_strong > m.aligned_strong
+        && (45.0..=80.0).contains(&m.qo_widest_deg)
+        && m.qo_with_gaps * 2 > m.qo_total
+}
+
+#[test]
+#[ignore = "recalibration tool, not a regression test"]
+fn sweep_canonical_candidates() {
+    println!("seed  hpbw   sll    scan   drop  edge_sll  strong(a/e)  qo(widest/gaps)");
+    for seed in 1..1200u64 {
+        let Some(m) = measure(seed) else { continue };
+        if in_paper_bands(&m) {
+            println!(
+                "{seed:>4}  {:>5.1}  {:>5.2}  {:>5.1}  {:>5.1}  {:>7.2}  {:>4}/{:<4}  {:>5.1}/{:<2}",
+                m.hpbw_deg,
+                m.sll_db,
+                m.scan_loss_db,
+                m.peak_drop_db,
+                m.edge_sll_db,
+                m.aligned_strong,
+                m.edge_strong,
+                m.qo_widest_deg,
+                m.qo_with_gaps
+            );
+        }
+    }
+}

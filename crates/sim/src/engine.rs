@@ -7,6 +7,7 @@
 //! sequential and deterministic — see [`crate::queue`] for the ordering
 //! guarantees.
 
+use crate::metrics::EngineCounters;
 use crate::queue::{EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
 
@@ -99,6 +100,20 @@ impl<W> Engine<W> {
     /// Total events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Scheduler activity counters for this engine: events popped and
+    /// cancelled, and the deepest the queue ever got. The same counters
+    /// also stream into the thread-local accumulator
+    /// ([`crate::metrics::snapshot`]) so callers that never see the engine
+    /// (the campaign layer running opaque experiments) can still report
+    /// them per run.
+    pub fn metrics(&self) -> EngineCounters {
+        EngineCounters {
+            events_popped: self.sched.queue.popped(),
+            events_cancelled: self.sched.queue.cancelled_count(),
+            peak_queue_depth: self.sched.queue.peak_len() as u64,
+        }
     }
 
     /// Run a single event if one is pending; returns false when idle.
@@ -233,6 +248,38 @@ mod tests {
             }),
         );
         e.run_to_idle();
+    }
+
+    #[test]
+    fn metrics_count_pops_cancels_and_peak_depth() {
+        let mut e = Engine::new(W::default());
+        let a = e.schedule(SimTime::from_nanos(10), ev("a"));
+        e.schedule(SimTime::from_nanos(20), ev("b"));
+        e.schedule(SimTime::from_nanos(30), ev("c"));
+        assert!(e.cancel(a));
+        e.run_to_idle();
+        let m = e.metrics();
+        assert_eq!(m.events_popped, 2);
+        assert_eq!(m.events_cancelled, 1);
+        assert_eq!(m.peak_queue_depth, 3);
+    }
+
+    #[test]
+    fn thread_local_accumulator_tracks_engine_activity() {
+        // Run on a dedicated thread so concurrently running tests cannot
+        // perturb this thread's accumulator.
+        std::thread::spawn(|| {
+            crate::metrics::reset();
+            let mut e = Engine::new(W::default());
+            e.schedule(SimTime::from_nanos(1), ev("x"));
+            e.schedule(SimTime::from_nanos(2), ev("y"));
+            e.run_to_idle();
+            let s = crate::metrics::snapshot();
+            assert_eq!(s.events_popped, 2);
+            assert_eq!(s.peak_queue_depth, 2);
+        })
+        .join()
+        .expect("metrics thread");
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod engine;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod series;
@@ -48,6 +49,7 @@ pub mod time;
 /// Convenient re-exports of the types almost every consumer needs.
 pub mod prelude {
     pub use crate::engine::{Engine, EventFn, Scheduler};
+    pub use crate::metrics::EngineCounters;
     pub use crate::queue::{EventId, EventQueue};
     pub use crate::rng::SimRng;
     pub use crate::series::TimeSeries;

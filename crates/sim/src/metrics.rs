@@ -1,0 +1,105 @@
+//! Engine instrumentation counters.
+//!
+//! Two layers:
+//!
+//! * **Per-engine**: every [`crate::engine::Engine`] exposes
+//!   [`crate::engine::Engine::metrics`], computed from its own queue's
+//!   counters — events popped, events cancelled, peak queue depth.
+//! * **Per-thread accumulation** ([`reset`] / [`snapshot`]): experiments
+//!   construct engines and queues internally and out of reach of the
+//!   caller, so [`crate::queue::EventQueue`] streams every counter update
+//!   into a thread-local accumulator (this also covers consumers like the
+//!   MAC simulator that drive an `EventQueue` directly without an engine).
+//!   A campaign worker resets the accumulator before a run and snapshots
+//!   it after, capturing the aggregate scheduler activity of *all* queues
+//!   the run created — without threading a handle through sixteen
+//!   experiment modules.
+//!
+//! The accumulator is thread-local, not global, so concurrent campaign
+//! workers never observe each other's counters: the numbers a task reports
+//! depend only on that task, which keeps campaign artifacts bitwise
+//! deterministic under any worker count.
+
+use std::cell::Cell;
+
+/// Scheduler activity counters for one run (one engine or one accumulated
+/// task, depending on where they were read).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Events popped and executed.
+    pub events_popped: u64,
+    /// Events cancelled while still pending.
+    pub events_cancelled: u64,
+    /// Highest number of simultaneously pending events.
+    pub peak_queue_depth: u64,
+}
+
+thread_local! {
+    static POPPED: Cell<u64> = const { Cell::new(0) };
+    static CANCELLED: Cell<u64> = const { Cell::new(0) };
+    static PEAK_DEPTH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Zero this thread's accumulator (call before a measured run).
+pub fn reset() {
+    POPPED.with(|c| c.set(0));
+    CANCELLED.with(|c| c.set(0));
+    PEAK_DEPTH.with(|c| c.set(0));
+}
+
+/// Read this thread's accumulated counters (call after a measured run).
+pub fn snapshot() -> EngineCounters {
+    EngineCounters {
+        events_popped: POPPED.with(Cell::get),
+        events_cancelled: CANCELLED.with(Cell::get),
+        peak_queue_depth: PEAK_DEPTH.with(Cell::get),
+    }
+}
+
+/// Fold previously captured counters into this thread's accumulator —
+/// additive for the event counts, watermark-max for the queue depth.
+///
+/// For when a computation's *result* is cached and reused: capture the
+/// counter delta while computing, store it with the cached value, and
+/// merge it on every cache hit. Each consumer then reports the same
+/// counters whether it filled the cache or read it, keeping aggregate
+/// metrics independent of scheduling order.
+pub fn merge(c: EngineCounters) {
+    POPPED.with(|p| p.set(p.get() + c.events_popped));
+    CANCELLED.with(|p| p.set(p.get() + c.events_cancelled));
+    PEAK_DEPTH.with(|p| p.set(p.get().max(c.peak_queue_depth)));
+}
+
+pub(crate) fn record_pop() {
+    POPPED.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn record_cancel() {
+    CANCELLED.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn record_depth(depth: usize) {
+    PEAK_DEPTH.with(|c| c.set(c.get().max(depth as u64)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_resets_and_counts() {
+        reset();
+        assert_eq!(snapshot(), EngineCounters::default());
+        record_pop();
+        record_pop();
+        record_cancel();
+        record_depth(3);
+        record_depth(1);
+        let s = snapshot();
+        assert_eq!(s.events_popped, 2);
+        assert_eq!(s.events_cancelled, 1);
+        assert_eq!(s.peak_queue_depth, 3);
+        reset();
+        assert_eq!(snapshot(), EngineCounters::default());
+    }
+}

@@ -6,6 +6,7 @@
 //! Cancellation is *lazy*: a cancelled entry stays in the heap and is
 //! discarded when it surfaces, which keeps `cancel` O(1).
 
+use crate::metrics;
 use crate::time::SimTime;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -57,6 +58,9 @@ pub struct EventQueue<E> {
     cancelled: HashSet<EventId>,
     next_seq: u64,
     live: usize,
+    popped: u64,
+    cancelled_total: u64,
+    peak_live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -73,6 +77,9 @@ impl<E> EventQueue<E> {
             cancelled: HashSet::new(),
             next_seq: 0,
             live: 0,
+            popped: 0,
+            cancelled_total: 0,
+            peak_live: 0,
         }
     }
 
@@ -83,6 +90,8 @@ impl<E> EventQueue<E> {
         let id = EventId(seq);
         self.heap.push(Entry { at, seq, payload: (id, payload) });
         self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        metrics::record_depth(self.live);
         id
     }
 
@@ -103,6 +112,8 @@ impl<E> EventQueue<E> {
             if self.live > 0 {
                 self.live -= 1;
             }
+            self.cancelled_total += 1;
+            metrics::record_cancel();
             true
         } else {
             false
@@ -117,6 +128,8 @@ impl<E> EventQueue<E> {
                 continue; // tombstoned
             }
             self.live -= 1;
+            self.popped += 1;
+            metrics::record_pop();
             return Some((entry.at, payload));
         }
         None
@@ -145,6 +158,21 @@ impl<E> EventQueue<E> {
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
         self.live == 0
+    }
+
+    /// Total events popped over the queue's lifetime.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Total successful cancellations over the queue's lifetime.
+    pub fn cancelled_count(&self) -> u64 {
+        self.cancelled_total
+    }
+
+    /// Highest number of simultaneously live events ever observed.
+    pub fn peak_len(&self) -> usize {
+        self.peak_live
     }
 }
 

@@ -10,9 +10,13 @@
 //! 2. **Stability under extension** — adding a new random component (a new
 //!    label) never shifts the draws of existing components, so unrelated
 //!    regression baselines survive refactors.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a hand-rolled xoshiro256\*\* (public domain algorithm by
+//! Blackman & Vigna) so the whole crate is **std-only**: the simulation has
+//! no external dependencies and builds in hermetic/offline environments.
+//! The campaign-orchestration layer relies on this — per-task streams are
+//! derived from `(experiment id, seed)` alone, so results are bitwise
+//! identical regardless of worker count or scheduling order.
 
 /// FNV-1a 64-bit hash; tiny, stable, good enough for seed derivation.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -32,41 +36,71 @@ fn splitmix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// xoshiro256** state, expanded from a 64-bit seed via SplitMix64 so that
+/// no state word is ever all-zero.
+#[derive(Clone, Debug)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            *w = splitmix(z);
+        }
+        Xoshiro256 { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
 /// A deterministic RNG tied to a root seed, able to fork labelled substreams.
 ///
 /// ```
 /// use mmwave_sim::rng::SimRng;
-/// use rand::Rng;
 ///
 /// let mut a = SimRng::root(42).stream("fading");
 /// let mut b = SimRng::root(42).stream("fading");
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());            // same label, same draws
+/// assert_eq!(a.next_u64(), b.next_u64());            // same label, same draws
 /// let mut c = SimRng::root(42).stream("frame-errors");
-/// assert_ne!(a.gen::<u64>(), c.gen::<u64>());            // different label, independent
+/// assert_ne!(a.next_u64(), c.next_u64());            // different label, independent
 /// ```
 #[derive(Clone, Debug)]
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    inner: Xoshiro256,
 }
 
 impl SimRng {
     /// Create the root stream for a campaign.
     pub fn root(seed: u64) -> SimRng {
-        SimRng { seed, inner: StdRng::seed_from_u64(splitmix(seed)) }
+        SimRng { seed, inner: Xoshiro256::seed_from_u64(splitmix(seed)) }
     }
 
     /// Fork an independent substream identified by `label`.
     pub fn stream(&self, label: &str) -> SimRng {
         let derived = splitmix(self.seed ^ fnv1a(label.as_bytes()));
-        SimRng { seed: derived, inner: StdRng::seed_from_u64(derived) }
+        SimRng { seed: derived, inner: Xoshiro256::seed_from_u64(derived) }
     }
 
     /// Fork an independent substream identified by `label` and an index
     /// (e.g. one stream per node or per run).
     pub fn stream_n(&self, label: &str, n: u64) -> SimRng {
         let derived = splitmix(self.seed ^ fnv1a(label.as_bytes()) ^ splitmix(n));
-        SimRng { seed: derived, inner: StdRng::seed_from_u64(derived) }
+        SimRng { seed: derived, inner: Xoshiro256::seed_from_u64(derived) }
     }
 
     /// The derived seed of this stream (for diagnostics).
@@ -74,12 +108,35 @@ impl SimRng {
         self.seed
     }
 
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Next raw 32-bit draw (upper bits of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.inner.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.inner.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
     /// Standard-normal draw (Box–Muller; two uniforms per call, no caching so
     /// draw counts stay easy to reason about).
     pub fn gauss(&mut self) -> f64 {
         // Avoid ln(0) by nudging u1 away from zero.
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = self.f64().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.f64();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -90,7 +147,7 @@ impl SimRng {
 
     /// Exponentially distributed draw with the given mean.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u: f64 = self.f64().max(f64::MIN_POSITIVE);
         -mean * u.ln()
     }
 
@@ -101,36 +158,20 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.f64() < p
         }
     }
 
     /// Uniform draw in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "uniform: empty range");
-        self.inner.gen_range(lo..hi)
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+        lo + (hi - lo) * self.f64()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_seed_same_stream_is_identical() {
@@ -163,6 +204,28 @@ mod tests {
         let mut a = SimRng::root(1).stream("x");
         let mut b = SimRng::root(2).stream("x");
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::root(11).stream("unit");
+        for _ in 0..10_000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v), "f64 out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SimRng::root(4).stream("bytes");
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // Same stream refilled produces the same bytes.
+        let mut r2 = SimRng::root(4).stream("bytes");
+        let mut buf2 = [0u8; 13];
+        r2.fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
+        assert!(buf.iter().any(|&b| b != 0), "13 zero bytes is vanishingly unlikely");
     }
 
     #[test]
@@ -200,12 +263,5 @@ mod tests {
             let v = r.uniform(-2.0, 5.0);
             assert!((-2.0..5.0).contains(&v));
         }
-    }
-
-    #[test]
-    fn usable_as_rand_rng() {
-        let mut r = SimRng::root(3).stream("generic");
-        let v: f64 = r.gen();
-        assert!((0.0..1.0).contains(&v));
     }
 }
