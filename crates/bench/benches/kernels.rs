@@ -91,6 +91,88 @@ fn bench_detector() {
     bench("capture/sample_1ms_trace", move || trace.sample(1e8, &mut rng2));
 }
 
+/// The radiometric link-gain cache around `Medium::begin_tx` and beam
+/// training. Four `begin_tx` variants isolate the cache states: a cold
+/// cache (fresh medium, paths untraced), a warm cache (every gain is one
+/// table lookup), bypass mode (identical bookkeeping, gains recomputed
+/// from the interned paths on every call — the uncached "before"
+/// number), and the refill right after a full invalidation.
+fn bench_link_cache() {
+    use mmwave_channel::{CacheMode, Environment, LinkGainCache};
+    use mmwave_mac::frame::{FrameKind, Mpdu};
+    use mmwave_mac::medium::Medium;
+    use mmwave_mac::{training, Device, Frame, PatKey};
+
+    let room = Room::rectangular(
+        9.0,
+        3.25,
+        (Material::Wood, Material::Glass, Material::Brick, Material::Brick),
+    );
+    let env = Environment::new(room);
+    let devices = vec![
+        Device::wigig_dock("dock", Point::new(0.5, 1.0), Angle::ZERO, 13),
+        Device::wigig_laptop("l1", Point::new(6.0, 1.5), Angle::from_degrees(180.0), 11),
+        Device::wigig_laptop("l2", Point::new(3.0, 2.5), Angle::from_degrees(-90.0), 11),
+        Device::wigig_laptop("l3", Point::new(8.0, 0.5), Angle::from_degrees(150.0), 11),
+    ];
+    let offs = vec![0.0; devices.len()];
+    let frame = || Frame {
+        src: 0,
+        dst: Some(1),
+        kind: FrameKind::Data { mpdus: vec![Mpdu { bytes: 1500, tag: 0 }], mcs: 11, retry: 0 },
+        seq: 1,
+    };
+    let one_tx = |m: &mut Medium| {
+        let id = m.begin_tx(
+            &env,
+            &devices,
+            frame(),
+            PatKey::Dir(16),
+            0.0,
+            SimTime::ZERO,
+            SimTime::from_micros(5),
+            &offs,
+        );
+        m.finish_tx(id, -68.0).expect("tx exists").power_at[1]
+    };
+
+    bench("link/begin_tx_cold_fresh_medium", || {
+        let mut m = Medium::new();
+        one_tx(&mut m)
+    });
+
+    let mut warm = Medium::new();
+    *warm.link_cache_mut() = LinkGainCache::with_mode(CacheMode::Cached);
+    one_tx(&mut warm);
+    bench("link/begin_tx_warm", move || one_tx(&mut warm));
+
+    let mut bypass = Medium::new();
+    *bypass.link_cache_mut() = LinkGainCache::with_mode(CacheMode::Bypass);
+    one_tx(&mut bypass);
+    bench("link/begin_tx_bypass", move || one_tx(&mut bypass));
+
+    let mut inval = Medium::new();
+    *inval.link_cache_mut() = LinkGainCache::with_mode(CacheMode::Cached);
+    one_tx(&mut inval);
+    bench("link/begin_tx_after_invalidate_all", move || {
+        inval.link_cache_mut().invalidate_all();
+        one_tx(&mut inval)
+    });
+
+    // Beam training: a warm retrain is one memoized sector-table lookup;
+    // bypass rebuilds the full 32×32 table every sweep.
+    let (env_ref, a, b) = (&env, &devices[0], &devices[1]);
+    let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
+    training::best_pair_with(&mut cache, env_ref, a, 0, b, 1);
+    bench("training/best_pair_warm", move || {
+        training::best_pair_with(&mut cache, env_ref, a, 0, b, 1).rx_dbm
+    });
+    let mut scratch = LinkGainCache::with_mode(CacheMode::Bypass);
+    bench("training/best_pair_bypass", move || {
+        training::best_pair_with(&mut scratch, env_ref, a, 0, b, 1).rx_dbm
+    });
+}
+
 fn bench_mac_second() {
     use mmwave_channel::Environment;
     use mmwave_mac::{Device, Net, NetConfig};
@@ -143,6 +225,15 @@ fn main() {
     bench_array_synthesis();
     bench_per();
     bench_detector();
+    bench_link_cache();
     bench_mac_second();
     bench_tcp_second();
+
+    // Machine-readable trajectory at the repo root, committed alongside
+    // the code so perf history travels with `git log`.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    match mmwave_bench::write_json(std::path::Path::new(out)) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => eprintln!("\nfailed to write {out}: {e}"),
+    }
 }

@@ -1,38 +1,79 @@
 //! Std-only micro-benchmark harness.
 //!
 //! The workspace builds in hermetic environments with no crates.io access,
-//! so the benches are driven by this ~80-line timing loop instead of
+//! so the benches are driven by this small timing loop instead of
 //! criterion. The API is deliberately tiny: [`bench`] auto-calibrates an
-//! iteration count against a time target and prints min/median/mean
-//! per-iteration wall time. [`black_box`] re-exports `std::hint::black_box`
-//! so bench bodies read like the criterion originals.
+//! iteration count against a time target, prints min/median/mean
+//! per-iteration wall time, and records the statistics in a process-wide
+//! registry that [`write_json`] serializes as a machine-readable
+//! trajectory (`BENCH_kernels.json` at the repo root). [`black_box`]
+//! re-exports `std::hint::black_box` so bench bodies read like the
+//! criterion originals.
 
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Target wall time for the measured phase of one benchmark.
-const TARGET: Duration = Duration::from_millis(300);
-/// Samples (batches) collected per benchmark.
-const SAMPLES: usize = 10;
+/// Schema tag stamped into the JSON trajectory.
+pub const BENCH_SCHEMA: &str = "mmwave-bench/1";
 
-/// Time `f`, printing per-iteration statistics.
+/// Tuning knobs for the measurement loop.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Target wall time for the measured phase of one benchmark.
+    pub target: Duration,
+    /// Samples (batches) collected per benchmark.
+    pub samples: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { target: Duration::from_millis(300), samples: 10 }
+    }
+}
+
+/// Per-iteration statistics for one benchmark, in nanoseconds.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    pub name: String,
+    /// Iterations per timed sample after calibration.
+    pub iters: u32,
+    pub min_ns: f64,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Time `f` with the default config, printing per-iteration statistics
+/// and recording them in the registry.
 ///
 /// Calibration: `f` is run once to estimate its cost, then an iteration
-/// count per sample is chosen so all samples together hit roughly
-/// [`TARGET`]. Slow bodies (> TARGET / SAMPLES) degrade to one iteration
-/// per sample, so second-scale experiment regenerations stay tractable.
-pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+/// count per sample is chosen so all samples together hit roughly the
+/// config's target. Slow bodies (> target / samples) degrade to one
+/// iteration per sample, so second-scale experiment regenerations stay
+/// tractable.
+pub fn bench<T>(name: &str, f: impl FnMut() -> T) -> BenchResult {
+    bench_with(BenchConfig::default(), name, f)
+}
+
+/// [`bench`] with explicit tuning — tiny targets keep harness self-tests
+/// fast.
+pub fn bench_with<T>(cfg: BenchConfig, name: &str, mut f: impl FnMut() -> T) -> BenchResult {
     // Warm-up + calibration run.
     let t0 = Instant::now();
     black_box(f());
     let once = t0.elapsed().max(Duration::from_nanos(1));
 
-    let per_sample = TARGET.as_nanos() / SAMPLES as u128;
+    let samples = cfg.samples.max(1);
+    let per_sample = cfg.target.as_nanos() / samples as u128;
     let iters = (per_sample / once.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
 
-    let mut per_iter: Vec<f64> = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
         let t = Instant::now();
         for _ in 0..iters {
             black_box(f());
@@ -49,6 +90,81 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
         fmt_time(median),
         fmt_time(mean)
     );
+    let result = BenchResult {
+        name: name.to_string(),
+        iters,
+        min_ns: min * 1e9,
+        median_ns: median * 1e9,
+        mean_ns: mean * 1e9,
+    };
+    RESULTS.lock().expect("bench registry").push(result.clone());
+    result
+}
+
+/// Snapshot of every result recorded so far, in execution order.
+pub fn results() -> Vec<BenchResult> {
+    RESULTS.lock().expect("bench registry").clone()
+}
+
+/// Drop all recorded results (test isolation).
+pub fn clear_results() {
+    RESULTS.lock().expect("bench registry").clear();
+}
+
+/// Render the registry as a JSON trajectory document.
+///
+/// Hand-rolled like the campaign artifacts: two-space indent, results in
+/// execution order, nanosecond floats with enough digits to round-trip.
+pub fn results_json() -> String {
+    let results = RESULTS.lock().expect("bench registry");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
+    out.push_str("  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": {}, \"iters_per_sample\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}",
+            json_string(&r.name),
+            r.iters,
+            json_num(r.min_ns),
+            json_num(r.median_ns),
+            json_num(r.mean_ns),
+        ));
+    }
+    if !results.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Write [`results_json`] to `path`.
+pub fn write_json(path: &Path) -> io::Result<()> {
+    std::fs::write(path, results_json())
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    // ns values are always finite and non-negative here; keep one decimal
+    // for sub-ns resolution without drowning the file in digits.
+    format!("{v:.1}")
 }
 
 /// Human-friendly duration with a stable width.
@@ -68,10 +184,28 @@ fn fmt_time(secs: f64) -> String {
 mod tests {
     use super::*;
 
+    /// The registry is process-global and tests share a process, so the
+    /// registry-shape assertions all live in this single test.
     #[test]
-    fn bench_runs_and_reports() {
-        // Smoke: must not panic, even for a ~free body.
-        bench("test/noop", || 1u64 + 1);
+    fn bench_runs_records_and_serializes() {
+        clear_results();
+        let quick = BenchConfig { target: Duration::from_micros(200), samples: 3 };
+        let r = bench_with(quick, "test/noop", || 1u64 + 1);
+        assert_eq!(r.name, "test/noop");
+        assert!(r.min_ns >= 0.0 && r.min_ns <= r.mean_ns * 1.0001 + 1.0);
+        bench_with(quick, "test/\"quoted\"", || black_box(2u64).pow(3));
+
+        let all = results();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].name, "test/noop");
+
+        let json = results_json();
+        assert!(json.contains("\"schema\": \"mmwave-bench/1\""));
+        assert!(json.contains("\"name\": \"test/noop\""));
+        assert!(json.contains("\\\"quoted\\\""), "quotes escaped: {json}");
+        assert!(json.contains("\"min_ns\""));
+        clear_results();
+        assert!(results().is_empty());
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! Schemas (see DESIGN.md for the field-by-field description):
 //!
 //! * manifest: `schema = "mmwave-campaign/1"`
-//! * run:      `schema = "mmwave-campaign-run/1"`
+//! * run:      `schema = "mmwave-campaign-run/2"` (v2 added the
+//!   `engine.link_gain_*` cache counters)
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -25,7 +26,7 @@ use crate::{CampaignResult, RunRecord, RunStatus};
 use mmwave_sim::metrics::EngineCounters;
 
 pub const MANIFEST_SCHEMA: &str = "mmwave-campaign/1";
-pub const RUN_SCHEMA: &str = "mmwave-campaign-run/1";
+pub const RUN_SCHEMA: &str = "mmwave-campaign-run/2";
 
 fn obj(fields: Vec<(&str, Json)>) -> Json {
     Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -61,6 +62,9 @@ pub fn run_to_json(r: &RunRecord) -> Json {
                 ("events_popped", Json::Int(r.engine.events_popped)),
                 ("events_cancelled", Json::Int(r.engine.events_cancelled)),
                 ("peak_queue_depth", Json::Int(r.engine.peak_queue_depth)),
+                ("link_gain_hits", Json::Int(r.engine.link_gain_hits)),
+                ("link_gain_misses", Json::Int(r.engine.link_gain_misses)),
+                ("link_gain_invalidations", Json::Int(r.engine.link_gain_invalidations)),
             ]),
         ),
     ])
@@ -106,6 +110,9 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
             events_popped: counter("events_popped")?,
             events_cancelled: counter("events_cancelled")?,
             peak_queue_depth: counter("peak_queue_depth")?,
+            link_gain_hits: counter("link_gain_hits")?,
+            link_gain_misses: counter("link_gain_misses")?,
+            link_gain_invalidations: counter("link_gain_invalidations")?,
         },
     })
 }
@@ -213,6 +220,9 @@ mod tests {
                 events_popped: 1000,
                 events_cancelled: 17,
                 peak_queue_depth: 23,
+                link_gain_hits: 640,
+                link_gain_misses: 12,
+                link_gain_invalidations: 3,
             },
         }
     }

@@ -1,0 +1,72 @@
+//! The link-gain cache's core promise: memoization is invisible in every
+//! emitted byte. The same campaign run with the cache enabled and in
+//! bypass mode (identical interning, stamping and counters, but values
+//! recomputed from first principles on every hit) must produce
+//! byte-identical artifacts — including the `engine.link_gain_*`
+//! counters, which fire identically in both modes by construction. A
+//! stale entry surviving an invalidation would diverge some rx power and
+//! show up here as a differing artifact body.
+//!
+//! This lives in its own integration-test binary because the default
+//! cache mode is a process-global flag: campaign workers are spawned
+//! threads and inherit it, so flipping it must not race other tests.
+
+use mmwave_campaign::{artifact, runner, CampaignConfig};
+use mmwave_channel::linkgain;
+use mmwave_core::experiments;
+
+/// Restores the process-global default cache mode on scope exit.
+struct BypassGuard(bool);
+
+impl Drop for BypassGuard {
+    fn drop(&mut self) {
+        linkgain::set_default_bypass(self.0);
+    }
+}
+
+/// Cheap experiments that do not touch the process-global TCP-sweep
+/// cache: the first campaign would otherwise hand memoized sweep results
+/// (with their recorded counters) to the second, and the comparison
+/// would no longer exercise the link-gain cache end to end.
+fn subset() -> Vec<&'static experiments::Experiment> {
+    ["table1", "fig03", "fig08", "fig15"]
+        .iter()
+        .map(|id| experiments::find(id).expect("registered"))
+        .collect()
+}
+
+fn normalized_artifacts(bypass: bool) -> Vec<(String, String)> {
+    let _restore = BypassGuard(linkgain::default_bypass());
+    linkgain::set_default_bypass(bypass);
+    let cfg = CampaignConfig {
+        experiments: subset(),
+        seeds: vec![1, 2],
+        quick: true,
+        jobs: 2,
+    };
+    let result = runner::run(&cfg);
+    let mut files = Vec::new();
+    let mut manifest = artifact::manifest_to_json(&result);
+    artifact::normalize_execution(&mut manifest);
+    files.push(("manifest.json".to_string(), manifest.render()));
+    for r in &result.records {
+        let mut j = artifact::run_to_json(r);
+        artifact::normalize_execution(&mut j);
+        files.push((artifact::run_artifact_name(&r.experiment, r.seed), j.render()));
+    }
+    files
+}
+
+#[test]
+fn artifacts_identical_with_cache_and_in_bypass_mode() {
+    let cached = normalized_artifacts(false);
+    let bypassed = normalized_artifacts(true);
+    assert_eq!(cached.len(), bypassed.len());
+    for ((name_a, body_a), (name_b, body_b)) in cached.iter().zip(&bypassed) {
+        assert_eq!(name_a, name_b, "artifact order must match");
+        assert_eq!(
+            body_a, body_b,
+            "artifact {name_a} differs between cached and bypass runs"
+        );
+    }
+}

@@ -15,13 +15,19 @@
 //!   power (the primitive behind the angular-profile scans of Figs. 18–20).
 //! * [`fading`] — slow AR(1) link fading and the sparse perturbation
 //!   process that triggers the beam realignments of Fig. 14.
+//! * [`linkgain`] — the memoized radiometric link-gain cache: linear
+//!   pattern-weighted gains per (device, pattern) pair with generation-based
+//!   invalidation, the fast path under the MAC's carrier-sense and
+//!   sector-sweep loops.
 
 pub mod environment;
 pub mod fading;
+pub mod linkgain;
 pub mod node;
 pub mod propagate;
 
 pub use environment::Environment;
 pub use fading::{Ar1Fading, PerturbationProcess};
+pub use linkgain::{CacheMode, CacheStats, LinkGainCache, PatId};
 pub use node::{NodeId, RadioNode};
 pub use propagate::{incident_from_direction, link_state, sinr_db, LinkState, PathGain};

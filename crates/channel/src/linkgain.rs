@@ -1,0 +1,809 @@
+//! Memoized radiometric link gains with generation-based invalidation.
+//!
+//! The frame-level experiments simulate thousands of frames over a *static*
+//! room with a *finite* set of codebook patterns, yet the naive radiometric
+//! chain recomputes ray-trace lookups, per-path pattern interpolation and
+//! `powf`-based dB↔linear conversions on every frame start. This module
+//! memoizes the quantity all of those computations reduce to: the total
+//! **linear pattern-weighted link gain**
+//!
+//! ```text
+//! G(src, src_pat, dst, dst_pat) = Σ_paths  L_p · g_src(θ_dep) · g_dst(θ_arr)
+//! ```
+//!
+//! where `L_p = 10^(−path_loss/10)` folds Friis, oxygen absorption and
+//! reflection losses into one linear factor per path, and the pattern gains
+//! are evaluated in the linear domain from pre-resolved sample indices.
+//! Received power is then one table lookup plus additive dB offsets:
+//! `rx_dbm = lin_to_db(G) + tx_power − impl_loss + per-device offsets`.
+//!
+//! ## Interning and the reverse view
+//!
+//! Path sets are interned once per *unordered* device pair under the
+//! canonical key `(min_idx, max_idx)`. By ray reciprocity the reverse link
+//! uses the same geometry with departure and arrival swapped: a traced path
+//! stores, at each endpoint, the world azimuth toward its first bounce, and
+//! that azimuth serves as departure when the endpoint transmits and as
+//! arrival when it receives. No second trace, no second entry.
+//!
+//! ## Generations instead of flushes
+//!
+//! Every device carries two monotonically increasing generation counters:
+//!
+//! * `pos_gen` — bumped when the device moves. Interned paths and all gains
+//!   involving the device become stale.
+//! * `orient_gen` — bumped when the device rotates in place. Paths stay
+//!   valid (geometry is unchanged); only the pattern-weighted gains and the
+//!   resolved sample indices go stale.
+//!
+//! Staleness is checked lazily by stamp comparison at lookup time, so a
+//! bump is O(1) and never touches entries of unaffected pairs — replacing
+//! the previous whole-table `invalidate_paths()` flush.
+//!
+//! ## Bypass mode
+//!
+//! [`CacheMode::Bypass`] performs *identical bookkeeping* — the same
+//! interning, the same stamps, the same hit/miss/invalidation counters —
+//! but always returns a freshly recomputed value instead of trusting a
+//! memoized entry. A full experiment run in bypass mode must therefore
+//! produce byte-identical campaign artifacts (counters included) to a
+//! cached run; any divergence means a stale entry leaked through the
+//! generation scheme. The campaign determinism suite asserts exactly that.
+
+use crate::environment::Environment;
+use crate::node::RadioNode;
+use mmwave_phy::{db_to_lin, path_loss_db, AntennaPattern, Codebook};
+use mmwave_sim::metrics;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Opaque pattern identity *within one device*. The cache never inspects
+/// patterns; callers assign stable ids (e.g. sector index, with a flag bit
+/// for quasi-omni patterns) and guarantee that equal `(device, PatId)`
+/// always denotes the same pattern samples.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PatId(pub u32);
+
+/// Operating mode of a [`LinkGainCache`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheMode {
+    /// Serve memoized entries when their generation stamp is current.
+    Cached,
+    /// Keep all bookkeeping but recompute every answer (validation mode).
+    Bypass,
+}
+
+/// Process-wide default mode for newly constructed caches. An `AtomicBool`
+/// rather than a thread-local so campaign worker threads — which construct
+/// their `Net`s far from the test that flipped the switch — inherit it.
+static DEFAULT_BYPASS: AtomicBool = AtomicBool::new(false);
+
+/// Make newly constructed caches default to [`CacheMode::Bypass`] (`true`)
+/// or [`CacheMode::Cached`] (`false`). Affects only caches created after
+/// the call.
+pub fn set_default_bypass(bypass: bool) {
+    DEFAULT_BYPASS.store(bypass, Ordering::SeqCst);
+}
+
+/// Current process-wide default for newly constructed caches.
+pub fn default_bypass() -> bool {
+    DEFAULT_BYPASS.load(Ordering::SeqCst)
+}
+
+/// Local cache-activity counters (the same events also stream into
+/// [`mmwave_sim::metrics`] for campaign artifacts).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CacheStats {
+    /// Gain lookups answered by a stamp-current entry.
+    pub gain_hits: u64,
+    /// Gain lookups that computed (cold) or recomputed (stale) an entry.
+    pub gain_misses: u64,
+    /// Sector-table lookups answered by a stamp-current table.
+    pub table_hits: u64,
+    /// Sector tables built or rebuilt.
+    pub table_builds: u64,
+    /// Ray traces performed to fill or refresh an interned path set.
+    pub path_traces: u64,
+    /// Invalidation events (position/orientation bumps and global flushes).
+    pub invalidations: u64,
+}
+
+/// One traced path with its direction-independent radiometrics pre-folded.
+#[derive(Clone, Copy, Debug)]
+struct FoldedPath {
+    /// `10^(−path_loss/10)`: Friis + oxygen + reflection losses, linear.
+    base_lin: f64,
+    /// World azimuth from the lower-indexed endpoint toward its first
+    /// bounce (departure when `lo` transmits, arrival when it receives).
+    lo_world: mmwave_geom::Angle,
+    /// World azimuth from the higher-indexed endpoint toward its last
+    /// bounce (arrival when `lo` transmits, departure when `hi` does).
+    hi_world: mmwave_geom::Angle,
+}
+
+/// Pattern sample indices resolved for one endpoint of an interned pair.
+#[derive(Clone, Debug, Default)]
+struct Resolved {
+    /// Orientation generation of the endpoint when resolved.
+    orient_gen: u64,
+    /// Sample count of the pattern family the triples index into.
+    n: usize,
+    /// `(i0, i1, frac)` per path, in path order.
+    idx: Vec<(u32, u32, f64)>,
+}
+
+/// Interned path set for one unordered device pair.
+#[derive(Clone, Debug)]
+struct PairEntry {
+    lo_pos_gen: u64,
+    hi_pos_gen: u64,
+    paths: Vec<FoldedPath>,
+    lo_res: Resolved,
+    hi_res: Resolved,
+}
+
+/// Generation stamp a gain entry was computed under: position and
+/// orientation generations of source and destination.
+type Stamp = (u64, u64, u64, u64);
+
+#[derive(Clone, Copy, Debug)]
+struct GainEntry {
+    stamp: Stamp,
+    lin: f64,
+}
+
+/// Full sector-pair gain table for one unordered device pair, stored in
+/// canonical orientation (rows = lo sectors, cols = hi sectors).
+#[derive(Clone, Debug)]
+struct TableEntry {
+    stamp: Stamp,
+    n_lo: usize,
+    n_hi: usize,
+    /// `lin[s_lo · n_hi + s_hi]` — total linear link gain for that pair.
+    lin: Vec<f64>,
+    /// Argmax of `lin` as `(s_lo, s_hi, gain_lin)`.
+    best: (usize, usize, f64),
+}
+
+/// Memoized radiometric link gains, keyed by device indices and [`PatId`]s.
+///
+/// The cache is device-representation-agnostic: callers pass explicit
+/// device indices (stable within one scenario), node poses and pattern
+/// references per call. See the module docs for the memoization and
+/// invalidation scheme.
+#[derive(Clone, Debug)]
+pub struct LinkGainCache {
+    mode: CacheMode,
+    pos_gen: Vec<u64>,
+    orient_gen: Vec<u64>,
+    pairs: HashMap<(usize, usize), PairEntry>,
+    gains: HashMap<(usize, usize, u32, u32), GainEntry>,
+    tables: HashMap<(usize, usize), TableEntry>,
+    stats: CacheStats,
+}
+
+impl Default for LinkGainCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinkGainCache {
+    /// A cache in the process-wide default mode (see [`set_default_bypass`]).
+    pub fn new() -> LinkGainCache {
+        let mode = if default_bypass() { CacheMode::Bypass } else { CacheMode::Cached };
+        Self::with_mode(mode)
+    }
+
+    /// A cache in an explicit mode.
+    pub fn with_mode(mode: CacheMode) -> LinkGainCache {
+        LinkGainCache {
+            mode,
+            pos_gen: Vec::new(),
+            orient_gen: Vec::new(),
+            pairs: HashMap::new(),
+            gains: HashMap::new(),
+            tables: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Operating mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// Local activity counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Grow the generation vectors to cover device index `idx`.
+    pub fn ensure_device(&mut self, idx: usize) {
+        if idx >= self.pos_gen.len() {
+            self.pos_gen.resize(idx + 1, 0);
+            self.orient_gen.resize(idx + 1, 0);
+        }
+    }
+
+    /// Device `idx` moved: its interned paths and every gain involving it
+    /// are stale from now on. O(1) — staleness is detected lazily.
+    pub fn bump_position(&mut self, idx: usize) {
+        self.ensure_device(idx);
+        self.pos_gen[idx] += 1;
+        self.record_invalidation();
+    }
+
+    /// Device `idx` rotated in place: geometry (paths) stays valid, but
+    /// pattern-weighted gains and resolved sample indices are stale. O(1).
+    pub fn bump_orientation(&mut self, idx: usize) {
+        self.ensure_device(idx);
+        self.orient_gen[idx] += 1;
+        self.record_invalidation();
+    }
+
+    /// Global flush: everything involving any known device becomes stale.
+    /// Kept for scene-level changes (e.g. the environment itself changed);
+    /// per-device bumps are preferred.
+    pub fn invalidate_all(&mut self) {
+        for g in &mut self.pos_gen {
+            *g += 1;
+        }
+        for g in &mut self.orient_gen {
+            *g += 1;
+        }
+        self.record_invalidation();
+    }
+
+    fn record_invalidation(&mut self) {
+        self.stats.invalidations += 1;
+        metrics::record_link_gain_invalidation();
+    }
+
+    /// Total linear pattern-weighted link gain from `src` (transmitting
+    /// with `src_pattern`, identified by `src_pat`) to `dst` (receiving
+    /// with `dst_pattern` / `dst_pat`). Returns `0.0` when no propagation
+    /// path exists. Multiply by linear tx power and chain losses — or add
+    /// their dB equivalents after `lin_to_db` — to get received power.
+    #[allow(clippy::too_many_arguments)]
+    pub fn link_gain_lin(
+        &mut self,
+        env: &Environment,
+        src: &RadioNode,
+        src_idx: usize,
+        src_pat: PatId,
+        src_pattern: &AntennaPattern,
+        dst: &RadioNode,
+        dst_idx: usize,
+        dst_pat: PatId,
+        dst_pattern: &AntennaPattern,
+    ) -> f64 {
+        debug_assert_ne!(src_idx, dst_idx, "self-link has no radiometric meaning");
+        self.ensure_device(src_idx.max(dst_idx));
+        let src_is_lo = src_idx < dst_idx;
+        let (lo, hi) = if src_is_lo { (src_idx, dst_idx) } else { (dst_idx, src_idx) };
+        let (lo_node, hi_node) = if src_is_lo { (src, dst) } else { (dst, src) };
+
+        self.ensure_pair(env, lo, lo_node, hi, hi_node);
+
+        let stamp: Stamp = (
+            self.pos_gen[src_idx],
+            self.orient_gen[src_idx],
+            self.pos_gen[dst_idx],
+            self.orient_gen[dst_idx],
+        );
+        let gkey = (src_idx, dst_idx, src_pat.0, dst_pat.0);
+        let hit = matches!(self.gains.get(&gkey), Some(g) if g.stamp == stamp);
+        if hit {
+            self.stats.gain_hits += 1;
+            metrics::record_link_gain_hit();
+            if self.mode == CacheMode::Cached {
+                return self.gains[&gkey].lin;
+            }
+            // Bypass: fall through and recompute; the interned inputs are
+            // identical, so a correct cache yields a bit-identical value.
+        } else {
+            self.stats.gain_misses += 1;
+            metrics::record_link_gain_miss();
+        }
+
+        let (lo_orient, hi_orient) = (self.orient_gen[lo], self.orient_gen[hi]);
+        let entry = self.pairs.get_mut(&(lo, hi)).expect("pair interned above");
+        let (lo_pat, hi_pat) =
+            if src_is_lo { (src_pattern, dst_pattern) } else { (dst_pattern, src_pattern) };
+        refresh_resolution(&mut entry.lo_res, &entry.paths, lo_node, lo_pat, lo_orient, Side::Lo);
+        refresh_resolution(&mut entry.hi_res, &entry.paths, hi_node, hi_pat, hi_orient, Side::Hi);
+        let (src_res, dst_res) =
+            if src_is_lo { (&entry.lo_res, &entry.hi_res) } else { (&entry.hi_res, &entry.lo_res) };
+        let lin = weighted_sum(&entry.paths, src_res, src_pattern, dst_res, dst_pattern);
+
+        self.gains.insert(gkey, GainEntry { stamp, lin });
+        lin
+    }
+
+    /// Best sector pair between `a` and `b` sweeping both codebooks:
+    /// `(a_sector, b_sector, gain_lin)` maximizing the linear link gain.
+    /// The full table is memoized per unordered pair, so the reverse sweep
+    /// and repeated retraining are lookups; ties resolve to the first cell
+    /// in canonical (lower-index-major) scan order for both directions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn best_sector_pair(
+        &mut self,
+        env: &Environment,
+        a: &RadioNode,
+        a_idx: usize,
+        cb_a: &Codebook,
+        b: &RadioNode,
+        b_idx: usize,
+        cb_b: &Codebook,
+    ) -> (usize, usize, f64) {
+        debug_assert_ne!(a_idx, b_idx, "self-link has no radiometric meaning");
+        self.ensure_device(a_idx.max(b_idx));
+        let a_is_lo = a_idx < b_idx;
+        let (lo, hi) = if a_is_lo { (a_idx, b_idx) } else { (b_idx, a_idx) };
+        let (lo_node, hi_node) = if a_is_lo { (a, b) } else { (b, a) };
+        let (cb_lo, cb_hi) = if a_is_lo { (cb_a, cb_b) } else { (cb_b, cb_a) };
+
+        self.ensure_pair(env, lo, lo_node, hi, hi_node);
+
+        let stamp: Stamp =
+            (self.pos_gen[lo], self.orient_gen[lo], self.pos_gen[hi], self.orient_gen[hi]);
+        let hit = matches!(
+            self.tables.get(&(lo, hi)),
+            Some(t) if t.stamp == stamp && t.n_lo == cb_lo.len() && t.n_hi == cb_hi.len()
+        );
+        let best = if hit {
+            self.stats.table_hits += 1;
+            metrics::record_link_gain_hit();
+            match self.mode {
+                CacheMode::Cached => self.tables[&(lo, hi)].best,
+                CacheMode::Bypass => {
+                    self.build_table(lo, lo_node, cb_lo, hi, hi_node, cb_hi, stamp).best
+                }
+            }
+        } else {
+            self.stats.table_builds += 1;
+            metrics::record_link_gain_miss();
+            let table = self.build_table(lo, lo_node, cb_lo, hi, hi_node, cb_hi, stamp);
+            let best = table.best;
+            self.tables.insert((lo, hi), table);
+            best
+        };
+        if a_is_lo {
+            best
+        } else {
+            (best.1, best.0, best.2)
+        }
+    }
+
+    /// Intern (or refresh) the path set of the canonical pair `(lo, hi)`.
+    fn ensure_pair(
+        &mut self,
+        env: &Environment,
+        lo: usize,
+        lo_node: &RadioNode,
+        hi: usize,
+        hi_node: &RadioNode,
+    ) {
+        let (lo_pos, hi_pos) = (self.pos_gen[lo], self.pos_gen[hi]);
+        let fresh = matches!(
+            self.pairs.get(&(lo, hi)),
+            Some(e) if e.lo_pos_gen == lo_pos && e.hi_pos_gen == hi_pos
+        );
+        if fresh {
+            return;
+        }
+        let paths = env
+            .paths(lo_node.position, hi_node.position)
+            .iter()
+            .map(|p| FoldedPath {
+                base_lin: db_to_lin(-path_loss_db(env.budget.freq_hz, p)),
+                lo_world: p.departure,
+                hi_world: p.arrival,
+            })
+            .collect();
+        self.stats.path_traces += 1;
+        self.pairs.insert(
+            (lo, hi),
+            PairEntry {
+                lo_pos_gen: lo_pos,
+                hi_pos_gen: hi_pos,
+                paths,
+                lo_res: Resolved::default(),
+                hi_res: Resolved::default(),
+            },
+        );
+    }
+
+    /// Build the full sector-pair table for the canonical pair `(lo, hi)`.
+    #[allow(clippy::too_many_arguments)]
+    fn build_table(
+        &mut self,
+        lo: usize,
+        lo_node: &RadioNode,
+        cb_lo: &Codebook,
+        hi: usize,
+        hi_node: &RadioNode,
+        cb_hi: &Codebook,
+        stamp: Stamp,
+    ) -> TableEntry {
+        let (lo_orient, hi_orient) = (self.orient_gen[lo], self.orient_gen[hi]);
+        let entry = self.pairs.get_mut(&(lo, hi)).expect("pair interned above");
+        let n_paths = entry.paths.len();
+        // Resolve endpoint sample triples against the codebook's sample
+        // count (all sectors of one codebook share a resolution).
+        if !cb_lo.is_empty() {
+            let pat = &cb_lo.sector(0).pattern;
+            refresh_resolution(&mut entry.lo_res, &entry.paths, lo_node, pat, lo_orient, Side::Lo);
+        }
+        if !cb_hi.is_empty() {
+            let pat = &cb_hi.sector(0).pattern;
+            refresh_resolution(&mut entry.hi_res, &entry.paths, hi_node, pat, hi_orient, Side::Hi);
+        }
+        // Per-sector linear gains along each path, per endpoint.
+        let g_lo = sector_gains(cb_lo, &entry.lo_res, lo_node, &entry.paths, Side::Lo);
+        let g_hi = sector_gains(cb_hi, &entry.hi_res, hi_node, &entry.paths, Side::Hi);
+
+        let (n_lo, n_hi) = (cb_lo.len(), cb_hi.len());
+        let mut lin = vec![0.0; n_lo * n_hi];
+        let mut best = (0usize, 0usize, f64::NEG_INFINITY);
+        for s_lo in 0..n_lo {
+            let gl = &g_lo[s_lo * n_paths..(s_lo + 1) * n_paths];
+            for s_hi in 0..n_hi {
+                let gh = &g_hi[s_hi * n_paths..(s_hi + 1) * n_paths];
+                let mut sum = 0.0;
+                for (p, path) in entry.paths.iter().enumerate() {
+                    sum += path.base_lin * gl[p] * gh[p];
+                }
+                lin[s_lo * n_hi + s_hi] = sum;
+                if sum > best.2 {
+                    best = (s_lo, s_hi, sum);
+                }
+            }
+        }
+        if best.2 == f64::NEG_INFINITY {
+            best = (0, 0, 0.0);
+        }
+        TableEntry { stamp, n_lo, n_hi, lin, best }
+    }
+
+    /// The memoized sector-pair table (canonical orientation) if one is
+    /// current for devices `(a_idx, b_idx)`; for inspection and tests.
+    pub fn sector_table_lin(&self, a_idx: usize, b_idx: usize) -> Option<&[f64]> {
+        let (lo, hi) = if a_idx < b_idx { (a_idx, b_idx) } else { (b_idx, a_idx) };
+        self.tables.get(&(lo, hi)).map(|t| t.lin.as_slice())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Lo,
+    Hi,
+}
+
+/// Refresh one endpoint's resolved sample triples if its orientation
+/// generation or the pattern family's sample count changed.
+fn refresh_resolution(
+    res: &mut Resolved,
+    paths: &[FoldedPath],
+    node: &RadioNode,
+    pattern: &AntennaPattern,
+    orient_gen: u64,
+    side: Side,
+) {
+    if res.orient_gen == orient_gen && res.n == pattern.len() && res.idx.len() == paths.len() {
+        return;
+    }
+    res.idx.clear();
+    for p in paths {
+        let world = match side {
+            Side::Lo => p.lo_world,
+            Side::Hi => p.hi_world,
+        };
+        let (i0, i1, frac) = pattern.sample_pos(node.to_local(world));
+        res.idx.push((i0 as u32, i1 as u32, frac));
+    }
+    res.orient_gen = orient_gen;
+    res.n = pattern.len();
+}
+
+/// Σ over paths of `base_lin · g_src · g_dst`, with both pattern gains
+/// replayed from pre-resolved triples.
+fn weighted_sum(
+    paths: &[FoldedPath],
+    src_res: &Resolved,
+    src_pattern: &AntennaPattern,
+    dst_res: &Resolved,
+    dst_pattern: &AntennaPattern,
+) -> f64 {
+    let mut sum = 0.0;
+    for (i, p) in paths.iter().enumerate() {
+        let (a0, a1, af) = src_res.idx[i];
+        let (b0, b1, bf) = dst_res.idx[i];
+        sum += p.base_lin
+            * src_pattern.gain_lin_at(a0 as usize, a1 as usize, af)
+            * dst_pattern.gain_lin_at(b0 as usize, b1 as usize, bf);
+    }
+    sum
+}
+
+/// Linear gain of every sector of `cb` along every path, row-major
+/// `[sector][path]`. Uses the endpoint's resolved triples when the sector
+/// pattern matches their sample count, else falls back to a direct lookup.
+fn sector_gains(
+    cb: &Codebook,
+    res: &Resolved,
+    node: &RadioNode,
+    paths: &[FoldedPath],
+    side: Side,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(cb.len() * paths.len());
+    for s in cb.sectors() {
+        if s.pattern.len() == res.n {
+            for &(i0, i1, frac) in &res.idx {
+                out.push(s.pattern.gain_lin_at(i0 as usize, i1 as usize, frac));
+            }
+        } else {
+            for p in paths {
+                let world = match side {
+                    Side::Lo => p.lo_world,
+                    Side::Hi => p.hi_world,
+                };
+                out.push(s.pattern.gain_lin(node.to_local(world)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_geom::{Angle, Point};
+    use mmwave_phy::{lin_to_db, ArrayConfig, PhasedArray};
+
+    fn scene() -> (Environment, Vec<RadioNode>) {
+        let env = Environment::new(mmwave_geom::ConferenceRoom::new().room);
+        let nodes = vec![
+            RadioNode::new(0, "a", Point::new(1.0, 1.0), Angle::from_degrees(30.0)),
+            RadioNode::new(1, "b", Point::new(5.0, 2.5), Angle::from_degrees(200.0)),
+            RadioNode::new(2, "c", Point::new(3.0, 2.8), Angle::from_degrees(-90.0)),
+        ];
+        (env, nodes)
+    }
+
+    fn pat(gain: f64, width_deg: f64) -> AntennaPattern {
+        AntennaPattern::from_fn(720, |a| {
+            (gain - (a.distance(Angle::ZERO).to_degrees() / width_deg).powi(2)).max(-25.0)
+        })
+    }
+
+    /// The unmemoized reference: re-trace and sum in the linear domain.
+    fn brute_force(
+        env: &Environment,
+        src: &RadioNode,
+        src_pattern: &AntennaPattern,
+        dst: &RadioNode,
+        dst_pattern: &AntennaPattern,
+    ) -> f64 {
+        env.paths(src.position, dst.position)
+            .iter()
+            .map(|p| {
+                db_to_lin(-path_loss_db(env.budget.freq_hz, p))
+                    * src_pattern.gain_lin(src.to_local(p.departure))
+                    * dst_pattern.gain_lin(dst.to_local(p.arrival))
+            })
+            .sum()
+    }
+
+    #[test]
+    fn matches_brute_force_both_directions() {
+        let (env, nodes) = scene();
+        let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
+        let pa = pat(18.0, 12.0);
+        let pb = pat(14.0, 20.0);
+        let fwd =
+            cache.link_gain_lin(&env, &nodes[0], 0, PatId(0), &pa, &nodes[1], 1, PatId(1), &pb);
+        let rev =
+            cache.link_gain_lin(&env, &nodes[1], 1, PatId(1), &pb, &nodes[0], 0, PatId(0), &pa);
+        let reference = brute_force(&env, &nodes[0], &pa, &nodes[1], &pb);
+        assert!((fwd / reference - 1.0).abs() < 1e-9, "fwd {fwd} ref {reference}");
+        // Reciprocity: the derived reverse view is the same physics.
+        assert!((rev / fwd - 1.0).abs() < 1e-12, "rev {rev} fwd {fwd}");
+        // And only one trace happened for the pair.
+        assert_eq!(cache.stats().path_traces, 1);
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_with_identical_value() {
+        let (env, nodes) = scene();
+        let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
+        let p = pat(16.0, 15.0);
+        let q = pat(10.0, 30.0);
+        let first =
+            cache.link_gain_lin(&env, &nodes[0], 0, PatId(3), &p, &nodes[2], 2, PatId(7), &q);
+        let second =
+            cache.link_gain_lin(&env, &nodes[0], 0, PatId(3), &p, &nodes[2], 2, PatId(7), &q);
+        assert_eq!(first.to_bits(), second.to_bits());
+        let s = cache.stats();
+        assert_eq!((s.gain_misses, s.gain_hits), (1, 1));
+    }
+
+    #[test]
+    fn rotation_invalidates_only_touching_pairs_and_keeps_paths() {
+        let (env, nodes) = scene();
+        let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
+        let p = pat(16.0, 15.0);
+        // Warm all three pairs.
+        for (s, d) in [(0usize, 1usize), (0, 2), (1, 2)] {
+            cache.link_gain_lin(
+                &env, &nodes[s], s, PatId(0), &p, &nodes[d], d, PatId(0), &p,
+            );
+        }
+        assert_eq!(cache.stats().path_traces, 3);
+        assert_eq!(cache.stats().gain_misses, 3);
+
+        // Rotate device 0 in place.
+        cache.bump_orientation(0);
+        let mut rotated = nodes[0].clone();
+        rotated.orientation = rotated.orientation + Angle::from_degrees(40.0);
+        let before = cache.stats();
+        let stale = cache.link_gain_lin(
+            &env, &rotated, 0, PatId(0), &p, &nodes[1], 1, PatId(0), &p,
+        );
+        cache.link_gain_lin(&env, &rotated, 0, PatId(0), &p, &nodes[2], 2, PatId(0), &p);
+        let fresh_pair = cache.link_gain_lin(
+            &env, &nodes[1], 1, PatId(0), &p, &nodes[2], 2, PatId(0), &p,
+        );
+        let after = cache.stats();
+        // Pairs touching device 0 recomputed; the (1,2) pair was a pure hit.
+        assert_eq!(after.gain_misses - before.gain_misses, 2);
+        assert_eq!(after.gain_hits - before.gain_hits, 1);
+        // Rotation must never re-trace geometry.
+        assert_eq!(after.path_traces, 3);
+        // And the recomputed gain really reflects the new orientation.
+        let reference = brute_force(&env, &rotated, &p, &nodes[1], &p);
+        assert!((stale / reference - 1.0).abs() < 1e-9);
+        let _ = fresh_pair;
+    }
+
+    #[test]
+    fn move_invalidates_paths_of_touching_pairs_only() {
+        let (env, nodes) = scene();
+        let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
+        let p = pat(16.0, 15.0);
+        for (s, d) in [(0usize, 1usize), (0, 2), (1, 2)] {
+            cache.link_gain_lin(
+                &env, &nodes[s], s, PatId(0), &p, &nodes[d], d, PatId(0), &p,
+            );
+        }
+        cache.bump_position(1);
+        let mut moved = nodes[1].clone();
+        moved.position = Point::new(5.8, 1.2);
+        let gain = cache.link_gain_lin(
+            &env, &nodes[0], 0, PatId(0), &p, &moved, 1, PatId(0), &p,
+        );
+        cache.link_gain_lin(&env, &moved, 1, PatId(0), &p, &nodes[2], 2, PatId(0), &p);
+        cache.link_gain_lin(&env, &nodes[0], 0, PatId(0), &p, &nodes[2], 2, PatId(0), &p);
+        let s = cache.stats();
+        // Two pairs re-traced ((0,1) and (1,2)); (0,2) untouched.
+        assert_eq!(s.path_traces, 5);
+        assert_eq!(s.gain_misses, 5);
+        assert_eq!(s.gain_hits, 1);
+        assert_eq!(s.invalidations, 1);
+        let reference = brute_force(&env, &nodes[0], &p, &moved, &p);
+        assert!((gain / reference - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bypass_mode_matches_cached_values_and_counters() {
+        let (env, nodes) = scene();
+        let p = pat(18.0, 10.0);
+        let q = pat(12.0, 25.0);
+        let run = |mode: CacheMode| {
+            let mut cache = LinkGainCache::with_mode(mode);
+            let mut out = Vec::new();
+            for _ in 0..3 {
+                out.push(cache.link_gain_lin(
+                    &env, &nodes[0], 0, PatId(0), &p, &nodes[1], 1, PatId(1), &q,
+                ));
+            }
+            cache.bump_orientation(1);
+            let mut rot = nodes[1].clone();
+            rot.orientation = rot.orientation + Angle::from_degrees(-15.0);
+            out.push(cache.link_gain_lin(
+                &env, &nodes[0], 0, PatId(0), &p, &rot, 1, PatId(1), &q,
+            ));
+            (out, cache.stats())
+        };
+        let (cached_vals, cached_stats) = run(CacheMode::Cached);
+        let (bypass_vals, bypass_stats) = run(CacheMode::Bypass);
+        for (c, b) in cached_vals.iter().zip(&bypass_vals) {
+            assert_eq!(c.to_bits(), b.to_bits());
+        }
+        assert_eq!(cached_stats, bypass_stats);
+    }
+
+    #[test]
+    fn sector_table_matches_exhaustive_sweep_both_directions() {
+        let (env, nodes) = scene();
+        let array = PhasedArray::new(ArrayConfig::wigig_2x8(16));
+        let cb_a = Codebook::directional(&array, 12, 60f64.to_radians());
+        let array_b = PhasedArray::new(ArrayConfig::wigig_2x8(111));
+        let cb_b = Codebook::directional(&array_b, 9, 50f64.to_radians());
+
+        let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
+        let (sa, sb, lin) =
+            cache.best_sector_pair(&env, &nodes[0], 0, &cb_a, &nodes[1], 1, &cb_b);
+
+        // Exhaustive unmemoized sweep.
+        let mut best = (0usize, 0usize, f64::NEG_INFINITY);
+        for i in 0..cb_a.len() {
+            for j in 0..cb_b.len() {
+                let g = brute_force(
+                    &env,
+                    &nodes[0],
+                    &cb_a.sector(i).pattern,
+                    &nodes[1],
+                    &cb_b.sector(j).pattern,
+                );
+                if g > best.2 {
+                    best = (i, j, g);
+                }
+            }
+        }
+        assert_eq!((sa, sb), (best.0, best.1));
+        assert!((lin / best.2 - 1.0).abs() < 1e-9);
+
+        // The reverse sweep is a table hit with swapped sectors.
+        let before = cache.stats();
+        let (sb2, sa2, lin2) =
+            cache.best_sector_pair(&env, &nodes[1], 1, &cb_b, &nodes[0], 0, &cb_a);
+        let after = cache.stats();
+        assert_eq!((sa2, sb2), (sa, sb));
+        assert_eq!(lin2.to_bits(), lin.to_bits());
+        assert_eq!(after.table_hits - before.table_hits, 1);
+        assert_eq!(after.table_builds, 1);
+    }
+
+    #[test]
+    fn sector_table_rebuilds_after_rotation() {
+        let (env, nodes) = scene();
+        let array = PhasedArray::new(ArrayConfig::wigig_2x8(16));
+        let cb = Codebook::directional_default(&array);
+        let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
+        let first = cache.best_sector_pair(&env, &nodes[0], 0, &cb, &nodes[1], 1, &cb);
+        cache.bump_orientation(0);
+        let mut rot = nodes[0].clone();
+        rot.orientation = rot.orientation + Angle::from_degrees(70.0);
+        let second = cache.best_sector_pair(&env, &rot, 0, &cb, &nodes[1], 1, &cb);
+        assert_eq!(cache.stats().table_builds, 2);
+        // A 70° twist steers the chosen sector away from the old one.
+        assert_ne!(first.0, second.0);
+        // But geometry was never re-traced.
+        assert_eq!(cache.stats().path_traces, 1);
+    }
+
+    #[test]
+    fn default_mode_follows_global_flag() {
+        // Runs in one test binary alongside other tests: restore the flag.
+        assert!(!default_bypass(), "tests assume the flag starts clear");
+        set_default_bypass(true);
+        let c = LinkGainCache::new();
+        set_default_bypass(false);
+        assert_eq!(c.mode(), CacheMode::Bypass);
+        assert_eq!(LinkGainCache::new().mode(), CacheMode::Cached);
+    }
+
+    #[test]
+    fn short_link_has_positive_but_sub_unity_gain() {
+        let (env, _) = scene();
+        let a = RadioNode::new(0, "a", Point::new(1.0, 1.0), Angle::ZERO);
+        let b = RadioNode::new(1, "b", Point::new(2.0, 1.0), Angle::ZERO);
+        let p = AntennaPattern::isotropic(0.0);
+        let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
+        let g = cache.link_gain_lin(&env, &a, 0, PatId(0), &p, &b, 1, PatId(0), &p);
+        assert!(g > 0.0);
+        assert!(lin_to_db(g) < 0.0, "a 1 m 60 GHz link has negative net gain");
+    }
+}

@@ -148,6 +148,9 @@ pub fn collect(quick: bool, seed: u64) -> Vec<PointData> {
         // tasks reset the accumulator before running, and all four sweep
         // consumers call collect() first, so this is the fill's own peak.
         peak_queue_depth: after.peak_queue_depth,
+        link_gain_hits: after.link_gain_hits - before.link_gain_hits,
+        link_gain_misses: after.link_gain_misses - before.link_gain_misses,
+        link_gain_invalidations: after.link_gain_invalidations - before.link_gain_invalidations,
     };
     let mut guard = CACHE.lock().expect("sweep cache");
     guard

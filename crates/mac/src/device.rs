@@ -269,6 +269,23 @@ impl Device {
         }
     }
 
+    /// Stable cache identity of the pattern `key` resolves to — equal ids
+    /// on one device always denote identical pattern samples. Directional
+    /// sectors map to their index; WiGig quasi-omni entries carry a
+    /// high-bit flag (they live in a separate codebook); the WiHD
+    /// quasi-omni alias folds onto the directional sector that
+    /// [`Device::pattern`] resolves it to, so the cache sees through the
+    /// aliasing.
+    pub fn pat_id(&self, key: PatKey) -> mmwave_channel::PatId {
+        const QO_BIT: u32 = 1 << 31;
+        mmwave_channel::PatId(match (&self.kind, key) {
+            (DevKind::Wigig(_), PatKey::Dir(i)) => i as u32,
+            (DevKind::Wigig(_), PatKey::Qo(i)) => QO_BIT | i as u32,
+            (DevKind::Wihd(_), PatKey::Dir(i)) => i as u32,
+            (DevKind::Wihd(w), PatKey::Qo(i)) => (i % w.codebook.len()) as u32,
+        })
+    }
+
     /// The pattern this device currently listens with: its trained sector
     /// when associated/paired, a quasi-omni otherwise.
     pub fn listen_key(&self) -> PatKey {
@@ -358,5 +375,20 @@ mod tests {
         let d = Device::wihd_sink("rx", Point::new(0.0, 0.0), Angle::ZERO, 22);
         // Out-of-range quasi-omni index wraps instead of panicking.
         let _ = d.pattern(PatKey::Qo(1000));
+    }
+
+    #[test]
+    fn pat_ids_alias_exactly_when_patterns_do() {
+        // WiGig: quasi-omni 0 and sector 0 are different patterns and must
+        // get different ids.
+        let w = Device::wigig_laptop("laptop", Point::new(0.0, 0.0), Angle::ZERO, 11);
+        assert_ne!(w.pat_id(PatKey::Qo(0)), w.pat_id(PatKey::Dir(0)));
+        assert_ne!(w.pat_id(PatKey::Dir(1)), w.pat_id(PatKey::Dir(2)));
+        // WiHD: Qo(i) resolves to the directional sector i % len, so the
+        // ids must collapse the same way the patterns do.
+        let h = Device::wihd_sink("rx", Point::new(0.0, 0.0), Angle::ZERO, 22);
+        let n = h.wihd().expect("wihd").codebook.len();
+        assert_eq!(h.pat_id(PatKey::Qo(n + 2)), h.pat_id(PatKey::Dir(2)));
+        assert!(std::ptr::eq(h.pattern(PatKey::Qo(n + 2)), h.pattern(PatKey::Dir(2))));
     }
 }

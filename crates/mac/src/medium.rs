@@ -10,11 +10,9 @@
 
 use crate::device::{Device, PatKey};
 use crate::frame::Frame;
-use mmwave_channel::Environment;
-use mmwave_geom::PropPath;
+use mmwave_channel::{Environment, LinkGainCache};
 use mmwave_phy::{db_to_lin, lin_to_db};
 use mmwave_sim::time::SimTime;
-use std::collections::HashMap;
 
 /// A transmission currently on the air.
 #[derive(Debug)]
@@ -43,7 +41,9 @@ pub struct ActiveTx {
 pub struct Medium {
     active: Vec<ActiveTx>,
     next_id: u64,
-    path_cache: HashMap<(usize, usize), Vec<PropPath>>,
+    /// Memoized radiometric link gains (paths interned per pair, pattern
+    /// weighting folded in the linear domain, generation invalidation).
+    cache: LinkGainCache,
     /// Per device: when the channel was last heard busy (above the
     /// carrier-sense threshold) — the basis for AIFS-long idle checks.
     last_heard_end: Vec<SimTime>,
@@ -55,27 +55,32 @@ impl Medium {
         Medium::default()
     }
 
-    /// Drop cached geometry (call after moving or rotating any device —
-    /// orientation changes do *not* require it, only position changes,
-    /// but invalidating is always safe).
+    /// Flush all cached geometry and gains (call after bulk scene edits;
+    /// for a single device prefer the granular bumps on
+    /// [`Medium::link_cache_mut`]).
     pub fn invalidate_paths(&mut self) {
-        self.path_cache.clear();
+        self.cache.invalidate_all();
     }
 
-    fn paths<'a>(
-        cache: &'a mut HashMap<(usize, usize), Vec<PropPath>>,
-        env: &Environment,
-        devices: &[Device],
-        a: usize,
-        b: usize,
-    ) -> &'a [PropPath] {
-        cache
-            .entry((a, b))
-            .or_insert_with(|| env.paths(devices[a].node.position, devices[b].node.position))
+    /// The radiometric cache (counters, inspection).
+    pub fn link_cache(&self) -> &LinkGainCache {
+        &self.cache
+    }
+
+    /// Mutable access to the radiometric cache (granular invalidation
+    /// bumps, shared sector-sweep tables).
+    pub fn link_cache_mut(&mut self) -> &mut LinkGainCache {
+        &mut self.cache
     }
 
     /// Pattern-weighted received power from `src` (radiating `src_pat`) at
     /// `dst` (listening with its current pattern), dBm, before fading.
+    ///
+    /// One memoized table lookup plus additive dB offsets: the cache keeps
+    /// `Σ_paths 10^(−loss/10)·g_src·g_dst` per (device, pattern) pair, and
+    /// everything direction- and path-independent (conducted power,
+    /// implementation loss, per-device offset, atmospheric loss) is applied
+    /// here after the single `lin_to_db`.
     pub fn rx_power_dbm(
         &mut self,
         env: &Environment,
@@ -86,23 +91,25 @@ impl Medium {
         extra_power_db: f64,
     ) -> f64 {
         let dst_key = devices[dst].listen_key();
-        let paths = Self::paths(&mut self.path_cache, env, devices, src, dst);
-        let tx_pattern = devices[src].pattern(src_pat);
-        let rx_pattern = devices[dst].pattern(dst_key);
-        let lin: f64 = paths
-            .iter()
-            .map(|p| {
-                let ga = devices[src].node.gain_toward(tx_pattern, p.departure);
-                let gb = devices[dst].node.gain_toward(rx_pattern, p.arrival);
-                db_to_lin(
-                    env.budget.rx_power_dbm(ga, gb, p)
-                        + devices[src].tx_power_offset_db
-                        + extra_power_db
-                        - env.extra_loss_db,
-                )
-            })
-            .sum();
-        lin_to_db(lin)
+        let (sd, dd) = (&devices[src], &devices[dst]);
+        let lin = self.cache.link_gain_lin(
+            env,
+            &sd.node,
+            src,
+            sd.pat_id(src_pat),
+            sd.pattern(src_pat),
+            &dd.node,
+            dst,
+            dd.pat_id(dst_key),
+            dd.pattern(dst_key),
+        );
+        if lin <= 0.0 {
+            return -300.0;
+        }
+        lin_to_db(lin) + env.budget.tx_power_dbm - env.budget.implementation_loss_db
+            + sd.tx_power_offset_db
+            + extra_power_db
+            - env.extra_loss_db
     }
 
     /// Put a frame on the air. `link_offsets[d]` is the fading offset (dB)
@@ -350,5 +357,19 @@ mod tests {
         m.invalidate_paths();
         let far = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 1, 0.0);
         assert!(near - far > 8.0, "8 m vs 2 m ≈ 12 dB: {near} vs {far}");
+    }
+
+    #[test]
+    fn granular_position_bump_refreshes_only_that_device() {
+        let (env, mut devices) = setup();
+        let mut m = Medium::new();
+        let near = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 1, 0.0);
+        devices[1].node.position = Point::new(8.0, 0.0);
+        m.link_cache_mut().bump_position(1);
+        let far = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 1, 0.0);
+        assert!(near - far > 8.0, "bump must refresh the moved link: {near} vs {far}");
+        let s = m.link_cache().stats();
+        assert_eq!(s.path_traces, 2, "exactly the stale pair re-traced");
+        assert_eq!(s.invalidations, 1);
     }
 }

@@ -177,7 +177,9 @@ impl Net {
         let id = self.devices.len();
         dev.node.id = mmwave_channel::NodeId(id);
         self.devices.push(dev);
-        self.medium.invalidate_paths();
+        // A new device cannot have cached state yet — register it with the
+        // radiometric cache without flushing existing pairs.
+        self.medium.link_cache_mut().ensure_device(id);
         id
     }
 
@@ -376,11 +378,26 @@ impl Net {
         self.medium.rx_power_dbm(&self.env, &self.devices, src, pattern, dst, 0.0)
     }
 
-    /// Move/rotate a device and invalidate cached geometry.
+    /// Move/rotate a device, invalidating exactly the cached state the
+    /// change affects: a position change bumps the device's path+gain
+    /// generation, a pure rotation bumps gains only (interned geometry
+    /// stays valid). Unrelated device pairs keep their cached entries.
     pub fn move_device(&mut self, i: usize, position: Point, orientation: Angle) {
-        self.devices[i].node.position = position;
-        self.devices[i].node.orientation = orientation;
-        self.invalidate_geometry();
+        let node = &mut self.devices[i].node;
+        let moved = node.position != position;
+        let rotated = node.orientation != orientation;
+        node.position = position;
+        node.orientation = orientation;
+        if moved {
+            self.medium.link_cache_mut().bump_position(i);
+            // Monitors trace their own paths per transmitter; only those
+            // from the moved device are stale.
+            for m in &mut self.monitors {
+                m.paths.remove(&i);
+            }
+        } else if rotated {
+            self.medium.link_cache_mut().bump_orientation(i);
+        }
     }
 
     /// Drop every cached propagation path. Call after mutating the

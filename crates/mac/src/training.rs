@@ -7,8 +7,8 @@
 //! would only add noise-free repetitions of the same arithmetic).
 
 use crate::device::Device;
-use mmwave_channel::Environment;
-use mmwave_phy::Codebook;
+use mmwave_channel::{CacheMode, Environment, LinkGainCache};
+use mmwave_phy::{lin_to_db, Codebook};
 
 /// Result of training a device pair.
 #[derive(Clone, Copy, Debug)]
@@ -31,32 +31,41 @@ fn codebook(dev: &Device) -> &Codebook {
 /// Exhaustively search both directional codebooks for the sector pair that
 /// maximizes received power from `a` to `b` (reciprocity makes the same
 /// pair optimal in reverse, which is how real sector sweeps use it).
+///
+/// Standalone entry point for callers without a long-lived [`Medium`]: it
+/// sweeps through a throwaway bypass-mode cache, so every call recomputes.
+/// Simulations retrain through [`best_pair_with`] and the medium's shared
+/// cache, where a repeat sweep over an unchanged pair is one table lookup.
+///
+/// [`Medium`]: crate::medium::Medium
 pub fn best_pair(env: &Environment, a: &Device, b: &Device) -> TrainingResult {
-    let paths = env.paths(a.node.position, b.node.position);
-    let cb_a = codebook(a);
-    let cb_b = codebook(b);
-    let mut best = TrainingResult { a_sector: 0, b_sector: 0, rx_dbm: f64::MIN };
-    for (ia, sa) in cb_a.sectors().iter().enumerate() {
-        // Precompute a's gain along each path departure for this sector.
-        let a_gains: Vec<f64> = paths
-            .iter()
-            .map(|p| a.node.gain_toward(&sa.pattern, p.departure))
-            .collect();
-        for (ib, sb) in cb_b.sectors().iter().enumerate() {
-            let mut lin_sum = 0.0;
-            for (p, &ga) in paths.iter().zip(&a_gains) {
-                let gb = b.node.gain_toward(&sb.pattern, p.arrival);
-                let dbm = env.budget.rx_power_dbm(ga, gb, p) + a.tx_power_offset_db
-                    - env.extra_loss_db;
-                lin_sum += mmwave_phy::db_to_lin(dbm);
-            }
-            let total = mmwave_phy::lin_to_db(lin_sum);
-            if total > best.rx_dbm {
-                best = TrainingResult { a_sector: ia, b_sector: ib, rx_dbm: total };
-            }
-        }
-    }
-    best
+    let mut scratch = LinkGainCache::with_mode(CacheMode::Bypass);
+    best_pair_with(&mut scratch, env, a, 0, b, 1)
+}
+
+/// [`best_pair`] over a shared [`LinkGainCache`]: the full sector-pair gain
+/// table is memoized per device pair (keyed by the explicit device indices),
+/// so retraining an unmoved, unrotated pair — and the reverse-direction
+/// sweep — costs one lookup. The maximum is taken over the cached table.
+pub fn best_pair_with(
+    cache: &mut LinkGainCache,
+    env: &Environment,
+    a: &Device,
+    a_idx: usize,
+    b: &Device,
+    b_idx: usize,
+) -> TrainingResult {
+    let (a_sector, b_sector, lin) =
+        cache.best_sector_pair(env, &a.node, a_idx, codebook(a), &b.node, b_idx, codebook(b));
+    let rx_dbm = if lin <= 0.0 {
+        // No propagation path at any sector pair: the quiet-channel floor.
+        -300.0
+    } else {
+        lin_to_db(lin) + env.budget.tx_power_dbm - env.budget.implementation_loss_db
+            + a.tx_power_offset_db
+            - env.extra_loss_db
+    };
+    TrainingResult { a_sector, b_sector, rx_dbm }
 }
 
 #[cfg(test)]
@@ -139,6 +148,32 @@ mod tests {
         let steer_a = a.wigig().expect("wigig").codebook.sector(r.a_sector).steer;
         assert!(steer_a.degrees() > 10.0, "steer {steer_a} should aim at the reflector");
         assert!(r.rx_dbm > -85.0, "reflected link usable: {}", r.rx_dbm);
+    }
+
+    #[test]
+    fn shared_cache_retrain_is_a_table_lookup() {
+        let env = Environment::new(Room::open_space());
+        let a = Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13);
+        let b = Device::wigig_laptop(
+            "laptop",
+            Point::new(3.0, 0.0),
+            Angle::from_degrees(180.0),
+            11,
+        );
+        let mut cache = mmwave_channel::LinkGainCache::with_mode(CacheMode::Cached);
+        let first = best_pair_with(&mut cache, &env, &a, 0, &b, 1);
+        let again = best_pair_with(&mut cache, &env, &a, 0, &b, 1);
+        // The reverse sweep reuses the same table with swapped sectors.
+        let rev = best_pair_with(&mut cache, &env, &b, 1, &a, 0);
+        assert_eq!((first.a_sector, first.b_sector), (again.a_sector, again.b_sector));
+        assert_eq!((rev.a_sector, rev.b_sector), (first.b_sector, first.a_sector));
+        let s = cache.stats();
+        assert_eq!(s.table_builds, 1, "one build serves all three sweeps");
+        assert_eq!(s.table_hits, 2);
+        // Same selection as the standalone (uncached) sweep.
+        let standalone = best_pair(&env, &a, &b);
+        assert_eq!((first.a_sector, first.b_sector), (standalone.a_sector, standalone.b_sector));
+        assert!((first.rx_dbm - standalone.rx_dbm).abs() < 1e-12);
     }
 
     #[test]

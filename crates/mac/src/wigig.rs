@@ -80,7 +80,14 @@ fn check_discovery_response(net: &mut Net, dock: usize) {
     // Reachability check: the best trained pair must promise a
     // *sustainable* link (the same criterion that breaks links — otherwise
     // a just-broken link would instantly re-associate and flap).
-    let result = training::best_pair(&net.env, &net.devices[dock], &net.devices[station]);
+    let result = training::best_pair_with(
+        net.medium.link_cache_mut(),
+        &net.env,
+        &net.devices[dock],
+        dock,
+        &net.devices[station],
+        station,
+    );
     let snr = result.rx_dbm - net.env.noise_floor_dbm();
     if snr < net.cfg.min_link_snr_db + DISCOVERY_MARGIN_DB {
         return; // out of range; keep sweeping
@@ -107,7 +114,14 @@ fn check_discovery_response(net: &mut Net, dock: usize) {
 
 /// Train the sector pair and enter the data phase.
 pub(crate) fn complete_association(net: &mut Net, dock: usize, station: usize) {
-    let result = training::best_pair(&net.env, &net.devices[dock], &net.devices[station]);
+    let result = training::best_pair_with(
+        net.medium.link_cache_mut(),
+        &net.env,
+        &net.devices[dock],
+        dock,
+        &net.devices[station],
+        station,
+    );
     let beacon_interval = {
         let w = net.devices[dock].wigig_mut().expect("dock is wigig");
         w.state = WigigState::Associated;
@@ -159,7 +173,14 @@ fn update_link_snr_inner(net: &mut Net, me: usize, peer: usize, allow_retrain: b
         // the link up, retrain once — the channel may have changed (e.g.
         // blockage) while a usable reflection path exists.
         if allow_retrain {
-            let best = training::best_pair(&net.env, &net.devices[me], &net.devices[peer]);
+            let best = training::best_pair_with(
+                net.medium.link_cache_mut(),
+                &net.env,
+                &net.devices[me],
+                me,
+                &net.devices[peer],
+                peer,
+            );
             if best.rx_dbm - noise >= net.cfg.min_link_snr_db {
                 retrain(net, me, peer);
                 return;
@@ -278,7 +299,14 @@ pub(crate) fn on_beacon_tick(net: &mut Net, dev: usize) {
 
 /// Re-run beam training on an established link (realignment).
 fn retrain(net: &mut Net, a: usize, b: usize) {
-    let result = training::best_pair(&net.env, &net.devices[a], &net.devices[b]);
+    let result = training::best_pair_with(
+        net.medium.link_cache_mut(),
+        &net.env,
+        &net.devices[a],
+        a,
+        &net.devices[b],
+        b,
+    );
     if let Some(w) = net.devices[a].wigig_mut() {
         w.tx_sector = result.a_sector;
     }

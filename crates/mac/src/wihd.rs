@@ -51,16 +51,21 @@ pub(crate) fn on_discovery_tick(net: &mut Net, dev: usize) {
     }
     // Pairing check shortly after the sweep completes.
     let sweep_end = now + sub_dur * n_subs as u32;
-    let (peer, reachable) = {
-        let w = net.devices[dev].wihd().expect("wihd");
-        match w.peer {
-            Some(p) => {
-                let r = training::best_pair(&net.env, &net.devices[dev], &net.devices[p]);
-                let sens = net.mcs_table.control().sensitivity_dbm;
-                (Some(p), r.rx_dbm >= sens + PAIRING_MARGIN_DB)
-            }
-            None => (None, false),
+    let peer = net.devices[dev].wihd().expect("wihd").peer;
+    let reachable = match peer {
+        Some(p) => {
+            let r = training::best_pair_with(
+                net.medium.link_cache_mut(),
+                &net.env,
+                &net.devices[dev],
+                dev,
+                &net.devices[p],
+                p,
+            );
+            let sens = net.mcs_table.control().sensitivity_dbm;
+            r.rx_dbm >= sens + PAIRING_MARGIN_DB
         }
+        None => false,
     };
     if let (Some(sink), true) = (peer, reachable) {
         net.queue.schedule(
@@ -77,7 +82,14 @@ pub(crate) fn complete_pairing(net: &mut Net, source: usize, sink: usize) {
     if net.devices[source].wihd().map(|w| w.paired).unwrap_or(true) {
         return;
     }
-    let result = training::best_pair(&net.env, &net.devices[source], &net.devices[sink]);
+    let result = training::best_pair_with(
+        net.medium.link_cache_mut(),
+        &net.env,
+        &net.devices[source],
+        source,
+        &net.devices[sink],
+        sink,
+    );
     let (beacon_interval, video_interval) = {
         let w = net.devices[source].wihd_mut().expect("source is wihd");
         w.paired = true;

@@ -8,6 +8,7 @@
 
 use mmwave_geom::Angle;
 use std::f64::consts::TAU;
+use std::sync::OnceLock;
 
 /// A power-gain pattern sampled uniformly over [0, 2π).
 #[derive(Clone, Debug)]
@@ -15,6 +16,11 @@ pub struct AntennaPattern {
     /// Gain samples in dBi; sample `i` is at azimuth `i · 2π/n` in
     /// *array-local* coordinates (0 = boresight).
     samples: Vec<f64>,
+    /// Lazily computed linear-power mirror of `samples` (10^(dBi/10)),
+    /// filled on first [`AntennaPattern::samples_lin`] call. Keeps the
+    /// radiometric cache's hot loop free of `powf` without taxing the
+    /// synthesizers that build thousands of throwaway patterns.
+    samples_lin: OnceLock<Vec<f64>>,
 }
 
 /// A detected pattern lobe.
@@ -40,12 +46,15 @@ impl AntennaPattern {
                 g
             })
             .collect();
-        AntennaPattern { samples }
+        AntennaPattern { samples, samples_lin: OnceLock::new() }
     }
 
     /// An isotropic pattern of the given gain (used for idealized tests).
     pub fn isotropic(gain_dbi: f64) -> AntennaPattern {
-        AntennaPattern { samples: vec![gain_dbi; Self::DEFAULT_SAMPLES] }
+        AntennaPattern {
+            samples: vec![gain_dbi; Self::DEFAULT_SAMPLES],
+            samples_lin: OnceLock::new(),
+        }
     }
 
     /// Number of samples.
@@ -65,12 +74,53 @@ impl AntennaPattern {
 
     /// Gain in dBi at `theta` (array-local), circularly interpolated.
     pub fn gain_dbi(&self, theta: Angle) -> f64 {
-        let n = self.samples.len() as f64;
-        let pos = theta.radians().rem_euclid(TAU) / TAU * n;
-        let i0 = pos.floor() as usize % self.samples.len();
-        let i1 = (i0 + 1) % self.samples.len();
-        let frac = pos - pos.floor();
+        let (i0, i1, frac) = self.sample_pos(theta);
         self.samples[i0] * (1.0 - frac) + self.samples[i1] * frac
+    }
+
+    /// Resolve `theta` (array-local) to the circular interpolation triple
+    /// `(i0, i1, frac)`: the value at `theta` is
+    /// `samples[i0]·(1−frac) + samples[i1]·frac`. The triple depends only
+    /// on the sample count, so a caller can resolve once and evaluate the
+    /// same direction against both the dB and linear sample arrays.
+    pub fn sample_pos(&self, theta: Angle) -> (usize, usize, f64) {
+        let n = self.samples.len();
+        let pos = theta.radians().rem_euclid(TAU) / TAU * n as f64;
+        let floor = pos.floor();
+        // `rem_euclid` may return TAU itself on rounding, so `floor` can
+        // land exactly on `n`; the single `% n` folds that back to 0.
+        let i0 = floor as usize % n;
+        let i1 = if i0 + 1 == n { 0 } else { i0 + 1 };
+        (i0, i1, pos - floor)
+    }
+
+    /// Linear-power samples (10^(dBi/10)), computed on first use.
+    pub fn samples_lin(&self) -> &[f64] {
+        self.samples_lin
+            .get_or_init(|| self.samples.iter().map(|g| 10f64.powf(g / 10.0)).collect())
+    }
+
+    /// Linear power gain at `theta` (array-local): exactly
+    /// `10^(gain_dbi(theta)/10)` for every angle. Interpolation stays in
+    /// the dB domain — interpolating the *linear* samples instead would
+    /// overshoot by several dB inside deep pattern nulls, precisely where
+    /// side-lobe interference results are decided.
+    pub fn gain_lin(&self, theta: Angle) -> f64 {
+        let (i0, i1, frac) = self.sample_pos(theta);
+        self.gain_lin_at(i0, i1, frac)
+    }
+
+    /// Linear power gain for a triple previously resolved by
+    /// [`AntennaPattern::sample_pos`] (the radiometric cache's miss path:
+    /// the triple is resolved once per propagation path and replayed per
+    /// sector). Bit-identical to `10^(gain_dbi/10)`; on-sample lookups
+    /// (`frac == 0`) come from the precomputed linear table without a
+    /// `powf`.
+    pub fn gain_lin_at(&self, i0: usize, i1: usize, frac: f64) -> f64 {
+        if frac == 0.0 {
+            return self.samples_lin()[i0];
+        }
+        10f64.powf((self.samples[i0] * (1.0 - frac) + self.samples[i1] * frac) / 10.0)
     }
 
     /// Peak gain (dBi) and its direction.
@@ -203,7 +253,10 @@ impl AntennaPattern {
     /// A copy normalized so the peak is 0 dB (figure-style presentation).
     pub fn normalized(&self) -> AntennaPattern {
         let peak = self.peak().gain_dbi;
-        AntennaPattern { samples: self.samples.iter().map(|g| g - peak).collect() }
+        AntennaPattern {
+            samples: self.samples.iter().map(|g| g - peak).collect(),
+            samples_lin: OnceLock::new(),
+        }
     }
 
     /// Azimuthal directivity estimate: peak linear gain over the circular
@@ -296,6 +349,35 @@ mod tests {
         assert!(gaps.iter().any(|g| g.distance(Angle::from_degrees(20.0)) < 0.1));
         // Nothing outside the sector.
         assert!(p.gaps(10f64.to_radians(), 8.0).is_empty());
+    }
+
+    #[test]
+    fn linear_samples_mirror_db_samples() {
+        let p = two_lobe_pattern(-6.0);
+        for (g_db, g_lin) in p.samples().iter().zip(p.samples_lin()) {
+            assert!((10f64.powf(g_db / 10.0) - g_lin).abs() < 1e-12);
+        }
+        // At an exact sample point the dB and linear lookups agree.
+        let theta = Angle::from_degrees(90.0);
+        assert!((p.gain_lin(theta) - 10f64.powf(p.gain_dbi(theta) / 10.0)).abs() < 1e-12);
+        // A pre-resolved triple replays to the same value as a direct lookup.
+        let theta = Angle::from_degrees(17.3);
+        let (i0, i1, frac) = p.sample_pos(theta);
+        assert_eq!(p.gain_lin_at(i0, i1, frac), p.gain_lin(theta));
+        assert_eq!(
+            p.samples()[i0] * (1.0 - frac) + p.samples()[i1] * frac,
+            p.gain_dbi(theta)
+        );
+    }
+
+    #[test]
+    fn sample_pos_wraps_cleanly() {
+        let p = AntennaPattern::isotropic(0.0);
+        for deg in [-180.0, -0.25, 0.0, 0.25, 179.75, 359.9] {
+            let (i0, i1, frac) = p.sample_pos(Angle::from_degrees(deg));
+            assert!(i0 < p.len() && i1 < p.len(), "indices in range for {deg}");
+            assert!((0.0..1.0 + 1e-12).contains(&frac), "frac {frac} for {deg}");
+        }
     }
 
     #[test]

@@ -113,6 +113,9 @@ impl<W> Engine<W> {
             events_popped: self.sched.queue.popped(),
             events_cancelled: self.sched.queue.cancelled_count(),
             peak_queue_depth: self.sched.queue.peak_len() as u64,
+            // Link-gain cache activity is not an engine-level quantity; it
+            // reaches artifacts through the thread-local accumulator only.
+            ..EngineCounters::default()
         }
     }
 

@@ -32,12 +32,22 @@ pub struct EngineCounters {
     pub events_cancelled: u64,
     /// Highest number of simultaneously pending events.
     pub peak_queue_depth: u64,
+    /// Radiometric link-gain cache lookups answered from a memoized entry.
+    pub link_gain_hits: u64,
+    /// Link-gain lookups that had to recompute (cold or stale entry).
+    pub link_gain_misses: u64,
+    /// Link-gain cache invalidation events (device moved/rotated or a
+    /// global flush).
+    pub link_gain_invalidations: u64,
 }
 
 thread_local! {
     static POPPED: Cell<u64> = const { Cell::new(0) };
     static CANCELLED: Cell<u64> = const { Cell::new(0) };
     static PEAK_DEPTH: Cell<u64> = const { Cell::new(0) };
+    static GAIN_HITS: Cell<u64> = const { Cell::new(0) };
+    static GAIN_MISSES: Cell<u64> = const { Cell::new(0) };
+    static GAIN_INVALIDATIONS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Zero this thread's accumulator (call before a measured run).
@@ -45,6 +55,9 @@ pub fn reset() {
     POPPED.with(|c| c.set(0));
     CANCELLED.with(|c| c.set(0));
     PEAK_DEPTH.with(|c| c.set(0));
+    GAIN_HITS.with(|c| c.set(0));
+    GAIN_MISSES.with(|c| c.set(0));
+    GAIN_INVALIDATIONS.with(|c| c.set(0));
 }
 
 /// Read this thread's accumulated counters (call after a measured run).
@@ -53,6 +66,9 @@ pub fn snapshot() -> EngineCounters {
         events_popped: POPPED.with(Cell::get),
         events_cancelled: CANCELLED.with(Cell::get),
         peak_queue_depth: PEAK_DEPTH.with(Cell::get),
+        link_gain_hits: GAIN_HITS.with(Cell::get),
+        link_gain_misses: GAIN_MISSES.with(Cell::get),
+        link_gain_invalidations: GAIN_INVALIDATIONS.with(Cell::get),
     }
 }
 
@@ -68,6 +84,9 @@ pub fn merge(c: EngineCounters) {
     POPPED.with(|p| p.set(p.get() + c.events_popped));
     CANCELLED.with(|p| p.set(p.get() + c.events_cancelled));
     PEAK_DEPTH.with(|p| p.set(p.get().max(c.peak_queue_depth)));
+    GAIN_HITS.with(|p| p.set(p.get() + c.link_gain_hits));
+    GAIN_MISSES.with(|p| p.set(p.get() + c.link_gain_misses));
+    GAIN_INVALIDATIONS.with(|p| p.set(p.get() + c.link_gain_invalidations));
 }
 
 pub(crate) fn record_pop() {
@@ -80,6 +99,22 @@ pub(crate) fn record_cancel() {
 
 pub(crate) fn record_depth(depth: usize) {
     PEAK_DEPTH.with(|c| c.set(c.get().max(depth as u64)));
+}
+
+/// Record a link-gain cache hit. `pub` (unlike the queue hooks) because the
+/// cache lives downstream in `mmwave-channel`.
+pub fn record_link_gain_hit() {
+    GAIN_HITS.with(|c| c.set(c.get() + 1));
+}
+
+/// Record a link-gain cache miss (entry computed or recomputed).
+pub fn record_link_gain_miss() {
+    GAIN_MISSES.with(|c| c.set(c.get() + 1));
+}
+
+/// Record a link-gain cache invalidation event.
+pub fn record_link_gain_invalidation() {
+    GAIN_INVALIDATIONS.with(|c| c.set(c.get() + 1));
 }
 
 #[cfg(test)]
@@ -95,11 +130,40 @@ mod tests {
         record_cancel();
         record_depth(3);
         record_depth(1);
+        record_link_gain_hit();
+        record_link_gain_hit();
+        record_link_gain_hit();
+        record_link_gain_miss();
+        record_link_gain_invalidation();
         let s = snapshot();
         assert_eq!(s.events_popped, 2);
         assert_eq!(s.events_cancelled, 1);
         assert_eq!(s.peak_queue_depth, 3);
+        assert_eq!(s.link_gain_hits, 3);
+        assert_eq!(s.link_gain_misses, 1);
+        assert_eq!(s.link_gain_invalidations, 1);
         reset();
         assert_eq!(snapshot(), EngineCounters::default());
+    }
+
+    #[test]
+    fn merge_is_additive_with_depth_watermark() {
+        reset();
+        record_depth(5);
+        merge(EngineCounters {
+            events_popped: 10,
+            events_cancelled: 2,
+            peak_queue_depth: 3,
+            link_gain_hits: 7,
+            link_gain_misses: 4,
+            link_gain_invalidations: 1,
+        });
+        let s = snapshot();
+        assert_eq!(s.events_popped, 10);
+        assert_eq!(s.peak_queue_depth, 5, "depth merges as a watermark");
+        assert_eq!(s.link_gain_hits, 7);
+        assert_eq!(s.link_gain_misses, 4);
+        assert_eq!(s.link_gain_invalidations, 1);
+        reset();
     }
 }
