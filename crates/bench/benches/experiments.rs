@@ -19,7 +19,9 @@ fn run_checked(id: &str) -> usize {
 
 fn main() {
     // Fast artifacts.
-    for id in ["table1", "fig03", "fig08", "fig15", "fig16", "fig17", "fig18", "fig19"] {
+    for id in [
+        "table1", "fig03", "fig08", "fig15", "fig16", "fig17", "fig18", "fig19",
+    ] {
         bench(&format!("artifact/{id}"), || run_checked(id));
     }
     // Medium artifacts. Note: fig09/fig10/fig11/aggr share one cached TCP

@@ -29,7 +29,12 @@ fn bench_raytrace() {
     let room = Room::rectangular(
         9.0,
         3.25,
-        (Material::Wood, Material::Glass, Material::Brick, Material::Brick),
+        (
+            Material::Wood,
+            Material::Glass,
+            Material::Brick,
+            Material::Brick,
+        ),
     );
     let cfg = TraceConfig::default();
     bench("raytrace/conference_room_order2", || {
@@ -47,7 +52,9 @@ fn bench_array_synthesis() {
     bench("phy/steered_pattern", || {
         array.steered_pattern(black_box(Angle::from_degrees(17.0)))
     });
-    bench("phy/directional_codebook_32", || Codebook::directional_default(&array));
+    bench("phy/directional_codebook_32", || {
+        Codebook::directional_default(&array)
+    });
     let pattern = array.steered_pattern(Angle::ZERO);
     let mut deg = 0.0;
     bench("phy/pattern_gain_lookup", move || {
@@ -73,7 +80,10 @@ fn bench_detector() {
             start: SimTime::from_micros(i * 50 + 5),
             end: SimTime::from_micros(i * 50 + 25),
             amplitude_v: 0.3,
-            tag: SegmentTag { source: 0, class: 3 },
+            tag: SegmentTag {
+                source: 0,
+                class: 3,
+            },
         });
     }
     let mut rng = SimRng::root(1).stream("bench");
@@ -88,7 +98,9 @@ fn bench_detector() {
         )
     });
     let mut rng2 = SimRng::root(2).stream("bench2");
-    bench("capture/sample_1ms_trace", move || trace.sample(1e8, &mut rng2));
+    bench("capture/sample_1ms_trace", move || {
+        trace.sample(1e8, &mut rng2)
+    });
 }
 
 /// The radiometric link-gain cache around `Medium::begin_tx` and beam
@@ -106,7 +118,12 @@ fn bench_link_cache() {
     let room = Room::rectangular(
         9.0,
         3.25,
-        (Material::Wood, Material::Glass, Material::Brick, Material::Brick),
+        (
+            Material::Wood,
+            Material::Glass,
+            Material::Brick,
+            Material::Brick,
+        ),
     );
     let env = Environment::new(room);
     let devices = vec![
@@ -119,7 +136,14 @@ fn bench_link_cache() {
     let frame = || Frame {
         src: 0,
         dst: Some(1),
-        kind: FrameKind::Data { mpdus: vec![Mpdu { bytes: 1500, tag: 0 }], mcs: 11, retry: 0 },
+        kind: FrameKind::Data {
+            mpdus: vec![Mpdu {
+                bytes: 1500,
+                tag: 0,
+            }],
+            mcs: 11,
+            retry: 0,
+        },
         seq: 1,
     };
     let one_tx = |m: &mut Medium| {
@@ -179,9 +203,18 @@ fn bench_mac_second() {
     bench("mac/idle_link_100ms", || {
         let mut net = Net::new(
             Environment::new(Room::open_space()),
-            NetConfig { seed: 1, enable_fading: false, ..NetConfig::default() },
+            NetConfig {
+                seed: 1,
+                enable_fading: false,
+                ..NetConfig::default()
+            },
         );
-        let dock = net.add_device(Device::wigig_dock("d", Point::new(0.0, 0.0), Angle::ZERO, 13));
+        let dock = net.add_device(Device::wigig_dock(
+            "d",
+            Point::new(0.0, 0.0),
+            Angle::ZERO,
+            13,
+        ));
         let laptop = net.add_device(Device::wigig_laptop(
             "l",
             Point::new(2.0, 0.0),
@@ -201,10 +234,19 @@ fn bench_tcp_second() {
     bench("transport/tcp_100ms_full_rate", || {
         let mut net = Net::new(
             Environment::new(Room::open_space()),
-            NetConfig { seed: 1, enable_fading: false, ..NetConfig::default() },
+            NetConfig {
+                seed: 1,
+                enable_fading: false,
+                ..NetConfig::default()
+            },
         );
         net.txlog_mut().set_enabled(false);
-        let dock = net.add_device(Device::wigig_dock("d", Point::new(0.0, 0.0), Angle::ZERO, 13));
+        let dock = net.add_device(Device::wigig_dock(
+            "d",
+            Point::new(0.0, 0.0),
+            Angle::ZERO,
+            13,
+        ));
         let laptop = net.add_device(Device::wigig_laptop(
             "l",
             Point::new(2.0, 0.0),

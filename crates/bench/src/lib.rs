@@ -31,7 +31,10 @@ pub struct BenchConfig {
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        BenchConfig { target: Duration::from_millis(300), samples: 10 }
+        BenchConfig {
+            target: Duration::from_millis(300),
+            samples: 10,
+        }
     }
 }
 
@@ -189,7 +192,10 @@ mod tests {
     #[test]
     fn bench_runs_records_and_serializes() {
         clear_results();
-        let quick = BenchConfig { target: Duration::from_micros(200), samples: 3 };
+        let quick = BenchConfig {
+            target: Duration::from_micros(200),
+            samples: 3,
+        };
         let r = bench_with(quick, "test/noop", || 1u64 + 1);
         assert_eq!(r.name, "test/noop");
         assert!(r.min_ns >= 0.0 && r.min_ns <= r.mean_ns * 1.0001 + 1.0);

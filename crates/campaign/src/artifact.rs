@@ -15,8 +15,10 @@
 //! Schemas (see DESIGN.md for the field-by-field description):
 //!
 //! * manifest: `schema = "mmwave-campaign/1"`
-//! * run:      `schema = "mmwave-campaign-run/2"` (v2 added the
-//!   `engine.link_gain_*` cache counters)
+//! * run:      `schema = "mmwave-campaign-run/3"` (v2 added the
+//!   `engine.link_gain_*` cache counters; v3 added the `scenario` label
+//!   and the `engine.scenario_mutations` / `engine.faults_injected`
+//!   fault-scenario counters)
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -26,10 +28,15 @@ use crate::{CampaignResult, RunRecord, RunStatus};
 use mmwave_sim::metrics::EngineCounters;
 
 pub const MANIFEST_SCHEMA: &str = "mmwave-campaign/1";
-pub const RUN_SCHEMA: &str = "mmwave-campaign-run/2";
+pub const RUN_SCHEMA: &str = "mmwave-campaign-run/3";
 
 fn obj(fields: Vec<(&str, Json)>) -> Json {
-    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 /// Relative artifact path for one run: `runs/<id>-s<seed>.json`.
@@ -45,6 +52,7 @@ pub fn run_to_json(r: &RunRecord) -> Json {
         ("title", Json::Str(r.title.clone())),
         ("seed", Json::Int(r.seed)),
         ("quick", Json::Bool(r.quick)),
+        ("scenario", Json::Str(r.scenario.clone())),
         ("status", Json::Str(r.status.as_str().into())),
         (
             "violations",
@@ -64,7 +72,12 @@ pub fn run_to_json(r: &RunRecord) -> Json {
                 ("peak_queue_depth", Json::Int(r.engine.peak_queue_depth)),
                 ("link_gain_hits", Json::Int(r.engine.link_gain_hits)),
                 ("link_gain_misses", Json::Int(r.engine.link_gain_misses)),
-                ("link_gain_invalidations", Json::Int(r.engine.link_gain_invalidations)),
+                (
+                    "link_gain_invalidations",
+                    Json::Int(r.engine.link_gain_invalidations),
+                ),
+                ("scenario_mutations", Json::Int(r.engine.scenario_mutations)),
+                ("faults_injected", Json::Int(r.engine.faults_injected)),
             ]),
         ),
     ])
@@ -85,10 +98,22 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
             .ok_or_else(|| format!("engine.{k} must be a non-negative integer"))
     };
     Ok(RunRecord {
-        experiment: field("experiment")?.as_str().ok_or("experiment must be a string")?.into(),
-        title: field("title")?.as_str().ok_or("title must be a string")?.into(),
-        seed: field("seed")?.as_u64().ok_or("seed must be a non-negative integer")?,
+        experiment: field("experiment")?
+            .as_str()
+            .ok_or("experiment must be a string")?
+            .into(),
+        title: field("title")?
+            .as_str()
+            .ok_or("title must be a string")?
+            .into(),
+        seed: field("seed")?
+            .as_u64()
+            .ok_or("seed must be a non-negative integer")?,
         quick: field("quick")?.as_bool().ok_or("quick must be a bool")?,
+        scenario: field("scenario")?
+            .as_str()
+            .ok_or("scenario must be a string")?
+            .into(),
         status: field("status")?
             .as_str()
             .and_then(RunStatus::from_str)
@@ -97,15 +122,24 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
             .as_arr()
             .ok_or("violations must be an array")?
             .iter()
-            .map(|x| x.as_str().map(String::from).ok_or("violation must be a string"))
+            .map(|x| {
+                x.as_str()
+                    .map(String::from)
+                    .ok_or("violation must be a string")
+            })
             .collect::<Result<_, _>>()?,
         panic_message: match field("panic")? {
             Json::Null => None,
             Json::Str(s) => Some(s.clone()),
             _ => return Err("panic must be null or a string".into()),
         },
-        output: field("output")?.as_str().ok_or("output must be a string")?.into(),
-        wall_ms: field("wall_ms")?.as_f64().ok_or("wall_ms must be a number")?,
+        output: field("output")?
+            .as_str()
+            .ok_or("output must be a string")?
+            .into(),
+        wall_ms: field("wall_ms")?
+            .as_f64()
+            .ok_or("wall_ms must be a number")?,
         engine: EngineCounters {
             events_popped: counter("events_popped")?,
             events_cancelled: counter("events_cancelled")?,
@@ -113,6 +147,8 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
             link_gain_hits: counter("link_gain_hits")?,
             link_gain_misses: counter("link_gain_misses")?,
             link_gain_invalidations: counter("link_gain_invalidations")?,
+            scenario_mutations: counter("scenario_mutations")?,
+            faults_injected: counter("faults_injected")?,
         },
     })
 }
@@ -123,7 +159,10 @@ pub fn manifest_to_json(result: &CampaignResult) -> Json {
     obj(vec![
         ("schema", Json::Str(MANIFEST_SCHEMA.into())),
         ("quick", Json::Bool(result.quick)),
-        ("seeds", Json::Arr(result.seeds.iter().map(|&s| Json::Int(s)).collect())),
+        (
+            "seeds",
+            Json::Arr(result.seeds.iter().map(|&s| Json::Int(s)).collect()),
+        ),
         ("total_runs", Json::Int(result.records.len() as u64)),
         ("passed", Json::Int(passed as u64)),
         ("shape_failed", Json::Int(shape_failed as u64)),
@@ -203,6 +242,7 @@ mod tests {
             title: "Fig. 9: WiGig data frame length".into(),
             seed: 42,
             quick: true,
+            scenario: "point-to-point".into(),
             status,
             violations: if status == RunStatus::ShapeFail {
                 vec!["median off by 2×".into()]
@@ -223,6 +263,8 @@ mod tests {
                 link_gain_hits: 640,
                 link_gain_misses: 12,
                 link_gain_invalidations: 3,
+                scenario_mutations: 5,
+                faults_injected: 2,
             },
         }
     }
@@ -232,9 +274,9 @@ mod tests {
         for status in [RunStatus::Pass, RunStatus::ShapeFail, RunStatus::Panicked] {
             let r = record(status);
             let text = run_to_json(&r).render();
-            let back =
-                run_from_json(&Json::parse(&text).expect("parses")).expect("decodes");
+            let back = run_from_json(&Json::parse(&text).expect("parses")).expect("decodes");
             assert_eq!(back.experiment, r.experiment);
+            assert_eq!(back.scenario, r.scenario);
             assert_eq!(back.status, r.status);
             assert_eq!(back.violations, r.violations);
             assert_eq!(back.panic_message, r.panic_message);

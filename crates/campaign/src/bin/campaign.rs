@@ -33,7 +33,9 @@ struct Cli {
 
 fn parse_seeds(spec: &str) -> Result<Vec<u64>, String> {
     if let Some((a, b)) = spec.split_once("..") {
-        let a: u64 = a.parse().map_err(|_| format!("bad seed range start: {a}"))?;
+        let a: u64 = a
+            .parse()
+            .map_err(|_| format!("bad seed range start: {a}"))?;
         let b: u64 = b.parse().map_err(|_| format!("bad seed range end: {b}"))?;
         if a >= b {
             return Err(format!("empty seed range: {spec}"));
@@ -106,7 +108,7 @@ fn main() {
     if cli.list {
         println!("registered experiments (paper order):");
         for e in experiments::REGISTRY {
-            println!("  {:<8} [{:?}] {}", e.id, e.cost, e.title);
+            println!("  {:<8} [{:?}] ({}) {}", e.id, e.cost, e.scenario, e.title);
         }
         return;
     }

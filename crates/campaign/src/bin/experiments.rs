@@ -27,8 +27,14 @@ struct Cli {
 }
 
 fn parse_args() -> Result<Cli, String> {
-    let mut cli =
-        Cli { quick: false, seed: 1, jobs: 1, out_dir: None, list: false, ids: Vec::new() };
+    let mut cli = Cli {
+        quick: false,
+        seed: 1,
+        jobs: 1,
+        out_dir: None,
+        list: false,
+        ids: Vec::new(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {

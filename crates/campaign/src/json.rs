@@ -142,7 +142,10 @@ impl Json {
     /// Parse a JSON document. The whole input must be one value (plus
     /// surrounding whitespace).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -201,7 +204,11 @@ pub struct JsonError {
 
 impl std::fmt::Display for JsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -214,7 +221,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> JsonError {
-        JsonError { offset: self.pos, message: msg.to_string() }
+        JsonError {
+            offset: self.pos,
+            message: msg.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -376,8 +386,12 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
-            let d = (c as char).to_digit(16).ok_or_else(|| self.err("bad hex digit"))?;
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit"))?;
             v = v * 16 + d;
             self.pos += 1;
         }
@@ -410,8 +424,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if text.is_empty() || text == "-" {
             return Err(self.err("malformed number"));
         }
@@ -420,9 +434,10 @@ impl<'a> Parser<'a> {
                 return Ok(Json::Int(n));
             }
         }
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| JsonError { offset: start, message: "malformed number".into() })
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            offset: start,
+            message: "malformed number".into(),
+        })
     }
 }
 
@@ -431,7 +446,12 @@ mod tests {
     use super::*;
 
     fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     #[test]
@@ -445,7 +465,11 @@ mod tests {
             ("panic", Json::Null),
             (
                 "runs",
-                Json::Arr(vec![Json::Int(1), Json::Num(-2.5), Json::Str("µs — dash".into())]),
+                Json::Arr(vec![
+                    Json::Int(1),
+                    Json::Num(-2.5),
+                    Json::Str("µs — dash".into()),
+                ]),
             ),
             ("empty_arr", Json::Arr(vec![])),
             ("empty_obj", Json::Obj(vec![])),

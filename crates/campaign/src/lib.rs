@@ -81,7 +81,12 @@ impl CampaignConfig {
         let mut out = Vec::with_capacity(self.experiments.len() * self.seeds.len());
         for (exp_index, exp) in self.experiments.iter().enumerate() {
             for &seed in &self.seeds {
-                out.push(TaskSpec { exp, exp_index, seed, quick: self.quick });
+                out.push(TaskSpec {
+                    exp,
+                    exp_index,
+                    seed,
+                    quick: self.quick,
+                });
             }
         }
         out
@@ -92,7 +97,9 @@ impl CampaignConfig {
         if self.jobs > 0 {
             self.jobs
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -157,6 +164,9 @@ pub struct RunRecord {
     pub seed: u64,
     /// Quick mode flag.
     pub quick: bool,
+    /// Scenario/rig name from the registry ("point-to-point",
+    /// "dynamic-blocker", …) — traces the record back to its geometry.
+    pub scenario: String,
     /// Outcome classification.
     pub status: RunStatus,
     /// Shape-check violations (empty on pass or panic).
@@ -236,9 +246,19 @@ mod tests {
 
     #[test]
     fn effective_jobs_resolves_zero() {
-        let cfg = CampaignConfig { experiments: vec![], seeds: vec![], quick: true, jobs: 0 };
+        let cfg = CampaignConfig {
+            experiments: vec![],
+            seeds: vec![],
+            quick: true,
+            jobs: 0,
+        };
         assert!(cfg.effective_jobs() >= 1);
-        let cfg = CampaignConfig { experiments: vec![], seeds: vec![], quick: true, jobs: 3 };
+        let cfg = CampaignConfig {
+            experiments: vec![],
+            seeds: vec![],
+            quick: true,
+            jobs: 3,
+        };
         assert_eq!(cfg.effective_jobs(), 3);
     }
 }

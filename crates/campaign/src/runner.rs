@@ -61,7 +61,8 @@ pub fn run(cfg: &CampaignConfig) -> CampaignResult {
 
     let mut keyed: Vec<((usize, u64), RunRecord)> = rec_rx.iter().collect();
     for w in workers {
-        w.join().expect("campaign worker infrastructure must not panic");
+        w.join()
+            .expect("campaign worker infrastructure must not panic");
     }
 
     keyed.sort_by_key(|(key, _)| *key);
@@ -105,13 +106,17 @@ pub fn run_task(task: &TaskSpec) -> RunRecord {
 
     match outcome {
         Ok(report) => {
-            let status =
-                if report.passed() { RunStatus::Pass } else { RunStatus::ShapeFail };
+            let status = if report.passed() {
+                RunStatus::Pass
+            } else {
+                RunStatus::ShapeFail
+            };
             RunRecord {
                 experiment: report.id.to_string(),
                 title: report.title.to_string(),
                 seed: task.seed,
                 quick: task.quick,
+                scenario: task.exp.scenario.to_string(),
                 status,
                 violations: report.violations,
                 output: report.output,
@@ -125,6 +130,7 @@ pub fn run_task(task: &TaskSpec) -> RunRecord {
             title: task.exp.title.to_string(),
             seed: task.seed,
             quick: task.quick,
+            scenario: task.exp.scenario.to_string(),
             status: RunStatus::Panicked,
             violations: Vec::new(),
             output: String::new(),
@@ -170,11 +176,22 @@ mod tests {
     use mmwave_core::experiments::{CostTier, Experiment, RunReport};
 
     fn fake(id: &'static str, run: fn(bool, u64) -> RunReport) -> &'static Experiment {
-        Box::leak(Box::new(Experiment { id, title: id, cost: CostTier::Fast, run }))
+        Box::leak(Box::new(Experiment {
+            id,
+            title: id,
+            cost: CostTier::Fast,
+            scenario: "test-rig",
+            run,
+        }))
     }
 
     fn passing(_q: bool, seed: u64) -> RunReport {
-        RunReport { id: "ok", title: "ok", output: format!("seed={seed}"), violations: vec![] }
+        RunReport {
+            id: "ok",
+            title: "ok",
+            output: format!("seed={seed}"),
+            violations: vec![],
+        }
     }
 
     fn failing(_q: bool, _s: u64) -> RunReport {
@@ -193,7 +210,11 @@ mod tests {
     #[test]
     fn campaign_survives_panicking_experiment() {
         let cfg = CampaignConfig {
-            experiments: vec![fake("ok", passing), fake("boom", panicking), fake("bad", failing)],
+            experiments: vec![
+                fake("ok", passing),
+                fake("boom", panicking),
+                fake("bad", failing),
+            ],
             seeds: vec![1, 2],
             quick: true,
             jobs: 3,
@@ -203,12 +224,18 @@ mod tests {
         let (pass, shape, panicked) = result.counts();
         assert_eq!((pass, shape, panicked), (2, 2, 2));
         assert!(!result.all_passed());
-        let boom: Vec<_> =
-            result.records.iter().filter(|r| r.status == RunStatus::Panicked).collect();
+        let boom: Vec<_> = result
+            .records
+            .iter()
+            .filter(|r| r.status == RunStatus::Panicked)
+            .collect();
         assert_eq!(boom.len(), 2);
         for r in boom {
             assert_eq!(r.experiment, "boom");
-            assert_eq!(r.panic_message.as_deref(), Some("simulated experiment crash"));
+            assert_eq!(
+                r.panic_message.as_deref(),
+                Some("simulated experiment crash")
+            );
         }
     }
 
@@ -223,17 +250,28 @@ mod tests {
         let mut cfg4 = cfg1.clone();
         cfg4.jobs = 4;
         for result in [run(&cfg1), run(&cfg4)] {
-            let order: Vec<(String, u64)> =
-                result.records.iter().map(|r| (r.experiment.clone(), r.seed)).collect();
+            let order: Vec<(String, u64)> = result
+                .records
+                .iter()
+                .map(|r| (r.experiment.clone(), r.seed))
+                .collect();
             // "a"/"b" pass `passing`, whose report id is "ok"; order is by
             // matrix position, so seeds iterate within each experiment.
-            assert_eq!(order.iter().map(|(_, s)| *s).collect::<Vec<_>>(), vec![5, 9, 5, 9]);
+            assert_eq!(
+                order.iter().map(|(_, s)| *s).collect::<Vec<_>>(),
+                vec![5, 9, 5, 9]
+            );
         }
     }
 
     #[test]
     fn run_task_reports_wall_time_and_counters() {
-        let t = TaskSpec { exp: fake("ok", passing), exp_index: 0, seed: 3, quick: true };
+        let t = TaskSpec {
+            exp: fake("ok", passing),
+            exp_index: 0,
+            seed: 3,
+            quick: true,
+        };
         let rec = run_task(&t);
         assert!(rec.status.is_pass());
         assert!(rec.wall_ms >= 0.0);

@@ -15,29 +15,23 @@ use mmwave_campaign::{artifact, runner, CampaignConfig};
 use mmwave_channel::linkgain;
 use mmwave_core::experiments;
 
-/// Restores the process-global default cache mode on scope exit.
-struct BypassGuard(bool);
-
-impl Drop for BypassGuard {
-    fn drop(&mut self) {
-        linkgain::set_default_bypass(self.0);
-    }
-}
-
 /// Cheap experiments that do not touch the process-global TCP-sweep
 /// cache: the first campaign would otherwise hand memoized sweep results
 /// (with their recorded counters) to the second, and the comparison
-/// would no longer exercise the link-gain cache end to end.
+/// would no longer exercise the link-gain cache end to end. `dynblock`
+/// adds a dynamic scenario (scripted blockage with cache invalidations
+/// mid-run) to the matrix.
 fn subset() -> Vec<&'static experiments::Experiment> {
-    ["table1", "fig03", "fig08", "fig15"]
+    ["table1", "fig03", "fig08", "fig15", "dynblock"]
         .iter()
         .map(|id| experiments::find(id).expect("registered"))
         .collect()
 }
 
 fn normalized_artifacts(bypass: bool) -> Vec<(String, String)> {
-    let _restore = BypassGuard(linkgain::default_bypass());
-    linkgain::set_default_bypass(bypass);
+    // Exclusive + restore-on-drop: holds the global-flag lock for the
+    // whole campaign so concurrent tests cannot observe the flip.
+    let _mode = linkgain::scoped_default_bypass(bypass);
     let cfg = CampaignConfig {
         experiments: subset(),
         seeds: vec![1, 2],
@@ -52,7 +46,10 @@ fn normalized_artifacts(bypass: bool) -> Vec<(String, String)> {
     for r in &result.records {
         let mut j = artifact::run_to_json(r);
         artifact::normalize_execution(&mut j);
-        files.push((artifact::run_artifact_name(&r.experiment, r.seed), j.render()));
+        files.push((
+            artifact::run_artifact_name(&r.experiment, r.seed),
+            j.render(),
+        ));
     }
     files
 }

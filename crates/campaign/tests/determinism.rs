@@ -32,7 +32,10 @@ fn normalized_artifacts(jobs: usize) -> Vec<(String, String)> {
     for r in &result.records {
         let mut j = artifact::run_to_json(r);
         artifact::normalize_execution(&mut j);
-        files.push((artifact::run_artifact_name(&r.experiment, r.seed), j.render()));
+        files.push((
+            artifact::run_artifact_name(&r.experiment, r.seed),
+            j.render(),
+        ));
     }
     files
 }
@@ -44,6 +47,9 @@ fn artifacts_identical_for_jobs_1_and_4() {
     assert_eq!(serial.len(), sharded.len());
     for ((name_a, body_a), (name_b, body_b)) in serial.iter().zip(&sharded) {
         assert_eq!(name_a, name_b, "artifact order must match");
-        assert_eq!(body_a, body_b, "artifact {name_a} differs between jobs=1 and jobs=4");
+        assert_eq!(
+            body_a, body_b,
+            "artifact {name_a} differs between jobs=1 and jobs=4"
+        );
     }
 }

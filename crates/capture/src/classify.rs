@@ -57,7 +57,13 @@ pub fn split_by_amplitude(frames: &[DetectedFrame]) -> (Vec<AmplitudeClass>, f64
     let mid = (lo + hi) / 2.0;
     let classes = amps
         .iter()
-        .map(|&a| if a <= mid { AmplitudeClass::Low } else { AmplitudeClass::High })
+        .map(|&a| {
+            if a <= mid {
+                AmplitudeClass::Low
+            } else {
+                AmplitudeClass::High
+            }
+        })
         .collect();
     (classes, lo, hi)
 }
@@ -74,7 +80,10 @@ pub fn long_frame_fraction(frames: &[DetectedFrame], boundary: SimDuration) -> f
 
 /// Durations of all frames, in microseconds — the Fig. 9 CDF input.
 pub fn durations_us(frames: &[DetectedFrame]) -> Vec<f64> {
-    frames.iter().map(|f| f.duration().as_micros_f64()).collect()
+    frames
+        .iter()
+        .map(|f| f.duration().as_micros_f64())
+        .collect()
 }
 
 #[cfg(test)]
@@ -100,8 +109,11 @@ mod tests {
         let (classes, lo, hi) = split_by_amplitude(&frames);
         assert!(lo < 0.25 && hi > 0.55, "centroids {lo} {hi}");
         for (f, c) in frames.iter().zip(&classes) {
-            let expect =
-                if f.mean_amplitude_v < 0.4 { AmplitudeClass::Low } else { AmplitudeClass::High };
+            let expect = if f.mean_amplitude_v < 0.4 {
+                AmplitudeClass::Low
+            } else {
+                AmplitudeClass::High
+            };
             assert_eq!(*c, expect);
         }
     }
@@ -123,7 +135,12 @@ mod tests {
 
     #[test]
     fn long_fraction() {
-        let frames = [frame(0, 3, 0.4), frame(10, 4, 0.4), frame(20, 18, 0.4), frame(50, 22, 0.4)];
+        let frames = [
+            frame(0, 3, 0.4),
+            frame(10, 4, 0.4),
+            frame(20, 18, 0.4),
+            frame(50, 22, 0.4),
+        ];
         let frac = long_frame_fraction(&frames, SimDuration::from_micros(5));
         assert!((frac - 0.5).abs() < 1e-12);
     }

@@ -123,7 +123,16 @@ pub fn detect_frames(
         }
     }
     if let Some((start, sum, count)) = open {
-        push_frame(&mut frames, start, envelope.len(), sum, count, t0, period, cfg);
+        push_frame(
+            &mut frames,
+            start,
+            envelope.len(),
+            sum,
+            count,
+            t0,
+            period,
+            cfg,
+        );
     }
     frames
 }
@@ -142,7 +151,11 @@ fn push_frame(
     let start = t0 + period * start_idx as u32;
     let end = t0 + period * end_idx as u32;
     if end - start >= cfg.min_frame && count > 0 {
-        frames.push(DetectedFrame { start, end, mean_amplitude_v: amp_sum / count as f64 });
+        frames.push(DetectedFrame {
+            start,
+            end,
+            mean_amplitude_v: amp_sum / count as f64,
+        });
     }
 }
 
@@ -151,7 +164,11 @@ fn push_frame(
 /// exact-arithmetic twin of running [`detect_frames`] over the full trace.
 pub fn utilization(trace: &SignalTrace, threshold_v: f64) -> f64 {
     let mut busy = BusyTracker::new();
-    for s in trace.segments().iter().filter(|s| s.amplitude_v >= threshold_v) {
+    for s in trace
+        .segments()
+        .iter()
+        .filter(|s| s.amplitude_v >= threshold_v)
+    {
         busy.add(s.start, s.end);
     }
     busy.utilization(trace.window_start, trace.window_end)
@@ -168,13 +185,21 @@ mod tests {
     }
 
     fn tag() -> SegmentTag {
-        SegmentTag { source: 0, class: 1 }
+        SegmentTag {
+            source: 0,
+            class: 1,
+        }
     }
 
     fn make_trace(frames: &[(u64, u64, f64)]) -> SignalTrace {
         let mut tr = SignalTrace::new(t(0), t(1000), 0.01);
         for &(s, e, a) in frames {
-            tr.push(TraceSegment { start: t(s), end: t(e), amplitude_v: a, tag: tag() });
+            tr.push(TraceSegment {
+                start: t(s),
+                end: t(e),
+                amplitude_v: a,
+                tag: tag(),
+            });
         }
         tr
     }
@@ -182,7 +207,13 @@ mod tests {
     fn detect(tr: &SignalTrace) -> Vec<DetectedFrame> {
         let mut rng = SimRng::root(3).stream("detector");
         let (period, samples) = tr.sample(1e8, &mut rng);
-        detect_frames(&samples, period, tr.window_start, tr.noise_rms_v, &DetectorConfig::default())
+        detect_frames(
+            &samples,
+            period,
+            tr.window_start,
+            tr.noise_rms_v,
+            &DetectorConfig::default(),
+        )
     }
 
     #[test]
@@ -204,7 +235,11 @@ mod tests {
         let frames = detect(&tr);
         assert_eq!(frames.len(), 1);
         // The rectified-corrected envelope mean recovers the amplitude.
-        assert!((frames[0].mean_amplitude_v - 0.4).abs() < 0.05, "{}", frames[0].mean_amplitude_v);
+        assert!(
+            (frames[0].mean_amplitude_v - 0.4).abs() < 0.05,
+            "{}",
+            frames[0].mean_amplitude_v
+        );
     }
 
     #[test]
@@ -249,10 +284,18 @@ mod tests {
     fn detector_utilization_matches_ground_truth() {
         let tr = make_trace(&[(0, 120, 0.4), (300, 380, 0.35), (500, 780, 0.45)]);
         let frames = detect(&tr);
-        let detected_busy: f64 =
-            frames.iter().map(|f| f.duration().as_secs_f64()).sum::<f64>();
-        let truth = tr.ground_truth_busy().busy_within(t(0), t(1000)).as_secs_f64();
-        assert!((detected_busy - truth).abs() / truth < 0.03, "{detected_busy} vs {truth}");
+        let detected_busy: f64 = frames
+            .iter()
+            .map(|f| f.duration().as_secs_f64())
+            .sum::<f64>();
+        let truth = tr
+            .ground_truth_busy()
+            .busy_within(t(0), t(1000))
+            .as_secs_f64();
+        assert!(
+            (detected_busy - truth).abs() / truth < 0.03,
+            "{detected_busy} vs {truth}"
+        );
     }
 
     #[test]

@@ -52,13 +52,19 @@ impl AngularProfile {
 
     /// Peak power (dBm) over the profile.
     pub fn peak_dbm(&self) -> f64 {
-        self.points.iter().map(|p| p.power_dbm).fold(f64::MIN, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.power_dbm)
+            .fold(f64::MIN, f64::max)
     }
 
     /// Points normalized to the peak (dB ≤ 0) — the Figs. 18–20 plot form.
     pub fn normalized_db(&self) -> Vec<(Angle, f64)> {
         let peak = self.peak_dbm();
-        self.points.iter().map(|p| (p.angle, p.power_dbm - peak)).collect()
+        self.points
+            .iter()
+            .map(|p| (p.angle, p.power_dbm - peak))
+            .collect()
     }
 
     /// Convert into an [`AntennaPattern`] (uniform full-circle sampling is
@@ -72,8 +78,7 @@ impl AngularProfile {
             let rel = theta.diff(Angle::ZERO).radians();
             let base = first.radians();
             let step = std::f64::consts::TAU / n as f64;
-            let idx =
-                (((rel - base) / step).round() as i64).rem_euclid(n as i64) as usize;
+            let idx = (((rel - base) / step).round() as i64).rem_euclid(n as i64) as usize;
             self.points[idx].power_dbm
         })
     }
@@ -115,7 +120,10 @@ impl AngularProfile {
 pub fn angular_profile(n: usize, measure: impl Fn(Angle) -> f64) -> AngularProfile {
     let points = full_circle(n, Angle::ZERO)
         .into_iter()
-        .map(|angle| ScanPoint { angle, power_dbm: measure(angle) })
+        .map(|angle| ScanPoint {
+            angle,
+            power_dbm: measure(angle),
+        })
         .collect();
     AngularProfile { points }
 }
@@ -138,7 +146,10 @@ pub fn semicircle_scan(
         .map(|rel| {
             let world = facing + rel;
             let pos = dut + world.unit() * radius;
-            ScanPoint { angle: rel, power_dbm: measure(pos) }
+            ScanPoint {
+                angle: rel,
+                power_dbm: measure(pos),
+            }
         })
         .collect()
 }
@@ -151,7 +162,10 @@ mod tests {
     fn angular_profile_finds_source_direction() {
         // Synthetic: energy arrives from 40° with a 20°-wide lobe.
         let profile = angular_profile(360, |look| {
-            -50.0 - (look.distance(Angle::from_degrees(40.0)).to_degrees() / 10.0).powi(2).min(40.0)
+            -50.0
+                - (look.distance(Angle::from_degrees(40.0)).to_degrees() / 10.0)
+                    .powi(2)
+                    .min(40.0)
         });
         assert_eq!(profile.len(), 360);
         assert!((profile.peak_dbm() + 50.0).abs() < 0.1);

@@ -60,7 +60,12 @@ impl SignalTrace {
     pub fn new(window_start: SimTime, window_end: SimTime, noise_rms_v: f64) -> SignalTrace {
         assert!(window_end > window_start);
         assert!(noise_rms_v >= 0.0);
-        SignalTrace { segments: Vec::new(), noise_rms_v, window_start, window_end }
+        SignalTrace {
+            segments: Vec::new(),
+            noise_rms_v,
+            window_start,
+            window_end,
+        }
     }
 
     /// Append a segment. Segments may overlap (concurrent transmissions);
@@ -153,14 +158,27 @@ mod tests {
     }
 
     fn tag(src: usize) -> SegmentTag {
-        SegmentTag { source: src, class: 1 }
+        SegmentTag {
+            source: src,
+            class: 1,
+        }
     }
 
     #[test]
     fn push_clips_to_window() {
         let mut tr = SignalTrace::new(t(100), t(200), 0.01);
-        tr.push(TraceSegment { start: t(50), end: t(150), amplitude_v: 0.5, tag: tag(0) });
-        tr.push(TraceSegment { start: t(300), end: t(400), amplitude_v: 0.5, tag: tag(0) });
+        tr.push(TraceSegment {
+            start: t(50),
+            end: t(150),
+            amplitude_v: 0.5,
+            tag: tag(0),
+        });
+        tr.push(TraceSegment {
+            start: t(300),
+            end: t(400),
+            amplitude_v: 0.5,
+            tag: tag(0),
+        });
         assert_eq!(tr.segments().len(), 1);
         assert_eq!(tr.segments()[0].start, t(100));
         assert_eq!(tr.segments()[0].end, t(150));
@@ -169,8 +187,18 @@ mod tests {
     #[test]
     fn envelope_adds_in_quadrature() {
         let mut tr = SignalTrace::new(t(0), t(100), 0.0);
-        tr.push(TraceSegment { start: t(10), end: t(50), amplitude_v: 0.3, tag: tag(0) });
-        tr.push(TraceSegment { start: t(30), end: t(80), amplitude_v: 0.4, tag: tag(1) });
+        tr.push(TraceSegment {
+            start: t(10),
+            end: t(50),
+            amplitude_v: 0.3,
+            tag: tag(0),
+        });
+        tr.push(TraceSegment {
+            start: t(30),
+            end: t(80),
+            amplitude_v: 0.4,
+            tag: tag(1),
+        });
         assert_eq!(tr.envelope_at(t(20)), 0.3);
         assert!((tr.envelope_at(t(40)) - 0.5).abs() < 1e-12); // sqrt(0.09+0.16)
         assert_eq!(tr.envelope_at(t(60)), 0.4);
@@ -180,7 +208,12 @@ mod tests {
     #[test]
     fn sampling_produces_expected_count_and_bounds() {
         let mut tr = SignalTrace::new(t(0), t(1000), 0.005);
-        tr.push(TraceSegment { start: t(100), end: t(300), amplitude_v: 0.5, tag: tag(0) });
+        tr.push(TraceSegment {
+            start: t(100),
+            end: t(300),
+            amplitude_v: 0.5,
+            tag: tag(0),
+        });
         let mut rng = SimRng::root(1).stream("sample");
         let (period, samples) = tr.sample(1e8, &mut rng);
         assert_eq!(samples.len(), 100_000); // 1 ms at 100 MS/s
@@ -197,7 +230,12 @@ mod tests {
     #[test]
     fn sampling_is_reproducible() {
         let mut tr = SignalTrace::new(t(0), t(100), 0.01);
-        tr.push(TraceSegment { start: t(10), end: t(90), amplitude_v: 0.2, tag: tag(0) });
+        tr.push(TraceSegment {
+            start: t(10),
+            end: t(90),
+            amplitude_v: 0.2,
+            tag: tag(0),
+        });
         let (_, a) = tr.sample(1e7, &mut SimRng::root(5).stream("s"));
         let (_, b) = tr.sample(1e7, &mut SimRng::root(5).stream("s"));
         assert_eq!(a, b);
@@ -206,8 +244,18 @@ mod tests {
     #[test]
     fn ground_truth_busy_merges() {
         let mut tr = SignalTrace::new(t(0), t(100), 0.0);
-        tr.push(TraceSegment { start: t(10), end: t(30), amplitude_v: 0.1, tag: tag(0) });
-        tr.push(TraceSegment { start: t(20), end: t(40), amplitude_v: 0.1, tag: tag(1) });
+        tr.push(TraceSegment {
+            start: t(10),
+            end: t(30),
+            amplitude_v: 0.1,
+            tag: tag(0),
+        });
+        tr.push(TraceSegment {
+            start: t(20),
+            end: t(40),
+            amplitude_v: 0.1,
+            tag: tag(1),
+        });
         let busy = tr.ground_truth_busy();
         assert!((busy.utilization(t(0), t(100)) - 0.3).abs() < 1e-9);
     }

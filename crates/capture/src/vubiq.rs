@@ -44,7 +44,10 @@ impl VubiqReceiver {
 
     /// The protocol-analysis configuration: open waveguide.
     pub fn with_waveguide() -> VubiqReceiver {
-        VubiqReceiver { antenna: mmwave_phy::open_waveguide(), ..VubiqReceiver::with_horn() }
+        VubiqReceiver {
+            antenna: mmwave_phy::open_waveguide(),
+            ..VubiqReceiver::with_horn()
+        }
     }
 
     /// Convert incident power (dBm, already antenna-weighted) to scope
@@ -80,7 +83,12 @@ impl VubiqReceiver {
         // anyway — the detector is the judge of visibility, not the
         // front end.
         let amplitude_v = self.power_to_volts(incident_dbm);
-        trace.push(TraceSegment { start, end, amplitude_v, tag });
+        trace.push(TraceSegment {
+            start,
+            end,
+            amplitude_v,
+            tag,
+        });
     }
 }
 
@@ -132,7 +140,10 @@ mod tests {
             SimTime::from_micros(10),
             SimTime::from_micros(20),
             -45.0,
-            SegmentTag { source: 3, class: 1 },
+            SegmentTag {
+                source: 3,
+                class: 1,
+            },
         );
         assert_eq!(tr.segments().len(), 1);
         assert!((tr.segments()[0].amplitude_v - 0.5).abs() < 1e-12);

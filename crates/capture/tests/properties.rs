@@ -17,7 +17,13 @@ const CASES: u64 = 64;
 fn gen_frames(r: &mut SimRng) -> Vec<(u64, u64, f64)> {
     let n = (r.next_u64() % 25) as usize;
     (0..n)
-        .map(|_| (r.next_u64() % 900, 2 + r.next_u64() % 28, r.uniform(0.1, 0.6)))
+        .map(|_| {
+            (
+                r.next_u64() % 900,
+                2 + r.next_u64() % 28,
+                r.uniform(0.1, 0.6),
+            )
+        })
         .collect()
 }
 
@@ -28,7 +34,10 @@ fn build_trace(frames: &[(u64, u64, f64)]) -> SignalTrace {
             start: SimTime::from_micros(s),
             end: SimTime::from_micros(s + d),
             amplitude_v: a,
-            tag: SegmentTag { source: i % 3, class: 1 },
+            tag: SegmentTag {
+                source: i % 3,
+                class: 1,
+            },
         });
     }
     tr
@@ -46,17 +55,30 @@ fn detector_contract() {
         let tr = build_trace(&frames);
         let mut rng = SimRng::root(seed).stream("prop");
         let (period, samples) = tr.sample(1e8, &mut rng);
-        let det =
-            detect_frames(&samples, period, SimTime::ZERO, tr.noise_rms_v, &DetectorConfig::default());
+        let det = detect_frames(
+            &samples,
+            period,
+            SimTime::ZERO,
+            tr.noise_rms_v,
+            &DetectorConfig::default(),
+        );
         for w in det.windows(2) {
-            assert!(w[0].end <= w[1].start, "case {case}: overlapping detections");
+            assert!(
+                w[0].end <= w[1].start,
+                "case {case}: overlapping detections"
+            );
         }
         for f in &det {
-            assert!(f.start >= SimTime::ZERO && f.end <= SimTime::from_millis(1), "case {case}");
+            assert!(
+                f.start >= SimTime::ZERO && f.end <= SimTime::from_millis(1),
+                "case {case}"
+            );
             assert!(f.end > f.start, "case {case}");
             assert!(f.mean_amplitude_v >= 0.0, "case {case}");
         }
-        let truth = tr.ground_truth_busy().busy_within(SimTime::ZERO, SimTime::from_millis(1));
+        let truth = tr
+            .ground_truth_busy()
+            .busy_within(SimTime::ZERO, SimTime::from_millis(1));
         let detected: u64 = det.iter().map(|f| f.duration().as_nanos()).sum();
         // Slack: merging gaps ≤ 600 ns between frames plus edge smearing.
         let slack = 2_000 * (frames.len() as u64 + 1);
@@ -79,7 +101,10 @@ fn utilization_monotone_in_threshold() {
         for thr in [0.0, 0.1, 0.2, 0.4, 0.7] {
             let u = utilization(&tr, thr);
             assert!((0.0..=1.0).contains(&u), "case {case}");
-            assert!(u <= last + 1e-12, "case {case}: utilization rose with threshold");
+            assert!(
+                u <= last + 1e-12,
+                "case {case}: utilization rose with threshold"
+            );
             last = u;
         }
     }
@@ -129,8 +154,13 @@ fn long_fraction_monotone() {
         let tr = build_trace(&frames);
         let mut rng = SimRng::root(1).stream("prop2");
         let (period, samples) = tr.sample(1e8, &mut rng);
-        let det =
-            detect_frames(&samples, period, SimTime::ZERO, tr.noise_rms_v, &DetectorConfig::default());
+        let det = detect_frames(
+            &samples,
+            period,
+            SimTime::ZERO,
+            tr.noise_rms_v,
+            &DetectorConfig::default(),
+        );
         let mut last = 0.0;
         for boundary_us in [30.0, 20.0, 10.0, 5.0, 1.0] {
             let frac = long_frame_fraction(&det, SimDuration::from_micros_f64(boundary_us));

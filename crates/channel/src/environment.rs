@@ -119,7 +119,11 @@ mod tests {
         // drop distance by metres (≈ 4–5 dB of spread).
         let rng = SimRng::root(7);
         let offsets: Vec<f64> = (0..200)
-            .map(|i| Environment::new(Room::open_space()).with_atmosphere(&rng, i).extra_loss_db)
+            .map(|i| {
+                Environment::new(Room::open_space())
+                    .with_atmosphere(&rng, i)
+                    .extra_loss_db
+            })
             .collect();
         let lo = offsets.iter().cloned().fold(f64::MAX, f64::min);
         let hi = offsets.iter().cloned().fold(f64::MIN, f64::max);

@@ -41,7 +41,14 @@ impl Ar1Fading {
     ) -> Ar1Fading {
         assert!(sigma_db >= 0.0 && !tick.is_zero());
         let rho = (-(tick.as_secs_f64() / correlation_time.as_secs_f64())).exp();
-        Ar1Fading { level_db: 0.0, sigma_db, rho, tick, last_step: SimTime::ZERO, rng }
+        Ar1Fading {
+            level_db: 0.0,
+            sigma_db,
+            rho,
+            tick,
+            last_step: SimTime::ZERO,
+            rng,
+        }
     }
 
     /// Typical link fading for a static indoor 60 GHz link: σ = 1.2 dB,
@@ -49,7 +56,12 @@ impl Ar1Fading {
     /// the environment wobble even a "static" link on this time scale —
     /// compare the fluctuations of Figs. 12/23).
     pub fn indoor_default(rng: SimRng) -> Ar1Fading {
-        Ar1Fading::new(rng, 1.2, SimDuration::from_secs(6), SimDuration::from_secs(1))
+        Ar1Fading::new(
+            rng,
+            1.2,
+            SimDuration::from_secs(6),
+            SimDuration::from_secs(1),
+        )
     }
 
     /// Gain offset (dB) at simulated time `now`; steps the process forward
@@ -122,9 +134,14 @@ impl PerturbationProcess {
         while self.next_at <= now {
             let fresh = self.rng.normal(0.0, self.shift_sigma_db);
             self.current_shift_db = 0.5 * self.current_shift_db + fresh;
-            events.push(Perturbation { at: self.next_at, shift_db: self.current_shift_db });
+            events.push(Perturbation {
+                at: self.next_at,
+                shift_db: self.current_shift_db,
+            });
             let gap = SimDuration::from_secs_f64(
-                self.rng.exponential(self.mean_interval.as_secs_f64()).max(1.0),
+                self.rng
+                    .exponential(self.mean_interval.as_secs_f64())
+                    .max(1.0),
             );
             self.next_at += gap;
         }
@@ -206,7 +223,11 @@ mod tests {
         let mut p = PerturbationProcess::new(rng(), SimDuration::from_secs(60), 2.0);
         let events = p.poll(SimTime::from_secs(60 * 60));
         // One hour at one event per minute: expect ~60, accept wide band.
-        assert!((30..=100).contains(&events.len()), "{} events", events.len());
+        assert!(
+            (30..=100).contains(&events.len()),
+            "{} events",
+            events.len()
+        );
         // Events are time-ordered.
         for w in events.windows(2) {
             assert!(w[1].at > w[0].at);

@@ -56,6 +56,7 @@ use mmwave_phy::{db_to_lin, path_loss_db, AntennaPattern, Codebook};
 use mmwave_sim::metrics;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Opaque pattern identity *within one device*. The cache never inspects
 /// patterns; callers assign stable ids (e.g. sector index, with a flag bit
@@ -88,6 +89,42 @@ pub fn set_default_bypass(bypass: bool) {
 /// Current process-wide default for newly constructed caches.
 pub fn default_bypass() -> bool {
     DEFAULT_BYPASS.load(Ordering::SeqCst)
+}
+
+/// Serializes scoped overrides of the process-wide default mode so
+/// concurrent tests in one binary cannot observe each other's override.
+static DEFAULT_BYPASS_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII override of the process-wide default cache mode.
+///
+/// While the scope is alive, every other [`scoped_default_bypass`] caller
+/// in the process blocks, and dropping it restores the flag value observed
+/// at acquisition. Tests flipping the default MUST go through this guard
+/// rather than raw [`set_default_bypass`]; `cargo test` runs tests from one
+/// binary concurrently, and an unscoped flip would poison whichever test
+/// constructs a [`LinkGainCache`] in the wrong window.
+pub struct DefaultBypassScope {
+    prev: bool,
+    _excl: MutexGuard<'static, ()>,
+}
+
+impl Drop for DefaultBypassScope {
+    fn drop(&mut self) {
+        set_default_bypass(self.prev);
+    }
+}
+
+/// Override the process-wide default cache mode until the returned guard
+/// drops. Blocks while any other scope is alive; tolerates a poisoned lock
+/// (a panicking test holding the scope must not cascade into every later
+/// test that needs it).
+pub fn scoped_default_bypass(bypass: bool) -> DefaultBypassScope {
+    let excl = DEFAULT_BYPASS_LOCK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let prev = default_bypass();
+    set_default_bypass(bypass);
+    DefaultBypassScope { prev, _excl: excl }
 }
 
 /// Local cache-activity counters (the same events also stream into
@@ -191,7 +228,11 @@ impl Default for LinkGainCache {
 impl LinkGainCache {
     /// A cache in the process-wide default mode (see [`set_default_bypass`]).
     pub fn new() -> LinkGainCache {
-        let mode = if default_bypass() { CacheMode::Bypass } else { CacheMode::Cached };
+        let mode = if default_bypass() {
+            CacheMode::Bypass
+        } else {
+            CacheMode::Cached
+        };
         Self::with_mode(mode)
     }
 
@@ -281,7 +322,11 @@ impl LinkGainCache {
         debug_assert_ne!(src_idx, dst_idx, "self-link has no radiometric meaning");
         self.ensure_device(src_idx.max(dst_idx));
         let src_is_lo = src_idx < dst_idx;
-        let (lo, hi) = if src_is_lo { (src_idx, dst_idx) } else { (dst_idx, src_idx) };
+        let (lo, hi) = if src_is_lo {
+            (src_idx, dst_idx)
+        } else {
+            (dst_idx, src_idx)
+        };
         let (lo_node, hi_node) = if src_is_lo { (src, dst) } else { (dst, src) };
 
         self.ensure_pair(env, lo, lo_node, hi, hi_node);
@@ -309,12 +354,32 @@ impl LinkGainCache {
 
         let (lo_orient, hi_orient) = (self.orient_gen[lo], self.orient_gen[hi]);
         let entry = self.pairs.get_mut(&(lo, hi)).expect("pair interned above");
-        let (lo_pat, hi_pat) =
-            if src_is_lo { (src_pattern, dst_pattern) } else { (dst_pattern, src_pattern) };
-        refresh_resolution(&mut entry.lo_res, &entry.paths, lo_node, lo_pat, lo_orient, Side::Lo);
-        refresh_resolution(&mut entry.hi_res, &entry.paths, hi_node, hi_pat, hi_orient, Side::Hi);
-        let (src_res, dst_res) =
-            if src_is_lo { (&entry.lo_res, &entry.hi_res) } else { (&entry.hi_res, &entry.lo_res) };
+        let (lo_pat, hi_pat) = if src_is_lo {
+            (src_pattern, dst_pattern)
+        } else {
+            (dst_pattern, src_pattern)
+        };
+        refresh_resolution(
+            &mut entry.lo_res,
+            &entry.paths,
+            lo_node,
+            lo_pat,
+            lo_orient,
+            Side::Lo,
+        );
+        refresh_resolution(
+            &mut entry.hi_res,
+            &entry.paths,
+            hi_node,
+            hi_pat,
+            hi_orient,
+            Side::Hi,
+        );
+        let (src_res, dst_res) = if src_is_lo {
+            (&entry.lo_res, &entry.hi_res)
+        } else {
+            (&entry.hi_res, &entry.lo_res)
+        };
         let lin = weighted_sum(&entry.paths, src_res, src_pattern, dst_res, dst_pattern);
 
         self.gains.insert(gkey, GainEntry { stamp, lin });
@@ -340,14 +405,22 @@ impl LinkGainCache {
         debug_assert_ne!(a_idx, b_idx, "self-link has no radiometric meaning");
         self.ensure_device(a_idx.max(b_idx));
         let a_is_lo = a_idx < b_idx;
-        let (lo, hi) = if a_is_lo { (a_idx, b_idx) } else { (b_idx, a_idx) };
+        let (lo, hi) = if a_is_lo {
+            (a_idx, b_idx)
+        } else {
+            (b_idx, a_idx)
+        };
         let (lo_node, hi_node) = if a_is_lo { (a, b) } else { (b, a) };
         let (cb_lo, cb_hi) = if a_is_lo { (cb_a, cb_b) } else { (cb_b, cb_a) };
 
         self.ensure_pair(env, lo, lo_node, hi, hi_node);
 
-        let stamp: Stamp =
-            (self.pos_gen[lo], self.orient_gen[lo], self.pos_gen[hi], self.orient_gen[hi]);
+        let stamp: Stamp = (
+            self.pos_gen[lo],
+            self.orient_gen[lo],
+            self.pos_gen[hi],
+            self.orient_gen[hi],
+        );
         let hit = matches!(
             self.tables.get(&(lo, hi)),
             Some(t) if t.stamp == stamp && t.n_lo == cb_lo.len() && t.n_hi == cb_hi.len()
@@ -358,7 +431,8 @@ impl LinkGainCache {
             match self.mode {
                 CacheMode::Cached => self.tables[&(lo, hi)].best,
                 CacheMode::Bypass => {
-                    self.build_table(lo, lo_node, cb_lo, hi, hi_node, cb_hi, stamp).best
+                    self.build_table(lo, lo_node, cb_lo, hi, hi_node, cb_hi, stamp)
+                        .best
                 }
             }
         } else {
@@ -434,11 +508,25 @@ impl LinkGainCache {
         // count (all sectors of one codebook share a resolution).
         if !cb_lo.is_empty() {
             let pat = &cb_lo.sector(0).pattern;
-            refresh_resolution(&mut entry.lo_res, &entry.paths, lo_node, pat, lo_orient, Side::Lo);
+            refresh_resolution(
+                &mut entry.lo_res,
+                &entry.paths,
+                lo_node,
+                pat,
+                lo_orient,
+                Side::Lo,
+            );
         }
         if !cb_hi.is_empty() {
             let pat = &cb_hi.sector(0).pattern;
-            refresh_resolution(&mut entry.hi_res, &entry.paths, hi_node, pat, hi_orient, Side::Hi);
+            refresh_resolution(
+                &mut entry.hi_res,
+                &entry.paths,
+                hi_node,
+                pat,
+                hi_orient,
+                Side::Hi,
+            );
         }
         // Per-sector linear gains along each path, per endpoint.
         let g_lo = sector_gains(cb_lo, &entry.lo_res, lo_node, &entry.paths, Side::Lo);
@@ -464,13 +552,23 @@ impl LinkGainCache {
         if best.2 == f64::NEG_INFINITY {
             best = (0, 0, 0.0);
         }
-        TableEntry { stamp, n_lo, n_hi, lin, best }
+        TableEntry {
+            stamp,
+            n_lo,
+            n_hi,
+            lin,
+            best,
+        }
     }
 
     /// The memoized sector-pair table (canonical orientation) if one is
     /// current for devices `(a_idx, b_idx)`; for inspection and tests.
     pub fn sector_table_lin(&self, a_idx: usize, b_idx: usize) -> Option<&[f64]> {
-        let (lo, hi) = if a_idx < b_idx { (a_idx, b_idx) } else { (b_idx, a_idx) };
+        let (lo, hi) = if a_idx < b_idx {
+            (a_idx, b_idx)
+        } else {
+            (b_idx, a_idx)
+        };
         self.tables.get(&(lo, hi)).map(|t| t.lin.as_slice())
     }
 }
@@ -602,12 +700,33 @@ mod tests {
         let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
         let pa = pat(18.0, 12.0);
         let pb = pat(14.0, 20.0);
-        let fwd =
-            cache.link_gain_lin(&env, &nodes[0], 0, PatId(0), &pa, &nodes[1], 1, PatId(1), &pb);
-        let rev =
-            cache.link_gain_lin(&env, &nodes[1], 1, PatId(1), &pb, &nodes[0], 0, PatId(0), &pa);
+        let fwd = cache.link_gain_lin(
+            &env,
+            &nodes[0],
+            0,
+            PatId(0),
+            &pa,
+            &nodes[1],
+            1,
+            PatId(1),
+            &pb,
+        );
+        let rev = cache.link_gain_lin(
+            &env,
+            &nodes[1],
+            1,
+            PatId(1),
+            &pb,
+            &nodes[0],
+            0,
+            PatId(0),
+            &pa,
+        );
         let reference = brute_force(&env, &nodes[0], &pa, &nodes[1], &pb);
-        assert!((fwd / reference - 1.0).abs() < 1e-9, "fwd {fwd} ref {reference}");
+        assert!(
+            (fwd / reference - 1.0).abs() < 1e-9,
+            "fwd {fwd} ref {reference}"
+        );
         // Reciprocity: the derived reverse view is the same physics.
         assert!((rev / fwd - 1.0).abs() < 1e-12, "rev {rev} fwd {fwd}");
         // And only one trace happened for the pair.
@@ -636,9 +755,7 @@ mod tests {
         let p = pat(16.0, 15.0);
         // Warm all three pairs.
         for (s, d) in [(0usize, 1usize), (0, 2), (1, 2)] {
-            cache.link_gain_lin(
-                &env, &nodes[s], s, PatId(0), &p, &nodes[d], d, PatId(0), &p,
-            );
+            cache.link_gain_lin(&env, &nodes[s], s, PatId(0), &p, &nodes[d], d, PatId(0), &p);
         }
         assert_eq!(cache.stats().path_traces, 3);
         assert_eq!(cache.stats().gain_misses, 3);
@@ -648,13 +765,11 @@ mod tests {
         let mut rotated = nodes[0].clone();
         rotated.orientation = rotated.orientation + Angle::from_degrees(40.0);
         let before = cache.stats();
-        let stale = cache.link_gain_lin(
-            &env, &rotated, 0, PatId(0), &p, &nodes[1], 1, PatId(0), &p,
-        );
+        let stale =
+            cache.link_gain_lin(&env, &rotated, 0, PatId(0), &p, &nodes[1], 1, PatId(0), &p);
         cache.link_gain_lin(&env, &rotated, 0, PatId(0), &p, &nodes[2], 2, PatId(0), &p);
-        let fresh_pair = cache.link_gain_lin(
-            &env, &nodes[1], 1, PatId(0), &p, &nodes[2], 2, PatId(0), &p,
-        );
+        let fresh_pair =
+            cache.link_gain_lin(&env, &nodes[1], 1, PatId(0), &p, &nodes[2], 2, PatId(0), &p);
         let after = cache.stats();
         // Pairs touching device 0 recomputed; the (1,2) pair was a pure hit.
         assert_eq!(after.gain_misses - before.gain_misses, 2);
@@ -673,16 +788,12 @@ mod tests {
         let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
         let p = pat(16.0, 15.0);
         for (s, d) in [(0usize, 1usize), (0, 2), (1, 2)] {
-            cache.link_gain_lin(
-                &env, &nodes[s], s, PatId(0), &p, &nodes[d], d, PatId(0), &p,
-            );
+            cache.link_gain_lin(&env, &nodes[s], s, PatId(0), &p, &nodes[d], d, PatId(0), &p);
         }
         cache.bump_position(1);
         let mut moved = nodes[1].clone();
         moved.position = Point::new(5.8, 1.2);
-        let gain = cache.link_gain_lin(
-            &env, &nodes[0], 0, PatId(0), &p, &moved, 1, PatId(0), &p,
-        );
+        let gain = cache.link_gain_lin(&env, &nodes[0], 0, PatId(0), &p, &moved, 1, PatId(0), &p);
         cache.link_gain_lin(&env, &moved, 1, PatId(0), &p, &nodes[2], 2, PatId(0), &p);
         cache.link_gain_lin(&env, &nodes[0], 0, PatId(0), &p, &nodes[2], 2, PatId(0), &p);
         let s = cache.stats();
@@ -705,15 +816,21 @@ mod tests {
             let mut out = Vec::new();
             for _ in 0..3 {
                 out.push(cache.link_gain_lin(
-                    &env, &nodes[0], 0, PatId(0), &p, &nodes[1], 1, PatId(1), &q,
+                    &env,
+                    &nodes[0],
+                    0,
+                    PatId(0),
+                    &p,
+                    &nodes[1],
+                    1,
+                    PatId(1),
+                    &q,
                 ));
             }
             cache.bump_orientation(1);
             let mut rot = nodes[1].clone();
             rot.orientation = rot.orientation + Angle::from_degrees(-15.0);
-            out.push(cache.link_gain_lin(
-                &env, &nodes[0], 0, PatId(0), &p, &rot, 1, PatId(1), &q,
-            ));
+            out.push(cache.link_gain_lin(&env, &nodes[0], 0, PatId(0), &p, &rot, 1, PatId(1), &q));
             (out, cache.stats())
         };
         let (cached_vals, cached_stats) = run(CacheMode::Cached);
@@ -733,8 +850,7 @@ mod tests {
         let cb_b = Codebook::directional(&array_b, 9, 50f64.to_radians());
 
         let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
-        let (sa, sb, lin) =
-            cache.best_sector_pair(&env, &nodes[0], 0, &cb_a, &nodes[1], 1, &cb_b);
+        let (sa, sb, lin) = cache.best_sector_pair(&env, &nodes[0], 0, &cb_a, &nodes[1], 1, &cb_b);
 
         // Exhaustive unmemoized sweep.
         let mut best = (0usize, 0usize, f64::NEG_INFINITY);
@@ -786,12 +902,17 @@ mod tests {
 
     #[test]
     fn default_mode_follows_global_flag() {
-        // Runs in one test binary alongside other tests: restore the flag.
-        assert!(!default_bypass(), "tests assume the flag starts clear");
-        set_default_bypass(true);
-        let c = LinkGainCache::new();
-        set_default_bypass(false);
-        assert_eq!(c.mode(), CacheMode::Bypass);
+        let outer = scoped_default_bypass(true);
+        assert_eq!(LinkGainCache::new().mode(), CacheMode::Bypass);
+        {
+            // Nested scopes would deadlock (the lock is held), so exercise
+            // restore-on-drop sequentially instead.
+            drop(outer);
+            let _inner = scoped_default_bypass(true);
+            assert_eq!(LinkGainCache::new().mode(), CacheMode::Bypass);
+        }
+        // Both scopes dropped: the default is restored.
+        assert!(!default_bypass(), "scope must restore the previous value");
         assert_eq!(LinkGainCache::new().mode(), CacheMode::Cached);
     }
 
@@ -804,6 +925,9 @@ mod tests {
         let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
         let g = cache.link_gain_lin(&env, &a, 0, PatId(0), &p, &b, 1, PatId(0), &p);
         assert!(g > 0.0);
-        assert!(lin_to_db(g) < 0.0, "a 1 m 60 GHz link has negative net gain");
+        assert!(
+            lin_to_db(g) < 0.0,
+            "a 1 m 60 GHz link has negative net gain"
+        );
     }
 }

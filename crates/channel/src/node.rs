@@ -33,7 +33,12 @@ pub struct RadioNode {
 impl RadioNode {
     /// Construct a node.
     pub fn new(id: usize, label: impl Into<String>, position: Point, orientation: Angle) -> Self {
-        RadioNode { id: NodeId(id), label: label.into(), position, orientation }
+        RadioNode {
+            id: NodeId(id),
+            label: label.into(),
+            position,
+            orientation,
+        }
     }
 
     /// Convert a world azimuth into this node's array-local azimuth.
@@ -89,7 +94,12 @@ mod tests {
         let mut n = RadioNode::new(0, "a", Point::new(0.0, 0.0), Angle::ZERO);
         n.face(Point::new(-3.0, 0.0));
         assert!((n.orientation.degrees().abs() - 180.0).abs() < 1e-9);
-        assert!(n.to_local(n.azimuth_to(Point::new(-3.0, 0.0))).radians().abs() < 1e-12);
+        assert!(
+            n.to_local(n.azimuth_to(Point::new(-3.0, 0.0)))
+                .radians()
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -107,6 +117,9 @@ mod tests {
         let n = RadioNode::new(0, "a", Point::ORIGIN, Angle::from_degrees(10.0));
         let r = n.rotated(Angle::from_degrees(70.0));
         assert!((r.orientation.degrees() - 80.0).abs() < 1e-9);
-        assert!((n.orientation.degrees() - 10.0).abs() < 1e-9, "original untouched");
+        assert!(
+            (n.orientation.degrees() - 10.0).abs() < 1e-9,
+            "original untouched"
+        );
     }
 }

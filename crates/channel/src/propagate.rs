@@ -93,8 +93,8 @@ pub fn incident_from_direction(
 /// SINR in dB: `serving` against the power sum of `interferers` plus the
 /// thermal noise floor.
 pub fn sinr_db(serving_dbm: f64, interferers_dbm: &[f64], noise_floor_dbm: f64) -> f64 {
-    let denom = db_to_lin(noise_floor_dbm)
-        + interferers_dbm.iter().map(|&p| db_to_lin(p)).sum::<f64>();
+    let denom =
+        db_to_lin(noise_floor_dbm) + interferers_dbm.iter().map(|&p| db_to_lin(p)).sum::<f64>();
     serving_dbm - lin_to_db(denom)
 }
 
@@ -199,7 +199,12 @@ mod tests {
         let room = Room::rectangular(
             8.0,
             4.0,
-            (Material::Metal, Material::Metal, Material::Metal, Material::Metal),
+            (
+                Material::Metal,
+                Material::Metal,
+                Material::Metal,
+                Material::Metal,
+            ),
         );
         let env = Environment::new(room);
         let tx = RadioNode::new(0, "tx", Point::new(1.0, 2.0), Angle::ZERO);
@@ -208,7 +213,10 @@ mod tests {
         assert!(st.paths.len() > 3);
         let dom = st.dominant().expect("dominant").rx_dbm;
         assert!(st.total_dbm > dom);
-        assert!(st.total_dbm < dom + 10.0, "reflections cannot dwarf LoS here");
+        assert!(
+            st.total_dbm < dom + 10.0,
+            "reflections cannot dwarf LoS here"
+        );
         // Sorted descending.
         for w in st.paths.windows(2) {
             assert!(w[0].rx_dbm >= w[1].rx_dbm);
@@ -234,8 +242,14 @@ mod tests {
         let tx = RadioNode::new(0, "tx", Point::new(5.0, 0.0), Angle::from_degrees(180.0));
         let probe = Point::new(0.0, 0.0);
         let toward = incident_from_direction(&env, &tx, &iso(), probe, &horn_25dbi(), Angle::ZERO);
-        let away =
-            incident_from_direction(&env, &tx, &iso(), probe, &horn_25dbi(), Angle::from_degrees(120.0));
+        let away = incident_from_direction(
+            &env,
+            &tx,
+            &iso(),
+            probe,
+            &horn_25dbi(),
+            Angle::from_degrees(120.0),
+        );
         assert!(toward > away + 30.0, "toward {toward} away {away}");
     }
 }

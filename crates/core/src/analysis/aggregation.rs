@@ -40,14 +40,17 @@ pub struct AggregationSummary {
 /// and the peak, mirroring §4.1's 171 → 934 Mb/s comparison. Returns
 /// `None` if no point saturates the medium.
 pub fn summarize(points: &[SweepPoint]) -> Option<AggregationSummary> {
-    let saturated: Vec<&SweepPoint> =
-        points.iter().filter(|p| p.medium_usage > 0.9).collect();
-    let base = saturated
-        .iter()
-        .min_by(|a, b| a.throughput_mbps.partial_cmp(&b.throughput_mbps).expect("finite"))?;
-    let peak = saturated
-        .iter()
-        .max_by(|a, b| a.throughput_mbps.partial_cmp(&b.throughput_mbps).expect("finite"))?;
+    let saturated: Vec<&SweepPoint> = points.iter().filter(|p| p.medium_usage > 0.9).collect();
+    let base = saturated.iter().min_by(|a, b| {
+        a.throughput_mbps
+            .partial_cmp(&b.throughput_mbps)
+            .expect("finite")
+    })?;
+    let peak = saturated.iter().max_by(|a, b| {
+        a.throughput_mbps
+            .partial_cmp(&b.throughput_mbps)
+            .expect("finite")
+    })?;
     Some(AggregationSummary {
         base_mbps: base.throughput_mbps,
         peak_mbps: peak.throughput_mbps,

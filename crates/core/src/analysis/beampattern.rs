@@ -36,7 +36,10 @@ pub fn measure_pattern(
             let look = Angle::from_radians((dut_pos - pos).angle());
             let tap = TapConfig::horn(pos, look);
             let power = mean_data_power_dbm(net, &tap, dut, from, to).unwrap_or(-120.0);
-            ScanPoint { angle: rel, power_dbm: power }
+            ScanPoint {
+                angle: rel,
+                power_dbm: power,
+            }
         })
         .collect()
 }
@@ -82,7 +85,10 @@ pub fn measure_discovery_pattern(
                     .sum();
                 lin_to_db(lin / entries.len() as f64)
             };
-            ScanPoint { angle: rel, power_dbm: power }
+            ScanPoint {
+                angle: rel,
+                power_dbm: power,
+            }
         })
         .collect()
 }
@@ -90,7 +96,10 @@ pub fn measure_discovery_pattern(
 /// Peak-normalize scan points to dB-relative-to-peak form (figure style).
 pub fn normalize(points: &[ScanPoint]) -> Vec<(Angle, f64)> {
     let peak = points.iter().map(|p| p.power_dbm).fold(f64::MIN, f64::max);
-    points.iter().map(|p| (p.angle, p.power_dbm - peak)).collect()
+    points
+        .iter()
+        .map(|p| (p.angle, p.power_dbm - peak))
+        .collect()
 }
 
 /// Half-power beamwidth (degrees) of a measured semicircle scan: widest
@@ -137,8 +146,16 @@ pub fn measured_sll_db(points: &[ScanPoint]) -> Option<f64> {
         if i >= lo && i <= hi {
             continue;
         }
-        let left = if i > 0 { points[i - 1].power_dbm } else { f64::MIN };
-        let right = if i + 1 < points.len() { points[i + 1].power_dbm } else { f64::MIN };
+        let left = if i > 0 {
+            points[i - 1].power_dbm
+        } else {
+            f64::MIN
+        };
+        let right = if i + 1 < points.len() {
+            points[i + 1].power_dbm
+        } else {
+            f64::MIN
+        };
         if p.power_dbm >= left && p.power_dbm >= right {
             let rel = p.power_dbm - peak;
             best = Some(best.map_or(rel, |b: f64| b.max(rel)));
@@ -155,7 +172,10 @@ pub fn average_scans(scans: &[Vec<ScanPoint>]) -> Vec<ScanPoint> {
     (0..n)
         .map(|i| {
             let lin: f64 = scans.iter().map(|s| db_to_lin(s[i].power_dbm)).sum();
-            ScanPoint { angle: scans[0][i].angle, power_dbm: lin_to_db(lin / scans.len() as f64) }
+            ScanPoint {
+                angle: scans[0][i].angle,
+                power_dbm: lin_to_db(lin / scans.len() as f64),
+            }
         })
         .collect()
 }

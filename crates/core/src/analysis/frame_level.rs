@@ -21,7 +21,13 @@ pub fn frame_length_cdf(net: &Net, src: usize, from: SimTime, to: SimTime) -> Cd
 
 /// Fraction of data frames longer than `boundary_us` (Fig. 10; the paper
 /// uses ≈ 5 µs as the short/long split).
-pub fn long_frame_fraction(net: &Net, src: usize, from: SimTime, to: SimTime, boundary_us: f64) -> f64 {
+pub fn long_frame_fraction(
+    net: &Net,
+    src: usize,
+    from: SimTime,
+    to: SimTime,
+    boundary_us: f64,
+) -> f64 {
     let durs = data_frame_durations_us(net, src, from, to);
     if durs.is_empty() {
         return 0.0;
@@ -82,13 +88,22 @@ impl Burst {
 /// Group the exchange on a link (both directions) into bursts. Control,
 /// data and ACK frames joined by gaps ≤ `max_gap` form one burst; beacons
 /// are excluded (they tick independently).
-pub fn bursts(net: &Net, devs: &[usize], from: SimTime, to: SimTime, max_gap: SimDuration) -> Vec<Burst> {
+pub fn bursts(
+    net: &Net,
+    devs: &[usize],
+    from: SimTime,
+    to: SimTime,
+    max_gap: SimDuration,
+) -> Vec<Burst> {
     let mut frames: Vec<&TxLogEntry> = net
         .txlog()
         .in_window(from, to)
         .filter(|e| {
             devs.contains(&e.src)
-                && matches!(e.class, FrameClass::Control | FrameClass::Data | FrameClass::Ack)
+                && matches!(
+                    e.class,
+                    FrameClass::Control | FrameClass::Data | FrameClass::Ack
+                )
         })
         .collect();
     frames.sort_by_key(|e| e.start);
@@ -100,7 +115,11 @@ pub fn bursts(net: &Net, devs: &[usize], from: SimTime, to: SimTime, max_gap: Si
                 b.end = b.end.max(e.end);
                 b.frames.push(item);
             }
-            _ => out.push(Burst { start: e.start, end: e.end, frames: vec![item] }),
+            _ => out.push(Burst {
+                start: e.start,
+                end: e.end,
+                frames: vec![item],
+            }),
         }
     }
     out
@@ -115,7 +134,11 @@ mod tests {
     fn loaded_link(seed: u64) -> (mmwave_mac::Net, usize) {
         let mut p = point_to_point(
             2.0,
-            NetConfig { seed, enable_fading: false, ..NetConfig::default() },
+            NetConfig {
+                seed,
+                enable_fading: false,
+                ..NetConfig::default()
+            },
         );
         for i in 0..100u64 {
             p.net.push_mpdu(p.dock, 1500, i);
@@ -142,7 +165,12 @@ mod tests {
         let (net, _) = loaded_link(2);
         // The 100-MPDU batch drains in ~0.5 ms: usage over the first ms is
         // high, over a later idle stretch zero.
-        let busy = medium_usage(&net, SimTime::ZERO, SimTime::from_micros(400), SimDuration::from_micros(100));
+        let busy = medium_usage(
+            &net,
+            SimTime::ZERO,
+            SimTime::from_micros(400),
+            SimDuration::from_micros(100),
+        );
         assert!(busy > 0.7, "busy {busy}");
         let idle = medium_usage(
             &net,
@@ -168,7 +196,11 @@ mod tests {
         // Every burst respects the 2 ms TXOP cap (plus slack for the
         // trailing ACK).
         for b in &bs {
-            assert!(b.duration() <= SimDuration::from_micros(2_100), "{:?}", b.duration());
+            assert!(
+                b.duration() <= SimDuration::from_micros(2_100),
+                "{:?}",
+                b.duration()
+            );
             assert!(!b.frames.is_empty());
         }
         // The first burst opens with the RTS/CTS control pair (Fig. 8).

@@ -6,7 +6,6 @@
 //! link*, the profile mixes both link directions weighted by their
 //! airtime, exactly as the paper's dwell-and-average procedure does.
 
-
 use mmwave_capture::scan::{angular_profile, AngularProfile};
 use mmwave_geom::{Angle, Point};
 use mmwave_mac::Net;
@@ -34,8 +33,7 @@ pub fn measure_profile(
     let mut airtime: HashMap<(usize, mmwave_mac::PatKey), f64> = HashMap::new();
     let mut extra: HashMap<(usize, mmwave_mac::PatKey), f64> = HashMap::new();
     for e in net.txlog().in_window(from, to) {
-        *airtime.entry((e.src, e.pattern)).or_insert(0.0) +=
-            (e.end - e.start).as_secs_f64();
+        *airtime.entry((e.src, e.pattern)).or_insert(0.0) += (e.end - e.start).as_secs_f64();
         // Control-class frames carry the boost; a (src, pattern) combo is
         // only ever used by one class in practice, so last-write wins.
         let boost = match e.class {
@@ -58,7 +56,8 @@ pub fn measure_profile(
         let tx_pattern = dev.pattern(pat);
         for path in &paths {
             let ga = dev.node.gain_toward(tx_pattern, path.departure);
-            let dbm = net.env.budget.rx_power_dbm(ga, 0.0, path) + dev.tx_power_offset_db
+            let dbm = net.env.budget.rx_power_dbm(ga, 0.0, path)
+                + dev.tx_power_offset_db
                 + extra[&(src, pat)]
                 - net.env.extra_loss_db;
             components.push((path.arrival, db_to_lin(dbm) * t / total_time.max(1e-12)));
@@ -70,9 +69,7 @@ pub fn measure_profile(
         }
         let lin: f64 = components
             .iter()
-            .map(|(arrival, base)| {
-                base * db_to_lin(horn.gain_dbi(arrival.diff(look)))
-            })
+            .map(|(arrival, base)| base * db_to_lin(horn.gain_dbi(arrival.diff(look))))
             .sum();
         lin_to_db(lin)
     })
@@ -114,8 +111,7 @@ pub fn unattributed_lobes(
         .filter(|l| l.gain_dbi >= peak - max_below_peak_db)
         .map(|l| l.direction)
         .filter(|d| {
-            d.distance(expected.toward_tx) > tolerance
-                && d.distance(expected.toward_rx) > tolerance
+            d.distance(expected.toward_tx) > tolerance && d.distance(expected.toward_rx) > tolerance
         })
         .collect()
 }
@@ -130,7 +126,11 @@ mod tests {
     fn profile_of_active_wigig_link_sees_both_endpoints() {
         let mut r = reflection_room(
             RoomSystem::Wigig,
-            NetConfig { seed: 5, enable_fading: false, ..NetConfig::default() },
+            NetConfig {
+                seed: 5,
+                enable_fading: false,
+                ..NetConfig::default()
+            },
         );
         // Load the link so data flows (laptop is the transmitter).
         for i in 0..2000u64 {
@@ -138,8 +138,7 @@ mod tests {
         }
         r.net.run_until(SimTime::from_millis(40));
         let probe = r.layout.probe('A');
-        let profile =
-            measure_profile(&r.net, probe, 120, SimTime::ZERO, SimTime::from_millis(40));
+        let profile = measure_profile(&r.net, probe, 120, SimTime::ZERO, SimTime::from_millis(40));
         let exp = expected_directions(&r.net, probe, r.tx, r.rx);
         // Lobes towards the transmitter and the receiver (§4.3: "one
         // pointing to the transmitter and one pointing to the receiver").
@@ -157,7 +156,11 @@ mod tests {
     fn expected_directions_geometry() {
         let r = reflection_room(
             RoomSystem::Wigig,
-            NetConfig { seed: 6, enable_fading: false, ..NetConfig::default() },
+            NetConfig {
+                seed: 6,
+                enable_fading: false,
+                ..NetConfig::default()
+            },
         );
         let probe = r.layout.probe('C'); // upper row, left third
         let exp = expected_directions(&r.net, probe, r.tx, r.rx);

@@ -14,7 +14,9 @@
 //!   principle: "extend the geometric approach to include up to two
 //!   reflections").
 
-use mmwave_core::analysis::reflections::{expected_directions, measure_profile, unattributed_lobes};
+use mmwave_core::analysis::reflections::{
+    expected_directions, measure_profile, unattributed_lobes,
+};
 use mmwave_core::report;
 use mmwave_core::scenarios::{self, point_to_point, RoomSystem};
 use mmwave_geom::Angle;
@@ -24,7 +26,11 @@ use mmwave_sim::time::{SimDuration, SimTime};
 use mmwave_transport::{Stack, TcpConfig};
 
 fn quiet(seed: u64) -> NetConfig {
-    NetConfig { seed, enable_fading: false, ..NetConfig::default() }
+    NetConfig {
+        seed,
+        enable_fading: false,
+        ..NetConfig::default()
+    }
 }
 
 fn ablate_phase_shifters() {
@@ -47,8 +53,9 @@ fn ablate_phase_shifters() {
                 }
                 let arr = PhasedArray::new(cfg);
                 for &deg in &steers {
-                    if let Some(sll) =
-                        arr.steered_pattern(Angle::from_degrees(deg)).side_lobe_level_db()
+                    if let Some(sll) = arr
+                        .steered_pattern(Angle::from_degrees(deg))
+                        .side_lobe_level_db()
                     {
                         acc += sll;
                         n += 1;
@@ -67,7 +74,11 @@ fn ablate_phase_shifters() {
         "{}",
         report::table(
             "Ablation 1 — phase-shifter resolution vs mean side-lobe level",
-            &["bits", "SLL, ideal elements (dB)", "SLL, calibrated errors (dB)"],
+            &[
+                "bits",
+                "SLL, ideal elements (dB)",
+                "SLL, calibrated errors (dB)"
+            ],
             &rows,
         )
     );
@@ -100,7 +111,9 @@ fn ablate_aggregation() {
         let goodput = stack
             .flow_stats(flow)
             .mean_goodput_mbps(SimTime::from_millis(300), SimTime::from_secs(1));
-        let util = stack.net.monitor_utilization(mon, SimTime::from_millis(300));
+        let util = stack
+            .net
+            .monitor_utilization(mon, SimTime::from_millis(300));
         rows.push(vec![
             format!("{max_agg}"),
             format!("{goodput:.0}"),
@@ -121,15 +134,19 @@ fn ablate_aggregation() {
 fn ablate_cs_threshold() {
     let mut rows = Vec::new();
     for thr in [-60.0, -68.0, -76.0] {
-        let mut f = scenarios::interference_floor(0.8, Angle::ZERO, NetConfig {
-            seed: 33,
-            enable_fading: false,
-            params: mmwave_mac::MacParams {
-                cs_threshold_dbm: thr,
-                ..mmwave_mac::MacParams::default()
+        let mut f = scenarios::interference_floor(
+            0.8,
+            Angle::ZERO,
+            NetConfig {
+                seed: 33,
+                enable_fading: false,
+                params: mmwave_mac::MacParams {
+                    cs_threshold_dbm: thr,
+                    ..mmwave_mac::MacParams::default()
+                },
+                ..NetConfig::default()
             },
-            ..NetConfig::default()
-        });
+        );
         let (db, lb) = (f.dock_b, f.laptop_b);
         f.net.txlog_mut().set_enabled(false);
         let mut stack = Stack::new(f.net);
@@ -150,7 +167,12 @@ fn ablate_cs_threshold() {
         "{}",
         report::table(
             "Ablation 3 — carrier-sense threshold next to a WiHD interferer (0.8 m)",
-            &["CS threshold", "goodput (Mb/s)", "retransmissions", "deferrals"],
+            &[
+                "CS threshold",
+                "goodput (Mb/s)",
+                "retransmissions",
+                "deferrals"
+            ],
             &rows,
         )
     );
@@ -179,7 +201,11 @@ fn ablate_reflection_order() {
             lobes += unattributed_lobes(&profile, &exp, 16f64.to_radians(), 1.0, 12.0).len();
             deep_lobes += unattributed_lobes(&profile, &exp, 16f64.to_radians(), 0.5, 22.0).len();
         }
-        rows.push(vec![format!("{order}"), format!("{lobes}"), format!("{deep_lobes}")]);
+        rows.push(vec![
+            format!("{order}"),
+            format!("{lobes}"),
+            format!("{deep_lobes}"),
+        ]);
     }
     println!(
         "{}",

@@ -17,12 +17,7 @@ pub type Link = (usize, usize);
 /// Predicted interference of `tx`'s transmissions at `victim_rx`, dBm,
 /// considering propagation paths up to `max_order` reflections and both
 /// ends' current (trained) patterns.
-pub fn predicted_interference_dbm(
-    net: &Net,
-    tx: usize,
-    victim_rx: usize,
-    max_order: usize,
-) -> f64 {
+pub fn predicted_interference_dbm(net: &Net, tx: usize, victim_rx: usize, max_order: usize) -> f64 {
     let tx_dev = net.device(tx);
     let rx_dev = net.device(victim_rx);
     let tx_key = match tx_dev.wigig() {
@@ -109,7 +104,11 @@ mod tests {
     use mmwave_sim::time::SimTime;
 
     fn quiet(seed: u64) -> NetConfig {
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() }
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        }
     }
 
     /// The Fig. 7 rig is the paper's own counter-example to geometry-only
@@ -123,7 +122,10 @@ mod tests {
         let blind = predicted_interference_dbm(&r.net, r.hdmi_tx, r.dock, 0);
         let aware = predicted_interference_dbm(&r.net, r.hdmi_tx, r.dock, 2);
         assert!(blind < -100.0, "direct path is shielded: {blind}");
-        assert!(aware > -72.0, "reflected interference must be visible: {aware}");
+        assert!(
+            aware > -72.0,
+            "reflected interference must be visible: {aware}"
+        );
         // And the interference is real: the fig23 experiment measures an
         // actual TCP degradation from exactly this path.
     }
@@ -149,7 +151,10 @@ mod tests {
         };
         let near = level_at(0.4);
         let far = level_at(3.0);
-        assert!(near > far, "interference must decline with offset: {near} vs {far}");
+        assert!(
+            near > far,
+            "interference must decline with offset: {near} vs {far}"
+        );
     }
 
     /// Ground-truth check: running the Fig. 7 rig, the dock's reception

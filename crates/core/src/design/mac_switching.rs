@@ -91,7 +91,11 @@ mod tests {
     use mmwave_sim::time::SimTime;
 
     fn quiet(seed: u64) -> NetConfig {
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() }
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        }
     }
 
     #[test]
@@ -109,8 +113,7 @@ mod tests {
     fn boundary_steering_selects_conservative() {
         // The Fig. 22 rotated dock: its trained sector is a boundary
         // pattern with near-0 dB side lobes.
-        let mut f =
-            interference_floor(1.5, Angle::from_degrees(50.0), quiet(2));
+        let mut f = interference_floor(1.5, Angle::from_degrees(50.0), quiet(2));
         let choice = apply_to_device(&mut f.net, f.dock_b).expect("wigig device");
         assert_eq!(choice, MacBehavior::ConservativeCsma);
         // The aligned dock A keeps reuse.

@@ -28,7 +28,10 @@ pub fn link_snr_db(net: &mut Net, dev: usize) -> Option<f64> {
 pub fn recommend_trim_db(net: &mut Net, dev: usize) -> Option<f64> {
     let snr = link_snr_db(net, dev)?;
     let w = net.device(dev).wigig()?;
-    let needed = w.adapter.current().snr_threshold_db(net.env.noise_floor_dbm());
+    let needed = w
+        .adapter
+        .current()
+        .snr_threshold_db(net.env.noise_floor_dbm());
     let excess = snr - (needed + TARGET_MARGIN_DB);
     Some((-excess).clamp(-MAX_TRIM_DB, 0.0))
 }
@@ -49,7 +52,11 @@ mod tests {
     use mmwave_sim::time::SimTime;
 
     fn quiet(seed: u64) -> NetConfig {
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() }
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        }
     }
 
     #[test]
@@ -62,7 +69,10 @@ mod tests {
         assert!(trim < -3.0, "expected a real trim, got {trim}");
         assert!(trim >= -MAX_TRIM_DB);
         let after = link_snr_db(&mut p.net, p.dock).expect("link up");
-        assert!((before + trim - after).abs() < 0.5, "trim maps 1:1 onto SNR");
+        assert!(
+            (before + trim - after).abs() < 0.5,
+            "trim maps 1:1 onto SNR"
+        );
         // The link still carries data at the same MCS.
         for i in 0..30u64 {
             p.net.push_mpdu(p.laptop, 1500, i);
@@ -93,9 +103,16 @@ mod tests {
         ));
         let laptop = p.laptop;
         let sector = p.net.device(laptop).wigig().expect("wigig").tx_sector;
-        let before = p.net.medium_rx_power_dbm(laptop, PatKey::Dir(sector), bystander);
+        let before = p
+            .net
+            .medium_rx_power_dbm(laptop, PatKey::Dir(sector), bystander);
         let trim = apply_to_device(&mut p.net, laptop).expect("wigig");
-        let after = p.net.medium_rx_power_dbm(laptop, PatKey::Dir(sector), bystander);
-        assert!((before + trim - after).abs() < 0.5, "interference drops by the trim");
+        let after = p
+            .net
+            .medium_rx_power_dbm(laptop, PatKey::Dir(sector), bystander);
+        assert!(
+            (before + trim - after).abs() < 0.5,
+            "interference drops by the trim"
+        );
     }
 }

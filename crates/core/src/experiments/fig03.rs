@@ -18,7 +18,11 @@ use mmwave_sim::time::{SimDuration, SimTime};
 pub fn run(_quick: bool, seed: u64) -> RunReport {
     let mut net = Net::new(
         Environment::new(Room::open_space()),
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() },
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        },
     );
     let dock = net.add_device(Device::wigig_dock(
         "Dock",

@@ -15,7 +15,11 @@ use mmwave_sim::time::{SimDuration, SimTime};
 pub fn run(_quick: bool, seed: u64) -> RunReport {
     let mut p = point_to_point(
         2.0,
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() },
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        },
     );
     // Steady traffic, ACK-clocked batches so several bursts form.
     for batch in 0..12u64 {
@@ -42,7 +46,10 @@ pub fn run(_quick: bool, seed: u64) -> RunReport {
     let mut checked_rts = false;
     for b in &bs {
         if b.duration() > SimDuration::from_micros(2_100) {
-            violations.push(format!("burst of {} exceeds the 2 ms TXOP cap", b.duration()));
+            violations.push(format!(
+                "burst of {} exceeds the 2 ms TXOP cap",
+                b.duration()
+            ));
         }
         if b.frames.len() >= 4 {
             // Fig. 8's anatomy: two control frames then data/ACK pairs.
@@ -94,9 +101,17 @@ pub fn run(_quick: bool, seed: u64) -> RunReport {
     ) + &format!(
         "\nbursts captured: {}   longest: {}   beacons in window: {}\n",
         bs.len(),
-        bs.iter().map(|b| b.duration()).max().unwrap_or(SimDuration::ZERO),
+        bs.iter()
+            .map(|b| b.duration())
+            .max()
+            .unwrap_or(SimDuration::ZERO),
         beacons
     );
 
-    RunReport { id: "fig08", title: "Fig. 8: Dell D5000 frame flow", output, violations }
+    RunReport {
+        id: "fig08",
+        title: "Fig. 8: Dell D5000 frame flow",
+        output,
+        violations,
+    }
 }

@@ -24,7 +24,10 @@ pub struct RateTrace {
 fn run_distance(distance_m: f64, seed: u64, minutes: u64) -> RateTrace {
     let mut p = point_to_point(
         distance_m,
-        NetConfig { seed, ..NetConfig::default() }, // fading ON: Fig. 12 needs it
+        NetConfig {
+            seed,
+            ..NetConfig::default()
+        }, // fading ON: Fig. 12 needs it
     );
     let mut samples = Vec::new();
     let mut labels: Vec<String> = Vec::new();
@@ -43,7 +46,11 @@ fn run_distance(distance_m: f64, seed: u64, minutes: u64) -> RateTrace {
             labels.push(label);
         }
     }
-    RateTrace { distance_m, samples, labels }
+    RateTrace {
+        distance_m,
+        samples,
+        labels,
+    }
 }
 
 /// Run the Fig. 12 campaign.
@@ -73,18 +80,25 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     if (mean2 - 3.85).abs() > 0.05 {
         violations.push(format!("2 m mean rate {mean2:.2} Gb/s ≠ 3.85 (16-QAM 5/8)"));
     }
-    if traces.iter().any(|t| t.samples.iter().any(|(_, r)| *r > 4.0)) {
+    if traces
+        .iter()
+        .any(|t| t.samples.iter().any(|(_, r)| *r > 4.0))
+    {
         violations.push("observed a rate above 16-QAM 5/8 — the D5000 never uses MCS 12".into());
     }
     // 8 m: QPSK-class (1.54–2.5 Gb/s).
     let (mean8, _) = stats(&traces[1]);
     if !(1.3..=2.7).contains(&mean8) {
-        violations.push(format!("8 m mean rate {mean8:.2} Gb/s outside the QPSK band"));
+        violations.push(format!(
+            "8 m mean rate {mean8:.2} Gb/s outside the QPSK band"
+        ));
     }
     // 14 m: lower and unstable.
     let (mean14, distinct14) = stats(&traces[2]);
     if mean14 >= mean8 {
-        violations.push(format!("14 m mean {mean14:.2} not below 8 m mean {mean8:.2}"));
+        violations.push(format!(
+            "14 m mean {mean14:.2} not below 8 m mean {mean8:.2}"
+        ));
     }
     if distinct14 < 2 {
         violations.push("14 m link suspiciously stable (single rate for the whole run)".into());
@@ -94,7 +108,11 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     for t in &traces {
         let pts: Vec<(f64, f64)> = t.samples.iter().step_by(3).cloned().collect();
         output.push_str(&report::series(
-            &format!("Fig. 12 — PHY rate at {} m (labels seen: {})", t.distance_m, t.labels.join(", ")),
+            &format!(
+                "Fig. 12 — PHY rate at {} m (labels seen: {})",
+                t.distance_m,
+                t.labels.join(", ")
+            ),
             "minute",
             "rate (Gb/s)",
             &pts,
@@ -102,5 +120,10 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
         output.push('\n');
     }
 
-    RunReport { id: "fig12", title: "Fig. 12: MCS with low traffic", output, violations }
+    RunReport {
+        id: "fig12",
+        title: "Fig. 12: MCS with low traffic",
+        output,
+        violations,
+    }
 }

@@ -17,7 +17,13 @@ use mmwave_transport::{Stack, TcpConfig};
 fn measure(distance_m: f64, seed: u64, run_idx: u64, secs: f64) -> f64 {
     let rng = SimRng::root(seed);
     let env = Environment::new(Room::open_space()).with_atmosphere(&rng, run_idx);
-    let mut net = Net::new(env, NetConfig { seed: seed + run_idx, ..NetConfig::default() });
+    let mut net = Net::new(
+        env,
+        NetConfig {
+            seed: seed + run_idx,
+            ..NetConfig::default()
+        },
+    );
     let dock = net.add_device(Device::wigig_dock(
         "Dock",
         Point::new(0.0, 0.0),
@@ -36,7 +42,9 @@ fn measure(distance_m: f64, seed: u64, run_idx: u64, secs: f64) -> f64 {
     let flow = stack.add_flow(TcpConfig::bulk(dock, laptop, 256 * 1024));
     let end = SimTime::from_secs_f64(secs);
     stack.run_until(end);
-    stack.flow_stats(flow).mean_goodput_mbps(SimTime::from_millis(300), end)
+    stack
+        .flow_stats(flow)
+        .mean_goodput_mbps(SimTime::from_millis(300), end)
 }
 
 /// Run the Fig. 13 campaign.
@@ -44,7 +52,13 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     let (distances, runs, secs): (Vec<f64>, u64, f64) = if quick {
         (vec![2.0, 6.0, 10.0, 13.0, 16.0, 18.0, 21.0], 4, 0.9)
     } else {
-        (vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0, 21.0], 6, 1.5)
+        (
+            vec![
+                1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0, 21.0,
+            ],
+            6,
+            1.5,
+        )
     };
     let mut rows = Vec::new();
     let mut averages = Vec::new();
@@ -70,7 +84,9 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     // Short links hit the GigE plateau (§4.1: capped near 900–934 Mb/s).
     for (d, avg) in &averages {
         if *d <= 8.0 && *avg < 820.0 {
-            violations.push(format!("{d} m average {avg:.0} Mb/s below the GigE plateau"));
+            violations.push(format!(
+                "{d} m average {avg:.0} Mb/s below the GigE plateau"
+            ));
         }
         if *avg > 960.0 {
             violations.push(format!("{d} m average {avg:.0} exceeds Gigabit Ethernet"));
@@ -79,7 +95,9 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     // Far links are dead.
     if let Some((d, avg)) = averages.iter().find(|(d, _)| *d >= 20.0) {
         if *avg > 150.0 {
-            violations.push(format!("{d} m still carries {avg:.0} Mb/s; links should break"));
+            violations.push(format!(
+                "{d} m still carries {avg:.0} Mb/s; links should break"
+            ));
         }
     }
     // Individual runs are near-bimodal in the transition region while the

@@ -93,7 +93,10 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     // almost always; brief dips allowed right after a perturbation).
     let low = samples.iter().filter(|s| s.2 < 2.0).count();
     if low * 10 > samples.len() {
-        violations.push(format!("{low}/{} samples below 2 Gb/s at 2 m", samples.len()));
+        violations.push(format!(
+            "{low}/{} samples below 2 Gb/s at 2 m",
+            samples.len()
+        ));
     }
 
     let pts: Vec<(f64, f64)> = samples.iter().step_by(6).map(|s| (s.0, s.1)).collect();

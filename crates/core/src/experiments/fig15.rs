@@ -17,7 +17,11 @@ use mmwave_sim::time::SimTime;
 pub fn run(_quick: bool, seed: u64) -> RunReport {
     let mut net = Net::new(
         Environment::new(Room::open_space()),
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() },
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        },
     );
     let tx = net.add_device(Device::wihd_source(
         "HDMI TX",
@@ -56,8 +60,8 @@ pub fn run(_quick: bool, seed: u64) -> RunReport {
         .in_window(idle.0, idle.1)
         .filter(|e| e.class == FrameClass::WihdBeacon)
         .count();
-    let acks = net.txlog().of(rx, FrameClass::Ack).count()
-        + net.txlog().of(tx, FrameClass::Ack).count();
+    let acks =
+        net.txlog().of(rx, FrameClass::Ack).count() + net.txlog().of(tx, FrameClass::Ack).count();
 
     // Data frames come in variable lengths (the last frame of a burst is a
     // remainder).
@@ -113,5 +117,10 @@ pub fn run(_quick: bool, seed: u64) -> RunReport {
         "\nstreaming: {data_active} data frames ({min_dur:.1}–{max_dur:.1} µs)   after video off: {data_idle} data frames, {beacons_idle} beacons\n",
     );
 
-    RunReport { id: "fig15", title: "Fig. 15: DVDO Air-3c WiHD frame flow", output, violations }
+    RunReport {
+        id: "fig15",
+        title: "Fig. 15: DVDO Air-3c WiHD frame flow",
+        output,
+        violations,
+    }
 }

@@ -37,7 +37,11 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     // An unassociated dock on the open range sweeps discovery frames.
     let mut net = Net::new(
         Environment::new(Room::open_space()),
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() },
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        },
     );
     let dock = net.add_device(Device::wigig_dock(
         "D5000",
@@ -79,16 +83,22 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
         ));
         output.push('\n');
         if hpbw < 20.0 {
-            violations.push(format!("sub {idx}: HPBW {hpbw:.0}° is directional, not quasi-omni"));
+            violations.push(format!(
+                "sub {idx}: HPBW {hpbw:.0}° is directional, not quasi-omni"
+            ));
         }
     }
     // §4.2: HPBW "can be as wide as 60 degrees".
     if !(40.0..=90.0).contains(&widest) {
-        violations.push(format!("widest quasi-omni HPBW {widest:.0}° (paper: up to ≈60°)"));
+        violations.push(format!(
+            "widest quasi-omni HPBW {widest:.0}° (paper: up to ≈60°)"
+        ));
     }
     // "each pattern contains several deep gaps" — require most of them to.
     if with_gaps < 3 {
-        violations.push(format!("only {with_gaps}/4 measured patterns show deep gaps"));
+        violations.push(format!(
+            "only {with_gaps}/4 measured patterns show deep gaps"
+        ));
     }
 
     RunReport {

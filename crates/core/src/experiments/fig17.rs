@@ -6,7 +6,9 @@
 //! authors needed +10 dB receiver gain — i.e. ~10 dB less link gain.
 
 use super::RunReport;
-use crate::analysis::beampattern::{measure_pattern, measured_hpbw_deg, measured_sll_db, normalize};
+use crate::analysis::beampattern::{
+    measure_pattern, measured_hpbw_deg, measured_sll_db, normalize,
+};
 use crate::report;
 use crate::scenarios::{pattern_range, PatternRange};
 use mmwave_capture::scan::ScanPoint;
@@ -17,7 +19,11 @@ use mmwave_sim::time::SimTime;
 fn run_range(rotation: Angle, seed: u64, quick: bool) -> (PatternRange, SimTime) {
     let mut r = pattern_range(
         rotation,
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() },
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        },
     );
     // Load the link in both directions so both devices emit data frames.
     let horizon = SimTime::from_millis(if quick { 15 } else { 60 });
@@ -29,7 +35,8 @@ fn run_range(rotation: Angle, seed: u64, quick: bool) -> (PatternRange, SimTime)
             i += 1;
         }
         let t = r.net.now();
-        r.net.run_until(t + mmwave_sim::time::SimDuration::from_micros(500));
+        r.net
+            .run_until(t + mmwave_sim::time::SimDuration::from_micros(500));
     }
     (r, horizon)
 }
@@ -55,8 +62,15 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     // Aligned: measure both the laptop and the dock.
     let (aligned, end) = run_range(Angle::ZERO, seed, quick);
     let facing_dut = Angle::ZERO; // DUT faces its peer along +x
-    let dock_scan =
-        measure_pattern(&aligned.net, aligned.dut, facing_dut, 3.2, n, SimTime::ZERO, end);
+    let dock_scan = measure_pattern(
+        &aligned.net,
+        aligned.dut,
+        facing_dut,
+        3.2,
+        n,
+        SimTime::ZERO,
+        end,
+    );
     let laptop_scan = measure_pattern(
         &aligned.net,
         aligned.peer,
@@ -69,8 +83,15 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
 
     // Rotated 70°: measure the dock again on the same semicircle.
     let (rotated, end_r) = run_range(Angle::from_degrees(70.0), seed + 1, quick);
-    let rot_scan =
-        measure_pattern(&rotated.net, rotated.dut, facing_dut, 3.2, n, SimTime::ZERO, end_r);
+    let rot_scan = measure_pattern(
+        &rotated.net,
+        rotated.dut,
+        facing_dut,
+        3.2,
+        n,
+        SimTime::ZERO,
+        end_r,
+    );
 
     for (name, scan) in [("laptop", &laptop_scan), ("D5000", &dock_scan)] {
         let hpbw = measured_hpbw_deg(scan);
@@ -110,7 +131,9 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     }
     // "we had to increase the receiver gain by 10 dB".
     if !(6.0..=15.0).contains(&gain_drop) {
-        violations.push(format!("rotated peak only {gain_drop:.1} dB below aligned (≈10 expected)"));
+        violations.push(format!(
+            "rotated peak only {gain_drop:.1} dB below aligned (≈10 expected)"
+        ));
     }
     // "a much higher number of side lobes".
     if strong_lobes(&rot_scan) <= strong_lobes(&dock_scan) {

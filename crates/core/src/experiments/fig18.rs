@@ -29,10 +29,18 @@ pub struct ProbeSummary {
 }
 
 /// Run the room campaign for one system; shared by Figs. 18 and 19.
-pub fn run_room(system: RoomSystem, quick: bool, seed: u64) -> (ReflectionRoom, Vec<ProbeSummary>, String) {
+pub fn run_room(
+    system: RoomSystem,
+    quick: bool,
+    seed: u64,
+) -> (ReflectionRoom, Vec<ProbeSummary>, String) {
     let mut r = reflection_room(
         system,
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() },
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        },
     );
     let horizon = SimTime::from_millis(if quick { 30 } else { 120 });
     match system {
@@ -71,7 +79,9 @@ pub fn run_room(system: RoomSystem, quick: bool, seed: u64) -> (ReflectionRoom, 
         let strongest_reflection_db = refl_dirs
             .iter()
             .map(|d| pattern.gain_dbi(*d) - peak)
-            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))));
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            });
         let tx_seen = profile.has_lobe_toward(exp.toward_tx, tol, 1.0, 20.0);
         let rx_seen = profile.has_lobe_toward(exp.toward_rx, tol, 1.0, 20.0);
         output.push_str(&report::polar(
@@ -103,10 +113,14 @@ pub fn check_room(summaries: &[ProbeSummary]) -> Vec<String> {
         violations.push(format!("only {two_plus}/6 probes show ≥2 lobes"));
     }
     // TX or RX lobe visible almost everywhere.
-    let endpoint_seen =
-        summaries.iter().filter(|s| s.tx_rx_seen.0 || s.tx_rx_seen.1).count();
+    let endpoint_seen = summaries
+        .iter()
+        .filter(|s| s.tx_rx_seen.0 || s.tx_rx_seen.1)
+        .count();
     if endpoint_seen < 5 {
-        violations.push(format!("device lobes visible at only {endpoint_seen}/6 probes"));
+        violations.push(format!(
+            "device lobes visible at only {endpoint_seen}/6 probes"
+        ));
     }
     // "a significant number of angular patterns feature additional lobes"
     let with_reflections = summaries.iter().filter(|s| s.reflection_lobes > 0).count();

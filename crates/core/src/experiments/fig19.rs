@@ -15,9 +15,8 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     let (_wihd_room, wihd, output) = run_room(RoomSystem::Wihd, quick, seed + 1);
 
     let mut violations = check_room(&wihd);
-    let refl = |s: &[super::fig18::ProbeSummary]| -> usize {
-        s.iter().map(|p| p.reflection_lobes).sum()
-    };
+    let refl =
+        |s: &[super::fig18::ProbeSummary]| -> usize { s.iter().map(|p| p.reflection_lobes).sum() };
     // §4.3: WiHD profiles "feature more and larger lobes". Lobe *counts*
     // are a noisy metric — the wider WiHD beams merge adjacent maxima into
     // single broad lobes — so the count check is loose and the *strength*

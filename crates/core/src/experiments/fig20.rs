@@ -15,7 +15,11 @@ use mmwave_transport::{Stack, TcpConfig};
 
 /// Run the Fig. 20 measurement.
 pub fn run(quick: bool, seed: u64) -> RunReport {
-    let cfg = NetConfig { seed, enable_fading: false, ..NetConfig::default() };
+    let cfg = NetConfig {
+        seed,
+        enable_fading: false,
+        ..NetConfig::default()
+    };
     let mut b = blocked_los_link(cfg.clone());
     let mut violations = Vec::new();
 
@@ -49,20 +53,33 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     }
 
     // --- TCP throughput over the reflection ---
-    let b2 = blocked_los_link(NetConfig { seed: seed + 1, ..cfg.clone() });
+    let b2 = blocked_los_link(NetConfig {
+        seed: seed + 1,
+        ..cfg.clone()
+    });
     let mut stack = Stack::new(b2.net);
     // Download direction (dock → laptop), the docking station's main use.
     let flow = stack.add_flow(TcpConfig::bulk(b2.dock, b2.laptop, 256 * 1024));
     let end = SimTime::from_secs_f64(if quick { 1.0 } else { 3.0 });
     stack.run_until(end);
-    let nlos = stack.flow_stats(flow).mean_goodput_mbps(SimTime::from_millis(300), end);
+    let nlos = stack
+        .flow_stats(flow)
+        .mean_goodput_mbps(SimTime::from_millis(300), end);
 
     // Line-of-sight reference at the same distance.
-    let p = point_to_point(4.8, NetConfig { seed: seed + 2, ..cfg });
+    let p = point_to_point(
+        4.8,
+        NetConfig {
+            seed: seed + 2,
+            ..cfg
+        },
+    );
     let mut los_stack = Stack::new(p.net);
     let los_flow = los_stack.add_flow(TcpConfig::bulk(p.dock, p.laptop, 256 * 1024));
     los_stack.run_until(end);
-    let los = los_stack.flow_stats(los_flow).mean_goodput_mbps(SimTime::from_millis(300), end);
+    let los = los_stack
+        .flow_stats(los_flow)
+        .mean_goodput_mbps(SimTime::from_millis(300), end);
 
     // §4.3: ≈550 Mb/s, "more than half of what we measure on line-of-sight
     // links".

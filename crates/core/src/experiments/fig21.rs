@@ -18,14 +18,21 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     let f = interference_floor(
         0.3,
         Angle::ZERO,
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() },
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        },
     );
     let (dock_b, laptop_b, dock_a, laptop_a) = (f.dock_b, f.laptop_b, f.dock_a, f.laptop_a);
     let mut stack = Stack::new(f.net);
     stack.add_flow(TcpConfig::bulk(dock_a, laptop_a, 128 * 1024));
     stack.add_flow(TcpConfig::bulk(dock_b, laptop_b, 128 * 1024));
     let end = SimTime::from_secs_f64(if quick { 0.5 } else { 2.0 });
-    stack.net.txlog_mut().set_window(SimTime::from_millis(100), end);
+    stack
+        .net
+        .txlog_mut()
+        .set_window(SimTime::from_millis(100), end);
     stack.run_until(end);
     let net = &stack.net;
 
@@ -47,9 +54,9 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     let mut overlapped_failures = 0;
     for e in &entries {
         if e.src == dock_b && e.class == FrameClass::Data && e.delivered == Some(false) {
-            let overlaps = entries.iter().any(|o| {
-                o.class == FrameClass::WihdData && o.start < e.end && e.start < o.end
-            });
+            let overlaps = entries
+                .iter()
+                .any(|o| o.class == FrameClass::WihdData && o.start < e.end && e.start < o.end);
             if overlaps {
                 overlapped_failures += 1;
             }

@@ -47,7 +47,11 @@ fn measure(offset_m: f64, rotation: Angle, mode: Mode, seed: u64, secs: f64) -> 
     let f = interference_floor(
         offset_m,
         rotation,
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() },
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        },
     );
     let (dock_a, laptop_a, dock_b, laptop_b, hdmi_tx) =
         (f.dock_a, f.laptop_a, f.dock_b, f.laptop_b, f.hdmi_tx);
@@ -89,8 +93,14 @@ fn measure(offset_m: f64, rotation: Angle, mode: Mode, seed: u64, secs: f64) -> 
         t += mmwave_sim::time::SimDuration::from_millis(50);
     }
     stack.run_until(end);
-    let util = stack.net.monitor_utilization(mon, SimTime::from_millis(200));
-    SweepPoint { offset_m, utilization: util, rate_gbps: rate_sum / rate_n.max(1) as f64 }
+    let util = stack
+        .net
+        .monitor_utilization(mon, SimTime::from_millis(200));
+    SweepPoint {
+        offset_m,
+        utilization: util,
+        rate_gbps: rate_sum / rate_n.max(1) as f64,
+    }
 }
 
 /// Run the Fig. 22 campaign.
@@ -118,7 +128,13 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     let mut aligned = Vec::new();
     let mut rotated = Vec::new();
     for (i, &off) in offsets.iter().enumerate() {
-        aligned.push(measure(off, Angle::ZERO, Mode::All, seed + 10 + i as u64, secs));
+        aligned.push(measure(
+            off,
+            Angle::ZERO,
+            Mode::All,
+            seed + 10 + i as u64,
+            secs,
+        ));
         rotated.push(measure(off, rot, Mode::All, seed + 40 + i as u64, secs));
     }
 
@@ -161,9 +177,7 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     }
     // The rotated dock suffers at least as much interference at its worst
     // ("at some measurement locations it reaches values of up to 100 %")…
-    let max_util = |pts: &[SweepPoint]| {
-        pts.iter().map(|p| p.utilization).fold(0.0, f64::max)
-    };
+    let max_util = |pts: &[SweepPoint]| pts.iter().map(|p| p.utilization).fold(0.0, f64::max);
     if max_util(&rotated) + 0.03 < max_util(&aligned) {
         violations.push(format!(
             "rotated peak utilization {:.0}% below aligned {:.0}%",
@@ -173,10 +187,8 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     }
     // …and "shows a strongly varying pattern" — more variable than aligned.
     let std_util = |pts: &[SweepPoint]| {
-        let m =
-            pts.iter().map(|p| p.utilization).sum::<f64>() / pts.len().max(1) as f64;
-        (pts.iter().map(|p| (p.utilization - m).powi(2)).sum::<f64>()
-            / pts.len().max(1) as f64)
+        let m = pts.iter().map(|p| p.utilization).sum::<f64>() / pts.len().max(1) as f64;
+        (pts.iter().map(|p| (p.utilization - m).powi(2)).sum::<f64>() / pts.len().max(1) as f64)
             .sqrt()
     };
     if std_util(&rotated) + 0.02 < std_util(&aligned) {
@@ -187,9 +199,8 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
         ));
     }
     // The rotated link's rate is lower (boundary beamforming).
-    let mean_rate = |pts: &[SweepPoint]| {
-        pts.iter().map(|p| p.rate_gbps).sum::<f64>() / pts.len() as f64
-    };
+    let mean_rate =
+        |pts: &[SweepPoint]| pts.iter().map(|p| p.rate_gbps).sum::<f64>() / pts.len() as f64;
     if mean_rate(&rotated) >= mean_rate(&aligned) {
         violations.push(format!(
             "rotated rate {:.2} not below aligned {:.2} Gb/s",

@@ -18,7 +18,10 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     // Fading ON: the reflected interference hovers at the dock's
     // clear-channel threshold, and the slow fading toggling it across is
     // what produces the paper's strong throughput fluctuation.
-    let r = reflector_rig(NetConfig { seed, ..NetConfig::default() });
+    let r = reflector_rig(NetConfig {
+        seed,
+        ..NetConfig::default()
+    });
     let (dock, laptop, hdmi_tx) = (r.dock, r.laptop, r.hdmi_tx);
     let mut net = r.net;
     net.txlog_mut().set_enabled(false);

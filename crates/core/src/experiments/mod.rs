@@ -19,6 +19,8 @@
 //! through function pointers, so adding an experiment is one new entry
 //! and the campaign/CLI layers pick it up untouched.
 
+pub mod churn;
+pub mod dynblock;
 pub mod fig03;
 pub mod fig08;
 pub mod fig12;
@@ -79,6 +81,10 @@ pub struct Experiment {
     pub title: &'static str,
     /// Scheduling hint: relative cost in quick mode.
     pub cost: CostTier,
+    /// Name of the physical scenario/rig this experiment runs in
+    /// ("point-to-point", "blocked-los", …). Recorded in campaign
+    /// artifacts so a run can be traced back to its geometry.
+    pub scenario: &'static str,
     /// The artifact regenerator.
     pub run: fn(quick: bool, seed: u64) -> RunReport,
 }
@@ -96,115 +102,148 @@ pub const REGISTRY: &[Experiment] = &[
         id: "table1",
         title: "Table 1: D5000 and WiHD frame periodicity",
         cost: CostTier::Fast,
+        scenario: "point-to-point",
         run: table1::run,
     },
     Experiment {
         id: "fig03",
         title: "Fig. 3: Dell D5000 device discovery frame",
         cost: CostTier::Fast,
+        scenario: "point-to-point",
         run: fig03::run,
     },
     Experiment {
         id: "fig08",
         title: "Fig. 8: Dell D5000 frame flow",
         cost: CostTier::Fast,
+        scenario: "point-to-point",
         run: fig08::run,
     },
     Experiment {
         id: "fig09",
         title: "Fig. 9: WiGig data frame length (CDF per TCP throughput)",
         cost: CostTier::Medium,
+        scenario: "point-to-point",
         run: sweep::run_fig09,
     },
     Experiment {
         id: "fig10",
         title: "Fig. 10: percentage of long frames in WiGig",
         cost: CostTier::Medium,
+        scenario: "point-to-point",
         run: sweep::run_fig10,
     },
     Experiment {
         id: "fig11",
         title: "Fig. 11: WiGig medium usage",
         cost: CostTier::Medium,
+        scenario: "point-to-point",
         run: sweep::run_fig11,
     },
     Experiment {
         id: "aggr",
         title: "§4.1/§5: aggregation gain at 60 GHz timescales",
         cost: CostTier::Medium,
+        scenario: "point-to-point",
         run: sweep::run_aggr,
     },
     Experiment {
         id: "fig12",
         title: "Fig. 12: MCS with low traffic",
         cost: CostTier::Medium,
+        scenario: "point-to-point",
         run: fig12::run,
     },
     Experiment {
         id: "fig13",
         title: "Fig. 13: throughput decrease with distance",
         cost: CostTier::Slow,
+        scenario: "point-to-point",
         run: fig13::run,
     },
     Experiment {
         id: "fig14",
         title: "Fig. 14: D5000 frame amplitudes and rate over 80 minutes",
         cost: CostTier::Slow,
+        scenario: "point-to-point",
         run: fig14::run,
     },
     Experiment {
         id: "fig15",
         title: "Fig. 15: DVDO Air-3c WiHD frame flow",
         cost: CostTier::Fast,
+        scenario: "point-to-point",
         run: fig15::run,
     },
     Experiment {
         id: "fig16",
         title: "Fig. 16: quasi omni-directional beam patterns swept by the D5000",
         cost: CostTier::Fast,
+        scenario: "pattern-range",
         run: fig16::run,
     },
     Experiment {
         id: "fig17",
         title: "Fig. 17: laptop and D5000 beam patterns (aligned and rotated 70°)",
         cost: CostTier::Fast,
+        scenario: "pattern-range",
         run: fig17::run,
     },
     Experiment {
         id: "fig18",
         title: "Fig. 18: reflections for Dell D5000 (conference room, probes A–F)",
         cost: CostTier::Fast,
+        scenario: "conference-room",
         run: fig18::run,
     },
     Experiment {
         id: "fig19",
         title: "Fig. 19: reflections for DVDO Air-3c WiHD (conference room)",
         cost: CostTier::Fast,
+        scenario: "conference-room",
         run: fig19::run,
     },
     Experiment {
         id: "fig20",
         title: "Fig. 20: angular profile and throughput with link blockage",
         cost: CostTier::Medium,
+        scenario: "blocked-los",
         run: fig20::run,
     },
     Experiment {
         id: "fig21",
         title: "Fig. 21: inter-system interference effects (collisions + carrier sensing)",
         cost: CostTier::Medium,
+        scenario: "interference-floor",
         run: fig21::run,
     },
     Experiment {
         id: "fig22",
         title: "Fig. 22: side lobe interference impact",
         cost: CostTier::Slow,
+        scenario: "interference-floor",
         run: fig22::run,
     },
     Experiment {
         id: "fig23",
         title: "Fig. 23: reflection interference impact on TCP throughput",
         cost: CostTier::Slow,
+        scenario: "reflector-rig",
         run: fig23::run,
+    },
+    Experiment {
+        id: "dynblock",
+        title: "Dynamic blockage: walking-blocker transient and MAC recovery",
+        cost: CostTier::Medium,
+        scenario: "dynamic-blocker",
+        run: dynblock::run,
+    },
+    Experiment {
+        id: "churn",
+        title: "Link churn: repeated blockage, fault bursts and retrain cadence",
+        cost: CostTier::Slow,
+        scenario: "link-churn",
+        run: churn::run,
     },
 ];
 

@@ -56,7 +56,11 @@ fn label_of(mbps: f64) -> String {
 fn run_point(seed: u64, pace_bps: Option<u64>, window: u64, secs: f64) -> PointData {
     let p = point_to_point(
         2.0,
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() },
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        },
     );
     let dock = p.dock;
     let mut stack = Stack::new(p.net);
@@ -74,8 +78,7 @@ fn run_point(seed: u64, pace_bps: Option<u64>, window: u64, secs: f64) -> PointD
     // 6 µs boundary: a lone 1500 B MPDU at MCS 11 is ≈5.1 µs ("around
     // 5 µs" in the paper); anything longer carries ≥2 MPDUs.
     let long_fraction = frame_level::long_frame_fraction(net, dock, warmup, end, 6.0);
-    let medium_usage =
-        frame_level::medium_usage(net, warmup, end, SimDuration::from_millis(1));
+    let medium_usage = frame_level::medium_usage(net, warmup, end, SimDuration::from_millis(1));
     // Dominant MCS among the dock's data frames.
     let mut counts: HashMap<u8, usize> = HashMap::new();
     for e in net.txlog().of(dock, FrameClass::Data) {
@@ -83,7 +86,11 @@ fn run_point(seed: u64, pace_bps: Option<u64>, window: u64, secs: f64) -> PointD
             *counts.entry(m).or_insert(0) += 1;
         }
     }
-    let mcs = counts.into_iter().max_by_key(|(_, c)| *c).map(|(m, _)| m).unwrap_or(0);
+    let mcs = counts
+        .into_iter()
+        .max_by_key(|(_, c)| *c)
+        .map(|(m, _)| m)
+        .unwrap_or(0);
     PointData {
         label: label_of(throughput),
         throughput_mbps: throughput,
@@ -129,7 +136,12 @@ pub fn collect(quick: bool, seed: u64) -> Vec<PointData> {
     };
     let mut points = Vec::new();
     for (i, &r) in paced.iter().enumerate() {
-        points.push(run_point(seed + i as u64, Some(r), 0, secs.max(2.0).min(if r > 1_000_000 { secs } else { 9.0 })));
+        points.push(run_point(
+            seed + i as u64,
+            Some(r),
+            0,
+            secs.max(2.0).min(if r > 1_000_000 { secs } else { 9.0 }),
+        ));
     }
     let windows: &[u64] = if quick {
         &[64 * 1024, 256 * 1024]
@@ -139,7 +151,11 @@ pub fn collect(quick: bool, seed: u64) -> Vec<PointData> {
     for (i, &w) in windows.iter().enumerate() {
         points.push(run_point(seed + 20 + i as u64, None, w, secs));
     }
-    points.sort_by(|a, b| a.throughput_mbps.partial_cmp(&b.throughput_mbps).expect("finite"));
+    points.sort_by(|a, b| {
+        a.throughput_mbps
+            .partial_cmp(&b.throughput_mbps)
+            .expect("finite")
+    });
     let after = metrics::snapshot();
     let delta = metrics::EngineCounters {
         events_popped: after.events_popped - before.events_popped,
@@ -151,6 +167,8 @@ pub fn collect(quick: bool, seed: u64) -> Vec<PointData> {
         link_gain_hits: after.link_gain_hits - before.link_gain_hits,
         link_gain_misses: after.link_gain_misses - before.link_gain_misses,
         link_gain_invalidations: after.link_gain_invalidations - before.link_gain_invalidations,
+        scenario_mutations: after.scenario_mutations - before.scenario_mutations,
+        faults_injected: after.faults_injected - before.faults_injected,
     };
     let mut guard = CACHE.lock().expect("sweep cache");
     guard
@@ -181,7 +199,11 @@ pub fn run_fig09(quick: bool, seed: u64) -> RunReport {
         output.push_str(&format!("{:>10}  {compact}\n", p.label));
         // Shape: nothing beyond ~26 µs; the kbps points are all-short.
         if cdf.max() > 26.0 {
-            violations.push(format!("{}: frame of {:.1} µs beyond the 25 µs cap", p.label, cdf.max()));
+            violations.push(format!(
+                "{}: frame of {:.1} µs beyond the 25 µs cap",
+                p.label,
+                cdf.max()
+            ));
         }
         if p.throughput_mbps < 1.0 && cdf.fraction_above(6.0) > 0.05 {
             violations.push(format!("{}: kbps point has long frames", p.label));
@@ -212,8 +234,10 @@ pub fn run_fig09(quick: bool, seed: u64) -> RunReport {
 /// Fig. 10 — percentage of long frames per throughput.
 pub fn run_fig10(quick: bool, seed: u64) -> RunReport {
     let points = collect(quick, seed);
-    let bars: Vec<(String, f64)> =
-        points.iter().map(|p| (p.label.clone(), p.long_fraction * 100.0)).collect();
+    let bars: Vec<(String, f64)> = points
+        .iter()
+        .map(|p| (p.label.clone(), p.long_fraction * 100.0))
+        .collect();
     let mut violations = Vec::new();
     // The fraction grows with throughput: ends anchored, grossly monotone.
     if let (Some(first), Some(last)) = (points.first(), points.last()) {
@@ -251,8 +275,10 @@ pub fn run_fig10(quick: bool, seed: u64) -> RunReport {
 /// Fig. 11 — windowed medium usage per throughput.
 pub fn run_fig11(quick: bool, seed: u64) -> RunReport {
     let points = collect(quick, seed);
-    let bars: Vec<(String, f64)> =
-        points.iter().map(|p| (p.label.clone(), p.medium_usage * 100.0)).collect();
+    let bars: Vec<(String, f64)> = points
+        .iter()
+        .map(|p| (p.label.clone(), p.medium_usage * 100.0))
+        .collect();
     let mut violations = Vec::new();
     for p in &points {
         if p.throughput_mbps < 1.0 && p.medium_usage > 0.10 {
@@ -302,10 +328,29 @@ pub fn run_aggr(quick: bool, seed: u64) -> RunReport {
                 "Aggregation findings (§4.1/§5)",
                 &["metric", "measured", "paper"],
                 &[
-                    vec!["gain (base → peak)".into(), format!("{:.1}× ({:.0} → {:.0} mbps)", s.gain, s.base_mbps, s.peak_mbps), "5.4× (171 → 934)".into()],
-                    vec!["max aggregation".into(), format!("{:.1} µs", s.max_aggregation_us), "≤ 25 µs".into()],
-                    vec!["constant MCS".into(), format!("{}", s.constant_mcs), "yes (16-QAM 5/8)".into()],
-                    vec!["vs 802.11ac timescale".into(), format!("{adv:.0}× shorter"), "320×".into()],
+                    vec![
+                        "gain (base → peak)".into(),
+                        format!(
+                            "{:.1}× ({:.0} → {:.0} mbps)",
+                            s.gain, s.base_mbps, s.peak_mbps
+                        ),
+                        "5.4× (171 → 934)".into(),
+                    ],
+                    vec![
+                        "max aggregation".into(),
+                        format!("{:.1} µs", s.max_aggregation_us),
+                        "≤ 25 µs".into(),
+                    ],
+                    vec![
+                        "constant MCS".into(),
+                        format!("{}", s.constant_mcs),
+                        "yes (16-QAM 5/8)".into(),
+                    ],
+                    vec![
+                        "vs 802.11ac timescale".into(),
+                        format!("{adv:.0}× shorter"),
+                        "320×".into(),
+                    ],
                 ],
             ));
             if s.gain < 3.0 {
@@ -315,7 +360,10 @@ pub fn run_aggr(quick: bool, seed: u64) -> RunReport {
                 violations.push("MCS changed across the compared points".into());
             }
             if s.max_aggregation_us > 26.0 {
-                violations.push(format!("max aggregation {:.1} µs > 25 µs", s.max_aggregation_us));
+                violations.push(format!(
+                    "max aggregation {:.1} µs > 25 µs",
+                    s.max_aggregation_us
+                ));
             }
             if adv < 250.0 {
                 violations.push(format!("timescale advantage {adv:.0}× (paper ≈ 320×)"));

@@ -19,7 +19,11 @@ use mmwave_mac::{Device, FrameClass, Net, NetConfig, PatKey};
 use mmwave_sim::time::SimTime;
 
 fn quiet(seed: u64) -> NetConfig {
-    NetConfig { seed, enable_fading: false, ..NetConfig::default() }
+    NetConfig {
+        seed,
+        enable_fading: false,
+        ..NetConfig::default()
+    }
 }
 
 fn median_interval_ms(mut starts: Vec<SimTime>) -> Option<f64> {
@@ -27,8 +31,10 @@ fn median_interval_ms(mut starts: Vec<SimTime>) -> Option<f64> {
         return None;
     }
     starts.sort();
-    let mut gaps: Vec<f64> =
-        starts.windows(2).map(|w| (w[1] - w[0]).as_millis_f64()).collect();
+    let mut gaps: Vec<f64> = starts
+        .windows(2)
+        .map(|w| (w[1] - w[0]).as_millis_f64())
+        .collect();
     gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     Some(gaps[gaps.len() / 2])
 }
@@ -62,8 +68,11 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
         .filter(|e| e.pattern == PatKey::Qo(0))
         .map(|e| e.start)
         .collect::<Vec<_>>();
-    let mut wihd_subs: Vec<SimTime> =
-        idle.txlog().of(hdmi, FrameClass::DiscoverySub).map(|e| e.start).collect();
+    let mut wihd_subs: Vec<SimTime> = idle
+        .txlog()
+        .of(hdmi, FrameClass::DiscoverySub)
+        .map(|e| e.start)
+        .collect();
     wihd_subs.sort();
     let mut wihd_disc = Vec::new();
     let mut last_end = SimTime::ZERO;
@@ -91,15 +100,29 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     ));
     paired.pair_wihd_instantly(hdmi_tx, hdmi_rx);
     paired.run_until(horizon.min(SimTime::from_millis(300)));
-    let d5000_beacons: Vec<SimTime> =
-        paired.txlog().of(p.dock, FrameClass::Beacon).map(|e| e.start).collect();
-    let wihd_beacons: Vec<SimTime> =
-        paired.txlog().of(hdmi_rx, FrameClass::WihdBeacon).map(|e| e.start).collect();
+    let d5000_beacons: Vec<SimTime> = paired
+        .txlog()
+        .of(p.dock, FrameClass::Beacon)
+        .map(|e| e.start)
+        .collect();
+    let wihd_beacons: Vec<SimTime> = paired
+        .txlog()
+        .of(hdmi_rx, FrameClass::WihdBeacon)
+        .map(|e| e.start)
+        .collect();
 
     let rows_data = [
-        ("D5000 Device Discovery Frame", median_interval_ms(d5000_disc), 102.4),
+        (
+            "D5000 Device Discovery Frame",
+            median_interval_ms(d5000_disc),
+            102.4,
+        ),
         ("D5000 Beacon Frame", median_interval_ms(d5000_beacons), 1.1),
-        ("WiHD Device Discovery Frame", median_interval_ms(wihd_disc), 20.0),
+        (
+            "WiHD Device Discovery Frame",
+            median_interval_ms(wihd_disc),
+            20.0,
+        ),
         ("WiHD Beacon Frame", median_interval_ms(wihd_beacons), 0.224),
     ];
 

@@ -29,12 +29,20 @@ pub struct TapConfig {
 impl TapConfig {
     /// A horn-equipped tap at `position` looking along `orientation`.
     pub fn horn(position: Point, orientation: Angle) -> TapConfig {
-        TapConfig { position, orientation, receiver: VubiqReceiver::with_horn() }
+        TapConfig {
+            position,
+            orientation,
+            receiver: VubiqReceiver::with_horn(),
+        }
     }
 
     /// An open-waveguide tap (protocol analysis).
     pub fn waveguide(position: Point, orientation: Angle) -> TapConfig {
-        TapConfig { position, orientation, receiver: VubiqReceiver::with_waveguide() }
+        TapConfig {
+            position,
+            orientation,
+            receiver: VubiqReceiver::with_waveguide(),
+        }
     }
 }
 
@@ -43,12 +51,8 @@ impl TapConfig {
 /// recorded (at their tiny amplitude); the detector decides visibility.
 pub fn replay_trace(net: &Net, tap: &TapConfig, from: SimTime, to: SimTime) -> SignalTrace {
     let mut trace = tap.receiver.begin_capture(from, to);
-    let probe = mmwave_channel::RadioNode::new(
-        usize::MAX - 7,
-        "vubiq",
-        tap.position,
-        tap.orientation,
-    );
+    let probe =
+        mmwave_channel::RadioNode::new(usize::MAX - 7, "vubiq", tap.position, tap.orientation);
     // Cache paths per source device (positions are static during a run).
     let mut paths: HashMap<usize, Vec<mmwave_geom::PropPath>> = HashMap::new();
     for e in net.txlog().in_window(from, to) {
@@ -75,7 +79,10 @@ pub fn replay_trace(net: &Net, tap: &TapConfig, from: SimTime, to: SimTime) -> S
             e.start,
             e.end,
             incident_dbm,
-            SegmentTag { source: e.src, class: e.class.as_u8() },
+            SegmentTag {
+                source: e.src,
+                class: e.class.as_u8(),
+            },
         );
     }
     trace
@@ -86,9 +93,7 @@ pub fn replay_trace(net: &Net, tap: &TapConfig, from: SimTime, to: SimTime) -> S
 fn control_boost(net: &Net, e: &mmwave_mac::TxLogEntry) -> f64 {
     use mmwave_mac::FrameClass::*;
     match e.class {
-        Beacon | DiscoverySub | WihdBeacon | Training => {
-            net.config().control_power_offset_db
-        }
+        Beacon | DiscoverySub | WihdBeacon | Training => net.config().control_power_offset_db,
         _ => 0.0,
     }
 }
@@ -96,12 +101,8 @@ fn control_boost(net: &Net, e: &mmwave_mac::TxLogEntry) -> f64 {
 /// Incident power (dBm) of one logged transmission at a tap.
 pub fn incident_power_dbm(net: &Net, tap: &TapConfig, e: &mmwave_mac::TxLogEntry) -> f64 {
     let dev = net.device(e.src);
-    let probe = mmwave_channel::RadioNode::new(
-        usize::MAX - 7,
-        "vubiq",
-        tap.position,
-        tap.orientation,
-    );
+    let probe =
+        mmwave_channel::RadioNode::new(usize::MAX - 7, "vubiq", tap.position, tap.orientation);
     let paths = net.env.paths(dev.node.position, tap.position);
     let tx_pattern = dev.pattern(e.pattern);
     let lin: f64 = paths
@@ -150,7 +151,11 @@ mod tests {
     use mmwave_mac::NetConfig;
 
     fn quiet(seed: u64) -> NetConfig {
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() }
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        }
     }
 
     #[test]
@@ -162,7 +167,11 @@ mod tests {
         p.net.run_until(SimTime::from_millis(10));
         let tap = TapConfig::waveguide(Point::new(1.0, 0.6), Angle::from_degrees(-90.0));
         let trace = replay_trace(&p.net, &tap, SimTime::ZERO, SimTime::from_millis(10));
-        assert!(trace.segments().len() > 20, "{} segments", trace.segments().len());
+        assert!(
+            trace.segments().len() > 20,
+            "{} segments",
+            trace.segments().len()
+        );
         // The trace covers exactly the log window.
         assert_eq!(trace.window_start, SimTime::ZERO);
         assert_eq!(trace.window_end, SimTime::from_millis(10));
@@ -182,8 +191,16 @@ mod tests {
         let away = TapConfig::horn(at, Angle::from_degrees(71.6));
         let t1 = replay_trace(&p.net, &toward, SimTime::ZERO, SimTime::from_millis(5));
         let t2 = replay_trace(&p.net, &away, SimTime::ZERO, SimTime::from_millis(5));
-        let max1 = t1.segments().iter().map(|s| s.amplitude_v).fold(0.0, f64::max);
-        let max2 = t2.segments().iter().map(|s| s.amplitude_v).fold(0.0, f64::max);
+        let max1 = t1
+            .segments()
+            .iter()
+            .map(|s| s.amplitude_v)
+            .fold(0.0, f64::max);
+        let max2 = t2
+            .segments()
+            .iter()
+            .map(|s| s.amplitude_v)
+            .fold(0.0, f64::max);
         assert!(max1 > 5.0 * max2, "toward {max1} V vs away {max2} V");
     }
 
@@ -193,8 +210,14 @@ mod tests {
         // Idle link: only beacons → no data power.
         p.net.run_until(SimTime::from_millis(10));
         let tap = TapConfig::waveguide(Point::new(1.0, 0.5), Angle::from_degrees(-90.0));
-        assert!(mean_data_power_dbm(&p.net, &tap, p.dock, SimTime::ZERO, SimTime::from_millis(10))
-            .is_none());
+        assert!(mean_data_power_dbm(
+            &p.net,
+            &tap,
+            p.dock,
+            SimTime::ZERO,
+            SimTime::from_millis(10)
+        )
+        .is_none());
         // Push data: now the average exists and is sane.
         for i in 0..10u64 {
             p.net.push_mpdu(p.dock, 1500, i);
@@ -214,7 +237,14 @@ mod tests {
     #[test]
     fn seeds_are_distinct() {
         // Guard against accidental seed collisions across device roles.
-        let all = [seeds::DOCK_A, seeds::DOCK_B, seeds::LAPTOP_A, seeds::LAPTOP_B, seeds::WIHD_TX, seeds::WIHD_RX];
+        let all = [
+            seeds::DOCK_A,
+            seeds::DOCK_B,
+            seeds::LAPTOP_A,
+            seeds::LAPTOP_B,
+            seeds::WIHD_TX,
+            seeds::WIHD_RX,
+        ];
         let set: std::collections::HashSet<u64> = all.into_iter().collect();
         assert_eq!(set.len(), all.len());
     }

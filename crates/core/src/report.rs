@@ -47,15 +47,21 @@ pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Render an (x, y) series as aligned columns.
 pub fn series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
-    let rows: Vec<Vec<String>> =
-        points.iter().map(|(x, y)| vec![format!("{x:.3}"), format!("{y:.3}")]).collect();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(x, y)| vec![format!("{x:.3}"), format!("{y:.3}")])
+        .collect();
     table(title, &[x_label, y_label], &rows)
 }
 
 /// A crude ASCII bar chart (one row per point), handy for eyeballing CDFs
 /// and sweeps in the terminal.
 pub fn bars(title: &str, points: &[(String, f64)], max_width: usize) -> String {
-    let peak = points.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-12);
+    let peak = points
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
     let label_w = points.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = format!("== {title} ==\n");
     for (label, v) in points {
@@ -148,12 +154,21 @@ mod tests {
     #[test]
     fn polar_normalizes() {
         let pts: Vec<(Angle, f64)> = (0..360)
-            .map(|d| (Angle::from_degrees(d as f64), -60.0 - (d % 90) as f64 / 10.0))
+            .map(|d| {
+                (
+                    Angle::from_degrees(d as f64),
+                    -60.0 - (d % 90) as f64 / 10.0,
+                )
+            })
             .collect();
         let p = polar("P", &pts);
         assert!(p.contains("dB rel. peak"));
         // The peak bin's bar is (nearly) full width.
-        let longest = p.lines().map(|l| l.matches('#').count()).max().expect("lines");
+        let longest = p
+            .lines()
+            .map(|l| l.matches('#').count())
+            .max()
+            .expect("lines");
         assert!(longest >= 29, "longest bar {longest}");
     }
 }

@@ -90,7 +90,12 @@ pub fn pattern_range(rotation: Angle, cfg: NetConfig) -> PatternRange {
         seeds::LAPTOP_A,
     ));
     net.associate_instantly(dut, peer);
-    PatternRange { net, dut, peer, scan_radius_m: 3.2 }
+    PatternRange {
+        net,
+        dut,
+        peer,
+        scan_radius_m: 3.2,
+    }
 }
 
 /// Fig. 4's conference room with an active link along its axis.
@@ -153,7 +158,12 @@ pub fn reflection_room(system: RoomSystem, cfg: NetConfig) -> ReflectionRoom {
             (tx, rx)
         }
     };
-    ReflectionRoom { net, tx, rx, layout }
+    ReflectionRoom {
+        net,
+        tx,
+        rx,
+        layout,
+    }
 }
 
 /// Fig. 5: a dock↔laptop link parallel to a wall, with the direct path
@@ -203,7 +213,12 @@ pub fn blocked_los_link(cfg: NetConfig) -> BlockedLosLink {
         seeds::LAPTOP_A,
     ));
     net.associate_instantly(dock, laptop);
-    BlockedLosLink { net, dock, laptop, wall_y }
+    BlockedLosLink {
+        net,
+        dock,
+        laptop,
+        wall_y,
+    }
 }
 
 /// Fig. 6: two parallel dock↔laptop links (6 m, vertical) plus the WiHD
@@ -242,8 +257,12 @@ pub fn interference_floor(
     let mut net = Net::new(Environment::new(Room::open_space()), cfg);
     let up = Angle::from_degrees(90.0);
     let down = Angle::from_degrees(-90.0);
-    let dock_a =
-        net.add_device(Device::wigig_dock("Dock A", Point::new(0.0, 0.0), up, seeds::DOCK_A));
+    let dock_a = net.add_device(Device::wigig_dock(
+        "Dock A",
+        Point::new(0.0, 0.0),
+        up,
+        seeds::DOCK_A,
+    ));
     let laptop_a = net.add_device(Device::wigig_laptop(
         "Laptop A",
         Point::new(0.0, 6.0),
@@ -278,7 +297,15 @@ pub fn interference_floor(
     net.associate_instantly(dock_a, laptop_a);
     net.associate_instantly(dock_b, laptop_b);
     net.pair_wihd_instantly(hdmi_tx, hdmi_rx);
-    InterferenceFloor { net, dock_a, laptop_a, dock_b, laptop_b, hdmi_tx, hdmi_rx }
+    InterferenceFloor {
+        net,
+        dock_a,
+        laptop_a,
+        dock_b,
+        laptop_b,
+        hdmi_tx,
+        hdmi_rx,
+    }
 }
 
 /// Fig. 7: the reflection-interference rig. A WiGig link (laptop → dock)
@@ -340,8 +367,12 @@ pub fn reflector_rig(cfg: NetConfig) -> ReflectorRig {
         seeds::LAPTOP_A,
     ));
     // WiHD link above the shielding: TX right, RX left near the reflector.
-    let mut hdmi_src =
-        Device::wihd_source("HDMI TX", Point::new(2.8, 2.0), Angle::from_degrees(180.0), seeds::WIHD_TX);
+    let mut hdmi_src = Device::wihd_source(
+        "HDMI TX",
+        Point::new(2.8, 2.0),
+        Angle::from_degrees(180.0),
+        seeds::WIHD_TX,
+    );
     // Per-unit conducted-power spread: this particular module runs 0.5 dB
     // hot, putting the reflected level at the dock (−68.5 dBm) just above
     // its clear-channel threshold. Slow fading wobbles it around that
@@ -357,7 +388,13 @@ pub fn reflector_rig(cfg: NetConfig) -> ReflectorRig {
     ));
     net.associate_instantly(dock, laptop);
     net.pair_wihd_instantly(hdmi_tx, hdmi_rx);
-    ReflectorRig { net, dock, laptop, hdmi_tx, hdmi_rx }
+    ReflectorRig {
+        net,
+        dock,
+        laptop,
+        hdmi_tx,
+        hdmi_rx,
+    }
 }
 
 #[cfg(test)]
@@ -367,7 +404,11 @@ mod tests {
     use mmwave_sim::time::SimTime;
 
     fn cfg(seed: u64) -> NetConfig {
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() }
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        }
     }
 
     #[test]
@@ -413,7 +454,10 @@ mod tests {
         let b = blocked_los_link(cfg(4));
         let dock_pos = b.net.device(b.dock).node.position;
         let laptop_pos = b.net.device(b.laptop).node.position;
-        assert!(!b.net.env.room.is_clear(dock_pos, laptop_pos, 1e-3), "LoS must be blocked");
+        assert!(
+            !b.net.env.room.is_clear(dock_pos, laptop_pos, 1e-3),
+            "LoS must be blocked"
+        );
         // Yet the link associates (via the wall bounce).
         assert_eq!(
             b.net.device(b.dock).wigig().expect("wigig").state,

@@ -131,7 +131,12 @@ mod tests {
 
     #[test]
     fn structural_materials_block() {
-        for m in [Material::Metal, Material::Brick, Material::Wood, Material::Human] {
+        for m in [
+            Material::Metal,
+            Material::Brick,
+            Material::Wood,
+            Material::Human,
+        ] {
             assert!(m.blocks(), "{m} should block LoS");
         }
     }

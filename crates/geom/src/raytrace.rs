@@ -88,7 +88,10 @@ pub struct TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { max_order: 2, max_bounce_loss_db: 20.0 }
+        TraceConfig {
+            max_order: 2,
+            max_bounce_loss_db: 20.0,
+        }
     }
 }
 
@@ -136,7 +139,7 @@ pub fn trace_paths(room: &Room, tx: Point, rx: Point, cfg: &TraceConfig) -> Vec<
     let reflective: Vec<_> = room
         .walls()
         .iter()
-        .filter(|w| w.material.reflection_loss_db() <= cfg.max_bounce_loss_db)
+        .filter(|w| w.enabled && w.material.reflection_loss_db() <= cfg.max_bounce_loss_db)
         .collect();
 
     // Order 1: mirror tx across each wall; the bounce point is where the
@@ -227,7 +230,12 @@ mod tests {
 
     #[test]
     fn open_space_has_only_los() {
-        let paths = trace_paths(&Room::open_space(), p(0.0, 0.0), p(5.0, 0.0), &TraceConfig::default());
+        let paths = trace_paths(
+            &Room::open_space(),
+            p(0.0, 0.0),
+            p(5.0, 0.0),
+            &TraceConfig::default(),
+        );
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].kind, PathKind::LineOfSight);
         assert!((paths[0].length_m - 5.0).abs() < 1e-12);
@@ -239,7 +247,12 @@ mod tests {
     fn single_mirror_geometry() {
         // TX at (2,1), RX at (6,1): LoS of length 4 plus one bounce at (4,0)
         // with total length 2·√(2²+1²) = 2√5.
-        let paths = trace_paths(&mirror_room(), p(2.0, 1.0), p(6.0, 1.0), &TraceConfig::default());
+        let paths = trace_paths(
+            &mirror_room(),
+            p(2.0, 1.0),
+            p(6.0, 1.0),
+            &TraceConfig::default(),
+        );
         assert_eq!(paths.len(), 2);
         assert_eq!(paths[0].kind, PathKind::LineOfSight);
         let refl = &paths[1];
@@ -258,7 +271,12 @@ mod tests {
     #[test]
     fn bounce_point_must_lie_on_wall_segment() {
         // Wall only spans x ∈ [0,10]; a would-be bounce at x = 15 is invalid.
-        let paths = trace_paths(&mirror_room(), p(14.0, 1.0), p(16.0, 1.0), &TraceConfig::default());
+        let paths = trace_paths(
+            &mirror_room(),
+            p(14.0, 1.0),
+            p(16.0, 1.0),
+            &TraceConfig::default(),
+        );
         assert_eq!(paths.len(), 1, "only LoS should remain");
         assert_eq!(paths[0].kind, PathKind::LineOfSight);
     }
@@ -268,10 +286,27 @@ mod tests {
         let mut room = mirror_room();
         // Absorbing screen between TX and RX, above the mirror, blocking LoS
         // but not the floor bounce.
-        room.add_obstacle(Segment::new(p(4.0, 0.5), p(4.0, 2.0)), Material::Absorber, "screen");
+        room.add_obstacle(
+            Segment::new(p(4.0, 0.5), p(4.0, 2.0)),
+            Material::Absorber,
+            "screen",
+        );
         let paths = trace_paths(&room, p(2.0, 1.0), p(6.0, 1.0), &TraceConfig::default());
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].kind, PathKind::Reflected { order: 1 });
+    }
+
+    #[test]
+    fn disabled_mirror_produces_no_bounce() {
+        let mut room = mirror_room();
+        let idx = room.find_wall("mirror").expect("mirror wall");
+        room.set_wall_enabled(idx, false);
+        let paths = trace_paths(&room, p(2.0, 1.0), p(6.0, 1.0), &TraceConfig::default());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].kind, PathKind::LineOfSight);
+        room.set_wall_enabled(idx, true);
+        let paths = trace_paths(&room, p(2.0, 1.0), p(6.0, 1.0), &TraceConfig::default());
+        assert_eq!(paths.len(), 2, "re-enabled mirror reflects again");
     }
 
     #[test]
@@ -292,8 +327,16 @@ mod tests {
         // two order-1 and at least two order-2 paths (floor→ceiling and
         // ceiling→floor).
         let room = Room::open_space()
-            .with_wall(Wall::new(Segment::new(p(-50.0, 0.0), p(50.0, 0.0)), Material::Metal, "floor"))
-            .with_wall(Wall::new(Segment::new(p(-50.0, 3.0), p(50.0, 3.0)), Material::Metal, "ceiling"));
+            .with_wall(Wall::new(
+                Segment::new(p(-50.0, 0.0), p(50.0, 0.0)),
+                Material::Metal,
+                "floor",
+            ))
+            .with_wall(Wall::new(
+                Segment::new(p(-50.0, 3.0), p(50.0, 3.0)),
+                Material::Metal,
+                "ceiling",
+            ));
         let paths = trace_paths(&room, p(0.0, 1.0), p(6.0, 1.0), &TraceConfig::default());
         let by_order = |o: usize| paths.iter().filter(|p| p.order() == o).count();
         assert_eq!(by_order(0), 1);
@@ -301,7 +344,10 @@ mod tests {
         assert_eq!(by_order(2), 2);
         // Order-2 paths accumulate two bounces of loss.
         for path in paths.iter().filter(|p| p.order() == 2) {
-            assert!((path.reflection_loss_db - 2.0 * Material::Metal.reflection_loss_db()).abs() < 1e-12);
+            assert!(
+                (path.reflection_loss_db - 2.0 * Material::Metal.reflection_loss_db()).abs()
+                    < 1e-12
+            );
             assert_eq!(path.materials.len(), 2);
             assert_eq!(path.vertices.len(), 4);
         }
@@ -310,8 +356,16 @@ mod tests {
     #[test]
     fn order_2_specular_at_both_bounces() {
         let room = Room::open_space()
-            .with_wall(Wall::new(Segment::new(p(-50.0, 0.0), p(50.0, 0.0)), Material::Metal, "floor"))
-            .with_wall(Wall::new(Segment::new(p(-50.0, 3.0), p(50.0, 3.0)), Material::Metal, "ceiling"));
+            .with_wall(Wall::new(
+                Segment::new(p(-50.0, 0.0), p(50.0, 0.0)),
+                Material::Metal,
+                "floor",
+            ))
+            .with_wall(Wall::new(
+                Segment::new(p(-50.0, 3.0), p(50.0, 3.0)),
+                Material::Metal,
+                "ceiling",
+            ));
         let paths = trace_paths(&room, p(0.0, 1.0), p(6.0, 1.0), &TraceConfig::default());
         for path in paths.iter().filter(|p| p.order() == 2) {
             for k in 1..=2 {
@@ -331,13 +385,45 @@ mod tests {
         let room = Room::rectangular(
             8.0,
             4.0,
-            (Material::Metal, Material::Metal, Material::Metal, Material::Metal),
+            (
+                Material::Metal,
+                Material::Metal,
+                Material::Metal,
+                Material::Metal,
+            ),
         );
         let tx = p(1.0, 2.0);
         let rx = p(7.0, 2.0);
-        let n0 = trace_paths(&room, tx, rx, &TraceConfig { max_order: 0, ..Default::default() }).len();
-        let n1 = trace_paths(&room, tx, rx, &TraceConfig { max_order: 1, ..Default::default() }).len();
-        let n2 = trace_paths(&room, tx, rx, &TraceConfig { max_order: 2, ..Default::default() }).len();
+        let n0 = trace_paths(
+            &room,
+            tx,
+            rx,
+            &TraceConfig {
+                max_order: 0,
+                ..Default::default()
+            },
+        )
+        .len();
+        let n1 = trace_paths(
+            &room,
+            tx,
+            rx,
+            &TraceConfig {
+                max_order: 1,
+                ..Default::default()
+            },
+        )
+        .len();
+        let n2 = trace_paths(
+            &room,
+            tx,
+            rx,
+            &TraceConfig {
+                max_order: 2,
+                ..Default::default()
+            },
+        )
+        .len();
         assert_eq!(n0, 1);
         assert!(n1 > n0);
         assert!(n2 > n1);
@@ -348,7 +434,12 @@ mod tests {
         let room = Room::rectangular(
             9.0,
             3.25,
-            (Material::Wood, Material::Glass, Material::Brick, Material::Brick),
+            (
+                Material::Wood,
+                Material::Glass,
+                Material::Brick,
+                Material::Brick,
+            ),
         );
         let paths = trace_paths(&room, p(0.5, 1.3), p(8.5, 1.3), &TraceConfig::default());
         assert!(paths.len() >= 3);
@@ -360,7 +451,12 @@ mod tests {
 
     #[test]
     fn arrival_points_back_along_last_leg() {
-        let paths = trace_paths(&mirror_room(), p(2.0, 1.0), p(6.0, 1.0), &TraceConfig::default());
+        let paths = trace_paths(
+            &mirror_room(),
+            p(2.0, 1.0),
+            p(6.0, 1.0),
+            &TraceConfig::default(),
+        );
         let refl = paths.iter().find(|p| p.order() == 1).expect("bounce path");
         // Last leg rises from the floor bounce to RX, so the arrival azimuth
         // (looking back from RX) must point down-left: between -90° and -180°.
@@ -370,7 +466,12 @@ mod tests {
 
     #[test]
     fn delay_matches_length() {
-        let paths = trace_paths(&Room::open_space(), p(0.0, 0.0), p(3.0, 0.0), &TraceConfig::default());
+        let paths = trace_paths(
+            &Room::open_space(),
+            p(0.0, 0.0),
+            p(3.0, 0.0),
+            &TraceConfig::default(),
+        );
         let d = paths[0].delay_s();
         assert!((d - 3.0 / 299_792_458.0).abs() < 1e-18);
     }

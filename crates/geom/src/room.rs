@@ -24,12 +24,20 @@ pub struct Wall {
     pub material: Material,
     /// Human-readable label used in reports ("window", "wood wall", …).
     pub label: String,
+    /// Disabled walls neither block nor reflect — a scenario parking a
+    /// blocker "off stage" without changing wall indices.
+    pub enabled: bool,
 }
 
 impl Wall {
-    /// Construct a wall.
+    /// Construct a wall (enabled).
     pub fn new(seg: Segment, material: Material, label: impl Into<String>) -> Wall {
-        Wall { seg, material, label: label.into() }
+        Wall {
+            seg,
+            material,
+            label: label.into(),
+            enabled: true,
+        }
     }
 }
 
@@ -51,19 +59,44 @@ impl Room {
         self
     }
 
-    /// Add a wall in place.
-    pub fn add_wall(&mut self, wall: Wall) {
+    /// Add a wall in place; returns its stable index (walls are never
+    /// removed, so indices stay valid for the room's lifetime).
+    pub fn add_wall(&mut self, wall: Wall) -> usize {
         self.walls.push(wall);
+        self.walls.len() - 1
     }
 
     /// Convenience: add an absorbing obstacle (shielding element, blockage).
-    pub fn add_obstacle(&mut self, seg: Segment, material: Material, label: impl Into<String>) {
-        self.walls.push(Wall::new(seg, material, label));
+    /// Returns the wall index for later mutation.
+    pub fn add_obstacle(
+        &mut self,
+        seg: Segment,
+        material: Material,
+        label: impl Into<String>,
+    ) -> usize {
+        self.add_wall(Wall::new(seg, material, label))
     }
 
-    /// All walls.
+    /// All walls (including disabled ones; clearance checks skip those).
     pub fn walls(&self) -> &[Wall] {
         &self.walls
+    }
+
+    /// Index of the first wall with this label, if any.
+    pub fn find_wall(&self, label: &str) -> Option<usize> {
+        self.walls.iter().position(|w| w.label == label)
+    }
+
+    /// Move/reshape a wall in place (scenario mutation). Callers owning a
+    /// link-gain cache must invalidate it after this.
+    pub fn set_wall_segment(&mut self, idx: usize, seg: Segment) {
+        self.walls[idx].seg = seg;
+    }
+
+    /// Enable or disable a wall in place (scenario mutation). Callers owning
+    /// a link-gain cache must invalidate it after this.
+    pub fn set_wall_enabled(&mut self, idx: usize, enabled: bool) {
+        self.walls[idx].enabled = enabled;
     }
 
     /// An axis-aligned rectangular room `[0,w] × [0,h]` with per-side
@@ -76,9 +109,21 @@ impl Room {
         assert!(w > 0.0 && h > 0.0);
         let p = Point::new;
         Room::default()
-            .with_wall(Wall::new(Segment::new(p(0.0, 0.0), p(0.0, h)), left, "left wall"))
-            .with_wall(Wall::new(Segment::new(p(0.0, 0.0), p(w, 0.0)), bottom, "bottom wall"))
-            .with_wall(Wall::new(Segment::new(p(w, 0.0), p(w, h)), right, "right wall"))
+            .with_wall(Wall::new(
+                Segment::new(p(0.0, 0.0), p(0.0, h)),
+                left,
+                "left wall",
+            ))
+            .with_wall(Wall::new(
+                Segment::new(p(0.0, 0.0), p(w, 0.0)),
+                bottom,
+                "bottom wall",
+            ))
+            .with_wall(Wall::new(
+                Segment::new(p(w, 0.0), p(w, h)),
+                right,
+                "right wall",
+            ))
             .with_wall(Wall::new(Segment::new(p(0.0, h), p(w, h)), top, "top wall"))
     }
 
@@ -87,13 +132,16 @@ impl Room {
     /// so a leg that starts or ends *on* a reflecting wall is not blocked
     /// by that same wall).
     pub fn is_clear(&self, p: Point, q: Point, skip_near: f64) -> bool {
-        self.walls.iter().all(|w| !w.seg.obstructs(p, q, skip_near))
+        self.walls
+            .iter()
+            .all(|w| !w.enabled || !w.seg.obstructs(p, q, skip_near))
     }
 
     /// The first wall obstructing `p → q` (closest to `p`), if any.
     pub fn first_obstruction(&self, p: Point, q: Point, skip_near: f64) -> Option<&Wall> {
         self.walls
             .iter()
+            .filter(|w| w.enabled)
             .filter_map(|w| {
                 w.seg.intersect(p, q).and_then(|(t, x)| {
                     (x.distance(p) > skip_near && x.distance(q) > skip_near).then_some((t, w))
@@ -135,7 +183,12 @@ impl ConferenceRoom {
         let room = Room::rectangular(
             Self::WIDTH,
             Self::HEIGHT,
-            (Material::Wood, Material::Glass, Material::Brick, Material::Brick),
+            (
+                Material::Wood,
+                Material::Glass,
+                Material::Brick,
+                Material::Brick,
+            ),
         );
         // Link axis: RX near the left (wood) wall, TX near the right wall,
         // both at the lower row height, matching the figure.
@@ -153,7 +206,12 @@ impl ConferenceRoom {
             ('E', Point::new(col(3.0), 0.65)),
             ('F', Point::new(col(4.0), 0.65)),
         ];
-        ConferenceRoom { room, tx, rx, probes }
+        ConferenceRoom {
+            room,
+            tx,
+            rx,
+            probes,
+        }
     }
 
     /// Probe position by letter.
@@ -180,7 +238,9 @@ mod tests {
     fn open_space_is_always_clear() {
         let r = Room::open_space();
         assert!(r.is_clear(Point::new(0.0, 0.0), Point::new(100.0, 50.0), 0.0));
-        assert!(r.first_obstruction(Point::new(0.0, 0.0), Point::new(1.0, 1.0), 0.0).is_none());
+        assert!(r
+            .first_obstruction(Point::new(0.0, 0.0), Point::new(1.0, 1.0), 0.0)
+            .is_none());
     }
 
     #[test]
@@ -188,7 +248,12 @@ mod tests {
         let r = Room::rectangular(
             4.0,
             3.0,
-            (Material::Wood, Material::Glass, Material::Brick, Material::Brick),
+            (
+                Material::Wood,
+                Material::Glass,
+                Material::Brick,
+                Material::Brick,
+            ),
         );
         assert_eq!(r.walls().len(), 4);
         // Interior point to interior point: clear.
@@ -201,9 +266,19 @@ mod tests {
     fn first_obstruction_picks_closest() {
         let mut r = Room::open_space();
         let p = Point::new;
-        r.add_obstacle(Segment::new(p(2.0, -1.0), p(2.0, 1.0)), Material::Wood, "near");
-        r.add_obstacle(Segment::new(p(5.0, -1.0), p(5.0, 1.0)), Material::Brick, "far");
-        let w = r.first_obstruction(p(0.0, 0.0), p(10.0, 0.0), 0.0).expect("blocked");
+        r.add_obstacle(
+            Segment::new(p(2.0, -1.0), p(2.0, 1.0)),
+            Material::Wood,
+            "near",
+        );
+        r.add_obstacle(
+            Segment::new(p(5.0, -1.0), p(5.0, 1.0)),
+            Material::Brick,
+            "far",
+        );
+        let w = r
+            .first_obstruction(p(0.0, 0.0), p(10.0, 0.0), 0.0)
+            .expect("blocked");
         assert_eq!(w.label, "near");
     }
 
@@ -211,9 +286,49 @@ mod tests {
     fn skip_near_allows_wall_grazes() {
         let mut r = Room::open_space();
         let p = Point::new;
-        r.add_obstacle(Segment::new(p(0.0, -1.0), p(0.0, 1.0)), Material::Metal, "mirror");
+        r.add_obstacle(
+            Segment::new(p(0.0, -1.0), p(0.0, 1.0)),
+            Material::Metal,
+            "mirror",
+        );
         // Leg starting 1 µm from the mirror (i.e. effectively on it).
         assert!(r.is_clear(p(1e-6, 0.0), p(5.0, 0.0), 1e-3));
+    }
+
+    #[test]
+    fn disabled_wall_neither_blocks_nor_obstructs() {
+        let mut r = Room::open_space();
+        let p = Point::new;
+        let idx = r.add_obstacle(
+            Segment::new(p(2.0, -1.0), p(2.0, 1.0)),
+            Material::Human,
+            "body",
+        );
+        assert!(!r.is_clear(p(0.0, 0.0), p(4.0, 0.0), 0.0));
+        r.set_wall_enabled(idx, false);
+        assert!(r.is_clear(p(0.0, 0.0), p(4.0, 0.0), 0.0));
+        assert!(r.first_obstruction(p(0.0, 0.0), p(4.0, 0.0), 0.0).is_none());
+        r.set_wall_enabled(idx, true);
+        assert!(!r.is_clear(p(0.0, 0.0), p(4.0, 0.0), 0.0));
+    }
+
+    #[test]
+    fn wall_can_be_found_and_moved() {
+        let mut r = Room::open_space();
+        let p = Point::new;
+        let idx = r.add_obstacle(
+            Segment::new(p(2.0, -1.0), p(2.0, 1.0)),
+            Material::Human,
+            "body",
+        );
+        assert_eq!(r.find_wall("body"), Some(idx));
+        assert_eq!(r.find_wall("ghost"), None);
+        // Step the blocker sideways out of the link corridor.
+        r.set_wall_segment(idx, Segment::new(p(2.0, 5.0), p(2.0, 7.0)));
+        assert!(r.is_clear(p(0.0, 0.0), p(4.0, 0.0), 0.0));
+        // And back in.
+        r.set_wall_segment(idx, Segment::new(p(2.0, -1.0), p(2.0, 1.0)));
+        assert!(!r.is_clear(p(0.0, 0.0), p(4.0, 0.0), 0.0));
     }
 
     #[test]
@@ -238,7 +353,12 @@ mod tests {
     fn conference_room_materials() {
         let c = ConferenceRoom::new();
         let mat = |label: &str| {
-            c.room.walls().iter().find(|w| w.label == label).expect("wall").material
+            c.room
+                .walls()
+                .iter()
+                .find(|w| w.label == label)
+                .expect("wall")
+                .material
         };
         assert_eq!(mat("left wall"), Material::Wood);
         assert_eq!(mat("bottom wall"), Material::Glass);

@@ -124,21 +124,27 @@ mod tests {
     #[test]
     fn parallel_misses() {
         let wall = seg(0.0, 0.0, 10.0, 0.0);
-        assert!(wall.intersect(Point::new(0.0, 1.0), Point::new(10.0, 1.0)).is_none());
+        assert!(wall
+            .intersect(Point::new(0.0, 1.0), Point::new(10.0, 1.0))
+            .is_none());
     }
 
     #[test]
     fn beyond_segment_misses() {
         let wall = seg(0.0, -1.0, 0.0, 1.0);
         // Crosses the wall's infinite line but above the segment.
-        assert!(wall.intersect(Point::new(-1.0, 5.0), Point::new(1.0, 5.0)).is_none());
+        assert!(wall
+            .intersect(Point::new(-1.0, 5.0), Point::new(1.0, 5.0))
+            .is_none());
     }
 
     #[test]
     fn endpoint_graze_is_a_miss() {
         let wall = seg(0.0, -1.0, 0.0, 1.0);
         // Path *starting* exactly on the wall must not be blocked by it.
-        assert!(wall.intersect(Point::new(0.0, 0.0), Point::new(5.0, 0.0)).is_none());
+        assert!(wall
+            .intersect(Point::new(0.0, 0.0), Point::new(5.0, 0.0))
+            .is_none());
     }
 
     #[test]
@@ -161,7 +167,9 @@ mod tests {
     #[test]
     fn intersection_point_lies_on_both() {
         let w = seg(2.0, 0.0, 2.0, 10.0);
-        let (_, p) = w.intersect(Point::new(0.0, 1.0), Point::new(4.0, 9.0)).expect("crosses");
+        let (_, p) = w
+            .intersect(Point::new(0.0, 1.0), Point::new(4.0, 9.0))
+            .expect("crosses");
         assert!(w.distance_to(p) < 1e-9);
     }
 }

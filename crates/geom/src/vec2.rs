@@ -33,7 +33,10 @@ impl Vec2 {
 
     /// Unit vector at `angle_rad` from the +x axis (counter-clockwise).
     pub fn from_angle(angle_rad: f64) -> Vec2 {
-        Vec2 { x: angle_rad.cos(), y: angle_rad.sin() }
+        Vec2 {
+            x: angle_rad.cos(),
+            y: angle_rad.sin(),
+        }
     }
 
     /// Euclidean length.
@@ -65,7 +68,10 @@ impl Vec2 {
 
     /// Perpendicular vector (rotated +90°).
     pub fn perp(self) -> Vec2 {
-        Vec2 { x: -self.y, y: self.x }
+        Vec2 {
+            x: -self.y,
+            y: self.x,
+        }
     }
 
     /// Azimuth of this vector in radians, in (-π, π].
@@ -76,14 +82,20 @@ impl Vec2 {
     /// Reflect this (incident) direction about a surface with unit normal
     /// `n`: `v - 2 (v·n) n`.
     pub fn reflect(self, n: Vec2) -> Vec2 {
-        debug_assert!((n.length() - 1.0).abs() < 1e-9, "normal must be unit length");
+        debug_assert!(
+            (n.length() - 1.0).abs() < 1e-9,
+            "normal must be unit length"
+        );
         self - n * (2.0 * self.dot(n))
     }
 
     /// Rotate counter-clockwise by `rad`.
     pub fn rotated(self, rad: f64) -> Vec2 {
         let (s, c) = rad.sin_cos();
-        Vec2 { x: self.x * c - self.y * s, y: self.x * s + self.y * c }
+        Vec2 {
+            x: self.x * c - self.y * s,
+            y: self.x * s + self.y * c,
+        }
     }
 }
 
@@ -108,7 +120,10 @@ impl Point {
 
     /// Midpoint between two points.
     pub fn midpoint(self, other: Point) -> Point {
-        Point { x: (self.x + other.x) / 2.0, y: (self.y + other.y) / 2.0 }
+        Point {
+            x: (self.x + other.x) / 2.0,
+            y: (self.y + other.y) / 2.0,
+        }
     }
 
     /// Linear interpolation: `self` at t = 0, `other` at t = 1.
@@ -130,7 +145,10 @@ impl Point {
 impl Add<Vec2> for Point {
     type Output = Point;
     fn add(self, rhs: Vec2) -> Point {
-        Point { x: self.x + rhs.x, y: self.y + rhs.y }
+        Point {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
     }
 }
 impl AddAssign<Vec2> for Point {
@@ -142,19 +160,28 @@ impl AddAssign<Vec2> for Point {
 impl Sub<Vec2> for Point {
     type Output = Point;
     fn sub(self, rhs: Vec2) -> Point {
-        Point { x: self.x - rhs.x, y: self.y - rhs.y }
+        Point {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
     }
 }
 impl Sub<Point> for Point {
     type Output = Vec2;
     fn sub(self, rhs: Point) -> Vec2 {
-        Vec2 { x: self.x - rhs.x, y: self.y - rhs.y }
+        Vec2 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
     }
 }
 impl Add for Vec2 {
     type Output = Vec2;
     fn add(self, rhs: Vec2) -> Vec2 {
-        Vec2 { x: self.x + rhs.x, y: self.y + rhs.y }
+        Vec2 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
     }
 }
 impl AddAssign for Vec2 {
@@ -166,7 +193,10 @@ impl AddAssign for Vec2 {
 impl Sub for Vec2 {
     type Output = Vec2;
     fn sub(self, rhs: Vec2) -> Vec2 {
-        Vec2 { x: self.x - rhs.x, y: self.y - rhs.y }
+        Vec2 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
     }
 }
 impl SubAssign for Vec2 {
@@ -178,19 +208,28 @@ impl SubAssign for Vec2 {
 impl Mul<f64> for Vec2 {
     type Output = Vec2;
     fn mul(self, rhs: f64) -> Vec2 {
-        Vec2 { x: self.x * rhs, y: self.y * rhs }
+        Vec2 {
+            x: self.x * rhs,
+            y: self.y * rhs,
+        }
     }
 }
 impl Div<f64> for Vec2 {
     type Output = Vec2;
     fn div(self, rhs: f64) -> Vec2 {
-        Vec2 { x: self.x / rhs, y: self.y / rhs }
+        Vec2 {
+            x: self.x / rhs,
+            y: self.y / rhs,
+        }
     }
 }
 impl Neg for Vec2 {
     type Output = Vec2;
     fn neg(self) -> Vec2 {
-        Vec2 { x: -self.x, y: -self.y }
+        Vec2 {
+            x: -self.x,
+            y: -self.y,
+        }
     }
 }
 

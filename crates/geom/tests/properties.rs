@@ -51,7 +51,10 @@ fn reflect_preserves_length() {
         assert!((r.length() - v.length()).abs() < 1e-9, "case {case}");
         // Reflecting twice about the same normal is the identity.
         let rr = r.reflect(n);
-        assert!((rr.x - v.x).abs() < 1e-9 && (rr.y - v.y).abs() < 1e-9, "case {case}");
+        assert!(
+            (rr.x - v.x).abs() < 1e-9 && (rr.y - v.y).abs() < 1e-9,
+            "case {case}"
+        );
     }
 }
 
@@ -79,7 +82,10 @@ fn angle_normalization() {
         let deg = g.f64_in(-10_000.0, 10_000.0);
         let deg2 = g.f64_in(-10_000.0, 10_000.0);
         let a = Angle::from_degrees(deg);
-        assert!(a.degrees() > -180.0 - 1e-9 && a.degrees() <= 180.0 + 1e-9, "case {case}");
+        assert!(
+            a.degrees() > -180.0 - 1e-9 && a.degrees() <= 180.0 + 1e-9,
+            "case {case}"
+        );
         let b = Angle::from_degrees(deg2);
         let d1 = a.diff(b).radians();
         let d2 = b.diff(a).radians();
@@ -130,7 +136,12 @@ fn traced_paths_are_physical() {
         let room = Room::rectangular(
             8.0,
             4.0,
-            (Material::Metal, Material::Metal, Material::Metal, Material::Metal),
+            (
+                Material::Metal,
+                Material::Metal,
+                Material::Metal,
+                Material::Metal,
+            ),
         );
         let paths = trace_paths(&room, tx, rx, &TraceConfig::default());
         let euclid = tx.distance(rx);
@@ -159,8 +170,7 @@ fn traced_paths_are_physical() {
                         let prev = path.vertices[k - 1];
                         let here = path.vertices[k];
                         let next = path.vertices[k + 1];
-                        let horizontal_wall =
-                            here.y.abs() < 1e-6 || (here.y - 4.0).abs() < 1e-6;
+                        let horizontal_wall = here.y.abs() < 1e-6 || (here.y - 4.0).abs() < 1e-6;
                         let n = if horizontal_wall {
                             Vec2::new(0.0, 1.0)
                         } else {
@@ -168,7 +178,10 @@ fn traced_paths_are_physical() {
                         };
                         let i = (here - prev).normalized();
                         let o = (next - here).normalized();
-                        assert!((i.dot(n) + o.dot(n)).abs() < 1e-6, "case {case}: non-specular");
+                        assert!(
+                            (i.dot(n) + o.dot(n)).abs() < 1e-6,
+                            "case {case}: non-specular"
+                        );
                     }
                 }
             }
@@ -196,6 +209,10 @@ fn clearness_symmetric() {
         if p.distance(q) <= 1e-3 {
             continue;
         }
-        assert_eq!(room.is_clear(p, q, 1e-6), room.is_clear(q, p, 1e-6), "case {case}");
+        assert_eq!(
+            room.is_clear(p, q, 1e-6),
+            room.is_clear(q, p, 1e-6),
+            "case {case}"
+        );
     }
 }

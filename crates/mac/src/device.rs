@@ -5,7 +5,9 @@ use crate::params::{WigigConfig, WihdConfig};
 use crate::stats::DevStats;
 use mmwave_channel::RadioNode;
 use mmwave_geom::{Angle, Point};
-use mmwave_phy::{AntennaPattern, ArrayConfig, Codebook, PhasedArray, RateAdapter, RateAdapterConfig};
+use mmwave_phy::{
+    AntennaPattern, ArrayConfig, Codebook, PhasedArray, RateAdapter, RateAdapterConfig,
+};
 use mmwave_sim::queue::EventId;
 use mmwave_sim::time::SimTime;
 use std::collections::VecDeque;
@@ -93,6 +95,14 @@ pub struct WigigDev {
     /// Consecutive RTS attempts that produced no CTS (deferral streak —
     /// only a very long streak, i.e. a dead link, drops traffic).
     pub cts_fail_streak: u8,
+    /// Consecutive ACK timeouts (loss-triggered recovery trigger).
+    pub ack_fail_streak: u8,
+    /// Consecutive undelivered beacons sent towards the peer.
+    pub beacon_fail_streak: u8,
+    /// Loss-recovery retrains attempted since the link last carried a
+    /// frame successfully; bounded by the recovery budget, after which
+    /// the link is declared down.
+    pub loss_recovery_attempts: u8,
 }
 
 impl WigigDev {
@@ -117,6 +127,9 @@ impl WigigDev {
             contending: false,
             pending_cts: None,
             cts_fail_streak: 0,
+            ack_fail_streak: 0,
+            beacon_fail_streak: 0,
+            loss_recovery_attempts: 0,
         }
     }
 }
@@ -210,7 +223,11 @@ impl Device {
             node: RadioNode::new(0, label, pos, facing),
             tx_power_offset_db: WigigConfig::dock().tx_power_offset_db,
             cs_threshold_override_dbm: None,
-            kind: DevKind::Wigig(Box::new(WigigDev::new(WigigConfig::dock(), WigigRole::Dock, array_seed))),
+            kind: DevKind::Wigig(Box::new(WigigDev::new(
+                WigigConfig::dock(),
+                WigigRole::Dock,
+                array_seed,
+            ))),
             stats: DevStats::default(),
         }
     }
@@ -263,9 +280,7 @@ impl Device {
             (DevKind::Wihd(w), PatKey::Dir(i)) => &w.codebook.sector(i).pattern,
             // WiHD has no dedicated quasi-omni set; discovery reuses its
             // (already wide) sectors in shuffled order.
-            (DevKind::Wihd(w), PatKey::Qo(i)) => {
-                &w.codebook.sector(i % w.codebook.len()).pattern
-            }
+            (DevKind::Wihd(w), PatKey::Qo(i)) => &w.codebook.sector(i % w.codebook.len()).pattern,
         }
     }
 
@@ -389,6 +404,9 @@ mod tests {
         let h = Device::wihd_sink("rx", Point::new(0.0, 0.0), Angle::ZERO, 22);
         let n = h.wihd().expect("wihd").codebook.len();
         assert_eq!(h.pat_id(PatKey::Qo(n + 2)), h.pat_id(PatKey::Dir(2)));
-        assert!(std::ptr::eq(h.pattern(PatKey::Qo(n + 2)), h.pattern(PatKey::Dir(2))));
+        assert!(std::ptr::eq(
+            h.pattern(PatKey::Qo(n + 2)),
+            h.pattern(PatKey::Dir(2))
+        ));
     }
 }

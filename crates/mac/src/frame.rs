@@ -129,11 +129,7 @@ pub const CONTROL_PHY_BPS: u64 = 27_500_000;
 pub const BASE_RATE_BPS: u64 = 385_000_000;
 
 /// Airtime of a data PPDU with `mpdus` aggregated MPDUs at `rate_bps`.
-pub fn data_airtime(
-    params: &MacParams,
-    mpdus: &[Mpdu],
-    rate_bps: u64,
-) -> SimDuration {
+pub fn data_airtime(params: &MacParams, mpdus: &[Mpdu], rate_bps: u64) -> SimDuration {
     let bits: u64 = mpdus
         .iter()
         .map(|m| (m.bytes + params.mpdu_overhead_bytes) as u64 * 8)
@@ -159,8 +155,7 @@ pub fn airtime(params: &MacParams, kind: &FrameKind, wigig_sub_dur: SimDuration)
             params.control_phy_overhead + SimDuration::for_bits(24 * 8, CONTROL_PHY_BPS)
         }
         FrameKind::WihdData { bytes } => {
-            params.data_phy_overhead
-                + SimDuration::for_bits(*bytes as u64 * 8, 1_925_000_000)
+            params.data_phy_overhead + SimDuration::for_bits(*bytes as u64 * 8, 1_925_000_000)
         }
         FrameKind::Training => {
             params.control_phy_overhead + SimDuration::for_bits(25 * 8, CONTROL_PHY_BPS)
@@ -170,7 +165,10 @@ pub fn airtime(params: &MacParams, kind: &FrameKind, wigig_sub_dur: SimDuration)
 
 /// Total bits a data frame carries (for PER length scaling).
 pub fn data_bits(params: &MacParams, mpdus: &[Mpdu]) -> u64 {
-    mpdus.iter().map(|m| (m.bytes + params.mpdu_overhead_bytes) as u64 * 8).sum()
+    mpdus
+        .iter()
+        .map(|m| (m.bytes + params.mpdu_overhead_bytes) as u64 * 8)
+        .sum()
 }
 
 #[cfg(test)]
@@ -182,14 +180,21 @@ mod tests {
     }
 
     fn mpdu_1500() -> Mpdu {
-        Mpdu { bytes: 1500, tag: 0 }
+        Mpdu {
+            bytes: 1500,
+            tag: 0,
+        }
     }
 
     #[test]
     fn single_mpdu_at_mcs11_is_about_5us() {
         // 1542 B = 12336 bits at 3.85 Gb/s ≈ 3.2 µs + 1.9 µs overhead ≈
         // 5.1 µs — the paper's "short" frame population.
-        let kind = FrameKind::Data { mpdus: vec![mpdu_1500()], mcs: 11, retry: 0 };
+        let kind = FrameKind::Data {
+            mpdus: vec![mpdu_1500()],
+            mcs: 11,
+            retry: 0,
+        };
         let d = airtime(&p(), &kind, SimDuration::from_micros(30));
         assert!((d.as_micros_f64() - 5.1).abs() < 0.3, "{d}");
     }
@@ -197,7 +202,11 @@ mod tests {
     #[test]
     fn max_aggregation_stays_within_25us() {
         // 7 MPDUs at MCS 11 ≈ 24.3 µs ≤ the observed 25 µs ceiling.
-        let kind = FrameKind::Data { mpdus: vec![mpdu_1500(); 7], mcs: 11, retry: 0 };
+        let kind = FrameKind::Data {
+            mpdus: vec![mpdu_1500(); 7],
+            mcs: 11,
+            retry: 0,
+        };
         let d = airtime(&p(), &kind, SimDuration::from_micros(30));
         assert!(d <= SimDuration::from_micros(25), "{d}");
         assert!(d > SimDuration::from_micros(20), "{d}");
@@ -205,8 +214,16 @@ mod tests {
 
     #[test]
     fn airtime_scales_with_mcs() {
-        let hi = FrameKind::Data { mpdus: vec![mpdu_1500(); 2], mcs: 11, retry: 0 };
-        let lo = FrameKind::Data { mpdus: vec![mpdu_1500(); 2], mcs: 6, retry: 0 };
+        let hi = FrameKind::Data {
+            mpdus: vec![mpdu_1500(); 2],
+            mcs: 11,
+            retry: 0,
+        };
+        let lo = FrameKind::Data {
+            mpdus: vec![mpdu_1500(); 2],
+            mcs: 6,
+            retry: 0,
+        };
         let sub = SimDuration::from_micros(30);
         assert!(airtime(&p(), &lo, sub) > airtime(&p(), &hi, sub) * 2);
     }
@@ -241,7 +258,11 @@ mod tests {
     #[test]
     fn wihd_data_at_fixed_phy_rate() {
         // 12 kB at 1.925 Gb/s ≈ 49.9 µs + 1.9 ≈ 51.8 µs.
-        let d = airtime(&p(), &FrameKind::WihdData { bytes: 12_000 }, SimDuration::from_micros(30));
+        let d = airtime(
+            &p(),
+            &FrameKind::WihdData { bytes: 12_000 },
+            SimDuration::from_micros(30),
+        );
         assert!((d.as_micros_f64() - 51.8).abs() < 1.0, "{d}");
     }
 
@@ -252,7 +273,11 @@ mod tests {
             FrameKind::Beacon,
             FrameKind::DiscoverySub { pattern_idx: 0 },
             FrameKind::Rts,
-            FrameKind::Data { mpdus: vec![], mcs: 1, retry: 0 },
+            FrameKind::Data {
+                mpdus: vec![],
+                mcs: 1,
+                retry: 0,
+            },
             FrameKind::Ack,
             FrameKind::WihdBeacon,
             FrameKind::WihdData { bytes: 1 },

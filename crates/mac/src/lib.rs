@@ -45,6 +45,7 @@ pub mod frame;
 pub mod medium;
 pub mod net;
 pub mod params;
+pub mod scenario;
 pub mod stats;
 pub mod training;
 pub mod txlog;
@@ -55,5 +56,6 @@ pub use device::{DevKind, Device, DeviceId, PatKey};
 pub use frame::{Frame, FrameClass, FrameKind};
 pub use net::{Delivery, Net, NetConfig};
 pub use params::{MacParams, WigigConfig, WihdConfig};
+pub use scenario::{FaultKind, Scenario, ScenarioEvent, WorldMutation};
 pub use stats::DevStats;
 pub use txlog::{TxLog, TxLogEntry};

@@ -55,6 +55,16 @@ impl Medium {
         Medium::default()
     }
 
+    /// An idle medium with an explicit link-gain cache mode (differential
+    /// tests compare Cached vs Bypass without touching the process-wide
+    /// default).
+    pub fn with_cache_mode(mode: mmwave_channel::CacheMode) -> Medium {
+        Medium {
+            cache: LinkGainCache::with_mode(mode),
+            ..Medium::default()
+        }
+    }
+
     /// Flush all cached geometry and gains (call after bulk scene edits;
     /// for a single device prefer the granular bumps on
     /// [`Medium::link_cache_mut`]).
@@ -206,7 +216,11 @@ impl Medium {
         if self.is_busy_for(dev, threshold_dbm) {
             return false;
         }
-        let last = self.last_heard_end.get(dev).copied().unwrap_or(SimTime::ZERO);
+        let last = self
+            .last_heard_end
+            .get(dev)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
         now.saturating_since(last) >= idle_needed
     }
 
@@ -241,8 +255,12 @@ mod tests {
     fn setup() -> (Environment, Vec<Device>) {
         let env = Environment::new(Room::open_space());
         let mut dock = Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13);
-        let mut laptop =
-            Device::wigig_laptop("laptop", Point::new(2.0, 0.0), Angle::from_degrees(180.0), 11);
+        let mut laptop = Device::wigig_laptop(
+            "laptop",
+            Point::new(2.0, 0.0),
+            Angle::from_degrees(180.0),
+            11,
+        );
         // Associate both directly for the test.
         for (d, sector) in [(&mut dock, 16), (&mut laptop, 16)] {
             let w = d.wigig_mut().expect("wigig");
@@ -256,7 +274,14 @@ mod tests {
         Frame {
             src,
             dst: Some(dst),
-            kind: FrameKind::Data { mpdus: vec![Mpdu { bytes: 1500, tag: 0 }], mcs: 11, retry: 0 },
+            kind: FrameKind::Data {
+                mpdus: vec![Mpdu {
+                    bytes: 1500,
+                    tag: 0,
+                }],
+                mcs: 11,
+                retry: 0,
+            },
             seq,
         }
     }
@@ -270,8 +295,16 @@ mod tests {
         let (env, devices) = setup();
         let mut m = Medium::new();
         let offs = vec![0.0; devices.len()];
-        let id =
-            m.begin_tx(&env, &devices, data_frame(0, 1, 1), PatKey::Dir(16), 0.0, t(0), t(5), &offs);
+        let id = m.begin_tx(
+            &env,
+            &devices,
+            data_frame(0, 1, 1),
+            PatKey::Dir(16),
+            0.0,
+            t(0),
+            t(5),
+            &offs,
+        );
         let tx = m.finish_tx(id, -68.0).expect("tx exists");
         // Trained 2 m link: roughly 7 + 2·16 − 74 − 14 ≈ −49 dBm.
         assert!(tx.power_at[1] > -60.0, "power {}", tx.power_at[1]);
@@ -286,8 +319,16 @@ mod tests {
         let mut m = Medium::new();
         let offs = vec![0.0; devices.len()];
         assert!(!m.is_busy_for(1, -68.0));
-        let id =
-            m.begin_tx(&env, &devices, data_frame(0, 1, 1), PatKey::Dir(16), 0.0, t(0), t(5), &offs);
+        let id = m.begin_tx(
+            &env,
+            &devices,
+            data_frame(0, 1, 1),
+            PatKey::Dir(16),
+            0.0,
+            t(0),
+            t(5),
+            &offs,
+        );
         assert!(m.is_busy_for(1, -68.0), "laptop must sense the dock");
         assert!(m.is_transmitting(0));
         assert!(!m.is_transmitting(1));
@@ -300,10 +341,13 @@ mod tests {
     fn overlapping_tx_accumulates_interference() {
         let (env, mut devices) = setup();
         // Add a second pair further away.
-        let mut dock_b =
-            Device::wigig_dock("dock B", Point::new(0.0, 3.0), Angle::ZERO, 7);
-        let mut laptop_b =
-            Device::wigig_laptop("laptop B", Point::new(2.0, 3.0), Angle::from_degrees(180.0), 5);
+        let mut dock_b = Device::wigig_dock("dock B", Point::new(0.0, 3.0), Angle::ZERO, 7);
+        let mut laptop_b = Device::wigig_laptop(
+            "laptop B",
+            Point::new(2.0, 3.0),
+            Angle::from_degrees(180.0),
+            5,
+        );
         for d in [&mut dock_b, &mut laptop_b] {
             let w = d.wigig_mut().expect("wigig");
             w.state = crate::device::WigigState::Associated;
@@ -313,9 +357,26 @@ mod tests {
         devices.push(laptop_b);
         let mut m = Medium::new();
         let offs = vec![0.0; devices.len()];
-        let a = m.begin_tx(&env, &devices, data_frame(0, 1, 1), PatKey::Dir(16), 0.0, t(0), t(5), &offs);
-        let _b =
-            m.begin_tx(&env, &devices, data_frame(2, 3, 2), PatKey::Dir(16), 0.0, t(1), t(6), &offs);
+        let a = m.begin_tx(
+            &env,
+            &devices,
+            data_frame(0, 1, 1),
+            PatKey::Dir(16),
+            0.0,
+            t(0),
+            t(5),
+            &offs,
+        );
+        let _b = m.begin_tx(
+            &env,
+            &devices,
+            data_frame(2, 3, 2),
+            PatKey::Dir(16),
+            0.0,
+            t(1),
+            t(6),
+            &offs,
+        );
         let tx_a = m.finish_tx(a, -68.0).expect("tx a");
         // Frame A suffered interference from B (side lobes), recorded in mW.
         assert!(tx_a.interference_lin > 0.0);
@@ -328,10 +389,31 @@ mod tests {
         let mut m = Medium::new();
         let offs = vec![0.0; devices.len()];
         // Dock sends to laptop; laptop starts sending back mid-frame.
-        let a = m.begin_tx(&env, &devices, data_frame(0, 1, 1), PatKey::Dir(16), 0.0, t(0), t(5), &offs);
-        let b = m.begin_tx(&env, &devices, data_frame(1, 0, 2), PatKey::Dir(16), 0.0, t(2), t(7), &offs);
+        let a = m.begin_tx(
+            &env,
+            &devices,
+            data_frame(0, 1, 1),
+            PatKey::Dir(16),
+            0.0,
+            t(0),
+            t(5),
+            &offs,
+        );
+        let b = m.begin_tx(
+            &env,
+            &devices,
+            data_frame(1, 0, 2),
+            PatKey::Dir(16),
+            0.0,
+            t(2),
+            t(7),
+            &offs,
+        );
         let tx_a = m.finish_tx(a, -68.0).expect("a");
-        assert!(tx_a.dst_was_busy, "laptop was transmitting during reception");
+        assert!(
+            tx_a.dst_was_busy,
+            "laptop was transmitting during reception"
+        );
         let tx_b = m.finish_tx(b, -68.0).expect("b");
         assert!(tx_b.dst_was_busy, "dock was transmitting when b started");
     }
@@ -367,7 +449,10 @@ mod tests {
         devices[1].node.position = Point::new(8.0, 0.0);
         m.link_cache_mut().bump_position(1);
         let far = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 1, 0.0);
-        assert!(near - far > 8.0, "bump must refresh the moved link: {near} vs {far}");
+        assert!(
+            near - far > 8.0,
+            "bump must refresh the moved link: {near} vs {far}"
+        );
         let s = m.link_cache().stats();
         assert_eq!(s.path_traces, 2, "exactly the stale pair re-traced");
         assert_eq!(s.invalidations, 1);

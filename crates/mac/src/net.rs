@@ -10,9 +10,10 @@ use crate::device::{DevKind, Device, PatKey, WigigState};
 use crate::frame::{airtime, Frame, FrameClass, FrameKind, Mpdu};
 use crate::medium::Medium;
 use crate::params::MacParams;
+use crate::scenario::{FaultKind, Scenario, ScenarioEvent, WorldMutation};
 use crate::txlog::{TxLog, TxLogEntry};
 use crate::{wigig, wihd};
-use mmwave_channel::{Ar1Fading, Environment, PerturbationProcess, RadioNode};
+use mmwave_channel::{Ar1Fading, CacheMode, Environment, PerturbationProcess, RadioNode};
 use mmwave_geom::{Angle, Point, PropPath};
 use mmwave_phy::{AntennaPattern, McsTable};
 use mmwave_sim::queue::EventQueue;
@@ -27,7 +28,11 @@ pub(crate) enum NetEv {
     /// A transmission finished.
     TxEnd { tx_id: u64 },
     /// Put a prepared frame on the air now.
-    SendFrame { frame: Frame, pattern: PatKey, extra_power_db: f64 },
+    SendFrame {
+        frame: Frame,
+        pattern: PatKey,
+        extra_power_db: f64,
+    },
     /// Unassociated dock: emit a discovery sweep.
     DiscoveryTick { dev: usize },
     /// Association handshake finished; train and go to data phase.
@@ -52,6 +57,8 @@ pub(crate) enum NetEv {
     WihdDiscoveryTick { dev: usize },
     /// WiHD pairing completes.
     WihdPairComplete { source: usize, sink: usize },
+    /// Apply the `idx`-th installed scenario mutation.
+    Scenario { idx: usize },
 }
 
 /// Something the MAC hands up to the transport layer.
@@ -144,6 +151,14 @@ pub struct Net {
     pub(crate) seq: u64,
     monitors: Vec<UtilizationMonitor>,
     pub(crate) mcs_table: McsTable,
+    /// Installed scenario mutations, indexed by `NetEv::Scenario { idx }`.
+    scenario_events: Vec<ScenarioEvent>,
+    /// Open fault windows: (target device, kind, end time).
+    active_faults: Vec<(usize, FaultKind, SimTime)>,
+    /// Scenario mutations applied so far.
+    n_scenario_mutations: u64,
+    /// Frames forced to fail by fault windows so far.
+    n_faults_injected: u64,
 }
 
 impl Net {
@@ -165,7 +180,20 @@ impl Net {
             seq: 0,
             monitors: Vec::new(),
             mcs_table: McsTable::ieee_802_11ad(),
+            scenario_events: Vec::new(),
+            active_faults: Vec::new(),
+            n_scenario_mutations: 0,
+            n_faults_injected: 0,
         }
+    }
+
+    /// Build an empty network with an explicit link-gain cache mode,
+    /// bypassing the process-wide default — the constructor differential
+    /// tests use so Cached-vs-Bypass comparisons need no global state.
+    pub fn with_cache_mode(env: Environment, cfg: NetConfig, mode: CacheMode) -> Net {
+        let mut net = Net::new(env, cfg);
+        net.medium = Medium::with_cache_mode(mode);
+        net
     }
 
     // ------------------------------------------------------------------
@@ -207,7 +235,12 @@ impl Net {
         threshold_dbm: f64,
     ) -> usize {
         self.monitors.push(UtilizationMonitor {
-            node: RadioNode::new(usize::MAX - self.monitors.len(), "monitor", position, orientation),
+            node: RadioNode::new(
+                usize::MAX - self.monitors.len(),
+                "monitor",
+                position,
+                orientation,
+            ),
             pattern,
             threshold_dbm,
             busy: BusyTracker::new(),
@@ -237,11 +270,10 @@ impl Net {
                     // First sweep after a short stagger so co-located docks
                     // don't sweep in lockstep.
                     let stagger = SimDuration::from_micros(137 * (i as u64 + 1));
-                    self.queue.schedule(self.now + stagger, NetEv::DiscoveryTick { dev: i });
+                    self.queue
+                        .schedule(self.now + stagger, NetEv::DiscoveryTick { dev: i });
                 }
-                DevKind::Wihd(w)
-                    if w.role == crate::device::WihdRole::Source && !w.paired =>
-                {
+                DevKind::Wihd(w) if w.role == crate::device::WihdRole::Source && !w.paired => {
                     let stagger = SimDuration::from_micros(211 * (i as u64 + 1));
                     self.queue
                         .schedule(self.now + stagger, NetEv::WihdDiscoveryTick { dev: i });
@@ -263,6 +295,76 @@ impl Net {
     pub fn pair_wihd_instantly(&mut self, source: usize, sink: usize) {
         self.pair(source, sink);
         wihd::complete_pairing(self, source, sink);
+    }
+
+    /// Install a scripted [`Scenario`]: every mutation is scheduled into
+    /// the simulation event queue at its scripted time, so world changes
+    /// interleave with MAC events in deterministic timestamp order. May be
+    /// called more than once; later installs append.
+    pub fn install_scenario(&mut self, scenario: Scenario) {
+        for ev in scenario.into_sorted_events() {
+            let idx = self.scenario_events.len();
+            debug_assert!(ev.at >= self.now, "scenario event in the past");
+            self.queue
+                .schedule(ev.at.max(self.now), NetEv::Scenario { idx });
+            self.scenario_events.push(ev);
+        }
+    }
+
+    /// Scenario mutations applied so far.
+    pub fn scenario_mutations(&self) -> u64 {
+        self.n_scenario_mutations
+    }
+
+    /// Frames forced to fail by injected fault windows so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.n_faults_injected
+    }
+
+    /// Apply one installed scenario mutation (from the event queue).
+    fn apply_scenario(&mut self, idx: usize) {
+        let mutation = self.scenario_events[idx].mutation.clone();
+        self.n_scenario_mutations += 1;
+        mmwave_sim::metrics::record_scenario_mutation();
+        match mutation {
+            WorldMutation::MoveDevice {
+                dev,
+                position,
+                orientation,
+            } => {
+                self.move_device(dev, position, orientation);
+            }
+            WorldMutation::MoveObstacle { wall, seg } => {
+                self.env.room.set_wall_segment(wall, seg);
+                self.invalidate_geometry();
+            }
+            WorldMutation::SetObstacleEnabled { wall, enabled } => {
+                self.env.room.set_wall_enabled(wall, enabled);
+                self.invalidate_geometry();
+            }
+            WorldMutation::SetVideo { dev, on } => self.set_video(dev, on),
+            WorldMutation::InjectFaults { dev, kind, until } => {
+                let now = self.now;
+                // Drop closed windows while installing the new one.
+                self.active_faults.retain(|&(_, _, end)| end > now);
+                self.active_faults.push((dev, kind, until));
+            }
+        }
+    }
+
+    /// Is an injected fault window forcing frames of `class` addressed to
+    /// `dst` to fail right now?
+    fn fault_active(&self, dst: usize, class: FrameClass) -> bool {
+        self.active_faults.iter().any(|&(dev, kind, until)| {
+            dev == dst
+                && self.now < until
+                && match kind {
+                    FaultKind::AllFrames => true,
+                    FaultKind::BeaconsOnly => {
+                        matches!(class, FrameClass::Beacon | FrameClass::WihdBeacon)
+                    }
+                }
+        })
     }
 
     /// Turn a WiHD source's video stream on or off (Fig. 23's power
@@ -314,7 +416,10 @@ impl Net {
 
     /// Outbound queue length of a device (MPDUs).
     pub fn queue_len(&self, dev: usize) -> usize {
-        self.devices[dev].wigig().map(|w| w.queue.len()).unwrap_or(0)
+        self.devices[dev]
+            .wigig()
+            .map(|w| w.queue.len())
+            .unwrap_or(0)
     }
 
     /// Timestamp of the next pending event, if any.
@@ -375,7 +480,8 @@ impl Net {
     /// at `dst`, dBm, before fading — the radiometric primitive exposed
     /// for analyses that need link budgets of a live scenario.
     pub fn medium_rx_power_dbm(&mut self, src: usize, pattern: PatKey, dst: usize) -> f64 {
-        self.medium.rx_power_dbm(&self.env, &self.devices, src, pattern, dst, 0.0)
+        self.medium
+            .rx_power_dbm(&self.env, &self.devices, src, pattern, dst, 0.0)
     }
 
     /// Move/rotate a device, invalidating exactly the cached state the
@@ -467,8 +573,15 @@ impl Net {
         let start = self.now;
         let end = start + dur;
 
-        let offsets: Vec<f64> =
-            (0..self.devices.len()).map(|d| if d == src { 0.0 } else { self.link_offset_db(src, d) }).collect();
+        let offsets: Vec<f64> = (0..self.devices.len())
+            .map(|d| {
+                if d == src {
+                    0.0
+                } else {
+                    self.link_offset_db(src, d)
+                }
+            })
+            .collect();
 
         let class = frame.kind.class();
         let dst = frame.dst;
@@ -524,9 +637,10 @@ impl Net {
         let dev = &self.devices[src];
         let tx_pattern = dev.pattern(pattern);
         for m in &mut self.monitors {
-            let paths = m.paths.entry(src).or_insert_with(|| {
-                self.env.paths(dev.node.position, m.node.position)
-            });
+            let paths = m
+                .paths
+                .entry(src)
+                .or_insert_with(|| self.env.paths(dev.node.position, m.node.position));
             let lin: f64 = paths
                 .iter()
                 .map(|p| {
@@ -549,7 +663,11 @@ impl Net {
     fn dispatch(&mut self, ev: NetEv) {
         match ev {
             NetEv::TxEnd { tx_id } => self.on_tx_end(tx_id),
-            NetEv::SendFrame { frame, pattern, extra_power_db } => {
+            NetEv::SendFrame {
+                frame,
+                pattern,
+                extra_power_db,
+            } => {
                 self.start_tx(frame, pattern, extra_power_db);
             }
             NetEv::DiscoveryTick { dev } => wigig::on_discovery_tick(self, dev),
@@ -565,9 +683,8 @@ impl Net {
             NetEv::WihdVideoTick { dev } => wihd::on_video_tick(self, dev),
             NetEv::WihdSendNext { dev } => wihd::send_next(self, dev),
             NetEv::WihdDiscoveryTick { dev } => wihd::on_discovery_tick(self, dev),
-            NetEv::WihdPairComplete { source, sink } => {
-                wihd::complete_pairing(self, source, sink)
-            }
+            NetEv::WihdPairComplete { source, sink } => wihd::complete_pairing(self, source, sink),
+            NetEv::Scenario { idx } => self.apply_scenario(idx),
         }
     }
 
@@ -578,7 +695,15 @@ impl Net {
         };
         // Decide delivery for addressed frames.
         let delivered = tx.frame.dst.map(|dst| {
-            if tx.dst_was_busy {
+            if self.fault_active(dst, tx.frame.kind.class()) {
+                // Injected fault window: the frame fails outright, without
+                // consuming a PER draw (with no windows installed the RNG
+                // stream is untouched and runs reproduce exactly).
+                self.n_faults_injected += 1;
+                mmwave_sim::metrics::record_fault_injected();
+                self.devices[dst].stats.rx_corrupted += 1;
+                false
+            } else if tx.dst_was_busy {
                 false
             } else {
                 let noise_lin = mmwave_phy::db_to_lin(self.env.noise_floor_dbm());
@@ -592,11 +717,10 @@ impl Net {
                     FrameKind::WihdData { bytes } => (7, *bytes as u64 * 8),
                     _ => (0, 300),
                 };
-                let per = self.mcs_table.get(mcs_idx).per(
-                    sinr,
-                    bits,
-                    self.env.noise_floor_dbm(),
-                );
+                let per = self
+                    .mcs_table
+                    .get(mcs_idx)
+                    .per(sinr, bits, self.env.noise_floor_dbm());
                 let ok = !self.rng.chance(per);
                 if !ok {
                     self.devices[dst].stats.rx_corrupted += 1;

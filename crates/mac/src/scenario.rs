@@ -1,0 +1,215 @@
+//! Deterministic scenario scripts: time-scheduled world mutations.
+//!
+//! The paper's "bane" findings are all *transient* — a human crossing the
+//! line of sight collapses the link until realignment (Fig. 20), and over
+//! 80 minutes the D5000 link repeatedly degrades and re-trains (Fig. 14).
+//! A [`Scenario`] scripts exactly those dynamics: a list of
+//! `(time, WorldMutation)` pairs that [`crate::Net::install_scenario`]
+//! schedules into the simulation's own event queue. Mutations therefore
+//! execute interleaved with MAC events in deterministic timestamp order,
+//! so a scripted run stays bitwise reproducible per seed.
+//!
+//! The invalidation contract: every mutation that changes radiometric
+//! geometry routes through the exact cache bump it requires — device
+//! moves/rotations bump that device's position/orientation generation in
+//! the [`LinkGainCache`], obstacle moves and enable-toggles flush all
+//! interned paths (a wall affects every pair). Fault injections and video
+//! toggles change no geometry and bump nothing.
+//!
+//! [`LinkGainCache`]: mmwave_channel::LinkGainCache
+
+use mmwave_geom::{Angle, Point, Segment, Vec2};
+use mmwave_sim::time::{SimDuration, SimTime};
+
+/// Which frames an injected fault window corrupts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Every addressed frame arriving at the target device.
+    AllFrames,
+    /// Only beacon frames (a beacon-loss burst; data still flows).
+    BeaconsOnly,
+}
+
+/// One scripted change of the world.
+#[derive(Clone, Debug)]
+pub enum WorldMutation {
+    /// Teleport/rotate a device (granular per-device cache bumps).
+    MoveDevice {
+        /// Device index.
+        dev: usize,
+        /// New position.
+        position: Point,
+        /// New orientation.
+        orientation: Angle,
+    },
+    /// Move/reshape a wall or obstacle (by wall index, see
+    /// [`mmwave_geom::Room::find_wall`]). Flushes all cached paths.
+    MoveObstacle {
+        /// Wall index within the room.
+        wall: usize,
+        /// The wall's new footprint.
+        seg: Segment,
+    },
+    /// Enable or disable a wall or obstacle. A disabled wall neither
+    /// blocks nor reflects — the blocker is "off stage".
+    SetObstacleEnabled {
+        /// Wall index within the room.
+        wall: usize,
+        /// New enabled state.
+        enabled: bool,
+    },
+    /// Toggle a WiHD source's video stream (interferer on/off — the
+    /// Fig. 23 power switch, scripted).
+    SetVideo {
+        /// WiHD source device index.
+        dev: usize,
+        /// Stream on?
+        on: bool,
+    },
+    /// Force frames addressed to `dev` to fail until `until` (injected
+    /// frame-error / beacon-loss burst, bypassing the PER model).
+    InjectFaults {
+        /// Target (receiving) device index.
+        dev: usize,
+        /// Which frame classes the window corrupts.
+        kind: FaultKind,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+}
+
+/// A mutation with its fire time.
+#[derive(Clone, Debug)]
+pub struct ScenarioEvent {
+    /// When the mutation applies.
+    pub at: SimTime,
+    /// What changes.
+    pub mutation: WorldMutation,
+}
+
+/// A scripted scenario: world mutations with their fire times.
+///
+/// Build with the chainable [`Scenario::at`] /
+/// [`Scenario::walking_blocker`]; install with
+/// [`crate::Net::install_scenario`]. Events may be added in any order —
+/// installation sorts them (stably) by time.
+#[derive(Clone, Debug, Default)]
+pub struct Scenario {
+    events: Vec<ScenarioEvent>,
+}
+
+impl Scenario {
+    /// An empty scenario.
+    pub fn new() -> Scenario {
+        Scenario::default()
+    }
+
+    /// Schedule one mutation.
+    pub fn at(mut self, at: SimTime, mutation: WorldMutation) -> Scenario {
+        self.events.push(ScenarioEvent { at, mutation });
+        self
+    }
+
+    /// Script a human blocker sweeping across the scene: wall `wall` is
+    /// moved through `steps + 1` positions, translating `shape` by
+    /// `sweep · k/steps` at time `t0 + duration · k/steps`. The caller
+    /// typically parks the blocker out of the link corridor beforehand
+    /// (its initial segment) and lets the sweep carry it through the LOS.
+    pub fn walking_blocker(
+        mut self,
+        wall: usize,
+        shape: Segment,
+        sweep: Vec2,
+        t0: SimTime,
+        duration: SimDuration,
+        steps: usize,
+    ) -> Scenario {
+        assert!(steps >= 1, "a walk needs at least one step");
+        for k in 0..=steps {
+            let frac = k as f64 / steps as f64;
+            let offset = Vec2::new(sweep.x * frac, sweep.y * frac);
+            let seg = Segment::new(shape.a + offset, shape.b + offset);
+            self.events.push(ScenarioEvent {
+                at: t0 + duration * frac,
+                mutation: WorldMutation::MoveObstacle { wall, seg },
+            });
+        }
+        self
+    }
+
+    /// The scripted events, in insertion order.
+    pub fn events(&self) -> &[ScenarioEvent] {
+        &self.events
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events sorted (stably) by fire time — the install order.
+    pub(crate) fn into_sorted_events(self) -> Vec<ScenarioEvent> {
+        let mut events = self.events;
+        events.sort_by_key(|e| e.at);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_events_and_sorts_on_install() {
+        let s = Scenario::new()
+            .at(
+                SimTime::from_millis(5),
+                WorldMutation::SetVideo { dev: 2, on: false },
+            )
+            .at(
+                SimTime::from_millis(1),
+                WorldMutation::SetObstacleEnabled {
+                    wall: 0,
+                    enabled: true,
+                },
+            );
+        assert_eq!(s.len(), 2);
+        let sorted = s.into_sorted_events();
+        assert_eq!(sorted[0].at, SimTime::from_millis(1));
+        assert_eq!(sorted[1].at, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn walking_blocker_generates_evenly_spaced_steps() {
+        let shape = Segment::new(Point::new(2.0, -2.0), Point::new(2.0, -1.0));
+        let s = Scenario::new().walking_blocker(
+            3,
+            shape,
+            Vec2::new(0.0, 3.0),
+            SimTime::from_millis(10),
+            SimDuration::from_millis(100),
+            10,
+        );
+        assert_eq!(s.len(), 11);
+        let first = &s.events()[0];
+        let last = &s.events()[10];
+        assert_eq!(first.at, SimTime::from_millis(10));
+        assert_eq!(last.at, SimTime::from_millis(110));
+        let (
+            WorldMutation::MoveObstacle { seg: s0, wall: w0 },
+            WorldMutation::MoveObstacle { seg: s1, .. },
+        ) = (&first.mutation, &last.mutation)
+        else {
+            panic!("walking blocker must emit MoveObstacle events");
+        };
+        assert_eq!(*w0, 3);
+        assert!((s0.a.y - -2.0).abs() < 1e-12);
+        assert!((s1.a.y - 1.0).abs() < 1e-12, "swept by the full vector");
+        assert!((s1.b.y - 2.0).abs() < 1e-12);
+    }
+}

@@ -65,7 +65,12 @@ mod tests {
 
     #[test]
     fn ratios_compute() {
-        let s = DevStats { data_tx: 10, ack_timeouts: 2, data_retx: 3, ..Default::default() };
+        let s = DevStats {
+            data_tx: 10,
+            ack_timeouts: 2,
+            data_retx: 3,
+            ..Default::default()
+        };
         assert!((s.data_loss_ratio() - 0.2).abs() < 1e-12);
         assert!((s.retx_ratio() - 0.3).abs() < 1e-12);
     }

@@ -55,8 +55,15 @@ pub fn best_pair_with(
     b: &Device,
     b_idx: usize,
 ) -> TrainingResult {
-    let (a_sector, b_sector, lin) =
-        cache.best_sector_pair(env, &a.node, a_idx, codebook(a), &b.node, b_idx, codebook(b));
+    let (a_sector, b_sector, lin) = cache.best_sector_pair(
+        env,
+        &a.node,
+        a_idx,
+        codebook(a),
+        &b.node,
+        b_idx,
+        codebook(b),
+    );
     let rx_dbm = if lin <= 0.0 {
         // No propagation path at any sector pair: the quiet-channel floor.
         -300.0
@@ -65,7 +72,11 @@ pub fn best_pair_with(
             + a.tx_power_offset_db
             - env.extra_loss_db
     };
-    TrainingResult { a_sector, b_sector, rx_dbm }
+    TrainingResult {
+        a_sector,
+        b_sector,
+        rx_dbm,
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +101,11 @@ mod tests {
         let steer_b = b.wigig().expect("wigig").codebook.sector(r.b_sector).steer;
         assert!(steer_a.degrees().abs() < 15.0, "a steer {steer_a}");
         assert!(steer_b.degrees().abs() < 15.0, "b steer {steer_b}");
-        assert!(r.rx_dbm > -60.0, "trained link should be strong: {}", r.rx_dbm);
+        assert!(
+            r.rx_dbm > -60.0,
+            "trained link should be strong: {}",
+            r.rx_dbm
+        );
     }
 
     #[test]
@@ -146,7 +161,10 @@ mod tests {
         // The chosen sector at `a` steers up towards the wall (positive
         // azimuth), not straight ahead.
         let steer_a = a.wigig().expect("wigig").codebook.sector(r.a_sector).steer;
-        assert!(steer_a.degrees() > 10.0, "steer {steer_a} should aim at the reflector");
+        assert!(
+            steer_a.degrees() > 10.0,
+            "steer {steer_a} should aim at the reflector"
+        );
         assert!(r.rx_dbm > -85.0, "reflected link usable: {}", r.rx_dbm);
     }
 
@@ -165,14 +183,23 @@ mod tests {
         let again = best_pair_with(&mut cache, &env, &a, 0, &b, 1);
         // The reverse sweep reuses the same table with swapped sectors.
         let rev = best_pair_with(&mut cache, &env, &b, 1, &a, 0);
-        assert_eq!((first.a_sector, first.b_sector), (again.a_sector, again.b_sector));
-        assert_eq!((rev.a_sector, rev.b_sector), (first.b_sector, first.a_sector));
+        assert_eq!(
+            (first.a_sector, first.b_sector),
+            (again.a_sector, again.b_sector)
+        );
+        assert_eq!(
+            (rev.a_sector, rev.b_sector),
+            (first.b_sector, first.a_sector)
+        );
         let s = cache.stats();
         assert_eq!(s.table_builds, 1, "one build serves all three sweeps");
         assert_eq!(s.table_hits, 2);
         // Same selection as the standalone (uncached) sweep.
         let standalone = best_pair(&env, &a, &b);
-        assert_eq!((first.a_sector, first.b_sector), (standalone.a_sector, standalone.b_sector));
+        assert_eq!(
+            (first.a_sector, first.b_sector),
+            (standalone.a_sector, standalone.b_sector)
+        );
         assert!((first.rx_dbm - standalone.rx_dbm).abs() < 1e-12);
     }
 

@@ -49,7 +49,11 @@ pub struct TxLog {
 impl TxLog {
     /// A new, enabled log with no retention window.
     pub fn new() -> TxLog {
-        TxLog { entries: Vec::new(), window: None, enabled: true }
+        TxLog {
+            entries: Vec::new(),
+            window: None,
+            enabled: true,
+        }
     }
 
     /// Enable or disable logging entirely.
@@ -97,12 +101,16 @@ impl TxLog {
 
     /// Entries overlapping `[from, to)`.
     pub fn in_window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &TxLogEntry> {
-        self.entries.iter().filter(move |e| e.end > from && e.start < to)
+        self.entries
+            .iter()
+            .filter(move |e| e.end > from && e.start < to)
     }
 
     /// Entries of one class from one source.
     pub fn of(&self, src: usize, class: FrameClass) -> impl Iterator<Item = &TxLogEntry> {
-        self.entries.iter().filter(move |e| e.src == src && e.class == class)
+        self.entries
+            .iter()
+            .filter(move |e| e.src == src && e.class == class)
     }
 
     /// Drop everything (keep settings).
@@ -145,8 +153,16 @@ mod tests {
         log.push(entry(0, 10, 1));
         log.push(entry(20, 30, 2));
         assert_eq!(log.len(), 2);
-        assert_eq!(log.in_window(SimTime::from_micros(5), SimTime::from_micros(25)).count(), 2);
-        assert_eq!(log.in_window(SimTime::from_micros(11), SimTime::from_micros(19)).count(), 0);
+        assert_eq!(
+            log.in_window(SimTime::from_micros(5), SimTime::from_micros(25))
+                .count(),
+            2
+        );
+        assert_eq!(
+            log.in_window(SimTime::from_micros(11), SimTime::from_micros(19))
+                .count(),
+            0
+        );
         assert_eq!(log.of(0, FrameClass::Data).count(), 2);
         assert_eq!(log.of(1, FrameClass::Data).count(), 0);
     }
@@ -166,7 +182,10 @@ mod tests {
         log.push(entry(100, 110, 2));
         log.set_window(SimTime::from_micros(50), SimTime::from_micros(200));
         assert_eq!(log.len(), 1, "old out-of-window entry pruned");
-        assert!(log.push(entry(300, 310, 3)).is_none(), "future out-of-window discarded");
+        assert!(
+            log.push(entry(300, 310, 3)).is_none(),
+            "future out-of-window discarded"
+        );
         assert!(log.push(entry(150, 160, 4)).is_some());
         assert_eq!(log.len(), 2);
     }

@@ -18,6 +18,21 @@ use mmwave_sim::time::SimDuration;
 /// discovery frame to be considered heard.
 const DISCOVERY_MARGIN_DB: f64 = 3.0;
 
+/// Consecutive ACK timeouts before a loss-triggered recovery probe. The
+/// required streak doubles with every recovery attempt already spent
+/// (bounded retry backoff), so a link that keeps collapsing probes less
+/// and less eagerly before the budget runs out.
+const LOSS_RETRAIN_STREAK: u8 = 3;
+
+/// Consecutive undelivered beacons before a loss-triggered recovery probe
+/// (idle links have no ACK stream; beacon loss is their only loss signal).
+const BEACON_LOSS_STREAK: u8 = 4;
+
+/// Recovery probes that actually found the beam collapsed (SNR below the
+/// sustain threshold) before the link is declared down instead of retrained
+/// again.
+const LOSS_RECOVERY_BUDGET: u8 = 3;
+
 /// The carrier-sense threshold this device operates with (per-device
 /// override, else the network default).
 pub(crate) fn cs_threshold(net: &Net, dev: usize) -> f64 {
@@ -33,8 +48,15 @@ pub(crate) fn cs_threshold(net: &Net, dev: usize) -> f64 {
 /// Emit one 32-sub-element discovery sweep and schedule the next tick.
 pub(crate) fn on_discovery_tick(net: &mut Net, dev: usize) {
     let (state, n_subs, sub_dur, interval) = {
-        let Some(w) = net.devices[dev].wigig() else { return };
-        (w.state, w.cfg.discovery_sub_elements, w.cfg.discovery_sub_duration, w.cfg.discovery_interval)
+        let Some(w) = net.devices[dev].wigig() else {
+            return;
+        };
+        (
+            w.state,
+            w.cfg.discovery_sub_elements,
+            w.cfg.discovery_sub_duration,
+            w.cfg.discovery_interval,
+        )
     };
     if state != WigigState::Unassociated {
         return; // associated meanwhile; sweeps stop
@@ -56,16 +78,23 @@ pub(crate) fn on_discovery_tick(net: &mut Net, dev: usize) {
         } else {
             net.queue.schedule(
                 now + sub_dur * i as u32,
-                NetEv::SendFrame { frame, pattern, extra_power_db: extra },
+                NetEv::SendFrame {
+                    frame,
+                    pattern,
+                    extra_power_db: extra,
+                },
             );
         }
     }
-    net.queue.schedule(now + interval, NetEv::DiscoveryTick { dev });
+    net.queue
+        .schedule(now + interval, NetEv::DiscoveryTick { dev });
 }
 
 /// After the last sub-element: did the pre-wired peer hear the sweep?
 fn check_discovery_response(net: &mut Net, dock: usize) {
-    let Some(w) = net.devices[dock].wigig() else { return };
+    let Some(w) = net.devices[dock].wigig() else {
+        return;
+    };
     if w.state != WigigState::Unassociated {
         return;
     }
@@ -93,15 +122,32 @@ fn check_discovery_response(net: &mut Net, dock: usize) {
         return; // out of range; keep sweeping
     }
     // Handshake: a short exchange of training frames, then association.
-    for (i, (src, dst)) in [(station, dock), (dock, station), (station, dock), (dock, station)]
-        .into_iter()
-        .enumerate()
+    for (i, (src, dst)) in [
+        (station, dock),
+        (dock, station),
+        (station, dock),
+        (dock, station),
+    ]
+    .into_iter()
+    .enumerate()
     {
         let seq = net.next_seq();
-        let frame = Frame { src, dst: Some(dst), kind: FrameKind::Training, seq };
+        let frame = Frame {
+            src,
+            dst: Some(dst),
+            kind: FrameKind::Training,
+            seq,
+        };
         let extra = net.cfg.control_power_offset_db;
         let at = net.now() + SimDuration::from_micros(120 * (i as u64 + 1));
-        net.queue.schedule(at, NetEv::SendFrame { frame, pattern: PatKey::Qo(0), extra_power_db: extra });
+        net.queue.schedule(
+            at,
+            NetEv::SendFrame {
+                frame,
+                pattern: PatKey::Qo(0),
+                extra_power_db: extra,
+            },
+        );
     }
     for d in [dock, station] {
         if let Some(w) = net.devices[d].wigig_mut() {
@@ -109,7 +155,8 @@ fn check_discovery_response(net: &mut Net, dock: usize) {
         }
     }
     let at = net.now() + SimDuration::from_millis(1);
-    net.queue.schedule(at, NetEv::AssocComplete { dock, station });
+    net.queue
+        .schedule(at, NetEv::AssocComplete { dock, station });
 }
 
 /// Train the sector pair and enter the data phase.
@@ -196,7 +243,9 @@ pub(crate) fn break_link(net: &mut Net, a: usize, b: usize) {
     use crate::device::WigigRole;
     for d in [a, b] {
         let (pending, lost_tags): (Vec<_>, Vec<u64>) = {
-            let Some(w) = net.devices[d].wigig_mut() else { continue };
+            let Some(w) = net.devices[d].wigig_mut() else {
+                continue;
+            };
             if w.state != WigigState::Associated {
                 continue;
             }
@@ -205,6 +254,9 @@ pub(crate) fn break_link(net: &mut Net, a: usize, b: usize) {
             w.contending = false;
             w.retry = 0;
             w.cw = 8;
+            w.ack_fail_streak = 0;
+            w.beacon_fail_streak = 0;
+            w.loss_recovery_attempts = 0;
             let mut lost: Vec<u64> = w.queue.drain(..).map(|m| m.tag).collect();
             let mut ids = Vec::new();
             if let Some(aa) = w.awaiting_ack.take() {
@@ -221,14 +273,21 @@ pub(crate) fn break_link(net: &mut Net, a: usize, b: usize) {
         }
         if !lost_tags.is_empty() {
             net.devices[d].stats.drops += 1;
-            net.delivered.push(Delivery::Dropped { dev: d, tags: lost_tags });
+            net.delivered.push(Delivery::Dropped {
+                dev: d,
+                tags: lost_tags,
+            });
         }
         let is_dock = net.devices[d]
             .wigig()
             .map(|w| w.role == WigigRole::Dock)
             .unwrap_or(false);
         if is_dock {
-            let interval = net.devices[d].wigig().expect("wigig").cfg.discovery_interval;
+            let interval = net.devices[d]
+                .wigig()
+                .expect("wigig")
+                .cfg
+                .discovery_interval;
             let at = net.now() + interval;
             net.queue.schedule(at, NetEv::DiscoveryTick { dev: d });
         }
@@ -242,7 +301,9 @@ pub(crate) fn break_link(net: &mut Net, a: usize, b: usize) {
 /// The dock-driven 1.1 ms beacon exchange.
 pub(crate) fn on_beacon_tick(net: &mut Net, dev: usize) {
     let (state, peer, interval) = {
-        let Some(w) = net.devices[dev].wigig() else { return };
+        let Some(w) = net.devices[dev].wigig() else {
+            return;
+        };
         (w.state, w.peer, w.cfg.beacon_interval)
     };
     if state != WigigState::Associated {
@@ -281,7 +342,9 @@ pub(crate) fn on_beacon_tick(net: &mut Net, dev: usize) {
         let w = net.devices[dev].wigig().expect("wigig");
         w.in_txop || w.awaiting_ack.is_some() || w.pending_cts.is_some()
     };
-    let idle = net.medium.idle_for(dev, cs_threshold(net, dev), net.now(), net.cfg.params.sifs);
+    let idle = net
+        .medium
+        .idle_for(dev, cs_threshold(net, dev), net.now(), net.cfg.params.sifs);
     if net.medium.is_transmitting(dev) || mid_exchange || !idle {
         let at = net.now() + SimDuration::from_micros(53);
         net.queue.schedule(at, NetEv::BeaconTick { dev });
@@ -289,7 +352,12 @@ pub(crate) fn on_beacon_tick(net: &mut Net, dev: usize) {
     }
     let seq = net.next_seq();
     let beacon_idx = (seq % 32) as usize;
-    let frame = Frame { src: dev, dst: Some(peer), kind: FrameKind::Beacon, seq };
+    let frame = Frame {
+        src: dev,
+        dst: Some(peer),
+        kind: FrameKind::Beacon,
+        seq,
+    };
     let extra = net.cfg.control_power_offset_db;
     net.devices[dev].stats.beacons_tx += 1;
     net.start_tx(frame, PatKey::Qo(beacon_idx), extra);
@@ -320,6 +388,106 @@ fn retrain(net: &mut Net, a: usize, b: usize) {
 }
 
 // ---------------------------------------------------------------------
+// Loss-triggered recovery
+// ---------------------------------------------------------------------
+
+/// A frame-loss streak crossed its threshold: probe the trained link.
+///
+/// If the trained-pair SNR still clears the sustain threshold, the losses
+/// were collisions or interference, not beam failure — reset the streaks
+/// and spend no recovery budget (CSMA backoff already handles contention).
+/// If the beam really collapsed (blockage, misalignment), burn one budget
+/// unit and retrain; [`update_link_snr_inner`] switches to the best
+/// surviving pair (e.g. a wall reflection) or, if nothing sustains the
+/// link, tears it down. Budget exhaustion forces the teardown directly:
+/// explicit link-down → rediscovery instead of a silent retrain loop.
+fn loss_recovery(net: &mut Net, me: usize, peer: usize) {
+    let state_ok = net.devices[me]
+        .wigig()
+        .map(|w| w.state == WigigState::Associated)
+        .unwrap_or(false);
+    if !state_ok {
+        return;
+    }
+    let peer_sector = net.devices[peer].wigig().map(|w| w.tx_sector).unwrap_or(0);
+    let rx = net.medium.rx_power_dbm(
+        &net.env,
+        &net.devices,
+        peer,
+        PatKey::Dir(peer_sector),
+        me,
+        0.0,
+    ) + net.link_offset_db(peer, me);
+    let snr = rx - net.env.noise_floor_dbm();
+    if snr >= net.cfg.min_link_snr_db {
+        if let Some(w) = net.devices[me].wigig_mut() {
+            w.ack_fail_streak = 0;
+            w.beacon_fail_streak = 0;
+        }
+        return;
+    }
+    let attempts = {
+        let Some(w) = net.devices[me].wigig_mut() else {
+            return;
+        };
+        w.ack_fail_streak = 0;
+        w.beacon_fail_streak = 0;
+        w.loss_recovery_attempts = w.loss_recovery_attempts.saturating_add(1);
+        w.loss_recovery_attempts
+    };
+    if attempts > LOSS_RECOVERY_BUDGET {
+        break_link(net, me, peer);
+    } else {
+        update_link_snr_inner(net, me, peer, true);
+    }
+}
+
+/// Loss streaks trigger recovery at a threshold that doubles with every
+/// recovery attempt already spent — the bounded retry backoff.
+fn streak_threshold(base: u8, attempts: u8) -> u8 {
+    base.saturating_mul(1 << attempts.min(4))
+}
+
+/// Count one ACK timeout towards the loss streak; probe when it crosses
+/// the (backoff-scaled) threshold.
+fn note_ack_loss(net: &mut Net, dev: usize) {
+    let trigger = {
+        let Some(w) = net.devices[dev].wigig_mut() else {
+            return;
+        };
+        if w.state != WigigState::Associated {
+            return;
+        }
+        w.ack_fail_streak = w.ack_fail_streak.saturating_add(1);
+        (w.ack_fail_streak >= streak_threshold(LOSS_RETRAIN_STREAK, w.loss_recovery_attempts))
+            .then_some(w.peer)
+            .flatten()
+    };
+    if let Some(peer) = trigger {
+        loss_recovery(net, dev, peer);
+    }
+}
+
+/// Count one undelivered beacon towards the sender's loss streak.
+fn note_beacon_loss(net: &mut Net, dev: usize) {
+    let trigger = {
+        let Some(w) = net.devices[dev].wigig_mut() else {
+            return;
+        };
+        if w.state != WigigState::Associated {
+            return;
+        }
+        w.beacon_fail_streak = w.beacon_fail_streak.saturating_add(1);
+        (w.beacon_fail_streak >= streak_threshold(BEACON_LOSS_STREAK, w.loss_recovery_attempts))
+            .then_some(w.peer)
+            .flatten()
+    };
+    if let Some(peer) = trigger {
+        loss_recovery(net, dev, peer);
+    }
+}
+
+// ---------------------------------------------------------------------
 // TXOP bursts
 // ---------------------------------------------------------------------
 
@@ -328,7 +496,9 @@ fn retrain(net: &mut Net, a: usize, b: usize) {
 pub(crate) fn maybe_contend(net: &mut Net, dev: usize, extra: SimDuration) {
     let aifs = net.cfg.params.aifs();
     let now = net.now();
-    let Some(w) = net.devices[dev].wigig_mut() else { return };
+    let Some(w) = net.devices[dev].wigig_mut() else {
+        return;
+    };
     if w.state == WigigState::Associated
         && !w.queue.is_empty()
         && !w.in_txop
@@ -337,7 +507,8 @@ pub(crate) fn maybe_contend(net: &mut Net, dev: usize, extra: SimDuration) {
         && w.pending_cts.is_none()
     {
         w.contending = true;
-        net.queue.schedule(now + aifs + extra, NetEv::TxopAttempt { dev });
+        net.queue
+            .schedule(now + aifs + extra, NetEv::TxopAttempt { dev });
     }
 }
 
@@ -345,7 +516,9 @@ pub(crate) fn maybe_contend(net: &mut Net, dev: usize, extra: SimDuration) {
 pub(crate) fn on_txop_attempt(net: &mut Net, dev: usize) {
     let now = net.now();
     let (ready, batch_wait_until, peer, sector, cw) = {
-        let Some(w) = net.devices[dev].wigig_mut() else { return };
+        let Some(w) = net.devices[dev].wigig_mut() else {
+            return;
+        };
         w.contending = false;
         let ready = w.state == WigigState::Associated
             && !w.queue.is_empty()
@@ -379,8 +552,12 @@ pub(crate) fn on_txop_attempt(net: &mut Net, dev: usize) {
     // Proper CSMA: the channel must have been idle for a full AIFS, not
     // merely at this instant (otherwise attempts landing inside the SIFS
     // gaps of a peer's burst collide with the next burst frame).
-    let busy = !net.medium.idle_for(dev, cs_threshold(net, dev), net.now(), net.cfg.params.aifs())
-        || net.medium.is_transmitting(dev);
+    let busy = !net.medium.idle_for(
+        dev,
+        cs_threshold(net, dev),
+        net.now(),
+        net.cfg.params.aifs(),
+    ) || net.medium.is_transmitting(dev);
     if busy {
         // Defer: retry after AIFS + random backoff.
         net.devices[dev].stats.cs_defers += 1;
@@ -402,10 +579,19 @@ pub(crate) fn on_txop_attempt(net: &mut Net, dev: usize) {
         w.txop_start = now;
     }
     let seq = net.next_seq();
-    let frame = Frame { src: dev, dst: Some(peer), kind: FrameKind::Rts, seq };
+    let frame = Frame {
+        src: dev,
+        dst: Some(peer),
+        kind: FrameKind::Rts,
+        seq,
+    };
     let (_, end) = net.start_tx(frame, PatKey::Dir(sector), 0.0);
     let sifs = net.cfg.params.sifs;
-    let cts_dur = airtime(&net.cfg.params, &FrameKind::Cts, SimDuration::from_micros(30));
+    let cts_dur = airtime(
+        &net.cfg.params,
+        &FrameKind::Cts,
+        SimDuration::from_micros(30),
+    );
     let timeout_at = end + sifs + cts_dur + SimDuration::from_micros(3);
     let id = net.queue.schedule(timeout_at, NetEv::CtsTimeout { dev });
     if let Some(w) = net.devices[dev].wigig_mut() {
@@ -421,7 +607,9 @@ pub(crate) fn on_cts_timeout(net: &mut Net, dev: usize) {
     const CTS_CW_CAP: u32 = 64;
     const CTS_DEAD_STREAK: u8 = 25;
     let dropped: Option<Vec<u64>> = {
-        let Some(w) = net.devices[dev].wigig_mut() else { return };
+        let Some(w) = net.devices[dev].wigig_mut() else {
+            return;
+        };
         if w.pending_cts.is_none() {
             return;
         }
@@ -459,7 +647,9 @@ pub(crate) fn send_next_data(net: &mut Net, dev: usize) {
     let params = net.cfg.params;
     let now = net.now();
     let (peer, sector, mcs, mpdus) = {
-        let Some(w) = net.devices[dev].wigig_mut() else { return };
+        let Some(w) = net.devices[dev].wigig_mut() else {
+            return;
+        };
         if !w.in_txop || w.awaiting_ack.is_some() {
             return;
         }
@@ -467,8 +657,7 @@ pub(crate) fn send_next_data(net: &mut Net, dev: usize) {
             w.in_txop = false;
             return;
         }
-        if w.queue.len() < w.cfg.min_aggregation
-            && now < w.oldest_wait_start + w.cfg.max_queue_wait
+        if w.queue.len() < w.cfg.min_aggregation && now < w.oldest_wait_start + w.cfg.max_queue_wait
         {
             // Not enough for a batch: close the TXOP and let the batch
             // timer (or the threshold crossing) re-open one.
@@ -511,14 +700,22 @@ pub(crate) fn send_next_data(net: &mut Net, dev: usize) {
     let frame = Frame {
         src: dev,
         dst: Some(peer),
-        kind: FrameKind::Data { mpdus: mpdus.clone(), mcs, retry },
+        kind: FrameKind::Data {
+            mpdus: mpdus.clone(),
+            mcs,
+            retry,
+        },
         seq,
     };
     let (_, end) = net.start_tx(frame, PatKey::Dir(sector), 0.0);
     let timeout_at = end + params.ack_timeout;
     let id = net.queue.schedule(timeout_at, NetEv::AckTimeout { dev });
     if let Some(w) = net.devices[dev].wigig_mut() {
-        w.awaiting_ack = Some(crate::device::AwaitingAck { mpdus, seq, timeout: id });
+        w.awaiting_ack = Some(crate::device::AwaitingAck {
+            mpdus,
+            seq,
+            timeout: id,
+        });
     }
 }
 
@@ -527,8 +724,12 @@ pub(crate) fn on_ack_timeout(net: &mut Net, dev: usize) {
     let retry_limit = net.cfg.params.retry_limit;
     let cw_max = net.cfg.params.cw_max;
     let dropped: Option<Vec<u64>> = {
-        let Some(w) = net.devices[dev].wigig_mut() else { return };
-        let Some(aa) = w.awaiting_ack.take() else { return };
+        let Some(w) = net.devices[dev].wigig_mut() else {
+            return;
+        };
+        let Some(aa) = w.awaiting_ack.take() else {
+            return;
+        };
         w.adapter.on_frame_result(false);
         w.retry += 1;
         w.cw = (w.cw * 2).min(cw_max);
@@ -549,6 +750,10 @@ pub(crate) fn on_ack_timeout(net: &mut Net, dev: usize) {
         net.devices[dev].stats.drops += 1;
         net.delivered.push(Delivery::Dropped { dev, tags });
     }
+    // Loss-triggered recovery: a streak of ACK timeouts probes the beam
+    // (and may retrain or tear the link down — in which case the
+    // contention attempt below finds the device unassociated and no-ops).
+    note_ack_loss(net, dev);
     backoff_and_contend(net, dev);
 }
 
@@ -570,10 +775,16 @@ pub(crate) fn on_frame_end(net: &mut Net, tx: &ActiveTx, delivered: Option<bool>
             }
         }
         FrameKind::Training => {}
-        FrameKind::Beacon
-            if delivered == Some(true) => {
+        FrameKind::Beacon => match delivered {
+            Some(true) => {
                 let me = tx.frame.dst.expect("beacons are addressed");
                 let peer = tx.frame.src;
+                // A delivered beacon proves the link carries frames: clear
+                // the sender's loss streak and recovery budget.
+                if let Some(w) = net.devices[peer].wigig_mut() {
+                    w.beacon_fail_streak = 0;
+                    w.loss_recovery_attempts = 0;
+                }
                 update_link_snr(net, me, peer);
                 // The station replies to the dock's beacon (not recursively).
                 let reply_is_due = net.devices[me]
@@ -582,7 +793,12 @@ pub(crate) fn on_frame_end(net: &mut Net, tx: &ActiveTx, delivered: Option<bool>
                     .unwrap_or(false);
                 if reply_is_due && !net.medium.is_transmitting(me) {
                     let seq = net.next_seq();
-                    let frame = Frame { src: me, dst: Some(peer), kind: FrameKind::Beacon, seq };
+                    let frame = Frame {
+                        src: me,
+                        dst: Some(peer),
+                        kind: FrameKind::Beacon,
+                        seq,
+                    };
                     let extra = net.cfg.control_power_offset_db;
                     let at = net.now() + sifs;
                     net.devices[me].stats.beacons_tx += 1;
@@ -596,109 +812,129 @@ pub(crate) fn on_frame_end(net: &mut Net, tx: &ActiveTx, delivered: Option<bool>
                     );
                 }
             }
-        FrameKind::Rts
-            if delivered == Some(true) => {
-                let responder = tx.frame.dst.expect("rts addressed");
-                // Virtual carrier sense: grant the CTS only if the
-                // responder's own medium is clear — this is what protects
-                // the receiver from transmitters the RTS sender cannot
-                // hear (the hidden-interferer case of §4.4).
-                let clear = !net
-                    .medium
-                    .is_busy_for(responder, net.cfg.params.cts_grant_threshold_dbm)
-                    && !net.medium.is_transmitting(responder);
-                if clear {
-                    let sector =
-                        net.devices[responder].wigig().map(|w| w.tx_sector).unwrap_or(0);
-                    let seq = net.next_seq();
-                    let frame = Frame {
-                        src: responder,
-                        dst: Some(tx.frame.src),
-                        kind: FrameKind::Cts,
-                        seq,
-                    };
-                    let at = net.now() + sifs;
-                    net.queue.schedule(
-                        at,
-                        NetEv::SendFrame { frame, pattern: PatKey::Dir(sector), extra_power_db: 0.0 },
-                    );
-                } else {
-                    net.devices[responder].stats.cs_defers += 1;
-                }
-            }
-        FrameKind::Cts
-            if delivered == Some(true) => {
-                let owner = tx.frame.dst.expect("cts addressed");
-                let pending = net.devices[owner].wigig_mut().and_then(|w| {
-                    w.cts_fail_streak = 0;
-                    w.pending_cts.take()
-                });
-                if let Some(id) = pending {
-                    net.queue.cancel(id);
-                    let at = net.now() + sifs;
-                    net.queue.schedule(at, NetEv::TxopData { dev: owner });
-                }
-            }
-        FrameKind::Data { mpdus, .. }
-            if delivered == Some(true) => {
-                let receiver = tx.frame.dst.expect("data addressed");
-                for m in mpdus {
-                    net.devices[receiver].stats.mpdus_rx += 1;
-                    net.devices[receiver].stats.bytes_rx += m.bytes as u64;
-                    net.delivered.push(Delivery::Mpdu {
-                        dev: receiver,
-                        src: tx.frame.src,
-                        bytes: m.bytes,
-                        tag: m.tag,
-                    });
-                }
-                let sector = net.devices[receiver].wigig().map(|w| w.tx_sector).unwrap_or(0);
+            Some(false) => note_beacon_loss(net, tx.frame.src),
+            None => {}
+        },
+        FrameKind::Rts if delivered == Some(true) => {
+            let responder = tx.frame.dst.expect("rts addressed");
+            // Virtual carrier sense: grant the CTS only if the
+            // responder's own medium is clear — this is what protects
+            // the receiver from transmitters the RTS sender cannot
+            // hear (the hidden-interferer case of §4.4).
+            let clear = !net
+                .medium
+                .is_busy_for(responder, net.cfg.params.cts_grant_threshold_dbm)
+                && !net.medium.is_transmitting(responder);
+            if clear {
+                let sector = net.devices[responder]
+                    .wigig()
+                    .map(|w| w.tx_sector)
+                    .unwrap_or(0);
                 let seq = net.next_seq();
-                let frame =
-                    Frame { src: receiver, dst: Some(tx.frame.src), kind: FrameKind::Ack, seq };
+                let frame = Frame {
+                    src: responder,
+                    dst: Some(tx.frame.src),
+                    kind: FrameKind::Cts,
+                    seq,
+                };
                 let at = net.now() + sifs;
                 net.queue.schedule(
                     at,
-                    NetEv::SendFrame { frame, pattern: PatKey::Dir(sector), extra_power_db: 0.0 },
+                    NetEv::SendFrame {
+                        frame,
+                        pattern: PatKey::Dir(sector),
+                        extra_power_db: 0.0,
+                    },
                 );
+            } else {
+                net.devices[responder].stats.cs_defers += 1;
             }
-        FrameKind::Ack
-            if delivered == Some(true) => {
-                let owner = tx.frame.dst.expect("ack addressed");
-                let txop_max;
-                let proceed = {
-                    let Some(w) = net.devices[owner].wigig_mut() else { return };
-                    txop_max = w.cfg.txop_max;
-                    if let Some(aa) = w.awaiting_ack.take() {
-                        w.adapter.on_frame_result(true);
-                        w.retry = 0;
-                        w.cw = 16;
-                        Some(aa.timeout)
-                    } else {
-                        None
-                    }
+        }
+        FrameKind::Cts if delivered == Some(true) => {
+            let owner = tx.frame.dst.expect("cts addressed");
+            let pending = net.devices[owner].wigig_mut().and_then(|w| {
+                w.cts_fail_streak = 0;
+                w.pending_cts.take()
+            });
+            if let Some(id) = pending {
+                net.queue.cancel(id);
+                let at = net.now() + sifs;
+                net.queue.schedule(at, NetEv::TxopData { dev: owner });
+            }
+        }
+        FrameKind::Data { mpdus, .. } if delivered == Some(true) => {
+            let receiver = tx.frame.dst.expect("data addressed");
+            for m in mpdus {
+                net.devices[receiver].stats.mpdus_rx += 1;
+                net.devices[receiver].stats.bytes_rx += m.bytes as u64;
+                net.delivered.push(Delivery::Mpdu {
+                    dev: receiver,
+                    src: tx.frame.src,
+                    bytes: m.bytes,
+                    tag: m.tag,
+                });
+            }
+            let sector = net.devices[receiver]
+                .wigig()
+                .map(|w| w.tx_sector)
+                .unwrap_or(0);
+            let seq = net.next_seq();
+            let frame = Frame {
+                src: receiver,
+                dst: Some(tx.frame.src),
+                kind: FrameKind::Ack,
+                seq,
+            };
+            let at = net.now() + sifs;
+            net.queue.schedule(
+                at,
+                NetEv::SendFrame {
+                    frame,
+                    pattern: PatKey::Dir(sector),
+                    extra_power_db: 0.0,
+                },
+            );
+        }
+        FrameKind::Ack if delivered == Some(true) => {
+            let owner = tx.frame.dst.expect("ack addressed");
+            let txop_max;
+            let proceed = {
+                let Some(w) = net.devices[owner].wigig_mut() else {
+                    return;
                 };
-                if let Some(timeout) = proceed {
-                    net.queue.cancel(timeout);
-                    net.devices[owner].stats.acks_rx += 1;
-                    let now = net.now();
-                    let (more, in_budget) = {
-                        let w = net.devices[owner].wigig().expect("wigig");
-                        (!w.queue.is_empty(), now.since(w.txop_start) < txop_max)
-                    };
-                    if more && in_budget {
-                        let at = now + sifs;
-                        net.queue.schedule(at, NetEv::TxopData { dev: owner });
-                    } else {
-                        if let Some(w) = net.devices[owner].wigig_mut() {
-                            w.in_txop = false;
-                        }
-                        if more {
-                            backoff_and_contend(net, owner);
-                        }
+                txop_max = w.cfg.txop_max;
+                if let Some(aa) = w.awaiting_ack.take() {
+                    w.adapter.on_frame_result(true);
+                    w.retry = 0;
+                    w.cw = 16;
+                    w.ack_fail_streak = 0;
+                    w.loss_recovery_attempts = 0;
+                    Some(aa.timeout)
+                } else {
+                    None
+                }
+            };
+            if let Some(timeout) = proceed {
+                net.queue.cancel(timeout);
+                net.devices[owner].stats.acks_rx += 1;
+                let now = net.now();
+                let (more, in_budget) = {
+                    let w = net.devices[owner].wigig().expect("wigig");
+                    (!w.queue.is_empty(), now.since(w.txop_start) < txop_max)
+                };
+                if more && in_budget {
+                    let at = now + sifs;
+                    net.queue.schedule(at, NetEv::TxopData { dev: owner });
+                } else {
+                    if let Some(w) = net.devices[owner].wigig_mut() {
+                        w.in_txop = false;
+                    }
+                    if more {
+                        backoff_and_contend(net, owner);
                     }
                 }
             }
+        }
         _ => {}
     }
 }

@@ -21,8 +21,15 @@ const PAIRING_MARGIN_DB: f64 = 3.0;
 /// frame"), then check whether the sink responded.
 pub(crate) fn on_discovery_tick(net: &mut Net, dev: usize) {
     let (paired, n_subs, sub_dur, interval) = {
-        let Some(w) = net.devices[dev].wihd() else { return };
-        (w.paired, w.cfg.discovery_sub_elements, w.cfg.discovery_sub_duration, w.cfg.discovery_interval)
+        let Some(w) = net.devices[dev].wihd() else {
+            return;
+        };
+        (
+            w.paired,
+            w.cfg.discovery_sub_elements,
+            w.cfg.discovery_sub_duration,
+            w.cfg.discovery_interval,
+        )
     };
     if paired {
         return;
@@ -37,7 +44,12 @@ pub(crate) fn on_discovery_tick(net: &mut Net, dev: usize) {
     net.devices[dev].stats.discovery_sweeps += 1;
     for (slot, &pattern_idx) in order.iter().enumerate() {
         let seq = net.next_seq();
-        let frame = Frame { src: dev, dst: None, kind: FrameKind::DiscoverySub { pattern_idx }, seq };
+        let frame = Frame {
+            src: dev,
+            dst: None,
+            kind: FrameKind::DiscoverySub { pattern_idx },
+            seq,
+        };
         let pattern = PatKey::Qo(pattern_idx);
         let extra = net.cfg.control_power_offset_db;
         if slot == 0 {
@@ -45,7 +57,11 @@ pub(crate) fn on_discovery_tick(net: &mut Net, dev: usize) {
         } else {
             net.queue.schedule(
                 now + sub_dur * slot as u32,
-                NetEv::SendFrame { frame, pattern, extra_power_db: extra },
+                NetEv::SendFrame {
+                    frame,
+                    pattern,
+                    extra_power_db: extra,
+                },
             );
         }
     }
@@ -73,7 +89,8 @@ pub(crate) fn on_discovery_tick(net: &mut Net, dev: usize) {
             NetEv::WihdPairComplete { source: dev, sink },
         );
     } else {
-        net.queue.schedule(now + interval, NetEv::WihdDiscoveryTick { dev });
+        net.queue
+            .schedule(now + interval, NetEv::WihdDiscoveryTick { dev });
     }
 }
 
@@ -106,14 +123,18 @@ pub(crate) fn complete_pairing(net: &mut Net, source: usize, sink: usize) {
     net.devices[source].stats.retrains += 1;
     net.devices[sink].stats.retrains += 1;
     let now = net.now();
-    net.queue.schedule(now + beacon_interval, NetEv::WihdBeaconTick { dev: sink });
-    net.queue.schedule(now + video_interval, NetEv::WihdVideoTick { dev: source });
+    net.queue
+        .schedule(now + beacon_interval, NetEv::WihdBeaconTick { dev: sink });
+    net.queue
+        .schedule(now + video_interval, NetEv::WihdVideoTick { dev: source });
 }
 
 /// Sink beacon: emitted blindly on the fixed 224 µs grid.
 pub(crate) fn on_beacon_tick(net: &mut Net, dev: usize) {
     let (paired, peer, sector, interval) = {
-        let Some(w) = net.devices[dev].wihd() else { return };
+        let Some(w) = net.devices[dev].wihd() else {
+            return;
+        };
         (w.paired, w.peer, w.tx_sector, w.cfg.beacon_interval)
     };
     if !paired {
@@ -126,19 +147,32 @@ pub(crate) fn on_beacon_tick(net: &mut Net, dev: usize) {
     }
     if let Some(peer) = peer {
         let seq = net.next_seq();
-        let frame = Frame { src: dev, dst: Some(peer), kind: FrameKind::WihdBeacon, seq };
+        let frame = Frame {
+            src: dev,
+            dst: Some(peer),
+            kind: FrameKind::WihdBeacon,
+            seq,
+        };
         let extra = net.cfg.control_power_offset_db;
         net.devices[dev].stats.beacons_tx += 1;
         net.start_tx(frame, PatKey::Dir(sector), extra);
     }
-    net.queue.schedule(now + interval, NetEv::WihdBeaconTick { dev });
+    net.queue
+        .schedule(now + interval, NetEv::WihdBeaconTick { dev });
 }
 
 /// A new video frame enters the source queue (VBR around the mean rate).
 pub(crate) fn on_video_tick(net: &mut Net, dev: usize) {
     let (paired, video_on, interval, rate) = {
-        let Some(w) = net.devices[dev].wihd() else { return };
-        (w.paired, w.video_on, w.cfg.video_frame_interval, w.cfg.video_rate_bps)
+        let Some(w) = net.devices[dev].wihd() else {
+            return;
+        };
+        (
+            w.paired,
+            w.video_on,
+            w.cfg.video_frame_interval,
+            w.cfg.video_rate_bps,
+        )
     };
     if !paired {
         return;
@@ -153,14 +187,17 @@ pub(crate) fn on_video_tick(net: &mut Net, dev: usize) {
         }
     }
     let now = net.now();
-    net.queue.schedule(now + interval, NetEv::WihdVideoTick { dev });
+    net.queue
+        .schedule(now + interval, NetEv::WihdVideoTick { dev });
 }
 
 /// Transmit the next queued data frame (no carrier sense, no ACKs).
 pub(crate) fn send_next(net: &mut Net, dev: usize) {
     let params_overhead = net.cfg.params.data_phy_overhead;
     let (queue, peer, sector, max_dur, phy_rate, guard, video_on) = {
-        let Some(w) = net.devices[dev].wihd() else { return };
+        let Some(w) = net.devices[dev].wihd() else {
+            return;
+        };
         (
             w.queue_bytes,
             w.peer,
@@ -181,9 +218,11 @@ pub(crate) fn send_next(net: &mut Net, dev: usize) {
     let max_bytes = (max_dur.saturating_sub(params_overhead)).bits_at(phy_rate) / 8;
     let bytes = queue.min(max_bytes) as u32;
     // Respect the beacon grid: stop the burst if this frame would overrun.
-    let next_beacon = net.devices[peer].wihd().map(|w| w.next_beacon_at).unwrap_or_default();
-    let frame_dur =
-        params_overhead + SimDuration::for_bits(bytes as u64 * 8, phy_rate);
+    let next_beacon = net.devices[peer]
+        .wihd()
+        .map(|w| w.next_beacon_at)
+        .unwrap_or_default();
+    let frame_dur = params_overhead + SimDuration::for_bits(bytes as u64 * 8, phy_rate);
     let now = net.now();
     if next_beacon > now && now + frame_dur + guard > next_beacon {
         if let Some(w) = net.devices[dev].wihd_mut() {
@@ -196,7 +235,12 @@ pub(crate) fn send_next(net: &mut Net, dev: usize) {
         w.bursting = true;
     }
     let seq = net.next_seq();
-    let frame = Frame { src: dev, dst: Some(peer), kind: FrameKind::WihdData { bytes }, seq };
+    let frame = Frame {
+        src: dev,
+        dst: Some(peer),
+        kind: FrameKind::WihdData { bytes },
+        seq,
+    };
     net.devices[dev].stats.data_tx += 1;
     net.start_tx(frame, PatKey::Dir(sector), 0.0);
 }

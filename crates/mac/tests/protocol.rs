@@ -7,13 +7,22 @@ use mmwave_mac::{Delivery, Device, FrameClass, Net, NetConfig};
 use mmwave_sim::time::SimTime;
 
 fn quiet_cfg(seed: u64) -> NetConfig {
-    NetConfig { seed, enable_fading: false, ..NetConfig::default() }
+    NetConfig {
+        seed,
+        enable_fading: false,
+        ..NetConfig::default()
+    }
 }
 
 /// A dock at the origin facing +x and a laptop 2 m away facing back.
 fn two_m_link(cfg: NetConfig) -> (Net, usize, usize) {
     let mut net = Net::new(Environment::new(Room::open_space()), cfg);
-    let dock = net.add_device(Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13));
+    let dock = net.add_device(Device::wigig_dock(
+        "dock",
+        Point::new(0.0, 0.0),
+        Angle::ZERO,
+        13,
+    ));
     let laptop = net.add_device(Device::wigig_laptop(
         "laptop",
         Point::new(2.0, 0.0),
@@ -45,7 +54,12 @@ fn discovery_leads_to_association() {
 fn discovery_sweep_repeats_at_102_4_ms_when_alone() {
     // No peer in range: the dock keeps sweeping at the Table 1 period.
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(1));
-    let dock = net.add_device(Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13));
+    let dock = net.add_device(Device::wigig_dock(
+        "dock",
+        Point::new(0.0, 0.0),
+        Angle::ZERO,
+        13,
+    ));
     net.start();
     net.run_until(SimTime::from_millis(600));
     let starts: Vec<SimTime> = {
@@ -70,16 +84,28 @@ fn beacons_run_at_1_1_ms_when_associated() {
     let (mut net, dock, laptop) = two_m_link(quiet_cfg(2));
     net.associate_instantly(dock, laptop);
     net.run_until(SimTime::from_millis(50));
-    let starts: Vec<SimTime> =
-        net.txlog().of(dock, FrameClass::Beacon).map(|e| e.start).collect();
+    let starts: Vec<SimTime> = net
+        .txlog()
+        .of(dock, FrameClass::Beacon)
+        .map(|e| e.start)
+        .collect();
     assert!(starts.len() >= 40, "{} beacons", starts.len());
-    let mut gaps: Vec<f64> = starts.windows(2).map(|w| (w[1] - w[0]).as_micros_f64()).collect();
+    let mut gaps: Vec<f64> = starts
+        .windows(2)
+        .map(|w| (w[1] - w[0]).as_micros_f64())
+        .collect();
     gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let median = gaps[gaps.len() / 2];
-    assert!((median - 1_100.0).abs() < 5.0, "median beacon gap {median} µs");
+    assert!(
+        (median - 1_100.0).abs() < 5.0,
+        "median beacon gap {median} µs"
+    );
     // The laptop answers most dock beacons.
     let replies = net.txlog().of(laptop, FrameClass::Beacon).count();
-    assert!(replies as f64 > 0.8 * starts.len() as f64, "{replies} replies");
+    assert!(
+        replies as f64 > 0.8 * starts.len() as f64,
+        "{replies} replies"
+    );
 }
 
 #[test]
@@ -144,7 +170,10 @@ fn high_load_aggregates_low_load_does_not() {
         .of(dock, FrameClass::Data)
         .map(|e| (e.end - e.start).as_micros_f64())
         .fold(0.0, f64::max);
-    assert!(max_dur > 15.0, "aggregation should produce long frames: {max_dur}");
+    assert!(
+        max_dur > 15.0,
+        "aggregation should produce long frames: {max_dur}"
+    );
     assert!(max_dur <= 25.5, "25 µs cap violated: {max_dur}");
 
     // Sparse arrivals: one MPDU at a time → only short frames.
@@ -178,16 +207,27 @@ fn short_link_uses_mcs11() {
         net.push_mpdu(dock, 1500, i);
     }
     net.run_until(SimTime::from_millis(5));
-    let mcs: Vec<u8> =
-        net.txlog().of(dock, FrameClass::Data).filter_map(|e| e.mcs).collect();
+    let mcs: Vec<u8> = net
+        .txlog()
+        .of(dock, FrameClass::Data)
+        .filter_map(|e| e.mcs)
+        .collect();
     assert!(!mcs.is_empty());
-    assert!(mcs.iter().all(|&m| m == 11), "2 m link must run 16-QAM 5/8: {mcs:?}");
+    assert!(
+        mcs.iter().all(|&m| m == 11),
+        "2 m link must run 16-QAM 5/8: {mcs:?}"
+    );
 }
 
 #[test]
 fn long_link_uses_lower_mcs() {
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(8));
-    let dock = net.add_device(Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13));
+    let dock = net.add_device(Device::wigig_dock(
+        "dock",
+        Point::new(0.0, 0.0),
+        Angle::ZERO,
+        13,
+    ));
     let laptop = net.add_device(Device::wigig_laptop(
         "laptop",
         Point::new(8.0, 0.0),
@@ -199,8 +239,11 @@ fn long_link_uses_lower_mcs() {
         net.push_mpdu(dock, 1500, i);
     }
     net.run_until(SimTime::from_millis(5));
-    let mcs: Vec<u8> =
-        net.txlog().of(dock, FrameClass::Data).filter_map(|e| e.mcs).collect();
+    let mcs: Vec<u8> = net
+        .txlog()
+        .of(dock, FrameClass::Data)
+        .filter_map(|e| e.mcs)
+        .collect();
     assert!(!mcs.is_empty());
     assert!(
         mcs.iter().all(|&m| (5..=9).contains(&m)),
@@ -211,7 +254,12 @@ fn long_link_uses_lower_mcs() {
 #[test]
 fn out_of_range_link_never_associates() {
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(9));
-    let dock = net.add_device(Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13));
+    let dock = net.add_device(Device::wigig_dock(
+        "dock",
+        Point::new(0.0, 0.0),
+        Angle::ZERO,
+        13,
+    ));
     let laptop = net.add_device(Device::wigig_laptop(
         "laptop",
         Point::new(60.0, 0.0),
@@ -223,13 +271,21 @@ fn out_of_range_link_never_associates() {
     net.run_until(SimTime::from_millis(400));
     let w = net.device(dock).wigig().expect("wigig");
     assert_eq!(w.state, mmwave_mac::device::WigigState::Unassociated);
-    assert!(net.device(dock).stats.discovery_sweeps >= 3, "keeps sweeping");
+    assert!(
+        net.device(dock).stats.discovery_sweeps >= 3,
+        "keeps sweeping"
+    );
 }
 
 #[test]
 fn wihd_beacons_every_224_us_and_video_flows() {
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(10));
-    let tx = net.add_device(Device::wihd_source("hdmi tx", Point::new(0.0, 0.0), Angle::ZERO, 21));
+    let tx = net.add_device(Device::wihd_source(
+        "hdmi tx",
+        Point::new(0.0, 0.0),
+        Angle::ZERO,
+        21,
+    ));
     let rx = net.add_device(Device::wihd_sink(
         "hdmi rx",
         Point::new(8.0, 0.0),
@@ -238,8 +294,11 @@ fn wihd_beacons_every_224_us_and_video_flows() {
     ));
     net.pair_wihd_instantly(tx, rx);
     net.run_until(SimTime::from_millis(100));
-    let beacons: Vec<SimTime> =
-        net.txlog().of(rx, FrameClass::WihdBeacon).map(|e| e.start).collect();
+    let beacons: Vec<SimTime> = net
+        .txlog()
+        .of(rx, FrameClass::WihdBeacon)
+        .map(|e| e.start)
+        .collect();
     assert!(beacons.len() > 400, "{} beacons", beacons.len());
     for w in beacons.windows(2) {
         assert!(((w[1] - w[0]).as_micros_f64() - 224.0).abs() < 1.0);
@@ -256,7 +315,12 @@ fn wihd_beacons_every_224_us_and_video_flows() {
 #[test]
 fn wihd_duty_cycle_near_46_percent() {
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(11));
-    let tx = net.add_device(Device::wihd_source("hdmi tx", Point::new(0.0, 0.0), Angle::ZERO, 21));
+    let tx = net.add_device(Device::wihd_source(
+        "hdmi tx",
+        Point::new(0.0, 0.0),
+        Angle::ZERO,
+        21,
+    ));
     let rx = net.add_device(Device::wihd_sink(
         "hdmi rx",
         Point::new(8.0, 0.0),
@@ -273,13 +337,21 @@ fn wihd_duty_cycle_near_46_percent() {
     );
     net.run_until(SimTime::from_millis(500));
     let util = net.monitor_utilization(mon, SimTime::ZERO);
-    assert!((0.35..=0.58).contains(&util), "WiHD standalone utilization {util}");
+    assert!(
+        (0.35..=0.58).contains(&util),
+        "WiHD standalone utilization {util}"
+    );
 }
 
 #[test]
 fn video_off_silences_data_but_not_beacons() {
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(12));
-    let tx = net.add_device(Device::wihd_source("hdmi tx", Point::new(0.0, 0.0), Angle::ZERO, 21));
+    let tx = net.add_device(Device::wihd_source(
+        "hdmi tx",
+        Point::new(0.0, 0.0),
+        Angle::ZERO,
+        21,
+    ));
     let rx = net.add_device(Device::wihd_sink(
         "hdmi rx",
         Point::new(8.0, 0.0),
@@ -291,8 +363,15 @@ fn video_off_silences_data_but_not_beacons() {
     net.set_video(tx, false);
     net.txlog_mut().clear();
     net.run_until(SimTime::from_millis(100));
-    assert_eq!(net.txlog().of(tx, FrameClass::WihdData).count(), 0, "no data while off");
-    assert!(net.txlog().of(rx, FrameClass::WihdBeacon).count() > 100, "beacons continue");
+    assert_eq!(
+        net.txlog().of(tx, FrameClass::WihdData).count(),
+        0,
+        "no data while off"
+    );
+    assert!(
+        net.txlog().of(rx, FrameClass::WihdBeacon).count() > 100,
+        "beacons continue"
+    );
 }
 
 #[test]
@@ -301,10 +380,30 @@ fn two_wigig_links_coexist_via_carrier_sense() {
     // persistent loss (§3.2: "The Dell D5000 systems do not interfere with
     // each other since they use CSMA/CA").
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(13));
-    let dock_a = net.add_device(Device::wigig_dock("dock A", Point::new(0.0, 0.0), Angle::from_degrees(90.0), 13));
-    let lap_a = net.add_device(Device::wigig_laptop("laptop A", Point::new(0.0, 6.0), Angle::from_degrees(-90.0), 11));
-    let dock_b = net.add_device(Device::wigig_dock("dock B", Point::new(3.0, 0.0), Angle::from_degrees(90.0), 7));
-    let lap_b = net.add_device(Device::wigig_laptop("laptop B", Point::new(3.0, 6.0), Angle::from_degrees(-90.0), 5));
+    let dock_a = net.add_device(Device::wigig_dock(
+        "dock A",
+        Point::new(0.0, 0.0),
+        Angle::from_degrees(90.0),
+        13,
+    ));
+    let lap_a = net.add_device(Device::wigig_laptop(
+        "laptop A",
+        Point::new(0.0, 6.0),
+        Angle::from_degrees(-90.0),
+        11,
+    ));
+    let dock_b = net.add_device(Device::wigig_dock(
+        "dock B",
+        Point::new(3.0, 0.0),
+        Angle::from_degrees(90.0),
+        7,
+    ));
+    let lap_b = net.add_device(Device::wigig_laptop(
+        "laptop B",
+        Point::new(3.0, 6.0),
+        Angle::from_degrees(-90.0),
+        5,
+    ));
     net.associate_instantly(dock_a, lap_a);
     net.associate_instantly(dock_b, lap_b);
     // Feed both links steadily for 400 ms: long enough that the transient
@@ -326,7 +425,10 @@ fn two_wigig_links_coexist_via_carrier_sense() {
     let loss_a = net.device(dock_a).stats.data_loss_ratio();
     let loss_b = net.device(dock_b).stats.data_loss_ratio();
     assert!(loss_a < 0.12 && loss_b < 0.12, "loss {loss_a} / {loss_b}");
-    assert_eq!(net.device(dock_a).stats.drops + net.device(dock_b).stats.drops, 0);
+    assert_eq!(
+        net.device(dock_a).stats.drops + net.device(dock_b).stats.drops,
+        0
+    );
 }
 
 #[test]
@@ -338,10 +440,17 @@ fn deterministic_given_seed() {
     let run = |seed: u64| {
         let mut net = Net::new(
             Environment::new(Room::open_space()),
-            NetConfig { seed, ..NetConfig::default() },
+            NetConfig {
+                seed,
+                ..NetConfig::default()
+            },
         );
-        let dock =
-            net.add_device(Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13));
+        let dock = net.add_device(Device::wigig_dock(
+            "dock",
+            Point::new(0.0, 0.0),
+            Angle::ZERO,
+            13,
+        ));
         let laptop = net.add_device(Device::wigig_laptop(
             "laptop",
             Point::new(11.5, 0.0),
@@ -353,7 +462,14 @@ fn deterministic_given_seed() {
         for i in 1..=200u64 {
             net.push_mpdu(dock, 1500, i);
             net.run_until(SimTime::from_millis(100 * i));
-            mcs_trace.push(net.device(dock).wigig().expect("wigig").adapter.current().index);
+            mcs_trace.push(
+                net.device(dock)
+                    .wigig()
+                    .expect("wigig")
+                    .adapter
+                    .current()
+                    .index,
+            );
         }
         (mcs_trace, net.device(laptop).stats.bytes_rx)
     };
@@ -377,7 +493,12 @@ fn bidirectional_traffic() {
 #[test]
 fn monitor_sees_nothing_when_idle() {
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(15));
-    let _dock = net.add_device(Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13));
+    let _dock = net.add_device(Device::wigig_dock(
+        "dock",
+        Point::new(0.0, 0.0),
+        Angle::ZERO,
+        13,
+    ));
     let mon = net.add_monitor(
         Point::new(1.0, 0.0),
         Angle::ZERO,
@@ -393,7 +514,8 @@ fn monitor_sees_nothing_when_idle() {
 fn txlog_window_limits_memory() {
     let (mut net, dock, laptop) = two_m_link(quiet_cfg(16));
     net.associate_instantly(dock, laptop);
-    net.txlog_mut().set_window(SimTime::from_millis(5), SimTime::from_millis(6));
+    net.txlog_mut()
+        .set_window(SimTime::from_millis(5), SimTime::from_millis(6));
     for i in 0..100u64 {
         net.push_mpdu(dock, 1500, i);
     }
@@ -472,7 +594,12 @@ fn wihd_pairs_through_discovery() {
     // The WiHD source sweeps shuffled discovery frames every 20 ms until
     // its sink responds; after pairing the beacon grid starts.
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(19));
-    let tx = net.add_device(Device::wihd_source("hdmi tx", Point::new(0.0, 0.0), Angle::ZERO, 21));
+    let tx = net.add_device(Device::wihd_source(
+        "hdmi tx",
+        Point::new(0.0, 0.0),
+        Angle::ZERO,
+        21,
+    ));
     let rx = net.add_device(Device::wihd_sink(
         "hdmi rx",
         Point::new(6.0, 0.0),
@@ -496,7 +623,12 @@ fn wihd_discovery_order_is_shuffled() {
     // discovery frame" (which is why the paper could not measure its
     // quasi-omni patterns).
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(20));
-    let tx = net.add_device(Device::wihd_source("hdmi tx", Point::new(0.0, 0.0), Angle::ZERO, 21));
+    let tx = net.add_device(Device::wihd_source(
+        "hdmi tx",
+        Point::new(0.0, 0.0),
+        Angle::ZERO,
+        21,
+    ));
     net.start();
     net.run_until(SimTime::from_millis(90));
     // Collect the pattern order of each sweep.
@@ -513,13 +645,20 @@ fn wihd_discovery_order_is_shuffled() {
         .collect();
     subs.sort_by_key(|(t, _)| *t);
     let per_sweep = 16;
-    assert!(subs.len() >= 3 * per_sweep, "{} sub-elements captured", subs.len());
+    assert!(
+        subs.len() >= 3 * per_sweep,
+        "{} sub-elements captured",
+        subs.len()
+    );
     let orders: Vec<Vec<usize>> = subs
         .chunks(per_sweep)
         .take(3)
         .map(|c| c.iter().map(|(_, i)| *i).collect())
         .collect();
-    assert_ne!(orders[0], orders[1], "sweep order must change between frames");
+    assert_ne!(
+        orders[0], orders[1],
+        "sweep order must change between frames"
+    );
     assert_ne!(orders[1], orders[2]);
     // Each sweep still covers all 16 patterns exactly once.
     for mut o in orders {

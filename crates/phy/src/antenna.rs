@@ -28,12 +28,20 @@ impl ElementPattern {
     /// 70°-steered link of Figs. 17/22 loses ≈ 8–10 dB yet stays usable,
     /// as the paper observes.
     pub fn patch() -> ElementPattern {
-        ElementPattern { q: 1.6, boresight_gain_dbi: 5.0, back_floor_db: -18.0 }
+        ElementPattern {
+            q: 1.6,
+            boresight_gain_dbi: 5.0,
+            back_floor_db: -18.0,
+        }
     }
 
     /// A wider, lower-gain element (the irregular WiHD array).
     pub fn wide() -> ElementPattern {
-        ElementPattern { q: 1.0, boresight_gain_dbi: 3.0, back_floor_db: -14.0 }
+        ElementPattern {
+            q: 1.0,
+            boresight_gain_dbi: 3.0,
+            back_floor_db: -14.0,
+        }
     }
 
     /// Element power gain in dBi at local azimuth `theta` (0 = boresight).

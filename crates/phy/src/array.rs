@@ -35,7 +35,10 @@ impl Complex {
     }
     /// `mag · e^{jφ}`.
     pub fn polar(mag: f64, phase: f64) -> Complex {
-        Complex { re: mag * phase.cos(), im: mag * phase.sin() }
+        Complex {
+            re: mag * phase.cos(),
+            im: mag * phase.sin(),
+        }
     }
     /// Magnitude.
     pub fn abs(self) -> f64 {
@@ -43,11 +46,17 @@ impl Complex {
     }
     /// Complex multiplication.
     pub fn mul(self, o: Complex) -> Complex {
-        Complex { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
     }
     /// Complex addition.
     pub fn add(self, o: Complex) -> Complex {
-        Complex { re: self.re + o.re, im: self.im + o.im }
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -85,7 +94,11 @@ impl PhasedArray {
                 Complex::polar(10f64.powf(amp_db / 20.0), phase)
             })
             .collect();
-        PhasedArray { config, positions_wl, errors }
+        PhasedArray {
+            config,
+            positions_wl,
+            errors,
+        }
     }
 
     /// The array's configuration.
@@ -124,7 +137,11 @@ impl PhasedArray {
             // Normalize so an ideal uniform array peaks at
             // element_gain + 10·log10(columns) (+ rows gain).
             let af_power = field.abs().powi(2) / active;
-            let af_db = if af_power > 0.0 { 10.0 * af_power.log10() } else { -60.0 };
+            let af_db = if af_power > 0.0 {
+                10.0 * af_power.log10()
+            } else {
+                -60.0
+            };
             el.gain_dbi(theta) + af_db.max(-60.0) + rows_gain_db
         })
     }
@@ -146,8 +163,11 @@ impl PhasedArray {
     /// The pattern with *ideal* (unquantized) phases — the textbook pattern,
     /// used as the baseline in the phase-resolution ablation.
     pub fn ideal_steered_pattern(&self, steer: Angle) -> AntennaPattern {
-        let weights: Vec<Complex> =
-            self.ideal_phases(steer).iter().map(|&p| Complex::polar(1.0, p)).collect();
+        let weights: Vec<Complex> = self
+            .ideal_phases(steer)
+            .iter()
+            .map(|&p| Complex::polar(1.0, p))
+            .collect();
         self.pattern_from_weights(&weights)
     }
 
@@ -179,7 +199,11 @@ mod tests {
             columns,
             rows: 1,
             spacing_wl: 0.5,
-            element: ElementPattern { q: 0.0, boresight_gain_dbi: 0.0, back_floor_db: -30.0 },
+            element: ElementPattern {
+                q: 0.0,
+                boresight_gain_dbi: 0.0,
+                back_floor_db: -30.0,
+            },
             shifter: PhaseShifter::new(8),
             amp_error_db: 0.0,
             phase_error_rad: 0.0,
@@ -254,14 +278,23 @@ mod tests {
         let mut total = 0;
         for deg in [-35.0, -25.0, -17.0, 13.0, 23.0, 37.0] {
             let s = Angle::from_degrees(deg);
-            let sll_coarse = coarse.steered_pattern(s).side_lobe_level_db().unwrap_or(-60.0);
-            let sll_fine = fine.steered_pattern(s).side_lobe_level_db().unwrap_or(-60.0);
+            let sll_coarse = coarse
+                .steered_pattern(s)
+                .side_lobe_level_db()
+                .unwrap_or(-60.0);
+            let sll_fine = fine
+                .steered_pattern(s)
+                .side_lobe_level_db()
+                .unwrap_or(-60.0);
             total += 1;
             if sll_coarse > sll_fine + 0.5 {
                 worse += 1;
             }
         }
-        assert!(worse * 2 >= total, "2-bit shifters should raise SLL ({worse}/{total})");
+        assert!(
+            worse * 2 >= total,
+            "2-bit shifters should raise SLL ({worse}/{total})"
+        );
     }
 
     #[test]
@@ -281,7 +314,12 @@ mod tests {
         let arr = PhasedArray::new(ArrayConfig::wigig_2x8(1));
         let dir = arr.steered_pattern(Angle::ZERO);
         let qo = arr.quasi_omni_pattern(&[(3, 0.0), (4, 0.8)]);
-        assert!(qo.hpbw() > dir.hpbw() * 1.5, "qo {} dir {}", qo.hpbw(), dir.hpbw());
+        assert!(
+            qo.hpbw() > dir.hpbw() * 1.5,
+            "qo {} dir {}",
+            qo.hpbw(),
+            dir.hpbw()
+        );
         assert!(qo.peak().gain_dbi < dir.peak().gain_dbi);
     }
 

@@ -57,10 +57,17 @@ impl Codebook {
             .map(|i| {
                 let frac = i as f64 / (n - 1) as f64;
                 let steer = Angle::from_radians(-half_span + 2.0 * half_span * frac);
-                Sector { id: i, steer, pattern: array.steered_pattern(steer) }
+                Sector {
+                    id: i,
+                    steer,
+                    pattern: array.steered_pattern(steer),
+                }
             })
             .collect();
-        Codebook { kind: CodebookKind::Directional, sectors }
+        Codebook {
+            kind: CodebookKind::Directional,
+            sectors,
+        }
     }
 
     /// The default directional codebook used by the WiGig device models:
@@ -114,7 +121,10 @@ impl Codebook {
             id += 1;
         }
         debug_assert_eq!(sectors.len(), 32);
-        Codebook { kind: CodebookKind::QuasiOmni, sectors }
+        Codebook {
+            kind: CodebookKind::QuasiOmni,
+            sectors,
+        }
     }
 
     /// Codebook kind.
@@ -187,8 +197,11 @@ mod tests {
         // majority of inner sectors must still point near their nominal
         // steering azimuth.
         let cb = Codebook::directional_default(&wigig_array());
-        let inner: Vec<_> =
-            cb.sectors().iter().filter(|s| s.steer.degrees().abs() < 50.0).collect();
+        let inner: Vec<_> = cb
+            .sectors()
+            .iter()
+            .filter(|s| s.steer.degrees().abs() < 50.0)
+            .collect();
         let good = inner
             .iter()
             .filter(|s| s.pattern.peak().direction.distance(s.steer) < 12f64.to_radians())
@@ -207,7 +220,11 @@ mod tests {
         let best = cb.best_toward(target);
         // The chosen sector's gain towards the target beats the average
         // sector by a clear margin.
-        let avg: f64 = cb.sectors().iter().map(|s| s.pattern.gain_dbi(target)).sum::<f64>()
+        let avg: f64 = cb
+            .sectors()
+            .iter()
+            .map(|s| s.pattern.gain_dbi(target))
+            .sum::<f64>()
             / cb.len() as f64;
         assert!(best.pattern.gain_dbi(target) > avg + 3.0);
     }
@@ -262,7 +279,10 @@ mod tests {
             .fold(f64::MIN, f64::max);
         for d in (-60..=60).step_by(5) {
             let g = best_of(Angle::from_degrees(d as f64));
-            assert!(g > overall_best - 12.0, "coverage hole at {d}°: {g} vs {overall_best}");
+            assert!(
+                g > overall_best - 12.0,
+                "coverage hole at {d}°: {g} vs {overall_best}"
+            );
         }
     }
 }

@@ -46,7 +46,9 @@ pub use codebook::{Codebook, CodebookKind, Sector};
 pub use horn::{horn_25dbi, open_waveguide};
 pub use mcs::{Mcs, McsTable, Modulation};
 pub use pattern::{AntennaPattern, Lobe};
-pub use propagation::{fspl_db, oxygen_loss_db, path_loss_db, LinkBudget, BANDWIDTH_HZ, FREQ_CH2_HZ, FREQ_CH3_HZ};
+pub use propagation::{
+    fspl_db, oxygen_loss_db, path_loss_db, LinkBudget, BANDWIDTH_HZ, FREQ_CH2_HZ, FREQ_CH3_HZ,
+};
 pub use rate_adapt::{RateAdapter, RateAdapterConfig};
 
 /// Convert dB to linear power ratio.

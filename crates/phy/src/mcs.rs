@@ -52,7 +52,10 @@ pub struct Mcs {
 impl Mcs {
     /// Human-readable "QPSK, 5/8" style label (as used in Fig. 12).
     pub fn label(&self) -> String {
-        format!("{}, {}/{}", self.modulation, self.code_rate.0, self.code_rate.1)
+        format!(
+            "{}, {}/{}",
+            self.modulation, self.code_rate.0, self.code_rate.1
+        )
     }
 
     /// Data rate in Gb/s (as reported by the D5000 application).

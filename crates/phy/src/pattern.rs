@@ -46,7 +46,10 @@ impl AntennaPattern {
                 g
             })
             .collect();
-        AntennaPattern { samples, samples_lin: OnceLock::new() }
+        AntennaPattern {
+            samples,
+            samples_lin: OnceLock::new(),
+        }
     }
 
     /// An isotropic pattern of the given gain (used for idealized tests).
@@ -131,7 +134,10 @@ impl AntennaPattern {
             .enumerate()
             .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite gains"))
             .expect("non-empty pattern");
-        Lobe { direction: self.direction_of(i), gain_dbi: g }
+        Lobe {
+            direction: self.direction_of(i),
+            gain_dbi: g,
+        }
     }
 
     fn direction_of(&self, i: usize) -> Angle {
@@ -152,7 +158,7 @@ impl AntennaPattern {
         let limit = self.samples[peak_idx] - 3.0;
         let step = TAU / n as f64;
         let mut width = step; // the peak sample itself
-        // Walk right.
+                              // Walk right.
         for k in 1..n {
             if self.samples[(peak_idx + k) % n] >= limit {
                 width += step;
@@ -205,7 +211,10 @@ impl AntennaPattern {
                 }
                 let prominence = here - lo.max(hi_side);
                 if prominence >= min_prominence_db {
-                    lobes.push(Lobe { direction: self.direction_of(i), gain_dbi: here });
+                    lobes.push(Lobe {
+                        direction: self.direction_of(i),
+                        gain_dbi: here,
+                    });
                 }
             }
         }
@@ -324,7 +333,10 @@ mod tests {
         for sll in [-1.0, -4.0, -6.0, -12.0] {
             let p = two_lobe_pattern(sll);
             let measured = p.side_lobe_level_db().expect("side lobe");
-            assert!((measured - sll).abs() < 0.1, "target {sll} measured {measured}");
+            assert!(
+                (measured - sll).abs() < 0.1,
+                "target {sll} measured {measured}"
+            );
         }
     }
 
@@ -346,7 +358,9 @@ mod tests {
         });
         let gaps = p.gaps(60f64.to_radians(), 8.0);
         assert!(!gaps.is_empty());
-        assert!(gaps.iter().any(|g| g.distance(Angle::from_degrees(20.0)) < 0.1));
+        assert!(gaps
+            .iter()
+            .any(|g| g.distance(Angle::from_degrees(20.0)) < 0.1));
         // Nothing outside the sector.
         assert!(p.gaps(10f64.to_radians(), 8.0).is_empty());
     }
@@ -382,7 +396,8 @@ mod tests {
 
     #[test]
     fn directivity_increases_with_focus() {
-        let wide = AntennaPattern::from_fn(720, |a| 10.0 - a.distance(Angle::ZERO).to_degrees() / 10.0);
+        let wide =
+            AntennaPattern::from_fn(720, |a| 10.0 - a.distance(Angle::ZERO).to_degrees() / 10.0);
         let narrow = AntennaPattern::from_fn(720, |a| 10.0 - a.distance(Angle::ZERO).to_degrees());
         assert!(narrow.directivity_db() > wide.directivity_db());
     }

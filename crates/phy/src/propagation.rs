@@ -85,7 +85,8 @@ impl LinkBudget {
         rx_gain_dbi: f64,
         path: &mmwave_geom::PropPath,
     ) -> f64 {
-        self.tx_power_dbm + tx_gain_dbi + rx_gain_dbi - path_loss_db(self.freq_hz, path)
+        self.tx_power_dbm + tx_gain_dbi + rx_gain_dbi
+            - path_loss_db(self.freq_hz, path)
             - self.implementation_loss_db
     }
 
@@ -128,7 +129,11 @@ mod tests {
     fn noise_floor_value() {
         let lb = LinkBudget::consumer_60ghz();
         // −174 + 92.46 + 10 ≈ −71.5 dBm.
-        assert!((lb.noise_floor_dbm() + 71.5).abs() < 0.1, "{}", lb.noise_floor_dbm());
+        assert!(
+            (lb.noise_floor_dbm() + 71.5).abs() < 0.1,
+            "{}",
+            lb.noise_floor_dbm()
+        );
     }
 
     #[test]
@@ -163,7 +168,10 @@ mod tests {
         let snr = lb.snr_db(lb.rx_power_dbm(16.5, 16.5, &paths[0]));
         let table = crate::mcs::McsTable::ieee_802_11ad();
         let nf = lb.noise_floor_dbm();
-        assert!(snr < table.get(10).snr_threshold_db(nf), "snr {snr} too high");
+        assert!(
+            snr < table.get(10).snr_threshold_db(nf),
+            "snr {snr} too high"
+        );
         assert!(snr > table.get(1).snr_threshold_db(nf), "snr {snr} too low");
     }
 
@@ -175,7 +183,12 @@ mod tests {
             Material::Metal,
             "wall",
         ));
-        let paths = trace_paths(&room, Point::new(-2.0, 0.0), Point::new(2.0, 0.0), &TraceConfig::default());
+        let paths = trace_paths(
+            &room,
+            Point::new(-2.0, 0.0),
+            Point::new(2.0, 0.0),
+            &TraceConfig::default(),
+        );
         assert!(paths.len() >= 2);
         let los = path_loss_db(FREQ_CH2_HZ, &paths[0]);
         let refl = path_loss_db(FREQ_CH2_HZ, &paths[1]);

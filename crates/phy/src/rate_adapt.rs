@@ -85,7 +85,9 @@ impl RateAdapter {
     }
 
     fn effective(&self) -> u8 {
-        self.base.saturating_sub(self.loss_backoff).clamp(1, self.cfg.max_mcs)
+        self.base
+            .saturating_sub(self.loss_backoff)
+            .clamp(1, self.cfg.max_mcs)
     }
 
     /// The currently selected MCS.
@@ -100,7 +102,11 @@ impl RateAdapter {
 
     /// Loss ratio over the current window.
     pub fn loss_ratio(&self) -> f64 {
-        let n = if self.window_filled { self.window.len() } else { self.window_pos.max(1) };
+        let n = if self.window_filled {
+            self.window.len()
+        } else {
+            self.window_pos.max(1)
+        };
         let losses = self.window[..n].iter().filter(|&&ok| !ok).count();
         losses as f64 / n as f64
     }
@@ -112,7 +118,12 @@ impl RateAdapter {
         let cur_thr = self.table.get(self.base).snr_threshold_db(noise_floor_dbm);
         let ideal = self
             .table
-            .best_for_snr(snr_db, noise_floor_dbm, self.cfg.up_margin_db, self.cfg.max_mcs)
+            .best_for_snr(
+                snr_db,
+                noise_floor_dbm,
+                self.cfg.up_margin_db,
+                self.cfg.max_mcs,
+            )
             .index;
         if snr_db < cur_thr + self.cfg.down_margin_db {
             // Current rate no longer sustainable: drop straight to ideal.

@@ -29,7 +29,10 @@ fn directional_hpbw_below_20_degrees() {
         let trained = cb.best_toward(Angle::ZERO);
         let hpbw = trained.pattern.hpbw().to_degrees();
         assert!(hpbw < 20.0, "hpbw {hpbw}");
-        assert!(hpbw > 8.0, "implausibly narrow for a 8-column array: {hpbw}");
+        assert!(
+            hpbw > 8.0,
+            "implausibly narrow for a 8-column array: {hpbw}"
+        );
     }
 }
 
@@ -45,7 +48,10 @@ fn boresight_side_lobes_minus_4_to_6_db() {
             .pattern
             .side_lobe_level_db()
             .expect("side lobes exist");
-        assert!((-8.0..=-3.5).contains(&sll), "{name} SLL {sll} outside −4…−6 dB band");
+        assert!(
+            (-8.0..=-3.5).contains(&sll),
+            "{name} SLL {sll} outside −4…−6 dB band"
+        );
     }
 }
 
@@ -78,7 +84,10 @@ fn boundary_steering_has_near_0db_side_lobes() {
         // lobes as strong as −1 dB".
         let strong = |p: &mmwave_phy::AntennaPattern| {
             let peak = p.peak().gain_dbi;
-            p.lobes(1.0).iter().filter(|l| l.gain_dbi >= peak - 3.0).count()
+            p.lobes(1.0)
+                .iter()
+                .filter(|l| l.gain_dbi >= peak - 3.0)
+                .count()
         };
         let aligned_strong = strong(&cb.best_toward(Angle::ZERO).pattern);
         let edge_strong = strong(edge);
@@ -100,14 +109,20 @@ fn quasi_omni_hpbw_up_to_60_degrees_with_gaps() {
         .iter()
         .map(|s| s.pattern.hpbw().to_degrees())
         .fold(f64::MIN, f64::max);
-    assert!((45.0..=80.0).contains(&widest), "widest quasi-omni HPBW {widest}");
+    assert!(
+        (45.0..=80.0).contains(&widest),
+        "widest quasi-omni HPBW {widest}"
+    );
     // Most patterns show at least one deep (>6 dB) gap in the front sector.
     let with_gaps = qo
         .sectors()
         .iter()
         .filter(|s| !s.pattern.gaps(90f64.to_radians(), 6.0).is_empty())
         .count();
-    assert!(with_gaps * 2 > qo.len(), "only {with_gaps}/32 patterns have deep gaps");
+    assert!(
+        with_gaps * 2 > qo.len(),
+        "only {with_gaps}/32 patterns have deep gaps"
+    );
 }
 
 #[test]
@@ -139,6 +154,12 @@ fn canonical_seeds_are_stable() {
         .pattern
         .side_lobe_level_db()
         .expect("sll");
-    assert!((dock_sll - -5.8).abs() < 0.5, "dock SLL drifted: {dock_sll}");
-    assert!((laptop_sll - -5.4).abs() < 0.5, "laptop SLL drifted: {laptop_sll}");
+    assert!(
+        (dock_sll - -5.8).abs() < 0.5,
+        "dock SLL drifted: {dock_sll}"
+    );
+    assert!(
+        (laptop_sll - -5.4).abs() < 0.5,
+        "laptop SLL drifted: {laptop_sll}"
+    );
 }

@@ -6,9 +6,7 @@
 //! print the case number, which reproduces the exact inputs.
 
 use mmwave_geom::Angle;
-use mmwave_phy::{
-    db_to_lin, lin_to_db, sum_dbm, ArrayConfig, McsTable, PhaseShifter, PhasedArray,
-};
+use mmwave_phy::{db_to_lin, lin_to_db, sum_dbm, ArrayConfig, McsTable, PhaseShifter, PhasedArray};
 use mmwave_sim::rng::SimRng;
 
 const CASES: u64 = 96;
@@ -56,7 +54,10 @@ fn sum_dbm_bounds() {
         let max = levels.iter().cloned().fold(f64::MIN, f64::max);
         let total = sum_dbm(levels.iter().cloned());
         assert!(total >= max - 1e-9, "case {case}");
-        assert!(total <= max + 10.0 * (levels.len() as f64).log10() + 1e-9, "case {case}");
+        assert!(
+            total <= max + 10.0 * (levels.len() as f64).log10() + 1e-9,
+            "case {case}"
+        );
     }
 }
 
@@ -120,7 +121,13 @@ fn steering_cannot_gain_energy() {
         let steer_deg = r.uniform(-77.0, 77.0);
         let arr = PhasedArray::new(ArrayConfig::wigig_2x8(seed));
         let bore = arr.steered_pattern(Angle::ZERO).peak().gain_dbi;
-        let steered = arr.steered_pattern(Angle::from_degrees(steer_deg)).peak().gain_dbi;
-        assert!(steered <= bore + 1.5, "case {case}: steered {steered} vs boresight {bore}");
+        let steered = arr
+            .steered_pattern(Angle::from_degrees(steer_deg))
+            .peak()
+            .gain_dbi;
+        assert!(
+            steered <= bore + 1.5,
+            "case {case}: steered {steered} vs boresight {bore}"
+        );
     }
 }

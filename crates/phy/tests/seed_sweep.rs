@@ -34,7 +34,10 @@ struct Metrics {
 
 fn strong_lobes(p: &AntennaPattern) -> usize {
     let peak = p.peak().gain_dbi;
-    p.lobes(1.0).iter().filter(|l| l.gain_dbi >= peak - 3.0).count()
+    p.lobes(1.0)
+        .iter()
+        .filter(|l| l.gain_dbi >= peak - 3.0)
+        .count()
 }
 
 fn measure(seed: u64) -> Option<Metrics> {

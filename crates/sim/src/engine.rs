@@ -22,7 +22,10 @@ pub struct Scheduler<W> {
 
 impl<W> Scheduler<W> {
     fn new() -> Self {
-        Scheduler { now: SimTime::ZERO, queue: EventQueue::new() }
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
     }
 
     /// Current simulated time.
@@ -34,7 +37,11 @@ impl<W> Scheduler<W> {
     ///
     /// Panics if `at` is in the past — an event cannot rewrite history.
     pub fn at(&mut self, at: SimTime, f: EventFn<W>) -> EventId {
-        assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         self.queue.schedule(at, f)
     }
 
@@ -64,7 +71,11 @@ pub struct Engine<W> {
 impl<W> Engine<W> {
     /// Wrap `world` with an empty event queue at t = 0.
     pub fn new(world: W) -> Self {
-        Engine { world, sched: Scheduler::new(), processed: 0 }
+        Engine {
+            world,
+            sched: Scheduler::new(),
+            processed: 0,
+        }
     }
 
     /// Current simulated time.
@@ -224,7 +235,10 @@ mod tests {
             victim: Option<EventId>,
             fired: bool,
         }
-        let mut e = Engine::new(S { victim: None, fired: false });
+        let mut e = Engine::new(S {
+            victim: None,
+            fired: false,
+        });
         let victim = e.schedule(
             SimTime::from_nanos(20),
             Box::new(|w: &mut S, _, _| w.fired = true),

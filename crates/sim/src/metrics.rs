@@ -39,6 +39,11 @@ pub struct EngineCounters {
     /// Link-gain cache invalidation events (device moved/rotated or a
     /// global flush).
     pub link_gain_invalidations: u64,
+    /// Scenario world mutations applied (blocker moves, device moves,
+    /// interferer toggles, fault-window installs).
+    pub scenario_mutations: u64,
+    /// Frames forced to fail by an injected fault window.
+    pub faults_injected: u64,
 }
 
 thread_local! {
@@ -48,6 +53,8 @@ thread_local! {
     static GAIN_HITS: Cell<u64> = const { Cell::new(0) };
     static GAIN_MISSES: Cell<u64> = const { Cell::new(0) };
     static GAIN_INVALIDATIONS: Cell<u64> = const { Cell::new(0) };
+    static SCENARIO_MUTATIONS: Cell<u64> = const { Cell::new(0) };
+    static FAULTS_INJECTED: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Zero this thread's accumulator (call before a measured run).
@@ -58,6 +65,8 @@ pub fn reset() {
     GAIN_HITS.with(|c| c.set(0));
     GAIN_MISSES.with(|c| c.set(0));
     GAIN_INVALIDATIONS.with(|c| c.set(0));
+    SCENARIO_MUTATIONS.with(|c| c.set(0));
+    FAULTS_INJECTED.with(|c| c.set(0));
 }
 
 /// Read this thread's accumulated counters (call after a measured run).
@@ -69,6 +78,8 @@ pub fn snapshot() -> EngineCounters {
         link_gain_hits: GAIN_HITS.with(Cell::get),
         link_gain_misses: GAIN_MISSES.with(Cell::get),
         link_gain_invalidations: GAIN_INVALIDATIONS.with(Cell::get),
+        scenario_mutations: SCENARIO_MUTATIONS.with(Cell::get),
+        faults_injected: FAULTS_INJECTED.with(Cell::get),
     }
 }
 
@@ -87,6 +98,8 @@ pub fn merge(c: EngineCounters) {
     GAIN_HITS.with(|p| p.set(p.get() + c.link_gain_hits));
     GAIN_MISSES.with(|p| p.set(p.get() + c.link_gain_misses));
     GAIN_INVALIDATIONS.with(|p| p.set(p.get() + c.link_gain_invalidations));
+    SCENARIO_MUTATIONS.with(|p| p.set(p.get() + c.scenario_mutations));
+    FAULTS_INJECTED.with(|p| p.set(p.get() + c.faults_injected));
 }
 
 pub(crate) fn record_pop() {
@@ -117,6 +130,17 @@ pub fn record_link_gain_invalidation() {
     GAIN_INVALIDATIONS.with(|c| c.set(c.get() + 1));
 }
 
+/// Record one applied scenario world mutation (the MAC simulator lives
+/// downstream in `mmwave-mac`, hence `pub`).
+pub fn record_scenario_mutation() {
+    SCENARIO_MUTATIONS.with(|c| c.set(c.get() + 1));
+}
+
+/// Record one frame forced to fail by an injected fault window.
+pub fn record_fault_injected() {
+    FAULTS_INJECTED.with(|c| c.set(c.get() + 1));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +159,9 @@ mod tests {
         record_link_gain_hit();
         record_link_gain_miss();
         record_link_gain_invalidation();
+        record_scenario_mutation();
+        record_scenario_mutation();
+        record_fault_injected();
         let s = snapshot();
         assert_eq!(s.events_popped, 2);
         assert_eq!(s.events_cancelled, 1);
@@ -142,6 +169,8 @@ mod tests {
         assert_eq!(s.link_gain_hits, 3);
         assert_eq!(s.link_gain_misses, 1);
         assert_eq!(s.link_gain_invalidations, 1);
+        assert_eq!(s.scenario_mutations, 2);
+        assert_eq!(s.faults_injected, 1);
         reset();
         assert_eq!(snapshot(), EngineCounters::default());
     }
@@ -157,6 +186,8 @@ mod tests {
             link_gain_hits: 7,
             link_gain_misses: 4,
             link_gain_invalidations: 1,
+            scenario_mutations: 6,
+            faults_injected: 2,
         });
         let s = snapshot();
         assert_eq!(s.events_popped, 10);
@@ -164,6 +195,8 @@ mod tests {
         assert_eq!(s.link_gain_hits, 7);
         assert_eq!(s.link_gain_misses, 4);
         assert_eq!(s.link_gain_invalidations, 1);
+        assert_eq!(s.scenario_mutations, 6);
+        assert_eq!(s.faults_injected, 2);
         reset();
     }
 }

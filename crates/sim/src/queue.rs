@@ -88,7 +88,11 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let id = EventId(seq);
-        self.heap.push(Entry { at, seq, payload: (id, payload) });
+        self.heap.push(Entry {
+            at,
+            seq,
+            payload: (id, payload),
+        });
         self.live += 1;
         self.peak_live = self.peak_live.max(self.live);
         metrics::record_depth(self.live);

@@ -87,20 +87,29 @@ pub struct SimRng {
 impl SimRng {
     /// Create the root stream for a campaign.
     pub fn root(seed: u64) -> SimRng {
-        SimRng { seed, inner: Xoshiro256::seed_from_u64(splitmix(seed)) }
+        SimRng {
+            seed,
+            inner: Xoshiro256::seed_from_u64(splitmix(seed)),
+        }
     }
 
     /// Fork an independent substream identified by `label`.
     pub fn stream(&self, label: &str) -> SimRng {
         let derived = splitmix(self.seed ^ fnv1a(label.as_bytes()));
-        SimRng { seed: derived, inner: Xoshiro256::seed_from_u64(derived) }
+        SimRng {
+            seed: derived,
+            inner: Xoshiro256::seed_from_u64(derived),
+        }
     }
 
     /// Fork an independent substream identified by `label` and an index
     /// (e.g. one stream per node or per run).
     pub fn stream_n(&self, label: &str, n: u64) -> SimRng {
         let derived = splitmix(self.seed ^ fnv1a(label.as_bytes()) ^ splitmix(n));
-        SimRng { seed: derived, inner: Xoshiro256::seed_from_u64(derived) }
+        SimRng {
+            seed: derived,
+            inner: Xoshiro256::seed_from_u64(derived),
+        }
     }
 
     /// The derived seed of this stream (for diagnostics).
@@ -225,7 +234,10 @@ mod tests {
         let mut buf2 = [0u8; 13];
         r2.fill_bytes(&mut buf2);
         assert_eq!(buf, buf2);
-        assert!(buf.iter().any(|&b| b != 0), "13 zero bytes is vanishingly unlikely");
+        assert!(
+            buf.iter().any(|&b| b != 0),
+            "13 zero bytes is vanishingly unlikely"
+        );
     }
 
     #[test]

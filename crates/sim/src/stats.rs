@@ -38,7 +38,8 @@ impl Cdf {
 
     fn ensure_sorted(&mut self) {
         if self.dirty {
-            self.sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
             self.dirty = false;
         }
     }
@@ -99,7 +100,10 @@ impl Cdf {
     /// Evaluate the CDF at `points`, returning `(x, P(X ≤ x))` pairs —
     /// ready for plotting a figure-9 style curve.
     pub fn curve(&mut self, points: &[f64]) -> Vec<(f64, f64)> {
-        points.iter().map(|&x| (x, self.probability_at(x))).collect()
+        points
+            .iter()
+            .map(|&x| (x, self.probability_at(x)))
+            .collect()
     }
 
     /// Fraction of samples strictly greater than `threshold`
@@ -252,7 +256,13 @@ impl Histogram {
     /// A histogram of `nbins` equal-width bins over `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
         assert!(lo < hi && nbins > 0);
-        Histogram { lo, hi, bins: vec![0; nbins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Insert one sample.

@@ -320,9 +320,15 @@ mod tests {
     #[test]
     fn for_bits_rounds_up() {
         // 1 bit at 1 Gbps = exactly 1 ns.
-        assert_eq!(SimDuration::for_bits(1, 1_000_000_000), SimDuration::from_nanos(1));
+        assert_eq!(
+            SimDuration::for_bits(1, 1_000_000_000),
+            SimDuration::from_nanos(1)
+        );
         // 1 bit at 3 Gbps = 1/3 ns -> rounds up to 1 ns.
-        assert_eq!(SimDuration::for_bits(1, 3_000_000_000), SimDuration::from_nanos(1));
+        assert_eq!(
+            SimDuration::for_bits(1, 3_000_000_000),
+            SimDuration::from_nanos(1)
+        );
         // 12000 bits (1500 B) at 1.54 Gbps ≈ 7.792 µs.
         let d = SimDuration::for_bits(12_000, 1_540_000_000);
         assert!((d.as_micros_f64() - 7.7922).abs() < 0.01, "{d}");
@@ -340,9 +346,18 @@ mod tests {
     fn align_up() {
         let p = SimDuration::from_micros(100);
         assert_eq!(SimTime::from_nanos(0).align_up(p), SimTime::from_nanos(0));
-        assert_eq!(SimTime::from_nanos(1).align_up(p), SimTime::from_micros(100));
-        assert_eq!(SimTime::from_micros(100).align_up(p), SimTime::from_micros(100));
-        assert_eq!(SimTime::from_micros(101).align_up(p), SimTime::from_micros(200));
+        assert_eq!(
+            SimTime::from_nanos(1).align_up(p),
+            SimTime::from_micros(100)
+        );
+        assert_eq!(
+            SimTime::from_micros(100).align_up(p),
+            SimTime::from_micros(100)
+        );
+        assert_eq!(
+            SimTime::from_micros(101).align_up(p),
+            SimTime::from_micros(200)
+        );
     }
 
     #[test]

@@ -78,8 +78,9 @@ fn busy_tracker_bounds() {
     for case in 0..CASES {
         let mut r = SimRng::root(case).stream("busy");
         let n = 1 + (r.next_u64() % 59) as usize;
-        let spans: Vec<(u64, u64)> =
-            (0..n).map(|_| (r.next_u64() % 10_000, 1 + r.next_u64() % 499)).collect();
+        let spans: Vec<(u64, u64)> = (0..n)
+            .map(|_| (r.next_u64() % 10_000, 1 + r.next_u64() % 499))
+            .collect();
         let mut b = BusyTracker::new();
         let mut sum = 0u64;
         for &(s, len) in &spans {
@@ -88,7 +89,10 @@ fn busy_tracker_bounds() {
         }
         let window = (SimTime::ZERO, SimTime::from_nanos(11_000));
         let busy = b.busy_within(window.0, window.1).as_nanos();
-        assert!(busy <= sum, "case {case}: merged busy {busy} > raw sum {sum}");
+        assert!(
+            busy <= sum,
+            "case {case}: merged busy {busy} > raw sum {sum}"
+        );
         assert!(busy <= 11_000, "case {case}");
         let util = b.utilization(window.0, window.1);
         assert!((0.0..=1.0).contains(&util), "case {case}");
@@ -135,8 +139,14 @@ fn online_stats_match_two_pass() {
         let nf = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / nf;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (nf - 1.0);
-        assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()), "case {case}");
-        assert!((s.variance() - var).abs() < 1e-6 * (1.0 + var), "case {case}");
+        assert!(
+            (s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()),
+            "case {case}"
+        );
+        assert!(
+            (s.variance() - var).abs() < 1e-6 * (1.0 + var),
+            "case {case}"
+        );
     }
 }
 
@@ -152,6 +162,10 @@ fn duration_bits_roundtrip() {
         assert!(back >= bits, "case {case}");
         // Rounding up by at most one nanosecond's worth of bits.
         let slack = rate / 1_000_000_000 + 1;
-        assert!(back - bits <= slack, "case {case}: {} extra bits", back - bits);
+        assert!(
+            back - bits <= slack,
+            "case {case}: {} extra bits",
+            back - bits
+        );
     }
 }

@@ -26,7 +26,10 @@ impl RateLimiter {
     /// A limiter at `rate_bps`.
     pub fn new(rate_bps: u64) -> RateLimiter {
         assert!(rate_bps > 0);
-        RateLimiter { rate_bps, next_free: SimTime::ZERO }
+        RateLimiter {
+            rate_bps,
+            next_free: SimTime::ZERO,
+        }
     }
 
     /// The standard GigE bottleneck.
@@ -84,7 +87,10 @@ mod tests {
             t = l.next_free();
         }
         let rate = sent as f64 / 0.1;
-        assert!((rate / GIGE_EFFECTIVE_BPS as f64 - 1.0).abs() < 0.01, "rate {rate}");
+        assert!(
+            (rate / GIGE_EFFECTIVE_BPS as f64 - 1.0).abs() < 0.01,
+            "rate {rate}"
+        );
     }
 
     #[test]

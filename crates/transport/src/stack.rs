@@ -23,7 +23,10 @@ pub struct Stack {
 impl Stack {
     /// Wrap a network.
     pub fn new(net: Net) -> Stack {
-        Stack { net, flows: Vec::new() }
+        Stack {
+            net,
+            flows: Vec::new(),
+        }
     }
 
     /// Add a TCP flow; it starts transmitting as the clock advances.
@@ -112,11 +115,7 @@ impl Stack {
         let mut same_count: u64 = 0;
         loop {
             let t_net = self.net.peek_time();
-            let t_tcp = self
-                .flows
-                .iter()
-                .filter_map(|f| f.next_timer())
-                .min();
+            let t_tcp = self.flows.iter().filter_map(|f| f.next_timer()).min();
             let next = match (t_net, t_tcp) {
                 (None, None) => break,
                 (Some(a), None) => a,

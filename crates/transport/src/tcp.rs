@@ -37,7 +37,11 @@ pub(crate) fn encode_tag(flow: u16, is_ack: bool, seq: u64) -> u64 {
 
 /// Decode a transport tag into `(flow, is_ack, seq)`.
 pub(crate) fn decode_tag(tag: u64) -> (u16, bool, u64) {
-    ((tag >> 49) as u16, (tag >> 48) & 1 == 1, tag & ((1 << 48) - 1))
+    (
+        (tag >> 49) as u16,
+        (tag >> 48) & 1 == 1,
+        tag & ((1 << 48) - 1),
+    )
 }
 
 /// Flow configuration.
@@ -227,7 +231,9 @@ impl TcpFlow {
 
     /// Total segments this flow will ever send (`None` = unbounded).
     fn total_segments(&self) -> Option<u64> {
-        self.cfg.total_bytes.map(|b| b.div_ceil(self.cfg.mss as u64))
+        self.cfg
+            .total_bytes
+            .map(|b| b.div_ceil(self.cfg.mss as u64))
     }
 
     /// True if every byte has been acknowledged.
@@ -317,8 +323,7 @@ impl TcpFlow {
                 if self.pace_next > now {
                     break;
                 }
-                self.pace_next =
-                    now + SimDuration::for_bits(self.cfg.mss as u64 * 8, pace);
+                self.pace_next = now + SimDuration::for_bits(self.cfg.mss as u64 * 8, pace);
             }
             // Ethernet bottleneck.
             if let Some(limiter) = &mut self.cfg.bottleneck {
@@ -429,8 +434,11 @@ impl TcpFlow {
                 }
             }
             // Restart the RTO for remaining in-flight data.
-            self.rto_at =
-                if self.snd_nxt > self.snd_una { Some(now + self.rto) } else { None };
+            self.rto_at = if self.snd_nxt > self.snd_una {
+                Some(now + self.rto)
+            } else {
+                None
+            };
         } else if cum == self.snd_una && self.snd_nxt > self.snd_una {
             self.dup_acks += 1;
             if self.dup_acks == 3 && !self.in_recovery {
@@ -456,9 +464,8 @@ impl TcpFlow {
         self.dup_acks = 0;
         self.timed = None;
         self.rto_backoff = (self.rto_backoff + 1).min(6);
-        let backed = SimDuration::from_secs_f64(
-            self.rto.as_secs_f64() * (1 << self.rto_backoff) as f64,
-        );
+        let backed =
+            SimDuration::from_secs_f64(self.rto.as_secs_f64() * (1 << self.rto_backoff) as f64);
         self.rto_at = Some(now + backed);
     }
 
@@ -498,13 +505,20 @@ mod tests {
     }
 
     fn flow(window: u64) -> TcpFlow {
-        let cfg = TcpConfig { bottleneck: None, ..TcpConfig::bulk(0, 1, window) };
+        let cfg = TcpConfig {
+            bottleneck: None,
+            ..TcpConfig::bulk(0, 1, window)
+        };
         TcpFlow::new(1, cfg, SimTime::ZERO)
     }
 
     #[test]
     fn tag_roundtrip() {
-        for (f, a, s) in [(0u16, false, 0u64), (7, true, 123456), (32_000, false, 1 << 47)] {
+        for (f, a, s) in [
+            (0u16, false, 0u64),
+            (7, true, 123456),
+            (32_000, false, 1 << 47),
+        ] {
             assert_eq!(decode_tag(encode_tag(f, a, s)), (f, a, s));
         }
     }
@@ -544,14 +558,28 @@ mod tests {
         assert_eq!(f.on_data(0, t(0)), None);
         // Out of order: 2 arrives before 1 → immediate (duplicate) ACK of 1.
         let ack = f.on_data(2, t(0));
-        assert_eq!(ack, Some(TcpAction::Push { dev: 1, bytes: 60, tag: encode_tag(1, true, 1) }));
+        assert_eq!(
+            ack,
+            Some(TcpAction::Push {
+                dev: 1,
+                bytes: 60,
+                tag: encode_tag(1, true, 1)
+            })
+        );
         // 1 arrives → in-order, first pending → delayed again…
         assert_eq!(f.on_data(1, t(0)), None);
         // …and the third pending in-order segment acks immediately,
         // cumulative to 5.
         assert_eq!(f.on_data(3, t(0)), None);
         let ack = f.on_data(4, t(0));
-        assert_eq!(ack, Some(TcpAction::Push { dev: 1, bytes: 60, tag: encode_tag(1, true, 5) }));
+        assert_eq!(
+            ack,
+            Some(TcpAction::Push {
+                dev: 1,
+                bytes: 60,
+                tag: encode_tag(1, true, 5)
+            })
+        );
         assert_eq!(f.stats.bytes_received, 5 * 1500);
     }
 
@@ -566,7 +594,9 @@ mod tests {
         assert!(due <= SimTime::ZERO + DELACK);
         let actions = f.pump(SimTime::ZERO + DELACK, MAC_QUEUE_CAP);
         assert!(
-            actions.iter().any(|a| matches!(a, TcpAction::Push { bytes: 60, .. })),
+            actions
+                .iter()
+                .any(|a| matches!(a, TcpAction::Push { bytes: 60, .. })),
             "delayed ACK emitted: {actions:?}"
         );
     }
@@ -621,7 +651,11 @@ mod tests {
     fn finished_when_total_acked() {
         let mut f = TcpFlow::new(
             1,
-            TcpConfig { total_bytes: Some(4500), bottleneck: None, ..TcpConfig::bulk(0, 1, 1 << 20) },
+            TcpConfig {
+                total_bytes: Some(4500),
+                bottleneck: None,
+                ..TcpConfig::bulk(0, 1, 1 << 20)
+            },
             SimTime::ZERO,
         );
         let actions = f.pump(SimTime::ZERO, 0);
@@ -634,7 +668,10 @@ mod tests {
 
     #[test]
     fn pacing_spaces_segments() {
-        let cfg = TcpConfig { bottleneck: None, ..TcpConfig::paced(0, 1, 12_000_000) };
+        let cfg = TcpConfig {
+            bottleneck: None,
+            ..TcpConfig::paced(0, 1, 12_000_000)
+        };
         // 12 Mb/s → one 1500 B segment per ms.
         let mut f = TcpFlow::new(2, cfg, SimTime::ZERO);
         let a0 = f.pump(SimTime::ZERO, 0);

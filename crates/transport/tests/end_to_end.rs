@@ -9,9 +9,18 @@ use mmwave_transport::{Stack, TcpConfig};
 fn link_stack(seed: u64, distance_m: f64) -> (Stack, usize, usize) {
     let mut net = Net::new(
         Environment::new(Room::open_space()),
-        NetConfig { seed, enable_fading: false, ..NetConfig::default() },
+        NetConfig {
+            seed,
+            enable_fading: false,
+            ..NetConfig::default()
+        },
     );
-    let dock = net.add_device(Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13));
+    let dock = net.add_device(Device::wigig_dock(
+        "dock",
+        Point::new(0.0, 0.0),
+        Angle::ZERO,
+        13,
+    ));
     let laptop = net.add_device(Device::wigig_laptop(
         "laptop",
         Point::new(distance_m, 0.0),
@@ -72,7 +81,10 @@ fn file_transfer_completes() {
     };
     let flow = stack.add_flow(cfg);
     stack.run_until(SimTime::from_secs(2));
-    assert!(stack.flow_finished(flow), "10 MB should finish in 2 s at ~900 Mb/s");
+    assert!(
+        stack.flow_finished(flow),
+        "10 MB should finish in 2 s at ~900 Mb/s"
+    );
     assert_eq!(stack.flow_stats(flow).bytes_acked, 10_000_500); // rounded to segments
 }
 
@@ -95,7 +107,9 @@ fn broken_link_yields_zero_throughput() {
     let (mut stack, dock, laptop) = link_stack(6, 30.0);
     let flow = stack.add_flow(TcpConfig::bulk(dock, laptop, 256 * 1024));
     stack.run_until(SimTime::from_secs(1));
-    let g = stack.flow_stats(flow).mean_goodput_mbps(SimTime::ZERO, SimTime::from_secs(1));
+    let g = stack
+        .flow_stats(flow)
+        .mean_goodput_mbps(SimTime::ZERO, SimTime::from_secs(1));
     assert!(g < 20.0, "goodput over a dead link: {g}");
 }
 
@@ -115,12 +129,36 @@ fn reverse_direction_flow_works() {
 fn two_flows_share_two_links() {
     let mut net = Net::new(
         Environment::new(Room::open_space()),
-        NetConfig { seed: 8, enable_fading: false, ..NetConfig::default() },
+        NetConfig {
+            seed: 8,
+            enable_fading: false,
+            ..NetConfig::default()
+        },
     );
-    let dock_a = net.add_device(Device::wigig_dock("dock A", Point::new(0.0, 0.0), Angle::from_degrees(90.0), 13));
-    let lap_a = net.add_device(Device::wigig_laptop("laptop A", Point::new(0.0, 6.0), Angle::from_degrees(-90.0), 11));
-    let dock_b = net.add_device(Device::wigig_dock("dock B", Point::new(3.0, 0.0), Angle::from_degrees(90.0), 7));
-    let lap_b = net.add_device(Device::wigig_laptop("laptop B", Point::new(3.0, 6.0), Angle::from_degrees(-90.0), 5));
+    let dock_a = net.add_device(Device::wigig_dock(
+        "dock A",
+        Point::new(0.0, 0.0),
+        Angle::from_degrees(90.0),
+        13,
+    ));
+    let lap_a = net.add_device(Device::wigig_laptop(
+        "laptop A",
+        Point::new(0.0, 6.0),
+        Angle::from_degrees(-90.0),
+        11,
+    ));
+    let dock_b = net.add_device(Device::wigig_dock(
+        "dock B",
+        Point::new(3.0, 0.0),
+        Angle::from_degrees(90.0),
+        7,
+    ));
+    let lap_b = net.add_device(Device::wigig_laptop(
+        "laptop B",
+        Point::new(3.0, 6.0),
+        Angle::from_degrees(-90.0),
+        5,
+    ));
     net.associate_instantly(dock_a, lap_a);
     net.associate_instantly(dock_b, lap_b);
     let mut stack = Stack::new(net);

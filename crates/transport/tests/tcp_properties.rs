@@ -24,7 +24,10 @@ fn gen_script(r: &mut SimRng) -> Vec<Step> {
     let n = 1 + (r.next_u64() % 119) as usize;
     (0..n)
         .map(|_| match r.next_u64() % 3 {
-            0 => Step::DeliverData { skip: (r.next_u64() % 3) as u8, dup: r.chance(0.5) },
+            0 => Step::DeliverData {
+                skip: (r.next_u64() % 3) as u8,
+                dup: r.chance(0.5),
+            },
             1 => Step::DeliverAck,
             _ => Step::AdvanceTimer,
         })
@@ -37,7 +40,10 @@ fn tcp_invariants_hold() {
         let mut r = SimRng::root(case).stream("tcp-script");
         let script = gen_script(&mut r);
         let window_kb = 2 + r.next_u64() % 126;
-        let cfg = TcpConfig { bottleneck: None, ..TcpConfig::bulk(0, 1, window_kb * 1024) };
+        let cfg = TcpConfig {
+            bottleneck: None,
+            ..TcpConfig::bulk(0, 1, window_kb * 1024)
+        };
         let mss = cfg.mss;
         let mut flow = TcpFlow::new(1, cfg, SimTime::ZERO);
         let mut now = SimTime::ZERO;
@@ -68,7 +74,11 @@ fn tcp_invariants_hold() {
                         continue;
                     }
                     let idx = (skip as usize).min(air.len() - 1);
-                    let seq = if dup && idx > 0 { air[idx - 1] } else { air.remove(idx) };
+                    let seq = if dup && idx > 0 {
+                        air[idx - 1]
+                    } else {
+                        air.remove(idx)
+                    };
                     if let Some(ack) = flow.on_data(seq, now) {
                         let TcpAction::Push { tag, .. } = ack;
                         last_ack = Some(tag & ((1 << 48) - 1));
@@ -96,12 +106,18 @@ fn tcp_invariants_hold() {
             // --- invariants ---
             let (una, nxt) = flow.sender_progress();
             assert!(una <= nxt, "case {case}: snd_una beyond snd_nxt");
-            assert!(una >= prev_una, "case {case}: cumulative ack went backwards");
+            assert!(
+                una >= prev_una,
+                "case {case}: cumulative ack went backwards"
+            );
             prev_una = una;
             assert_eq!(flow.stats.bytes_acked, una * mss as u64, "case {case}");
             assert!(flow.stats.bytes_received >= prev_rcv_bytes, "case {case}");
             prev_rcv_bytes = flow.stats.bytes_received;
-            assert!(flow.cwnd_segments() >= 1.0, "case {case}: cwnd collapsed below 1");
+            assert!(
+                flow.cwnd_segments() >= 1.0,
+                "case {case}: cwnd collapsed below 1"
+            );
             // Window clamp respected at send time: in-flight never exceeds
             // clamp + 1 segment of slack (the retransmit).
             let clamp = (window_kb * 1024) / mss as u64 + 2;

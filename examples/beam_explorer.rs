@@ -15,7 +15,10 @@ fn main() {
 
     println!("== directional codebook (32 sectors over ±77.5°) ==");
     let cb = Codebook::directional_default(&array);
-    println!("{:>6}  {:>8}  {:>9}  {:>7}  {:>6}", "sector", "steer", "peak dBi", "HPBW", "SLL");
+    println!(
+        "{:>6}  {:>8}  {:>9}  {:>7}  {:>6}",
+        "sector", "steer", "peak dBi", "HPBW", "SLL"
+    );
     for s in cb.sectors().iter().step_by(4) {
         let peak = s.pattern.peak();
         println!(
@@ -47,7 +50,10 @@ fn main() {
     println!("\n== ablation: phase-shifter resolution vs side lobes ==");
     println!("the paper blames cost-effective hardware for the −4…−6 dB side");
     println!("lobes; here is what better shifters would have bought:");
-    println!("{:>5}  {:>12}  {:>14}", "bits", "SLL @ 0°", "SLL @ 60° steer");
+    println!(
+        "{:>5}  {:>12}  {:>14}",
+        "bits", "SLL @ 0°", "SLL @ 60° steer"
+    );
     for bits in 1..=6u8 {
         let mut cfg = ArrayConfig::wigig_2x8(13);
         cfg.shifter = PhaseShifter::new(bits);

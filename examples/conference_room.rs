@@ -7,7 +7,9 @@
 //! cargo run --example conference_room [probe-letter]
 //! ```
 
-use mmwave_core::analysis::reflections::{expected_directions, measure_profile, unattributed_lobes};
+use mmwave_core::analysis::reflections::{
+    expected_directions, measure_profile, unattributed_lobes,
+};
 use mmwave_core::report;
 use mmwave_core::scenarios::{reflection_room, RoomSystem};
 use mmwave_mac::NetConfig;
@@ -22,7 +24,11 @@ fn main() {
 
     let mut r = reflection_room(
         RoomSystem::Wigig,
-        NetConfig { seed: 4, enable_fading: false, ..NetConfig::default() },
+        NetConfig {
+            seed: 4,
+            enable_fading: false,
+            ..NetConfig::default()
+        },
     );
     println!(
         "conference room 9 m × 3.25 m (wood / brick / glass walls), {} → {} link",
@@ -45,10 +51,19 @@ fn main() {
     let probe = r.layout.probe(letter);
     println!("rotation scan at probe {letter} = {probe}\n");
     let profile = measure_profile(&r.net, probe, 120, SimTime::ZERO, horizon);
-    println!("{}", report::polar(&format!("angular profile at {letter}"), &profile.normalized_db()));
+    println!(
+        "{}",
+        report::polar(
+            &format!("angular profile at {letter}"),
+            &profile.normalized_db()
+        )
+    );
 
     let exp = expected_directions(&r.net, probe, r.tx, r.rx);
-    println!("expected device directions: TX at {}, RX at {}", exp.toward_tx, exp.toward_rx);
+    println!(
+        "expected device directions: TX at {}, RX at {}",
+        exp.toward_tx, exp.toward_rx
+    );
     let reflections = unattributed_lobes(&profile, &exp, 16f64.to_radians(), 1.0, 12.0);
     if reflections.is_empty() {
         println!("no reflection lobes above the −12 dB window at this probe");

@@ -13,15 +13,20 @@ use mmwave_geom::Angle;
 use mmwave_mac::NetConfig;
 
 fn main() {
-    let cfg = NetConfig { seed: 5, enable_fading: false, ..NetConfig::default() };
+    let cfg = NetConfig {
+        seed: 5,
+        enable_fading: false,
+        ..NetConfig::default()
+    };
 
     println!("== principle 1: choose the MAC behaviour per beam pattern ==");
     let mut f = interference_floor(1.5, Angle::from_degrees(50.0), cfg.clone());
-    for (name, dev) in [("dock A (aligned)", f.dock_a), ("dock B (rotated)", f.dock_b)] {
+    for (name, dev) in [
+        ("dock A (aligned)", f.dock_a),
+        ("dock B (rotated)", f.dock_b),
+    ] {
         let sector = f.net.device(dev).wigig().expect("wigig").tx_sector;
-        let a = mac_switching::assess(
-            f.net.device(dev).pattern(mmwave_mac::PatKey::Dir(sector)),
-        );
+        let a = mac_switching::assess(f.net.device(dev).pattern(mmwave_mac::PatKey::Dir(sector)));
         let choice = mac_switching::apply_to_device(&mut f.net, dev).expect("wigig");
         println!(
             "  {name}: HPBW {:.0}°, SLL {:.1} dB, {} strong lobes → {:?} (CS {} dBm)",

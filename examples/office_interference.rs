@@ -21,10 +21,13 @@ struct Link {
 }
 
 fn build(with_wihd: bool, seed: u64) -> (Stack, Vec<Link>, Vec<u16>, usize) {
-    let mut net = Net::new(Environment::new(Room::open_space()), NetConfig {
-        seed,
-        ..NetConfig::default()
-    });
+    let mut net = Net::new(
+        Environment::new(Room::open_space()),
+        NetConfig {
+            seed,
+            ..NetConfig::default()
+        },
+    );
     // Three desks in a row, 2.5 m apart, links running "north".
     let mut links = Vec::new();
     for (i, name) in ["desk A", "desk B", "desk C"].iter().enumerate() {
@@ -45,10 +48,18 @@ fn build(with_wihd: bool, seed: u64) -> (Stack, Vec<Link>, Vec<u16>, usize) {
         links.push(Link { name, dock, laptop });
     }
     // A wireless-HDMI media link crossing behind the desks.
-    let hdmi_tx =
-        net.add_device(Device::wihd_source("media", Point::new(6.5, 0.5), Angle::from_degrees(90.0), 21));
-    let hdmi_rx =
-        net.add_device(Device::wihd_sink("media", Point::new(6.5, 7.0), Angle::from_degrees(-90.0), 22));
+    let hdmi_tx = net.add_device(Device::wihd_source(
+        "media",
+        Point::new(6.5, 0.5),
+        Angle::from_degrees(90.0),
+        21,
+    ));
+    let hdmi_rx = net.add_device(Device::wihd_sink(
+        "media",
+        Point::new(6.5, 7.0),
+        Angle::from_degrees(-90.0),
+        22,
+    ));
     net.pair_wihd_instantly(hdmi_tx, hdmi_rx);
     if !with_wihd {
         net.set_video(hdmi_tx, false);
@@ -83,7 +94,10 @@ fn main() {
         }
         println!(
             " | channel busy {:.0}%",
-            stack.net.monitor_utilization(mon, SimTime::from_millis(300)) * 100.0
+            stack
+                .net
+                .monitor_utilization(mon, SimTime::from_millis(300))
+                * 100.0
         );
     }
     println!();

@@ -18,7 +18,13 @@ use mmwave_sim::time::SimTime;
 
 fn main() {
     // An active 2 m link with a short data exchange.
-    let mut p = point_to_point(2.0, NetConfig { seed: 11, ..NetConfig::default() });
+    let mut p = point_to_point(
+        2.0,
+        NetConfig {
+            seed: 11,
+            ..NetConfig::default()
+        },
+    );
     for burst in 0..4u64 {
         p.net.run_until(SimTime::from_micros(600 * burst));
         for i in 0..12u64 {
@@ -32,16 +38,29 @@ fn main() {
     // link directions distinct amplitudes).
     let tap = TapConfig::waveguide(Point::new(-0.4, 0.15), Angle::ZERO);
     let trace = replay_trace(&p.net, &tap, SimTime::ZERO, SimTime::from_millis(3));
-    println!("ground truth: {} transmissions in 3 ms", trace.segments().len());
+    println!(
+        "ground truth: {} transmissions in 3 ms",
+        trace.segments().len()
+    );
 
     // Oscilloscope capture: undersampled analog output + noise.
     let mut rng = SimRng::root(1).stream("scope");
     let (period, samples) = trace.sample(1e8, &mut rng);
-    println!("captured {} samples at 100 MS/s ({} per sample)", samples.len(), period);
+    println!(
+        "captured {} samples at 100 MS/s ({} per sample)",
+        samples.len(),
+        period
+    );
 
     // The paper's offline analysis: threshold detection, then separate the
     // two devices by amplitude.
-    let frames = detect_frames(&samples, period, SimTime::ZERO, trace.noise_rms_v, &DetectorConfig::default());
+    let frames = detect_frames(
+        &samples,
+        period,
+        SimTime::ZERO,
+        trace.noise_rms_v,
+        &DetectorConfig::default(),
+    );
     let (classes, lo, hi) = split_by_amplitude(&frames);
     println!(
         "detector found {} frames; amplitude clusters at {:.3} V / {:.3} V",
@@ -50,7 +69,10 @@ fn main() {
         hi
     );
     println!();
-    println!("{:>10}  {:>9}  {:>8}  {:>9}", "start", "duration", "volts", "direction");
+    println!(
+        "{:>10}  {:>9}  {:>8}  {:>9}",
+        "start", "duration", "volts", "direction"
+    );
     for (f, c) in frames.iter().zip(&classes).take(24) {
         println!(
             "{:>10}  {:>9}  {:>7.3}  {:>9}",

@@ -15,7 +15,13 @@ use mmwave_transport::{Stack, TcpConfig};
 fn main() {
     // 1. An open-space environment and two devices 2 m apart.
     let env = Environment::new(Room::open_space());
-    let mut net = Net::new(env, NetConfig { seed: 42, ..NetConfig::default() });
+    let mut net = Net::new(
+        env,
+        NetConfig {
+            seed: 42,
+            ..NetConfig::default()
+        },
+    );
     let dock = net.add_device(Device::wigig_dock(
         "Dock",
         Point::new(0.0, 0.0),
@@ -51,12 +57,8 @@ fn main() {
 
     // 4. Frame-level view: the same numbers the paper's Figs. 9–11 report.
     let net = &stack.net;
-    let mut cdf = frame_level::frame_length_cdf(
-        net,
-        dock,
-        SimTime::from_millis(300),
-        SimTime::from_secs(2),
-    );
+    let mut cdf =
+        frame_level::frame_length_cdf(net, dock, SimTime::from_millis(300), SimTime::from_secs(2));
     println!(
         "data frames: {} | median {:.1} µs | max {:.1} µs | >5 µs (aggregated): {:.0}%",
         cdf.len(),
@@ -76,7 +78,10 @@ fn main() {
         SimTime::from_secs(2),
         SimDuration::from_millis(1),
     );
-    println!("medium usage (1 ms capture windows with data): {:.0}%", usage * 100.0);
+    println!(
+        "medium usage (1 ms capture windows with data): {:.0}%",
+        usage * 100.0
+    );
     let st = net.device(dock).stats;
     println!(
         "MAC: {} data PPDUs, {} retransmissions, {} CS deferrals",

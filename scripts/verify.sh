@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-shot local verification: exactly what a PR must keep green.
+#
+#   scripts/verify.sh            # build + full test suite + formatting
+#
+# Mirrors the tier-1 gate in ROADMAP.md (release build + workspace
+# tests) and adds the formatting check so style drift is caught before
+# review. Std-only: no network, no external tools beyond cargo/rustfmt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

@@ -28,23 +28,33 @@ fn two_experiment_campaign_roundtrips() {
         manifest.get("schema").and_then(Json::as_str),
         Some(artifact::MANIFEST_SCHEMA)
     );
-    let runs = manifest.get("runs").and_then(Json::as_arr).expect("runs index");
+    let runs = manifest
+        .get("runs")
+        .and_then(Json::as_arr)
+        .expect("runs index");
     assert_eq!(runs.len(), 2);
 
     // Every indexed artifact exists and round-trips into a RunRecord that
     // matches the in-memory one.
     for (entry, record) in runs.iter().zip(&result.records) {
-        let rel = entry.get("artifact").and_then(Json::as_str).expect("artifact path");
+        let rel = entry
+            .get("artifact")
+            .and_then(Json::as_str)
+            .expect("artifact path");
         let text = std::fs::read_to_string(dir.join(rel)).expect("run artifact exists");
-        let parsed = artifact::run_from_json(&Json::parse(&text).expect("run parses"))
-            .expect("run decodes");
+        let parsed =
+            artifact::run_from_json(&Json::parse(&text).expect("run parses")).expect("run decodes");
         assert_eq!(parsed.experiment, record.experiment);
         assert_eq!(parsed.seed, record.seed);
         assert_eq!(parsed.status, record.status);
         assert_eq!(parsed.output, record.output);
         assert_eq!(parsed.engine, record.engine);
         // The quick campaigns actually simulate something.
-        assert!(parsed.engine.events_popped > 0, "{} popped no events", parsed.experiment);
+        assert!(
+            parsed.engine.events_popped > 0,
+            "{} popped no events",
+            parsed.experiment
+        );
     }
 
     // These two experiments are the repo's stable fast ones; the smoke
@@ -53,7 +63,11 @@ fn two_experiment_campaign_roundtrips() {
     assert!(
         result.records.iter().all(|r| r.status == RunStatus::Pass),
         "statuses: {:?}",
-        result.records.iter().map(|r| (r.experiment.clone(), r.status)).collect::<Vec<_>>()
+        result
+            .records
+            .iter()
+            .map(|r| (r.experiment.clone(), r.status))
+            .collect::<Vec<_>>()
     );
 
     std::fs::remove_dir_all(&dir).ok();

@@ -12,7 +12,11 @@ use mmwave_sim::time::SimTime;
 use mmwave_transport::{Stack, TcpConfig};
 
 fn quiet(seed: u64) -> NetConfig {
-    NetConfig { seed, enable_fading: false, ..NetConfig::default() }
+    NetConfig {
+        seed,
+        enable_fading: false,
+        ..NetConfig::default()
+    }
 }
 
 /// The detector, run on a *sampled* (undersampled, noisy) waveform of a
@@ -28,7 +32,9 @@ fn detector_matches_mac_ground_truth() {
     let trace = replay_trace(&p.net, &tap, SimTime::ZERO, SimTime::from_millis(2));
 
     // Ground truth from the segments.
-    let truth = trace.ground_truth_busy().utilization(SimTime::ZERO, SimTime::from_millis(2));
+    let truth = trace
+        .ground_truth_busy()
+        .utilization(SimTime::ZERO, SimTime::from_millis(2));
 
     // Exact segment-level estimate at a generous threshold.
     let seg_est = utilization(&trace, 0.02);
@@ -36,14 +42,25 @@ fn detector_matches_mac_ground_truth() {
     // Sampled-waveform estimate through the full detector.
     let mut rng = SimRng::root(5).stream("scope");
     let (period, samples) = trace.sample(1e8, &mut rng);
-    let frames =
-        detect_frames(&samples, period, SimTime::ZERO, trace.noise_rms_v, &DetectorConfig::default());
+    let frames = detect_frames(
+        &samples,
+        period,
+        SimTime::ZERO,
+        trace.noise_rms_v,
+        &DetectorConfig::default(),
+    );
     let detected: f64 = frames.iter().map(|f| f.duration().as_secs_f64()).sum();
     let det_est = detected / 0.002;
 
     assert!(truth > 0.1, "workload produced near-idle channel: {truth}");
-    assert!((seg_est - truth).abs() < 0.05, "segment estimate {seg_est} vs truth {truth}");
-    assert!((det_est - truth).abs() < 0.12, "detector estimate {det_est} vs truth {truth}");
+    assert!(
+        (seg_est - truth).abs() < 0.05,
+        "segment estimate {seg_est} vs truth {truth}"
+    );
+    assert!(
+        (det_est - truth).abs() < 0.12,
+        "detector estimate {det_est} vs truth {truth}"
+    );
 }
 
 /// TCP over a trained link delivers exactly the bytes it acknowledges, and
@@ -61,7 +78,10 @@ fn byte_accounting_is_consistent() {
     assert!(stack.flow_finished(flow), "30 MB should complete in 2 s");
     let acked = stack.flow_stats(flow).bytes_acked;
     let received = stack.flow_stats(flow).bytes_received;
-    assert!(received >= acked, "receiver cannot have less than the sender saw acked");
+    assert!(
+        received >= acked,
+        "receiver cannot have less than the sender saw acked"
+    );
     // MAC counter counts MPDU payloads delivered to the laptop, including
     // any duplicates from lost ACKs — never less than TCP's count.
     assert!(stack.net.device(laptop).stats.bytes_rx >= acked);
@@ -78,7 +98,11 @@ fn reflection_rescues_blocked_link() {
         b.net.push_mpdu(b.dock, 1500, i);
     }
     b.net.run_until(SimTime::from_millis(20));
-    assert_eq!(b.net.device(b.laptop).stats.mpdus_rx, 40, "all MPDUs over the bounce");
+    assert_eq!(
+        b.net.device(b.laptop).stats.mpdus_rx,
+        40,
+        "all MPDUs over the bounce"
+    );
     // And the trained sector indeed points at the wall, not the blockage.
     let w = b.net.device(b.dock).wigig().expect("wigig");
     let steer = w.codebook.sector(w.tx_sector).steer;
@@ -190,8 +214,15 @@ fn human_blockage_triggers_realignment_rescue() {
     // The link realigned (new sector, pointing at the wall) and still
     // delivers.
     let w = net.device(dock).wigig().expect("wigig");
-    assert_eq!(w.state, mmwave_mac::device::WigigState::Associated, "link survived");
-    assert_ne!(w.tx_sector, before, "beam realigned away from the blocked LoS");
+    assert_eq!(
+        w.state,
+        mmwave_mac::device::WigigState::Associated,
+        "link survived"
+    );
+    assert_ne!(
+        w.tx_sector, before,
+        "beam realigned away from the blocked LoS"
+    );
     assert!(
         w.codebook.sector(w.tx_sector).steer.degrees() > 8.0,
         "new sector {} aims at the wall bounce",
@@ -202,5 +233,8 @@ fn human_blockage_triggers_realignment_rescue() {
         "delivered {} of 200",
         net.device(laptop).stats.mpdus_rx
     );
-    assert!(net.device(dock).stats.retrains >= 2, "a loss-driven retrain happened");
+    assert!(
+        net.device(dock).stats.retrains >= 2,
+        "a loss-driven retrain happened"
+    );
 }
