@@ -23,6 +23,24 @@ fn bench_event_queue() {
         }
         acc
     });
+    // The MAC's timer churn: every third scheduled event is cancelled
+    // before the drain, so the tombstone set is exercised on all three
+    // paths (insert on cancel, membership probe and removal on pop).
+    bench("event_queue/schedule_cancel_pop_10k", || {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::with_capacity(10_000);
+        for i in 0..10_000u64 {
+            ids.push(q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i));
+        }
+        for id in ids.into_iter().step_by(3) {
+            q.cancel(id);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    });
 }
 
 fn bench_raytrace() {
@@ -52,7 +70,15 @@ fn bench_array_synthesis() {
     bench("phy/steered_pattern", || {
         array.steered_pattern(black_box(Angle::from_degrees(17.0)))
     });
+    // Hit path: after the first iteration every call is a cache lookup
+    // plus an `Arc` clone of the sector table.
     bench("phy/directional_codebook_32", || {
+        Codebook::directional_default(&array)
+    });
+    // Cold path: clearing the thread-local cache each iteration measures
+    // raw 32-sector synthesis through the steering basis.
+    bench("phy/directional_codebook_32_cold", || {
+        mmwave_phy::codebook::clear_thread_cache();
         Codebook::directional_default(&array)
     });
     let pattern = array.steered_pattern(Angle::ZERO);
@@ -98,9 +124,18 @@ fn bench_detector() {
         )
     });
     let mut rng2 = SimRng::root(2).stream("bench2");
-    bench("capture/sample_1ms_trace", move || {
+    let r = bench("capture/sample_1ms_trace", move || {
         trace.sample(1e8, &mut rng2)
     });
+    // The trace spans 1 ms of simulated time; a software scope that can't
+    // synthesize samples at least as fast as the signal it models makes
+    // capture experiments the campaign bottleneck. Hard-fail the bench
+    // run rather than silently committing a below-real-time baseline.
+    assert!(
+        r.median_ns <= 1_000_000.0,
+        "capture/sample_1ms_trace below real time: median {:.0} ns for 1 ms of trace",
+        r.median_ns
+    );
 }
 
 /// The radiometric link-gain cache around `Medium::begin_tx` and beam
@@ -272,9 +307,12 @@ fn main() {
     bench_tcp_second();
 
     // Machine-readable trajectory at the repo root, committed alongside
-    // the code so perf history travels with `git log`.
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
-    match mmwave_bench::write_json(std::path::Path::new(out)) {
+    // the code so perf history travels with `git log`. `BENCH_OUT` lets
+    // the regression gate write a scratch file without clobbering the
+    // committed baseline it compares against.
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
+    match mmwave_bench::write_json(std::path::Path::new(&out)) {
         Ok(()) => println!("\nwrote {out}"),
         Err(e) => eprintln!("\nfailed to write {out}: {e}"),
     }

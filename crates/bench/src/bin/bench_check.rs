@@ -1,0 +1,187 @@
+//! Bench regression gate: compare a fresh kernel-bench run against the
+//! committed `BENCH_kernels.json` baseline.
+//!
+//! Usage: `bench_check <baseline.json> <current.json>`
+//!
+//! For every kernel present in both files, the current median must stay
+//! within `baseline_median * (1 + tolerance)`. The tolerance defaults to
+//! 1.0 (i.e. the gate trips at 2× the baseline) and can be overridden via
+//! `BENCH_TOLERANCE`; the default is deliberately loose because shared
+//! container timing jitters by tens of percent, while the regressions
+//! this gate exists to catch — an accidentally disabled cache, a
+//! reintroduced per-call allocation — cost integer multiples.
+//!
+//! A kernel present in the baseline but missing from the current run
+//! fails the gate (the baseline is stale — somebody renamed or deleted a
+//! bench without re-baselining). A kernel only in the current run is
+//! listed but passes; committing a refreshed baseline starts tracking it.
+//!
+//! Re-baselining workflow (after an intentional perf change): run
+//! `cargo bench -p mmwave-bench --bench kernels` on an otherwise idle
+//! machine — it rewrites `BENCH_kernels.json` at the repo root — and
+//! commit the refreshed file together with the change that moved the
+//! numbers, so `git log BENCH_kernels.json` reads as the perf trajectory.
+
+use std::process::ExitCode;
+
+use mmwave_campaign::json::Json;
+
+/// One kernel's medians side by side.
+struct Row {
+    name: String,
+    baseline_ns: Option<f64>,
+    current_ns: Option<f64>,
+}
+
+fn load_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: missing schema"))?;
+    if schema != mmwave_bench::BENCH_SCHEMA {
+        return Err(format!(
+            "{path}: schema '{schema}', expected '{}'",
+            mmwave_bench::BENCH_SCHEMA
+        ));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing results array"))?;
+    results
+        .iter()
+        .map(|r| {
+            let name = r
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{path}: result without name"))?;
+            let median = r
+                .get("median_ns")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: '{name}' without median_ns"))?;
+            Ok((name.to_string(), median))
+        })
+        .collect()
+}
+
+fn tolerance() -> Result<f64, String> {
+    match std::env::var("BENCH_TOLERANCE") {
+        Ok(s) => {
+            let t: f64 = s
+                .parse()
+                .map_err(|_| format!("BENCH_TOLERANCE '{s}' is not a number"))?;
+            if !t.is_finite() || t < 0.0 {
+                return Err(format!("BENCH_TOLERANCE {t} must be finite and >= 0"));
+            }
+            Ok(t)
+        }
+        Err(_) => Ok(1.0),
+    }
+}
+
+fn check(baseline_path: &str, current_path: &str) -> Result<bool, String> {
+    let baseline = load_medians(baseline_path)?;
+    let current = load_medians(current_path)?;
+    let tol = tolerance()?;
+
+    // Baseline order first, then current-only kernels in their run order.
+    let mut rows: Vec<Row> = baseline
+        .iter()
+        .map(|(name, b)| Row {
+            name: name.clone(),
+            baseline_ns: Some(*b),
+            current_ns: current.iter().find(|(n, _)| n == name).map(|(_, m)| *m),
+        })
+        .collect();
+    for (name, m) in &current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            rows.push(Row {
+                name: name.clone(),
+                baseline_ns: None,
+                current_ns: Some(*m),
+            });
+        }
+    }
+
+    println!(
+        "bench_check: tolerance +{:.0}% over baseline medians",
+        tol * 100.0
+    );
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}  verdict",
+        "kernel", "baseline", "current", "ratio"
+    );
+    let mut ok = true;
+    for row in &rows {
+        match (row.baseline_ns, row.current_ns) {
+            (Some(b), Some(c)) => {
+                let ratio = c / b;
+                let pass = c <= b * (1.0 + tol);
+                ok &= pass;
+                println!(
+                    "{:<44} {:>12} {:>12} {:>7.2}x  {}",
+                    row.name,
+                    fmt_ns(b),
+                    fmt_ns(c),
+                    ratio,
+                    if pass { "ok" } else { "REGRESSED" }
+                );
+            }
+            (Some(b), None) => {
+                ok = false;
+                println!(
+                    "{:<44} {:>12} {:>12} {:>8}  MISSING (stale baseline?)",
+                    row.name,
+                    fmt_ns(b),
+                    "-",
+                    "-"
+                );
+            }
+            (None, Some(c)) => {
+                println!(
+                    "{:<44} {:>12} {:>12} {:>8}  new (re-baseline to track)",
+                    row.name,
+                    "-",
+                    fmt_ns(c),
+                    "-"
+                );
+            }
+            (None, None) => unreachable!("row without any median"),
+        }
+    }
+    Ok(ok)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{:.2} ms", ns / 1e6)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: bench_check <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    }
+    match check(&args[1], &args[2]) {
+        Ok(true) => {
+            println!("bench_check: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench_check: FAIL — see table above");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_check: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -15,10 +15,11 @@
 //! Schemas (see DESIGN.md for the field-by-field description):
 //!
 //! * manifest: `schema = "mmwave-campaign/1"`
-//! * run:      `schema = "mmwave-campaign-run/3"` (v2 added the
+//! * run:      `schema = "mmwave-campaign-run/4"` (v2 added the
 //!   `engine.link_gain_*` cache counters; v3 added the `scenario` label
 //!   and the `engine.scenario_mutations` / `engine.faults_injected`
-//!   fault-scenario counters)
+//!   fault-scenario counters; v4 added the `engine.codebook_hits` /
+//!   `engine.codebook_misses` pattern-synthesis cache counters)
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -28,7 +29,7 @@ use crate::{CampaignResult, RunRecord, RunStatus};
 use mmwave_sim::metrics::EngineCounters;
 
 pub const MANIFEST_SCHEMA: &str = "mmwave-campaign/1";
-pub const RUN_SCHEMA: &str = "mmwave-campaign-run/3";
+pub const RUN_SCHEMA: &str = "mmwave-campaign-run/4";
 
 fn obj(fields: Vec<(&str, Json)>) -> Json {
     Json::Obj(
@@ -78,6 +79,8 @@ pub fn run_to_json(r: &RunRecord) -> Json {
                 ),
                 ("scenario_mutations", Json::Int(r.engine.scenario_mutations)),
                 ("faults_injected", Json::Int(r.engine.faults_injected)),
+                ("codebook_hits", Json::Int(r.engine.codebook_hits)),
+                ("codebook_misses", Json::Int(r.engine.codebook_misses)),
             ]),
         ),
     ])
@@ -149,6 +152,8 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
             link_gain_invalidations: counter("link_gain_invalidations")?,
             scenario_mutations: counter("scenario_mutations")?,
             faults_injected: counter("faults_injected")?,
+            codebook_hits: counter("codebook_hits")?,
+            codebook_misses: counter("codebook_misses")?,
         },
     })
 }
@@ -265,6 +270,8 @@ mod tests {
                 link_gain_invalidations: 3,
                 scenario_mutations: 5,
                 faults_injected: 2,
+                codebook_hits: 6,
+                codebook_misses: 4,
             },
         }
     }

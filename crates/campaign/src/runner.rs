@@ -97,6 +97,11 @@ fn worker_loop(
 /// Execute one matrix cell, isolating panics and collecting metrics.
 pub fn run_task(task: &TaskSpec) -> RunRecord {
     metrics::reset();
+    // The codebook cache is thread-local and would otherwise survive from
+    // earlier tasks on this worker, making the hit/miss counters (and thus
+    // artifact bytes) depend on scheduling. Cleared here, they are a pure
+    // function of the task.
+    mmwave_phy::codebook::clear_thread_cache();
     let t0 = Instant::now();
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| (task.exp.run)(task.quick, task.seed)));
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;

@@ -1,0 +1,55 @@
+//! Codebook-cache counters in campaign artifacts.
+//!
+//! Device construction funnels every codebook request through the
+//! thread-local memoization cache in `mmwave_phy::codebook`; the hit/miss
+//! counts flow through `mmwave_sim::metrics` into each run's
+//! `engine.codebook_*` artifact fields. Two properties matter:
+//!
+//! 1. a real experiment actually exercises the cache (misses fill it,
+//!    repeat constructions hit it), and
+//! 2. the counters are a **pure function of the task** — the runner clears
+//!    the cache before each run, so a warm worker thread reports the same
+//!    numbers as a cold one.
+
+use mmwave_campaign::{runner, CampaignConfig};
+use mmwave_core::experiments;
+
+fn table1_config() -> CampaignConfig {
+    CampaignConfig {
+        experiments: vec![experiments::find("table1").expect("registered")],
+        seeds: vec![1],
+        quick: true,
+        jobs: 1,
+    }
+}
+
+#[test]
+fn campaign_runs_report_codebook_cache_activity() {
+    let result = runner::run(&table1_config());
+    let rec = &result.records[0];
+    assert!(
+        rec.engine.codebook_misses > 0,
+        "device construction must synthesize codebooks at least once"
+    );
+    assert!(
+        rec.engine.codebook_hits > 0,
+        "repeat constructions of the same device must hit the cache"
+    );
+}
+
+#[test]
+fn codebook_counters_are_pure_per_task() {
+    // Back-to-back campaigns reuse worker threads whose codebook caches
+    // were warm; the per-task clear must make both report identical
+    // counters (this is what keeps artifact bytes jobs-independent).
+    let first = runner::run(&table1_config());
+    let second = runner::run(&table1_config());
+    assert_eq!(
+        first.records[0].engine.codebook_hits,
+        second.records[0].engine.codebook_hits
+    );
+    assert_eq!(
+        first.records[0].engine.codebook_misses,
+        second.records[0].engine.codebook_misses
+    );
+}

@@ -10,6 +10,45 @@
 
 use mmwave_sim::rng::SimRng;
 use mmwave_sim::time::{SimDuration, SimTime};
+use std::sync::OnceLock;
+
+/// Size of the sampler's noise/phase lookup tables (must be a power of 2;
+/// 4096 × 8 B keeps each table comfortably inside L1).
+const TABLE_BITS: u32 = 12;
+const TABLE_LEN: usize = 1 << TABLE_BITS;
+
+/// Process-wide sampling tables, built once:
+///
+/// * `noise` — 4096 standard-normal draws from a *fixed internal* stream,
+///   re-centred and re-scaled to exactly zero mean / unit RMS, so
+///   table-indexed noise reproduces `noise_rms_v` precisely;
+/// * `cos` — `cos(2π·k/4096)`, the I-projection of a uniformly random
+///   carrier phase at 0.09° resolution.
+///
+/// Indexing both with bits of a single `next_u64` replaces the old
+/// per-sample Box–Muller transform (two uniforms, `ln`, `sqrt`, `cos`)
+/// plus a fresh `cos` for the phase — the sampler's entire per-sample
+/// transcendental budget — with two L1 loads. The sampled waveform is
+/// still deterministic per RNG stream, just a *different* (and cheaper)
+/// stream than before; no experiment artifact consumes these samples, and
+/// the detector contract over them is statistical.
+fn sampling_tables() -> &'static (Vec<f64>, Vec<f64>) {
+    static TABLES: OnceLock<(Vec<f64>, Vec<f64>)> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut rng = SimRng::root(0x5c09e).stream("scope-noise-table");
+        let mut noise: Vec<f64> = (0..TABLE_LEN).map(|_| rng.gauss()).collect();
+        let mean = noise.iter().sum::<f64>() / TABLE_LEN as f64;
+        let rms =
+            (noise.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / TABLE_LEN as f64).sqrt();
+        for x in &mut noise {
+            *x = (*x - mean) / rms;
+        }
+        let cos = (0..TABLE_LEN)
+            .map(|k| (std::f64::consts::TAU * k as f64 / TABLE_LEN as f64).cos())
+            .collect();
+        (noise, cos)
+    })
+}
 
 /// Ground-truth tag carried by a segment (never used by the detectors —
 /// only by tests validating them).
@@ -112,10 +151,19 @@ impl SignalTrace {
     /// the carrier phase is effectively random sample to sample, so only
     /// the envelope is recoverable (the paper's "this prevents decoding").
     /// Returns `(sample_period, samples)`.
+    ///
+    /// Runs faster than real time: the envelope is piecewise constant, so
+    /// segments are scanned only at segment boundaries (not per sample),
+    /// and phase/noise come from precomputed tables indexed by one raw RNG
+    /// draw per sample (see [`sampling_tables`]).
     pub fn sample(&self, rate_hz: f64, rng: &mut SimRng) -> (SimDuration, Vec<f32>) {
         assert!(rate_hz > 0.0);
         let period = SimDuration::from_secs_f64(1.0 / rate_hz);
+        assert!(!period.is_zero(), "sample rate above 1 GS/s tick limit");
         let n = (self.window().as_secs_f64() * rate_hz).floor() as usize;
+        let (noise_tab, cos_tab) = sampling_tables();
+        let noise_rms = self.noise_rms_v;
+        let mask = (TABLE_LEN - 1) as u64;
         // Sort segment starts for an O(n + m) sweep instead of O(n·m).
         let mut by_start: Vec<&TraceSegment> = self.segments.iter().collect();
         by_start.sort_by_key(|s| s.start);
@@ -123,17 +171,39 @@ impl SignalTrace {
         let mut next_seg = 0;
         let mut out = Vec::with_capacity(n);
         let mut t = self.window_start;
-        for _ in 0..n {
+        let mut emitted = 0usize;
+        while emitted < n {
+            // Reconcile the active set at the current sample instant
+            // (starts are inclusive, ends exclusive, as before).
             while next_seg < by_start.len() && by_start[next_seg].start <= t {
                 active.push(by_start[next_seg]);
                 next_seg += 1;
             }
             active.retain(|s| s.end > t);
             let env_sq: f64 = active.iter().map(|s| s.amplitude_v * s.amplitude_v).sum();
-            let phase = rng.uniform(0.0, std::f64::consts::TAU);
-            let noise = rng.normal(0.0, self.noise_rms_v);
-            out.push((env_sq.sqrt() * phase.cos() + noise) as f32);
-            t += period;
+            let env = env_sq.sqrt();
+            // The envelope holds until the next segment boundary: emit the
+            // whole run of samples without touching the segment list.
+            let mut boundary = active.iter().map(|s| s.end).min().unwrap_or(SimTime::MAX);
+            if next_seg < by_start.len() {
+                boundary = boundary.min(by_start[next_seg].start);
+            }
+            let run = if boundary == SimTime::MAX {
+                n - emitted
+            } else {
+                // Samples at t, t+p, … strictly before the boundary.
+                let span = boundary.since(t).as_nanos();
+                let p = period.as_nanos();
+                (span.div_ceil(p) as usize).min(n - emitted)
+            };
+            for _ in 0..run {
+                let bits = rng.next_u64();
+                let noise = noise_tab[(bits & mask) as usize] * noise_rms;
+                let c = cos_tab[((bits >> TABLE_BITS) & mask) as usize];
+                out.push((env * c + noise) as f32);
+            }
+            emitted += run;
+            t = t + SimDuration::from_nanos(period.as_nanos() * run as u64);
         }
         (period, out)
     }

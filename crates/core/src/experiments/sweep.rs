@@ -169,6 +169,8 @@ pub fn collect(quick: bool, seed: u64) -> Vec<PointData> {
         link_gain_invalidations: after.link_gain_invalidations - before.link_gain_invalidations,
         scenario_mutations: after.scenario_mutations - before.scenario_mutations,
         faults_injected: after.faults_injected - before.faults_injected,
+        codebook_hits: after.codebook_hits - before.codebook_hits,
+        codebook_misses: after.codebook_misses - before.codebook_misses,
     };
     let mut guard = CACHE.lock().expect("sweep cache");
     guard

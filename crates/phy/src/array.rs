@@ -15,6 +15,7 @@ use crate::pattern::AntennaPattern;
 use mmwave_geom::Angle;
 use mmwave_sim::rng::SimRng;
 use std::f64::consts::TAU;
+use std::sync::OnceLock;
 
 /// Minimal complex number for field summation (avoids a num dependency).
 /// `add`/`mul` are deliberately inherent methods named like the operator
@@ -60,6 +61,32 @@ impl Complex {
     }
 }
 
+/// Exact identity of an array's frozen configuration: every
+/// [`ArrayConfig`] field that influences synthesized samples, with f64s
+/// captured bit-exactly via `to_bits`. Two arrays with equal fingerprints
+/// draw the same errors and synthesize bit-identical patterns for the same
+/// weights — the soundness condition of the codebook cache in
+/// [`crate::codebook`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ArrayFingerprint([u64; 11]);
+
+/// Precomputed per-array synthesis tables over the default angle grid.
+///
+/// For grid sample `k` (azimuth `θ_k = k·2π/n`) and column `i`:
+/// `steer[k·cols + i] = e^{j·TAU·y_i·sin θ_k}` — exactly the phasor the
+/// reference path computes per element per angle, stored once. `element_db`
+/// and `rows_gain_db` are the remaining pure-of-θ/config terms of the
+/// sample expression. ~720 × cols complex values ≈ 90 KiB for 8 columns.
+#[derive(Clone, Debug)]
+struct SteeringBasis {
+    /// Row-major steering phasors, `DEFAULT_SAMPLES` rows × `columns`.
+    steer: Vec<Complex>,
+    /// Element gain (dBi) at each grid azimuth.
+    element_db: Vec<f64>,
+    /// Constant elevation-stack gain `10·log10(rows)`.
+    rows_gain_db: f64,
+}
+
 /// A concrete phased array instance with frozen manufacturing errors.
 #[derive(Clone, Debug)]
 pub struct PhasedArray {
@@ -68,6 +95,9 @@ pub struct PhasedArray {
     positions_wl: Vec<f64>,
     /// Frozen per-element complex error factors (amplitude × phase error).
     errors: Vec<Complex>,
+    /// Steering basis, built on first synthesis (cloned arrays re-share the
+    /// already-built tables; a clone before first use rebuilds lazily).
+    basis: OnceLock<SteeringBasis>,
 }
 
 impl PhasedArray {
@@ -98,12 +128,61 @@ impl PhasedArray {
             config,
             positions_wl,
             errors,
+            basis: OnceLock::new(),
         }
     }
 
     /// The array's configuration.
     pub fn config(&self) -> &ArrayConfig {
         &self.config
+    }
+
+    /// Element azimuth-axis positions in wavelengths (includes jitter).
+    pub fn positions_wl(&self) -> &[f64] {
+        &self.positions_wl
+    }
+
+    /// This array's exact configuration identity (see [`ArrayFingerprint`]).
+    pub fn fingerprint(&self) -> ArrayFingerprint {
+        let c = &self.config;
+        ArrayFingerprint([
+            c.columns as u64,
+            c.rows as u64,
+            c.spacing_wl.to_bits(),
+            c.element.q.to_bits(),
+            c.element.boresight_gain_dbi.to_bits(),
+            c.element.back_floor_db.to_bits(),
+            c.shifter.bits as u64,
+            c.amp_error_db.to_bits(),
+            c.phase_error_rad.to_bits(),
+            c.error_seed,
+            c.placement_jitter_wl.to_bits(),
+        ])
+    }
+
+    /// The steering basis, built on first use.
+    fn basis(&self) -> &SteeringBasis {
+        self.basis.get_or_init(|| {
+            let n = AntennaPattern::DEFAULT_SAMPLES;
+            let cols = self.config.columns;
+            let mut steer = Vec::with_capacity(n * cols);
+            let mut element_db = Vec::with_capacity(n);
+            for k in 0..n {
+                // Identical expressions to the reference closure path, so
+                // every table entry is the exact f64 it would compute.
+                let theta = Angle::from_radians(TAU * k as f64 / n as f64);
+                let s = theta.radians().sin();
+                for &y in &self.positions_wl {
+                    steer.push(Complex::polar(1.0, TAU * y * s));
+                }
+                element_db.push(self.config.element.gain_dbi(theta));
+            }
+            SteeringBasis {
+                steer,
+                element_db,
+                rows_gain_db: 10.0 * (self.config.rows as f64).log10(),
+            }
+        })
     }
 
     /// Ideal (pre-quantization) steering phases for local azimuth `steer`.
@@ -115,7 +194,55 @@ impl PhasedArray {
     /// Synthesize the pattern for an arbitrary per-column weight vector
     /// (`weights[i]` applied to column `i`). Columns with zero weight are
     /// switched off. This is the primitive the codebook builds on.
+    ///
+    /// Runs on the precomputed steering basis — no trig and no allocations
+    /// beyond the output vector — and is bit-identical to
+    /// [`PhasedArray::pattern_from_weights_reference`]: `(w·e)·steer` keeps
+    /// the reference path's multiplication and accumulation order, and every
+    /// basis entry is the exact f64 the closure would compute.
     pub fn pattern_from_weights(&self, weights: &[Complex]) -> AntennaPattern {
+        assert_eq!(weights.len(), self.config.columns, "weight length mismatch");
+        let active: f64 = weights.iter().map(|w| w.abs().powi(2)).sum();
+        assert!(active > 0.0, "all elements off");
+        let basis = self.basis();
+        let cols = self.config.columns;
+        // Fold each weight with its frozen element error once per call;
+        // zero-weight columns are dropped here exactly where the reference
+        // loop `continue`s them, preserving the summation order.
+        let folded: Vec<(usize, Complex)> = weights
+            .iter()
+            .zip(&self.errors)
+            .enumerate()
+            .filter(|(_, (w, _))| w.abs() != 0.0)
+            .map(|(i, (w, e))| (i, w.mul(*e)))
+            .collect();
+        let n = AntennaPattern::DEFAULT_SAMPLES;
+        let mut samples = Vec::with_capacity(n);
+        for k in 0..n {
+            let row = &basis.steer[k * cols..(k + 1) * cols];
+            let mut field = Complex::default();
+            for &(i, we) in &folded {
+                field = field.add(we.mul(row[i]));
+            }
+            // Normalize so an ideal uniform array peaks at
+            // element_gain + 10·log10(columns) (+ rows gain).
+            let af_power = field.abs().powi(2) / active;
+            let af_db = if af_power > 0.0 {
+                10.0 * af_power.log10()
+            } else {
+                -60.0
+            };
+            samples.push(basis.element_db[k] + af_db.max(-60.0) + basis.rows_gain_db);
+        }
+        AntennaPattern::from_samples(samples)
+    }
+
+    /// Reference synthesis: evaluates the closed-form sample expression per
+    /// angle with a fresh `sin`/`cos` per element, exactly as
+    /// `pattern_from_weights` did before the steering basis existed. Kept as
+    /// the bit-level specification — `tests/basis_equivalence.rs` proves the
+    /// basis path reproduces it exactly across all calibrated devices.
+    pub fn pattern_from_weights_reference(&self, weights: &[Complex]) -> AntennaPattern {
         assert_eq!(weights.len(), self.config.columns, "weight length mismatch");
         let active: f64 = weights.iter().map(|w| w.abs().powi(2)).sum();
         assert!(active > 0.0, "all elements off");
@@ -134,8 +261,6 @@ impl PhasedArray {
                 let steer = Complex::polar(1.0, TAU * y * s);
                 field = field.add(w.mul(*e).mul(steer));
             }
-            // Normalize so an ideal uniform array peaks at
-            // element_gain + 10·log10(columns) (+ rows gain).
             let af_power = field.abs().powi(2) / active;
             let af_db = if af_power > 0.0 {
                 10.0 * af_power.log10()

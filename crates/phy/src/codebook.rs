@@ -14,9 +14,12 @@
 //! pattern (side lobes, gaps, scan loss at the sector fan's edge) comes from
 //! the array model, not from hand-drawn shapes.
 
-use crate::array::PhasedArray;
+use crate::array::{ArrayFingerprint, PhasedArray};
 use mmwave_geom::Angle;
+use mmwave_sim::metrics;
+use std::cell::RefCell;
 use std::f64::consts::PI;
+use std::sync::Arc;
 
 /// What a codebook is for.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -40,34 +43,107 @@ pub struct Sector {
 }
 
 /// An ordered set of sectors.
+///
+/// The sector vector sits behind an `Arc`: cloning a codebook (and hitting
+/// the memoization cache below) shares the synthesized patterns instead of
+/// copying 32 × 720 samples. Codebooks are immutable after construction, so
+/// sharing is unobservable apart from pointer identity.
 #[derive(Clone, Debug)]
 pub struct Codebook {
     kind: CodebookKind,
-    sectors: Vec<Sector>,
+    sectors: Arc<Vec<Sector>>,
+}
+
+/// Identity of a memoized codebook: the array's exact configuration
+/// fingerprint plus the codebook kind and parameters, all bit-exact. Equal
+/// keys guarantee bit-identical sector patterns (see [`ArrayFingerprint`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct CacheKey {
+    array: ArrayFingerprint,
+    kind: CodebookKind,
+    n: usize,
+    half_span_bits: u64,
+}
+
+thread_local! {
+    /// Memoized codebooks, linear-scanned (the working set is a handful of
+    /// entries; scanning short keys beats hashing them).
+    static CACHE: RefCell<Vec<(CacheKey, Codebook)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Upper bound on memoized codebooks per thread. Seed sweeps construct
+/// hundreds of distinct arrays; evicting the oldest entry keeps that
+/// bounded while leaving the steady-state working set (a few devices ×
+/// two codebooks) untouched.
+const CACHE_CAP: usize = 64;
+
+/// Drop every memoized codebook on this thread.
+///
+/// Campaign workers call this next to [`mmwave_sim::metrics::reset`] before
+/// each task, so the hit/miss counters a task reports are a pure function
+/// of that task — independent of which tasks ran earlier on the thread.
+pub fn clear_thread_cache() {
+    CACHE.with(|c| c.borrow_mut().clear());
+}
+
+/// Number of codebooks currently memoized on this thread (for tests).
+pub fn thread_cache_len() -> usize {
+    CACHE.with(|c| c.borrow().len())
 }
 
 impl Codebook {
+    /// Look `key` up in the thread cache, synthesizing via `build` on a
+    /// miss. Hit/miss counts flow into the engine metrics accumulator.
+    fn cached(key: CacheKey, build: impl FnOnce() -> Vec<Sector>) -> Codebook {
+        let hit = CACHE.with(|c| {
+            c.borrow()
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, cb)| cb.clone())
+        });
+        if let Some(cb) = hit {
+            metrics::record_codebook_hit();
+            return cb;
+        }
+        metrics::record_codebook_miss();
+        let cb = Codebook {
+            kind: key.kind,
+            sectors: Arc::new(build()),
+        };
+        CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            if cache.len() == CACHE_CAP {
+                cache.remove(0);
+            }
+            cache.push((key, cb.clone()));
+        });
+        cb
+    }
     /// Build a directional codebook: `n` sectors with steering azimuths
     /// fanned uniformly over ±`half_span`. The D5000's serviced area is a
     /// 120°-wide cone, but the paper finds it operating over a wider range
     /// indoors, so the default fan reaches ±77.5°.
     pub fn directional(array: &PhasedArray, n: usize, half_span: f64) -> Codebook {
         assert!(n >= 2 && half_span > 0.0 && half_span < PI);
-        let sectors = (0..n)
-            .map(|i| {
-                let frac = i as f64 / (n - 1) as f64;
-                let steer = Angle::from_radians(-half_span + 2.0 * half_span * frac);
-                Sector {
-                    id: i,
-                    steer,
-                    pattern: array.steered_pattern(steer),
-                }
-            })
-            .collect();
-        Codebook {
+        let key = CacheKey {
+            array: array.fingerprint(),
             kind: CodebookKind::Directional,
-            sectors,
-        }
+            n,
+            half_span_bits: half_span.to_bits(),
+        };
+        Codebook::cached(key, || {
+            (0..n)
+                .map(|i| {
+                    let frac = i as f64 / (n - 1) as f64;
+                    let steer = Angle::from_radians(-half_span + 2.0 * half_span * frac);
+                    Sector {
+                        id: i,
+                        steer,
+                        pattern: array.steered_pattern(steer),
+                    }
+                })
+                .collect()
+        })
     }
 
     /// The default directional codebook used by the WiGig device models:
@@ -91,40 +167,45 @@ impl Codebook {
     pub fn quasi_omni_32(array: &PhasedArray) -> Codebook {
         let cols = array.config().columns;
         assert!(cols >= 4, "quasi-omni codebook needs at least 4 columns");
-        let phases = [0.0, PI / 2.0, PI, -PI / 2.0];
-        let mut sectors = Vec::with_capacity(32);
-        let mut id = 0;
-        'outer: for &dp in &phases {
-            for i in 0..cols - 1 {
-                sectors.push(Sector {
-                    id,
-                    // Nominal direction of a 2-element pair with phase
-                    // difference dp at λ/2 spacing: sinθ = dp/π.
-                    steer: Angle::from_radians((dp / PI).clamp(-1.0, 1.0).asin()),
-                    pattern: array.quasi_omni_pattern(&[(i, 0.0), (i + 1, dp)]),
-                });
-                id += 1;
-                if id == 28 {
-                    break 'outer;
+        let key = CacheKey {
+            array: array.fingerprint(),
+            kind: CodebookKind::QuasiOmni,
+            n: 32,
+            half_span_bits: 0,
+        };
+        Codebook::cached(key, || {
+            let phases = [0.0, PI / 2.0, PI, -PI / 2.0];
+            let mut sectors = Vec::with_capacity(32);
+            let mut id = 0;
+            'outer: for &dp in &phases {
+                for i in 0..cols - 1 {
+                    sectors.push(Sector {
+                        id,
+                        // Nominal direction of a 2-element pair with phase
+                        // difference dp at λ/2 spacing: sinθ = dp/π.
+                        steer: Angle::from_radians((dp / PI).clamp(-1.0, 1.0).asin()),
+                        pattern: array.quasi_omni_pattern(&[(i, 0.0), (i + 1, dp)]),
+                    });
+                    id += 1;
+                    if id == 28 {
+                        break 'outer;
+                    }
                 }
             }
-        }
-        // Spaced pairs: grating-lobed wide patterns.
-        for k in 0..4 {
-            let i = k % (cols - 2);
-            let dp = phases[k % 4];
-            sectors.push(Sector {
-                id,
-                steer: Angle::ZERO,
-                pattern: array.quasi_omni_pattern(&[(i, 0.0), (i + 2, dp)]),
-            });
-            id += 1;
-        }
-        debug_assert_eq!(sectors.len(), 32);
-        Codebook {
-            kind: CodebookKind::QuasiOmni,
-            sectors,
-        }
+            // Spaced pairs: grating-lobed wide patterns.
+            for k in 0..4 {
+                let i = k % (cols - 2);
+                let dp = phases[k % 4];
+                sectors.push(Sector {
+                    id,
+                    steer: Angle::ZERO,
+                    pattern: array.quasi_omni_pattern(&[(i, 0.0), (i + 2, dp)]),
+                });
+                id += 1;
+            }
+            debug_assert_eq!(sectors.len(), 32);
+            sectors
+        })
     }
 
     /// Codebook kind.
@@ -259,6 +340,64 @@ mod tests {
         for (sa, sb) in a.sectors().iter().zip(b.sectors()) {
             assert_eq!(sa.pattern.samples(), sb.pattern.samples());
         }
+    }
+
+    #[test]
+    fn cache_hits_share_sectors_and_count() {
+        clear_thread_cache();
+        mmwave_sim::metrics::reset();
+        let arr = wigig_array();
+        let a = Codebook::directional_default(&arr);
+        let b = Codebook::directional_default(&arr);
+        assert!(
+            Arc::ptr_eq(&a.sectors, &b.sectors),
+            "hit must share the synthesized sectors"
+        );
+        // A different error seed is a different fingerprint: no sharing.
+        let c = Codebook::directional_default(&PhasedArray::new(ArrayConfig::wigig_2x8(12)));
+        assert!(!Arc::ptr_eq(&a.sectors, &c.sectors));
+        // Same array, different kind/params: distinct entries.
+        let q = Codebook::quasi_omni_32(&arr);
+        assert!(!Arc::ptr_eq(&a.sectors, &q.sectors));
+        let s = mmwave_sim::metrics::snapshot();
+        assert_eq!(s.codebook_hits, 1);
+        assert_eq!(s.codebook_misses, 3);
+        assert_eq!(thread_cache_len(), 3);
+        clear_thread_cache();
+        assert_eq!(thread_cache_len(), 0);
+        mmwave_sim::metrics::reset();
+    }
+
+    #[test]
+    fn cached_codebook_equals_fresh_synthesis() {
+        clear_thread_cache();
+        let arr = wigig_array();
+        let first = Codebook::directional_default(&arr);
+        let hit = Codebook::directional_default(&arr);
+        clear_thread_cache();
+        let fresh = Codebook::directional_default(&arr);
+        for ((a, b), c) in first
+            .sectors()
+            .iter()
+            .zip(hit.sectors())
+            .zip(fresh.sectors())
+        {
+            assert_eq!(a.pattern.samples(), b.pattern.samples());
+            assert_eq!(a.pattern.samples(), c.pattern.samples());
+        }
+        clear_thread_cache();
+    }
+
+    #[test]
+    fn cache_evicts_oldest_beyond_cap() {
+        clear_thread_cache();
+        // Distinct error seeds → distinct fingerprints; overflow the cap
+        // (tiny 2-sector codebooks keep this fast).
+        for seed in 0..(CACHE_CAP as u64 + 4) {
+            Codebook::directional(&PhasedArray::new(ArrayConfig::wigig_2x8(seed)), 2, 0.5);
+        }
+        assert_eq!(thread_cache_len(), CACHE_CAP);
+        clear_thread_cache();
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod propagation;
 pub mod rate_adapt;
 
 pub use antenna::{ArrayConfig, ElementPattern, PhaseShifter};
-pub use array::{Complex, PhasedArray};
+pub use array::{ArrayFingerprint, Complex, PhasedArray};
 pub use codebook::{Codebook, CodebookKind, Sector};
 pub use horn::{horn_25dbi, open_waveguide};
 pub use mcs::{Mcs, McsTable, Modulation};

@@ -52,6 +52,18 @@ impl AntennaPattern {
         }
     }
 
+    /// Build from precomputed gain samples; sample `i` is at azimuth
+    /// `i · 2π/n`. The synthesizers' steering-basis path assembles whole
+    /// sample vectors at once instead of evaluating a closure per angle.
+    pub fn from_samples(samples: Vec<f64>) -> AntennaPattern {
+        assert!(samples.len() >= 8, "pattern too coarse");
+        debug_assert!(samples.iter().all(|g| g.is_finite()), "non-finite gain");
+        AntennaPattern {
+            samples,
+            samples_lin: OnceLock::new(),
+        }
+    }
+
     /// An isotropic pattern of the given gain (used for idealized tests).
     pub fn isotropic(gain_dbi: f64) -> AntennaPattern {
         AntennaPattern {

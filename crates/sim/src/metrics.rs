@@ -44,6 +44,10 @@ pub struct EngineCounters {
     pub scenario_mutations: u64,
     /// Frames forced to fail by an injected fault window.
     pub faults_injected: u64,
+    /// Codebook requests answered from the memoized per-array cache.
+    pub codebook_hits: u64,
+    /// Codebook requests that had to synthesize all sectors.
+    pub codebook_misses: u64,
 }
 
 thread_local! {
@@ -55,6 +59,8 @@ thread_local! {
     static GAIN_INVALIDATIONS: Cell<u64> = const { Cell::new(0) };
     static SCENARIO_MUTATIONS: Cell<u64> = const { Cell::new(0) };
     static FAULTS_INJECTED: Cell<u64> = const { Cell::new(0) };
+    static CODEBOOK_HITS: Cell<u64> = const { Cell::new(0) };
+    static CODEBOOK_MISSES: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Zero this thread's accumulator (call before a measured run).
@@ -67,6 +73,8 @@ pub fn reset() {
     GAIN_INVALIDATIONS.with(|c| c.set(0));
     SCENARIO_MUTATIONS.with(|c| c.set(0));
     FAULTS_INJECTED.with(|c| c.set(0));
+    CODEBOOK_HITS.with(|c| c.set(0));
+    CODEBOOK_MISSES.with(|c| c.set(0));
 }
 
 /// Read this thread's accumulated counters (call after a measured run).
@@ -80,6 +88,8 @@ pub fn snapshot() -> EngineCounters {
         link_gain_invalidations: GAIN_INVALIDATIONS.with(Cell::get),
         scenario_mutations: SCENARIO_MUTATIONS.with(Cell::get),
         faults_injected: FAULTS_INJECTED.with(Cell::get),
+        codebook_hits: CODEBOOK_HITS.with(Cell::get),
+        codebook_misses: CODEBOOK_MISSES.with(Cell::get),
     }
 }
 
@@ -100,6 +110,8 @@ pub fn merge(c: EngineCounters) {
     GAIN_INVALIDATIONS.with(|p| p.set(p.get() + c.link_gain_invalidations));
     SCENARIO_MUTATIONS.with(|p| p.set(p.get() + c.scenario_mutations));
     FAULTS_INJECTED.with(|p| p.set(p.get() + c.faults_injected));
+    CODEBOOK_HITS.with(|p| p.set(p.get() + c.codebook_hits));
+    CODEBOOK_MISSES.with(|p| p.set(p.get() + c.codebook_misses));
 }
 
 pub(crate) fn record_pop() {
@@ -141,6 +153,17 @@ pub fn record_fault_injected() {
     FAULTS_INJECTED.with(|c| c.set(c.get() + 1));
 }
 
+/// Record a codebook-cache hit (the synthesizer lives downstream in
+/// `mmwave-phy`, hence `pub`).
+pub fn record_codebook_hit() {
+    CODEBOOK_HITS.with(|c| c.set(c.get() + 1));
+}
+
+/// Record a codebook-cache miss (all sectors synthesized).
+pub fn record_codebook_miss() {
+    CODEBOOK_MISSES.with(|c| c.set(c.get() + 1));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +185,9 @@ mod tests {
         record_scenario_mutation();
         record_scenario_mutation();
         record_fault_injected();
+        record_codebook_hit();
+        record_codebook_hit();
+        record_codebook_miss();
         let s = snapshot();
         assert_eq!(s.events_popped, 2);
         assert_eq!(s.events_cancelled, 1);
@@ -171,6 +197,8 @@ mod tests {
         assert_eq!(s.link_gain_invalidations, 1);
         assert_eq!(s.scenario_mutations, 2);
         assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.codebook_hits, 2);
+        assert_eq!(s.codebook_misses, 1);
         reset();
         assert_eq!(snapshot(), EngineCounters::default());
     }
@@ -188,6 +216,8 @@ mod tests {
             link_gain_invalidations: 1,
             scenario_mutations: 6,
             faults_injected: 2,
+            codebook_hits: 9,
+            codebook_misses: 3,
         });
         let s = snapshot();
         assert_eq!(s.events_popped, 10);
@@ -197,6 +227,8 @@ mod tests {
         assert_eq!(s.link_gain_invalidations, 1);
         assert_eq!(s.scenario_mutations, 6);
         assert_eq!(s.faults_injected, 2);
+        assert_eq!(s.codebook_hits, 9);
+        assert_eq!(s.codebook_misses, 3);
         reset();
     }
 }

@@ -8,11 +8,134 @@
 
 use crate::metrics;
 use crate::time::SimTime;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Handle identifying a scheduled event; used to cancel it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
+
+/// Open-addressed set of raw `u64` keys — the lazy-cancellation tombstone
+/// store.
+///
+/// Every `pop` consults this set, so with `HashSet<EventId>` the queue's
+/// hot path paid a full SipHash round per event. Event ids are plain
+/// sequence numbers; one Fibonacci multiply spreads them perfectly well,
+/// and linear probing with backward-shift deletion (no tombstone markers)
+/// keeps lookups a couple of cache lines at the typical (tiny) occupancy.
+struct U64Set {
+    /// Power-of-two slot array; `EMPTY` marks a free slot.
+    slots: Vec<u64>,
+    mask: usize,
+    len: usize,
+}
+
+/// Free-slot sentinel. Event sequence numbers count up from zero, so a
+/// queue would have to schedule 2⁶⁴ − 1 events before colliding with it.
+const EMPTY: u64 = u64::MAX;
+
+impl U64Set {
+    fn new() -> U64Set {
+        U64Set {
+            slots: Vec::new(),
+            mask: 0,
+            len: 0,
+        }
+    }
+
+    /// Home slot: Fibonacci hashing (golden-ratio multiply, top bits).
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & self.mask
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; cap]);
+        self.mask = cap - 1;
+        self.len = 0;
+        for k in old {
+            if k != EMPTY {
+                self.insert(k);
+            }
+        }
+    }
+
+    /// Insert; returns false if the key was already present.
+    fn insert(&mut self, key: u64) -> bool {
+        debug_assert_ne!(key, EMPTY, "sentinel key");
+        // Keep occupancy under 3/4 so probe chains stay short.
+        if self.len * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.home(key);
+        loop {
+            let k = self.slots[i];
+            if k == EMPTY {
+                self.slots[i] = key;
+                self.len += 1;
+                return true;
+            }
+            if k == key {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn contains(&self, key: u64) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let mut i = self.home(key);
+        loop {
+            let k = self.slots[i];
+            if k == EMPTY {
+                return false;
+            }
+            if k == key {
+                return true;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Remove; returns true if the key was present. Uses backward-shift
+    /// deletion: later entries of the probe chain slide into the hole so
+    /// no deleted-marker state is ever needed.
+    fn remove(&mut self, key: u64) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let mut i = self.home(key);
+        loop {
+            let k = self.slots[i];
+            if k == EMPTY {
+                return false;
+            }
+            if k == key {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = EMPTY;
+        self.len -= 1;
+        let mut j = (i + 1) & self.mask;
+        while self.slots[j] != EMPTY {
+            let h = self.home(self.slots[j]);
+            // `slots[j]` may move into the hole at `i` iff its home lies
+            // at or before `i` along its probe path (Knuth's distance
+            // criterion, cyclic arithmetic).
+            if (j.wrapping_sub(h) & self.mask) >= (j.wrapping_sub(i) & self.mask) {
+                self.slots[i] = self.slots[j];
+                self.slots[j] = EMPTY;
+                i = j;
+            }
+            j = (j + 1) & self.mask;
+        }
+        true
+    }
+}
 
 struct Entry<E> {
     at: SimTime,
@@ -55,7 +178,7 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<(EventId, E)>>,
-    cancelled: HashSet<EventId>,
+    cancelled: U64Set,
     next_seq: u64,
     live: usize,
     popped: u64,
@@ -74,7 +197,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: U64Set::new(),
             next_seq: 0,
             live: 0,
             popped: 0,
@@ -112,7 +235,7 @@ impl<E> EventQueue<E> {
         if id.0 >= self.next_seq {
             return false;
         }
-        if self.cancelled.insert(id) {
+        if self.cancelled.insert(id.0) {
             if self.live > 0 {
                 self.live -= 1;
             }
@@ -128,7 +251,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
             let (id, payload) = entry.payload;
-            if self.cancelled.remove(&id) {
+            if self.cancelled.remove(id.0) {
                 continue; // tombstoned
             }
             self.live -= 1;
@@ -144,9 +267,9 @@ impl<E> EventQueue<E> {
         // Drain tombstones off the top so peek is accurate.
         while let Some(top) = self.heap.peek() {
             let id = top.payload.0;
-            if self.cancelled.contains(&id) {
+            if self.cancelled.contains(id.0) {
                 let e = self.heap.pop().expect("peeked entry vanished");
-                self.cancelled.remove(&e.payload.0);
+                self.cancelled.remove(e.payload.0 .0);
             } else {
                 return Some(top.at);
             }
@@ -252,6 +375,57 @@ mod tests {
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(t(5)));
         assert_eq!(q.pop(), Some((t(5), 2)));
+    }
+
+    #[test]
+    fn u64set_insert_contains_remove_across_growth() {
+        let mut s = U64Set::new();
+        assert!(!s.contains(0));
+        assert!(!s.remove(0));
+        for k in 0..1000u64 {
+            assert!(s.insert(k), "first insert of {k}");
+            assert!(!s.insert(k), "duplicate insert of {k}");
+        }
+        for k in 0..1000u64 {
+            assert!(s.contains(k));
+        }
+        assert!(!s.contains(1000));
+        // Remove evens; odds must survive every backward shift.
+        for k in (0..1000u64).step_by(2) {
+            assert!(s.remove(k));
+            assert!(!s.remove(k), "double remove of {k}");
+        }
+        for k in 0..1000u64 {
+            assert_eq!(s.contains(k), k % 2 == 1, "key {k}");
+        }
+        // Reinsert into the holes.
+        for k in (0..1000u64).step_by(2) {
+            assert!(s.insert(k));
+        }
+        assert_eq!(s.len, 1000);
+    }
+
+    #[test]
+    fn u64set_handles_colliding_keys() {
+        // Keys a multiple of a large power of two apart collide in small
+        // tables, exercising probe chains and backward-shift deletion.
+        let mut s = U64Set::new();
+        let keys: Vec<u64> = (0..48).map(|i| i << 32).collect();
+        for &k in &keys {
+            assert!(s.insert(k));
+        }
+        for &k in &keys {
+            assert!(s.contains(k));
+        }
+        // Delete from the middle of chains and re-verify the rest.
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(s.remove(k));
+            }
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(s.contains(k), i % 3 != 0);
+        }
     }
 
     #[test]

@@ -2,10 +2,13 @@
 # One-shot local verification: exactly what a PR must keep green.
 #
 #   scripts/verify.sh            # build + full test suite + formatting
+#   SKIP_BENCH=1 scripts/verify.sh  # skip the bench regression gate
 #
 # Mirrors the tier-1 gate in ROADMAP.md (release build + workspace
 # tests) and adds the formatting check so style drift is caught before
-# review. Std-only: no network, no external tools beyond cargo/rustfmt.
+# review, plus the kernel-bench regression gate (scripts/bench_check.sh)
+# so perf cliffs are caught alongside correctness. Std-only: no network,
+# no external tools beyond cargo/rustfmt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,5 +20,10 @@ cargo test -q --workspace
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+    echo "==> scripts/bench_check.sh"
+    scripts/bench_check.sh
+fi
 
 echo "verify: OK"
