@@ -7,6 +7,7 @@ use mmwave_capture::trace::{SegmentTag, TraceSegment};
 use mmwave_capture::{detect_frames, DetectorConfig, SignalTrace};
 use mmwave_geom::{trace_paths, Angle, Material, Point, Room, TraceConfig};
 use mmwave_phy::{ArrayConfig, Codebook, McsTable, PhasedArray};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::queue::EventQueue;
 use mmwave_sim::rng::SimRng;
 use mmwave_sim::time::SimTime;
@@ -72,14 +73,15 @@ fn bench_array_synthesis() {
     });
     // Hit path: after the first iteration every call is a cache lookup
     // plus an `Arc` clone of the sector table.
+    let ctx = SimCtx::new();
     bench("phy/directional_codebook_32", || {
-        Codebook::directional_default(&array)
+        Codebook::directional_default(&ctx, &array)
     });
-    // Cold path: clearing the thread-local cache each iteration measures
-    // raw 32-sector synthesis through the steering basis.
+    // Cold path: a fresh context each iteration has an empty codebook
+    // cache, so this measures raw 32-sector synthesis through the
+    // steering basis.
     bench("phy/directional_codebook_32_cold", || {
-        mmwave_phy::codebook::clear_thread_cache();
-        Codebook::directional_default(&array)
+        Codebook::directional_default(&SimCtx::new(), &array)
     });
     let pattern = array.steered_pattern(Angle::ZERO);
     let mut deg = 0.0;
@@ -161,11 +163,30 @@ fn bench_link_cache() {
         ),
     );
     let env = Environment::new(room);
+    let ctx = SimCtx::new();
     let devices = vec![
-        Device::wigig_dock("dock", Point::new(0.5, 1.0), Angle::ZERO, 13),
-        Device::wigig_laptop("l1", Point::new(6.0, 1.5), Angle::from_degrees(180.0), 11),
-        Device::wigig_laptop("l2", Point::new(3.0, 2.5), Angle::from_degrees(-90.0), 11),
-        Device::wigig_laptop("l3", Point::new(8.0, 0.5), Angle::from_degrees(150.0), 11),
+        Device::wigig_dock(&ctx, "dock", Point::new(0.5, 1.0), Angle::ZERO, 13),
+        Device::wigig_laptop(
+            &ctx,
+            "l1",
+            Point::new(6.0, 1.5),
+            Angle::from_degrees(180.0),
+            11,
+        ),
+        Device::wigig_laptop(
+            &ctx,
+            "l2",
+            Point::new(3.0, 2.5),
+            Angle::from_degrees(-90.0),
+            11,
+        ),
+        Device::wigig_laptop(
+            &ctx,
+            "l3",
+            Point::new(8.0, 0.5),
+            Angle::from_degrees(150.0),
+            11,
+        ),
     ];
     let offs = vec![0.0; devices.len()];
     let frame = || Frame {
@@ -235,22 +256,28 @@ fn bench_link_cache() {
 fn bench_mac_second() {
     use mmwave_channel::Environment;
     use mmwave_mac::{Device, Net, NetConfig};
-    bench("mac/idle_link_100ms", || {
-        let mut net = Net::new(
+    // One context across iterations: what we measure is the MAC idle
+    // link, not codebook synthesis (bench_array_synthesis covers cold).
+    let ctx = SimCtx::new();
+    bench("mac/idle_link_100ms", move || {
+        let mut net = Net::with_ctx(
             Environment::new(Room::open_space()),
             NetConfig {
                 seed: 1,
                 enable_fading: false,
                 ..NetConfig::default()
             },
+            &ctx,
         );
         let dock = net.add_device(Device::wigig_dock(
+            net.ctx(),
             "d",
             Point::new(0.0, 0.0),
             Angle::ZERO,
             13,
         ));
         let laptop = net.add_device(Device::wigig_laptop(
+            net.ctx(),
             "l",
             Point::new(2.0, 0.0),
             Angle::from_degrees(180.0),
@@ -266,23 +293,27 @@ fn bench_tcp_second() {
     use mmwave_channel::Environment;
     use mmwave_mac::{Device, Net, NetConfig};
     use mmwave_transport::{Stack, TcpConfig};
-    bench("transport/tcp_100ms_full_rate", || {
-        let mut net = Net::new(
+    let ctx = SimCtx::new();
+    bench("transport/tcp_100ms_full_rate", move || {
+        let mut net = Net::with_ctx(
             Environment::new(Room::open_space()),
             NetConfig {
                 seed: 1,
                 enable_fading: false,
                 ..NetConfig::default()
             },
+            &ctx,
         );
         net.txlog_mut().set_enabled(false);
         let dock = net.add_device(Device::wigig_dock(
+            net.ctx(),
             "d",
             Point::new(0.0, 0.0),
             Angle::ZERO,
             13,
         ));
         let laptop = net.add_device(Device::wigig_laptop(
+            net.ctx(),
             "l",
             Point::new(2.0, 0.0),
             Angle::from_degrees(180.0),

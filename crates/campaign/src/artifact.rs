@@ -15,11 +15,14 @@
 //! Schemas (see DESIGN.md for the field-by-field description):
 //!
 //! * manifest: `schema = "mmwave-campaign/1"`
-//! * run:      `schema = "mmwave-campaign-run/4"` (v2 added the
+//! * run:      `schema = "mmwave-campaign-run/5"` (v2 added the
 //!   `engine.link_gain_*` cache counters; v3 added the `scenario` label
 //!   and the `engine.scenario_mutations` / `engine.faults_injected`
 //!   fault-scenario counters; v4 added the `engine.codebook_hits` /
-//!   `engine.codebook_misses` pattern-synthesis cache counters)
+//!   `engine.codebook_misses` pattern-synthesis cache counters; v5
+//!   sources every `engine.*` counter from the task's private
+//!   [`mmwave_sim::ctx::SimCtx`] instead of thread-local accumulators —
+//!   same fields, now provably isolated per task)
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -29,7 +32,7 @@ use crate::{CampaignResult, RunRecord, RunStatus};
 use mmwave_sim::metrics::EngineCounters;
 
 pub const MANIFEST_SCHEMA: &str = "mmwave-campaign/1";
-pub const RUN_SCHEMA: &str = "mmwave-campaign-run/4";
+pub const RUN_SCHEMA: &str = "mmwave-campaign-run/5";
 
 fn obj(fields: Vec<(&str, Json)>) -> Json {
     Json::Obj(

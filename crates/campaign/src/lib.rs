@@ -24,8 +24,8 @@
 //! * **Artifacts** — [`artifact`] writes a campaign manifest plus one
 //!   structured JSON report per run ([`json`] is a std-only
 //!   encoder/decoder), including wall time and the engine's scheduler
-//!   counters (events popped/cancelled, peak queue depth) collected via
-//!   [`mmwave_sim::metrics`].
+//!   counters (events popped/cancelled, peak queue depth) read from the
+//!   task's private [`mmwave_sim::ctx::SimCtx`].
 //!
 //! Std-only by construction: no crates.io dependencies, so the subsystem
 //! builds in hermetic/offline environments.
@@ -50,6 +50,7 @@ pub mod json;
 pub mod runner;
 
 use mmwave_core::experiments::Experiment;
+use mmwave_sim::ctx::CacheMode;
 use mmwave_sim::metrics::EngineCounters;
 
 /// What to run: the experiment × seed matrix plus execution knobs.
@@ -86,6 +87,7 @@ impl CampaignConfig {
                     exp_index,
                     seed,
                     quick: self.quick,
+                    cache_mode: CacheMode::Cached,
                 });
             }
         }
@@ -115,6 +117,10 @@ pub struct TaskSpec {
     pub seed: u64,
     /// Quick mode flag.
     pub quick: bool,
+    /// Link-gain cache policy for this task's [`mmwave_sim::ctx::SimCtx`].
+    /// `Cached` for production campaigns; equivalence suites run the same
+    /// matrix under `Bypass` to prove caching never changes a byte.
+    pub cache_mode: CacheMode,
 }
 
 /// How a run ended.

@@ -6,10 +6,12 @@
 //! the moment it frees up, so load balances itself without a scheduler.
 //! Each worker:
 //!
-//! 1. resets the thread-local engine-metrics accumulator,
+//! 1. builds a fresh [`SimCtx`] for the task (private counters, an empty
+//!    codebook cache, the task's link-gain cache policy),
 //! 2. runs the experiment under `catch_unwind` (a panic becomes a
 //!    [`RunStatus::Panicked`] record, not a dead campaign),
-//! 3. snapshots wall time + scheduler counters into a [`RunRecord`].
+//! 3. snapshots wall time + the context's scheduler counters into a
+//!    [`RunRecord`].
 //!
 //! Determinism: a task's result depends only on `(experiment id, seed,
 //! quick)` — experiments derive all randomness from the seed via labelled
@@ -24,14 +26,28 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::{CampaignConfig, CampaignResult, RunRecord, RunStatus, TaskSpec};
-use mmwave_sim::metrics;
+use mmwave_sim::ctx::{CacheMode, SimCtx};
 
 /// Run the campaign matrix; blocks until every task completed.
 pub fn run(cfg: &CampaignConfig) -> CampaignResult {
+    run_tasks(cfg, cfg.tasks())
+}
+
+/// [`run`], but with every task's link-gain cache forced to `mode`. The
+/// equivalence suites run the same matrix under [`CacheMode::Bypass`] to
+/// prove the cache never changes an artifact byte.
+pub fn run_with_cache_mode(cfg: &CampaignConfig, mode: CacheMode) -> CampaignResult {
+    let mut tasks = cfg.tasks();
+    for t in &mut tasks {
+        t.cache_mode = mode;
+    }
+    run_tasks(cfg, tasks)
+}
+
+fn run_tasks(cfg: &CampaignConfig, mut tasks: Vec<TaskSpec>) -> CampaignResult {
     silence_worker_panics();
     let t0 = Instant::now();
 
-    let mut tasks = cfg.tasks();
     // Longest-processing-time dispatch: heavy tiers first. The sort is
     // stable, so within a tier the matrix order is preserved.
     tasks.sort_by_key(|t| std::cmp::Reverse(t.exp.cost));
@@ -96,18 +112,18 @@ fn worker_loop(
 
 /// Execute one matrix cell, isolating panics and collecting metrics.
 pub fn run_task(task: &TaskSpec) -> RunRecord {
-    metrics::reset();
-    // The codebook cache is thread-local and would otherwise survive from
-    // earlier tasks on this worker, making the hit/miss counters (and thus
-    // artifact bytes) depend on scheduling. Cleared here, they are a pure
-    // function of the task.
-    mmwave_phy::codebook::clear_thread_cache();
+    // A fresh context per task: the counters and the codebook cache are
+    // born empty, so the counters (and thus artifact bytes) are a pure
+    // function of the task regardless of which worker ran what before.
+    let ctx = SimCtx::with_cache_mode(task.cache_mode);
     let t0 = Instant::now();
-    let outcome = panic::catch_unwind(AssertUnwindSafe(|| (task.exp.run)(task.quick, task.seed)));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        (task.exp.run)(&ctx, task.quick, task.seed)
+    }));
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    // Counters survive a panic: whatever the run scheduled before dying is
-    // still useful failure forensics.
-    let engine = metrics::snapshot();
+    // The context outlives a panicking run: whatever the run scheduled
+    // before dying is still useful failure forensics.
+    let engine = ctx.counters();
 
     match outcome {
         Ok(report) => {
@@ -180,7 +196,7 @@ mod tests {
     use super::*;
     use mmwave_core::experiments::{CostTier, Experiment, RunReport};
 
-    fn fake(id: &'static str, run: fn(bool, u64) -> RunReport) -> &'static Experiment {
+    fn fake(id: &'static str, run: fn(&SimCtx, bool, u64) -> RunReport) -> &'static Experiment {
         Box::leak(Box::new(Experiment {
             id,
             title: id,
@@ -190,7 +206,7 @@ mod tests {
         }))
     }
 
-    fn passing(_q: bool, seed: u64) -> RunReport {
+    fn passing(_ctx: &SimCtx, _q: bool, seed: u64) -> RunReport {
         RunReport {
             id: "ok",
             title: "ok",
@@ -199,7 +215,7 @@ mod tests {
         }
     }
 
-    fn failing(_q: bool, _s: u64) -> RunReport {
+    fn failing(_ctx: &SimCtx, _q: bool, _s: u64) -> RunReport {
         RunReport {
             id: "bad",
             title: "bad",
@@ -208,7 +224,7 @@ mod tests {
         }
     }
 
-    fn panicking(_q: bool, _s: u64) -> RunReport {
+    fn panicking(_ctx: &SimCtx, _q: bool, _s: u64) -> RunReport {
         panic!("simulated experiment crash");
     }
 
@@ -276,6 +292,7 @@ mod tests {
             exp_index: 0,
             seed: 3,
             quick: true,
+            cache_mode: CacheMode::Cached,
         };
         let rec = run_task(&t);
         assert!(rec.status.is_pass());

@@ -7,13 +7,15 @@
 //! stale entry surviving an invalidation would diverge some rx power and
 //! show up here as a differing artifact body.
 //!
-//! This lives in its own integration-test binary because the default
-//! cache mode is a process-global flag: campaign workers are spawned
-//! threads and inherit it, so flipping it must not race other tests.
+//! The cache mode is per-task state: [`runner::run_with_cache_mode`]
+//! stamps it into every task's [`SimCtx`], so the two campaigns coexist
+//! with any other test without shared flags.
+//!
+//! [`SimCtx`]: mmwave_sim::ctx::SimCtx
 
 use mmwave_campaign::{artifact, runner, CampaignConfig};
-use mmwave_channel::linkgain;
 use mmwave_core::experiments;
+use mmwave_sim::ctx::CacheMode;
 
 /// Cheap experiments that do not touch the process-global TCP-sweep
 /// cache: the first campaign would otherwise hand memoized sweep results
@@ -28,17 +30,14 @@ fn subset() -> Vec<&'static experiments::Experiment> {
         .collect()
 }
 
-fn normalized_artifacts(bypass: bool) -> Vec<(String, String)> {
-    // Exclusive + restore-on-drop: holds the global-flag lock for the
-    // whole campaign so concurrent tests cannot observe the flip.
-    let _mode = linkgain::scoped_default_bypass(bypass);
+fn normalized_artifacts(mode: CacheMode) -> Vec<(String, String)> {
     let cfg = CampaignConfig {
         experiments: subset(),
         seeds: vec![1, 2],
         quick: true,
         jobs: 2,
     };
-    let result = runner::run(&cfg);
+    let result = runner::run_with_cache_mode(&cfg, mode);
     let mut files = Vec::new();
     let mut manifest = artifact::manifest_to_json(&result);
     artifact::normalize_execution(&mut manifest);
@@ -56,8 +55,8 @@ fn normalized_artifacts(bypass: bool) -> Vec<(String, String)> {
 
 #[test]
 fn artifacts_identical_with_cache_and_in_bypass_mode() {
-    let cached = normalized_artifacts(false);
-    let bypassed = normalized_artifacts(true);
+    let cached = normalized_artifacts(CacheMode::Cached);
+    let bypassed = normalized_artifacts(CacheMode::Bypass);
     assert_eq!(cached.len(), bypassed.len());
     for ((name_a, body_a), (name_b, body_b)) in cached.iter().zip(&bypassed) {
         assert_eq!(name_a, name_b, "artifact order must match");

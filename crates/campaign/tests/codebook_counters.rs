@@ -1,15 +1,15 @@
 //! Codebook-cache counters in campaign artifacts.
 //!
 //! Device construction funnels every codebook request through the
-//! thread-local memoization cache in `mmwave_phy::codebook`; the hit/miss
-//! counts flow through `mmwave_sim::metrics` into each run's
+//! per-context memoization cache in `mmwave_phy::codebook`; the hit/miss
+//! counts land in the task's `SimCtx` and flow into each run's
 //! `engine.codebook_*` artifact fields. Two properties matter:
 //!
 //! 1. a real experiment actually exercises the cache (misses fill it,
 //!    repeat constructions hit it), and
-//! 2. the counters are a **pure function of the task** — the runner clears
-//!    the cache before each run, so a warm worker thread reports the same
-//!    numbers as a cold one.
+//! 2. the counters are a **pure function of the task** — each task runs
+//!    in a fresh context whose cache is born empty, so a warm worker
+//!    thread reports the same numbers as a cold one.
 
 use mmwave_campaign::{runner, CampaignConfig};
 use mmwave_core::experiments;
@@ -39,9 +39,10 @@ fn campaign_runs_report_codebook_cache_activity() {
 
 #[test]
 fn codebook_counters_are_pure_per_task() {
-    // Back-to-back campaigns reuse worker threads whose codebook caches
-    // were warm; the per-task clear must make both report identical
-    // counters (this is what keeps artifact bytes jobs-independent).
+    // Back-to-back campaigns reuse worker threads; since every task gets
+    // a fresh context (and with it an empty codebook cache), both must
+    // report identical counters (this is what keeps artifact bytes
+    // jobs-independent).
     let first = runner::run(&table1_config());
     let second = runner::run(&table1_config());
     assert_eq!(

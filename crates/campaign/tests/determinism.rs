@@ -7,9 +7,10 @@ use mmwave_campaign::{artifact, runner, CampaignConfig};
 use mmwave_core::experiments;
 
 /// Cheap experiments only: this is about scheduling, not physics.
-/// fig09/fig11 share the process-global TCP-sweep cache, so their
-/// presence asserts that cache hits report the same engine counters as
-/// the run that filled it (whichever worker that happens to be).
+/// fig09/fig11 share a per-context TCP-sweep cache; with one fresh
+/// context per task each run recomputes its sweep from scratch, so their
+/// presence asserts those counters stay byte-identical regardless of
+/// which worker runs them.
 fn quick_subset() -> Vec<&'static experiments::Experiment> {
     ["table1", "fig03", "fig08", "fig15", "fig09", "fig11"]
         .iter()

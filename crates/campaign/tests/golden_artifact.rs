@@ -19,7 +19,6 @@
 //! the change that moved it.
 
 use mmwave_campaign::{artifact, runner, CampaignConfig};
-use mmwave_channel::linkgain;
 use mmwave_core::experiments;
 use std::path::PathBuf;
 
@@ -37,10 +36,9 @@ fn subset() -> Vec<&'static experiments::Experiment> {
 
 /// Render the full normalized artifact set as one diffable document.
 fn render_artifacts() -> String {
-    // Golden bytes are defined with the cache ENABLED; the scoped guard
-    // pins the process-global mode (and restores it) so this cannot race
-    // other tests in the binary.
-    let _mode = linkgain::scoped_default_bypass(false);
+    // Golden bytes are defined with the cache ENABLED — `runner::run`
+    // stamps `CacheMode::Cached` into every task's context, so no
+    // process-wide state needs pinning.
     let cfg = CampaignConfig {
         experiments: subset(),
         seeds: vec![1, 2],

@@ -53,10 +53,12 @@
 use crate::environment::Environment;
 use crate::node::RadioNode;
 use mmwave_phy::{db_to_lin, path_loss_db, AntennaPattern, Codebook};
-use mmwave_sim::metrics;
+use mmwave_sim::ctx::SimCtx;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard};
+
+// The cache mode lives on the simulation context; re-exported here because
+// it is, first and foremost, the link-gain cache's policy knob.
+pub use mmwave_sim::ctx::CacheMode;
 
 /// Opaque pattern identity *within one device*. The cache never inspects
 /// patterns; callers assign stable ids (e.g. sector index, with a flag bit
@@ -65,70 +67,8 @@ use std::sync::{Mutex, MutexGuard};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct PatId(pub u32);
 
-/// Operating mode of a [`LinkGainCache`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum CacheMode {
-    /// Serve memoized entries when their generation stamp is current.
-    Cached,
-    /// Keep all bookkeeping but recompute every answer (validation mode).
-    Bypass,
-}
-
-/// Process-wide default mode for newly constructed caches. An `AtomicBool`
-/// rather than a thread-local so campaign worker threads — which construct
-/// their `Net`s far from the test that flipped the switch — inherit it.
-static DEFAULT_BYPASS: AtomicBool = AtomicBool::new(false);
-
-/// Make newly constructed caches default to [`CacheMode::Bypass`] (`true`)
-/// or [`CacheMode::Cached`] (`false`). Affects only caches created after
-/// the call.
-pub fn set_default_bypass(bypass: bool) {
-    DEFAULT_BYPASS.store(bypass, Ordering::SeqCst);
-}
-
-/// Current process-wide default for newly constructed caches.
-pub fn default_bypass() -> bool {
-    DEFAULT_BYPASS.load(Ordering::SeqCst)
-}
-
-/// Serializes scoped overrides of the process-wide default mode so
-/// concurrent tests in one binary cannot observe each other's override.
-static DEFAULT_BYPASS_LOCK: Mutex<()> = Mutex::new(());
-
-/// RAII override of the process-wide default cache mode.
-///
-/// While the scope is alive, every other [`scoped_default_bypass`] caller
-/// in the process blocks, and dropping it restores the flag value observed
-/// at acquisition. Tests flipping the default MUST go through this guard
-/// rather than raw [`set_default_bypass`]; `cargo test` runs tests from one
-/// binary concurrently, and an unscoped flip would poison whichever test
-/// constructs a [`LinkGainCache`] in the wrong window.
-pub struct DefaultBypassScope {
-    prev: bool,
-    _excl: MutexGuard<'static, ()>,
-}
-
-impl Drop for DefaultBypassScope {
-    fn drop(&mut self) {
-        set_default_bypass(self.prev);
-    }
-}
-
-/// Override the process-wide default cache mode until the returned guard
-/// drops. Blocks while any other scope is alive; tolerates a poisoned lock
-/// (a panicking test holding the scope must not cascade into every later
-/// test that needs it).
-pub fn scoped_default_bypass(bypass: bool) -> DefaultBypassScope {
-    let excl = DEFAULT_BYPASS_LOCK
-        .lock()
-        .unwrap_or_else(|e| e.into_inner());
-    let prev = default_bypass();
-    set_default_bypass(bypass);
-    DefaultBypassScope { prev, _excl: excl }
-}
-
-/// Local cache-activity counters (the same events also stream into
-/// [`mmwave_sim::metrics`] for campaign artifacts).
+/// Local cache-activity counters (the same events also stream into the
+/// cache's [`SimCtx`] for campaign artifacts).
 #[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
 pub struct CacheStats {
     /// Gain lookups answered by a stamp-current entry.
@@ -211,6 +151,7 @@ struct TableEntry {
 #[derive(Clone, Debug)]
 pub struct LinkGainCache {
     mode: CacheMode,
+    ctx: SimCtx,
     pos_gen: Vec<u64>,
     orient_gen: Vec<u64>,
     pairs: HashMap<(usize, usize), PairEntry>,
@@ -226,20 +167,18 @@ impl Default for LinkGainCache {
 }
 
 impl LinkGainCache {
-    /// A cache in the process-wide default mode (see [`set_default_bypass`]).
+    /// A cache on a fresh private context (mode [`CacheMode::Cached`]).
+    /// Simulations that report counters build through [`Self::with_ctx`].
     pub fn new() -> LinkGainCache {
-        let mode = if default_bypass() {
-            CacheMode::Bypass
-        } else {
-            CacheMode::Cached
-        };
-        Self::with_mode(mode)
+        Self::with_ctx(&SimCtx::new())
     }
 
-    /// A cache in an explicit mode.
-    pub fn with_mode(mode: CacheMode) -> LinkGainCache {
+    /// A cache adopting `ctx`'s cache mode and streaming its hit/miss/
+    /// invalidation counters into `ctx`.
+    pub fn with_ctx(ctx: &SimCtx) -> LinkGainCache {
         LinkGainCache {
-            mode,
+            mode: ctx.cache_mode(),
+            ctx: ctx.clone(),
             pos_gen: Vec::new(),
             orient_gen: Vec::new(),
             pairs: HashMap::new(),
@@ -247,6 +186,11 @@ impl LinkGainCache {
             tables: HashMap::new(),
             stats: CacheStats::default(),
         }
+    }
+
+    /// A cache in an explicit mode, on a fresh private context.
+    pub fn with_mode(mode: CacheMode) -> LinkGainCache {
+        Self::with_ctx(&SimCtx::with_cache_mode(mode))
     }
 
     /// Operating mode.
@@ -298,7 +242,7 @@ impl LinkGainCache {
 
     fn record_invalidation(&mut self) {
         self.stats.invalidations += 1;
-        metrics::record_link_gain_invalidation();
+        self.ctx.record_link_gain_invalidation();
     }
 
     /// Total linear pattern-weighted link gain from `src` (transmitting
@@ -341,7 +285,7 @@ impl LinkGainCache {
         let hit = matches!(self.gains.get(&gkey), Some(g) if g.stamp == stamp);
         if hit {
             self.stats.gain_hits += 1;
-            metrics::record_link_gain_hit();
+            self.ctx.record_link_gain_hit();
             if self.mode == CacheMode::Cached {
                 return self.gains[&gkey].lin;
             }
@@ -349,7 +293,7 @@ impl LinkGainCache {
             // identical, so a correct cache yields a bit-identical value.
         } else {
             self.stats.gain_misses += 1;
-            metrics::record_link_gain_miss();
+            self.ctx.record_link_gain_miss();
         }
 
         let (lo_orient, hi_orient) = (self.orient_gen[lo], self.orient_gen[hi]);
@@ -427,7 +371,7 @@ impl LinkGainCache {
         );
         let best = if hit {
             self.stats.table_hits += 1;
-            metrics::record_link_gain_hit();
+            self.ctx.record_link_gain_hit();
             match self.mode {
                 CacheMode::Cached => self.tables[&(lo, hi)].best,
                 CacheMode::Bypass => {
@@ -437,7 +381,7 @@ impl LinkGainCache {
             }
         } else {
             self.stats.table_builds += 1;
-            metrics::record_link_gain_miss();
+            self.ctx.record_link_gain_miss();
             let table = self.build_table(lo, lo_node, cb_lo, hi, hi_node, cb_hi, stamp);
             let best = table.best;
             self.tables.insert((lo, hi), table);
@@ -844,10 +788,11 @@ mod tests {
     #[test]
     fn sector_table_matches_exhaustive_sweep_both_directions() {
         let (env, nodes) = scene();
+        let cb_ctx = SimCtx::new();
         let array = PhasedArray::new(ArrayConfig::wigig_2x8(16));
-        let cb_a = Codebook::directional(&array, 12, 60f64.to_radians());
+        let cb_a = Codebook::directional(&cb_ctx, &array, 12, 60f64.to_radians());
         let array_b = PhasedArray::new(ArrayConfig::wigig_2x8(111));
-        let cb_b = Codebook::directional(&array_b, 9, 50f64.to_radians());
+        let cb_b = Codebook::directional(&cb_ctx, &array_b, 9, 50f64.to_radians());
 
         let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
         let (sa, sb, lin) = cache.best_sector_pair(&env, &nodes[0], 0, &cb_a, &nodes[1], 1, &cb_b);
@@ -886,7 +831,7 @@ mod tests {
     fn sector_table_rebuilds_after_rotation() {
         let (env, nodes) = scene();
         let array = PhasedArray::new(ArrayConfig::wigig_2x8(16));
-        let cb = Codebook::directional_default(&array);
+        let cb = Codebook::directional_default(&SimCtx::new(), &array);
         let mut cache = LinkGainCache::with_mode(CacheMode::Cached);
         let first = cache.best_sector_pair(&env, &nodes[0], 0, &cb, &nodes[1], 1, &cb);
         cache.bump_orientation(0);
@@ -901,19 +846,33 @@ mod tests {
     }
 
     #[test]
-    fn default_mode_follows_global_flag() {
-        let outer = scoped_default_bypass(true);
-        assert_eq!(LinkGainCache::new().mode(), CacheMode::Bypass);
-        {
-            // Nested scopes would deadlock (the lock is held), so exercise
-            // restore-on-drop sequentially instead.
-            drop(outer);
-            let _inner = scoped_default_bypass(true);
-            assert_eq!(LinkGainCache::new().mode(), CacheMode::Bypass);
-        }
-        // Both scopes dropped: the default is restored.
-        assert!(!default_bypass(), "scope must restore the previous value");
+    fn mode_comes_from_the_construction_context() {
         assert_eq!(LinkGainCache::new().mode(), CacheMode::Cached);
+        let bypass_ctx = SimCtx::with_cache_mode(CacheMode::Bypass);
+        assert_eq!(
+            LinkGainCache::with_ctx(&bypass_ctx).mode(),
+            CacheMode::Bypass
+        );
+        assert_eq!(
+            LinkGainCache::with_mode(CacheMode::Bypass).mode(),
+            CacheMode::Bypass
+        );
+    }
+
+    #[test]
+    fn cache_counters_stream_into_the_construction_context() {
+        let (env, nodes) = scene();
+        let ctx = SimCtx::new();
+        let mut cache = LinkGainCache::with_ctx(&ctx);
+        let p = pat(16.0, 15.0);
+        for _ in 0..2 {
+            cache.link_gain_lin(&env, &nodes[0], 0, PatId(0), &p, &nodes[1], 1, PatId(0), &p);
+        }
+        cache.bump_orientation(0);
+        let c = ctx.counters();
+        assert_eq!(c.link_gain_misses, 1);
+        assert_eq!(c.link_gain_hits, 1);
+        assert_eq!(c.link_gain_invalidations, 1);
     }
 
     #[test]

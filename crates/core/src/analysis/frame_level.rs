@@ -130,9 +130,11 @@ mod tests {
     use super::*;
     use crate::scenarios::point_to_point;
     use mmwave_mac::NetConfig;
+    use mmwave_sim::ctx::SimCtx;
 
     fn loaded_link(seed: u64) -> (mmwave_mac::Net, usize) {
         let mut p = point_to_point(
+            &SimCtx::new(),
             2.0,
             NetConfig {
                 seed,

@@ -121,10 +121,12 @@ mod tests {
     use super::*;
     use crate::scenarios::{reflection_room, RoomSystem};
     use mmwave_mac::NetConfig;
+    use mmwave_sim::ctx::SimCtx;
 
     #[test]
     fn profile_of_active_wigig_link_sees_both_endpoints() {
         let mut r = reflection_room(
+            &SimCtx::new(),
             RoomSystem::Wigig,
             NetConfig {
                 seed: 5,
@@ -155,6 +157,7 @@ mod tests {
     #[test]
     fn expected_directions_geometry() {
         let r = reflection_room(
+            &SimCtx::new(),
             RoomSystem::Wigig,
             NetConfig {
                 seed: 6,

@@ -22,6 +22,7 @@ use mmwave_core::scenarios::{self, point_to_point, RoomSystem};
 use mmwave_geom::Angle;
 use mmwave_mac::{NetConfig, WigigConfig};
 use mmwave_phy::{ArrayConfig, PhaseShifter, PhasedArray};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::{SimDuration, SimTime};
 use mmwave_transport::{Stack, TcpConfig};
 
@@ -88,7 +89,7 @@ fn ablate_phase_shifters() {
 fn ablate_aggregation() {
     let mut rows = Vec::new();
     for max_agg in [1usize, 2, 4, 7] {
-        let mut p = point_to_point(2.0, quiet(31));
+        let mut p = point_to_point(&SimCtx::new(), 2.0, quiet(31));
         {
             let w = p.net.device_mut(p.dock).wigig_mut().expect("wigig");
             w.cfg = WigigConfig {
@@ -135,6 +136,7 @@ fn ablate_cs_threshold() {
     let mut rows = Vec::new();
     for thr in [-60.0, -68.0, -76.0] {
         let mut f = scenarios::interference_floor(
+            &SimCtx::new(),
             0.8,
             Angle::ZERO,
             NetConfig {
@@ -182,7 +184,7 @@ fn ablate_cs_threshold() {
 fn ablate_reflection_order() {
     let mut rows = Vec::new();
     for order in [0usize, 1, 2] {
-        let mut r = scenarios::reflection_room(RoomSystem::Wigig, quiet(35));
+        let mut r = scenarios::reflection_room(&SimCtx::new(), RoomSystem::Wigig, quiet(35));
         r.net.env.trace.max_order = order;
         let mut i = 0u64;
         while r.net.now() < SimTime::from_millis(30) {

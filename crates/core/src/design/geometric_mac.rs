@@ -101,6 +101,7 @@ mod tests {
     use crate::scenarios::{interference_floor, reflector_rig};
     use mmwave_geom::Angle;
     use mmwave_mac::NetConfig;
+    use mmwave_sim::ctx::SimCtx;
     use mmwave_sim::time::SimTime;
 
     fn quiet(seed: u64) -> NetConfig {
@@ -117,7 +118,7 @@ mod tests {
     /// order-≥1 map catches it.
     #[test]
     fn reflection_aware_map_catches_the_fig7_conflict() {
-        let r = reflector_rig(quiet(1));
+        let r = reflector_rig(&SimCtx::new(), quiet(1));
         // WiHD TX versus the WiGig link's receiver (the dock).
         let blind = predicted_interference_dbm(&r.net, r.hdmi_tx, r.dock, 0);
         let aware = predicted_interference_dbm(&r.net, r.hdmi_tx, r.dock, 2);
@@ -134,7 +135,7 @@ mod tests {
     /// space; the map must say so at any order (no false conflicts).
     #[test]
     fn parallel_links_are_reusable() {
-        let f = interference_floor(1.5, Angle::ZERO, quiet(2));
+        let f = interference_floor(&SimCtx::new(), 1.5, Angle::ZERO, quiet(2));
         let links = [(f.dock_a, f.laptop_a), (f.dock_b, f.laptop_b)];
         let map = interference_map(&f.net, &links, -64.0, 2);
         assert_eq!(map.reusable_pairs(), vec![(0, 1)]);
@@ -146,7 +147,7 @@ mod tests {
     #[test]
     fn map_tracks_the_fig22_distance_sweep() {
         let level_at = |off: f64| {
-            let f = interference_floor(off, Angle::ZERO, quiet(3));
+            let f = interference_floor(&SimCtx::new(), off, Angle::ZERO, quiet(3));
             predicted_interference_dbm(&f.net, f.hdmi_tx, f.laptop_b, 2)
         };
         let near = level_at(0.4);
@@ -162,7 +163,7 @@ mod tests {
     /// order-2 map predicted and the order-0 map missed.
     #[test]
     fn predicted_conflict_is_real() {
-        let r = reflector_rig(quiet(4));
+        let r = reflector_rig(&SimCtx::new(), quiet(4));
         let (dock, laptop) = (r.dock, r.laptop);
         let mut net = r.net;
         for i in 0..600u64 {

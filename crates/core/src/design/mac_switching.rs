@@ -88,6 +88,7 @@ mod tests {
     use crate::scenarios::{interference_floor, point_to_point};
     use mmwave_geom::Angle;
     use mmwave_mac::NetConfig;
+    use mmwave_sim::ctx::SimCtx;
     use mmwave_sim::time::SimTime;
 
     fn quiet(seed: u64) -> NetConfig {
@@ -100,7 +101,7 @@ mod tests {
 
     #[test]
     fn clean_aligned_pattern_selects_reuse() {
-        let mut p = point_to_point(2.0, quiet(1));
+        let mut p = point_to_point(&SimCtx::new(), 2.0, quiet(1));
         let choice = apply_to_device(&mut p.net, p.dock).expect("wigig device");
         assert_eq!(choice, MacBehavior::AggressiveReuse);
         assert_eq!(
@@ -113,7 +114,7 @@ mod tests {
     fn boundary_steering_selects_conservative() {
         // The Fig. 22 rotated dock: its trained sector is a boundary
         // pattern with near-0 dB side lobes.
-        let mut f = interference_floor(1.5, Angle::from_degrees(50.0), quiet(2));
+        let mut f = interference_floor(&SimCtx::new(), 1.5, Angle::from_degrees(50.0), quiet(2));
         let choice = apply_to_device(&mut f.net, f.dock_b).expect("wigig device");
         assert_eq!(choice, MacBehavior::ConservativeCsma);
         // The aligned dock A keeps reuse.
@@ -123,13 +124,13 @@ mod tests {
 
     #[test]
     fn wihd_devices_are_not_assessed() {
-        let mut f = interference_floor(1.5, Angle::ZERO, quiet(3));
+        let mut f = interference_floor(&SimCtx::new(), 1.5, Angle::ZERO, quiet(3));
         assert!(apply_to_device(&mut f.net, f.hdmi_tx).is_none());
     }
 
     #[test]
     fn assessment_reports_sane_numbers() {
-        let p = point_to_point(2.0, quiet(4));
+        let p = point_to_point(&SimCtx::new(), 2.0, quiet(4));
         let w = p.net.device(p.dock).wigig().expect("wigig");
         let a = assess(&w.codebook.sector(w.tx_sector).pattern);
         assert!(a.hpbw_deg > 5.0 && a.hpbw_deg < 30.0);
@@ -144,7 +145,8 @@ mod tests {
     #[test]
     fn posture_choice_matters_for_dirty_patterns() {
         let run = |behavior: MacBehavior| {
-            let mut f = interference_floor(1.5, Angle::from_degrees(50.0), quiet(5));
+            let mut f =
+                interference_floor(&SimCtx::new(), 1.5, Angle::from_degrees(50.0), quiet(5));
             f.net.device_mut(f.dock_b).cs_threshold_override_dbm =
                 Some(behavior.cs_threshold_dbm());
             for i in 0..800u64 {

@@ -49,6 +49,7 @@ mod tests {
     use super::*;
     use crate::scenarios::point_to_point;
     use mmwave_mac::NetConfig;
+    use mmwave_sim::ctx::SimCtx;
     use mmwave_sim::time::SimTime;
 
     fn quiet(seed: u64) -> NetConfig {
@@ -63,7 +64,7 @@ mod tests {
     fn short_link_gets_trimmed() {
         // A 2 m link runs MCS 11 with ~10 dB of excess SNR: the controller
         // trims but leaves the MCS intact.
-        let mut p = point_to_point(2.0, quiet(1));
+        let mut p = point_to_point(&SimCtx::new(), 2.0, quiet(1));
         let before = link_snr_db(&mut p.net, p.dock).expect("link up");
         let trim = apply_to_device(&mut p.net, p.laptop).expect("wigig");
         assert!(trim < -3.0, "expected a real trim, got {trim}");
@@ -86,7 +87,7 @@ mod tests {
     #[test]
     fn marginal_link_is_left_alone() {
         // A 12 m link has little headroom: no trim.
-        let mut p = point_to_point(12.0, quiet(2));
+        let mut p = point_to_point(&SimCtx::new(), 12.0, quiet(2));
         let trim = recommend_trim_db(&mut p.net, p.dock).expect("wigig");
         assert!(trim > -2.0, "marginal link must keep its power: {trim}");
     }
@@ -94,8 +95,9 @@ mod tests {
     #[test]
     fn trimming_reduces_interference_at_a_bystander() {
         // The trimmed transmitter leaks less energy into a third party.
-        let mut p = point_to_point(2.0, quiet(3));
+        let mut p = point_to_point(&SimCtx::new(), 2.0, quiet(3));
         let bystander = p.net.add_device(mmwave_mac::Device::wigig_dock(
+            &SimCtx::new(),
             "bystander",
             mmwave_geom::Point::new(1.0, 3.0),
             mmwave_geom::Angle::from_degrees(-90.0),

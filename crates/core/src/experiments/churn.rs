@@ -18,10 +18,11 @@ use mmwave_channel::Environment;
 use mmwave_geom::{Angle, Material, Point, Room, Segment, Vec2};
 use mmwave_mac::device::WigigState;
 use mmwave_mac::{Delivery, Device, FaultKind, Net, NetConfig, Scenario, WorldMutation};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::{SimDuration, SimTime};
 
 /// Run the link-churn campaign.
-pub fn run(quick: bool, seed: u64) -> RunReport {
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
     let cfg = NetConfig {
         seed,
         enable_fading: false,
@@ -34,14 +35,16 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     let walker = room.add_obstacle(shape, Material::Human, "walker");
     room.set_wall_enabled(walker, false);
 
-    let mut net = Net::new(Environment::new(room), cfg);
+    let mut net = Net::with_ctx(Environment::new(room), cfg, ctx);
     let dock = net.add_device(Device::wigig_dock(
+        ctx,
         "Dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         seeds::DOCK_A,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        ctx,
         "Laptop",
         Point::new(3.0, 0.0),
         Angle::from_degrees(180.0),
@@ -50,12 +53,14 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     // A WiHD pair running parallel 4 m away — its video stream is the
     // scripted on/off interferer.
     let hdmi_tx = net.add_device(Device::wihd_source(
+        ctx,
         "HDMI TX",
         Point::new(1.5, 4.0),
         Angle::ZERO,
         seeds::WIHD_TX,
     ));
     let hdmi_rx = net.add_device(Device::wihd_sink(
+        ctx,
         "HDMI RX",
         Point::new(4.5, 4.0),
         Angle::from_degrees(180.0),

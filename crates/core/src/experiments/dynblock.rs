@@ -15,10 +15,11 @@ use mmwave_channel::Environment;
 use mmwave_geom::{Angle, Material, Point, Room, Segment, Vec2, Wall};
 use mmwave_mac::device::WigigState;
 use mmwave_mac::{Delivery, Device, Net, NetConfig, PatKey, Scenario, WorldMutation};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::{SimDuration, SimTime};
 
 /// Run the dynamic-blockage transient.
-pub fn run(quick: bool, seed: u64) -> RunReport {
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
     let cfg = NetConfig {
         seed,
         enable_fading: false,
@@ -41,14 +42,16 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     let walker = room.add_obstacle(shape, Material::Human, "walker");
     room.set_wall_enabled(walker, false);
 
-    let mut net = Net::new(Environment::new(room), cfg);
+    let mut net = Net::with_ctx(Environment::new(room), cfg, ctx);
     let dock = net.add_device(Device::wigig_dock(
+        ctx,
         "Dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         seeds::DOCK_A,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        ctx,
         "Laptop",
         Point::new(4.8, 0.0),
         Angle::from_degrees(180.0),

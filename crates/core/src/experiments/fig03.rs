@@ -12,19 +12,22 @@ use crate::scenarios::seeds;
 use mmwave_channel::Environment;
 use mmwave_geom::{Angle, Point, Room};
 use mmwave_mac::{Device, FrameClass, Net, NetConfig};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::{SimDuration, SimTime};
 
 /// Run the Fig. 3 capture.
-pub fn run(_quick: bool, seed: u64) -> RunReport {
-    let mut net = Net::new(
+pub fn run(ctx: &SimCtx, _quick: bool, seed: u64) -> RunReport {
+    let mut net = Net::with_ctx(
         Environment::new(Room::open_space()),
         NetConfig {
             seed,
             enable_fading: false,
             ..NetConfig::default()
         },
+        ctx,
     );
     let dock = net.add_device(Device::wigig_dock(
+        ctx,
         "Dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,

@@ -9,11 +9,13 @@ use crate::analysis::frame_level::bursts;
 use crate::report;
 use crate::scenarios::point_to_point;
 use mmwave_mac::{FrameClass, NetConfig};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::{SimDuration, SimTime};
 
 /// Run the Fig. 8 capture.
-pub fn run(_quick: bool, seed: u64) -> RunReport {
+pub fn run(ctx: &SimCtx, _quick: bool, seed: u64) -> RunReport {
     let mut p = point_to_point(
+        ctx,
         2.0,
         NetConfig {
             seed,

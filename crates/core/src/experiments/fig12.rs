@@ -8,6 +8,7 @@ use super::RunReport;
 use crate::report;
 use crate::scenarios::point_to_point;
 use mmwave_mac::NetConfig;
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::SimTime;
 
 /// One distance's sampled rate trace.
@@ -21,8 +22,9 @@ pub struct RateTrace {
     pub labels: Vec<String>,
 }
 
-fn run_distance(distance_m: f64, seed: u64, minutes: u64) -> RateTrace {
+fn run_distance(ctx: &SimCtx, distance_m: f64, seed: u64, minutes: u64) -> RateTrace {
     let mut p = point_to_point(
+        ctx,
         distance_m,
         NetConfig {
             seed,
@@ -54,12 +56,12 @@ fn run_distance(distance_m: f64, seed: u64, minutes: u64) -> RateTrace {
 }
 
 /// Run the Fig. 12 campaign.
-pub fn run(quick: bool, seed: u64) -> RunReport {
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
     let minutes = if quick { 3 } else { 10 };
     let traces: Vec<RateTrace> = [2.0, 8.0, 14.0]
         .into_iter()
         .enumerate()
-        .map(|(i, d)| run_distance(d, seed + i as u64, minutes))
+        .map(|(i, d)| run_distance(ctx, d, seed + i as u64, minutes))
         .collect();
 
     let mut violations = Vec::new();

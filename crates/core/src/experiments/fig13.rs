@@ -10,27 +10,31 @@ use crate::scenarios::seeds;
 use mmwave_channel::Environment;
 use mmwave_geom::{Angle, Point, Room};
 use mmwave_mac::{Device, Net, NetConfig};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::rng::SimRng;
 use mmwave_sim::time::SimTime;
 use mmwave_transport::{Stack, TcpConfig};
 
-fn measure(distance_m: f64, seed: u64, run_idx: u64, secs: f64) -> f64 {
+fn measure(ctx: &SimCtx, distance_m: f64, seed: u64, run_idx: u64, secs: f64) -> f64 {
     let rng = SimRng::root(seed);
     let env = Environment::new(Room::open_space()).with_atmosphere(&rng, run_idx);
-    let mut net = Net::new(
+    let mut net = Net::with_ctx(
         env,
         NetConfig {
             seed: seed + run_idx,
             ..NetConfig::default()
         },
+        ctx,
     );
     let dock = net.add_device(Device::wigig_dock(
+        ctx,
         "Dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         seeds::DOCK_A,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        ctx,
         "Laptop",
         Point::new(distance_m, 0.0),
         Angle::from_degrees(180.0),
@@ -48,7 +52,7 @@ fn measure(distance_m: f64, seed: u64, run_idx: u64, secs: f64) -> f64 {
 }
 
 /// Run the Fig. 13 campaign.
-pub fn run(quick: bool, seed: u64) -> RunReport {
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
     let (distances, runs, secs): (Vec<f64>, u64, f64) = if quick {
         (vec![2.0, 6.0, 10.0, 13.0, 16.0, 18.0, 21.0], 4, 0.9)
     } else {
@@ -65,7 +69,7 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     let mut all_runs: Vec<(f64, Vec<f64>)> = Vec::new();
     for (di, &d) in distances.iter().enumerate() {
         let vals: Vec<f64> = (0..runs)
-            .map(|r| measure(d, seed + di as u64 * 100, r, secs))
+            .map(|r| measure(ctx, d, seed + di as u64 * 100, r, secs))
             .collect();
         let avg = vals.iter().sum::<f64>() / vals.len() as f64;
         let lo = vals.iter().cloned().fold(f64::MAX, f64::min);

@@ -13,12 +13,14 @@ use mmwave_capture::VubiqReceiver;
 use mmwave_channel::RadioNode;
 use mmwave_geom::{Angle, Point};
 use mmwave_mac::{NetConfig, PatKey};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::SimTime;
 
 /// Run the Fig. 14 campaign.
-pub fn run(quick: bool, seed: u64) -> RunReport {
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
     let minutes = if quick { 20 } else { 80 };
     let mut p = point_to_point(
+        ctx,
         2.0,
         NetConfig {
             seed,

@@ -11,25 +11,29 @@ use crate::scenarios::seeds;
 use mmwave_channel::Environment;
 use mmwave_geom::{Angle, Point, Room};
 use mmwave_mac::{Device, FrameClass, Net, NetConfig};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::SimTime;
 
 /// Run the Fig. 15 capture.
-pub fn run(_quick: bool, seed: u64) -> RunReport {
-    let mut net = Net::new(
+pub fn run(ctx: &SimCtx, _quick: bool, seed: u64) -> RunReport {
+    let mut net = Net::with_ctx(
         Environment::new(Room::open_space()),
         NetConfig {
             seed,
             enable_fading: false,
             ..NetConfig::default()
         },
+        ctx,
     );
     let tx = net.add_device(Device::wihd_source(
+        ctx,
         "HDMI TX",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         seeds::WIHD_TX,
     ));
     let rx = net.add_device(Device::wihd_sink(
+        ctx,
         "HDMI RX",
         Point::new(8.0, 0.0),
         Angle::from_degrees(180.0),

@@ -12,6 +12,7 @@ use mmwave_capture::scan::ScanPoint;
 use mmwave_channel::Environment;
 use mmwave_geom::{Angle, Point, Room};
 use mmwave_mac::{Device, Net, NetConfig};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::SimTime;
 
 /// Count deep gaps (local minima ≥ `depth_db` below the scan peak) within
@@ -33,17 +34,19 @@ fn deep_gaps(points: &[ScanPoint], depth_db: f64) -> usize {
 }
 
 /// Run the Fig. 16 measurement.
-pub fn run(quick: bool, seed: u64) -> RunReport {
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
     // An unassociated dock on the open range sweeps discovery frames.
-    let mut net = Net::new(
+    let mut net = Net::with_ctx(
         Environment::new(Room::open_space()),
         NetConfig {
             seed,
             enable_fading: false,
             ..NetConfig::default()
         },
+        ctx,
     );
     let dock = net.add_device(Device::wigig_dock(
+        ctx,
         "D5000",
         Point::new(0.0, 0.0),
         Angle::ZERO,

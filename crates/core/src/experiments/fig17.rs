@@ -14,10 +14,12 @@ use crate::scenarios::{pattern_range, PatternRange};
 use mmwave_capture::scan::ScanPoint;
 use mmwave_geom::Angle;
 use mmwave_mac::NetConfig;
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::SimTime;
 
-fn run_range(rotation: Angle, seed: u64, quick: bool) -> (PatternRange, SimTime) {
+fn run_range(ctx: &SimCtx, rotation: Angle, seed: u64, quick: bool) -> (PatternRange, SimTime) {
     let mut r = pattern_range(
+        ctx,
         rotation,
         NetConfig {
             seed,
@@ -54,13 +56,13 @@ fn strong_lobes(points: &[ScanPoint]) -> usize {
 }
 
 /// Run the Fig. 17 measurement.
-pub fn run(quick: bool, seed: u64) -> RunReport {
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
     let n = 100;
     let mut output = String::new();
     let mut violations = Vec::new();
 
     // Aligned: measure both the laptop and the dock.
-    let (aligned, end) = run_range(Angle::ZERO, seed, quick);
+    let (aligned, end) = run_range(ctx, Angle::ZERO, seed, quick);
     let facing_dut = Angle::ZERO; // DUT faces its peer along +x
     let dock_scan = measure_pattern(
         &aligned.net,
@@ -82,7 +84,7 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     );
 
     // Rotated 70°: measure the dock again on the same semicircle.
-    let (rotated, end_r) = run_range(Angle::from_degrees(70.0), seed + 1, quick);
+    let (rotated, end_r) = run_range(ctx, Angle::from_degrees(70.0), seed + 1, quick);
     let rot_scan = measure_pattern(
         &rotated.net,
         rotated.dut,

@@ -11,6 +11,7 @@ use crate::analysis::reflections::{expected_directions, measure_profile, unattri
 use crate::report;
 use crate::scenarios::{reflection_room, ReflectionRoom, RoomSystem};
 use mmwave_mac::NetConfig;
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::{SimDuration, SimTime};
 
 /// Per-probe profile summary shared with Fig. 19.
@@ -30,11 +31,13 @@ pub struct ProbeSummary {
 
 /// Run the room campaign for one system; shared by Figs. 18 and 19.
 pub fn run_room(
+    ctx: &SimCtx,
     system: RoomSystem,
     quick: bool,
     seed: u64,
 ) -> (ReflectionRoom, Vec<ProbeSummary>, String) {
     let mut r = reflection_room(
+        ctx,
         system,
         NetConfig {
             seed,
@@ -133,8 +136,8 @@ pub fn check_room(summaries: &[ProbeSummary]) -> Vec<String> {
 }
 
 /// Run the Fig. 18 measurement.
-pub fn run(quick: bool, seed: u64) -> RunReport {
-    let (_room, summaries, output) = run_room(RoomSystem::Wigig, quick, seed);
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
+    let (_room, summaries, output) = run_room(ctx, RoomSystem::Wigig, quick, seed);
     let violations = check_room(&summaries);
     RunReport {
         id: "fig18",

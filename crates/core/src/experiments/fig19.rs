@@ -8,11 +8,12 @@
 use super::fig18::{check_room, run_room};
 use super::RunReport;
 use crate::scenarios::RoomSystem;
+use mmwave_sim::ctx::SimCtx;
 
 /// Run the Fig. 19 measurement (and the Fig. 18 baseline for comparison).
-pub fn run(quick: bool, seed: u64) -> RunReport {
-    let (_wigig_room, wigig, _) = run_room(RoomSystem::Wigig, quick, seed);
-    let (_wihd_room, wihd, output) = run_room(RoomSystem::Wihd, quick, seed + 1);
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
+    let (_wigig_room, wigig, _) = run_room(ctx, RoomSystem::Wigig, quick, seed);
+    let (_wihd_room, wihd, output) = run_room(ctx, RoomSystem::Wihd, quick, seed + 1);
 
     let mut violations = check_room(&wihd);
     let refl =

@@ -10,17 +10,18 @@ use crate::report;
 use crate::scenarios::{blocked_los_link, point_to_point};
 use mmwave_geom::Angle;
 use mmwave_mac::NetConfig;
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::{SimDuration, SimTime};
 use mmwave_transport::{Stack, TcpConfig};
 
 /// Run the Fig. 20 measurement.
-pub fn run(quick: bool, seed: u64) -> RunReport {
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
     let cfg = NetConfig {
         seed,
         enable_fading: false,
         ..NetConfig::default()
     };
-    let mut b = blocked_los_link(cfg.clone());
+    let mut b = blocked_los_link(ctx, cfg.clone());
     let mut violations = Vec::new();
 
     // --- Angular profile at the dock (short loaded run) ---
@@ -53,10 +54,13 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     }
 
     // --- TCP throughput over the reflection ---
-    let b2 = blocked_los_link(NetConfig {
-        seed: seed + 1,
-        ..cfg.clone()
-    });
+    let b2 = blocked_los_link(
+        ctx,
+        NetConfig {
+            seed: seed + 1,
+            ..cfg.clone()
+        },
+    );
     let mut stack = Stack::new(b2.net);
     // Download direction (dock → laptop), the docking station's main use.
     let flow = stack.add_flow(TcpConfig::bulk(b2.dock, b2.laptop, 256 * 1024));
@@ -68,6 +72,7 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
 
     // Line-of-sight reference at the same distance.
     let p = point_to_point(
+        ctx,
         4.8,
         NetConfig {
             seed: seed + 2,

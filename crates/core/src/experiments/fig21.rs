@@ -9,13 +9,15 @@ use crate::report;
 use crate::scenarios::interference_floor;
 use mmwave_geom::Angle;
 use mmwave_mac::{FrameClass, NetConfig};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::{SimDuration, SimTime};
 use mmwave_transport::{Stack, TcpConfig};
 
 /// Run the Fig. 21 capture.
-pub fn run(quick: bool, seed: u64) -> RunReport {
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
     // Close spacing (0.3 m lateral) to provoke visible interference.
     let f = interference_floor(
+        ctx,
         0.3,
         Angle::ZERO,
         NetConfig {

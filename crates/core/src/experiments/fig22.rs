@@ -14,6 +14,7 @@ use crate::scenarios::interference_floor;
 use mmwave_geom::{Angle, Point};
 use mmwave_mac::NetConfig;
 
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::SimTime;
 use mmwave_transport::{Stack, TcpConfig};
 
@@ -43,8 +44,16 @@ enum Mode {
     All,
 }
 
-fn measure(offset_m: f64, rotation: Angle, mode: Mode, seed: u64, secs: f64) -> SweepPoint {
+fn measure(
+    ctx: &SimCtx,
+    offset_m: f64,
+    rotation: Angle,
+    mode: Mode,
+    seed: u64,
+    secs: f64,
+) -> SweepPoint {
     let f = interference_floor(
+        ctx,
         offset_m,
         rotation,
         NetConfig {
@@ -104,7 +113,7 @@ fn measure(offset_m: f64, rotation: Angle, mode: Mode, seed: u64, secs: f64) -> 
 }
 
 /// Run the Fig. 22 campaign.
-pub fn run(quick: bool, seed: u64) -> RunReport {
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
     let offsets: Vec<f64> = if quick {
         vec![0.2, 0.8, 1.6, 2.4, 3.0]
     } else {
@@ -121,21 +130,29 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     let rot = Angle::from_degrees(50.0);
 
     // Baselines.
-    let free_aligned = measure(1.5, Angle::ZERO, Mode::WigigOnly, seed, secs);
-    let free_rotated = measure(1.5, rot, Mode::WigigOnly, seed + 1, secs);
-    let wihd_alone = measure(1.5, Angle::ZERO, Mode::WihdOnly, seed + 2, secs);
+    let free_aligned = measure(ctx, 1.5, Angle::ZERO, Mode::WigigOnly, seed, secs);
+    let free_rotated = measure(ctx, 1.5, rot, Mode::WigigOnly, seed + 1, secs);
+    let wihd_alone = measure(ctx, 1.5, Angle::ZERO, Mode::WihdOnly, seed + 2, secs);
 
     let mut aligned = Vec::new();
     let mut rotated = Vec::new();
     for (i, &off) in offsets.iter().enumerate() {
         aligned.push(measure(
+            ctx,
             off,
             Angle::ZERO,
             Mode::All,
             seed + 10 + i as u64,
             secs,
         ));
-        rotated.push(measure(off, rot, Mode::All, seed + 40 + i as u64, secs));
+        rotated.push(measure(
+            ctx,
+            off,
+            rot,
+            Mode::All,
+            seed + 40 + i as u64,
+            secs,
+        ));
     }
 
     let mut violations = Vec::new();

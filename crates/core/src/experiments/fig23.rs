@@ -9,19 +9,23 @@ use super::RunReport;
 use crate::report;
 use crate::scenarios::reflector_rig;
 use mmwave_mac::NetConfig;
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::{SimDuration, SimTime};
 use mmwave_transport::{Stack, TcpConfig};
 
 /// Run the Fig. 23 measurement.
-pub fn run(quick: bool, seed: u64) -> RunReport {
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
     let (total_s, off_s) = if quick { (36.0, 24.0) } else { (120.0, 90.0) };
     // Fading ON: the reflected interference hovers at the dock's
     // clear-channel threshold, and the slow fading toggling it across is
     // what produces the paper's strong throughput fluctuation.
-    let r = reflector_rig(NetConfig {
-        seed,
-        ..NetConfig::default()
-    });
+    let r = reflector_rig(
+        ctx,
+        NetConfig {
+            seed,
+            ..NetConfig::default()
+        },
+    );
     let (dock, laptop, hdmi_tx) = (r.dock, r.laptop, r.hdmi_tx);
     let mut net = r.net;
     net.txlog_mut().set_enabled(false);

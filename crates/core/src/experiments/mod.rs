@@ -1,6 +1,6 @@
 //! One module per evaluation artifact (table/figure).
 //!
-//! Every experiment exposes `run(quick, seed) -> RunReport`. The report
+//! Every experiment exposes `run(ctx, quick, seed) -> RunReport`. The report
 //! carries the rendered rows/series (what the paper's table or figure
 //! shows) and a list of *shape violations*: qualitative properties from
 //! the paper that the reproduction must satisfy (who wins, by what factor,
@@ -37,6 +37,8 @@ pub mod fig22;
 pub mod fig23;
 pub mod sweep;
 pub mod table1;
+
+use mmwave_sim::ctx::SimCtx;
 
 /// Outcome of one experiment run.
 #[derive(Clone, Debug)]
@@ -85,14 +87,15 @@ pub struct Experiment {
     /// ("point-to-point", "blocked-los", …). Recorded in campaign
     /// artifacts so a run can be traced back to its geometry.
     pub scenario: &'static str,
-    /// The artifact regenerator.
-    pub run: fn(quick: bool, seed: u64) -> RunReport,
+    /// The artifact regenerator. All engine activity (event counts, cache
+    /// hit rates, codebook fills) lands in the caller-supplied [`SimCtx`].
+    pub run: fn(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport,
 }
 
 impl Experiment {
-    /// Run this experiment.
-    pub fn run(&self, quick: bool, seed: u64) -> RunReport {
-        (self.run)(quick, seed)
+    /// Run this experiment, accumulating engine counters into `ctx`.
+    pub fn run(&self, ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
+        (self.run)(ctx, quick, seed)
     }
 }
 
@@ -257,9 +260,11 @@ pub fn ids() -> impl Iterator<Item = &'static str> {
     REGISTRY.iter().map(|e| e.id)
 }
 
-/// Run one experiment by id. `None` for an unknown id.
+/// Run one experiment by id in a fresh context. `None` for an unknown id.
+/// Callers that need the engine counters afterwards should build their own
+/// [`SimCtx`] and call [`Experiment::run`] directly.
 pub fn run(id: &str, quick: bool, seed: u64) -> Option<RunReport> {
-    find(id).map(|e| e.run(quick, seed))
+    find(id).map(|e| e.run(&SimCtx::new(), quick, seed))
 }
 
 #[cfg(test)]
@@ -283,7 +288,7 @@ mod registry_tests {
         // The cheapest experiment: verify descriptor metadata agrees with
         // what the run function reports about itself.
         let e = find("table1").expect("table1 registered");
-        let r = e.run(true, 1);
+        let r = e.run(&SimCtx::new(), true, 1);
         assert_eq!(r.id, e.id);
         assert_eq!(r.title, e.title);
     }

@@ -14,12 +14,13 @@ use crate::analysis::frame_level;
 use crate::report;
 use crate::scenarios::point_to_point;
 use mmwave_mac::{FrameClass, NetConfig};
-use mmwave_sim::metrics;
+use mmwave_sim::ctx::SimCtx;
+use mmwave_sim::metrics::EngineCounters;
 use mmwave_sim::stats::Cdf;
 use mmwave_sim::time::{SimDuration, SimTime};
 use mmwave_transport::{Stack, TcpConfig};
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// One measured operating point.
 #[derive(Clone, Debug)]
@@ -53,8 +54,9 @@ fn label_of(mbps: f64) -> String {
 }
 
 /// Run one operating point and measure everything the three figures need.
-fn run_point(seed: u64, pace_bps: Option<u64>, window: u64, secs: f64) -> PointData {
+fn run_point(ctx: &SimCtx, seed: u64, pace_bps: Option<u64>, window: u64, secs: f64) -> PointData {
     let p = point_to_point(
+        ctx,
         2.0,
         NetConfig {
             seed,
@@ -101,27 +103,27 @@ fn run_point(seed: u64, pace_bps: Option<u64>, window: u64, secs: f64) -> PointD
     }
 }
 
-/// Collect the full sweep (cached per `(quick, seed)` because four
-/// experiments share it).
+/// Collect the full sweep (cached per `(quick, seed)` in a slot on the
+/// simulation context, because four experiments share it).
 ///
 /// The cache also stores the engine-counter delta of the simulation that
-/// filled it, and merges it into the thread-local accumulator on every
-/// hit (see [`mmwave_sim::metrics::merge`]) — so fig09/10/11/aggr all
-/// report the same scheduler activity no matter which of them ran first,
-/// and campaign artifacts stay independent of worker scheduling.
-pub fn collect(quick: bool, seed: u64) -> Vec<PointData> {
-    type SweepCache = HashMap<(bool, u64), (Vec<PointData>, metrics::EngineCounters)>;
-    static CACHE: Mutex<Option<SweepCache>> = Mutex::new(None);
-    {
-        let guard = CACHE.lock().expect("sweep cache");
-        if let Some(map) = guard.as_ref() {
-            if let Some((v, counters)) = map.get(&(quick, seed)) {
-                metrics::merge(*counters);
-                return v.clone();
-            }
-        }
+/// filled it, and merges it back into the context on every hit — so
+/// fig09/10/11/aggr all report the same scheduler activity no matter
+/// which of them ran first on a shared context. The campaign runner gives
+/// every task a fresh context, where the fill's delta on zeroed counters
+/// equals the merge a hit would have applied — artifact counters are
+/// identical either way.
+pub fn collect(ctx: &SimCtx, quick: bool, seed: u64) -> Vec<PointData> {
+    #[derive(Default)]
+    struct SweepCache {
+        map: RefCell<HashMap<(bool, u64), (Vec<PointData>, EngineCounters)>>,
     }
-    let before = metrics::snapshot();
+    let cache = ctx.ext_or_insert_with(SweepCache::default);
+    if let Some((v, counters)) = cache.map.borrow().get(&(quick, seed)) {
+        ctx.merge_counters(*counters);
+        return v.clone();
+    }
+    let before = ctx.counters();
     let secs: f64 = if quick { 0.6 } else { 2.0 };
     // Paced points reproduce the paper's low/medium ladder (9.7 kb/s …
     // 372 Mb/s). The real setup reached these via the Iperf window knob
@@ -137,6 +139,7 @@ pub fn collect(quick: bool, seed: u64) -> Vec<PointData> {
     let mut points = Vec::new();
     for (i, &r) in paced.iter().enumerate() {
         points.push(run_point(
+            ctx,
             seed + i as u64,
             Some(r),
             0,
@@ -149,20 +152,20 @@ pub fn collect(quick: bool, seed: u64) -> Vec<PointData> {
         &[64 * 1024, 128 * 1024, 256 * 1024]
     };
     for (i, &w) in windows.iter().enumerate() {
-        points.push(run_point(seed + 20 + i as u64, None, w, secs));
+        points.push(run_point(ctx, seed + 20 + i as u64, None, w, secs));
     }
     points.sort_by(|a, b| {
         a.throughput_mbps
             .partial_cmp(&b.throughput_mbps)
             .expect("finite")
     });
-    let after = metrics::snapshot();
-    let delta = metrics::EngineCounters {
+    let after = ctx.counters();
+    let delta = EngineCounters {
         events_popped: after.events_popped - before.events_popped,
         events_cancelled: after.events_cancelled - before.events_cancelled,
         // The watermark isn't separable from prior activity; campaign
-        // tasks reset the accumulator before running, and all four sweep
-        // consumers call collect() first, so this is the fill's own peak.
+        // tasks run on a fresh context, and all four sweep consumers call
+        // collect() first, so this is the fill's own peak.
         peak_queue_depth: after.peak_queue_depth,
         link_gain_hits: after.link_gain_hits - before.link_gain_hits,
         link_gain_misses: after.link_gain_misses - before.link_gain_misses,
@@ -172,16 +175,16 @@ pub fn collect(quick: bool, seed: u64) -> Vec<PointData> {
         codebook_hits: after.codebook_hits - before.codebook_hits,
         codebook_misses: after.codebook_misses - before.codebook_misses,
     };
-    let mut guard = CACHE.lock().expect("sweep cache");
-    guard
-        .get_or_insert_with(HashMap::new)
+    cache
+        .map
+        .borrow_mut()
         .insert((quick, seed), (points.clone(), delta));
     points
 }
 
 /// Fig. 9 — frame-length CDFs per throughput.
-pub fn run_fig09(quick: bool, seed: u64) -> RunReport {
-    let points = collect(quick, seed);
+pub fn run_fig09(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
+    let points = collect(ctx, quick, seed);
     let mut output = String::new();
     let grid: Vec<f64> = (0..=26).map(|x| x as f64).collect();
     let mut violations = Vec::new();
@@ -234,8 +237,8 @@ pub fn run_fig09(quick: bool, seed: u64) -> RunReport {
 }
 
 /// Fig. 10 — percentage of long frames per throughput.
-pub fn run_fig10(quick: bool, seed: u64) -> RunReport {
-    let points = collect(quick, seed);
+pub fn run_fig10(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
+    let points = collect(ctx, quick, seed);
     let bars: Vec<(String, f64)> = points
         .iter()
         .map(|p| (p.label.clone(), p.long_fraction * 100.0))
@@ -275,8 +278,8 @@ pub fn run_fig10(quick: bool, seed: u64) -> RunReport {
 }
 
 /// Fig. 11 — windowed medium usage per throughput.
-pub fn run_fig11(quick: bool, seed: u64) -> RunReport {
-    let points = collect(quick, seed);
+pub fn run_fig11(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
+    let points = collect(ctx, quick, seed);
     let bars: Vec<(String, f64)> = points
         .iter()
         .map(|p| (p.label.clone(), p.medium_usage * 100.0))
@@ -309,8 +312,8 @@ pub fn run_fig11(quick: bool, seed: u64) -> RunReport {
 }
 
 /// The §4.1/§5 aggregation summary (5.4× at ≤ 25 µs).
-pub fn run_aggr(quick: bool, seed: u64) -> RunReport {
-    let points = collect(quick, seed);
+pub fn run_aggr(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
+    let points = collect(ctx, quick, seed);
     let sweep: Vec<SweepPoint> = points
         .iter()
         .map(|p| SweepPoint {

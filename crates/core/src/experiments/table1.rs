@@ -16,6 +16,7 @@ use crate::scenarios::{point_to_point, seeds};
 use mmwave_channel::Environment;
 use mmwave_geom::{Angle, Point, Room};
 use mmwave_mac::{Device, FrameClass, Net, NetConfig, PatKey};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::SimTime;
 
 fn quiet(seed: u64) -> NetConfig {
@@ -40,18 +41,20 @@ fn median_interval_ms(mut starts: Vec<SimTime>) -> Option<f64> {
 }
 
 /// Run the Table 1 measurement.
-pub fn run(quick: bool, seed: u64) -> RunReport {
+pub fn run(ctx: &SimCtx, quick: bool, seed: u64) -> RunReport {
     let horizon = SimTime::from_millis(if quick { 400 } else { 1200 });
 
     // Unpaired systems: discovery periodicities.
-    let mut idle = Net::new(Environment::new(Room::open_space()), quiet(seed));
+    let mut idle = Net::with_ctx(Environment::new(Room::open_space()), quiet(seed), ctx);
     let dock = idle.add_device(Device::wigig_dock(
+        ctx,
         "Dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         seeds::DOCK_A,
     ));
     let hdmi = idle.add_device(Device::wihd_source(
+        ctx,
         "HDMI TX",
         Point::new(20.0, 20.0),
         Angle::ZERO,
@@ -84,15 +87,17 @@ pub fn run(quick: bool, seed: u64) -> RunReport {
     }
 
     // Established links: beacon periodicities.
-    let p = point_to_point(2.0, quiet(seed + 1));
+    let p = point_to_point(ctx, 2.0, quiet(seed + 1));
     let mut paired = p.net;
     let hdmi_tx = paired.add_device(Device::wihd_source(
+        ctx,
         "HDMI TX",
         Point::new(0.0, 10.0),
         Angle::ZERO,
         seeds::WIHD_TX,
     ));
     let hdmi_rx = paired.add_device(Device::wihd_sink(
+        ctx,
         "HDMI RX",
         Point::new(8.0, 10.0),
         Angle::from_degrees(180.0),

@@ -53,18 +53,27 @@ pub fn replay_trace(net: &Net, tap: &TapConfig, from: SimTime, to: SimTime) -> S
     let mut trace = tap.receiver.begin_capture(from, to);
     let probe =
         mmwave_channel::RadioNode::new(usize::MAX - 7, "vubiq", tap.position, tap.orientation);
-    // Cache paths per source device (positions are static during a run).
-    let mut paths: HashMap<usize, Vec<mmwave_geom::PropPath>> = HashMap::new();
+    // Cache paths per (source, logged position): scenario mobility can move
+    // a device mid-run, so a replay must trace from where the source stood
+    // at transmission time — the log records that pose per entry.
+    let mut paths: HashMap<(usize, u64, u64), Vec<mmwave_geom::PropPath>> = HashMap::new();
     for e in net.txlog().in_window(from, to) {
         let dev = net.device(e.src);
         let p = paths
-            .entry(e.src)
-            .or_insert_with(|| net.env.paths(dev.node.position, tap.position));
+            .entry((
+                e.src,
+                e.src_position.x.to_bits(),
+                e.src_position.y.to_bits(),
+            ))
+            .or_insert_with(|| net.env.paths(e.src_position, tap.position));
+        let mut src_node = dev.node.clone();
+        src_node.position = e.src_position;
+        src_node.orientation = e.src_orientation;
         let tx_pattern = dev.pattern(e.pattern);
         let lin: f64 = p
             .iter()
             .map(|path| {
-                let ga = dev.node.gain_toward(tx_pattern, path.departure);
+                let ga = src_node.gain_toward(tx_pattern, path.departure);
                 let gb = probe.gain_toward(&tap.receiver.antenna, path.arrival);
                 db_to_lin(
                     net.env.budget.rx_power_dbm(ga, gb, path) + dev.tx_power_offset_db
@@ -103,12 +112,15 @@ pub fn incident_power_dbm(net: &Net, tap: &TapConfig, e: &mmwave_mac::TxLogEntry
     let dev = net.device(e.src);
     let probe =
         mmwave_channel::RadioNode::new(usize::MAX - 7, "vubiq", tap.position, tap.orientation);
-    let paths = net.env.paths(dev.node.position, tap.position);
+    let paths = net.env.paths(e.src_position, tap.position);
+    let mut src_node = dev.node.clone();
+    src_node.position = e.src_position;
+    src_node.orientation = e.src_orientation;
     let tx_pattern = dev.pattern(e.pattern);
     let lin: f64 = paths
         .iter()
         .map(|path| {
-            let ga = dev.node.gain_toward(tx_pattern, path.departure);
+            let ga = src_node.gain_toward(tx_pattern, path.departure);
             let gb = probe.gain_toward(&tap.receiver.antenna, path.arrival);
             db_to_lin(
                 net.env.budget.rx_power_dbm(ga, gb, path) + dev.tx_power_offset_db
@@ -149,6 +161,7 @@ mod tests {
     use super::*;
     use crate::scenarios::{point_to_point, seeds};
     use mmwave_mac::NetConfig;
+    use mmwave_sim::ctx::SimCtx;
 
     fn quiet(seed: u64) -> NetConfig {
         NetConfig {
@@ -160,7 +173,7 @@ mod tests {
 
     #[test]
     fn replay_produces_segments_for_active_link() {
-        let mut p = point_to_point(2.0, quiet(1));
+        let mut p = point_to_point(&SimCtx::new(), 2.0, quiet(1));
         for i in 0..20u64 {
             p.net.push_mpdu(p.dock, 1500, i);
         }
@@ -179,7 +192,7 @@ mod tests {
 
     #[test]
     fn horn_pointing_matters() {
-        let mut p = point_to_point(2.0, quiet(2));
+        let mut p = point_to_point(&SimCtx::new(), 2.0, quiet(2));
         for i in 0..20u64 {
             p.net.push_mpdu(p.dock, 1500, i);
         }
@@ -206,7 +219,7 @@ mod tests {
 
     #[test]
     fn mean_data_power_sees_only_data() {
-        let mut p = point_to_point(2.0, quiet(3));
+        let mut p = point_to_point(&SimCtx::new(), 2.0, quiet(3));
         // Idle link: only beacons → no data power.
         p.net.run_until(SimTime::from_millis(10));
         let tap = TapConfig::waveguide(Point::new(1.0, 0.5), Angle::from_degrees(-90.0));
@@ -232,6 +245,84 @@ mod tests {
         )
         .expect("data frames present");
         assert!((-90.0..=-20.0).contains(&dbm), "{dbm}");
+    }
+
+    #[test]
+    fn replay_tracks_scripted_source_motion() {
+        // A walking-blocker run whose *source* is also scripted to move:
+        // every segment must replay from the pose logged at transmission
+        // time. Before the pose-keyed cache, the whole window replayed
+        // from the device's final position, so frames sent next to the
+        // tap came out as weak as frames sent from across the room.
+        use mmwave_channel::Environment;
+        use mmwave_geom::{Material, Room, Segment, Vec2};
+        use mmwave_mac::{Device, Net, Scenario, WorldMutation};
+        use mmwave_sim::time::SimDuration;
+
+        let ctx = SimCtx::new();
+        let mut room = Room::open_space();
+        let shape = Segment::new(Point::new(1.0, 2.0), Point::new(1.0, 3.0));
+        let walker = room.add_obstacle(shape, Material::Human, "walker");
+        let mut net = Net::with_ctx(Environment::new(room), quiet(7), &ctx);
+        let dock = net.add_device(Device::wigig_dock(
+            &ctx,
+            "Dock",
+            Point::new(0.0, 0.0),
+            Angle::ZERO,
+            seeds::DOCK_A,
+        ));
+        let laptop = net.add_device(Device::wigig_laptop(
+            &ctx,
+            "Laptop",
+            Point::new(2.0, 0.0),
+            Angle::from_degrees(180.0),
+            seeds::LAPTOP_A,
+        ));
+        net.associate_instantly(dock, laptop);
+        // The walker sweeps across the upper half of the room while the
+        // dock hops away from the tap at t = 10 ms (still facing the
+        // laptop from its new spot).
+        let scenario = Scenario::new()
+            .walking_blocker(
+                walker,
+                shape,
+                Vec2::new(1.0, 0.0),
+                SimTime::from_millis(2),
+                SimDuration::from_millis(6),
+                4,
+            )
+            .at(
+                SimTime::from_millis(10),
+                WorldMutation::MoveDevice {
+                    dev: dock,
+                    position: Point::new(0.0, 4.0),
+                    orientation: Angle::from_degrees(-63.4),
+                },
+            );
+        net.install_scenario(scenario);
+        for k in 1..=20u64 {
+            for i in 0..60u64 {
+                net.push_mpdu(dock, 1500, k * 100 + i);
+            }
+            net.run_until(SimTime::from_millis(k));
+        }
+
+        // Tap next to the dock's *original* position.
+        let tap = TapConfig::waveguide(Point::new(0.3, 0.5), Angle::from_degrees(-90.0));
+        let early = mean_data_power_dbm(&net, &tap, dock, SimTime::ZERO, SimTime::from_millis(10))
+            .expect("data before the move");
+        let late = mean_data_power_dbm(
+            &net,
+            &tap,
+            dock,
+            SimTime::from_millis(11),
+            SimTime::from_millis(20),
+        )
+        .expect("data after the move");
+        assert!(
+            early > late + 10.0,
+            "frames sent beside the tap must replay loud: early {early} dBm, late {late} dBm"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use mmwave_channel::Environment;
 use mmwave_geom::{Angle, ConferenceRoom, Material, Point, Room, Segment};
 use mmwave_mac::{Device, Net, NetConfig};
+use mmwave_sim::ctx::SimCtx;
 
 /// Canonical array seeds, re-exported from the calibrated definitions in
 /// [`mmwave_phy::calib`] (pinned by `crates/phy/tests/calibration.rs`).
@@ -40,15 +41,17 @@ pub struct PointToPoint {
 }
 
 /// Build the point-to-point link.
-pub fn point_to_point(distance_m: f64, cfg: NetConfig) -> PointToPoint {
-    let mut net = Net::new(Environment::new(Room::open_space()), cfg);
+pub fn point_to_point(ctx: &SimCtx, distance_m: f64, cfg: NetConfig) -> PointToPoint {
+    let mut net = Net::with_ctx(Environment::new(Room::open_space()), cfg, ctx);
     let dock = net.add_device(Device::wigig_dock(
+        ctx,
         "Dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         seeds::DOCK_A,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        ctx,
         "Laptop",
         Point::new(distance_m, 0.0),
         Angle::from_degrees(180.0),
@@ -75,15 +78,17 @@ pub struct PatternRange {
 
 /// Build the pattern range with the DUT misaligned by `rotation` (0° for
 /// the aligned measurement, 70° for the boundary-steering one).
-pub fn pattern_range(rotation: Angle, cfg: NetConfig) -> PatternRange {
-    let mut net = Net::new(Environment::new(Room::open_space()), cfg);
+pub fn pattern_range(ctx: &SimCtx, rotation: Angle, cfg: NetConfig) -> PatternRange {
+    let mut net = Net::with_ctx(Environment::new(Room::open_space()), cfg, ctx);
     let dut = net.add_device(Device::wigig_dock(
+        ctx,
         "D5000 (DUT)",
         Point::new(0.0, 0.0),
         rotation, // boresight rotated away from the peer
         seeds::DOCK_A,
     ));
     let peer = net.add_device(Device::wigig_laptop(
+        ctx,
         "Laptop (peer)",
         Point::new(3.0, 0.0),
         Angle::from_degrees(180.0),
@@ -120,19 +125,21 @@ pub enum RoomSystem {
 }
 
 /// Build the conference-room scenario.
-pub fn reflection_room(system: RoomSystem, cfg: NetConfig) -> ReflectionRoom {
+pub fn reflection_room(ctx: &SimCtx, system: RoomSystem, cfg: NetConfig) -> ReflectionRoom {
     let layout = ConferenceRoom::new();
-    let mut net = Net::new(Environment::new(layout.room.clone()), cfg);
+    let mut net = Net::with_ctx(Environment::new(layout.room.clone()), cfg, ctx);
     let (tx, rx) = match system {
         RoomSystem::Wigig => {
             // Laptop transmits from the right end, dock receives left.
             let rx = net.add_device(Device::wigig_dock(
+                ctx,
                 "Dock",
                 layout.rx,
                 Angle::ZERO,
                 seeds::DOCK_A,
             ));
             let tx = net.add_device(Device::wigig_laptop(
+                ctx,
                 "Laptop",
                 layout.tx,
                 Angle::from_degrees(180.0),
@@ -143,12 +150,14 @@ pub fn reflection_room(system: RoomSystem, cfg: NetConfig) -> ReflectionRoom {
         }
         RoomSystem::Wihd => {
             let rx = net.add_device(Device::wihd_sink(
+                ctx,
                 "HDMI RX",
                 layout.rx,
                 Angle::ZERO,
                 seeds::WIHD_RX,
             ));
             let tx = net.add_device(Device::wihd_source(
+                ctx,
                 "HDMI TX",
                 layout.tx,
                 Angle::from_degrees(180.0),
@@ -184,7 +193,7 @@ pub struct BlockedLosLink {
 }
 
 /// Build the blocked-LoS reflection link.
-pub fn blocked_los_link(cfg: NetConfig) -> BlockedLosLink {
+pub fn blocked_los_link(ctx: &SimCtx, cfg: NetConfig) -> BlockedLosLink {
     let mut room = Room::open_space();
     let wall_y = 1.5;
     // The reflecting wall runs parallel to the link.
@@ -199,14 +208,16 @@ pub fn blocked_los_link(cfg: NetConfig) -> BlockedLosLink {
         Material::Human,
         "blockage",
     );
-    let mut net = Net::new(Environment::new(room), cfg);
+    let mut net = Net::with_ctx(Environment::new(room), cfg, ctx);
     let dock = net.add_device(Device::wigig_dock(
+        ctx,
         "Dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         seeds::DOCK_A,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        ctx,
         "Laptop",
         Point::new(4.8, 0.0),
         Angle::from_degrees(180.0),
@@ -250,32 +261,37 @@ pub struct InterferenceFloor {
 /// (0–3 m) horizontal distance from Dock B, optionally rotating Dock B by
 /// `dock_rotation` (the paper's 70° "rotated" case).
 pub fn interference_floor(
+    ctx: &SimCtx,
     offset_m: f64,
     dock_rotation: Angle,
     cfg: NetConfig,
 ) -> InterferenceFloor {
-    let mut net = Net::new(Environment::new(Room::open_space()), cfg);
+    let mut net = Net::with_ctx(Environment::new(Room::open_space()), cfg, ctx);
     let up = Angle::from_degrees(90.0);
     let down = Angle::from_degrees(-90.0);
     let dock_a = net.add_device(Device::wigig_dock(
+        ctx,
         "Dock A",
         Point::new(0.0, 0.0),
         up,
         seeds::DOCK_A,
     ));
     let laptop_a = net.add_device(Device::wigig_laptop(
+        ctx,
         "Laptop A",
         Point::new(0.0, 6.0),
         down,
         seeds::LAPTOP_A,
     ));
     let dock_b = net.add_device(Device::wigig_dock(
+        ctx,
         "Dock B",
         Point::new(3.0, 0.0),
         up + dock_rotation,
         seeds::DOCK_B,
     ));
     let laptop_b = net.add_device(Device::wigig_laptop(
+        ctx,
         "Laptop B",
         Point::new(3.0, 6.0),
         down,
@@ -283,12 +299,14 @@ pub fn interference_floor(
     ));
     let hdmi_x = 3.0 + 1.0 + offset_m;
     let hdmi_tx = net.add_device(Device::wihd_source(
+        ctx,
         "HDMI TX",
         Point::new(hdmi_x, 0.0),
         up,
         seeds::WIHD_TX,
     ));
     let hdmi_rx = net.add_device(Device::wihd_sink(
+        ctx,
         "HDMI RX",
         Point::new(hdmi_x, 8.0),
         down,
@@ -332,7 +350,7 @@ pub struct ReflectorRig {
 /// WiHD receiver; the reflector's tilt bounces that energy past the edge
 /// of the shield into the dock's strong side-lobe region (≈ 38° off its
 /// boresight).
-pub fn reflector_rig(cfg: NetConfig) -> ReflectorRig {
+pub fn reflector_rig(ctx: &SimCtx, cfg: NetConfig) -> ReflectorRig {
     let mut room = Room::open_space();
     // The metal reflector behind the WiHD receiver (1 m plate, 80° tilt).
     // Placement is calibrated so the reflected WiHD level at the dock
@@ -352,15 +370,17 @@ pub fn reflector_rig(cfg: NetConfig) -> ReflectorRig {
         Material::Absorber,
         "shielding",
     );
-    let mut net = Net::new(Environment::new(room), cfg);
+    let mut net = Net::with_ctx(Environment::new(room), cfg, ctx);
     // WiGig link along y = 0: laptop left, dock right, 1.9 m apart.
     let dock = net.add_device(Device::wigig_dock(
+        ctx,
         "Dock",
         Point::new(3.0, 0.0),
         Angle::from_degrees(180.0),
         seeds::DOCK_A,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        ctx,
         "Laptop",
         Point::new(1.1, 0.0),
         Angle::ZERO,
@@ -368,6 +388,7 @@ pub fn reflector_rig(cfg: NetConfig) -> ReflectorRig {
     ));
     // WiHD link above the shielding: TX right, RX left near the reflector.
     let mut hdmi_src = Device::wihd_source(
+        ctx,
         "HDMI TX",
         Point::new(2.8, 2.0),
         Angle::from_degrees(180.0),
@@ -381,6 +402,7 @@ pub fn reflector_rig(cfg: NetConfig) -> ReflectorRig {
     hdmi_src.tx_power_offset_db += 0.5;
     let hdmi_tx = net.add_device(hdmi_src);
     let hdmi_rx = net.add_device(Device::wihd_sink(
+        ctx,
         "HDMI RX",
         Point::new(0.9, 2.0),
         Angle::ZERO,
@@ -413,7 +435,7 @@ mod tests {
 
     #[test]
     fn point_to_point_associates() {
-        let p = point_to_point(2.0, cfg(1));
+        let p = point_to_point(&SimCtx::new(), 2.0, cfg(1));
         assert_eq!(
             p.net.device(p.dock).wigig().expect("wigig").state,
             WigigState::Associated
@@ -422,13 +444,13 @@ mod tests {
 
     #[test]
     fn pattern_range_trains_toward_peer() {
-        let aligned = pattern_range(Angle::ZERO, cfg(2));
+        let aligned = pattern_range(&SimCtx::new(), Angle::ZERO, cfg(2));
         let dut = aligned.net.device(aligned.dut);
         let w = dut.wigig().expect("wigig");
         // Facing the peer: trained sector near boresight.
         assert!(w.codebook.sector(w.tx_sector).steer.degrees().abs() < 15.0);
 
-        let rotated = pattern_range(Angle::from_degrees(70.0), cfg(2));
+        let rotated = pattern_range(&SimCtx::new(), Angle::from_degrees(70.0), cfg(2));
         let dut = rotated.net.device(rotated.dut);
         let w = dut.wigig().expect("wigig");
         // Rotated 70°: the trained sector steers far off boresight.
@@ -441,17 +463,17 @@ mod tests {
 
     #[test]
     fn reflection_room_links_work() {
-        let mut wigig = reflection_room(RoomSystem::Wigig, cfg(3));
+        let mut wigig = reflection_room(&SimCtx::new(), RoomSystem::Wigig, cfg(3));
         wigig.net.run_until(SimTime::from_millis(10));
         assert!(!wigig.net.txlog().is_empty());
-        let mut wihd = reflection_room(RoomSystem::Wihd, cfg(3));
+        let mut wihd = reflection_room(&SimCtx::new(), RoomSystem::Wihd, cfg(3));
         wihd.net.run_until(SimTime::from_millis(10));
         assert!(wihd.net.device(wihd.rx).wihd().expect("wihd").paired);
     }
 
     #[test]
     fn blocked_los_has_no_direct_path() {
-        let b = blocked_los_link(cfg(4));
+        let b = blocked_los_link(&SimCtx::new(), cfg(4));
         let dock_pos = b.net.device(b.dock).node.position;
         let laptop_pos = b.net.device(b.laptop).node.position;
         assert!(
@@ -467,7 +489,7 @@ mod tests {
 
     #[test]
     fn interference_floor_wiring() {
-        let f = interference_floor(1.5, Angle::ZERO, cfg(5));
+        let f = interference_floor(&SimCtx::new(), 1.5, Angle::ZERO, cfg(5));
         assert_eq!(f.net.device_count(), 6);
         assert!((f.net.device(f.hdmi_tx).node.position.x - 5.5).abs() < 1e-9);
         assert!(f.net.device(f.hdmi_tx).wihd().expect("wihd").paired);
@@ -475,7 +497,7 @@ mod tests {
 
     #[test]
     fn reflector_rig_shields_direct_path() {
-        let r = reflector_rig(cfg(6));
+        let r = reflector_rig(&SimCtx::new(), cfg(6));
         let dock = r.net.device(r.dock).node.position;
         let hdmi_tx = r.net.device(r.hdmi_tx).node.position;
         // Direct path between systems crosses the shielding.

@@ -8,6 +8,7 @@ use mmwave_geom::{Angle, Point};
 use mmwave_phy::{
     AntennaPattern, ArrayConfig, Codebook, PhasedArray, RateAdapter, RateAdapterConfig,
 };
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::queue::EventId;
 use mmwave_sim::time::SimTime;
 use std::collections::VecDeque;
@@ -106,13 +107,13 @@ pub struct WigigDev {
 }
 
 impl WigigDev {
-    fn new(cfg: WigigConfig, role: WigigRole, array_seed: u64) -> WigigDev {
+    fn new(ctx: &SimCtx, cfg: WigigConfig, role: WigigRole, array_seed: u64) -> WigigDev {
         let array = PhasedArray::new(ArrayConfig::wigig_2x8(array_seed));
         WigigDev {
             cfg,
             role,
-            codebook: Codebook::directional_default(&array),
-            qo: Codebook::quasi_omni_32(&array),
+            codebook: Codebook::directional_default(ctx, &array),
+            qo: Codebook::quasi_omni_32(ctx, &array),
             peer: None,
             state: WigigState::Unassociated,
             tx_sector: 0,
@@ -170,12 +171,12 @@ pub struct WihdDev {
 }
 
 impl WihdDev {
-    fn new(cfg: WihdConfig, role: WihdRole, array_seed: u64) -> WihdDev {
+    fn new(ctx: &SimCtx, cfg: WihdConfig, role: WihdRole, array_seed: u64) -> WihdDev {
         let array = PhasedArray::new(ArrayConfig::wihd_24(array_seed));
         WihdDev {
             cfg,
             role,
-            codebook: Codebook::directional_default(&array),
+            codebook: Codebook::directional_default(ctx, &array),
             peer: None,
             paired: false,
             tx_sector: 0,
@@ -217,13 +218,20 @@ pub struct Device {
 
 impl Device {
     /// A docking station (canonical array seed `mmwave_phy::calib::DOCK_SEED`
-    /// unless varied).
-    pub fn wigig_dock(label: &str, pos: Point, facing: Angle, array_seed: u64) -> Device {
+    /// unless varied). Codebooks come from `ctx`'s per-context cache.
+    pub fn wigig_dock(
+        ctx: &SimCtx,
+        label: &str,
+        pos: Point,
+        facing: Angle,
+        array_seed: u64,
+    ) -> Device {
         Device {
             node: RadioNode::new(0, label, pos, facing),
             tx_power_offset_db: WigigConfig::dock().tx_power_offset_db,
             cs_threshold_override_dbm: None,
             kind: DevKind::Wigig(Box::new(WigigDev::new(
+                ctx,
                 WigigConfig::dock(),
                 WigigRole::Dock,
                 array_seed,
@@ -234,12 +242,19 @@ impl Device {
 
     /// A laptop station (canonical array seed
     /// `mmwave_phy::calib::LAPTOP_SEED` unless varied).
-    pub fn wigig_laptop(label: &str, pos: Point, facing: Angle, array_seed: u64) -> Device {
+    pub fn wigig_laptop(
+        ctx: &SimCtx,
+        label: &str,
+        pos: Point,
+        facing: Angle,
+        array_seed: u64,
+    ) -> Device {
         Device {
             node: RadioNode::new(0, label, pos, facing),
             tx_power_offset_db: WigigConfig::laptop().tx_power_offset_db,
             cs_threshold_override_dbm: None,
             kind: DevKind::Wigig(Box::new(WigigDev::new(
+                ctx,
                 WigigConfig::laptop(),
                 WigigRole::Station,
                 array_seed,
@@ -249,25 +264,42 @@ impl Device {
     }
 
     /// A WiHD video source (canonical seed `mmwave_phy::calib::WIHD_TX_SEED`).
-    pub fn wihd_source(label: &str, pos: Point, facing: Angle, array_seed: u64) -> Device {
+    pub fn wihd_source(
+        ctx: &SimCtx,
+        label: &str,
+        pos: Point,
+        facing: Angle,
+        array_seed: u64,
+    ) -> Device {
         let cfg = WihdConfig::default();
         Device {
             node: RadioNode::new(0, label, pos, facing),
             tx_power_offset_db: cfg.tx_power_offset_db,
             cs_threshold_override_dbm: None,
-            kind: DevKind::Wihd(Box::new(WihdDev::new(cfg, WihdRole::Source, array_seed))),
+            kind: DevKind::Wihd(Box::new(WihdDev::new(
+                ctx,
+                cfg,
+                WihdRole::Source,
+                array_seed,
+            ))),
             stats: DevStats::default(),
         }
     }
 
     /// A WiHD video sink (canonical seed `mmwave_phy::calib::WIHD_RX_SEED`).
-    pub fn wihd_sink(label: &str, pos: Point, facing: Angle, array_seed: u64) -> Device {
+    pub fn wihd_sink(
+        ctx: &SimCtx,
+        label: &str,
+        pos: Point,
+        facing: Angle,
+        array_seed: u64,
+    ) -> Device {
         let cfg = WihdConfig::default();
         Device {
             node: RadioNode::new(0, label, pos, facing),
             tx_power_offset_db: cfg.tx_power_offset_db,
             cs_threshold_override_dbm: None,
-            kind: DevKind::Wihd(Box::new(WihdDev::new(cfg, WihdRole::Sink, array_seed))),
+            kind: DevKind::Wihd(Box::new(WihdDev::new(ctx, cfg, WihdRole::Sink, array_seed))),
             stats: DevStats::default(),
         }
     }
@@ -355,11 +387,17 @@ mod tests {
 
     #[test]
     fn construction_and_accessors() {
-        let d = Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13);
+        let d = Device::wigig_dock(
+            &SimCtx::new(),
+            "dock",
+            Point::new(0.0, 0.0),
+            Angle::ZERO,
+            13,
+        );
         assert!(d.wigig().is_some());
         assert!(d.wihd().is_none());
         assert_eq!(d.wigig().expect("wigig").role, WigigRole::Dock);
-        let s = Device::wihd_source("tx", Point::new(1.0, 0.0), Angle::ZERO, 21);
+        let s = Device::wihd_source(&SimCtx::new(), "tx", Point::new(1.0, 0.0), Angle::ZERO, 21);
         assert!(s.wihd().is_some());
         assert_eq!(s.wihd().expect("wihd").role, WihdRole::Source);
         assert!(s.tx_power_offset_db > 0.0, "WiHD runs hotter");
@@ -367,7 +405,13 @@ mod tests {
 
     #[test]
     fn pattern_resolution() {
-        let d = Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13);
+        let d = Device::wigig_dock(
+            &SimCtx::new(),
+            "dock",
+            Point::new(0.0, 0.0),
+            Angle::ZERO,
+            13,
+        );
         let dir = d.pattern(PatKey::Dir(16));
         let qo = d.pattern(PatKey::Qo(3));
         assert!(dir.peak().gain_dbi > qo.peak().gain_dbi);
@@ -375,7 +419,13 @@ mod tests {
 
     #[test]
     fn listen_key_follows_state() {
-        let mut d = Device::wigig_laptop("laptop", Point::new(0.0, 0.0), Angle::ZERO, 11);
+        let mut d = Device::wigig_laptop(
+            &SimCtx::new(),
+            "laptop",
+            Point::new(0.0, 0.0),
+            Angle::ZERO,
+            11,
+        );
         assert_eq!(d.listen_key(), PatKey::Qo(0));
         {
             let w = d.wigig_mut().expect("wigig");
@@ -387,7 +437,7 @@ mod tests {
 
     #[test]
     fn wihd_qo_key_wraps() {
-        let d = Device::wihd_sink("rx", Point::new(0.0, 0.0), Angle::ZERO, 22);
+        let d = Device::wihd_sink(&SimCtx::new(), "rx", Point::new(0.0, 0.0), Angle::ZERO, 22);
         // Out-of-range quasi-omni index wraps instead of panicking.
         let _ = d.pattern(PatKey::Qo(1000));
     }
@@ -396,12 +446,18 @@ mod tests {
     fn pat_ids_alias_exactly_when_patterns_do() {
         // WiGig: quasi-omni 0 and sector 0 are different patterns and must
         // get different ids.
-        let w = Device::wigig_laptop("laptop", Point::new(0.0, 0.0), Angle::ZERO, 11);
+        let w = Device::wigig_laptop(
+            &SimCtx::new(),
+            "laptop",
+            Point::new(0.0, 0.0),
+            Angle::ZERO,
+            11,
+        );
         assert_ne!(w.pat_id(PatKey::Qo(0)), w.pat_id(PatKey::Dir(0)));
         assert_ne!(w.pat_id(PatKey::Dir(1)), w.pat_id(PatKey::Dir(2)));
         // WiHD: Qo(i) resolves to the directional sector i % len, so the
         // ids must collapse the same way the patterns do.
-        let h = Device::wihd_sink("rx", Point::new(0.0, 0.0), Angle::ZERO, 22);
+        let h = Device::wihd_sink(&SimCtx::new(), "rx", Point::new(0.0, 0.0), Angle::ZERO, 22);
         let n = h.wihd().expect("wihd").codebook.len();
         assert_eq!(h.pat_id(PatKey::Qo(n + 2)), h.pat_id(PatKey::Dir(2)));
         assert!(std::ptr::eq(

@@ -30,9 +30,10 @@
 //! use mmwave_sim::time::SimTime;
 //!
 //! let mut net = Net::new(Environment::new(Room::open_space()), NetConfig::default());
-//! let dock = net.add_device(Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13));
+//! let dock = net.add_device(Device::wigig_dock(
+//!     net.ctx(), "dock", Point::new(0.0, 0.0), Angle::ZERO, 13));
 //! let laptop = net.add_device(Device::wigig_laptop(
-//!     "laptop", Point::new(2.0, 0.0), Angle::from_degrees(180.0), 11));
+//!     net.ctx(), "laptop", Point::new(2.0, 0.0), Angle::from_degrees(180.0), 11));
 //! net.associate_instantly(dock, laptop);
 //! net.push_mpdu(dock, 1500, 42);
 //! net.run_until(SimTime::from_millis(1));

@@ -12,6 +12,7 @@ use crate::device::{Device, PatKey};
 use crate::frame::Frame;
 use mmwave_channel::{Environment, LinkGainCache};
 use mmwave_phy::{db_to_lin, lin_to_db};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::SimTime;
 
 /// A transmission currently on the air.
@@ -50,19 +51,24 @@ pub struct Medium {
 }
 
 impl Medium {
-    /// An idle medium.
+    /// An idle medium reporting into a fresh private context.
     pub fn new() -> Medium {
         Medium::default()
     }
 
-    /// An idle medium with an explicit link-gain cache mode (differential
-    /// tests compare Cached vs Bypass without touching the process-wide
-    /// default).
-    pub fn with_cache_mode(mode: mmwave_channel::CacheMode) -> Medium {
+    /// An idle medium whose link-gain cache adopts `ctx`'s cache mode and
+    /// streams its counters into `ctx`.
+    pub fn with_ctx(ctx: &SimCtx) -> Medium {
         Medium {
-            cache: LinkGainCache::with_mode(mode),
+            cache: LinkGainCache::with_ctx(ctx),
             ..Medium::default()
         }
+    }
+
+    /// An idle medium with an explicit link-gain cache mode (differential
+    /// tests compare Cached vs Bypass on a private context).
+    pub fn with_cache_mode(mode: mmwave_channel::CacheMode) -> Medium {
+        Medium::with_ctx(&SimCtx::with_cache_mode(mode))
     }
 
     /// Flush all cached geometry and gains (call after bulk scene edits;
@@ -254,8 +260,15 @@ mod tests {
 
     fn setup() -> (Environment, Vec<Device>) {
         let env = Environment::new(Room::open_space());
-        let mut dock = Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13);
+        let mut dock = Device::wigig_dock(
+            &SimCtx::new(),
+            "dock",
+            Point::new(0.0, 0.0),
+            Angle::ZERO,
+            13,
+        );
         let mut laptop = Device::wigig_laptop(
+            &SimCtx::new(),
             "laptop",
             Point::new(2.0, 0.0),
             Angle::from_degrees(180.0),
@@ -341,8 +354,15 @@ mod tests {
     fn overlapping_tx_accumulates_interference() {
         let (env, mut devices) = setup();
         // Add a second pair further away.
-        let mut dock_b = Device::wigig_dock("dock B", Point::new(0.0, 3.0), Angle::ZERO, 7);
+        let mut dock_b = Device::wigig_dock(
+            &SimCtx::new(),
+            "dock B",
+            Point::new(0.0, 3.0),
+            Angle::ZERO,
+            7,
+        );
         let mut laptop_b = Device::wigig_laptop(
+            &SimCtx::new(),
             "laptop B",
             Point::new(2.0, 3.0),
             Angle::from_degrees(180.0),

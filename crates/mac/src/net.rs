@@ -16,6 +16,7 @@ use crate::{wigig, wihd};
 use mmwave_channel::{Ar1Fading, CacheMode, Environment, PerturbationProcess, RadioNode};
 use mmwave_geom::{Angle, Point, PropPath};
 use mmwave_phy::{AntennaPattern, McsTable};
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::queue::EventQueue;
 use mmwave_sim::rng::SimRng;
 use mmwave_sim::stats::BusyTracker;
@@ -138,6 +139,9 @@ pub struct UtilizationMonitor {
 pub struct Net {
     /// The propagation environment.
     pub env: Environment,
+    /// The simulation context: counter sink, cache-mode policy, and the
+    /// per-context codebook cache every device construction draws from.
+    ctx: SimCtx,
     pub(crate) cfg: NetConfig,
     pub(crate) devices: Vec<Device>,
     pub(crate) medium: Medium,
@@ -162,15 +166,25 @@ pub struct Net {
 }
 
 impl Net {
-    /// Build an empty network in `env`.
+    /// Build an empty network in `env`, reporting into a fresh private
+    /// context.
     pub fn new(env: Environment, cfg: NetConfig) -> Net {
+        Net::with_ctx(env, cfg, &SimCtx::new())
+    }
+
+    /// Build an empty network wired to `ctx`: the event queue, the
+    /// link-gain cache, the codebook cache of every device added later,
+    /// and the scenario/fault counters all report into (and read policy
+    /// from) that context.
+    pub fn with_ctx(env: Environment, cfg: NetConfig, ctx: &SimCtx) -> Net {
         let rng = SimRng::root(cfg.seed).stream("mac-net");
         Net {
             env,
+            ctx: ctx.clone(),
             cfg,
             devices: Vec::new(),
-            medium: Medium::new(),
-            queue: EventQueue::new(),
+            medium: Medium::with_ctx(ctx),
+            queue: EventQueue::with_ctx(ctx),
             now: SimTime::ZERO,
             rng,
             txlog: TxLog::new(),
@@ -187,13 +201,16 @@ impl Net {
         }
     }
 
-    /// Build an empty network with an explicit link-gain cache mode,
-    /// bypassing the process-wide default — the constructor differential
-    /// tests use so Cached-vs-Bypass comparisons need no global state.
+    /// Build an empty network with an explicit link-gain cache mode on a
+    /// private context — the constructor differential tests use so
+    /// Cached-vs-Bypass comparisons need no shared state.
     pub fn with_cache_mode(env: Environment, cfg: NetConfig, mode: CacheMode) -> Net {
-        let mut net = Net::new(env, cfg);
-        net.medium = Medium::with_cache_mode(mode);
-        net
+        Net::with_ctx(env, cfg, &SimCtx::with_cache_mode(mode))
+    }
+
+    /// The simulation context this network reports into.
+    pub fn ctx(&self) -> &SimCtx {
+        &self.ctx
     }
 
     // ------------------------------------------------------------------
@@ -325,7 +342,7 @@ impl Net {
     fn apply_scenario(&mut self, idx: usize) {
         let mutation = self.scenario_events[idx].mutation.clone();
         self.n_scenario_mutations += 1;
-        mmwave_sim::metrics::record_scenario_mutation();
+        self.ctx.record_scenario_mutation();
         match mutation {
             WorldMutation::MoveDevice {
                 dev,
@@ -600,10 +617,13 @@ impl Net {
             end,
             &offsets,
         );
+        let src_node = &self.devices[src].node;
         self.txlog.push(TxLogEntry {
             start,
             end,
             src,
+            src_position: src_node.position,
+            src_orientation: src_node.orientation,
             dst,
             class,
             pattern,
@@ -700,7 +720,7 @@ impl Net {
                 // consuming a PER draw (with no windows installed the RNG
                 // stream is untouched and runs reproduce exactly).
                 self.n_faults_injected += 1;
-                mmwave_sim::metrics::record_fault_injected();
+                self.ctx.record_fault_injected();
                 self.devices[dst].stats.rx_corrupted += 1;
                 false
             } else if tx.dst_was_busy {

@@ -87,6 +87,76 @@ pub struct ScenarioEvent {
     pub mutation: WorldMutation,
 }
 
+/// One waypoint of a mobility trace: at `t` seconds the device stands at
+/// `(x, y)` metres facing `theta_deg` degrees.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Waypoint {
+    /// Time, seconds from run start.
+    pub t: f64,
+    /// X position, metres.
+    pub x: f64,
+    /// Y position, metres.
+    pub y: f64,
+    /// Orientation, degrees.
+    pub theta_deg: f64,
+}
+
+/// Parse a waypoint trace: one `t x y theta` line per waypoint
+/// (whitespace-separated), blank lines and `#` comments ignored.
+/// Times must be non-negative, finite, and non-decreasing.
+pub fn parse_waypoints(text: &str) -> Result<Vec<Waypoint>, String> {
+    let mut out: Vec<Waypoint> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(format!(
+                "waypoint line {}: expected `t x y theta`, got {} field(s)",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let mut vals = [0.0f64; 4];
+        for (v, f) in vals.iter_mut().zip(&fields) {
+            *v = f
+                .parse()
+                .map_err(|e| format!("waypoint line {}: `{f}`: {e}", lineno + 1))?;
+            if !v.is_finite() {
+                return Err(format!("waypoint line {}: `{f}` is not finite", lineno + 1));
+            }
+        }
+        let [t, x, y, theta_deg] = vals;
+        if t < 0.0 {
+            return Err(format!("waypoint line {}: negative time {t}", lineno + 1));
+        }
+        if let Some(prev) = out.last() {
+            if t < prev.t {
+                return Err(format!(
+                    "waypoint line {}: time {t} goes backwards (previous {})",
+                    lineno + 1,
+                    prev.t
+                ));
+            }
+        }
+        out.push(Waypoint { t, x, y, theta_deg });
+    }
+    Ok(out)
+}
+
+/// Serialize waypoints back to the `t x y theta` text form
+/// [`parse_waypoints`] reads. Round-trips exactly: Rust's shortest-digits
+/// float formatting re-parses to the same f64 bits.
+pub fn format_waypoints(waypoints: &[Waypoint]) -> String {
+    let mut s = String::new();
+    for w in waypoints {
+        s.push_str(&format!("{} {} {} {}\n", w.t, w.x, w.y, w.theta_deg));
+    }
+    s
+}
+
 /// A scripted scenario: world mutations with their fire times.
 ///
 /// Build with the chainable [`Scenario::at`] /
@@ -137,6 +207,25 @@ impl Scenario {
         self
     }
 
+    /// Script device `dev` along a waypoint trace (the `t x y theta` text
+    /// format of [`parse_waypoints`]): each waypoint becomes a
+    /// [`WorldMutation::MoveDevice`] at its timestamp. Errors on malformed
+    /// text; appends to any events already scripted.
+    pub fn from_waypoints(self, dev: usize, text: &str) -> Result<Scenario, String> {
+        let mut s = self;
+        for w in parse_waypoints(text)? {
+            s = s.at(
+                SimTime::from_secs_f64(w.t),
+                WorldMutation::MoveDevice {
+                    dev,
+                    position: Point::new(w.x, w.y),
+                    orientation: Angle::from_degrees(w.theta_deg),
+                },
+            );
+        }
+        Ok(s)
+    }
+
     /// The scripted events, in insertion order.
     pub fn events(&self) -> &[ScenarioEvent] {
         &self.events
@@ -182,6 +271,66 @@ mod tests {
         let sorted = s.into_sorted_events();
         assert_eq!(sorted[0].at, SimTime::from_millis(1));
         assert_eq!(sorted[1].at, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn waypoints_round_trip_through_text() {
+        let text = "\
+# a walk across the room
+0 1.0 2.0 90
+0.5   1.25 2.0 90   # trailing comment
+2.125 3.5 -0.75 -180
+
+10 3.5 -0.75 270.5
+";
+        let parsed = parse_waypoints(text).expect("parses");
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(
+            parsed[0],
+            Waypoint {
+                t: 0.0,
+                x: 1.0,
+                y: 2.0,
+                theta_deg: 90.0
+            }
+        );
+        assert_eq!(parsed[2].y, -0.75);
+        // Exact round-trip: format → parse reproduces the same values.
+        let reparsed = parse_waypoints(&format_waypoints(&parsed)).expect("reparses");
+        assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn waypoint_parser_rejects_malformed_lines() {
+        assert!(parse_waypoints("1 2 3").is_err(), "too few fields");
+        assert!(parse_waypoints("1 2 3 4 5").is_err(), "too many fields");
+        assert!(parse_waypoints("1 2 three 4").is_err(), "non-numeric");
+        assert!(parse_waypoints("-1 0 0 0").is_err(), "negative time");
+        assert!(parse_waypoints("nan 0 0 0").is_err(), "non-finite");
+        assert!(
+            parse_waypoints("5 0 0 0\n2 0 0 0").is_err(),
+            "time goes backwards"
+        );
+    }
+
+    #[test]
+    fn from_waypoints_scripts_device_moves() {
+        let s = Scenario::new()
+            .from_waypoints(3, "0 1 2 90\n1.5 4 2 45\n")
+            .expect("valid trace");
+        assert_eq!(s.len(), 2);
+        let WorldMutation::MoveDevice {
+            dev,
+            position,
+            orientation,
+        } = &s.events()[1].mutation
+        else {
+            panic!("waypoints must become MoveDevice mutations");
+        };
+        assert_eq!(*dev, 3);
+        assert_eq!(s.events()[1].at, SimTime::from_secs_f64(1.5));
+        assert_eq!(position.x, 4.0);
+        assert!((orientation.degrees() - 45.0).abs() < 1e-12);
     }
 
     #[test]

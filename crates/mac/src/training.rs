@@ -83,12 +83,20 @@ pub fn best_pair_with(
 mod tests {
     use super::*;
     use mmwave_geom::{Angle, Material, Point, Room, Segment};
+    use mmwave_sim::ctx::SimCtx;
 
     #[test]
     fn training_picks_sectors_facing_each_other() {
         let env = Environment::new(Room::open_space());
-        let a = Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13);
+        let a = Device::wigig_dock(
+            &SimCtx::new(),
+            "dock",
+            Point::new(0.0, 0.0),
+            Angle::ZERO,
+            13,
+        );
         let b = Device::wigig_laptop(
+            &SimCtx::new(),
             "laptop",
             Point::new(3.0, 0.0),
             Angle::from_degrees(180.0),
@@ -111,8 +119,15 @@ mod tests {
     #[test]
     fn training_beats_untrained_average() {
         let env = Environment::new(Room::open_space());
-        let a = Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13);
+        let a = Device::wigig_dock(
+            &SimCtx::new(),
+            "dock",
+            Point::new(0.0, 0.0),
+            Angle::ZERO,
+            13,
+        );
         let b = Device::wigig_laptop(
+            &SimCtx::new(),
             "laptop",
             Point::new(5.0, 2.0),
             Angle::from_degrees(-150.0),
@@ -150,8 +165,15 @@ mod tests {
             "screen",
         );
         let env = Environment::new(room);
-        let a = Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13);
+        let a = Device::wigig_dock(
+            &SimCtx::new(),
+            "dock",
+            Point::new(0.0, 0.0),
+            Angle::ZERO,
+            13,
+        );
         let b = Device::wigig_laptop(
+            &SimCtx::new(),
             "laptop",
             Point::new(4.0, 0.0),
             Angle::from_degrees(180.0),
@@ -171,8 +193,15 @@ mod tests {
     #[test]
     fn shared_cache_retrain_is_a_table_lookup() {
         let env = Environment::new(Room::open_space());
-        let a = Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13);
+        let a = Device::wigig_dock(
+            &SimCtx::new(),
+            "dock",
+            Point::new(0.0, 0.0),
+            Angle::ZERO,
+            13,
+        );
         let b = Device::wigig_laptop(
+            &SimCtx::new(),
             "laptop",
             Point::new(3.0, 0.0),
             Angle::from_degrees(180.0),
@@ -206,8 +235,15 @@ mod tests {
     #[test]
     fn training_accounts_for_tx_power_offset() {
         let env = Environment::new(Room::open_space());
-        let mut a = Device::wihd_source("tx", Point::new(0.0, 0.0), Angle::ZERO, 21);
-        let b = Device::wihd_sink("rx", Point::new(8.0, 0.0), Angle::from_degrees(180.0), 22);
+        let mut a =
+            Device::wihd_source(&SimCtx::new(), "tx", Point::new(0.0, 0.0), Angle::ZERO, 21);
+        let b = Device::wihd_sink(
+            &SimCtx::new(),
+            "rx",
+            Point::new(8.0, 0.0),
+            Angle::from_degrees(180.0),
+            22,
+        );
         let hot = best_pair(&env, &a, &b).rx_dbm;
         a.tx_power_offset_db = 0.0;
         let cold = best_pair(&env, &a, &b).rx_dbm;

@@ -12,6 +12,7 @@
 
 use crate::device::PatKey;
 use crate::frame::FrameClass;
+use mmwave_geom::{Angle, Point};
 use mmwave_sim::time::SimTime;
 
 /// One logged transmission.
@@ -23,6 +24,12 @@ pub struct TxLogEntry {
     pub end: SimTime,
     /// Transmitting device.
     pub src: usize,
+    /// Where the transmitter stood when the frame went out. Devices move
+    /// mid-run (scripted mobility), so replaying a capture must use the
+    /// pose at transmission time, not whatever the device ended up at.
+    pub src_position: Point,
+    /// The transmitter's orientation at transmission time.
+    pub src_orientation: Angle,
     /// Destination device, if addressed.
     pub dst: Option<usize>,
     /// Frame class.
@@ -138,6 +145,8 @@ mod tests {
             start: SimTime::from_micros(start_us),
             end: SimTime::from_micros(end_us),
             src: 0,
+            src_position: Point::new(0.0, 0.0),
+            src_orientation: Angle::ZERO,
             dst: Some(1),
             class: FrameClass::Data,
             pattern: PatKey::Dir(0),

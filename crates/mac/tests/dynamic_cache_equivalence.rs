@@ -37,12 +37,14 @@ fn build(mode: CacheMode, seed: u64) -> (Net, usize, usize, usize) {
     };
     let mut net = Net::with_cache_mode(Environment::new(room), cfg, mode);
     let dock = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         calib::DOCK_SEED,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "laptop",
         Point::new(4.8, 0.0),
         Angle::from_degrees(180.0),

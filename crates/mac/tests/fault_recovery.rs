@@ -52,12 +52,14 @@ fn blocked_los_rig(seed: u64, walker_x: f64) -> (Net, usize, usize, usize) {
     room.set_wall_enabled(walker, false);
     let mut net = Net::new(Environment::new(room), cfg(seed));
     let dock = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         calib::DOCK_SEED,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "laptop",
         Point::new(4.8, 0.0),
         Angle::from_degrees(180.0),
@@ -136,12 +138,14 @@ fn blocker_during_discovery_sweep_defers_association() {
     );
     let mut net = Net::new(Environment::new(room), cfg(6));
     let dock = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         calib::DOCK_SEED,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "laptop",
         Point::new(4.8, 0.0),
         Angle::from_degrees(180.0),
@@ -188,12 +192,14 @@ fn full_blockage_without_reflection_breaks_link_cleanly() {
     room.set_wall_enabled(walker, false);
     let mut net = Net::new(Environment::new(room), cfg(7));
     let dock = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         calib::DOCK_SEED,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "laptop",
         Point::new(3.0, 0.0),
         Angle::from_degrees(180.0),
@@ -242,12 +248,14 @@ fn fault_burst_on_healthy_channel_does_not_break_link() {
     // spending recovery budget or dropping the association.
     let mut net = Net::new(Environment::new(Room::open_space()), cfg(8));
     let dock = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         calib::DOCK_SEED,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "laptop",
         Point::new(2.0, 0.0),
         Angle::from_degrees(180.0),

@@ -18,12 +18,14 @@ fn quiet_cfg(seed: u64) -> NetConfig {
 fn two_m_link(cfg: NetConfig) -> (Net, usize, usize) {
     let mut net = Net::new(Environment::new(Room::open_space()), cfg);
     let dock = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         13,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "laptop",
         Point::new(2.0, 0.0),
         Angle::from_degrees(180.0),
@@ -55,6 +57,7 @@ fn discovery_sweep_repeats_at_102_4_ms_when_alone() {
     // No peer in range: the dock keeps sweeping at the Table 1 period.
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(1));
     let dock = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
@@ -223,12 +226,14 @@ fn short_link_uses_mcs11() {
 fn long_link_uses_lower_mcs() {
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(8));
     let dock = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         13,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "laptop",
         Point::new(8.0, 0.0),
         Angle::from_degrees(180.0),
@@ -255,12 +260,14 @@ fn long_link_uses_lower_mcs() {
 fn out_of_range_link_never_associates() {
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(9));
     let dock = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         13,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "laptop",
         Point::new(60.0, 0.0),
         Angle::from_degrees(180.0),
@@ -281,12 +288,14 @@ fn out_of_range_link_never_associates() {
 fn wihd_beacons_every_224_us_and_video_flows() {
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(10));
     let tx = net.add_device(Device::wihd_source(
+        net.ctx(),
         "hdmi tx",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         21,
     ));
     let rx = net.add_device(Device::wihd_sink(
+        net.ctx(),
         "hdmi rx",
         Point::new(8.0, 0.0),
         Angle::from_degrees(180.0),
@@ -316,12 +325,14 @@ fn wihd_beacons_every_224_us_and_video_flows() {
 fn wihd_duty_cycle_near_46_percent() {
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(11));
     let tx = net.add_device(Device::wihd_source(
+        net.ctx(),
         "hdmi tx",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         21,
     ));
     let rx = net.add_device(Device::wihd_sink(
+        net.ctx(),
         "hdmi rx",
         Point::new(8.0, 0.0),
         Angle::from_degrees(180.0),
@@ -347,12 +358,14 @@ fn wihd_duty_cycle_near_46_percent() {
 fn video_off_silences_data_but_not_beacons() {
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(12));
     let tx = net.add_device(Device::wihd_source(
+        net.ctx(),
         "hdmi tx",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         21,
     ));
     let rx = net.add_device(Device::wihd_sink(
+        net.ctx(),
         "hdmi rx",
         Point::new(8.0, 0.0),
         Angle::from_degrees(180.0),
@@ -381,24 +394,28 @@ fn two_wigig_links_coexist_via_carrier_sense() {
     // each other since they use CSMA/CA").
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(13));
     let dock_a = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock A",
         Point::new(0.0, 0.0),
         Angle::from_degrees(90.0),
         13,
     ));
     let lap_a = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "laptop A",
         Point::new(0.0, 6.0),
         Angle::from_degrees(-90.0),
         11,
     ));
     let dock_b = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock B",
         Point::new(3.0, 0.0),
         Angle::from_degrees(90.0),
         7,
     ));
     let lap_b = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "laptop B",
         Point::new(3.0, 6.0),
         Angle::from_degrees(-90.0),
@@ -446,12 +463,14 @@ fn deterministic_given_seed() {
             },
         );
         let dock = net.add_device(Device::wigig_dock(
+            net.ctx(),
             "dock",
             Point::new(0.0, 0.0),
             Angle::ZERO,
             13,
         ));
         let laptop = net.add_device(Device::wigig_laptop(
+            net.ctx(),
             "laptop",
             Point::new(11.5, 0.0),
             Angle::from_degrees(180.0),
@@ -494,6 +513,7 @@ fn bidirectional_traffic() {
 fn monitor_sees_nothing_when_idle() {
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(15));
     let _dock = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
@@ -595,12 +615,14 @@ fn wihd_pairs_through_discovery() {
     // its sink responds; after pairing the beacon grid starts.
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(19));
     let tx = net.add_device(Device::wihd_source(
+        net.ctx(),
         "hdmi tx",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         21,
     ));
     let rx = net.add_device(Device::wihd_sink(
+        net.ctx(),
         "hdmi rx",
         Point::new(6.0, 0.0),
         Angle::from_degrees(180.0),
@@ -624,6 +646,7 @@ fn wihd_discovery_order_is_shuffled() {
     // quasi-omni patterns).
     let mut net = Net::new(Environment::new(Room::open_space()), quiet_cfg(20));
     let tx = net.add_device(Device::wihd_source(
+        net.ctx(),
         "hdmi tx",
         Point::new(0.0, 0.0),
         Angle::ZERO,

@@ -16,7 +16,7 @@
 
 use crate::array::{ArrayFingerprint, PhasedArray};
 use mmwave_geom::Angle;
-use mmwave_sim::metrics;
+use mmwave_sim::ctx::SimCtx;
 use std::cell::RefCell;
 use std::f64::consts::PI;
 use std::sync::Arc;
@@ -65,65 +65,65 @@ struct CacheKey {
     half_span_bits: u64,
 }
 
-thread_local! {
-    /// Memoized codebooks, linear-scanned (the working set is a handful of
-    /// entries; scanning short keys beats hashing them).
-    static CACHE: RefCell<Vec<(CacheKey, Codebook)>> = const { RefCell::new(Vec::new()) };
+/// Memoized codebooks of one simulation context, installed in the
+/// context's extension slot on first use. Linear-scanned (the working set
+/// is a handful of entries; scanning short keys beats hashing them).
+///
+/// Per-context rather than per-thread: two `Net`s interleaved on one
+/// thread keep independent codebook caches, and a campaign task's hit/miss
+/// counters are a pure function of the task — its context is born empty —
+/// rather than of which tasks ran earlier on the worker thread.
+#[derive(Default)]
+struct CodebookStore {
+    entries: RefCell<Vec<(CacheKey, Codebook)>>,
 }
 
-/// Upper bound on memoized codebooks per thread. Seed sweeps construct
+/// Upper bound on memoized codebooks per context. Seed sweeps construct
 /// hundreds of distinct arrays; evicting the oldest entry keeps that
 /// bounded while leaving the steady-state working set (a few devices ×
 /// two codebooks) untouched.
 const CACHE_CAP: usize = 64;
 
-/// Drop every memoized codebook on this thread.
-///
-/// Campaign workers call this next to [`mmwave_sim::metrics::reset`] before
-/// each task, so the hit/miss counters a task reports are a pure function
-/// of that task — independent of which tasks ran earlier on the thread.
-pub fn clear_thread_cache() {
-    CACHE.with(|c| c.borrow_mut().clear());
-}
-
-/// Number of codebooks currently memoized on this thread (for tests).
-pub fn thread_cache_len() -> usize {
-    CACHE.with(|c| c.borrow().len())
+/// Number of codebooks currently memoized in `ctx` (for tests).
+pub fn cache_len(ctx: &SimCtx) -> usize {
+    ctx.ext_or_insert_with(CodebookStore::default)
+        .entries
+        .borrow()
+        .len()
 }
 
 impl Codebook {
-    /// Look `key` up in the thread cache, synthesizing via `build` on a
-    /// miss. Hit/miss counts flow into the engine metrics accumulator.
-    fn cached(key: CacheKey, build: impl FnOnce() -> Vec<Sector>) -> Codebook {
-        let hit = CACHE.with(|c| {
-            c.borrow()
-                .iter()
-                .find(|(k, _)| *k == key)
-                .map(|(_, cb)| cb.clone())
-        });
+    /// Look `key` up in `ctx`'s codebook store, synthesizing via `build`
+    /// on a miss. Hit/miss counts flow into the context's counters.
+    fn cached(ctx: &SimCtx, key: CacheKey, build: impl FnOnce() -> Vec<Sector>) -> Codebook {
+        let store = ctx.ext_or_insert_with(CodebookStore::default);
+        let hit = store
+            .entries
+            .borrow()
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, cb)| cb.clone());
         if let Some(cb) = hit {
-            metrics::record_codebook_hit();
+            ctx.record_codebook_hit();
             return cb;
         }
-        metrics::record_codebook_miss();
+        ctx.record_codebook_miss();
         let cb = Codebook {
             kind: key.kind,
             sectors: Arc::new(build()),
         };
-        CACHE.with(|c| {
-            let mut cache = c.borrow_mut();
-            if cache.len() == CACHE_CAP {
-                cache.remove(0);
-            }
-            cache.push((key, cb.clone()));
-        });
+        let mut cache = store.entries.borrow_mut();
+        if cache.len() == CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((key, cb.clone()));
         cb
     }
     /// Build a directional codebook: `n` sectors with steering azimuths
     /// fanned uniformly over ±`half_span`. The D5000's serviced area is a
     /// 120°-wide cone, but the paper finds it operating over a wider range
     /// indoors, so the default fan reaches ±77.5°.
-    pub fn directional(array: &PhasedArray, n: usize, half_span: f64) -> Codebook {
+    pub fn directional(ctx: &SimCtx, array: &PhasedArray, n: usize, half_span: f64) -> Codebook {
         assert!(n >= 2 && half_span > 0.0 && half_span < PI);
         let key = CacheKey {
             array: array.fingerprint(),
@@ -131,7 +131,7 @@ impl Codebook {
             n,
             half_span_bits: half_span.to_bits(),
         };
-        Codebook::cached(key, || {
+        Codebook::cached(ctx, key, || {
             (0..n)
                 .map(|i| {
                     let frac = i as f64 / (n - 1) as f64;
@@ -148,8 +148,8 @@ impl Codebook {
 
     /// The default directional codebook used by the WiGig device models:
     /// 32 sectors over ±77.5°.
-    pub fn directional_default(array: &PhasedArray) -> Codebook {
-        Codebook::directional(array, 32, 77.5f64.to_radians())
+    pub fn directional_default(ctx: &SimCtx, array: &PhasedArray) -> Codebook {
+        Codebook::directional(ctx, array, 32, 77.5f64.to_radians())
     }
 
     /// Build the 32-entry quasi-omni discovery codebook.
@@ -164,7 +164,7 @@ impl Codebook {
     /// The sweep order is fixed, matching the D5000's repeatable
     /// sub-element sequence (§3.2 relies on this to average patterns
     /// across discovery frames).
-    pub fn quasi_omni_32(array: &PhasedArray) -> Codebook {
+    pub fn quasi_omni_32(ctx: &SimCtx, array: &PhasedArray) -> Codebook {
         let cols = array.config().columns;
         assert!(cols >= 4, "quasi-omni codebook needs at least 4 columns");
         let key = CacheKey {
@@ -173,7 +173,7 @@ impl Codebook {
             n: 32,
             half_span_bits: 0,
         };
-        Codebook::cached(key, || {
+        Codebook::cached(ctx, key, || {
             let phases = [0.0, PI / 2.0, PI, -PI / 2.0];
             let mut sectors = Vec::with_capacity(32);
             let mut id = 0;
@@ -258,9 +258,13 @@ mod tests {
         PhasedArray::new(ArrayConfig::wigig_2x8(11))
     }
 
+    fn ctx() -> SimCtx {
+        SimCtx::new()
+    }
+
     #[test]
     fn directional_codebook_spans_fan() {
-        let cb = Codebook::directional_default(&wigig_array());
+        let cb = Codebook::directional_default(&ctx(), &wigig_array());
         assert_eq!(cb.len(), 32);
         assert_eq!(cb.kind(), CodebookKind::Directional);
         assert!((cb.sector(0).steer.degrees() + 77.5).abs() < 1e-9);
@@ -277,7 +281,7 @@ mod tests {
         // squints badly (that is the paper's point!), but the large
         // majority of inner sectors must still point near their nominal
         // steering azimuth.
-        let cb = Codebook::directional_default(&wigig_array());
+        let cb = Codebook::directional_default(&ctx(), &wigig_array());
         let inner: Vec<_> = cb
             .sectors()
             .iter()
@@ -296,7 +300,7 @@ mod tests {
 
     #[test]
     fn best_toward_picks_matching_sector() {
-        let cb = Codebook::directional_default(&wigig_array());
+        let cb = Codebook::directional_default(&ctx(), &wigig_array());
         let target = Angle::from_degrees(30.0);
         let best = cb.best_toward(target);
         // The chosen sector's gain towards the target beats the average
@@ -312,7 +316,7 @@ mod tests {
 
     #[test]
     fn quasi_omni_has_32_entries() {
-        let cb = Codebook::quasi_omni_32(&wigig_array());
+        let cb = Codebook::quasi_omni_32(&ctx(), &wigig_array());
         assert_eq!(cb.len(), 32);
         assert_eq!(cb.kind(), CodebookKind::QuasiOmni);
         for (i, s) in cb.sectors().iter().enumerate() {
@@ -323,8 +327,9 @@ mod tests {
     #[test]
     fn quasi_omni_wider_than_directional() {
         let arr = wigig_array();
-        let qo = Codebook::quasi_omni_32(&arr);
-        let dir = Codebook::directional_default(&arr);
+        let ctx = ctx();
+        let qo = Codebook::quasi_omni_32(&ctx, &arr);
+        let dir = Codebook::directional_default(&ctx, &arr);
         let qo_hpbw: f64 =
             qo.sectors().iter().map(|s| s.pattern.hpbw()).sum::<f64>() / qo.len() as f64;
         let dir_hpbw: f64 =
@@ -335,8 +340,9 @@ mod tests {
     #[test]
     fn quasi_omni_sweep_order_is_deterministic() {
         let arr = wigig_array();
-        let a = Codebook::quasi_omni_32(&arr);
-        let b = Codebook::quasi_omni_32(&arr);
+        // Distinct contexts: the second build synthesizes from scratch.
+        let a = Codebook::quasi_omni_32(&ctx(), &arr);
+        let b = Codebook::quasi_omni_32(&ctx(), &arr);
         for (sa, sb) in a.sectors().iter().zip(b.sectors()) {
             assert_eq!(sa.pattern.samples(), sb.pattern.samples());
         }
@@ -344,38 +350,50 @@ mod tests {
 
     #[test]
     fn cache_hits_share_sectors_and_count() {
-        clear_thread_cache();
-        mmwave_sim::metrics::reset();
+        let ctx = ctx();
         let arr = wigig_array();
-        let a = Codebook::directional_default(&arr);
-        let b = Codebook::directional_default(&arr);
+        let a = Codebook::directional_default(&ctx, &arr);
+        let b = Codebook::directional_default(&ctx, &arr);
         assert!(
             Arc::ptr_eq(&a.sectors, &b.sectors),
             "hit must share the synthesized sectors"
         );
         // A different error seed is a different fingerprint: no sharing.
-        let c = Codebook::directional_default(&PhasedArray::new(ArrayConfig::wigig_2x8(12)));
+        let c = Codebook::directional_default(&ctx, &PhasedArray::new(ArrayConfig::wigig_2x8(12)));
         assert!(!Arc::ptr_eq(&a.sectors, &c.sectors));
         // Same array, different kind/params: distinct entries.
-        let q = Codebook::quasi_omni_32(&arr);
+        let q = Codebook::quasi_omni_32(&ctx, &arr);
         assert!(!Arc::ptr_eq(&a.sectors, &q.sectors));
-        let s = mmwave_sim::metrics::snapshot();
+        let s = ctx.counters();
         assert_eq!(s.codebook_hits, 1);
         assert_eq!(s.codebook_misses, 3);
-        assert_eq!(thread_cache_len(), 3);
-        clear_thread_cache();
-        assert_eq!(thread_cache_len(), 0);
-        mmwave_sim::metrics::reset();
+        assert_eq!(cache_len(&ctx), 3);
+    }
+
+    #[test]
+    fn distinct_contexts_keep_distinct_caches() {
+        let arr = wigig_array();
+        let ctx_a = ctx();
+        let ctx_b = ctx();
+        let a = Codebook::directional_default(&ctx_a, &arr);
+        let b = Codebook::directional_default(&ctx_b, &arr);
+        assert!(
+            !Arc::ptr_eq(&a.sectors, &b.sectors),
+            "separate contexts must not share cache entries"
+        );
+        assert_eq!(ctx_a.counters().codebook_misses, 1);
+        assert_eq!(ctx_b.counters().codebook_misses, 1);
+        assert_eq!(ctx_b.counters().codebook_hits, 0);
     }
 
     #[test]
     fn cached_codebook_equals_fresh_synthesis() {
-        clear_thread_cache();
+        let ctx = ctx();
         let arr = wigig_array();
-        let first = Codebook::directional_default(&arr);
-        let hit = Codebook::directional_default(&arr);
-        clear_thread_cache();
-        let fresh = Codebook::directional_default(&arr);
+        let first = Codebook::directional_default(&ctx, &arr);
+        let hit = Codebook::directional_default(&ctx, &arr);
+        // A fresh context has an empty cache: full synthesis.
+        let fresh = Codebook::directional_default(&SimCtx::new(), &arr);
         for ((a, b), c) in first
             .sectors()
             .iter()
@@ -385,19 +403,22 @@ mod tests {
             assert_eq!(a.pattern.samples(), b.pattern.samples());
             assert_eq!(a.pattern.samples(), c.pattern.samples());
         }
-        clear_thread_cache();
     }
 
     #[test]
     fn cache_evicts_oldest_beyond_cap() {
-        clear_thread_cache();
+        let ctx = ctx();
         // Distinct error seeds → distinct fingerprints; overflow the cap
         // (tiny 2-sector codebooks keep this fast).
         for seed in 0..(CACHE_CAP as u64 + 4) {
-            Codebook::directional(&PhasedArray::new(ArrayConfig::wigig_2x8(seed)), 2, 0.5);
+            Codebook::directional(
+                &ctx,
+                &PhasedArray::new(ArrayConfig::wigig_2x8(seed)),
+                2,
+                0.5,
+            );
         }
-        assert_eq!(thread_cache_len(), CACHE_CAP);
-        clear_thread_cache();
+        assert_eq!(cache_len(&ctx), CACHE_CAP);
     }
 
     #[test]
@@ -406,7 +427,7 @@ mod tests {
         // the serviced cone (the D5000's spec is a 120°-wide cone, i.e.
         // ±60°): max-over-patterns gain within 12 dB of the best direction.
         // Outside the cone, element roll-off makes holes physical.
-        let cb = Codebook::quasi_omni_32(&wigig_array());
+        let cb = Codebook::quasi_omni_32(&ctx(), &wigig_array());
         let best_of = |a: Angle| -> f64 {
             cb.sectors()
                 .iter()

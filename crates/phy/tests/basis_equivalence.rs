@@ -10,7 +10,8 @@
 //! never with a tolerance.
 
 use mmwave_geom::Angle;
-use mmwave_phy::{calib, codebook, ArrayConfig, Codebook, Complex, PhasedArray};
+use mmwave_phy::{calib, ArrayConfig, Codebook, Complex, PhasedArray};
+use mmwave_sim::ctx::SimCtx;
 
 /// Every canonical device of the paper's measurement rigs.
 fn canonical_arrays() -> Vec<(String, PhasedArray)> {
@@ -117,8 +118,8 @@ fn quasi_omni_patterns_bit_identical() {
 #[test]
 fn whole_codebooks_bit_identical_to_reference_synthesis() {
     for (name, arr) in canonical_arrays() {
-        codebook::clear_thread_cache();
-        let dir = Codebook::directional_default(&arr);
+        // A fresh context per array keeps every synthesis cold.
+        let dir = Codebook::directional_default(&SimCtx::new(), &arr);
         for s in dir.sectors() {
             let w = arr.steering_weights(s.steer);
             assert_bit_identical(
@@ -129,12 +130,20 @@ fn whole_codebooks_bit_identical_to_reference_synthesis() {
         }
         // The 32-entry quasi-omni layout exists only on the 8-column WiGig
         // modules. Its sectors are validated pairwise above; here pin that
-        // the cached codebook reproduces a fresh synthesis exactly.
+        // a cached codebook reproduces a fresh (separate-context) synthesis
+        // exactly.
         if arr.config().columns >= 8 {
-            let qo = Codebook::quasi_omni_32(&arr);
-            codebook::clear_thread_cache();
-            let qo2 = Codebook::quasi_omni_32(&arr);
-            for (a, b) in qo.sectors().iter().zip(qo2.sectors()) {
+            let ctx = SimCtx::new();
+            let qo = Codebook::quasi_omni_32(&ctx, &arr);
+            let qo_hit = Codebook::quasi_omni_32(&ctx, &arr);
+            let qo2 = Codebook::quasi_omni_32(&SimCtx::new(), &arr);
+            for ((a, h), b) in qo.sectors().iter().zip(qo_hit.sectors()).zip(qo2.sectors()) {
+                assert_eq!(
+                    a.pattern.samples(),
+                    h.pattern.samples(),
+                    "{name} qo {}",
+                    a.id
+                );
                 assert_eq!(
                     a.pattern.samples(),
                     b.pattern.samples(),
@@ -144,5 +153,4 @@ fn whole_codebooks_bit_identical_to_reference_synthesis() {
             }
         }
     }
-    codebook::clear_thread_cache();
 }

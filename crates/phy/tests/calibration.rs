@@ -9,6 +9,7 @@
 
 use mmwave_geom::Angle;
 use mmwave_phy::{ArrayConfig, Codebook, PhasedArray};
+use mmwave_sim::ctx::SimCtx;
 
 /// The dock's array (canonical seed).
 fn dock_array() -> PhasedArray {
@@ -25,7 +26,7 @@ fn directional_hpbw_below_20_degrees() {
     // §4.2: "patterns are of highly directional nature with a HPBW below
     // 20 degree".
     for arr in [dock_array(), laptop_array()] {
-        let cb = Codebook::directional_default(&arr);
+        let cb = Codebook::directional_default(&SimCtx::new(), &arr);
         let trained = cb.best_toward(Angle::ZERO);
         let hpbw = trained.pattern.hpbw().to_degrees();
         assert!(hpbw < 20.0, "hpbw {hpbw}");
@@ -42,7 +43,7 @@ fn boresight_side_lobes_minus_4_to_6_db() {
     // −6 dB compared to the main lobe". Allow the physically-derived
     // patterns a little slack around that band.
     for (name, arr) in [("dock", dock_array()), ("laptop", laptop_array())] {
-        let cb = Codebook::directional_default(&arr);
+        let cb = Codebook::directional_default(&SimCtx::new(), &arr);
         let sll = cb
             .best_toward(Angle::ZERO)
             .pattern
@@ -60,7 +61,7 @@ fn boundary_steering_loses_about_10_db() {
     // §4.2: measuring the 70°-rotated pattern required "+10 dB receiver
     // gain" — i.e. ~10 dB less link gain at the array's coverage boundary.
     for arr in [dock_array(), laptop_array()] {
-        let cb = Codebook::directional_default(&arr);
+        let cb = Codebook::directional_default(&SimCtx::new(), &arr);
         let boresight_peak = cb.best_toward(Angle::ZERO).pattern.peak().gain_dbi;
         let target = Angle::from_degrees(70.0);
         let edge_gain = cb.best_toward(target).pattern.gain_dbi(target);
@@ -74,7 +75,7 @@ fn boundary_steering_has_near_0db_side_lobes() {
     // §4.2: at 70° misalignment, "a much higher number of side lobes as
     // strong as −1 dB with respect to the main lobe".
     for (name, arr) in [("dock", dock_array()), ("laptop", laptop_array())] {
-        let cb = Codebook::directional_default(&arr);
+        let cb = Codebook::directional_default(&SimCtx::new(), &arr);
         let target = Angle::from_degrees(70.0);
         let edge = &cb.best_toward(target).pattern;
         let sll = edge.side_lobe_level_db().expect("side lobes exist");
@@ -103,7 +104,7 @@ fn quasi_omni_hpbw_up_to_60_degrees_with_gaps() {
     // §4.2: "the half power beam width (HPBW) can be as wide as 60
     // degrees, each pattern contains several deep gaps".
     let arr = dock_array();
-    let qo = Codebook::quasi_omni_32(&arr);
+    let qo = Codebook::quasi_omni_32(&SimCtx::new(), &arr);
     let widest = qo
         .sectors()
         .iter()
@@ -131,8 +132,8 @@ fn wihd_patterns_wider_than_wigig() {
     // than the D5000" — the premise of the interference analysis.
     let wigig = dock_array();
     let wihd = PhasedArray::new(ArrayConfig::wihd_24(mmwave_phy::calib::WIHD_TX_SEED));
-    let wigig_cb = Codebook::directional_default(&wigig);
-    let wihd_cb = Codebook::directional_default(&wihd);
+    let wigig_cb = Codebook::directional_default(&SimCtx::new(), &wigig);
+    let wihd_cb = Codebook::directional_default(&SimCtx::new(), &wihd);
     let avg = |cb: &Codebook| {
         cb.sectors().iter().map(|s| s.pattern.hpbw()).sum::<f64>() / cb.len() as f64
     };
@@ -144,12 +145,12 @@ fn canonical_seeds_are_stable() {
     // The exact SLL values the experiments were calibrated against.
     // These change only if the synthesis algorithm changes — in which case
     // all calibration must be revisited (update DESIGN.md too).
-    let dock_sll = Codebook::directional_default(&dock_array())
+    let dock_sll = Codebook::directional_default(&SimCtx::new(), &dock_array())
         .best_toward(Angle::ZERO)
         .pattern
         .side_lobe_level_db()
         .expect("sll");
-    let laptop_sll = Codebook::directional_default(&laptop_array())
+    let laptop_sll = Codebook::directional_default(&SimCtx::new(), &laptop_array())
         .best_toward(Angle::ZERO)
         .pattern
         .side_lobe_level_db()

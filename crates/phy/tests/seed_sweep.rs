@@ -16,6 +16,7 @@
 
 use mmwave_geom::Angle;
 use mmwave_phy::{AntennaPattern, ArrayConfig, Codebook, PhasedArray};
+use mmwave_sim::ctx::SimCtx;
 
 struct Metrics {
     hpbw_deg: f64,
@@ -42,12 +43,12 @@ fn strong_lobes(p: &AntennaPattern) -> usize {
 
 fn measure(seed: u64) -> Option<Metrics> {
     let arr = PhasedArray::new(ArrayConfig::wigig_2x8(seed));
-    let cb = Codebook::directional_default(&arr);
+    let cb = Codebook::directional_default(&SimCtx::new(), &arr);
     let aligned = cb.best_toward(Angle::ZERO);
     let sll_db = aligned.pattern.side_lobe_level_db()?;
     let target = Angle::from_degrees(70.0);
     let edge = cb.best_toward(target);
-    let qo = Codebook::quasi_omni_32(&arr);
+    let qo = Codebook::quasi_omni_32(&SimCtx::new(), &arr);
     Some(Metrics {
         hpbw_deg: aligned.pattern.hpbw().to_degrees(),
         sll_db,

@@ -7,6 +7,7 @@
 //! sequential and deterministic — see [`crate::queue`] for the ordering
 //! guarantees.
 
+use crate::ctx::SimCtx;
 use crate::metrics::EngineCounters;
 use crate::queue::{EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
@@ -21,10 +22,10 @@ pub struct Scheduler<W> {
 }
 
 impl<W> Scheduler<W> {
-    fn new() -> Self {
+    fn with_ctx(ctx: &SimCtx) -> Self {
         Scheduler {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_ctx(ctx),
         }
     }
 
@@ -69,11 +70,18 @@ pub struct Engine<W> {
 }
 
 impl<W> Engine<W> {
-    /// Wrap `world` with an empty event queue at t = 0.
+    /// Wrap `world` with an empty event queue at t = 0, reporting into a
+    /// fresh private context.
     pub fn new(world: W) -> Self {
+        Self::with_ctx(world, &SimCtx::new())
+    }
+
+    /// Wrap `world` with an empty event queue at t = 0, streaming queue
+    /// counters into `ctx`.
+    pub fn with_ctx(world: W, ctx: &SimCtx) -> Self {
         Engine {
             world,
-            sched: Scheduler::new(),
+            sched: Scheduler::with_ctx(ctx),
             processed: 0,
         }
     }
@@ -115,17 +123,16 @@ impl<W> Engine<W> {
 
     /// Scheduler activity counters for this engine: events popped and
     /// cancelled, and the deepest the queue ever got. The same counters
-    /// also stream into the thread-local accumulator
-    /// ([`crate::metrics::snapshot`]) so callers that never see the engine
-    /// (the campaign layer running opaque experiments) can still report
-    /// them per run.
+    /// also stream into the [`SimCtx`] the engine was built with, so
+    /// callers that never see the engine (the campaign layer running
+    /// opaque experiments) can still report them per run.
     pub fn metrics(&self) -> EngineCounters {
         EngineCounters {
             events_popped: self.sched.queue.popped(),
             events_cancelled: self.sched.queue.cancelled_count(),
             peak_queue_depth: self.sched.queue.peak_len() as u64,
             // Link-gain cache activity is not an engine-level quantity; it
-            // reaches artifacts through the thread-local accumulator only.
+            // reaches artifacts through the context only.
             ..EngineCounters::default()
         }
     }
@@ -282,21 +289,33 @@ mod tests {
     }
 
     #[test]
-    fn thread_local_accumulator_tracks_engine_activity() {
-        // Run on a dedicated thread so concurrently running tests cannot
-        // perturb this thread's accumulator.
-        std::thread::spawn(|| {
-            crate::metrics::reset();
-            let mut e = Engine::new(W::default());
-            e.schedule(SimTime::from_nanos(1), ev("x"));
-            e.schedule(SimTime::from_nanos(2), ev("y"));
-            e.run_to_idle();
-            let s = crate::metrics::snapshot();
-            assert_eq!(s.events_popped, 2);
-            assert_eq!(s.peak_queue_depth, 2);
-        })
-        .join()
-        .expect("metrics thread");
+    fn context_tracks_engine_activity() {
+        let ctx = SimCtx::new();
+        let mut e = Engine::with_ctx(W::default(), &ctx);
+        e.schedule(SimTime::from_nanos(1), ev("x"));
+        e.schedule(SimTime::from_nanos(2), ev("y"));
+        e.run_to_idle();
+        let s = ctx.counters();
+        assert_eq!(s.events_popped, 2);
+        assert_eq!(s.peak_queue_depth, 2);
+    }
+
+    #[test]
+    fn two_engines_on_one_thread_keep_independent_counters() {
+        let ctx_a = SimCtx::new();
+        let ctx_b = SimCtx::new();
+        let mut a = Engine::with_ctx(W::default(), &ctx_a);
+        let mut b = Engine::with_ctx(W::default(), &ctx_b);
+        for i in 1..=3u64 {
+            a.schedule(SimTime::from_nanos(i), ev("a"));
+        }
+        b.schedule(SimTime::from_nanos(1), ev("b"));
+        // Interleave the two engines on this thread.
+        while a.step() | b.step() {}
+        assert_eq!(ctx_a.counters().events_popped, 3);
+        assert_eq!(ctx_b.counters().events_popped, 1);
+        assert_eq!(ctx_a.counters().peak_queue_depth, 3);
+        assert_eq!(ctx_b.counters().peak_queue_depth, 1);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   Adding a new random component never perturbs the draws of existing ones,
 //!   which keeps regression tests stable.
 //!
+//! [`ctx`] adds the explicit simulation context ([`SimCtx`]): the
+//! counter sink, cache-mode policy, and per-context cache slots that every
+//! layer above threads through instead of reaching for ambient state.
+//!
 //! [`stats`] and [`series`] hold the small statistics toolkit (CDFs,
 //! percentiles, confidence intervals, busy-time accounting, time series)
 //! that the analysis crates share.
@@ -38,6 +42,7 @@
 //! assert_eq!(engine.now(), SimTime::from_millis(1));
 //! ```
 
+pub mod ctx;
 pub mod engine;
 pub mod metrics;
 pub mod queue;
@@ -48,6 +53,7 @@ pub mod time;
 
 /// Convenient re-exports of the types almost every consumer needs.
 pub mod prelude {
+    pub use crate::ctx::{CacheMode, SimCtx};
     pub use crate::engine::{Engine, EventFn, Scheduler};
     pub use crate::metrics::EngineCounters;
     pub use crate::queue::{EventId, EventQueue};

@@ -1,26 +1,18 @@
 //! Engine instrumentation counters.
 //!
-//! Two layers:
+//! [`EngineCounters`] is the plain value type campaign artifacts carry.
+//! Accumulation happens on an explicit [`crate::ctx::SimCtx`]: every
+//! [`crate::queue::EventQueue`] streams its counter updates into the
+//! context it was built with, and downstream caches (link gain, codebook)
+//! record through the same context. A campaign worker builds one fresh
+//! context per task and reads [`crate::ctx::SimCtx::counters`] after the
+//! run — the numbers a task reports depend only on that task, by
+//! construction, which keeps campaign artifacts bitwise deterministic
+//! under any worker count or interleaving.
 //!
-//! * **Per-engine**: every [`crate::engine::Engine`] exposes
-//!   [`crate::engine::Engine::metrics`], computed from its own queue's
-//!   counters — events popped, events cancelled, peak queue depth.
-//! * **Per-thread accumulation** ([`reset`] / [`snapshot`]): experiments
-//!   construct engines and queues internally and out of reach of the
-//!   caller, so [`crate::queue::EventQueue`] streams every counter update
-//!   into a thread-local accumulator (this also covers consumers like the
-//!   MAC simulator that drive an `EventQueue` directly without an engine).
-//!   A campaign worker resets the accumulator before a run and snapshots
-//!   it after, capturing the aggregate scheduler activity of *all* queues
-//!   the run created — without threading a handle through sixteen
-//!   experiment modules.
-//!
-//! The accumulator is thread-local, not global, so concurrent campaign
-//! workers never observe each other's counters: the numbers a task reports
-//! depend only on that task, which keeps campaign artifacts bitwise
-//! deterministic under any worker count.
-
-use std::cell::Cell;
+//! (The previous design accumulated into a `thread_local!` block that the
+//! runner had to reset per task; it was retired in favour of the explicit
+//! context — see DESIGN.md, "Explicit simulation context".)
 
 /// Scheduler activity counters for one run (one engine or one accumulated
 /// task, depending on where they were read).
@@ -48,187 +40,4 @@ pub struct EngineCounters {
     pub codebook_hits: u64,
     /// Codebook requests that had to synthesize all sectors.
     pub codebook_misses: u64,
-}
-
-thread_local! {
-    static POPPED: Cell<u64> = const { Cell::new(0) };
-    static CANCELLED: Cell<u64> = const { Cell::new(0) };
-    static PEAK_DEPTH: Cell<u64> = const { Cell::new(0) };
-    static GAIN_HITS: Cell<u64> = const { Cell::new(0) };
-    static GAIN_MISSES: Cell<u64> = const { Cell::new(0) };
-    static GAIN_INVALIDATIONS: Cell<u64> = const { Cell::new(0) };
-    static SCENARIO_MUTATIONS: Cell<u64> = const { Cell::new(0) };
-    static FAULTS_INJECTED: Cell<u64> = const { Cell::new(0) };
-    static CODEBOOK_HITS: Cell<u64> = const { Cell::new(0) };
-    static CODEBOOK_MISSES: Cell<u64> = const { Cell::new(0) };
-}
-
-/// Zero this thread's accumulator (call before a measured run).
-pub fn reset() {
-    POPPED.with(|c| c.set(0));
-    CANCELLED.with(|c| c.set(0));
-    PEAK_DEPTH.with(|c| c.set(0));
-    GAIN_HITS.with(|c| c.set(0));
-    GAIN_MISSES.with(|c| c.set(0));
-    GAIN_INVALIDATIONS.with(|c| c.set(0));
-    SCENARIO_MUTATIONS.with(|c| c.set(0));
-    FAULTS_INJECTED.with(|c| c.set(0));
-    CODEBOOK_HITS.with(|c| c.set(0));
-    CODEBOOK_MISSES.with(|c| c.set(0));
-}
-
-/// Read this thread's accumulated counters (call after a measured run).
-pub fn snapshot() -> EngineCounters {
-    EngineCounters {
-        events_popped: POPPED.with(Cell::get),
-        events_cancelled: CANCELLED.with(Cell::get),
-        peak_queue_depth: PEAK_DEPTH.with(Cell::get),
-        link_gain_hits: GAIN_HITS.with(Cell::get),
-        link_gain_misses: GAIN_MISSES.with(Cell::get),
-        link_gain_invalidations: GAIN_INVALIDATIONS.with(Cell::get),
-        scenario_mutations: SCENARIO_MUTATIONS.with(Cell::get),
-        faults_injected: FAULTS_INJECTED.with(Cell::get),
-        codebook_hits: CODEBOOK_HITS.with(Cell::get),
-        codebook_misses: CODEBOOK_MISSES.with(Cell::get),
-    }
-}
-
-/// Fold previously captured counters into this thread's accumulator —
-/// additive for the event counts, watermark-max for the queue depth.
-///
-/// For when a computation's *result* is cached and reused: capture the
-/// counter delta while computing, store it with the cached value, and
-/// merge it on every cache hit. Each consumer then reports the same
-/// counters whether it filled the cache or read it, keeping aggregate
-/// metrics independent of scheduling order.
-pub fn merge(c: EngineCounters) {
-    POPPED.with(|p| p.set(p.get() + c.events_popped));
-    CANCELLED.with(|p| p.set(p.get() + c.events_cancelled));
-    PEAK_DEPTH.with(|p| p.set(p.get().max(c.peak_queue_depth)));
-    GAIN_HITS.with(|p| p.set(p.get() + c.link_gain_hits));
-    GAIN_MISSES.with(|p| p.set(p.get() + c.link_gain_misses));
-    GAIN_INVALIDATIONS.with(|p| p.set(p.get() + c.link_gain_invalidations));
-    SCENARIO_MUTATIONS.with(|p| p.set(p.get() + c.scenario_mutations));
-    FAULTS_INJECTED.with(|p| p.set(p.get() + c.faults_injected));
-    CODEBOOK_HITS.with(|p| p.set(p.get() + c.codebook_hits));
-    CODEBOOK_MISSES.with(|p| p.set(p.get() + c.codebook_misses));
-}
-
-pub(crate) fn record_pop() {
-    POPPED.with(|c| c.set(c.get() + 1));
-}
-
-pub(crate) fn record_cancel() {
-    CANCELLED.with(|c| c.set(c.get() + 1));
-}
-
-pub(crate) fn record_depth(depth: usize) {
-    PEAK_DEPTH.with(|c| c.set(c.get().max(depth as u64)));
-}
-
-/// Record a link-gain cache hit. `pub` (unlike the queue hooks) because the
-/// cache lives downstream in `mmwave-channel`.
-pub fn record_link_gain_hit() {
-    GAIN_HITS.with(|c| c.set(c.get() + 1));
-}
-
-/// Record a link-gain cache miss (entry computed or recomputed).
-pub fn record_link_gain_miss() {
-    GAIN_MISSES.with(|c| c.set(c.get() + 1));
-}
-
-/// Record a link-gain cache invalidation event.
-pub fn record_link_gain_invalidation() {
-    GAIN_INVALIDATIONS.with(|c| c.set(c.get() + 1));
-}
-
-/// Record one applied scenario world mutation (the MAC simulator lives
-/// downstream in `mmwave-mac`, hence `pub`).
-pub fn record_scenario_mutation() {
-    SCENARIO_MUTATIONS.with(|c| c.set(c.get() + 1));
-}
-
-/// Record one frame forced to fail by an injected fault window.
-pub fn record_fault_injected() {
-    FAULTS_INJECTED.with(|c| c.set(c.get() + 1));
-}
-
-/// Record a codebook-cache hit (the synthesizer lives downstream in
-/// `mmwave-phy`, hence `pub`).
-pub fn record_codebook_hit() {
-    CODEBOOK_HITS.with(|c| c.set(c.get() + 1));
-}
-
-/// Record a codebook-cache miss (all sectors synthesized).
-pub fn record_codebook_miss() {
-    CODEBOOK_MISSES.with(|c| c.set(c.get() + 1));
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn accumulator_resets_and_counts() {
-        reset();
-        assert_eq!(snapshot(), EngineCounters::default());
-        record_pop();
-        record_pop();
-        record_cancel();
-        record_depth(3);
-        record_depth(1);
-        record_link_gain_hit();
-        record_link_gain_hit();
-        record_link_gain_hit();
-        record_link_gain_miss();
-        record_link_gain_invalidation();
-        record_scenario_mutation();
-        record_scenario_mutation();
-        record_fault_injected();
-        record_codebook_hit();
-        record_codebook_hit();
-        record_codebook_miss();
-        let s = snapshot();
-        assert_eq!(s.events_popped, 2);
-        assert_eq!(s.events_cancelled, 1);
-        assert_eq!(s.peak_queue_depth, 3);
-        assert_eq!(s.link_gain_hits, 3);
-        assert_eq!(s.link_gain_misses, 1);
-        assert_eq!(s.link_gain_invalidations, 1);
-        assert_eq!(s.scenario_mutations, 2);
-        assert_eq!(s.faults_injected, 1);
-        assert_eq!(s.codebook_hits, 2);
-        assert_eq!(s.codebook_misses, 1);
-        reset();
-        assert_eq!(snapshot(), EngineCounters::default());
-    }
-
-    #[test]
-    fn merge_is_additive_with_depth_watermark() {
-        reset();
-        record_depth(5);
-        merge(EngineCounters {
-            events_popped: 10,
-            events_cancelled: 2,
-            peak_queue_depth: 3,
-            link_gain_hits: 7,
-            link_gain_misses: 4,
-            link_gain_invalidations: 1,
-            scenario_mutations: 6,
-            faults_injected: 2,
-            codebook_hits: 9,
-            codebook_misses: 3,
-        });
-        let s = snapshot();
-        assert_eq!(s.events_popped, 10);
-        assert_eq!(s.peak_queue_depth, 5, "depth merges as a watermark");
-        assert_eq!(s.link_gain_hits, 7);
-        assert_eq!(s.link_gain_misses, 4);
-        assert_eq!(s.link_gain_invalidations, 1);
-        assert_eq!(s.scenario_mutations, 6);
-        assert_eq!(s.faults_injected, 2);
-        assert_eq!(s.codebook_hits, 9);
-        assert_eq!(s.codebook_misses, 3);
-        reset();
-    }
 }

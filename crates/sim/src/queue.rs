@@ -6,7 +6,7 @@
 //! Cancellation is *lazy*: a cancelled entry stays in the heap and is
 //! discarded when it surfaces, which keeps `cancel` O(1).
 
-use crate::metrics;
+use crate::ctx::SimCtx;
 use crate::time::SimTime;
 use std::collections::BinaryHeap;
 
@@ -184,6 +184,7 @@ pub struct EventQueue<E> {
     popped: u64,
     cancelled_total: u64,
     peak_live: usize,
+    ctx: SimCtx,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -193,8 +194,15 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue.
+    /// An empty queue streaming counters into a fresh private context.
+    /// Simulations that report counters build through [`Self::with_ctx`].
     pub fn new() -> Self {
+        Self::with_ctx(&SimCtx::new())
+    }
+
+    /// An empty queue streaming its counter updates (pops, cancels, depth
+    /// watermark) into `ctx`.
+    pub fn with_ctx(ctx: &SimCtx) -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             cancelled: U64Set::new(),
@@ -203,6 +211,7 @@ impl<E> EventQueue<E> {
             popped: 0,
             cancelled_total: 0,
             peak_live: 0,
+            ctx: ctx.clone(),
         }
     }
 
@@ -218,7 +227,7 @@ impl<E> EventQueue<E> {
         });
         self.live += 1;
         self.peak_live = self.peak_live.max(self.live);
-        metrics::record_depth(self.live);
+        self.ctx.record_depth(self.live);
         id
     }
 
@@ -240,7 +249,7 @@ impl<E> EventQueue<E> {
                 self.live -= 1;
             }
             self.cancelled_total += 1;
-            metrics::record_cancel();
+            self.ctx.record_cancel();
             true
         } else {
             false
@@ -256,7 +265,7 @@ impl<E> EventQueue<E> {
             }
             self.live -= 1;
             self.popped += 1;
-            metrics::record_pop();
+            self.ctx.record_pop();
             return Some((entry.at, payload));
         }
         None

@@ -27,9 +27,10 @@
 //! use mmwave_transport::{Stack, TcpConfig};
 //!
 //! let mut net = Net::new(Environment::new(Room::open_space()), NetConfig::default());
-//! let dock = net.add_device(Device::wigig_dock("dock", Point::new(0.0, 0.0), Angle::ZERO, 13));
+//! let dock = net.add_device(Device::wigig_dock(
+//!     net.ctx(), "dock", Point::new(0.0, 0.0), Angle::ZERO, 13));
 //! let laptop = net.add_device(Device::wigig_laptop(
-//!     "laptop", Point::new(2.0, 0.0), Angle::from_degrees(180.0), 11));
+//!     net.ctx(), "laptop", Point::new(2.0, 0.0), Angle::from_degrees(180.0), 11));
 //! net.associate_instantly(dock, laptop);
 //!
 //! let mut stack = Stack::new(net);

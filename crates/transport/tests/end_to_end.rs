@@ -16,12 +16,14 @@ fn link_stack(seed: u64, distance_m: f64) -> (Stack, usize, usize) {
         },
     );
     let dock = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         13,
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "laptop",
         Point::new(distance_m, 0.0),
         Angle::from_degrees(180.0),
@@ -136,24 +138,28 @@ fn two_flows_share_two_links() {
         },
     );
     let dock_a = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock A",
         Point::new(0.0, 0.0),
         Angle::from_degrees(90.0),
         13,
     ));
     let lap_a = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "laptop A",
         Point::new(0.0, 6.0),
         Angle::from_degrees(-90.0),
         11,
     ));
     let dock_b = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "dock B",
         Point::new(3.0, 0.0),
         Angle::from_degrees(90.0),
         7,
     ));
     let lap_b = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "laptop B",
         Point::new(3.0, 6.0),
         Angle::from_degrees(-90.0),

@@ -9,12 +9,14 @@
 
 use mmwave_geom::Angle;
 use mmwave_phy::{ArrayConfig, Codebook, PhaseShifter, PhasedArray};
+use mmwave_sim::ctx::SimCtx;
 
 fn main() {
     let array = PhasedArray::new(ArrayConfig::wigig_2x8(13));
+    let ctx = SimCtx::new();
 
     println!("== directional codebook (32 sectors over ±77.5°) ==");
-    let cb = Codebook::directional_default(&array);
+    let cb = Codebook::directional_default(&ctx, &array);
     println!(
         "{:>6}  {:>8}  {:>9}  {:>7}  {:>6}",
         "sector", "steer", "peak dBi", "HPBW", "SLL"
@@ -32,7 +34,7 @@ fn main() {
     }
 
     println!("\n== quasi-omni discovery codebook (Fig. 16's patterns) ==");
-    let qo = Codebook::quasi_omni_32(&array);
+    let qo = Codebook::quasi_omni_32(&ctx, &array);
     let mut gaps_total = 0;
     for s in qo.sectors().iter().take(6) {
         let gaps = s.pattern.gaps(90f64.to_radians(), 6.0);

@@ -13,6 +13,7 @@ use mmwave_core::analysis::reflections::{
 use mmwave_core::report;
 use mmwave_core::scenarios::{reflection_room, RoomSystem};
 use mmwave_mac::NetConfig;
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::{SimDuration, SimTime};
 
 fn main() {
@@ -23,6 +24,7 @@ fn main() {
         .to_ascii_uppercase();
 
     let mut r = reflection_room(
+        &SimCtx::new(),
         RoomSystem::Wigig,
         NetConfig {
             seed: 4,

@@ -11,6 +11,7 @@ use mmwave_core::design::{geometric_mac, mac_switching, power_control};
 use mmwave_core::scenarios::{interference_floor, reflector_rig};
 use mmwave_geom::Angle;
 use mmwave_mac::NetConfig;
+use mmwave_sim::ctx::SimCtx;
 
 fn main() {
     let cfg = NetConfig {
@@ -20,7 +21,7 @@ fn main() {
     };
 
     println!("== principle 1: choose the MAC behaviour per beam pattern ==");
-    let mut f = interference_floor(1.5, Angle::from_degrees(50.0), cfg.clone());
+    let mut f = interference_floor(&SimCtx::new(), 1.5, Angle::from_degrees(50.0), cfg.clone());
     for (name, dev) in [
         ("dock A (aligned)", f.dock_a),
         ("dock B (rotated)", f.dock_b),
@@ -39,7 +40,7 @@ fn main() {
     }
 
     println!("\n== principle 2: include reflections in the interference map ==");
-    let r = reflector_rig(cfg.clone());
+    let r = reflector_rig(&SimCtx::new(), cfg.clone());
     let blind = geometric_mac::predicted_interference_dbm(&r.net, r.hdmi_tx, r.dock, 0);
     let aware = geometric_mac::predicted_interference_dbm(&r.net, r.hdmi_tx, r.dock, 2);
     println!("  Fig. 7 rig, WiHD TX → dock: geometry-only map predicts {blind:.0} dBm (no");
@@ -47,7 +48,7 @@ fn main() {
     println!("  actually costs ≈20% TCP throughput in Fig. 23.");
 
     println!("\n== principle 4: trim power in quasi-static scenes ==");
-    let mut p = mmwave_core::scenarios::point_to_point(2.0, cfg);
+    let mut p = mmwave_core::scenarios::point_to_point(&SimCtx::new(), 2.0, cfg);
     let before = power_control::link_snr_db(&mut p.net, p.dock).expect("link");
     let trim = power_control::apply_to_device(&mut p.net, p.laptop).expect("wigig");
     let after = power_control::link_snr_db(&mut p.net, p.dock).expect("link");

@@ -33,12 +33,14 @@ fn build(with_wihd: bool, seed: u64) -> (Stack, Vec<Link>, Vec<u16>, usize) {
     for (i, name) in ["desk A", "desk B", "desk C"].iter().enumerate() {
         let x = i as f64 * 2.5;
         let dock = net.add_device(Device::wigig_dock(
+            net.ctx(),
             name,
             Point::new(x, 0.0),
             Angle::from_degrees(90.0),
             13 + i as u64 * 2,
         ));
         let laptop = net.add_device(Device::wigig_laptop(
+            net.ctx(),
             name,
             Point::new(x, 4.0),
             Angle::from_degrees(-90.0),
@@ -49,12 +51,14 @@ fn build(with_wihd: bool, seed: u64) -> (Stack, Vec<Link>, Vec<u16>, usize) {
     }
     // A wireless-HDMI media link crossing behind the desks.
     let hdmi_tx = net.add_device(Device::wihd_source(
+        net.ctx(),
         "media",
         Point::new(6.5, 0.5),
         Angle::from_degrees(90.0),
         21,
     ));
     let hdmi_rx = net.add_device(Device::wihd_sink(
+        net.ctx(),
         "media",
         Point::new(6.5, 7.0),
         Angle::from_degrees(-90.0),

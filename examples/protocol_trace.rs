@@ -13,12 +13,14 @@ use mmwave_core::replay::{replay_trace, TapConfig};
 use mmwave_core::scenarios::point_to_point;
 use mmwave_geom::{Angle, Point};
 use mmwave_mac::NetConfig;
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::rng::SimRng;
 use mmwave_sim::time::SimTime;
 
 fn main() {
     // An active 2 m link with a short data exchange.
     let mut p = point_to_point(
+        &SimCtx::new(),
         2.0,
         NetConfig {
             seed: 11,

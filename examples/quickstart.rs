@@ -23,12 +23,14 @@ fn main() {
         },
     );
     let dock = net.add_device(Device::wigig_dock(
+        net.ctx(),
         "Dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         13, // canonical array seed
     ));
     let laptop = net.add_device(Device::wigig_laptop(
+        net.ctx(),
         "Laptop",
         Point::new(2.0, 0.0),
         Angle::from_degrees(180.0),

@@ -21,6 +21,21 @@ cargo test -q --workspace
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> forbidden-pattern gate (ambient state)"
+# All per-run state must live in mmwave_sim::ctx::SimCtx. Thread-locals
+# and mutable statics reintroduce the cross-task bleed the context
+# refactor removed, so they are banned outside the context module
+# itself and test code.
+violations=$(grep -rn 'thread_local!\|static mut' crates/ --include='*.rs' \
+    | grep -v '^crates/sim/src/ctx.rs:' \
+    | grep -v '/tests/' \
+    | grep -vE ':[0-9]+:\s*//' || true)
+if [[ -n "$violations" ]]; then
+    echo "forbidden ambient-state pattern found (use SimCtx instead):"
+    echo "$violations"
+    exit 1
+fi
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> scripts/bench_check.sh"
     scripts/bench_check.sh

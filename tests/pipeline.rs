@@ -7,6 +7,7 @@ use mmwave_core::replay::{replay_trace, TapConfig};
 use mmwave_core::scenarios::{self, point_to_point};
 use mmwave_geom::{Angle, Point};
 use mmwave_mac::NetConfig;
+use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::rng::SimRng;
 use mmwave_sim::time::SimTime;
 use mmwave_transport::{Stack, TcpConfig};
@@ -23,7 +24,7 @@ fn quiet(seed: u64) -> NetConfig {
 /// real MAC exchange, must agree with the MAC's own busy-time accounting.
 #[test]
 fn detector_matches_mac_ground_truth() {
-    let mut p = point_to_point(2.0, quiet(3));
+    let mut p = point_to_point(&SimCtx::new(), 2.0, quiet(3));
     for i in 0..60u64 {
         p.net.push_mpdu(p.dock, 1500, i);
     }
@@ -67,7 +68,7 @@ fn detector_matches_mac_ground_truth() {
 /// the MAC's delivered-byte counter agrees with the receiver's.
 #[test]
 fn byte_accounting_is_consistent() {
-    let p = point_to_point(2.0, quiet(4));
+    let p = point_to_point(&SimCtx::new(), 2.0, quiet(4));
     let (dock, laptop) = (p.dock, p.laptop);
     let mut stack = Stack::new(p.net);
     let flow = stack.add_flow(TcpConfig {
@@ -91,7 +92,7 @@ fn byte_accounting_is_consistent() {
 /// reflection at the next beacon (the Fig. 5/20 story, but dynamic).
 #[test]
 fn reflection_rescues_blocked_link() {
-    let mut b = scenarios::blocked_los_link(quiet(6));
+    let mut b = scenarios::blocked_los_link(&SimCtx::new(), quiet(6));
     // The scenario starts blocked already; verify the trained path works
     // by moving data.
     for i in 0..40u64 {
@@ -118,7 +119,7 @@ fn reflection_rescues_blocked_link() {
 #[test]
 fn scenarios_are_deterministic() {
     let run = || {
-        let mut f = scenarios::interference_floor(1.0, Angle::ZERO, quiet(9));
+        let mut f = scenarios::interference_floor(&SimCtx::new(), 1.0, Angle::ZERO, quiet(9));
         for i in 0..50u64 {
             f.net.push_mpdu(f.dock_a, 1500, i);
         }
@@ -139,7 +140,7 @@ fn scenarios_are_deterministic() {
 /// matches the replayed trace's above-threshold utilization.
 #[test]
 fn monitor_agrees_with_replay() {
-    let mut p = point_to_point(2.0, quiet(12));
+    let mut p = point_to_point(&SimCtx::new(), 2.0, quiet(12));
     let pos = Point::new(1.0, 0.8);
     let mon = p.net.add_monitor(
         pos,
@@ -180,12 +181,14 @@ fn human_blockage_triggers_realignment_rescue() {
     let env = mmwave_channel::Environment::new(room);
     let mut net = mmwave_mac::Net::new(env, quiet(21));
     let dock = net.add_device(mmwave_mac::Device::wigig_dock(
+        net.ctx(),
         "dock",
         Point::new(0.0, 0.0),
         Angle::ZERO,
         13,
     ));
     let laptop = net.add_device(mmwave_mac::Device::wigig_laptop(
+        net.ctx(),
         "laptop",
         Point::new(3.0, 0.0),
         Angle::from_degrees(180.0),
