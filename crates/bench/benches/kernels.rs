@@ -292,39 +292,53 @@ fn bench_mac_second() {
 fn bench_tcp_second() {
     use mmwave_channel::Environment;
     use mmwave_mac::{Device, Net, NetConfig};
-    use mmwave_transport::{Stack, TcpConfig};
-    let ctx = SimCtx::new();
-    bench("transport/tcp_100ms_full_rate", move || {
-        let mut net = Net::with_ctx(
-            Environment::new(Room::open_space()),
-            NetConfig {
-                seed: 1,
-                enable_fading: false,
-                ..NetConfig::default()
-            },
-            &ctx,
-        );
-        net.txlog_mut().set_enabled(false);
-        let dock = net.add_device(Device::wigig_dock(
-            net.ctx(),
-            "d",
-            Point::new(0.0, 0.0),
-            Angle::ZERO,
-            13,
-        ));
-        let laptop = net.add_device(Device::wigig_laptop(
-            net.ctx(),
-            "l",
-            Point::new(2.0, 0.0),
-            Angle::from_degrees(180.0),
-            11,
-        ));
-        net.associate_instantly(dock, laptop);
-        let mut stack = Stack::new(net);
-        let flow = stack.add_flow(TcpConfig::bulk(dock, laptop, 256 * 1024));
-        stack.run_until(SimTime::from_millis(100));
-        stack.flow_stats(flow).bytes_acked
-    });
+    use mmwave_transport::{CcKind, Stack, TcpConfig};
+    // One kernel per congestion algorithm plus the historical default
+    // (Reno via the config default). The default and the explicit Reno
+    // kernel must track each other: any gap is trait-dispatch overhead.
+    let variants: [(&'static str, Option<CcKind>); 4] = [
+        ("transport/tcp_100ms_full_rate", None),
+        ("transport/tcp_100ms_reno", Some(CcKind::Reno)),
+        ("transport/tcp_100ms_cubic", Some(CcKind::Cubic)),
+        ("transport/tcp_100ms_rate_probe", Some(CcKind::RateProbe)),
+    ];
+    for (name, cc) in variants {
+        let ctx = SimCtx::new();
+        bench(name, move || {
+            let mut net = Net::with_ctx(
+                Environment::new(Room::open_space()),
+                NetConfig {
+                    seed: 1,
+                    enable_fading: false,
+                    ..NetConfig::default()
+                },
+                &ctx,
+            );
+            net.txlog_mut().set_enabled(false);
+            let dock = net.add_device(Device::wigig_dock(
+                net.ctx(),
+                "d",
+                Point::new(0.0, 0.0),
+                Angle::ZERO,
+                13,
+            ));
+            let laptop = net.add_device(Device::wigig_laptop(
+                net.ctx(),
+                "l",
+                Point::new(2.0, 0.0),
+                Angle::from_degrees(180.0),
+                11,
+            ));
+            net.associate_instantly(dock, laptop);
+            let mut stack = Stack::new(net);
+            let flow = stack.add_flow(TcpConfig {
+                cc,
+                ..TcpConfig::bulk(dock, laptop, 256 * 1024)
+            });
+            stack.run_until(SimTime::from_millis(100));
+            stack.flow_stats(flow).bytes_acked
+        });
+    }
 }
 
 fn main() {

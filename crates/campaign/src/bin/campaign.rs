@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! campaign [--jobs N] [--seeds A..B | --seeds N] [--quick] [--out DIR]
-//!          [--json] [--list] [all | <id> ...]
+//!          [--cc ALG] [--json] [--list] [all | <id> ...]
 //! ```
 //!
 //! * `--jobs N`    worker threads (default: one per core)
 //! * `--seeds A..B` half-open seed range (`--seeds 1..5` = seeds 1,2,3,4);
 //!   a single number runs just that seed (default: 1)
 //! * `--quick`     quick mode (shorter campaigns, fewer sweep points)
+//! * `--cc ALG`    congestion-control override for every TCP flow
+//!   (`reno`, `cubic`, `rate_probe`; default: each flow's own choice)
 //! * `--out DIR`   write `manifest.json` + `runs/*.json` artifacts
 //! * `--json`      print the manifest JSON to stdout instead of the table
 //! * `--list`      list registered experiments and exit
@@ -25,6 +27,7 @@ struct Cli {
     jobs: usize,
     seeds: Vec<u64>,
     quick: bool,
+    cc: Option<mmwave_transport::CcKind>,
     out_dir: Option<String>,
     json: bool,
     list: bool,
@@ -52,6 +55,7 @@ fn parse_args() -> Result<Cli, String> {
         jobs: 0,
         seeds: vec![1],
         quick: false,
+        cc: None,
         out_dir: None,
         json: false,
         list: false,
@@ -70,6 +74,15 @@ fn parse_args() -> Result<Cli, String> {
             "--seeds" => {
                 let v = args.next().ok_or("--seeds needs a value (N or A..B)")?;
                 cli.seeds = parse_seeds(&v)?;
+            }
+            "--cc" => {
+                let v = args
+                    .next()
+                    .ok_or("--cc needs an algorithm (reno|cubic|rate_probe)")?;
+                cli.cc = Some(
+                    mmwave_transport::CcKind::from_str(&v)
+                        .ok_or_else(|| format!("unknown congestion algorithm: {v}"))?,
+                );
             }
             "--out" => {
                 cli.out_dir = Some(args.next().ok_or("--out needs a directory")?);
@@ -100,7 +113,7 @@ fn main() {
         Ok(c) => c,
         Err(e) => {
             eprintln!(
-                "{e}\nusage: campaign [--jobs N] [--seeds A..B] [--quick] [--out DIR] [--json] [--list] [all | <id> ...]"
+                "{e}\nusage: campaign [--jobs N] [--seeds A..B] [--quick] [--cc ALG] [--out DIR] [--json] [--list] [all | <id> ...]"
             );
             std::process::exit(2);
         }
@@ -125,6 +138,7 @@ fn main() {
         seeds: cli.seeds,
         quick: cli.quick,
         jobs: cli.jobs,
+        cc: cli.cc,
     };
     let result = runner::run(&cfg);
 

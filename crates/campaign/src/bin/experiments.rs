@@ -104,6 +104,7 @@ fn main() {
         seeds: vec![cli.seed],
         quick: cli.quick,
         jobs: cli.jobs,
+        cc: None,
     };
     let result = runner::run(&cfg);
 

@@ -39,6 +39,7 @@
 //!     seeds: vec![1],
 //!     quick: true,
 //!     jobs: 2,
+//!     cc: None,
 //! };
 //! let result = runner::run(&cfg);
 //! assert_eq!(result.records.len(), 1);
@@ -64,6 +65,10 @@ pub struct CampaignConfig {
     pub quick: bool,
     /// Worker threads; 0 means one per available core.
     pub jobs: usize,
+    /// Congestion-control override for every TCP flow the campaign's
+    /// experiments create (`--cc`); `None` keeps each flow's own choice
+    /// (default Reno).
+    pub cc: Option<mmwave_transport::CcKind>,
 }
 
 impl CampaignConfig {
@@ -74,6 +79,7 @@ impl CampaignConfig {
             seeds,
             quick,
             jobs,
+            cc: None,
         }
     }
 
@@ -88,6 +94,7 @@ impl CampaignConfig {
                     seed,
                     quick: self.quick,
                     cache_mode: CacheMode::Cached,
+                    cc: self.cc,
                 });
             }
         }
@@ -121,6 +128,9 @@ pub struct TaskSpec {
     /// `Cached` for production campaigns; equivalence suites run the same
     /// matrix under `Bypass` to prove caching never changes a byte.
     pub cache_mode: CacheMode,
+    /// Congestion-control override installed on the task's context before
+    /// the experiment runs.
+    pub cc: Option<mmwave_transport::CcKind>,
 }
 
 /// How a run ended.
@@ -235,6 +245,7 @@ mod tests {
             seeds: vec![3, 7],
             quick: true,
             jobs: 1,
+            cc: None,
         };
         let tasks = cfg.tasks();
         assert_eq!(tasks.len(), 4);
@@ -257,6 +268,7 @@ mod tests {
             seeds: vec![],
             quick: true,
             jobs: 0,
+            cc: None,
         };
         assert!(cfg.effective_jobs() >= 1);
         let cfg = CampaignConfig {
@@ -264,6 +276,7 @@ mod tests {
             seeds: vec![],
             quick: true,
             jobs: 3,
+            cc: None,
         };
         assert_eq!(cfg.effective_jobs(), 3);
     }

@@ -116,6 +116,9 @@ pub fn run_task(task: &TaskSpec) -> RunRecord {
     // born empty, so the counters (and thus artifact bytes) are a pure
     // function of the task regardless of which worker ran what before.
     let ctx = SimCtx::with_cache_mode(task.cache_mode);
+    if let Some(kind) = task.cc {
+        mmwave_transport::cc::install_override(&ctx, kind);
+    }
     let t0 = Instant::now();
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
         (task.exp.run)(&ctx, task.quick, task.seed)
@@ -239,6 +242,7 @@ mod tests {
             seeds: vec![1, 2],
             quick: true,
             jobs: 3,
+            cc: None,
         };
         let result = run(&cfg);
         assert_eq!(result.records.len(), 6);
@@ -267,6 +271,7 @@ mod tests {
             seeds: vec![5, 9],
             quick: true,
             jobs: 1,
+            cc: None,
         };
         let mut cfg4 = cfg1.clone();
         cfg4.jobs = 4;
@@ -293,6 +298,7 @@ mod tests {
             seed: 3,
             quick: true,
             cache_mode: CacheMode::Cached,
+            cc: None,
         };
         let rec = run_task(&t);
         assert!(rec.status.is_pass());

@@ -36,6 +36,7 @@ fn normalized_artifacts(mode: CacheMode) -> Vec<(String, String)> {
         seeds: vec![1, 2],
         quick: true,
         jobs: 2,
+        cc: None,
     };
     let result = runner::run_with_cache_mode(&cfg, mode);
     let mut files = Vec::new();

@@ -20,6 +20,7 @@ fn table1_config() -> CampaignConfig {
         seeds: vec![1],
         quick: true,
         jobs: 1,
+        cc: None,
     }
 }
 

@@ -24,6 +24,7 @@ fn normalized_artifacts(jobs: usize) -> Vec<(String, String)> {
         seeds: vec![1, 2],
         quick: true,
         jobs,
+        cc: None,
     };
     let result = runner::run(&cfg);
     let mut files = Vec::new();

@@ -44,6 +44,7 @@ fn render_artifacts() -> String {
         seeds: vec![1, 2],
         quick: true,
         jobs: 2,
+        cc: None,
     };
     let result = runner::run(&cfg);
     let mut doc = String::new();

@@ -19,6 +19,7 @@
 //! through function pointers, so adding an experiment is one new entry
 //! and the campaign/CLI layers pick it up untouched.
 
+pub mod cc_compare;
 pub mod churn;
 pub mod dynblock;
 pub mod fig03;
@@ -247,6 +248,13 @@ pub const REGISTRY: &[Experiment] = &[
         cost: CostTier::Slow,
         scenario: "link-churn",
         run: churn::run,
+    },
+    Experiment {
+        id: "cc_compare",
+        title: "Congestion control over a blockage transient: Reno vs CUBIC vs rate-probe",
+        cost: CostTier::Slow,
+        scenario: "dynamic-blocker",
+        run: cc_compare::run,
     },
 ];
 

@@ -58,5 +58,5 @@ pub use frame::{Frame, FrameClass, FrameKind};
 pub use net::{Delivery, Net, NetConfig};
 pub use params::{MacParams, WigigConfig, WihdConfig};
 pub use scenario::{FaultKind, Scenario, ScenarioEvent, WorldMutation};
-pub use stats::DevStats;
+pub use stats::{DevStats, MacMeasurement};
 pub use txlog::{TxLog, TxLogEntry};

@@ -473,6 +473,31 @@ impl Net {
         std::mem::take(&mut self.delivered)
     }
 
+    /// Snapshot the MAC-level measurement of `dev` the transport layer's
+    /// congestion plane consumes: airtime share since run start, the
+    /// current ACK-loss streak, and whether the link is trained. Pure
+    /// read — touches no RNG stream and schedules nothing.
+    pub fn mac_measurement(&self, dev: usize) -> crate::stats::MacMeasurement {
+        let elapsed_ns = self.now.as_nanos();
+        let airtime_share = if elapsed_ns == 0 {
+            0.0
+        } else {
+            self.devices[dev].stats.tx_airtime_ns as f64 / elapsed_ns as f64
+        };
+        match self.devices[dev].wigig() {
+            Some(w) => crate::stats::MacMeasurement {
+                airtime_share,
+                ack_loss_streak: w.ack_fail_streak,
+                associated: w.state == WigigState::Associated,
+            },
+            None => crate::stats::MacMeasurement {
+                airtime_share,
+                ack_loss_streak: 0,
+                associated: false,
+            },
+        }
+    }
+
     // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------
@@ -632,6 +657,7 @@ impl Net {
             delivered: None,
         });
         self.devices[src].stats.frames_tx += 1;
+        self.devices[src].stats.tx_airtime_ns += dur.as_nanos();
         self.record_monitors(src, pattern, extra_power_db, start, end);
         self.queue.schedule(end, NetEv::TxEnd { tx_id });
         (tx_id, end)

@@ -226,6 +226,22 @@ impl Scenario {
         Ok(s)
     }
 
+    /// [`Scenario::from_waypoints`], but reading the trace from a file —
+    /// recorded-trace ingestion for mobility logs captured outside the
+    /// simulator. Errors carry the path for I/O failures and the line
+    /// number for malformed waypoints.
+    pub fn from_waypoints_file(
+        self,
+        dev: usize,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Scenario, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("waypoint file {}: {e}", path.display()))?;
+        self.from_waypoints(dev, &text)
+            .map_err(|e| format!("waypoint file {}: {e}", path.display()))
+    }
+
     /// The scripted events, in insertion order.
     pub fn events(&self) -> &[ScenarioEvent] {
         &self.events
@@ -331,6 +347,59 @@ mod tests {
         assert_eq!(s.events()[1].at, SimTime::from_secs_f64(1.5));
         assert_eq!(position.x, 4.0);
         assert!((orientation.degrees() - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waypoint_file_round_trips_through_disk() {
+        let parsed =
+            parse_waypoints("0 1 2 90\n0.25 1.5 2 90\n3.5 -0.125 2.75 -45\n").expect("parses");
+        let path = std::env::temp_dir().join(format!(
+            "mmwave-waypoints-{}-{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, format_waypoints(&parsed)).expect("write trace");
+        let from_file = Scenario::new()
+            .from_waypoints_file(5, &path)
+            .expect("file trace parses");
+        let from_text = Scenario::new()
+            .from_waypoints(5, &format_waypoints(&parsed))
+            .expect("text trace parses");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(from_file.len(), parsed.len());
+        for (a, b) in from_file.events().iter().zip(from_text.events()) {
+            assert_eq!(a.at, b.at);
+            let (
+                WorldMutation::MoveDevice {
+                    dev: da,
+                    position: pa,
+                    orientation: oa,
+                },
+                WorldMutation::MoveDevice {
+                    dev: db,
+                    position: pb,
+                    orientation: ob,
+                },
+            ) = (&a.mutation, &b.mutation)
+            else {
+                panic!("waypoints must become MoveDevice mutations");
+            };
+            assert_eq!(da, db);
+            assert_eq!((pa.x, pa.y), (pb.x, pb.y));
+            assert_eq!(oa.degrees(), ob.degrees());
+        }
+    }
+
+    #[test]
+    fn waypoint_file_errors_carry_the_path() {
+        let missing = std::env::temp_dir().join("mmwave-waypoints-definitely-missing.txt");
+        let err = Scenario::new()
+            .from_waypoints_file(0, &missing)
+            .expect_err("missing file must error");
+        assert!(
+            err.contains("mmwave-waypoints-definitely-missing.txt"),
+            "{err}"
+        );
     }
 
     #[test]

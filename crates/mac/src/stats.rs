@@ -30,6 +30,8 @@ pub struct DevStats {
     pub discovery_sweeps: u64,
     /// Beam retrainings performed (association + realignments).
     pub retrains: u64,
+    /// Cumulative airtime of transmitted frames (all classes), ns.
+    pub tx_airtime_ns: u64,
 }
 
 impl DevStats {
@@ -50,6 +52,22 @@ impl DevStats {
             self.data_retx as f64 / self.data_tx as f64
         }
     }
+}
+
+/// A folded MAC-level measurement the transport layer reads per flow —
+/// the off-datapath congestion plane's view of the link (airtime burned,
+/// loss streak, association state). Snapshotted by
+/// [`crate::Net::mac_measurement`]; the transport stack folds it into the
+/// flow's next congestion report.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MacMeasurement {
+    /// Fraction of elapsed run time this device spent transmitting.
+    pub airtime_share: f64,
+    /// Consecutive ACK timeouts at the MAC (loss-streak; resets on any
+    /// delivered frame).
+    pub ack_loss_streak: u8,
+    /// True while the device holds a trained association.
+    pub associated: bool,
 }
 
 #[cfg(test)]

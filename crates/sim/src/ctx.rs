@@ -54,6 +54,9 @@ struct CtxInner {
     faults_injected: Cell<u64>,
     codebook_hits: Cell<u64>,
     codebook_misses: Cell<u64>,
+    cc_reports_folded: Cell<u64>,
+    cc_patterns_installed: Cell<u64>,
+    cc_loss_epochs: Cell<u64>,
     cache_mode: CacheMode,
     /// Type-keyed extension slots: downstream crates park their
     /// per-context stores here (codebook cache, TCP-sweep memo). Linear
@@ -74,6 +77,9 @@ impl CtxInner {
             faults_injected: Cell::new(0),
             codebook_hits: Cell::new(0),
             codebook_misses: Cell::new(0),
+            cc_reports_folded: Cell::new(0),
+            cc_patterns_installed: Cell::new(0),
+            cc_loss_epochs: Cell::new(0),
             cache_mode,
             ext: RefCell::new(Vec::new()),
         }
@@ -139,6 +145,9 @@ impl SimCtx {
             faults_injected: c.faults_injected.get(),
             codebook_hits: c.codebook_hits.get(),
             codebook_misses: c.codebook_misses.get(),
+            cc_reports_folded: c.cc_reports_folded.get(),
+            cc_patterns_installed: c.cc_patterns_installed.get(),
+            cc_loss_epochs: c.cc_loss_epochs.get(),
         }
     }
 
@@ -169,6 +178,12 @@ impl SimCtx {
         i.codebook_hits.set(i.codebook_hits.get() + c.codebook_hits);
         i.codebook_misses
             .set(i.codebook_misses.get() + c.codebook_misses);
+        i.cc_reports_folded
+            .set(i.cc_reports_folded.get() + c.cc_reports_folded);
+        i.cc_patterns_installed
+            .set(i.cc_patterns_installed.get() + c.cc_patterns_installed);
+        i.cc_loss_epochs
+            .set(i.cc_loss_epochs.get() + c.cc_loss_epochs);
     }
 
     /// Record an event popped and executed.
@@ -223,6 +238,23 @@ impl SimCtx {
         bump(&self.inner.codebook_misses);
     }
 
+    /// Record one congestion-control measurement report folded into an
+    /// algorithm.
+    pub fn record_cc_report(&self) {
+        bump(&self.inner.cc_reports_folded);
+    }
+
+    /// Record one congestion-control pattern installed on a datapath.
+    pub fn record_cc_pattern(&self) {
+        bump(&self.inner.cc_patterns_installed);
+    }
+
+    /// Record the start of one transport loss epoch (fast-retransmit
+    /// entry or first RTO of a backoff train).
+    pub fn record_cc_loss_epoch(&self) {
+        bump(&self.inner.cc_loss_epochs);
+    }
+
     /// Fetch this context's extension slot of type `T`, installing
     /// `f()` on first access. Clones of a context share slots; distinct
     /// contexts never do.
@@ -272,6 +304,12 @@ mod tests {
         ctx.record_codebook_hit();
         ctx.record_codebook_hit();
         ctx.record_codebook_miss();
+        ctx.record_cc_report();
+        ctx.record_cc_report();
+        ctx.record_cc_report();
+        ctx.record_cc_pattern();
+        ctx.record_cc_pattern();
+        ctx.record_cc_loss_epoch();
         let s = ctx.counters();
         assert_eq!(s.events_popped, 2);
         assert_eq!(s.events_cancelled, 1);
@@ -283,6 +321,9 @@ mod tests {
         assert_eq!(s.faults_injected, 1);
         assert_eq!(s.codebook_hits, 2);
         assert_eq!(s.codebook_misses, 1);
+        assert_eq!(s.cc_reports_folded, 3);
+        assert_eq!(s.cc_patterns_installed, 2);
+        assert_eq!(s.cc_loss_epochs, 1);
     }
 
     #[test]
@@ -300,6 +341,9 @@ mod tests {
             faults_injected: 2,
             codebook_hits: 9,
             codebook_misses: 3,
+            cc_reports_folded: 11,
+            cc_patterns_installed: 8,
+            cc_loss_epochs: 4,
         });
         let s = ctx.counters();
         assert_eq!(s.events_popped, 10);
@@ -311,6 +355,9 @@ mod tests {
         assert_eq!(s.faults_injected, 2);
         assert_eq!(s.codebook_hits, 9);
         assert_eq!(s.codebook_misses, 3);
+        assert_eq!(s.cc_reports_folded, 11);
+        assert_eq!(s.cc_patterns_installed, 8);
+        assert_eq!(s.cc_loss_epochs, 4);
     }
 
     #[test]

@@ -40,4 +40,12 @@ pub struct EngineCounters {
     pub codebook_hits: u64,
     /// Codebook requests that had to synthesize all sectors.
     pub codebook_misses: u64,
+    /// Congestion-control measurement reports folded into an algorithm.
+    pub cc_reports_folded: u64,
+    /// Congestion-control patterns that changed the datapath state
+    /// (installed cwnd or pacing rate differed from the previous one).
+    pub cc_patterns_installed: u64,
+    /// Distinct transport loss epochs (fast-retransmit entries plus first
+    /// RTOs; backed-off retransmit timers within one outage count once).
+    pub cc_loss_epochs: u64,
 }

@@ -1,0 +1,190 @@
+//! CUBIC-style congestion control.
+//!
+//! The window follows `W(t) = C·(t − K)³ + W_max` around the pre-loss
+//! plateau `W_max`: concave while approaching it (fast early recovery of
+//! most of the window, cautious near the old operating point), convex
+//! beyond it (probing accelerates the longer the path stays clean). This
+//! reproduces the qualitative CUBIC shape; it is not an RFC 8312
+//! conformance implementation — the simulator cares about the recovery
+//! *dynamics* relative to Reno's linear climb, not kernel parity.
+
+use super::{CcKind, CongestionAlg, ControlPattern, MeasurementReport};
+
+/// CUBIC scaling constant (windows per s³), the RFC 8312 default.
+const C: f64 = 0.4;
+/// Multiplicative-decrease factor on loss.
+const BETA: f64 = 0.7;
+
+/// CUBIC state.
+#[derive(Debug)]
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Window just before the last reduction (the plateau).
+    w_max: f64,
+    /// When the current congestion-avoidance epoch started (report time,
+    /// seconds since flow start); `None` until the first CA ack.
+    epoch_start: Option<f64>,
+}
+
+impl Cubic {
+    /// Initial state mirrors Reno's: IW = 4, unbounded ssthresh.
+    pub fn new() -> Cubic {
+        Cubic {
+            cwnd: 4.0,
+            ssthresh: 1e9,
+            w_max: 0.0,
+            epoch_start: None,
+        }
+    }
+
+    fn pattern(&self) -> ControlPattern {
+        ControlPattern {
+            cwnd: Some(self.cwnd),
+            rate_bps: None,
+        }
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Cubic {
+        Cubic::new()
+    }
+}
+
+impl CongestionAlg for Cubic {
+    fn kind(&self) -> CcKind {
+        CcKind::Cubic
+    }
+
+    fn on_report(&mut self, r: &MeasurementReport) -> ControlPattern {
+        if r.timeout {
+            self.w_max = self.cwnd.max(1.0);
+            self.ssthresh = (self.cwnd * BETA).max(2.0);
+            self.cwnd = 1.0;
+            self.epoch_start = None;
+            return self.pattern();
+        }
+        if r.loss {
+            self.w_max = self.cwnd.max(1.0);
+            self.cwnd = (self.cwnd * BETA).max(2.0);
+            self.ssthresh = self.cwnd;
+            self.epoch_start = None;
+            return self.pattern();
+        }
+        if r.recovery_exited {
+            self.cwnd = self.ssthresh.max(2.0);
+        }
+        if r.in_recovery || r.newly_acked == 0 {
+            return self.pattern();
+        }
+        if self.cwnd < self.ssthresh {
+            // Slow start, identical to Reno.
+            self.cwnd += r.newly_acked as f64;
+            return self.pattern();
+        }
+        // Congestion avoidance: chase the cubic target.
+        let t0 = *self.epoch_start.get_or_insert(r.now_s);
+        let t = (r.now_s - t0).max(0.0);
+        let w_max = self.w_max.max(self.cwnd);
+        let k = (w_max * (1.0 - BETA) / C).cbrt();
+        let target = C * (t - k).powi(3) + w_max;
+        // Per-segment growth toward the target, floored at Reno's
+        // 1/cwnd-per-ack so the window never stalls on the plateau.
+        let gap = (target - self.cwnd).max(0.0);
+        let step = (gap / self.cwnd).max(1.0 / self.cwnd);
+        self.cwnd += step * r.newly_acked as f64;
+        self.pattern()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack_at(newly: u64, now_s: f64) -> MeasurementReport {
+        MeasurementReport {
+            newly_acked: newly,
+            now_s,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn slow_start_matches_reno() {
+        let mut c = Cubic::new();
+        assert_eq!(c.on_report(&ack_at(4, 0.0)).cwnd, Some(8.0));
+        assert_eq!(c.on_report(&ack_at(8, 0.001)).cwnd, Some(16.0));
+    }
+
+    #[test]
+    fn loss_applies_beta_decrease() {
+        let mut c = Cubic::new();
+        c.on_report(&ack_at(36, 0.0)); // cwnd 40
+        let p = c.on_report(&MeasurementReport {
+            loss: true,
+            inflight: 40.0,
+            in_recovery: true,
+            ..Default::default()
+        });
+        assert_eq!(p.cwnd, Some(40.0 * BETA));
+        assert_eq!(c.w_max, 40.0);
+    }
+
+    #[test]
+    fn growth_is_concave_then_convex_around_w_max() {
+        let mut c = Cubic::new();
+        c.on_report(&ack_at(96, 0.0)); // cwnd 100
+        c.on_report(&MeasurementReport {
+            loss: true,
+            inflight: 100.0,
+            in_recovery: true,
+            ..Default::default()
+        }); // cwnd 70, w_max 100
+            // Drive CA acks at a steady clip for ~8 s of flow time — past the
+            // K = cbrt(w_max·(1−β)/C) ≈ 4.2 s plateau-regrowth horizon — and
+            // record per-step growth.
+        let mut prev = 70.0;
+        let mut steps = Vec::new();
+        for i in 0..400 {
+            let now = 0.01 + i as f64 * 0.02;
+            let w = c.on_report(&ack_at(10, now)).cwnd.unwrap();
+            steps.push(w - prev);
+            prev = w;
+        }
+        let crossed = steps
+            .iter()
+            .scan(70.0, |w, d| {
+                *w += d;
+                Some(*w)
+            })
+            .position(|w| w > 100.0)
+            .expect("window must regrow past w_max");
+        // Concave before the plateau: early steps outpace the steps just
+        // below w_max. Convex after: growth re-accelerates.
+        assert!(
+            steps[0] > steps[crossed.saturating_sub(1)],
+            "concave approach: first step {} vs pre-plateau step {}",
+            steps[0],
+            steps[crossed - 1]
+        );
+        assert!(
+            *steps.last().unwrap() > steps[crossed],
+            "convex probing past the plateau"
+        );
+    }
+
+    #[test]
+    fn timeout_collapses_and_resets_epoch() {
+        let mut c = Cubic::new();
+        c.on_report(&ack_at(60, 0.0));
+        c.on_report(&MeasurementReport {
+            timeout: true,
+            inflight: 64.0,
+            ..Default::default()
+        });
+        assert_eq!(c.cwnd, 1.0);
+        assert_eq!(c.epoch_start, None);
+        assert!(c.ssthresh < 64.0);
+    }
+}

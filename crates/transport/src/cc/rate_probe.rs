@@ -1,0 +1,196 @@
+//! A loss-blind, rate-based controller (BBR-flavoured).
+//!
+//! Instead of reacting to loss, `RateProbe` models the path: the
+//! bottleneck bandwidth is the windowed maximum of recent delivery-rate
+//! samples (`newly_acked / srtt`), the propagation delay is the minimum
+//! RTT seen. It installs a pacing rate — the bandwidth estimate scaled by
+//! a cycling gain that periodically probes for more (1.25) and then
+//! drains the queue it built (0.75) — plus a 2·BDP congestion window as a
+//! safety cap. Loss and timeout reports are deliberately ignored: over a
+//! blockage transient the estimator's bandwidth filter ages out on its
+//! own, and the window never collapses to 1 segment the way Reno/CUBIC
+//! do. That asymmetry is the headline of the `cc_compare` experiment.
+
+use super::{CcKind, CongestionAlg, ControlPattern, MeasurementReport};
+
+/// Delivery-rate samples kept in the windowed-max filter. At one sample
+/// per ACK this spans roughly the last half-dozen RTTs of bulk transfer.
+const BW_WINDOW: usize = 10;
+/// Pacing-gain cycle: one probe, one drain, six cruise phases (the BBR
+/// ProbeBW shape). Advances once per `rtt_min`.
+const GAIN_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// Window gain over the estimated BDP.
+const CWND_GAIN: f64 = 2.0;
+/// Floor for the installed window, segments (matches the initial window).
+const MIN_CWND: f64 = 4.0;
+
+/// Rate-based controller state.
+#[derive(Debug)]
+pub struct RateProbe {
+    /// Recent delivery-rate samples, segments/s (ring buffer).
+    bw_samples: [f64; BW_WINDOW],
+    next_slot: usize,
+    filled: usize,
+    /// Minimum RTT observed, seconds.
+    rtt_min: Option<f64>,
+    /// Report time the gain phase last advanced.
+    phase_start: f64,
+    phase: usize,
+    /// Last installed pattern (re-issued while starving for samples).
+    last: ControlPattern,
+}
+
+impl RateProbe {
+    /// Initial state: no path model yet; the datapath keeps its initial
+    /// 4-segment window until the first RTT sample arrives.
+    pub fn new() -> RateProbe {
+        RateProbe {
+            bw_samples: [0.0; BW_WINDOW],
+            next_slot: 0,
+            filled: 0,
+            rtt_min: None,
+            phase_start: 0.0,
+            phase: 0,
+            last: ControlPattern {
+                cwnd: Some(MIN_CWND),
+                rate_bps: None,
+            },
+        }
+    }
+
+    fn btl_bw(&self) -> f64 {
+        self.bw_samples[..self.filled]
+            .iter()
+            .fold(0.0_f64, |m, &s| m.max(s))
+    }
+}
+
+impl Default for RateProbe {
+    fn default() -> RateProbe {
+        RateProbe::new()
+    }
+}
+
+impl CongestionAlg for RateProbe {
+    fn kind(&self) -> CcKind {
+        CcKind::RateProbe
+    }
+
+    fn on_report(&mut self, r: &MeasurementReport) -> ControlPattern {
+        // Loss-blind: loss/timeout events neither shrink the window nor
+        // slow the pacer. The model only moves on delivery evidence.
+        if r.loss || r.timeout {
+            return self.last;
+        }
+        if let Some(rtt) = r.rtt_min_s.or(r.srtt_s) {
+            self.rtt_min = Some(self.rtt_min.map_or(rtt, |m: f64| m.min(rtt)));
+        }
+        if r.newly_acked > 0 {
+            if let Some(srtt) = r.srtt_s {
+                if srtt > 0.0 {
+                    self.bw_samples[self.next_slot] = r.newly_acked as f64 / srtt;
+                    self.next_slot = (self.next_slot + 1) % BW_WINDOW;
+                    self.filled = (self.filled + 1).min(BW_WINDOW);
+                }
+            }
+        }
+        let (Some(rtt_min), bw) = (self.rtt_min, self.btl_bw()) else {
+            return self.last;
+        };
+        if bw <= 0.0 || rtt_min <= 0.0 {
+            return self.last;
+        }
+        // Advance the gain cycle once per rtt_min.
+        if r.now_s - self.phase_start >= rtt_min {
+            self.phase = (self.phase + 1) % GAIN_CYCLE.len();
+            self.phase_start = r.now_s;
+        }
+        let rate_bps = (GAIN_CYCLE[self.phase] * bw * r.mss as f64 * 8.0).max(1.0) as u64;
+        let cwnd = (CWND_GAIN * bw * rtt_min).max(MIN_CWND);
+        self.last = ControlPattern {
+            cwnd: Some(cwnd),
+            rate_bps: Some(rate_bps.max(1)),
+        };
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delivery(newly: u64, srtt: f64, now_s: f64) -> MeasurementReport {
+        MeasurementReport {
+            newly_acked: newly,
+            srtt_s: Some(srtt),
+            rtt_min_s: Some(srtt),
+            mss: 1500,
+            now_s,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn no_pattern_change_before_first_sample() {
+        let mut rp = RateProbe::new();
+        let p = rp.on_report(&MeasurementReport::default());
+        assert_eq!(p.cwnd, Some(MIN_CWND));
+        assert_eq!(p.rate_bps, None);
+    }
+
+    #[test]
+    fn models_bandwidth_and_installs_rate_and_bdp_window() {
+        let mut rp = RateProbe::new();
+        // 10 segments per 1 ms RTT = 10_000 segments/s = 120 Mb/s at
+        // 1500 B MSS.
+        let p = rp.on_report(&delivery(10, 1e-3, 0.0));
+        let rate = p.rate_bps.expect("rate installed");
+        assert!(
+            (rate as f64 - 1.25 * 10_000.0 * 1500.0 * 8.0).abs() < 1.0,
+            "probe-gain pacing, got {rate}"
+        );
+        // cwnd = 2 * bw * rtt_min = 2 * 10_000 * 1e-3 = 20 segments.
+        assert!((p.cwnd.unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_and_timeout_reports_change_nothing() {
+        let mut rp = RateProbe::new();
+        let before = rp.on_report(&delivery(10, 1e-3, 0.0));
+        let on_loss = rp.on_report(&MeasurementReport {
+            loss: true,
+            inflight: 20.0,
+            ..Default::default()
+        });
+        let on_rto = rp.on_report(&MeasurementReport {
+            timeout: true,
+            inflight: 20.0,
+            ..Default::default()
+        });
+        assert_eq!(on_loss, before, "loss-blind");
+        assert_eq!(on_rto, before, "timeout-blind");
+    }
+
+    #[test]
+    fn gain_cycle_probes_then_drains() {
+        let mut rp = RateProbe::new();
+        let r0 = rp.on_report(&delivery(10, 1e-3, 0.0)).rate_bps.unwrap();
+        // Same bandwidth one rtt_min later: the phase advances to drain.
+        let r1 = rp.on_report(&delivery(10, 1e-3, 2e-3)).rate_bps.unwrap();
+        assert!(r1 < r0, "drain phase after probe: {r1} < {r0}");
+        let r2 = rp.on_report(&delivery(10, 1e-3, 4e-3)).rate_bps.unwrap();
+        assert!(r2 > r1 && r2 < r0, "cruise between drain and probe");
+    }
+
+    #[test]
+    fn bandwidth_filter_is_windowed_max() {
+        let mut rp = RateProbe::new();
+        rp.on_report(&delivery(20, 1e-3, 0.0)); // 20k seg/s spike
+        for i in 0..BW_WINDOW {
+            rp.on_report(&delivery(5, 1e-3, 0.01 + i as f64 * 1e-4));
+        }
+        // The spike has aged out of the window; the estimate follows the
+        // sustained 5k seg/s rate.
+        assert!((rp.btl_bw() - 5_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,186 @@
+//! Reno, extracted verbatim from the datapath.
+//!
+//! Every arithmetic step below is the exact float operation, in the exact
+//! order, that `tcp.rs` used to perform inline. Default campaign runs are
+//! validated byte-identical against pre-refactor golden artifacts, so any
+//! change here — even a mathematically equivalent reordering — is a
+//! behaviour change and will trip the golden-artifact test.
+
+use super::{CcKind, CongestionAlg, ControlPattern, MeasurementReport};
+
+/// Classic Reno state: one window, one threshold.
+#[derive(Debug)]
+pub struct Reno {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl Reno {
+    /// Initial state: IW = 4 segments, ssthresh effectively infinite.
+    pub fn new() -> Reno {
+        Reno {
+            cwnd: 4.0,
+            ssthresh: 1e9,
+        }
+    }
+}
+
+impl Default for Reno {
+    fn default() -> Reno {
+        Reno::new()
+    }
+}
+
+impl CongestionAlg for Reno {
+    fn kind(&self) -> CcKind {
+        CcKind::Reno
+    }
+
+    fn on_report(&mut self, r: &MeasurementReport) -> ControlPattern {
+        if r.timeout {
+            self.ssthresh = (r.inflight / 2.0).max(2.0);
+            self.cwnd = 1.0;
+        } else if r.loss {
+            // Fast retransmit: halve, inflate by the three dup-ACKs.
+            self.ssthresh = (r.inflight / 2.0).max(2.0);
+            self.cwnd = self.ssthresh + 3.0;
+        } else {
+            if r.recovery_exited {
+                self.cwnd = self.ssthresh;
+            }
+            if !r.in_recovery {
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += r.newly_acked as f64; // slow start
+                } else {
+                    self.cwnd += r.newly_acked as f64 / self.cwnd; // congestion avoidance
+                }
+            }
+        }
+        ControlPattern {
+            cwnd: Some(self.cwnd),
+            rate_bps: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(newly: u64) -> MeasurementReport {
+        MeasurementReport {
+            newly_acked: newly,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn slow_start_grows_by_acked_segments() {
+        let mut reno = Reno::new();
+        let p = reno.on_report(&ack(4));
+        assert_eq!(p.cwnd, Some(8.0));
+        assert_eq!(p.rate_bps, None);
+        assert_eq!(reno.on_report(&ack(8)).cwnd, Some(16.0));
+    }
+
+    #[test]
+    fn fast_retransmit_halves_flight_and_inflates() {
+        let mut reno = Reno::new();
+        reno.on_report(&ack(28)); // cwnd 32
+        let p = reno.on_report(&MeasurementReport {
+            loss: true,
+            inflight: 32.0,
+            in_recovery: true,
+            ..Default::default()
+        });
+        assert_eq!(p.cwnd, Some(19.0), "ssthresh 16 + 3 dup-ACK inflation");
+        // Recovery exit deflates to ssthresh; growth is now linear-ish.
+        let p = reno.on_report(&MeasurementReport {
+            newly_acked: 32,
+            recovery_exited: true,
+            ..Default::default()
+        });
+        assert_eq!(p.cwnd, Some(16.0 + 32.0 / 16.0));
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_segment() {
+        let mut reno = Reno::new();
+        reno.on_report(&ack(12)); // cwnd 16
+        let p = reno.on_report(&MeasurementReport {
+            timeout: true,
+            inflight: 16.0,
+            ..Default::default()
+        });
+        assert_eq!(p.cwnd, Some(1.0));
+        // ssthresh floor of 2 segments.
+        let p = reno.on_report(&MeasurementReport {
+            timeout: true,
+            inflight: 1.0,
+            ..Default::default()
+        });
+        assert_eq!(p.cwnd, Some(1.0));
+        assert_eq!(reno.ssthresh, 2.0);
+    }
+
+    /// The trait-folded sequence reproduces the historical inline math on
+    /// a representative event trace, step for step.
+    #[test]
+    fn matches_inline_reference_sequence() {
+        // Reference: the pre-refactor inline implementation.
+        let mut cwnd = 4.0_f64;
+        let mut ssthresh = 1e9_f64;
+        let mut reno = Reno::new();
+        let events: &[MeasurementReport] = &[
+            ack(4),
+            ack(8),
+            ack(16),
+            MeasurementReport {
+                loss: true,
+                inflight: 29.0,
+                in_recovery: true,
+                ..Default::default()
+            },
+            MeasurementReport {
+                newly_acked: 2,
+                in_recovery: true,
+                ..Default::default()
+            },
+            MeasurementReport {
+                newly_acked: 27,
+                recovery_exited: true,
+                ..Default::default()
+            },
+            ack(14),
+            MeasurementReport {
+                timeout: true,
+                inflight: 15.0,
+                ..Default::default()
+            },
+            ack(1),
+            ack(2),
+        ];
+        for r in events {
+            if r.timeout {
+                ssthresh = (r.inflight / 2.0).max(2.0);
+                cwnd = 1.0;
+            } else if r.loss {
+                ssthresh = (r.inflight / 2.0).max(2.0);
+                cwnd = ssthresh + 3.0;
+            } else {
+                if r.recovery_exited {
+                    cwnd = ssthresh;
+                }
+                if !r.in_recovery {
+                    if cwnd < ssthresh {
+                        cwnd += r.newly_acked as f64;
+                    } else {
+                        cwnd += r.newly_acked as f64 / cwnd;
+                    }
+                }
+            }
+            let p = reno.on_report(r);
+            assert_eq!(p.cwnd, Some(cwnd), "bit-exact at event {r:?}");
+        }
+    }
+}

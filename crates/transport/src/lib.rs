@@ -6,11 +6,16 @@
 //! Ethernet interface capping everything near 934 Mb/s. This crate
 //! provides exactly that measurement stack:
 //!
-//! * [`tcp`] — a compact Reno-style TCP: slow start, congestion avoidance,
-//!   fast retransmit on triple duplicate ACKs, RTO with backoff, a window
-//!   clamp (the Iperf `-w` knob) and optional application pacing (for the
-//!   kb/s operating points of Figs. 9–11, which the real setup reached
-//!   through pathological small-window behaviour — see DESIGN.md).
+//! * [`tcp`] — the TCP datapath: loss detection (triple duplicate ACKs,
+//!   RTO with backoff, Karn's RTT sampling), a window clamp (the Iperf
+//!   `-w` knob) and optional application pacing (for the kb/s operating
+//!   points of Figs. 9–11, which the real setup reached through
+//!   pathological small-window behaviour — see DESIGN.md).
+//! * [`cc`] — the pluggable congestion-control plane behind the datapath:
+//!   algorithms ([`cc::reno`], [`cc::cubic`], [`cc::rate_probe`]) fold
+//!   [`MeasurementReport`]s and install [`ControlPattern`]s (window
+//!   and/or pacing rate). Reno is the default and reproduces the
+//!   pre-plane inline implementation byte-for-byte.
 //! * [`ethernet`] — the 1 Gb/s store-and-forward bottleneck between the
 //!   wired Iperf endpoint and the dock's air interface.
 //! * [`stack`] — the co-simulation driver that interleaves TCP timers with
@@ -39,10 +44,12 @@
 //! assert!(stack.flow_stats(flow).bytes_acked > 1_000_000);
 //! ```
 
+pub mod cc;
 pub mod ethernet;
 pub mod stack;
 pub mod tcp;
 
+pub use cc::{CcKind, CongestionAlg, ControlPattern, MeasurementReport};
 pub use ethernet::RateLimiter;
 pub use stack::{FlowId, Stack};
 pub use tcp::{FlowStats, TcpConfig, TcpFlow};

@@ -29,10 +29,13 @@ impl Stack {
         }
     }
 
-    /// Add a TCP flow; it starts transmitting as the clock advances.
+    /// Add a TCP flow; it starts transmitting as the clock advances. The
+    /// flow's congestion plane shares the network's [`SimCtx`], so a
+    /// campaign-level algorithm override applies here.
     pub fn add_flow(&mut self, cfg: TcpConfig) -> FlowId {
         let id = self.flows.len() as u16;
-        let flow = TcpFlow::new(id, cfg, self.net.now());
+        let now = self.net.now();
+        let flow = TcpFlow::with_ctx(id, cfg, now, self.net.ctx());
         self.flows.push(flow);
         id
     }
@@ -81,6 +84,9 @@ impl Stack {
                         if dev != flow.cfg.src_dev {
                             continue;
                         }
+                        // Refresh the congestion plane's MAC-level view
+                        // before the ACK is folded into a report.
+                        flow.note_mac(self.net.mac_measurement(flow.cfg.src_dev));
                         flow.on_ack(seq, now);
                         if let Some(r) = flow.take_fast_retransmit(now) {
                             Self::apply(&mut self.net, vec![r]);

@@ -36,6 +36,25 @@ if [[ -n "$violations" ]]; then
     exit 1
 fi
 
+echo "==> forbidden-pattern gate (congestion math in the datapath)"
+# Congestion control lives in mmwave_transport::cc behind CongestionAlg.
+# The datapath (tcp.rs) only *detects* loss and applies ControlPatterns;
+# any cwnd/ssthresh arithmetic reappearing there means algorithm logic
+# leaked back inline.
+violations=$(grep -nE 'ssthresh|cwnd[[:space:]]*(\+=|-=|\*=|/=|= )' \
+    crates/transport/src/tcp.rs \
+    | grep -vE '^[0-9]+:\s*//' || true)
+if [[ -n "$violations" ]]; then
+    echo "congestion-window arithmetic found in the datapath (move it into crates/transport/src/cc/):"
+    echo "$violations"
+    exit 1
+fi
+
+echo "==> cc_compare quick experiment"
+# The congestion plane's end-to-end check: loss-based and rate-based
+# algorithms must diverge through a blockage transient.
+cargo run --release -q -p mmwave-campaign --bin experiments -- --quick cc_compare
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> scripts/bench_check.sh"
     scripts/bench_check.sh

@@ -14,6 +14,7 @@ fn two_experiment_campaign_roundtrips() {
         seeds: vec![1],
         quick: true,
         jobs: 2,
+        cc: None,
     };
     let result = runner::run(&cfg);
     assert_eq!(result.records.len(), 2);
