@@ -10,7 +10,7 @@ use mmwave_phy::{ArrayConfig, Codebook, McsTable, PhasedArray};
 use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::queue::EventQueue;
 use mmwave_sim::rng::SimRng;
-use mmwave_sim::time::SimTime;
+use mmwave_sim::time::{SimDuration, SimTime};
 
 fn bench_event_queue() {
     bench("event_queue/schedule_pop_10k", || {
@@ -39,6 +39,49 @@ fn bench_event_queue() {
         let mut acc = 0u64;
         while let Some((_, v)) = q.pop() {
             acc = acc.wrapping_add(v);
+        }
+        acc
+    });
+    // Dense interleaved timers across 64 flows. Each flow keeps three
+    // events in flight at once — a short-period pacer, a long RTO that
+    // every pacer fire cancels and pushes back, and a MAC slot boundary
+    // — which is the steady-state shape the transport/MAC co-simulation
+    // feeds the queue. Rescheduling happens at pop time, so the wheel's
+    // near-future slots, cascade path and lazy-cancellation set all stay
+    // hot together.
+    bench("event_queue/dense_timers_64flows", || {
+        const FLOWS: u64 = 64;
+        let mut q = EventQueue::new();
+        let mut rto: Vec<Option<mmwave_sim::queue::EventId>> = vec![None; FLOWS as usize];
+        for f in 0..FLOWS {
+            // Payload encodes (flow, kind): kind 0 pacer, 1 RTO, 2 MAC.
+            q.schedule(SimTime::from_nanos(1_000 + f * 37), f * 3);
+            rto[f as usize] = Some(q.schedule(SimTime::from_nanos(1_000_000 + f * 101), f * 3 + 1));
+            q.schedule(SimTime::from_nanos(5_000 + f * 53), f * 3 + 2);
+        }
+        let mut acc = 0u64;
+        for _ in 0..20_000u32 {
+            let Some((t, v)) = q.pop() else { break };
+            acc = acc.wrapping_add(v);
+            let f = (v / 3) as usize;
+            match v % 3 {
+                0 => {
+                    // Pacer: periodic, and progress resets the RTO.
+                    q.schedule(t + SimDuration::from_nanos(2_357), v);
+                    if let Some(id) = rto[f].take() {
+                        q.cancel(id);
+                    }
+                    rto[f] = Some(q.schedule(t + SimDuration::from_nanos(1_000_000), v + 1));
+                }
+                1 => {
+                    // RTO actually fired (idle flow): back off and rearm.
+                    rto[f] = Some(q.schedule(t + SimDuration::from_nanos(2_000_000), v));
+                }
+                _ => {
+                    // MAC slot boundary: fixed per-flow cadence.
+                    q.schedule(t + SimDuration::from_nanos(4_096 + f as u64 * 17), v);
+                }
+            }
         }
         acc
     });

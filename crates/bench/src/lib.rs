@@ -27,6 +27,17 @@ pub struct BenchConfig {
     pub target: Duration,
     /// Samples (batches) collected per benchmark.
     pub samples: usize,
+    /// Minimum iterations per sample, enforced as long as the whole
+    /// measured phase stays within `budget_cap`. Kernels in the
+    /// milliseconds band otherwise calibrate to 1–3 iterations per
+    /// sample, where every sample is hostage to a single scheduler
+    /// preemption and the recorded median wanders by double-digit
+    /// percentages between runs.
+    pub min_iters: u32,
+    /// Upper bound on the measured phase when `min_iters` inflates it.
+    /// Second-scale bodies (full experiment regenerations) stay at one
+    /// iteration per sample rather than blowing through this cap.
+    pub budget_cap: Duration,
 }
 
 impl Default for BenchConfig {
@@ -34,6 +45,8 @@ impl Default for BenchConfig {
         BenchConfig {
             target: Duration::from_millis(300),
             samples: 10,
+            min_iters: 8,
+            budget_cap: Duration::from_secs(4),
         }
     }
 }
@@ -73,7 +86,14 @@ pub fn bench_with<T>(cfg: BenchConfig, name: &str, mut f: impl FnMut() -> T) -> 
 
     let samples = cfg.samples.max(1);
     let per_sample = cfg.target.as_nanos() / samples as u128;
-    let iters = (per_sample / once.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
+    let mut iters = (per_sample / once.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
+    if iters < cfg.min_iters {
+        // Minimum measurement budget: lift slow-but-not-glacial kernels
+        // to `min_iters` iterations per sample so one preemption cannot
+        // dominate a sample, but never past what `budget_cap` affords.
+        let affordable = cfg.budget_cap.as_nanos() / (samples as u128 * once.as_nanos().max(1));
+        iters = iters.max(affordable.min(cfg.min_iters as u128).max(1) as u32);
+    }
 
     let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
@@ -195,6 +215,7 @@ mod tests {
         let quick = BenchConfig {
             target: Duration::from_micros(200),
             samples: 3,
+            ..BenchConfig::default()
         };
         let r = bench_with(quick, "test/noop", || 1u64 + 1);
         assert_eq!(r.name, "test/noop");
@@ -210,6 +231,30 @@ mod tests {
         assert!(json.contains("\"name\": \"test/noop\""));
         assert!(json.contains("\\\"quoted\\\""), "quotes escaped: {json}");
         assert!(json.contains("\"min_ns\""));
+
+        // Minimum measurement budget: a body slower than target/samples
+        // would calibrate to one iteration per sample; the floor lifts
+        // it to `min_iters` when the budget allows...
+        let floor = BenchConfig {
+            target: Duration::from_micros(300),
+            samples: 2,
+            min_iters: 4,
+            budget_cap: Duration::from_millis(100),
+        };
+        let r = bench_with(floor, "test/slow_floored", || {
+            std::thread::sleep(Duration::from_micros(500))
+        });
+        assert_eq!(r.iters, 4);
+        // ...and stays at what the cap affords when it does not.
+        let capped = BenchConfig {
+            budget_cap: Duration::from_millis(1),
+            ..floor
+        };
+        let r = bench_with(capped, "test/slow_capped", || {
+            std::thread::sleep(Duration::from_micros(500))
+        });
+        assert_eq!(r.iters, 1);
+
         clear_results();
         assert!(results().is_empty());
     }

@@ -15,7 +15,7 @@
 //! Schemas (see DESIGN.md for the field-by-field description):
 //!
 //! * manifest: `schema = "mmwave-campaign/1"`
-//! * run:      `schema = "mmwave-campaign-run/6"` (v2 added the
+//! * run:      `schema = "mmwave-campaign-run/7"` (v2 added the
 //!   `engine.link_gain_*` cache counters; v3 added the `scenario` label
 //!   and the `engine.scenario_mutations` / `engine.faults_injected`
 //!   fault-scenario counters; v4 added the `engine.codebook_hits` /
@@ -24,7 +24,9 @@
 //!   [`mmwave_sim::ctx::SimCtx`] instead of thread-local accumulators —
 //!   same fields, now provably isolated per task; v6 added the
 //!   `engine.cc_reports_folded` / `engine.cc_patterns_installed` /
-//!   `engine.cc_loss_epochs` congestion-plane counters)
+//!   `engine.cc_loss_epochs` congestion-plane counters; v7 added the
+//!   `engine.codebook_prebuilt_hits` counter for cache misses resolved
+//!   from the campaign-wide prebuilt codebook pool)
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -34,7 +36,7 @@ use crate::{CampaignResult, RunRecord, RunStatus};
 use mmwave_sim::metrics::EngineCounters;
 
 pub const MANIFEST_SCHEMA: &str = "mmwave-campaign/1";
-pub const RUN_SCHEMA: &str = "mmwave-campaign-run/6";
+pub const RUN_SCHEMA: &str = "mmwave-campaign-run/7";
 
 fn obj(fields: Vec<(&str, Json)>) -> Json {
     Json::Obj(
@@ -86,6 +88,10 @@ pub fn run_to_json(r: &RunRecord) -> Json {
                 ("faults_injected", Json::Int(r.engine.faults_injected)),
                 ("codebook_hits", Json::Int(r.engine.codebook_hits)),
                 ("codebook_misses", Json::Int(r.engine.codebook_misses)),
+                (
+                    "codebook_prebuilt_hits",
+                    Json::Int(r.engine.codebook_prebuilt_hits),
+                ),
                 ("cc_reports_folded", Json::Int(r.engine.cc_reports_folded)),
                 (
                     "cc_patterns_installed",
@@ -165,6 +171,7 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
             faults_injected: counter("faults_injected")?,
             codebook_hits: counter("codebook_hits")?,
             codebook_misses: counter("codebook_misses")?,
+            codebook_prebuilt_hits: counter("codebook_prebuilt_hits")?,
             cc_reports_folded: counter("cc_reports_folded")?,
             cc_patterns_installed: counter("cc_patterns_installed")?,
             cc_loss_epochs: counter("cc_loss_epochs")?,
@@ -286,6 +293,7 @@ mod tests {
                 faults_injected: 2,
                 codebook_hits: 6,
                 codebook_misses: 4,
+                codebook_prebuilt_hits: 3,
                 cc_reports_folded: 31,
                 cc_patterns_installed: 19,
                 cc_loss_epochs: 2,

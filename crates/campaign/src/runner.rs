@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::{CampaignConfig, CampaignResult, RunRecord, RunStatus, TaskSpec};
+use mmwave_phy::CodebookPrebuild;
 use mmwave_sim::ctx::{CacheMode, SimCtx};
 
 /// Run the campaign matrix; blocks until every task completed.
@@ -54,6 +55,13 @@ fn run_tasks(cfg: &CampaignConfig, mut tasks: Vec<TaskSpec>) -> CampaignResult {
 
     let jobs = cfg.effective_jobs().min(tasks.len()).max(1);
 
+    // Campaign-wide codebook prebuild: pay the cold sector synthesis for
+    // the canonical device arrays exactly once, before any worker starts,
+    // and share the frozen pool into every task's context. Per-task
+    // counters stay a pure function of the task (the pool's contents
+    // depend on nothing a task does), so artifacts remain deterministic.
+    let prebuild = CodebookPrebuild::standard_devices();
+
     let (task_tx, task_rx) = mpsc::channel::<TaskSpec>();
     for t in tasks {
         task_tx.send(t).expect("receiver alive");
@@ -67,9 +75,10 @@ fn run_tasks(cfg: &CampaignConfig, mut tasks: Vec<TaskSpec>) -> CampaignResult {
     for w in 0..jobs {
         let rx = Arc::clone(&shared_rx);
         let tx = rec_tx.clone();
+        let pool = prebuild.clone();
         let handle = std::thread::Builder::new()
             .name(format!("campaign-worker-{w}"))
-            .spawn(move || worker_loop(rx, tx))
+            .spawn(move || worker_loop(rx, tx, pool))
             .expect("spawn campaign worker");
         workers.push(handle);
     }
@@ -94,6 +103,7 @@ fn run_tasks(cfg: &CampaignConfig, mut tasks: Vec<TaskSpec>) -> CampaignResult {
 fn worker_loop(
     rx: Arc<Mutex<mpsc::Receiver<TaskSpec>>>,
     tx: mpsc::Sender<((usize, u64), RunRecord)>,
+    pool: CodebookPrebuild,
 ) {
     loop {
         // Hold the lock only for the receive, not for the run. `recv`
@@ -103,19 +113,34 @@ fn worker_loop(
             Ok(t) => t,
             Err(_) => return,
         };
-        let record = run_task(&task);
+        let record = run_task_prebuilt(&task, &pool);
         if tx.send(((task.exp_index, task.seed), record)).is_err() {
             return; // collector gone; nothing left to report to
         }
     }
 }
 
-/// Execute one matrix cell, isolating panics and collecting metrics.
+/// Execute one matrix cell, isolating panics and collecting metrics,
+/// without a prebuilt codebook pool (standalone/diagnostic use; the
+/// campaign proper goes through [`run_task_prebuilt`]).
 pub fn run_task(task: &TaskSpec) -> RunRecord {
+    run_task_inner(task, None)
+}
+
+/// [`run_task`] with a campaign-wide prebuilt codebook pool installed
+/// into the task's context before the experiment runs.
+pub fn run_task_prebuilt(task: &TaskSpec, pool: &CodebookPrebuild) -> RunRecord {
+    run_task_inner(task, Some(pool))
+}
+
+fn run_task_inner(task: &TaskSpec, pool: Option<&CodebookPrebuild>) -> RunRecord {
     // A fresh context per task: the counters and the codebook cache are
     // born empty, so the counters (and thus artifact bytes) are a pure
     // function of the task regardless of which worker ran what before.
     let ctx = SimCtx::with_cache_mode(task.cache_mode);
+    if let Some(pool) = pool {
+        pool.install(&ctx);
+    }
     if let Some(kind) = task.cc {
         mmwave_transport::cc::install_override(&ctx, kind);
     }

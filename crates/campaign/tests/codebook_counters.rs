@@ -5,8 +5,9 @@
 //! counts land in the task's `SimCtx` and flow into each run's
 //! `engine.codebook_*` artifact fields. Two properties matter:
 //!
-//! 1. a real experiment actually exercises the cache (misses fill it,
-//!    repeat constructions hit it), and
+//! 1. a real experiment actually exercises the cache (cold requests are
+//!    resolved from the campaign-wide prebuilt pool, repeat
+//!    constructions hit the per-context cache), and
 //! 2. the counters are a **pure function of the task** — each task runs
 //!    in a fresh context whose cache is born empty, so a warm worker
 //!    thread reports the same numbers as a cold one.
@@ -29,8 +30,12 @@ fn campaign_runs_report_codebook_cache_activity() {
     let result = runner::run(&table1_config());
     let rec = &result.records[0];
     assert!(
-        rec.engine.codebook_misses > 0,
-        "device construction must synthesize codebooks at least once"
+        rec.engine.codebook_prebuilt_hits > 0,
+        "canonical device construction must resolve from the prebuilt pool"
+    );
+    assert_eq!(
+        rec.engine.codebook_misses, 0,
+        "a canonical-device experiment must never pay cold synthesis itself"
     );
     assert!(
         rec.engine.codebook_hits > 0,
@@ -54,4 +59,41 @@ fn codebook_counters_are_pure_per_task() {
         first.records[0].engine.codebook_misses,
         second.records[0].engine.codebook_misses
     );
+    assert_eq!(
+        first.records[0].engine.codebook_prebuilt_hits,
+        second.records[0].engine.codebook_prebuilt_hits
+    );
+}
+
+#[test]
+fn campaign_pays_cold_synthesis_once_across_tasks() {
+    // Eight tasks (4 experiments × 2 seeds), all built from the canonical
+    // calibration devices: the campaign's single prebuild covers every
+    // task, so no task ever reports a cold synthesis of its own — the
+    // N-task campaign pays the sector synthesis exactly once, up front.
+    let cfg = CampaignConfig {
+        experiments: ["table1", "fig03", "fig08", "fig09"]
+            .iter()
+            .map(|id| experiments::find(id).expect("registered"))
+            .collect(),
+        seeds: vec![1, 2],
+        quick: true,
+        jobs: 2,
+        cc: None,
+    };
+    let result = runner::run(&cfg);
+    assert!(result.records.len() >= 8);
+    for rec in &result.records {
+        assert_eq!(
+            rec.engine.codebook_misses, 0,
+            "{}-s{} synthesized privately despite the campaign prebuild",
+            rec.experiment, rec.seed
+        );
+        assert!(
+            rec.engine.codebook_prebuilt_hits > 0,
+            "{}-s{} never consulted the prebuilt pool",
+            rec.experiment,
+            rec.seed
+        );
+    }
 }

@@ -52,9 +52,9 @@
 
 use crate::environment::Environment;
 use crate::node::RadioNode;
-use mmwave_phy::{db_to_lin, path_loss_db, AntennaPattern, Codebook};
+use mmwave_phy::{db_to_lin, lin_to_db, path_loss_db, AntennaPattern, Codebook};
 use mmwave_sim::ctx::SimCtx;
-use std::collections::HashMap;
+use mmwave_sim::hash::FastMap;
 
 // The cache mode lives on the simulation context; re-exported here because
 // it is, first and foremost, the link-gain cache's policy knob.
@@ -127,6 +127,11 @@ type Stamp = (u64, u64, u64, u64);
 struct GainEntry {
     stamp: Stamp,
     lin: f64,
+    /// `lin_to_db(lin)` memoized at fill time (`NEG_INFINITY` for a dead
+    /// link). The conversion is deterministic in the bits of `lin`, so a
+    /// hit returns exactly what recomputing would — and the per-frame
+    /// receive-power path stays free of `log10`.
+    db: f64,
 }
 
 /// Full sector-pair gain table for one unordered device pair, stored in
@@ -154,9 +159,9 @@ pub struct LinkGainCache {
     ctx: SimCtx,
     pos_gen: Vec<u64>,
     orient_gen: Vec<u64>,
-    pairs: HashMap<(usize, usize), PairEntry>,
-    gains: HashMap<(usize, usize, u32, u32), GainEntry>,
-    tables: HashMap<(usize, usize), TableEntry>,
+    pairs: FastMap<(usize, usize), PairEntry>,
+    gains: FastMap<(usize, usize, u32, u32), GainEntry>,
+    tables: FastMap<(usize, usize), TableEntry>,
     stats: CacheStats,
 }
 
@@ -181,9 +186,9 @@ impl LinkGainCache {
             ctx: ctx.clone(),
             pos_gen: Vec::new(),
             orient_gen: Vec::new(),
-            pairs: HashMap::new(),
-            gains: HashMap::new(),
-            tables: HashMap::new(),
+            pairs: FastMap::default(),
+            gains: FastMap::default(),
+            tables: FastMap::default(),
             stats: CacheStats::default(),
         }
     }
@@ -263,6 +268,37 @@ impl LinkGainCache {
         dst_pat: PatId,
         dst_pattern: &AntennaPattern,
     ) -> f64 {
+        self.link_gain_lin_db(
+            env,
+            src,
+            src_idx,
+            src_pat,
+            src_pattern,
+            dst,
+            dst_idx,
+            dst_pat,
+            dst_pattern,
+        )
+        .0
+    }
+
+    /// [`Self::link_gain_lin`] plus its dB form (`NEG_INFINITY` for a dead
+    /// link). The conversion is memoized with the gain entry, so the warm
+    /// path costs no `log10` — the value is bit-identical to converting
+    /// the linear gain fresh.
+    #[allow(clippy::too_many_arguments)]
+    pub fn link_gain_lin_db(
+        &mut self,
+        env: &Environment,
+        src: &RadioNode,
+        src_idx: usize,
+        src_pat: PatId,
+        src_pattern: &AntennaPattern,
+        dst: &RadioNode,
+        dst_idx: usize,
+        dst_pat: PatId,
+        dst_pattern: &AntennaPattern,
+    ) -> (f64, f64) {
         debug_assert_ne!(src_idx, dst_idx, "self-link has no radiometric meaning");
         self.ensure_device(src_idx.max(dst_idx));
         let src_is_lo = src_idx < dst_idx;
@@ -282,16 +318,22 @@ impl LinkGainCache {
             self.orient_gen[dst_idx],
         );
         let gkey = (src_idx, dst_idx, src_pat.0, dst_pat.0);
-        let hit = matches!(self.gains.get(&gkey), Some(g) if g.stamp == stamp);
-        if hit {
-            self.stats.gain_hits += 1;
-            self.ctx.record_link_gain_hit();
-            if self.mode == CacheMode::Cached {
-                return self.gains[&gkey].lin;
+        let hit = match self.gains.get(&gkey) {
+            Some(g) if g.stamp == stamp => {
+                let (lin, db) = (g.lin, g.db);
+                self.stats.gain_hits += 1;
+                self.ctx.record_link_gain_hit();
+                if self.mode == CacheMode::Cached {
+                    return (lin, db);
+                }
+                // Bypass: fall through and recompute; the interned inputs
+                // are identical, so a correct cache yields a bit-identical
+                // value.
+                true
             }
-            // Bypass: fall through and recompute; the interned inputs are
-            // identical, so a correct cache yields a bit-identical value.
-        } else {
+            _ => false,
+        };
+        if !hit {
             self.stats.gain_misses += 1;
             self.ctx.record_link_gain_miss();
         }
@@ -325,9 +367,14 @@ impl LinkGainCache {
             (&entry.hi_res, &entry.lo_res)
         };
         let lin = weighted_sum(&entry.paths, src_res, src_pattern, dst_res, dst_pattern);
+        let db = if lin > 0.0 {
+            lin_to_db(lin)
+        } else {
+            f64::NEG_INFINITY
+        };
 
-        self.gains.insert(gkey, GainEntry { stamp, lin });
-        lin
+        self.gains.insert(gkey, GainEntry { stamp, lin, db });
+        (lin, db)
     }
 
     /// Best sector pair between `a` and `b` sweeping both codebooks:

@@ -174,6 +174,7 @@ pub fn collect(ctx: &SimCtx, quick: bool, seed: u64) -> Vec<PointData> {
         faults_injected: after.faults_injected - before.faults_injected,
         codebook_hits: after.codebook_hits - before.codebook_hits,
         codebook_misses: after.codebook_misses - before.codebook_misses,
+        codebook_prebuilt_hits: after.codebook_prebuilt_hits - before.codebook_prebuilt_hits,
         cc_reports_folded: after.cc_reports_folded - before.cc_reports_folded,
         cc_patterns_installed: after.cc_patterns_installed - before.cc_patterns_installed,
         cc_loss_epochs: after.cc_loss_epochs - before.cc_loss_epochs,

@@ -48,6 +48,10 @@ pub struct Medium {
     /// Per device: when the channel was last heard busy (above the
     /// carrier-sense threshold) — the basis for AIFS-long idle checks.
     last_heard_end: Vec<SimTime>,
+    /// Spent `power_at` buffers awaiting reuse. A bulk transfer turns over
+    /// thousands of transmissions; recycling the per-frame vector keeps the
+    /// steady-state frame path allocation-free.
+    power_pool: Vec<Vec<f64>>,
 }
 
 impl Medium {
@@ -108,7 +112,7 @@ impl Medium {
     ) -> f64 {
         let dst_key = devices[dst].listen_key();
         let (sd, dd) = (&devices[src], &devices[dst]);
-        let lin = self.cache.link_gain_lin(
+        let (lin, db) = self.cache.link_gain_lin_db(
             env,
             &sd.node,
             src,
@@ -122,7 +126,7 @@ impl Medium {
         if lin <= 0.0 {
             return -300.0;
         }
-        lin_to_db(lin) + env.budget.tx_power_dbm - env.budget.implementation_loss_db
+        db + env.budget.tx_power_dbm - env.budget.implementation_loss_db
             + sd.tx_power_offset_db
             + extra_power_db
             - env.extra_loss_db
@@ -145,16 +149,15 @@ impl Medium {
     ) -> u64 {
         debug_assert_eq!(link_offsets.len(), devices.len());
         let src = frame.src;
-        let power_at: Vec<f64> = (0..devices.len())
-            .map(|d| {
-                if d == src {
-                    -300.0
-                } else {
-                    self.rx_power_dbm(env, devices, src, pattern, d, extra_power_db)
-                        + link_offsets[d]
-                }
-            })
-            .collect();
+        let mut power_at = self.power_pool.pop().unwrap_or_default();
+        power_at.clear();
+        power_at.extend((0..devices.len()).map(|d| {
+            if d == src {
+                -300.0
+            } else {
+                self.rx_power_dbm(env, devices, src, pattern, d, extra_power_db) + link_offsets[d]
+            }
+        }));
 
         // Interference bookkeeping, both directions.
         let mut interference_lin = 0.0;
@@ -239,6 +242,13 @@ impl Medium {
     /// Carrier-sense verdict for `dev` at the given threshold.
     pub fn is_busy_for(&self, dev: usize, threshold_dbm: f64) -> bool {
         self.energy_at(dev) > threshold_dbm
+    }
+
+    /// Return a spent `power_at` buffer to the reuse pool.
+    pub(crate) fn recycle_power(&mut self, v: Vec<f64>) {
+        if self.power_pool.len() < 16 {
+            self.power_pool.push(v);
+        }
     }
 
     /// Is this device currently transmitting?

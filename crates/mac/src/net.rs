@@ -17,6 +17,7 @@ use mmwave_channel::{Ar1Fading, CacheMode, Environment, PerturbationProcess, Rad
 use mmwave_geom::{Angle, Point, PropPath};
 use mmwave_phy::{AntennaPattern, McsTable};
 use mmwave_sim::ctx::SimCtx;
+use mmwave_sim::hash::FastMap;
 use mmwave_sim::queue::EventQueue;
 use mmwave_sim::rng::SimRng;
 use mmwave_sim::stats::BusyTracker;
@@ -150,8 +151,8 @@ pub struct Net {
     pub(crate) rng: SimRng,
     pub(crate) txlog: TxLog,
     pub(crate) delivered: Vec<Delivery>,
-    fading: HashMap<(usize, usize), Ar1Fading>,
-    pub(crate) perturb: HashMap<(usize, usize), PerturbationProcess>,
+    fading: FastMap<(usize, usize), Ar1Fading>,
+    pub(crate) perturb: FastMap<(usize, usize), PerturbationProcess>,
     pub(crate) seq: u64,
     monitors: Vec<UtilizationMonitor>,
     pub(crate) mcs_table: McsTable,
@@ -163,6 +164,22 @@ pub struct Net {
     n_scenario_mutations: u64,
     /// Frames forced to fail by fault windows so far.
     n_faults_injected: u64,
+    /// Reusable fading-offset buffer for [`Net::start_tx`] (one entry per
+    /// device, rebuilt per frame without reallocating).
+    offsets_scratch: Vec<f64>,
+    /// Memoized `Mcs::per` evaluations keyed bit-exactly on
+    /// `(mcs, sinr, bits, noise floor)`. On a static link every data frame
+    /// evaluates the waterfall at identical inputs, so this trades two
+    /// libm calls per frame for a short linear scan. Exact keys mean the
+    /// cached value is exactly what a fresh evaluation would return.
+    per_memo: Vec<((u8, u64, u64, u64), f64)>,
+    /// Memoized noise terms keyed on the bits of the environment's noise
+    /// floor: `(dbm_bits, noise_lin, lin_to_db(noise_lin))`. The
+    /// interference-free SINR path (the overwhelmingly common case on a
+    /// single link) then needs no libm calls at all; `x + 0.0 == x`
+    /// bitwise for the positive `noise_lin`, so reusing the converted
+    /// value is exact.
+    noise_memo: Option<(u64, f64, f64)>,
 }
 
 impl Net {
@@ -189,8 +206,8 @@ impl Net {
             rng,
             txlog: TxLog::new(),
             delivered: Vec::new(),
-            fading: HashMap::new(),
-            perturb: HashMap::new(),
+            fading: FastMap::default(),
+            perturb: FastMap::default(),
             seq: 0,
             monitors: Vec::new(),
             mcs_table: McsTable::ieee_802_11ad(),
@@ -198,6 +215,9 @@ impl Net {
             active_faults: Vec::new(),
             n_scenario_mutations: 0,
             n_faults_injected: 0,
+            offsets_scratch: Vec::new(),
+            per_memo: Vec::new(),
+            noise_memo: None,
         }
     }
 
@@ -473,6 +493,15 @@ impl Net {
         std::mem::take(&mut self.delivered)
     }
 
+    /// [`Self::take_deliveries`] into a caller-owned buffer: `out` is
+    /// cleared, receives the pending deliveries, and donates its
+    /// allocation back to the net — so a driver polling every step never
+    /// allocates in steady state.
+    pub fn drain_deliveries_into(&mut self, out: &mut Vec<Delivery>) {
+        out.clear();
+        std::mem::swap(&mut self.delivered, out);
+    }
+
     /// Snapshot the MAC-level measurement of `dev` the transport layer's
     /// congestion plane consumes: airtime share since run start, the
     /// current ACK-loss streak, and whether the link is trained. Pure
@@ -615,15 +644,15 @@ impl Net {
         let start = self.now;
         let end = start + dur;
 
-        let offsets: Vec<f64> = (0..self.devices.len())
-            .map(|d| {
-                if d == src {
-                    0.0
-                } else {
-                    self.link_offset_db(src, d)
-                }
-            })
-            .collect();
+        let mut offsets = std::mem::take(&mut self.offsets_scratch);
+        offsets.clear();
+        for d in 0..self.devices.len() {
+            offsets.push(if d == src {
+                0.0
+            } else {
+                self.link_offset_db(src, d)
+            });
+        }
 
         let class = frame.kind.class();
         let dst = frame.dst;
@@ -659,6 +688,7 @@ impl Net {
         self.devices[src].stats.frames_tx += 1;
         self.devices[src].stats.tx_airtime_ns += dur.as_nanos();
         self.record_monitors(src, pattern, extra_power_db, start, end);
+        self.offsets_scratch = offsets;
         self.queue.schedule(end, NetEv::TxEnd { tx_id });
         (tx_id, end)
     }
@@ -752,9 +782,12 @@ impl Net {
             } else if tx.dst_was_busy {
                 false
             } else {
-                let noise_lin = mmwave_phy::db_to_lin(self.env.noise_floor_dbm());
-                let sinr =
-                    tx.power_at[dst] - mmwave_phy::lin_to_db(noise_lin + tx.interference_lin);
+                let (noise_lin, noise_db) = self.noise_terms();
+                let sinr = if tx.interference_lin == 0.0 {
+                    tx.power_at[dst] - noise_db
+                } else {
+                    tx.power_at[dst] - mmwave_phy::lin_to_db(noise_lin + tx.interference_lin)
+                };
                 let (mcs_idx, bits) = match &tx.frame.kind {
                     FrameKind::Data { mcs, mpdus, .. } => {
                         (*mcs, crate::frame::data_bits(&self.cfg.params, mpdus))
@@ -763,10 +796,7 @@ impl Net {
                     FrameKind::WihdData { bytes } => (7, *bytes as u64 * 8),
                     _ => (0, 300),
                 };
-                let per = self
-                    .mcs_table
-                    .get(mcs_idx)
-                    .per(sinr, bits, self.env.noise_floor_dbm());
+                let per = self.cached_per(mcs_idx, sinr, bits);
                 let ok = !self.rng.chance(per);
                 if !ok {
                     self.devices[dst].stats.rx_corrupted += 1;
@@ -788,5 +818,37 @@ impl Net {
                 wihd::on_frame_end(self, &tx, delivered)
             }
         }
+        self.medium.recycle_power(tx.power_at);
+    }
+
+    /// Noise floor as `(linear mW, dB)` via the `noise_memo` field.
+    fn noise_terms(&mut self) -> (f64, f64) {
+        let dbm = self.env.noise_floor_dbm();
+        if let Some((bits, lin, db)) = self.noise_memo {
+            if bits == dbm.to_bits() {
+                return (lin, db);
+            }
+        }
+        let lin = mmwave_phy::db_to_lin(dbm);
+        let db = mmwave_phy::lin_to_db(lin);
+        self.noise_memo = Some((dbm.to_bits(), lin, db));
+        (lin, db)
+    }
+
+    /// `Mcs::per` behind a bit-exact memo (see the `per_memo` field).
+    fn cached_per(&mut self, mcs_idx: u8, sinr_db: f64, bits: u64) -> f64 {
+        let noise = self.env.noise_floor_dbm();
+        let key = (mcs_idx, sinr_db.to_bits(), bits, noise.to_bits());
+        if let Some(&(_, p)) = self.per_memo.iter().find(|(k, _)| *k == key) {
+            return p;
+        }
+        let p = self.mcs_table.get(mcs_idx).per(sinr_db, bits, noise);
+        // A handful of live keys (one per frame shape per link); evict the
+        // oldest once a changing scene pushes past that.
+        if self.per_memo.len() >= 8 {
+            self.per_memo.remove(0);
+        }
+        self.per_memo.push((key, p));
+        p
     }
 }

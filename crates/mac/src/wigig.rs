@@ -672,17 +672,23 @@ pub(crate) fn send_next_data(net: &mut Net, dev: usize) {
         // Aggregate as long as the PPDU stays under the duration cap and
         // the aggregation limit.
         let mut mpdus: Vec<Mpdu> = Vec::new();
+        // Running bit total keeps the duration check O(1) per candidate;
+        // it matches `data_airtime`'s sum over the same MPDUs exactly.
+        let mut bits: u64 = 0;
         while mpdus.len() < w.cfg.max_aggregation {
             let Some(&next) = w.queue.front() else { break };
-            let mut candidate = mpdus.clone();
-            candidate.push(next);
-            if crate::frame::data_airtime(&params, &candidate, rate) > w.cfg.max_ppdu_duration
-                && !mpdus.is_empty()
+            bits += (next.bytes + params.mpdu_overhead_bytes) as u64 * 8;
+            mpdus.push(next);
+            if params.data_phy_overhead + mmwave_sim::time::SimDuration::for_bits(bits, rate)
+                > w.cfg.max_ppdu_duration
+                && mpdus.len() > 1
             {
+                // Over the duration cap and not the sole MPDU: the next
+                // segment starts the following PPDU instead.
+                mpdus.pop();
                 break;
             }
             w.queue.pop_front();
-            mpdus = candidate;
         }
         // The remaining queue head starts a fresh batch-wait window.
         w.oldest_wait_start = now;

@@ -42,7 +42,7 @@ pub mod rate_adapt;
 
 pub use antenna::{ArrayConfig, ElementPattern, PhaseShifter};
 pub use array::{ArrayFingerprint, Complex, PhasedArray};
-pub use codebook::{Codebook, CodebookKind, Sector};
+pub use codebook::{Codebook, CodebookKind, CodebookPrebuild, Sector};
 pub use horn::{horn_25dbi, open_waveguide};
 pub use mcs::{Mcs, McsTable, Modulation};
 pub use pattern::{AntennaPattern, Lobe};

@@ -24,6 +24,7 @@
 //! context per task on their own thread).
 
 use crate::metrics::EngineCounters;
+use crate::queue::QueueBackend;
 use std::any::{Any, TypeId};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -54,10 +55,12 @@ struct CtxInner {
     faults_injected: Cell<u64>,
     codebook_hits: Cell<u64>,
     codebook_misses: Cell<u64>,
+    codebook_prebuilt_hits: Cell<u64>,
     cc_reports_folded: Cell<u64>,
     cc_patterns_installed: Cell<u64>,
     cc_loss_epochs: Cell<u64>,
     cache_mode: CacheMode,
+    queue_backend: QueueBackend,
     /// Type-keyed extension slots: downstream crates park their
     /// per-context stores here (codebook cache, TCP-sweep memo). Linear
     /// scan — a context carries a handful of slots at most.
@@ -65,7 +68,7 @@ struct CtxInner {
 }
 
 impl CtxInner {
-    fn new(cache_mode: CacheMode) -> CtxInner {
+    fn new(cache_mode: CacheMode, queue_backend: QueueBackend) -> CtxInner {
         CtxInner {
             events_popped: Cell::new(0),
             events_cancelled: Cell::new(0),
@@ -77,10 +80,12 @@ impl CtxInner {
             faults_injected: Cell::new(0),
             codebook_hits: Cell::new(0),
             codebook_misses: Cell::new(0),
+            codebook_prebuilt_hits: Cell::new(0),
             cc_reports_folded: Cell::new(0),
             cc_patterns_installed: Cell::new(0),
             cc_loss_epochs: Cell::new(0),
             cache_mode,
+            queue_backend,
             ext: RefCell::new(Vec::new()),
         }
     }
@@ -109,21 +114,37 @@ impl std::fmt::Debug for SimCtx {
 }
 
 impl SimCtx {
-    /// A fresh context with zeroed counters and [`CacheMode::Cached`].
+    /// A fresh context with zeroed counters, [`CacheMode::Cached`], and the
+    /// default event-queue backend.
     pub fn new() -> SimCtx {
-        Self::with_cache_mode(CacheMode::default())
+        Self::with_config(CacheMode::default(), QueueBackend::default())
     }
 
     /// A fresh context with an explicit link-gain cache mode.
     pub fn with_cache_mode(mode: CacheMode) -> SimCtx {
+        Self::with_config(mode, QueueBackend::default())
+    }
+
+    /// A fresh context with an explicit event-queue backend.
+    pub fn with_queue_backend(backend: QueueBackend) -> SimCtx {
+        Self::with_config(CacheMode::default(), backend)
+    }
+
+    /// A fresh context with every construction-time policy explicit.
+    pub fn with_config(mode: CacheMode, backend: QueueBackend) -> SimCtx {
         SimCtx {
-            inner: Rc::new(CtxInner::new(mode)),
+            inner: Rc::new(CtxInner::new(mode, backend)),
         }
     }
 
     /// The link-gain cache mode caches built through this context adopt.
     pub fn cache_mode(&self) -> CacheMode {
         self.inner.cache_mode
+    }
+
+    /// The event-queue backend queues built through this context adopt.
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.inner.queue_backend
     }
 
     /// True if `other` is a clone of this context (shares state with it).
@@ -145,6 +166,7 @@ impl SimCtx {
             faults_injected: c.faults_injected.get(),
             codebook_hits: c.codebook_hits.get(),
             codebook_misses: c.codebook_misses.get(),
+            codebook_prebuilt_hits: c.codebook_prebuilt_hits.get(),
             cc_reports_folded: c.cc_reports_folded.get(),
             cc_patterns_installed: c.cc_patterns_installed.get(),
             cc_loss_epochs: c.cc_loss_epochs.get(),
@@ -178,6 +200,8 @@ impl SimCtx {
         i.codebook_hits.set(i.codebook_hits.get() + c.codebook_hits);
         i.codebook_misses
             .set(i.codebook_misses.get() + c.codebook_misses);
+        i.codebook_prebuilt_hits
+            .set(i.codebook_prebuilt_hits.get() + c.codebook_prebuilt_hits);
         i.cc_reports_folded
             .set(i.cc_reports_folded.get() + c.cc_reports_folded);
         i.cc_patterns_installed
@@ -236,6 +260,12 @@ impl SimCtx {
     /// Record a codebook-cache miss (all sectors synthesized).
     pub fn record_codebook_miss(&self) {
         bump(&self.inner.codebook_misses);
+    }
+
+    /// Record a codebook request resolved from a campaign-wide prebuilt
+    /// pool (a cold synthesis avoided).
+    pub fn record_codebook_prebuilt_hit(&self) {
+        bump(&self.inner.codebook_prebuilt_hits);
     }
 
     /// Record one congestion-control measurement report folded into an
@@ -341,6 +371,7 @@ mod tests {
             faults_injected: 2,
             codebook_hits: 9,
             codebook_misses: 3,
+            codebook_prebuilt_hits: 5,
             cc_reports_folded: 11,
             cc_patterns_installed: 8,
             cc_loss_epochs: 4,
@@ -355,6 +386,7 @@ mod tests {
         assert_eq!(s.faults_injected, 2);
         assert_eq!(s.codebook_hits, 9);
         assert_eq!(s.codebook_misses, 3);
+        assert_eq!(s.codebook_prebuilt_hits, 5);
         assert_eq!(s.cc_reports_folded, 11);
         assert_eq!(s.cc_patterns_installed, 8);
         assert_eq!(s.cc_loss_epochs, 4);
@@ -378,6 +410,18 @@ mod tests {
         let b = SimCtx::with_cache_mode(CacheMode::Bypass);
         assert_eq!(b.cache_mode(), CacheMode::Bypass);
         assert_eq!(b.clone().cache_mode(), CacheMode::Bypass);
+    }
+
+    #[test]
+    fn queue_backend_is_set_at_construction() {
+        assert_eq!(SimCtx::new().queue_backend(), QueueBackend::TimerWheel);
+        let h = SimCtx::with_queue_backend(QueueBackend::BinaryHeap);
+        assert_eq!(h.queue_backend(), QueueBackend::BinaryHeap);
+        assert_eq!(h.clone().queue_backend(), QueueBackend::BinaryHeap);
+        assert_eq!(h.cache_mode(), CacheMode::Cached);
+        let both = SimCtx::with_config(CacheMode::Bypass, QueueBackend::BinaryHeap);
+        assert_eq!(both.cache_mode(), CacheMode::Bypass);
+        assert_eq!(both.queue_backend(), QueueBackend::BinaryHeap);
     }
 
     #[test]

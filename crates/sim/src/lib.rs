@@ -44,6 +44,7 @@
 
 pub mod ctx;
 pub mod engine;
+pub mod hash;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
@@ -55,8 +56,9 @@ pub mod time;
 pub mod prelude {
     pub use crate::ctx::{CacheMode, SimCtx};
     pub use crate::engine::{Engine, EventFn, Scheduler};
+    pub use crate::hash::{FastMap, FastSet};
     pub use crate::metrics::EngineCounters;
-    pub use crate::queue::{EventId, EventQueue};
+    pub use crate::queue::{EventId, EventQueue, QueueBackend};
     pub use crate::rng::SimRng;
     pub use crate::series::TimeSeries;
     pub use crate::stats::{BusyTracker, Cdf, OnlineStats};

@@ -40,6 +40,9 @@ pub struct EngineCounters {
     pub codebook_hits: u64,
     /// Codebook requests that had to synthesize all sectors.
     pub codebook_misses: u64,
+    /// Codebook requests resolved from a campaign-wide prebuilt pool
+    /// instead of a per-context cold synthesis.
+    pub codebook_prebuilt_hits: u64,
     /// Congestion-control measurement reports folded into an algorithm.
     pub cc_reports_folded: u64,
     /// Congestion-control patterns that changed the datapath state

@@ -2,13 +2,43 @@
 //!
 //! Events at equal timestamps pop in the order they were scheduled
 //! (FIFO by a monotonically increasing sequence number), which makes the
-//! whole simulation deterministic regardless of heap internals.
-//! Cancellation is *lazy*: a cancelled entry stays in the heap and is
+//! whole simulation deterministic regardless of backend internals.
+//! Cancellation is *lazy*: a cancelled entry stays in the backend and is
 //! discarded when it surfaces, which keeps `cancel` O(1).
+//!
+//! Two backends implement the same `(at, seq)` min-order contract and are
+//! selected per [`SimCtx`] (see [`QueueBackend`]):
+//!
+//! * a **hierarchical timer wheel** (the default) — near-O(1)
+//!   schedule/pop for the dense-timer regime the MAC and transport layers
+//!   generate (per-frame TX timers, RTO, pacer ticks), and
+//! * a **binary heap** — the reference implementation, kept selectable so
+//!   differential tests can prove both backends pop byte-identical event
+//!   orders on randomized schedule/cancel workloads.
 
 use crate::ctx::SimCtx;
 use crate::time::SimTime;
 use std::collections::BinaryHeap;
+
+/// Which data structure backs an [`EventQueue`].
+///
+/// Fixed per [`SimCtx`] at construction, like
+/// [`CacheMode`](crate::ctx::CacheMode): every queue built through a
+/// context adopts the context's backend, so a whole simulation switches
+/// implementations in one place. Both backends honor the same
+/// determinism contract — pop order is strictly `(timestamp, scheduling
+/// sequence)` — so switching backends never changes simulation results,
+/// only wall-clock cost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum QueueBackend {
+    /// Hierarchical timer wheel; near-O(1) per event in the dense-timer
+    /// regime. The production default.
+    #[default]
+    TimerWheel,
+    /// Binary heap; O(log n) per event. The reference implementation
+    /// differential tests compare the wheel against.
+    BinaryHeap,
+}
 
 /// Handle identifying a scheduled event; used to cancel it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -162,6 +192,191 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Slots per wheel level (64 → a `u64` occupancy bitmask per level).
+const WHEEL_SLOTS: usize = 64;
+/// log2 of the level-0 slot width: 2¹⁰ ns ≈ 1 µs, matching the natural
+/// spacing of MAC/transport timers so a slot holds only a few events.
+const WHEEL_SHIFT0: u32 = 10;
+/// Levels. Each level widens slots by 64×, so nine levels cover all 64
+/// bits of `SimTime` (10 + 9·6 = 64) — no overflow list is ever needed.
+const WHEEL_LEVELS: usize = 9;
+
+/// Hierarchical timer wheel keyed by `(at, seq)`.
+///
+/// Every pending event lives either in the **stage** — the sorted
+/// contents of the level-0 slot the cursor currently points at — or in a
+/// level-`l` slot indexed by bits `[sh(l), sh(l)+6)` of its timestamp,
+/// where `l` is the level of the most significant bit in which the
+/// timestamp differs from the cursor. That placement rule yields the two
+/// invariants `advance` relies on:
+///
+/// 1. events at level `l` share the cursor's timestamp bits *above*
+///    level `l`, so they all fall inside the current level-`l+1` slot —
+///    any occupied lower level is therefore strictly earlier than any
+///    occupied higher level; and
+/// 2. their level-`l` slot digit is strictly greater than the cursor's,
+///    so within a level the smallest occupied slot index (one
+///    `trailing_zeros` on the occupancy mask) is the earliest and no
+///    wrap-around ambiguity exists.
+///
+/// Popping drains the stage; when it empties, the cursor jumps straight
+/// to the next occupied slot (no tick-by-tick stepping), cascading
+/// higher-level slots downward as they are reached. Each event cascades
+/// at most `WHEEL_LEVELS − 1` times over its lifetime.
+struct TimerWheel<E> {
+    /// `WHEEL_LEVELS × WHEEL_SLOTS` buckets, level-major.
+    slots: Vec<Vec<Entry<E>>>,
+    /// Per-level bitmask of non-empty slots.
+    occupied: [u64; WHEEL_LEVELS],
+    /// Contents of the cursor's level-0 slot, sorted descending by
+    /// `(at, seq)` so the earliest event pops from the back.
+    stage: Vec<Entry<E>>,
+    /// Cursor: start of the stage's level-0 slot, in nanoseconds.
+    elapsed: u64,
+    /// Total entries held (stage + all slots), including tombstoned ones.
+    items: usize,
+}
+
+impl<E> TimerWheel<E> {
+    fn new() -> Self {
+        TimerWheel {
+            slots: (0..WHEEL_LEVELS * WHEEL_SLOTS)
+                .map(|_| Vec::new())
+                .collect(),
+            occupied: [0; WHEEL_LEVELS],
+            stage: Vec::new(),
+            elapsed: 0,
+            items: 0,
+        }
+    }
+
+    #[inline]
+    fn shift(level: usize) -> u32 {
+        WHEEL_SHIFT0 + 6 * level as u32
+    }
+
+    fn push(&mut self, entry: Entry<E>) {
+        self.items += 1;
+        self.place(entry);
+    }
+
+    /// Bucket `entry` relative to the current cursor.
+    fn place(&mut self, entry: Entry<E>) {
+        let t = entry.at.as_nanos();
+        if (t >> WHEEL_SHIFT0) <= (self.elapsed >> WHEEL_SHIFT0) {
+            // The cursor's own slot, or the past: goes straight into the
+            // stage at its sorted position (descending, pop-from-back).
+            let key = (entry.at, entry.seq);
+            let pos = self.stage.partition_point(|e| (e.at, e.seq) > key);
+            self.stage.insert(pos, entry);
+        } else {
+            // Differing slot ⇒ some bit ≥ WHEEL_SHIFT0 differs.
+            let msb = 63 - (t ^ self.elapsed).leading_zeros();
+            let level = ((msb - WHEEL_SHIFT0) / 6) as usize;
+            let slot = ((t >> Self::shift(level)) & 63) as usize;
+            self.slots[level * WHEEL_SLOTS + slot].push(entry);
+            self.occupied[level] |= 1 << slot;
+        }
+    }
+
+    /// Move the cursor to the next occupied slot and fill the stage.
+    /// Precondition: the stage is empty and `items > 0`.
+    ///
+    /// Buffer discipline: slot `Vec`s are never dropped, only swapped or
+    /// restored, so the steady state performs zero allocations — the
+    /// property that lets the wheel beat the (allocation-free) heap.
+    fn refill_stage(&mut self) {
+        while self.stage.is_empty() {
+            let level = (0..WHEEL_LEVELS)
+                .find(|&l| self.occupied[l] != 0)
+                .expect("wheel holds items but every slot is empty");
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            let idx = level * WHEEL_SLOTS + slot;
+            self.occupied[level] &= !(1u64 << slot);
+            // Jump the cursor to the start of that slot: keep the bits
+            // above the level's digit, set the digit, zero the rest.
+            let sh = Self::shift(level);
+            let prefix = if sh + 6 >= 64 {
+                0
+            } else {
+                self.elapsed >> (sh + 6) << (sh + 6)
+            };
+            self.elapsed = prefix | ((slot as u64) << sh);
+            if level == 0 {
+                // The (empty) stage trades buffers with the slot: the slot
+                // keeps a reusable allocation, the stage gets the entries.
+                std::mem::swap(&mut self.stage, &mut self.slots[idx]);
+                self.stage
+                    .sort_unstable_by(|a, b| (b.at, b.seq).cmp(&(a.at, a.seq)));
+            } else {
+                // Cascade: re-bucket against the advanced cursor. Entries
+                // land strictly below `level` (their timestamps now agree
+                // with the cursor through this level's digit) or in the
+                // stage, never back in this slot — so the drained buffer
+                // can be handed back afterwards, capacity intact.
+                let mut entries = std::mem::take(&mut self.slots[idx]);
+                for e in entries.drain(..) {
+                    self.place(e);
+                }
+                self.slots[idx] = entries;
+            }
+        }
+    }
+
+    fn pop_front(&mut self) -> Option<Entry<E>> {
+        if self.items == 0 {
+            return None;
+        }
+        if self.stage.is_empty() {
+            self.refill_stage();
+        }
+        self.items -= 1;
+        Some(self.stage.pop().expect("refilled stage is non-empty"))
+    }
+
+    fn peek_front(&mut self) -> Option<(SimTime, u64)> {
+        if self.items == 0 {
+            return None;
+        }
+        if self.stage.is_empty() {
+            self.refill_stage();
+        }
+        self.stage.last().map(|e| (e.at, e.seq))
+    }
+}
+
+/// Backend dispatch. Both variants surface entries in `(at, seq)` order;
+/// tombstone filtering happens in the [`EventQueue`] wrapper so the
+/// cancellation semantics are shared code.
+enum Backend<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Wheel(TimerWheel<E>),
+}
+
+impl<E> Backend<E> {
+    fn push(&mut self, at: SimTime, seq: u64, payload: E) {
+        let entry = Entry { at, seq, payload };
+        match self {
+            Backend::Heap(h) => h.push(entry),
+            Backend::Wheel(w) => w.push(entry),
+        }
+    }
+
+    fn pop_front(&mut self) -> Option<(SimTime, u64, E)> {
+        match self {
+            Backend::Heap(h) => h.pop().map(|e| (e.at, e.seq, e.payload)),
+            Backend::Wheel(w) => w.pop_front().map(|e| (e.at, e.seq, e.payload)),
+        }
+    }
+
+    fn peek_front(&mut self) -> Option<(SimTime, u64)> {
+        match self {
+            Backend::Heap(h) => h.peek().map(|e| (e.at, e.seq)),
+            Backend::Wheel(w) => w.peek_front(),
+        }
+    }
+}
+
 /// Priority queue of `(SimTime, payload)` pairs with stable FIFO tie-breaks
 /// and O(1) cancellation.
 ///
@@ -177,13 +392,18 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<(EventId, E)>>,
+    backend: Backend<E>,
     cancelled: U64Set,
     next_seq: u64,
     live: usize,
     popped: u64,
     cancelled_total: u64,
     peak_live: usize,
+    /// Memoized front `(at, seq)` from the last [`Self::peek_time`], valid
+    /// until a pop, a strictly-earlier schedule, or a cancel of that very
+    /// event. Driver loops peek between every event; the memo makes the
+    /// repeat peeks free of backend work (stage refills, tombstone drains).
+    peeked: Option<(SimTime, u64)>,
     ctx: SimCtx,
 }
 
@@ -201,16 +421,28 @@ impl<E> EventQueue<E> {
     }
 
     /// An empty queue streaming its counter updates (pops, cancels, depth
-    /// watermark) into `ctx`.
+    /// watermark) into `ctx`, backed per the context's
+    /// [`queue_backend`](SimCtx::queue_backend) selection.
     pub fn with_ctx(ctx: &SimCtx) -> Self {
+        Self::with_backend(ctx, ctx.queue_backend())
+    }
+
+    /// An empty queue with an explicit backend, overriding the context's
+    /// selection. Differential tests use this to run both backends
+    /// against one workload.
+    pub fn with_backend(ctx: &SimCtx, backend: QueueBackend) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: match backend {
+                QueueBackend::BinaryHeap => Backend::Heap(BinaryHeap::new()),
+                QueueBackend::TimerWheel => Backend::Wheel(TimerWheel::new()),
+            },
             cancelled: U64Set::new(),
             next_seq: 0,
             live: 0,
             popped: 0,
             cancelled_total: 0,
             peak_live: 0,
+            peeked: None,
             ctx: ctx.clone(),
         }
     }
@@ -219,16 +451,17 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let id = EventId(seq);
-        self.heap.push(Entry {
-            at,
-            seq,
-            payload: (id, payload),
-        });
+        // A new event displaces the memoized front only if strictly
+        // earlier — at an equal timestamp the FIFO rule keeps the older
+        // (lower-seq) event in front.
+        if self.peeked.is_some_and(|(t, _)| at < t) {
+            self.peeked = None;
+        }
+        self.backend.push(at, seq, payload);
         self.live += 1;
         self.peak_live = self.peak_live.max(self.live);
         self.ctx.record_depth(self.live);
-        id
+        EventId(seq)
     }
 
     /// Cancel a previously scheduled event. Returns true if the event was
@@ -244,6 +477,9 @@ impl<E> EventQueue<E> {
         if id.0 >= self.next_seq {
             return false;
         }
+        if self.peeked.is_some_and(|(_, s)| s == id.0) {
+            self.peeked = None;
+        }
         if self.cancelled.insert(id.0) {
             if self.live > 0 {
                 self.live -= 1;
@@ -258,29 +494,35 @@ impl<E> EventQueue<E> {
 
     /// Remove and return the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            let (id, payload) = entry.payload;
-            if self.cancelled.remove(id.0) {
+        self.peeked = None;
+        while let Some((at, seq, payload)) = self.backend.pop_front() {
+            if self.cancelled.remove(seq) {
                 continue; // tombstoned
             }
-            self.live -= 1;
+            // Saturating for the same reason `cancel` clamps: a cancel of
+            // an already-popped id spuriously decrements `live`, and the
+            // surviving events must still pop without underflow.
+            self.live = self.live.saturating_sub(1);
             self.popped += 1;
             self.ctx.record_pop();
-            return Some((entry.at, payload));
+            return Some((at, payload));
         }
         None
     }
 
     /// Timestamp of the earliest live event without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        if let Some((at, _)) = self.peeked {
+            return Some(at);
+        }
         // Drain tombstones off the top so peek is accurate.
-        while let Some(top) = self.heap.peek() {
-            let id = top.payload.0;
-            if self.cancelled.contains(id.0) {
-                let e = self.heap.pop().expect("peeked entry vanished");
-                self.cancelled.remove(e.payload.0 .0);
+        while let Some((at, seq)) = self.backend.peek_front() {
+            if self.cancelled.contains(seq) {
+                self.backend.pop_front();
+                self.cancelled.remove(seq);
             } else {
-                return Some(top.at);
+                self.peeked = Some((at, seq));
+                return Some(at);
             }
         }
         None
@@ -448,5 +690,93 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert_eq!(q.len(), 0);
+    }
+
+    fn for_both_backends(f: impl Fn(EventQueue<u64>)) {
+        for backend in [QueueBackend::TimerWheel, QueueBackend::BinaryHeap] {
+            f(EventQueue::with_backend(&SimCtx::new(), backend));
+        }
+    }
+
+    #[test]
+    fn both_backends_pop_in_time_order() {
+        for_both_backends(|mut q| {
+            // Spans all wheel levels: sub-slot, same-level, and far-future
+            // timestamps, scheduled out of order.
+            let times = [
+                7u64,
+                1,
+                1_000,
+                1_023,
+                1_024,
+                65_536,
+                65_537,
+                4_194_304,
+                1 << 40,
+                (1 << 40) + 1,
+                u64::MAX,
+                0,
+                3_000_000_000,
+            ];
+            for (i, &ns) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(ns), i as u64);
+            }
+            let mut sorted = times;
+            sorted.sort();
+            for &ns in &sorted {
+                let (at, _) = q.pop().expect("event present");
+                assert_eq!(at, SimTime::from_nanos(ns));
+            }
+            assert_eq!(q.pop(), None);
+        });
+    }
+
+    #[test]
+    fn wheel_schedules_into_current_slot_after_pops() {
+        // After the cursor has advanced, schedule events at, before, and
+        // just after the cursor; all must still pop in (at, seq) order.
+        let ctx = SimCtx::new();
+        let mut q = EventQueue::with_backend(&ctx, QueueBackend::TimerWheel);
+        q.schedule(SimTime::from_nanos(1 << 20), 0);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1 << 20), 0)));
+        q.schedule(SimTime::from_nanos((1 << 20) + 10), 1);
+        q.schedule(SimTime::from_nanos(5), 2); // in the cursor's past
+        q.schedule(SimTime::from_nanos((1 << 20) + 10), 3); // FIFO with 1
+        q.schedule(SimTime::from_nanos((1 << 20) + 2_000), 4); // next slot
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(5), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos((1 << 20) + 10), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos((1 << 20) + 10), 3)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos((1 << 20) + 2_000), 4)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wheel_interleaves_pops_and_far_schedules() {
+        // Repeatedly pop the front and schedule strictly later events so
+        // the cursor jumps across level boundaries many times.
+        let ctx = SimCtx::new();
+        let mut q = EventQueue::with_backend(&ctx, QueueBackend::TimerWheel);
+        let mut at = 1u64;
+        q.schedule(SimTime::from_nanos(at), 0);
+        for i in 1..200u64 {
+            let (got, _) = q.pop().expect("front event");
+            assert_eq!(got.as_nanos(), at);
+            at = at.wrapping_mul(3).wrapping_add(i) % (1 << 50) + at + 1;
+            q.schedule(SimTime::from_nanos(at), i);
+        }
+    }
+
+    #[test]
+    fn both_backends_equal_times_pop_fifo_after_advance() {
+        for_both_backends(|mut q| {
+            q.schedule(t(50), 0);
+            assert!(q.pop().is_some());
+            for i in 1..=64u64 {
+                q.schedule(t(70), i);
+            }
+            for i in 1..=64u64 {
+                assert_eq!(q.pop(), Some((t(70), i)));
+            }
+        });
     }
 }

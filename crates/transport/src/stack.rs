@@ -18,6 +18,18 @@ pub struct Stack {
     /// The underlying MAC/PHY simulation.
     pub net: Net,
     flows: Vec<TcpFlow>,
+    /// Scratch buffers reused across the run loop (the loop services
+    /// tens of thousands of pumps and deliveries per simulated second;
+    /// steady state must not allocate).
+    actions: Vec<TcpAction>,
+    deliveries: Vec<Delivery>,
+    /// Per-flow `next_timer()` memo plus dirty flags. Flows mutate only
+    /// through this type, so a clean flow's next timer is still valid on
+    /// the following loop iteration — the evaluation (a dozen field
+    /// comparisons per flow per event) runs only after the flow was
+    /// actually touched.
+    timers: Vec<Option<SimTime>>,
+    timer_dirty: Vec<bool>,
 }
 
 impl Stack {
@@ -26,6 +38,10 @@ impl Stack {
         Stack {
             net,
             flows: Vec::new(),
+            actions: Vec::new(),
+            deliveries: Vec::new(),
+            timers: Vec::new(),
+            timer_dirty: Vec::new(),
         }
     }
 
@@ -37,6 +53,8 @@ impl Stack {
         let now = self.net.now();
         let flow = TcpFlow::with_ctx(id, cfg, now, self.net.ctx());
         self.flows.push(flow);
+        self.timers.push(None);
+        self.timer_dirty.push(true);
         id
     }
 
@@ -55,31 +73,38 @@ impl Stack {
         self.flows[id as usize].finished()
     }
 
-    fn apply(net: &mut Net, actions: Vec<TcpAction>) {
-        for a in actions {
-            match a {
-                TcpAction::Push { dev, bytes, tag } => {
-                    net.push_mpdu(dev, bytes, tag);
-                }
+    fn apply_one(net: &mut Net, action: TcpAction) {
+        match action {
+            TcpAction::Push { dev, bytes, tag } => {
+                net.push_mpdu(dev, bytes, tag);
             }
         }
     }
 
-    fn pump_flow(net: &mut Net, flow: &mut TcpFlow, now: SimTime) {
+    fn pump_flow(net: &mut Net, flow: &mut TcpFlow, now: SimTime, scratch: &mut Vec<TcpAction>) {
         let qlen = net.queue_len(flow.cfg.src_dev);
-        let actions = flow.pump(now, qlen);
-        Self::apply(net, actions);
+        scratch.clear();
+        flow.pump_into(now, qlen, scratch);
+        for a in scratch.drain(..) {
+            Self::apply_one(net, a);
+        }
     }
 
     fn handle_deliveries(&mut self) {
         let now = self.net.now();
-        for d in self.net.take_deliveries() {
+        // Buffer dance: take the scratch out of `self` so the loop can
+        // borrow `net` and `flows` freely, then hand it back (with its
+        // allocation) at the end.
+        let mut pending = std::mem::take(&mut self.deliveries);
+        self.net.drain_deliveries_into(&mut pending);
+        for d in pending.drain(..) {
             match d {
                 Delivery::Mpdu { dev, tag, .. } => {
                     let (flow_id, is_ack, seq) = decode_tag(tag);
                     let Some(flow) = self.flows.get_mut(flow_id as usize) else {
                         continue; // not transport traffic (e.g. raw pushes)
                     };
+                    self.timer_dirty[flow_id as usize] = true;
                     if is_ack {
                         if dev != flow.cfg.src_dev {
                             continue;
@@ -89,15 +114,15 @@ impl Stack {
                         flow.note_mac(self.net.mac_measurement(flow.cfg.src_dev));
                         flow.on_ack(seq, now);
                         if let Some(r) = flow.take_fast_retransmit(now) {
-                            Self::apply(&mut self.net, vec![r]);
+                            Self::apply_one(&mut self.net, r);
                         }
-                        Self::pump_flow(&mut self.net, flow, now);
+                        Self::pump_flow(&mut self.net, flow, now, &mut self.actions);
                     } else {
                         if dev != flow.cfg.dst_dev {
                             continue;
                         }
                         if let Some(ack) = flow.on_data(seq, now) {
-                            Self::apply(&mut self.net, vec![ack]);
+                            Self::apply_one(&mut self.net, ack);
                         }
                     }
                 }
@@ -106,14 +131,16 @@ impl Stack {
                 }
             }
         }
+        self.deliveries = pending;
     }
 
     /// Advance the co-simulation to `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
         // Initial pump so fresh flows start sending.
         let now = self.net.now();
-        for flow in &mut self.flows {
-            Self::pump_flow(&mut self.net, flow, now);
+        for (flow, dirty) in self.flows.iter_mut().zip(&mut self.timer_dirty) {
+            Self::pump_flow(&mut self.net, flow, now, &mut self.actions);
+            *dirty = true;
         }
         // Livelock guard: a healthy co-simulation never revisits the same
         // instant more than a handful of times (bounded fan-out per event).
@@ -121,7 +148,13 @@ impl Stack {
         let mut same_count: u64 = 0;
         loop {
             let t_net = self.net.peek_time();
-            let t_tcp = self.flows.iter().filter_map(|f| f.next_timer()).min();
+            for i in 0..self.flows.len() {
+                if self.timer_dirty[i] {
+                    self.timers[i] = self.flows[i].next_timer();
+                    self.timer_dirty[i] = false;
+                }
+            }
+            let t_tcp = self.timers.iter().flatten().copied().min();
             let next = match (t_net, t_tcp) {
                 (None, None) => break,
                 (Some(a), None) => a,
@@ -145,9 +178,19 @@ impl Stack {
                 // TCP timer first (ties: TCP before MAC keeps pacing exact).
                 self.net.run_until(next);
                 for i in 0..self.flows.len() {
-                    if self.flows[i].next_timer() == Some(next) {
-                        let flow = &mut self.flows[i];
-                        Self::pump_flow(&mut self.net, flow, next);
+                    if self.timers[i] == Some(next) {
+                        self.timer_dirty[i] = true;
+                        if self.flows[i].run_only_due(next) {
+                            // Slim path: the only due work is the next
+                            // segment of a batched release run.
+                            let qlen = self.net.queue_len(self.flows[i].cfg.src_dev);
+                            if let Some(a) = self.flows[i].release_run_segment(next, qlen) {
+                                Self::apply_one(&mut self.net, a);
+                            }
+                        } else {
+                            let flow = &mut self.flows[i];
+                            Self::pump_flow(&mut self.net, flow, next, &mut self.actions);
+                        }
                     }
                 }
             } else {
@@ -159,7 +202,7 @@ impl Stack {
         // Final stats flush.
         let now = self.net.now();
         for flow in &mut self.flows {
-            Self::pump_flow(&mut self.net, flow, now);
+            Self::pump_flow(&mut self.net, flow, now, &mut self.actions);
         }
     }
 }

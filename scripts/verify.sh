@@ -18,6 +18,12 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> queue backend equivalence suite"
+# The timer-wheel scheduler must be indistinguishable from the
+# reference BinaryHeap: identical pop sequences and counters under
+# randomized schedule/cancel/pop scripts.
+cargo test -q --release -p mmwave-sim --test queue_equivalence
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -32,6 +38,20 @@ violations=$(grep -rn 'thread_local!\|static mut' crates/ --include='*.rs' \
     | grep -vE ':[0-9]+:\s*//' || true)
 if [[ -n "$violations" ]]; then
     echo "forbidden ambient-state pattern found (use SimCtx instead):"
+    echo "$violations"
+    exit 1
+fi
+
+echo "==> forbidden-pattern gate (ad-hoc event queues)"
+# All event scheduling in the engines goes through
+# mmwave_sim::queue::EventQueue (timer-wheel backed, heap-verified). A
+# BinaryHeap reappearing in the MAC or transport crates means a
+# datapath grew its own scheduler around the abstraction — and with it
+# its own tie-break rules, cancellation semantics, and counters.
+violations=$(grep -rn 'BinaryHeap' crates/transport crates/mac --include='*.rs' \
+    | grep -vE ':[0-9]+:\s*//' || true)
+if [[ -n "$violations" ]]; then
+    echo "BinaryHeap found outside mmwave_sim::queue (use EventQueue instead):"
     echo "$violations"
     exit 1
 fi
