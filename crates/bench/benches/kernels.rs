@@ -107,6 +107,20 @@ fn bench_raytrace() {
             &cfg,
         )
     });
+    // Dense-deployment shape: 100 distinct links through one room. The
+    // mirror expansion is shared — the image tree is built on the first
+    // pair and every later pair only pays candidate walk + validation,
+    // which is what makes multi-link floors affordable.
+    bench("raytrace/shared_tree_100links", || {
+        let mut acc = 0usize;
+        for i in 0..100u32 {
+            let t = 0.08 + (i as f64) * 0.084;
+            let src = Point::new(0.3 + t, 0.4 + (i % 7) as f64 * 0.35);
+            let dst = Point::new(8.7 - t, 2.8 - (i % 5) as f64 * 0.45);
+            acc += trace_paths(&room, black_box(src), black_box(dst), &cfg).len();
+        }
+        acc
+    });
 }
 
 fn bench_array_synthesis() {
@@ -296,6 +310,95 @@ fn bench_link_cache() {
     });
 }
 
+/// The spatial interference graph under steady device motion: every
+/// iteration moves one station (grid re-bucket + zone re-derivation) and
+/// runs one `begin_tx` over a 32-station floor, where the grid walk
+/// evaluates only the in-room neighborhood and bulk-prunes the rest.
+fn bench_spatial() {
+    use mmwave_channel::spatial::{PruneMode, SpatialConfig};
+    use mmwave_channel::Environment;
+    use mmwave_geom::Segment;
+    use mmwave_mac::frame::{FrameKind, Mpdu};
+    use mmwave_mac::medium::Medium;
+    use mmwave_mac::{Device, Frame, PatKey};
+
+    // Four closed brick offices in a row, eight stations each.
+    let mut room = Room::open_space();
+    for r in 0..4 {
+        let x0 = r as f64 * 4.4;
+        let (x1, y1) = (x0 + 4.0, 3.0);
+        let corners = [
+            (Point::new(x0, 0.0), Point::new(x1, 0.0)),
+            (Point::new(x1, 0.0), Point::new(x1, y1)),
+            (Point::new(x1, y1), Point::new(x0, y1)),
+            (Point::new(x0, y1), Point::new(x0, 0.0)),
+        ];
+        for (i, (a, b)) in corners.into_iter().enumerate() {
+            room.add_obstacle(Segment::new(a, b), Material::Brick, format!("o{r}-{i}"));
+        }
+        room.add_zone(Point::new(x0, 0.0), Point::new(x1, y1));
+    }
+    let env = Environment::new(room);
+    let ctx = SimCtx::new();
+    let mut devices = Vec::new();
+    let mut positions = Vec::new();
+    for r in 0..4 {
+        let x0 = r as f64 * 4.4;
+        for k in 0..8 {
+            let p = Point::new(x0 + 0.5 + (k % 4) as f64 * 0.9, 0.6 + (k / 4) as f64 * 1.8);
+            devices.push(Device::wigig_laptop(
+                &ctx,
+                &format!("s{r}-{k}"),
+                p,
+                Angle::ZERO,
+                11,
+            ));
+            positions.push(p);
+        }
+    }
+    let offs = vec![0.0; devices.len()];
+    let mut medium = Medium::new();
+    medium.enable_spatial(
+        &env,
+        &SpatialConfig::default(),
+        PruneMode::Enforce,
+        &positions,
+    );
+    let mut flip = false;
+    bench("medium/interference_graph_update", move || {
+        flip = !flip;
+        let p = if flip {
+            Point::new(1.1, 2.4)
+        } else {
+            Point::new(2.9, 0.6)
+        };
+        medium.note_device_position(&env, 0, p);
+        let id = medium.begin_tx(
+            &env,
+            &devices,
+            Frame {
+                src: 0,
+                dst: Some(1),
+                kind: FrameKind::Data {
+                    mpdus: vec![Mpdu {
+                        bytes: 1500,
+                        tag: 0,
+                    }],
+                    mcs: 11,
+                    retry: 0,
+                },
+                seq: 1,
+            },
+            PatKey::Dir(16),
+            0.0,
+            SimTime::ZERO,
+            SimTime::from_micros(5),
+            &offs,
+        );
+        medium.finish_tx(id, -68.0).expect("tx exists").power_at[1]
+    });
+}
+
 fn bench_mac_second() {
     use mmwave_channel::Environment;
     use mmwave_mac::{Device, Net, NetConfig};
@@ -391,6 +494,7 @@ fn main() {
     bench_per();
     bench_detector();
     bench_link_cache();
+    bench_spatial();
     bench_mac_second();
     bench_tcp_second();
 

@@ -15,7 +15,7 @@
 //! Schemas (see DESIGN.md for the field-by-field description):
 //!
 //! * manifest: `schema = "mmwave-campaign/1"`
-//! * run:      `schema = "mmwave-campaign-run/7"` (v2 added the
+//! * run:      `schema = "mmwave-campaign-run/8"` (v2 added the
 //!   `engine.link_gain_*` cache counters; v3 added the `scenario` label
 //!   and the `engine.scenario_mutations` / `engine.faults_injected`
 //!   fault-scenario counters; v4 added the `engine.codebook_hits` /
@@ -26,7 +26,9 @@
 //!   `engine.cc_reports_folded` / `engine.cc_patterns_installed` /
 //!   `engine.cc_loss_epochs` congestion-plane counters; v7 added the
 //!   `engine.codebook_prebuilt_hits` counter for cache misses resolved
-//!   from the campaign-wide prebuilt codebook pool)
+//!   from the campaign-wide prebuilt codebook pool; v8 added the
+//!   `engine.spatial_pruned_pairs` / `engine.spatial_zone_invalidations`
+//!   interference-graph counters)
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -36,7 +38,7 @@ use crate::{CampaignResult, RunRecord, RunStatus};
 use mmwave_sim::metrics::EngineCounters;
 
 pub const MANIFEST_SCHEMA: &str = "mmwave-campaign/1";
-pub const RUN_SCHEMA: &str = "mmwave-campaign-run/7";
+pub const RUN_SCHEMA: &str = "mmwave-campaign-run/8";
 
 fn obj(fields: Vec<(&str, Json)>) -> Json {
     Json::Obj(
@@ -98,6 +100,14 @@ pub fn run_to_json(r: &RunRecord) -> Json {
                     Json::Int(r.engine.cc_patterns_installed),
                 ),
                 ("cc_loss_epochs", Json::Int(r.engine.cc_loss_epochs)),
+                (
+                    "spatial_pruned_pairs",
+                    Json::Int(r.engine.spatial_pruned_pairs),
+                ),
+                (
+                    "spatial_zone_invalidations",
+                    Json::Int(r.engine.spatial_zone_invalidations),
+                ),
             ]),
         ),
     ])
@@ -175,6 +185,8 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
             cc_reports_folded: counter("cc_reports_folded")?,
             cc_patterns_installed: counter("cc_patterns_installed")?,
             cc_loss_epochs: counter("cc_loss_epochs")?,
+            spatial_pruned_pairs: counter("spatial_pruned_pairs")?,
+            spatial_zone_invalidations: counter("spatial_zone_invalidations")?,
         },
     })
 }
@@ -297,6 +309,8 @@ mod tests {
                 cc_reports_folded: 31,
                 cc_patterns_installed: 19,
                 cc_loss_epochs: 2,
+                spatial_pruned_pairs: 11,
+                spatial_zone_invalidations: 1,
             },
         }
     }

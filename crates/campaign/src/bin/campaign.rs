@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! campaign [--jobs N] [--seeds A..B | --seeds N] [--quick] [--out DIR]
-//!          [--cc ALG] [--json] [--list] [all | <id> ...]
+//!          [--cc ALG] [--prune MODE] [--json] [--list] [all | <id> ...]
 //! ```
 //!
 //! * `--jobs N`    worker threads (default: one per core)
@@ -11,6 +11,9 @@
 //! * `--quick`     quick mode (shorter campaigns, fewer sweep points)
 //! * `--cc ALG`    congestion-control override for every TCP flow
 //!   (`reno`, `cubic`, `rate_probe`; default: each flow's own choice)
+//! * `--prune MODE` spatial prune-mode override (`enforce`, `audit`;
+//!   default: each experiment's own choice — audit re-checks every pruned
+//!   pair through the full radiometric chain and panics on leakage)
 //! * `--out DIR`   write `manifest.json` + `runs/*.json` artifacts
 //! * `--json`      print the manifest JSON to stdout instead of the table
 //! * `--list`      list registered experiments and exit
@@ -28,6 +31,7 @@ struct Cli {
     seeds: Vec<u64>,
     quick: bool,
     cc: Option<mmwave_transport::CcKind>,
+    prune: Option<mmwave_channel::PruneMode>,
     out_dir: Option<String>,
     json: bool,
     list: bool,
@@ -56,6 +60,7 @@ fn parse_args() -> Result<Cli, String> {
         seeds: vec![1],
         quick: false,
         cc: None,
+        prune: None,
         out_dir: None,
         json: false,
         list: false,
@@ -83,6 +88,14 @@ fn parse_args() -> Result<Cli, String> {
                     mmwave_transport::CcKind::from_str(&v)
                         .ok_or_else(|| format!("unknown congestion algorithm: {v}"))?,
                 );
+            }
+            "--prune" => {
+                let v = args.next().ok_or("--prune needs a mode (enforce|audit)")?;
+                cli.prune = Some(match v.as_str() {
+                    "enforce" => mmwave_channel::PruneMode::Enforce,
+                    "audit" => mmwave_channel::PruneMode::Audit,
+                    _ => return Err(format!("unknown prune mode: {v}")),
+                });
             }
             "--out" => {
                 cli.out_dir = Some(args.next().ok_or("--out needs a directory")?);
@@ -139,6 +152,7 @@ fn main() {
         quick: cli.quick,
         jobs: cli.jobs,
         cc: cli.cc,
+        prune: cli.prune,
     };
     let result = runner::run(&cfg);
 

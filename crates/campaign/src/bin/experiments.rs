@@ -105,6 +105,7 @@ fn main() {
         quick: cli.quick,
         jobs: cli.jobs,
         cc: None,
+        prune: None,
     };
     let result = runner::run(&cfg);
 

@@ -40,6 +40,7 @@
 //!     quick: true,
 //!     jobs: 2,
 //!     cc: None,
+//!     prune: None,
 //! };
 //! let result = runner::run(&cfg);
 //! assert_eq!(result.records.len(), 1);
@@ -69,6 +70,9 @@ pub struct CampaignConfig {
     /// experiments create (`--cc`); `None` keeps each flow's own choice
     /// (default Reno).
     pub cc: Option<mmwave_transport::CcKind>,
+    /// Spatial-prune-mode override for every experiment in the matrix;
+    /// `None` keeps each experiment's own choice. See [`TaskSpec::prune`].
+    pub prune: Option<mmwave_channel::PruneMode>,
 }
 
 impl CampaignConfig {
@@ -80,6 +84,7 @@ impl CampaignConfig {
             quick,
             jobs,
             cc: None,
+            prune: None,
         }
     }
 
@@ -95,6 +100,7 @@ impl CampaignConfig {
                     quick: self.quick,
                     cache_mode: CacheMode::Cached,
                     cc: self.cc,
+                    prune: self.prune,
                 });
             }
         }
@@ -131,6 +137,15 @@ pub struct TaskSpec {
     /// Congestion-control override installed on the task's context before
     /// the experiment runs.
     pub cc: Option<mmwave_transport::CcKind>,
+    /// Spatial-prune-mode override installed on the task's context before
+    /// the experiment runs. `None` keeps each experiment's own choice
+    /// (default [`PruneMode::Enforce`] where spatial pruning is enabled);
+    /// the equivalence suite forces [`PruneMode::Audit`] to prove the
+    /// interference graph never changes an artifact byte.
+    ///
+    /// [`PruneMode::Enforce`]: mmwave_channel::PruneMode::Enforce
+    /// [`PruneMode::Audit`]: mmwave_channel::PruneMode::Audit
+    pub prune: Option<mmwave_channel::PruneMode>,
 }
 
 /// How a run ended.
@@ -246,6 +261,7 @@ mod tests {
             quick: true,
             jobs: 1,
             cc: None,
+            prune: None,
         };
         let tasks = cfg.tasks();
         assert_eq!(tasks.len(), 4);
@@ -269,6 +285,7 @@ mod tests {
             quick: true,
             jobs: 0,
             cc: None,
+            prune: None,
         };
         assert!(cfg.effective_jobs() >= 1);
         let cfg = CampaignConfig {
@@ -277,6 +294,7 @@ mod tests {
             quick: true,
             jobs: 3,
             cc: None,
+            prune: None,
         };
         assert_eq!(cfg.effective_jobs(), 3);
     }

@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::{CampaignConfig, CampaignResult, RunRecord, RunStatus, TaskSpec};
+use mmwave_channel::PruneMode;
 use mmwave_phy::CodebookPrebuild;
 use mmwave_sim::ctx::{CacheMode, SimCtx};
 
@@ -41,6 +42,21 @@ pub fn run_with_cache_mode(cfg: &CampaignConfig, mode: CacheMode) -> CampaignRes
     let mut tasks = cfg.tasks();
     for t in &mut tasks {
         t.cache_mode = mode;
+    }
+    run_tasks(cfg, tasks)
+}
+
+/// [`run`], but with every task's spatial prune mode forced to `mode`.
+/// The differential suite runs the same matrix under
+/// [`PruneMode::Audit`] — every pruned pair is re-evaluated through the
+/// full radiometric chain and asserted below the coupling floor — to
+/// prove enforce-mode pruning never changes an artifact byte.
+///
+/// [`PruneMode::Audit`]: mmwave_channel::PruneMode::Audit
+pub fn run_with_prune_mode(cfg: &CampaignConfig, mode: PruneMode) -> CampaignResult {
+    let mut tasks = cfg.tasks();
+    for t in &mut tasks {
+        t.prune = Some(mode);
     }
     run_tasks(cfg, tasks)
 }
@@ -143,6 +159,9 @@ fn run_task_inner(task: &TaskSpec, pool: Option<&CodebookPrebuild>) -> RunRecord
     }
     if let Some(kind) = task.cc {
         mmwave_transport::cc::install_override(&ctx, kind);
+    }
+    if let Some(mode) = task.prune {
+        mmwave_channel::spatial::install_override(&ctx, mode);
     }
     let t0 = Instant::now();
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
@@ -268,6 +287,7 @@ mod tests {
             quick: true,
             jobs: 3,
             cc: None,
+            prune: None,
         };
         let result = run(&cfg);
         assert_eq!(result.records.len(), 6);
@@ -297,6 +317,7 @@ mod tests {
             quick: true,
             jobs: 1,
             cc: None,
+            prune: None,
         };
         let mut cfg4 = cfg1.clone();
         cfg4.jobs = 4;
@@ -324,6 +345,7 @@ mod tests {
             quick: true,
             cache_mode: CacheMode::Cached,
             cc: None,
+            prune: None,
         };
         let rec = run_task(&t);
         assert!(rec.status.is_pass());

@@ -37,6 +37,7 @@ fn normalized_artifacts(mode: CacheMode) -> Vec<(String, String)> {
         quick: true,
         jobs: 2,
         cc: None,
+        prune: None,
     };
     let result = runner::run_with_cache_mode(&cfg, mode);
     let mut files = Vec::new();

@@ -22,6 +22,7 @@ fn table1_config() -> CampaignConfig {
         quick: true,
         jobs: 1,
         cc: None,
+        prune: None,
     }
 }
 
@@ -80,6 +81,7 @@ fn campaign_pays_cold_synthesis_once_across_tasks() {
         quick: true,
         jobs: 2,
         cc: None,
+        prune: None,
     };
     let result = runner::run(&cfg);
     assert!(result.records.len() >= 8);

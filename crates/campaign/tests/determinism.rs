@@ -25,6 +25,7 @@ fn normalized_artifacts(jobs: usize) -> Vec<(String, String)> {
         quick: true,
         jobs,
         cc: None,
+        prune: None,
     };
     let result = runner::run(&cfg);
     let mut files = Vec::new();

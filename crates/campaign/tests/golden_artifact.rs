@@ -25,10 +25,12 @@ use std::path::PathBuf;
 const GOLDEN_REL: &str = "tests/golden/campaign_quick.txt";
 
 /// The frozen matrix: cheap experiments spanning a static protocol trace
-/// (table1, fig03), the WiHD system (fig15) and a dynamic fault scenario
-/// (dynblock, which exercises the scenario/fault engine counters).
+/// (table1, fig03), the WiHD system (fig15), a dynamic fault scenario
+/// (dynblock, which exercises the scenario/fault engine counters) and the
+/// dense multi-room floor (enterprise, which exercises the spatial
+/// interference graph and its prune counters).
 fn subset() -> Vec<&'static experiments::Experiment> {
-    ["table1", "fig03", "fig15", "dynblock"]
+    ["table1", "fig03", "fig15", "dynblock", "enterprise"]
         .iter()
         .map(|id| experiments::find(id).expect("registered"))
         .collect()
@@ -45,6 +47,7 @@ fn render_artifacts() -> String {
         quick: true,
         jobs: 2,
         cc: None,
+        prune: None,
     };
     let result = runner::run(&cfg);
     let mut doc = String::new();

@@ -25,9 +25,11 @@ pub mod fading;
 pub mod linkgain;
 pub mod node;
 pub mod propagate;
+pub mod spatial;
 
 pub use environment::Environment;
 pub use fading::{Ar1Fading, PerturbationProcess};
 pub use linkgain::{CacheMode, CacheStats, LinkGainCache, PatId};
 pub use node::{NodeId, RadioNode};
 pub use propagate::{incident_from_direction, link_state, sinr_db, LinkState, PathGain};
+pub use spatial::{coupling_bound_dbm, cutoff_distance_m, PruneMode, SpatialConfig, SpatialIndex};

@@ -208,6 +208,11 @@ impl LinkGainCache {
         self.stats
     }
 
+    /// The simulation context this cache records into.
+    pub fn ctx(&self) -> &SimCtx {
+        &self.ctx
+    }
+
     /// Grow the generation vectors to cover device index `idx`.
     pub fn ensure_device(&mut self, idx: usize) {
         if idx >= self.pos_gen.len() {

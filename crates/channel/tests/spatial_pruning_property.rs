@@ -1,0 +1,192 @@
+//! Property test: the spatial coupling bound never prunes a pair that
+//! actually couples above the floor (no false negatives).
+//!
+//! Randomized 50-device layouts drive both prune criteria:
+//!
+//! * **Distance**: for every pair separated by more than
+//!   `cutoff_distance_m`, the brute-force coupling (full `link_state`
+//!   through the ray tracer, with the worst admissible power offset added)
+//!   must sit below the configured floor — and below the analytic bound at
+//!   that distance, which itself must sit below the floor.
+//! * **Closed zones**: devices in different closed rooms must have *zero*
+//!   coupling (no surviving path at all), which is why cross-zone pairs
+//!   may be pruned at any distance.
+
+use mmwave_channel::{
+    coupling_bound_dbm, cutoff_distance_m, link_state, Environment, RadioNode, SpatialConfig,
+    SpatialIndex,
+};
+use mmwave_geom::{shared_tree, Angle, Material, Point, Room, Segment};
+use mmwave_phy::AntennaPattern;
+use mmwave_sim::rng::SimRng;
+
+fn uniform(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    lo + (hi - lo) * u
+}
+
+/// A random pattern whose peak gain respects `cfg.max_gain_dbi`.
+fn random_pattern(rng: &mut SimRng, cfg: &SpatialConfig) -> AntennaPattern {
+    AntennaPattern::isotropic(uniform(rng, 0.0, cfg.max_gain_dbi))
+}
+
+#[test]
+fn pruned_distance_pairs_are_below_the_floor() {
+    // A bound tight enough to yield a sub-200 m cutoff: modest gains and
+    // the margin spent explicitly below as a worst-case power offset.
+    let cfg = SpatialConfig {
+        floor_dbm: -90.0,
+        max_gain_dbi: 6.0,
+        margin_db: 3.0,
+    };
+    for seed in 0..8u64 {
+        let mut rng = SimRng::root(0x59A7_1A10 + seed);
+        let mut room = Room::open_space();
+        // Sparse random reflectors scattered over the field.
+        for i in 0..6 {
+            let a = Point::new(
+                uniform(&mut rng, -300.0, 300.0),
+                uniform(&mut rng, -300.0, 300.0),
+            );
+            let b = a + mmwave_geom::Vec2::new(
+                uniform(&mut rng, -8.0, 8.0),
+                uniform(&mut rng, -8.0, 8.0),
+            );
+            if a.distance(b) < 0.5 {
+                continue;
+            }
+            let mat = [Material::Metal, Material::Glass, Material::Brick][i % 3];
+            room.add_obstacle(Segment::new(a, b), mat, format!("r{i}"));
+        }
+        let env = Environment::new(room);
+        let cutoff = cutoff_distance_m(&env, &cfg);
+        assert!(
+            cutoff < 500.0,
+            "cutoff {cutoff} too large for this layout to exercise pruning"
+        );
+        let n_mirrors = shared_tree(&env.room, &env.trace).node_count();
+
+        let mut index = SpatialIndex::new(cutoff);
+        let devices: Vec<(RadioNode, AntennaPattern)> = (0..50)
+            .map(|i| {
+                let p = Point::new(
+                    uniform(&mut rng, -400.0, 400.0),
+                    uniform(&mut rng, -400.0, 400.0),
+                );
+                index.set_position(i, p);
+                (
+                    RadioNode::new(
+                        i,
+                        format!("n{i}"),
+                        p,
+                        Angle::from_degrees(uniform(&mut rng, 0.0, 360.0)),
+                    ),
+                    random_pattern(&mut rng, &cfg),
+                )
+            })
+            .collect();
+
+        let mut pruned_pairs = 0usize;
+        for i in 0..devices.len() {
+            for j in (i + 1)..devices.len() {
+                let (a, pa) = &devices[i];
+                let (b, pb) = &devices[j];
+                let d = a.position.distance(b.position);
+                if index.coupled(a.position, b.position) {
+                    continue; // not pruned: no claim to check
+                }
+                pruned_pairs += 1;
+                // Brute force through the full tracer, charging the worst
+                // admissible per-device offset (the margin) on top.
+                let brute = link_state(&env, a, pa, b, pb).total_dbm + cfg.margin_db;
+                let bound = coupling_bound_dbm(&env, &cfg, n_mirrors, d);
+                assert!(
+                    bound < cfg.floor_dbm,
+                    "seed {seed}: pair ({i},{j}) at {d:.1} m pruned with bound {bound:.1} above floor"
+                );
+                assert!(
+                    brute <= bound,
+                    "seed {seed}: pair ({i},{j}) at {d:.1} m couples at {brute:.1} dBm, above bound {bound:.1}"
+                );
+            }
+        }
+        assert!(
+            pruned_pairs > 50,
+            "seed {seed}: only {pruned_pairs} pruned pairs — layout too dense to test anything"
+        );
+    }
+}
+
+#[test]
+fn cross_zone_pairs_have_exactly_zero_coupling() {
+    for seed in 0..6u64 {
+        let mut rng = SimRng::root(0x59A7_2B20 + seed);
+        let mut room = Room::open_space();
+        let mut zones = Vec::new();
+        // A row of closed brick rooms with random footprints.
+        let mut x0 = 0.0;
+        for r in 0..5 {
+            let w = uniform(&mut rng, 3.0, 6.0);
+            let h = uniform(&mut rng, 2.5, 4.0);
+            let corners = [
+                (Point::new(x0, 0.0), Point::new(x0 + w, 0.0)),
+                (Point::new(x0 + w, 0.0), Point::new(x0 + w, h)),
+                (Point::new(x0 + w, h), Point::new(x0, h)),
+                (Point::new(x0, h), Point::new(x0, 0.0)),
+            ];
+            for (i, (a, b)) in corners.into_iter().enumerate() {
+                room.add_obstacle(Segment::new(a, b), Material::Brick, format!("z{r}-{i}"));
+            }
+            zones.push((
+                room.add_zone(Point::new(x0, 0.0), Point::new(x0 + w, h)),
+                x0,
+                w,
+                h,
+            ));
+            x0 += w + uniform(&mut rng, 0.5, 2.0);
+        }
+        let env = Environment::new(room);
+
+        // 50 devices spread across the rooms.
+        let devices: Vec<(usize, RadioNode, AntennaPattern)> = (0..50)
+            .map(|i| {
+                let &(z, zx, zw, zh) = &zones[(rng.next_u64() as usize) % zones.len()];
+                let p = Point::new(
+                    uniform(&mut rng, zx + 0.2, zx + zw - 0.2),
+                    uniform(&mut rng, 0.2, zh - 0.2),
+                );
+                let node = RadioNode::new(
+                    i,
+                    format!("d{i}"),
+                    p,
+                    Angle::from_degrees(uniform(&mut rng, 0.0, 360.0)),
+                );
+                (
+                    z,
+                    node,
+                    AntennaPattern::isotropic(uniform(&mut rng, 0.0, 20.0)),
+                )
+            })
+            .collect();
+
+        let mut cross = 0usize;
+        for i in 0..devices.len() {
+            for j in (i + 1)..devices.len() {
+                let (za, a, pa) = &devices[i];
+                let (zb, b, pb) = &devices[j];
+                if za == zb {
+                    continue;
+                }
+                cross += 1;
+                let state = link_state(&env, a, pa, b, pb);
+                assert!(
+                    state.paths.is_empty(),
+                    "seed {seed}: cross-zone pair ({i},{j}) has {} surviving paths",
+                    state.paths.len()
+                );
+                assert_eq!(state.total_dbm, -300.0, "seed {seed}: pair ({i},{j})");
+            }
+        }
+        assert!(cross > 100, "seed {seed}: only {cross} cross-zone pairs");
+    }
+}

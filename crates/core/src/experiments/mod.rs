@@ -22,6 +22,7 @@
 pub mod cc_compare;
 pub mod churn;
 pub mod dynblock;
+pub mod enterprise;
 pub mod fig03;
 pub mod fig08;
 pub mod fig12;
@@ -248,6 +249,13 @@ pub const REGISTRY: &[Experiment] = &[
         cost: CostTier::Slow,
         scenario: "link-churn",
         run: churn::run,
+    },
+    Experiment {
+        id: "enterprise",
+        title: "Enterprise density: 18-office floor, 108 WiGig links + WiHD, spatial pruning",
+        cost: CostTier::Slow,
+        scenario: "enterprise-floor",
+        run: enterprise::run,
     },
     Experiment {
         id: "cc_compare",

@@ -178,6 +178,9 @@ pub fn collect(ctx: &SimCtx, quick: bool, seed: u64) -> Vec<PointData> {
         cc_reports_folded: after.cc_reports_folded - before.cc_reports_folded,
         cc_patterns_installed: after.cc_patterns_installed - before.cc_patterns_installed,
         cc_loss_epochs: after.cc_loss_epochs - before.cc_loss_epochs,
+        spatial_pruned_pairs: after.spatial_pruned_pairs - before.spatial_pruned_pairs,
+        spatial_zone_invalidations: after.spatial_zone_invalidations
+            - before.spatial_zone_invalidations,
     };
     cache
         .map

@@ -31,7 +31,10 @@ pub mod vec2;
 
 pub use angle::{arc, full_circle, Angle};
 pub use material::Material;
-pub use raytrace::{trace_paths, PathKind, PropPath, TraceConfig};
-pub use room::{ConferenceRoom, Room, Wall};
+pub use raytrace::{
+    shared_tree, trace_paths, trace_paths_reference, ImageTree, MirrorNode, PathKind, PropPath,
+    TraceConfig,
+};
+pub use room::{ConferenceRoom, Room, Wall, Zone};
 pub use segment::Segment;
 pub use vec2::{Point, Vec2};

@@ -19,7 +19,8 @@ use crate::angle::Angle;
 use crate::material::Material;
 use crate::room::Room;
 use crate::segment::GEOM_EPS;
-use crate::vec2::Point;
+use crate::vec2::{Point, Vec2};
+use std::sync::Arc;
 
 /// Skip radius for obstruction tests at path endpoints and bounce points,
 /// in metres. Legs legitimately begin/end on reflecting walls; a crossing
@@ -122,10 +123,178 @@ fn legs_clear(room: &Room, vertices: &[Point]) -> bool {
     })
 }
 
+/// One mirror surface in the shared image tree: a reflective wall's anchor
+/// point and unit direction, precomputed once per geometry generation so
+/// per-pair tracing does not re-filter walls or re-normalize directions.
+///
+/// The stored `a`/`d` are bit-copies of what the reference enumeration
+/// computes per pair (`w.seg.a` and `w.seg.direction()`), so mirroring an
+/// endpoint across a node performs the identical float operations.
+#[derive(Clone, Copy, Debug)]
+pub struct MirrorNode {
+    /// Index of the wall in `room.walls()`.
+    pub wall: usize,
+    /// Wall anchor point (`seg.a`).
+    pub a: Point,
+    /// Wall unit direction (`seg.direction()`).
+    pub d: Vec2,
+}
+
+/// Per-room mirror-image expansion, computed once per geometry generation
+/// and shared across all device pairs.
+///
+/// First-order images are one mirror application per node; second-order
+/// images are every ordered pair of distinct nodes, walked in the same
+/// nested order as the reference enumeration. Since images depend on the
+/// transmitter position, the tree stores the mirror *surfaces* (not the
+/// images themselves); what it saves per pair is the wall filtering, the
+/// direction normalizations (one sqrt per wall per order per pair in the
+/// reference) and the reflective-wall allocation.
+#[derive(Clone, Debug)]
+pub struct ImageTree {
+    generation: u64,
+    loss_bits: u64,
+    /// Reflective walls in `room.walls()` order (the reference filter order).
+    pub nodes: Vec<MirrorNode>,
+}
+
+impl ImageTree {
+    /// Build the expansion for `room` under `cfg`'s bounce-loss cap.
+    pub fn build(room: &Room, cfg: &TraceConfig) -> ImageTree {
+        let nodes = room
+            .walls()
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.enabled && w.material.reflection_loss_db() <= cfg.max_bounce_loss_db)
+            .map(|(i, w)| MirrorNode {
+                wall: i,
+                a: w.seg.a,
+                d: w.seg.direction(),
+            })
+            .collect();
+        ImageTree {
+            generation: room.generation(),
+            loss_bits: cfg.max_bounce_loss_db.to_bits(),
+            nodes,
+        }
+    }
+
+    /// Number of mirror surfaces (first-order branching factor).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// The room's shared image tree for `cfg`, rebuilt only when the geometry
+/// generation or the bounce-loss cap changed since the last call.
+pub fn shared_tree(room: &Room, cfg: &TraceConfig) -> Arc<ImageTree> {
+    let mut slot = room.tree_slot().borrow_mut();
+    if let Some(t) = slot.as_ref() {
+        if t.generation == room.generation() && t.loss_bits == cfg.max_bounce_loss_db.to_bits() {
+            return Arc::clone(t);
+        }
+    }
+    let t = Arc::new(ImageTree::build(room, cfg));
+    *slot = Some(Arc::clone(&t));
+    t
+}
+
 /// Enumerate all unobstructed propagation paths from `tx` to `rx` in `room`,
 /// up to `cfg.max_order` specular reflections. Paths are returned sorted by
 /// increasing length (the LoS first when present).
+///
+/// Internally walks the room's cached [`ImageTree`], shared across all
+/// device pairs; output is byte-identical to [`trace_paths_reference`]
+/// (proven by `tests/image_tree_equivalence.rs`).
 pub fn trace_paths(room: &Room, tx: Point, rx: Point, cfg: &TraceConfig) -> Vec<PropPath> {
+    let mut paths = Vec::new();
+    if tx.distance(rx) <= GEOM_EPS {
+        return paths;
+    }
+
+    // Order 0: line of sight.
+    if room.is_clear(tx, rx, SKIP_NEAR) {
+        paths.push(make_path(PathKind::LineOfSight, vec![tx, rx], &[]));
+    }
+
+    let tree = shared_tree(room, cfg);
+    let walls = room.walls();
+
+    // Order 1: mirror tx across each node; the bounce point is where the
+    // image–rx segment crosses the wall.
+    if cfg.max_order >= 1 {
+        for node in &tree.nodes {
+            let w = &walls[node.wall];
+            let image = tx.mirror_across(node.a, node.d);
+            if image.distance(rx) <= GEOM_EPS {
+                continue;
+            }
+            let Some((_, bounce)) = w.seg.intersect(image, rx) else {
+                continue;
+            };
+            let verts = vec![tx, bounce, rx];
+            if legs_clear(room, &verts) {
+                paths.push(make_path(
+                    PathKind::Reflected { order: 1 },
+                    verts,
+                    &[(&w.material, w.label.as_str())],
+                ));
+            }
+        }
+    }
+
+    // Order 2: mirror tx across node 1, then that image across node 2;
+    // unfold from the receiver back through both walls.
+    if cfg.max_order >= 2 {
+        for (i, n1) in tree.nodes.iter().enumerate() {
+            let w1 = &walls[n1.wall];
+            let image1 = tx.mirror_across(n1.a, n1.d);
+            for (j, n2) in tree.nodes.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let w2 = &walls[n2.wall];
+                let image2 = image1.mirror_across(n2.a, n2.d);
+                if image2.distance(rx) <= GEOM_EPS {
+                    continue;
+                }
+                let Some((_, b2)) = w2.seg.intersect(image2, rx) else {
+                    continue;
+                };
+                if image1.distance(b2) <= GEOM_EPS {
+                    continue;
+                }
+                let Some((_, b1)) = w1.seg.intersect(image1, b2) else {
+                    continue;
+                };
+                let verts = vec![tx, b1, b2, rx];
+                if legs_clear(room, &verts) {
+                    paths.push(make_path(
+                        PathKind::Reflected { order: 2 },
+                        verts,
+                        &[
+                            (&w1.material, w1.label.as_str()),
+                            (&w2.material, w2.label.as_str()),
+                        ],
+                    ));
+                }
+            }
+        }
+    }
+
+    paths.sort_by(|a, b| a.length_m.partial_cmp(&b.length_m).expect("finite lengths"));
+    paths
+}
+
+/// The original per-pair enumeration, kept as the differential-test oracle:
+/// it re-derives the reflective wall set and every mirror direction for
+/// each (tx, rx) pair. [`trace_paths`] must match it bit for bit.
+pub fn trace_paths_reference(
+    room: &Room,
+    tx: Point,
+    rx: Point,
+    cfg: &TraceConfig,
+) -> Vec<PropPath> {
     let mut paths = Vec::new();
     if tx.distance(rx) <= GEOM_EPS {
         return paths;

@@ -12,8 +12,11 @@
 //! A–F.
 
 use crate::material::Material;
+use crate::raytrace::ImageTree;
 use crate::segment::Segment;
 use crate::vec2::Point;
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// A wall: a segment of a given material with a diagnostic label.
 #[derive(Clone, Debug)]
@@ -41,10 +44,37 @@ impl Wall {
     }
 }
 
+/// An axis-aligned rectangular region declared opaque: every wall on its
+/// boundary fully blocks propagation, so no path connects a point inside
+/// the zone to a point outside it. Zones are an opt-in contract used to
+/// scope cache invalidation after wall mutations — see [`Room::add_zone`].
+#[derive(Clone, Copy, Debug)]
+pub struct Zone {
+    /// Lower-left corner (inclusive).
+    pub min: Point,
+    /// Upper-right corner (inclusive).
+    pub max: Point,
+}
+
+impl Zone {
+    /// True if `p` lies inside the zone (boundary inclusive, so a wall on
+    /// the shared border of two zones belongs to both).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+}
+
 /// An environment: a set of walls (possibly none — outdoor measurements).
 #[derive(Clone, Debug, Default)]
 pub struct Room {
     walls: Vec<Wall>,
+    /// Bumped on every wall mutation; keys the shared image tree and lets
+    /// external caches detect geometry changes cheaply.
+    generation: u64,
+    zones: Vec<Zone>,
+    /// Lazily built mirror-image expansion shared across all device pairs.
+    /// Clones share the same (immutable) tree until either side mutates.
+    tree: RefCell<Option<Arc<ImageTree>>>,
 }
 
 impl Room {
@@ -55,7 +85,7 @@ impl Room {
 
     /// Add a wall; returns `self` for builder-style chaining.
     pub fn with_wall(mut self, wall: Wall) -> Room {
-        self.walls.push(wall);
+        self.add_wall(wall);
         self
     }
 
@@ -63,6 +93,7 @@ impl Room {
     /// removed, so indices stay valid for the room's lifetime).
     pub fn add_wall(&mut self, wall: Wall) -> usize {
         self.walls.push(wall);
+        self.generation += 1;
         self.walls.len() - 1
     }
 
@@ -91,12 +122,61 @@ impl Room {
     /// link-gain cache must invalidate it after this.
     pub fn set_wall_segment(&mut self, idx: usize, seg: Segment) {
         self.walls[idx].seg = seg;
+        self.generation += 1;
     }
 
     /// Enable or disable a wall in place (scenario mutation). Callers owning
     /// a link-gain cache must invalidate it after this.
     pub fn set_wall_enabled(&mut self, idx: usize, enabled: bool) {
         self.walls[idx].enabled = enabled;
+        self.generation += 1;
+    }
+
+    /// Geometry generation: bumped on every wall addition or mutation.
+    /// Zone declarations do not count — they never change propagation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Declare an axis-aligned opaque zone and return its index.
+    ///
+    /// Contract (caller-asserted, not checked): every boundary of the zone
+    /// is covered by walls that fully block propagation, so no path can
+    /// connect the inside of the zone to the outside. Under that contract
+    /// a wall mutation inside one zone cannot change any path whose
+    /// endpoints both lie outside the affected zones, which lets callers
+    /// scope cache invalidation instead of flushing every pair.
+    pub fn add_zone(&mut self, min: Point, max: Point) -> usize {
+        assert!(min.x <= max.x && min.y <= max.y, "inverted zone corners");
+        self.zones.push(Zone { min, max });
+        self.zones.len() - 1
+    }
+
+    /// All declared opaque zones.
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// Index of the first zone containing `p`, if any.
+    pub fn zone_of(&self, p: Point) -> Option<usize> {
+        self.zones.iter().position(|z| z.contains(p))
+    }
+
+    /// Indices of every zone containing the whole segment (both endpoints;
+    /// a partition wall on the border of two zones belongs to both). Used
+    /// to find which zones a wall mutation can affect.
+    pub fn zones_of_segment(&self, seg: Segment) -> Vec<usize> {
+        self.zones
+            .iter()
+            .enumerate()
+            .filter(|(_, z)| z.contains(seg.a) && z.contains(seg.b))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Internal slot for the cached shared image tree (see `raytrace`).
+    pub(crate) fn tree_slot(&self) -> &RefCell<Option<Arc<ImageTree>>> {
+        &self.tree
     }
 
     /// An axis-aligned rectangular room `[0,w] × [0,h]` with per-side

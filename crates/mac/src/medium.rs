@@ -10,7 +10,9 @@
 
 use crate::device::{Device, PatKey};
 use crate::frame::Frame;
-use mmwave_channel::{Environment, LinkGainCache};
+use mmwave_channel::spatial::{self, PruneMode, SpatialConfig, SpatialIndex};
+use mmwave_channel::{link_state, Environment, LinkGainCache};
+use mmwave_geom::Point;
 use mmwave_phy::{db_to_lin, lin_to_db};
 use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::time::SimTime;
@@ -37,6 +39,45 @@ pub struct ActiveTx {
     pub dst_was_busy: bool,
 }
 
+/// Spatial interference-graph state: the position grid, per-device opaque
+/// zones and the prune semantics derived from the environment's coupling
+/// bound.
+#[derive(Debug)]
+struct SpatialState {
+    index: SpatialIndex,
+    /// Opaque-zone membership per device (`Room::zone_of` at the tracked
+    /// position). Devices in *different* zones are radio-isolated by the
+    /// zones' closed-walls contract; a device outside every zone couples
+    /// with everyone in range.
+    zone: Vec<Option<usize>>,
+    mode: PruneMode,
+    floor_dbm: f64,
+    /// Reused neighbor-candidate buffer for the `begin_tx` grid walk.
+    scratch: Vec<usize>,
+    /// Directed pairs already verified in audit mode. A pruned pair's
+    /// coupling is position-determined, so one verification per position
+    /// epoch suffices; entries involving a device are dropped when it
+    /// moves (and on full flushes). Membership-only use — iteration order
+    /// never observed.
+    audited: std::collections::HashSet<(usize, usize)>,
+}
+
+impl SpatialState {
+    /// The prune decision: a pair is coupled unless it is separated by a
+    /// closed-zone boundary or by more than the distance cutoff. Both the
+    /// per-call path and the `begin_tx` grid walk go through this exact
+    /// predicate, so their prune counts and powers agree bit-for-bit.
+    fn coupled_pair(&self, a: usize, b: usize) -> bool {
+        if let (Some(za), Some(zb)) = (self.zone[a], self.zone[b]) {
+            if za != zb {
+                return false;
+            }
+        }
+        self.index
+            .coupled(self.index.position(a), self.index.position(b))
+    }
+}
+
 /// The medium arbiter.
 #[derive(Debug, Default)]
 pub struct Medium {
@@ -52,6 +93,9 @@ pub struct Medium {
     /// thousands of transmissions; recycling the per-frame vector keeps the
     /// steady-state frame path allocation-free.
     power_pool: Vec<Vec<f64>>,
+    /// When present, device pairs beyond the coupling cutoff contribute
+    /// exactly −300 dBm without touching the radiometric chain.
+    spatial: Option<Box<SpatialState>>,
 }
 
 impl Medium {
@@ -75,11 +119,71 @@ impl Medium {
         Medium::with_ctx(&SimCtx::with_cache_mode(mode))
     }
 
+    /// Enable spatial pruning: pairs separated by a closed-zone boundary
+    /// (see [`mmwave_geom::Room::add_zone`]) or by more than the coupling
+    /// cutoff (derived from `env`'s budget, geometry and `cfg`'s floor)
+    /// contribute exactly −300 dBm. `positions[i]` must be device `i`'s
+    /// current position; callers must keep the grid in sync through
+    /// [`Medium::note_device_position`] — a stale entry or a zone that is
+    /// not actually radio-closed can prune a pair that couples, which
+    /// [`PruneMode::Audit`] detects by recomputing every pruned pair and
+    /// panicking at a floor violation.
+    pub fn enable_spatial(
+        &mut self,
+        env: &Environment,
+        cfg: &SpatialConfig,
+        mode: PruneMode,
+        positions: &[Point],
+    ) {
+        let cutoff = spatial::cutoff_distance_m(env, cfg);
+        let mut index = SpatialIndex::new(cutoff);
+        let mut zone = Vec::with_capacity(positions.len());
+        for (i, &p) in positions.iter().enumerate() {
+            index.set_position(i, p);
+            zone.push(env.room.zone_of(p));
+        }
+        self.spatial = Some(Box::new(SpatialState {
+            index,
+            zone,
+            mode,
+            floor_dbm: cfg.floor_dbm,
+            scratch: Vec::new(),
+            audited: std::collections::HashSet::new(),
+        }));
+    }
+
+    /// Record a device's (new) position in the spatial index, re-deriving
+    /// its zone membership. No-op while spatial pruning is disabled.
+    pub fn note_device_position(&mut self, env: &Environment, idx: usize, p: Point) {
+        if let Some(sp) = self.spatial.as_mut() {
+            sp.index.set_position(idx, p);
+            if idx == sp.zone.len() {
+                sp.zone.push(env.room.zone_of(p));
+            } else {
+                sp.zone[idx] = env.room.zone_of(p);
+            }
+            sp.audited.retain(|&(a, b)| a != idx && b != idx);
+        }
+    }
+
+    /// The active coupling cutoff distance, if spatial pruning is enabled.
+    pub fn spatial_cutoff_m(&self) -> Option<f64> {
+        self.spatial.as_ref().map(|sp| sp.index.cutoff_m())
+    }
+
+    /// The active prune mode, if spatial pruning is enabled.
+    pub fn spatial_mode(&self) -> Option<PruneMode> {
+        self.spatial.as_ref().map(|sp| sp.mode)
+    }
+
     /// Flush all cached geometry and gains (call after bulk scene edits;
     /// for a single device prefer the granular bumps on
     /// [`Medium::link_cache_mut`]).
     pub fn invalidate_paths(&mut self) {
         self.cache.invalidate_all();
+        if let Some(sp) = self.spatial.as_mut() {
+            sp.audited.clear();
+        }
     }
 
     /// The radiometric cache (counters, inspection).
@@ -110,6 +214,37 @@ impl Medium {
         dst: usize,
         extra_power_db: f64,
     ) -> f64 {
+        if let Some(sp) = self.spatial.as_mut() {
+            let tracked = sp.index.tracked();
+            if src < tracked && dst < tracked && !sp.coupled_pair(src, dst) {
+                let (mode, floor) = (sp.mode, sp.floor_dbm);
+                let audit = mode == PruneMode::Audit && sp.audited.insert((src, dst));
+                self.cache.ctx().record_spatial_pruned(1);
+                if audit {
+                    // Counter-free recomputation from the devices' *actual*
+                    // node state: a stale grid or an unsound bound panics
+                    // here instead of silently zeroing real interference.
+                    let dst_key = devices[dst].listen_key();
+                    let (sd, dd) = (&devices[src], &devices[dst]);
+                    let true_dbm = link_state(
+                        env,
+                        &sd.node,
+                        sd.pattern(src_pat),
+                        &dd.node,
+                        dd.pattern(dst_key),
+                    )
+                    .total_dbm
+                        + sd.tx_power_offset_db
+                        + extra_power_db;
+                    assert!(
+                        true_dbm < floor,
+                        "spatial prune unsound: {src}->{dst} couples at \
+                         {true_dbm:.1} dBm (floor {floor} dBm)"
+                    );
+                }
+                return -300.0;
+            }
+        }
         let dst_key = devices[dst].listen_key();
         let (sd, dd) = (&devices[src], &devices[dst]);
         let (lin, db) = self.cache.link_gain_lin_db(
@@ -151,13 +286,47 @@ impl Medium {
         let src = frame.src;
         let mut power_at = self.power_pool.pop().unwrap_or_default();
         power_at.clear();
-        power_at.extend((0..devices.len()).map(|d| {
-            if d == src {
-                -300.0
-            } else {
-                self.rx_power_dbm(env, devices, src, pattern, d, extra_power_db) + link_offsets[d]
+
+        // Enforce-mode fast path: enumerate only the source's grid
+        // neighborhood instead of probing every device. The coupled set —
+        // `{d ≠ src : distance ≤ cutoff}` — is exactly the set the
+        // per-device loop below would compute through, so both paths yield
+        // bit-identical powers and identical prune counts.
+        let coupled = match self.spatial.as_mut() {
+            Some(sp) if sp.mode == PruneMode::Enforce && sp.index.tracked() == devices.len() => {
+                let mut scratch = std::mem::take(&mut sp.scratch);
+                sp.index
+                    .neighbors_into(sp.index.position(src), &mut scratch);
+                scratch.retain(|&d| d != src && sp.coupled_pair(src, d));
+                Some(scratch)
             }
-        }));
+            _ => None,
+        };
+        if let Some(coupled) = coupled {
+            for d in 0..devices.len() {
+                power_at.push(if d == src {
+                    -300.0
+                } else {
+                    -300.0 + link_offsets[d]
+                });
+            }
+            for &d in &coupled {
+                power_at[d] = self.rx_power_dbm(env, devices, src, pattern, d, extra_power_db)
+                    + link_offsets[d];
+            }
+            let pruned = (devices.len() as u64 - 1) - coupled.len() as u64;
+            self.cache.ctx().record_spatial_pruned(pruned);
+            self.spatial.as_mut().expect("spatial state").scratch = coupled;
+        } else {
+            power_at.extend((0..devices.len()).map(|d| {
+                if d == src {
+                    -300.0
+                } else {
+                    self.rx_power_dbm(env, devices, src, pattern, d, extra_power_db)
+                        + link_offsets[d]
+                }
+            }));
+        }
 
         // Interference bookkeeping, both directions.
         let mut interference_lin = 0.0;
@@ -469,6 +638,162 @@ mod tests {
         m.invalidate_paths();
         let far = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 1, 0.0);
         assert!(near - far > 8.0, "8 m vs 2 m ≈ 12 dB: {near} vs {far}");
+    }
+
+    /// Two closed brick boxes with a zone declared over each, plus helper
+    /// devices: dock+laptop in box A, a second dock alone in box B.
+    fn two_room_setup() -> (Environment, Vec<Device>) {
+        use mmwave_geom::{Material, Segment};
+        let mut room = Room::open_space();
+        for (x0, tag) in [(0.0, "a"), (10.0, "b")] {
+            let (x1, y0, y1) = (x0 + 4.0, 0.0, 3.0);
+            let corners = [
+                (Point::new(x0, y0), Point::new(x1, y0)),
+                (Point::new(x1, y0), Point::new(x1, y1)),
+                (Point::new(x1, y1), Point::new(x0, y1)),
+                (Point::new(x0, y1), Point::new(x0, y0)),
+            ];
+            for (i, (a, b)) in corners.into_iter().enumerate() {
+                room.add_obstacle(Segment::new(a, b), Material::Brick, format!("{tag}-{i}"));
+            }
+            room.add_zone(Point::new(x0, y0), Point::new(x1, y1));
+        }
+        let env = Environment::new(room);
+        let ctx = SimCtx::new();
+        let mut devices = vec![
+            Device::wigig_dock(&ctx, "dock A", Point::new(1.0, 1.5), Angle::ZERO, 13),
+            Device::wigig_laptop(
+                &ctx,
+                "laptop A",
+                Point::new(3.0, 1.5),
+                Angle::from_degrees(180.0),
+                11,
+            ),
+            Device::wigig_dock(&ctx, "dock B", Point::new(12.0, 1.5), Angle::ZERO, 7),
+        ];
+        for d in &mut devices {
+            let w = d.wigig_mut().expect("wigig");
+            w.state = crate::device::WigigState::Associated;
+            w.tx_sector = 16;
+        }
+        (env, devices)
+    }
+
+    fn positions(devices: &[Device]) -> Vec<Point> {
+        devices.iter().map(|d| d.node.position).collect()
+    }
+
+    #[test]
+    fn cross_zone_pairs_are_pruned_in_both_modes() {
+        let (env, devices) = two_room_setup();
+        let cfg = mmwave_channel::SpatialConfig::default();
+        for mode in [
+            mmwave_channel::PruneMode::Enforce,
+            mmwave_channel::PruneMode::Audit,
+        ] {
+            let ctx = SimCtx::new();
+            let mut m = Medium::with_ctx(&ctx);
+            m.enable_spatial(&env, &cfg, mode, &positions(&devices));
+            // Cross-zone: pruned to the sentinel in both modes (and audit
+            // verifies the true coupling is below the floor — the closed
+            // boxes block every path, so it is exactly −300).
+            let cross = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 2, 0.0);
+            assert_eq!(cross, -300.0, "{mode:?}");
+            assert_eq!(ctx.counters().spatial_pruned_pairs, 1, "{mode:?}");
+            // Same-zone: never pruned, matches an unpruned medium to the bit.
+            let in_room = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 1, 0.0);
+            let mut plain = Medium::new();
+            let reference = plain.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 1, 0.0);
+            assert_eq!(in_room.to_bits(), reference.to_bits(), "{mode:?}");
+            assert_eq!(ctx.counters().spatial_pruned_pairs, 1, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn distance_cutoff_prunes_far_open_space_pairs() {
+        let (env, devices) = setup();
+        // A deliberately high floor shrinks the cutoff below the 2 m link.
+        let cfg = mmwave_channel::SpatialConfig {
+            floor_dbm: -20.0,
+            ..Default::default()
+        };
+        let ctx = SimCtx::new();
+        let mut m = Medium::with_ctx(&ctx);
+        m.enable_spatial(
+            &env,
+            &cfg,
+            mmwave_channel::PruneMode::Audit,
+            &positions(&devices),
+        );
+        let cut = m.spatial_cutoff_m().expect("enabled");
+        assert!(cut < 2.0, "cutoff {cut} must undercut the 2 m pair");
+        // Audit recomputes the pruned pair and confirms it under the floor.
+        let p = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 1, 0.0);
+        assert_eq!(p, -300.0);
+        assert_eq!(ctx.counters().spatial_pruned_pairs, 1);
+    }
+
+    #[test]
+    fn begin_tx_grid_walk_matches_per_device_loop() {
+        let (env, devices) = two_room_setup();
+        let cfg = mmwave_channel::SpatialConfig::default();
+        let offs: Vec<f64> = (0..devices.len()).map(|d| d as f64 * 0.25).collect();
+        let mut runs = Vec::new();
+        // Enforce takes the grid fast path; Audit takes the per-device
+        // loop. Powers and prune counts must agree bit-for-bit.
+        for mode in [
+            mmwave_channel::PruneMode::Enforce,
+            mmwave_channel::PruneMode::Audit,
+        ] {
+            let ctx = SimCtx::new();
+            let mut m = Medium::with_ctx(&ctx);
+            m.enable_spatial(&env, &cfg, mode, &positions(&devices));
+            let id = m.begin_tx(
+                &env,
+                &devices,
+                data_frame(0, 1, 1),
+                PatKey::Dir(16),
+                0.0,
+                t(0),
+                t(5),
+                &offs,
+            );
+            let tx = m.finish_tx(id, -68.0).expect("tx");
+            runs.push((tx.power_at.clone(), ctx.counters().spatial_pruned_pairs));
+        }
+        let (enforce, audit) = (&runs[0], &runs[1]);
+        assert_eq!(enforce.1, audit.1, "prune counts diverge");
+        assert!(enforce.1 >= 1, "cross-zone dock B must be pruned");
+        for (d, (a, b)) in enforce.0.iter().zip(&audit.0).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "power_at[{d}] diverges");
+        }
+        // The pruned device sees the sentinel plus its fading offset.
+        assert_eq!(enforce.0[2], -300.0 + offs[2]);
+    }
+
+    #[test]
+    fn moving_a_device_across_zones_updates_the_prune() {
+        let (env, mut devices) = two_room_setup();
+        let cfg = mmwave_channel::SpatialConfig::default();
+        let ctx = SimCtx::new();
+        let mut m = Medium::with_ctx(&ctx);
+        m.enable_spatial(
+            &env,
+            &cfg,
+            mmwave_channel::PruneMode::Enforce,
+            &positions(&devices),
+        );
+        assert_eq!(
+            m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 2, 0.0),
+            -300.0
+        );
+        // Dock B walks into room A: no longer pruned.
+        devices[2].node.position = Point::new(2.0, 1.0);
+        m.link_cache_mut().bump_position(2);
+        m.note_device_position(&env, 2, Point::new(2.0, 1.0));
+        let p = m.rx_power_dbm(&env, &devices, 0, PatKey::Dir(16), 2, 0.0);
+        assert!(p > -100.0, "co-located pair must couple, got {p}");
+        assert_eq!(ctx.counters().spatial_pruned_pairs, 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::scenario::{FaultKind, Scenario, ScenarioEvent, WorldMutation};
 use crate::txlog::{TxLog, TxLogEntry};
 use crate::{wigig, wihd};
 use mmwave_channel::{Ar1Fading, CacheMode, Environment, PerturbationProcess, RadioNode};
-use mmwave_geom::{Angle, Point, PropPath};
+use mmwave_geom::{Angle, Point, PropPath, Segment};
 use mmwave_phy::{AntennaPattern, McsTable};
 use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::hash::FastMap;
@@ -241,11 +241,24 @@ impl Net {
     pub fn add_device(&mut self, mut dev: Device) -> usize {
         let id = self.devices.len();
         dev.node.id = mmwave_channel::NodeId(id);
+        let position = dev.node.position;
         self.devices.push(dev);
         // A new device cannot have cached state yet — register it with the
         // radiometric cache without flushing existing pairs.
         self.medium.link_cache_mut().ensure_device(id);
+        self.medium.note_device_position(&self.env, id, position);
         id
+    }
+
+    /// Enable spatial interference pruning on the medium over the devices
+    /// added so far (see [`Medium::enable_spatial`]). The prune mode comes
+    /// from the context override when installed
+    /// ([`mmwave_channel::spatial::install_override`]), defaulting to
+    /// enforcement.
+    pub fn enable_spatial(&mut self, cfg: &mmwave_channel::SpatialConfig) {
+        let mode = mmwave_channel::spatial::override_of(&self.ctx).unwrap_or_default();
+        let positions: Vec<Point> = self.devices.iter().map(|d| d.node.position).collect();
+        self.medium.enable_spatial(&self.env, cfg, mode, &positions);
     }
 
     /// Pre-wire two devices as a link (peer assignment only; association
@@ -372,12 +385,14 @@ impl Net {
                 self.move_device(dev, position, orientation);
             }
             WorldMutation::MoveObstacle { wall, seg } => {
+                let old = self.env.room.walls()[wall].seg;
                 self.env.room.set_wall_segment(wall, seg);
-                self.invalidate_geometry();
+                self.invalidate_wall_mutation(&[old, seg]);
             }
             WorldMutation::SetObstacleEnabled { wall, enabled } => {
+                let seg = self.env.room.walls()[wall].seg;
                 self.env.room.set_wall_enabled(wall, enabled);
-                self.invalidate_geometry();
+                self.invalidate_wall_mutation(&[seg]);
             }
             WorldMutation::SetVideo { dev, on } => self.set_video(dev, on),
             WorldMutation::InjectFaults { dev, kind, until } => {
@@ -547,6 +562,11 @@ impl Net {
         self.devices.len()
     }
 
+    /// The shared medium (cache statistics, spatial-prune introspection).
+    pub fn medium(&self) -> &Medium {
+        &self.medium
+    }
+
     /// Pattern-weighted received power from `src` (radiating `pattern`)
     /// at `dst`, dBm, before fading — the radiometric primitive exposed
     /// for analyses that need link budgets of a live scenario.
@@ -567,6 +587,7 @@ impl Net {
         node.orientation = orientation;
         if moved {
             self.medium.link_cache_mut().bump_position(i);
+            self.medium.note_device_position(&self.env, i, position);
             // Monitors trace their own paths per transmitter; only those
             // from the moved device are stale.
             for m in &mut self.monitors {
@@ -584,6 +605,75 @@ impl Net {
         for m in &mut self.monitors {
             m.paths.clear();
         }
+    }
+
+    /// Invalidate cached state after a wall mutation, scoped to the opaque
+    /// zones the wall lies in when that is provably sufficient.
+    ///
+    /// Under the closed-zone contract ([`mmwave_geom::Room::add_zone`]) no
+    /// propagation path enters a foreign zone, so a wall wholly inside
+    /// zone Z can only perturb pairs with an endpoint in Z: bumping the
+    /// position generation of Z's devices re-traces exactly those pairs
+    /// while every cross-zone entry survives. Falls back to the global
+    /// flush whenever the scoping argument does not hold — no zones
+    /// declared, the wall not contained in any zone, or any device or
+    /// monitor outside every zone. Toggling a zone's *boundary* wall
+    /// breaches the contract itself and is the caller's responsibility
+    /// (audit-mode spatial pruning panics on the resulting leakage).
+    fn invalidate_wall_mutation(&mut self, segs: &[Segment]) {
+        let affected: Option<Vec<usize>> = (|| {
+            let room = &self.env.room;
+            if room.zones().is_empty() {
+                return None;
+            }
+            let mut affected: Vec<usize> = Vec::new();
+            for &seg in segs {
+                let zs = room.zones_of_segment(seg);
+                if zs.is_empty() {
+                    return None; // influence not bounded by any zone
+                }
+                for z in zs {
+                    if !affected.contains(&z) {
+                        affected.push(z);
+                    }
+                }
+            }
+            for d in &self.devices {
+                if room.zone_of(d.node.position).is_none() {
+                    return None;
+                }
+            }
+            for m in &self.monitors {
+                if room.zone_of(m.node.position).is_none() {
+                    return None;
+                }
+            }
+            Some(affected)
+        })();
+        let Some(affected) = affected else {
+            self.invalidate_geometry();
+            return;
+        };
+        for i in 0..self.devices.len() {
+            let z = self.env.room.zone_of(self.devices[i].node.position);
+            if z.is_some_and(|z| affected.contains(&z)) {
+                self.medium.link_cache_mut().bump_position(i);
+                for m in &mut self.monitors {
+                    m.paths.remove(&i);
+                }
+            }
+        }
+        for m in &mut self.monitors {
+            if self
+                .env
+                .room
+                .zone_of(m.node.position)
+                .is_some_and(|z| affected.contains(&z))
+            {
+                m.paths.clear();
+            }
+        }
+        self.ctx.record_spatial_zone_invalidation();
     }
 
     /// The network configuration.

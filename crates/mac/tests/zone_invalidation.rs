@@ -1,0 +1,125 @@
+//! Regression: wall mutations inside one opaque zone must not flush the
+//! link-gain cache of pairs living in *other* zones.
+//!
+//! Before the zone-scoped invalidation, every `MoveObstacle` /
+//! `SetObstacleEnabled` scenario mutation called the global
+//! `invalidate_geometry`, so a screen wiggling in room A forced every
+//! pair in room B to re-trace its (unchanged) paths. With zones declared
+//! over closed rooms, the mutation bumps only the affected room's
+//! devices.
+
+use mmwave_channel::Environment;
+use mmwave_geom::{Angle, Material, Point, Room, Segment};
+use mmwave_mac::device::{Device, PatKey};
+use mmwave_mac::net::{Net, NetConfig};
+use mmwave_mac::scenario::{Scenario, WorldMutation};
+use mmwave_sim::ctx::SimCtx;
+use mmwave_sim::time::SimTime;
+
+/// Two closed brick boxes. Each gets a declared zone; room A additionally
+/// holds a movable absorber screen between its pair.
+fn build_room(with_zones: bool) -> Room {
+    let mut room = Room::open_space();
+    for (x0, tag) in [(0.0, "a"), (10.0, "b")] {
+        let (x1, y0, y1) = (x0 + 4.0, 0.0, 3.0);
+        let corners = [
+            (Point::new(x0, y0), Point::new(x1, y0)),
+            (Point::new(x1, y0), Point::new(x1, y1)),
+            (Point::new(x1, y1), Point::new(x0, y1)),
+            (Point::new(x0, y1), Point::new(x0, y0)),
+        ];
+        for (i, (a, b)) in corners.into_iter().enumerate() {
+            room.add_obstacle(Segment::new(a, b), Material::Brick, format!("{tag}-{i}"));
+        }
+        if with_zones {
+            room.add_zone(Point::new(x0, y0), Point::new(x1, y1));
+        }
+    }
+    room.add_obstacle(
+        Segment::new(Point::new(2.0, 0.3), Point::new(2.0, 1.2)),
+        Material::Absorber,
+        "screen",
+    );
+    room
+}
+
+fn build_net(with_zones: bool, ctx: &SimCtx) -> Net {
+    let mut net = Net::with_ctx(
+        Environment::new(build_room(with_zones)),
+        NetConfig::default(),
+        ctx,
+    );
+    let d0 = net.add_device(Device::wigig_dock(
+        ctx,
+        "dock A",
+        Point::new(1.0, 1.5),
+        Angle::ZERO,
+        13,
+    ));
+    let d1 = net.add_device(Device::wigig_laptop(
+        ctx,
+        "laptop A",
+        Point::new(3.0, 1.5),
+        Angle::from_degrees(180.0),
+        11,
+    ));
+    let d2 = net.add_device(Device::wigig_dock(
+        ctx,
+        "dock B",
+        Point::new(11.0, 1.5),
+        Angle::ZERO,
+        7,
+    ));
+    let _ = net.add_device(Device::wigig_laptop(
+        ctx,
+        "laptop B",
+        Point::new(13.0, 1.5),
+        Angle::from_degrees(180.0),
+        5,
+    ));
+    let _ = (d0, d1, d2);
+    net
+}
+
+/// Warm both pairs, toggle the screen in room A, then re-query both pairs
+/// and report `(path_traces_after_requery, zone_invalidations)`.
+fn run(with_zones: bool) -> (u64, u64) {
+    let ctx = SimCtx::new();
+    let mut net = build_net(with_zones, &ctx);
+    net.install_scenario(Scenario::new().at(
+        SimTime::from_micros(500),
+        WorldMutation::SetObstacleEnabled {
+            wall: 8, // the screen (two 4-wall boxes precede it)
+            enabled: false,
+        },
+    ));
+    // Warm every within-room pair. The devices stay unassociated so the
+    // event queue holds nothing but the scripted mutation — the trace
+    // counts below measure invalidation, not MAC traffic.
+    for (s, d) in [(0, 1), (1, 0), (2, 3), (3, 2)] {
+        net.medium_rx_power_dbm(s, PatKey::Qo(0), d);
+    }
+    let warm = net.medium().link_cache().stats().path_traces;
+    net.run_until(SimTime::from_micros(1_000));
+    for (s, d) in [(0, 1), (1, 0), (2, 3), (3, 2)] {
+        net.medium_rx_power_dbm(s, PatKey::Qo(0), d);
+    }
+    let after = net.medium().link_cache().stats().path_traces;
+    (after - warm, ctx.counters().spatial_zone_invalidations)
+}
+
+#[test]
+fn cross_zone_pairs_survive_a_wall_toggle() {
+    let (retraced, zone_invals) = run(true);
+    // Only room A's pair re-traces; room B's cached geometry survives the
+    // screen toggle.
+    assert_eq!(retraced, 1, "exactly the affected room re-traces");
+    assert_eq!(zone_invals, 1, "the mutation must be zone-scoped");
+}
+
+#[test]
+fn without_zones_the_toggle_flushes_everything() {
+    let (retraced, zone_invals) = run(false);
+    assert_eq!(retraced, 2, "global flush re-traces both rooms");
+    assert_eq!(zone_invals, 0);
+}

@@ -59,6 +59,8 @@ struct CtxInner {
     cc_reports_folded: Cell<u64>,
     cc_patterns_installed: Cell<u64>,
     cc_loss_epochs: Cell<u64>,
+    spatial_pruned_pairs: Cell<u64>,
+    spatial_zone_invalidations: Cell<u64>,
     cache_mode: CacheMode,
     queue_backend: QueueBackend,
     /// Type-keyed extension slots: downstream crates park their
@@ -84,6 +86,8 @@ impl CtxInner {
             cc_reports_folded: Cell::new(0),
             cc_patterns_installed: Cell::new(0),
             cc_loss_epochs: Cell::new(0),
+            spatial_pruned_pairs: Cell::new(0),
+            spatial_zone_invalidations: Cell::new(0),
             cache_mode,
             queue_backend,
             ext: RefCell::new(Vec::new()),
@@ -170,6 +174,8 @@ impl SimCtx {
             cc_reports_folded: c.cc_reports_folded.get(),
             cc_patterns_installed: c.cc_patterns_installed.get(),
             cc_loss_epochs: c.cc_loss_epochs.get(),
+            spatial_pruned_pairs: c.spatial_pruned_pairs.get(),
+            spatial_zone_invalidations: c.spatial_zone_invalidations.get(),
         }
     }
 
@@ -208,6 +214,10 @@ impl SimCtx {
             .set(i.cc_patterns_installed.get() + c.cc_patterns_installed);
         i.cc_loss_epochs
             .set(i.cc_loss_epochs.get() + c.cc_loss_epochs);
+        i.spatial_pruned_pairs
+            .set(i.spatial_pruned_pairs.get() + c.spatial_pruned_pairs);
+        i.spatial_zone_invalidations
+            .set(i.spatial_zone_invalidations.get() + c.spatial_zone_invalidations);
     }
 
     /// Record an event popped and executed.
@@ -285,6 +295,19 @@ impl SimCtx {
         bump(&self.inner.cc_loss_epochs);
     }
 
+    /// Record `n` device pairs pruned by the spatial interference graph
+    /// during one evaluation sweep (0 is a no-op).
+    pub fn record_spatial_pruned(&self, n: u64) {
+        let c = &self.inner.spatial_pruned_pairs;
+        c.set(c.get() + n);
+    }
+
+    /// Record one wall mutation whose invalidation was scoped to its
+    /// opaque zones instead of a global flush.
+    pub fn record_spatial_zone_invalidation(&self) {
+        bump(&self.inner.spatial_zone_invalidations);
+    }
+
     /// Fetch this context's extension slot of type `T`, installing
     /// `f()` on first access. Clones of a context share slots; distinct
     /// contexts never do.
@@ -340,6 +363,9 @@ mod tests {
         ctx.record_cc_pattern();
         ctx.record_cc_pattern();
         ctx.record_cc_loss_epoch();
+        ctx.record_spatial_pruned(4);
+        ctx.record_spatial_pruned(0);
+        ctx.record_spatial_zone_invalidation();
         let s = ctx.counters();
         assert_eq!(s.events_popped, 2);
         assert_eq!(s.events_cancelled, 1);
@@ -354,6 +380,8 @@ mod tests {
         assert_eq!(s.cc_reports_folded, 3);
         assert_eq!(s.cc_patterns_installed, 2);
         assert_eq!(s.cc_loss_epochs, 1);
+        assert_eq!(s.spatial_pruned_pairs, 4);
+        assert_eq!(s.spatial_zone_invalidations, 1);
     }
 
     #[test]
@@ -375,6 +403,8 @@ mod tests {
             cc_reports_folded: 11,
             cc_patterns_installed: 8,
             cc_loss_epochs: 4,
+            spatial_pruned_pairs: 12,
+            spatial_zone_invalidations: 2,
         });
         let s = ctx.counters();
         assert_eq!(s.events_popped, 10);
@@ -390,6 +420,8 @@ mod tests {
         assert_eq!(s.cc_reports_folded, 11);
         assert_eq!(s.cc_patterns_installed, 8);
         assert_eq!(s.cc_loss_epochs, 4);
+        assert_eq!(s.spatial_pruned_pairs, 12);
+        assert_eq!(s.spatial_zone_invalidations, 2);
     }
 
     #[test]

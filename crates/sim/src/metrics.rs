@@ -51,4 +51,11 @@ pub struct EngineCounters {
     /// Distinct transport loss epochs (fast-retransmit entries plus first
     /// RTOs; backed-off retransmit timers within one outage count once).
     pub cc_loss_epochs: u64,
+    /// Device pairs the spatial interference graph pruned (conservative
+    /// coupling bound below the floor, so the full radiometric evaluation
+    /// was skippable; audit mode records the same count while computing).
+    pub spatial_pruned_pairs: u64,
+    /// Wall mutations whose cache invalidation was scoped to the opaque
+    /// zones the wall touches instead of flushing every pair.
+    pub spatial_zone_invalidations: u64,
 }

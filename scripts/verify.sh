@@ -24,6 +24,18 @@ echo "==> queue backend equivalence suite"
 # randomized schedule/cancel/pop scripts.
 cargo test -q --release -p mmwave-sim --test queue_equivalence
 
+echo "==> image-tree equivalence suite"
+# The shared image tree must reproduce the reference per-pair mirror
+# enumeration bit-for-bit across randomized rooms and endpoints.
+cargo test -q --release -p mmwave-geom --test image_tree_equivalence
+
+echo "==> spatial pruning suites"
+# The interference graph's soundness (pruned pairs provably below the
+# coupling floor) and its byte-invisibility in campaign artifacts
+# (enforce vs audit mode over a matrix including `enterprise`).
+cargo test -q --release -p mmwave-channel --test spatial_pruning_property
+cargo test -q --release -p mmwave-campaign --test spatial_equivalence
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -15,6 +15,7 @@ fn two_experiment_campaign_roundtrips() {
         quick: true,
         jobs: 2,
         cc: None,
+        prune: None,
     };
     let result = runner::run(&cfg);
     assert_eq!(result.records.len(), 2);
