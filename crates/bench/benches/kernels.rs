@@ -2,15 +2,22 @@
 //! the event queue, the image-method ray tracer, phased-array synthesis,
 //! pattern lookups, the PER model, the frame detector and the TCP pump.
 
-use mmwave_bench::{bench, black_box};
+use mmwave_bench::{bench, black_box, CountingAlloc};
 use mmwave_capture::trace::{SegmentTag, TraceSegment};
-use mmwave_capture::{detect_frames, DetectorConfig, SignalTrace};
-use mmwave_geom::{trace_paths, Angle, Material, Point, Room, TraceConfig};
-use mmwave_phy::{ArrayConfig, Codebook, McsTable, PhasedArray};
+use mmwave_capture::{
+    detect_frames, detect_frames_reference, DetectorConfig, SampleScratch, SignalTrace,
+};
+use mmwave_geom::{trace_paths, trace_paths_reference, Angle, Material, Point, Room, TraceConfig};
+use mmwave_phy::{ArrayConfig, Codebook, McsTable, PhasedArray, SynthScratch};
 use mmwave_sim::ctx::SimCtx;
 use mmwave_sim::queue::EventQueue;
 use mmwave_sim::rng::SimRng;
 use mmwave_sim::time::{SimDuration, SimTime};
+
+/// Count heap-allocation events per iteration — the zero-steady-state
+/// assertions below depend on this (`allocs_per_iter` in the JSON).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn bench_event_queue() {
     bench("event_queue/schedule_pop_10k", || {
@@ -121,6 +128,20 @@ fn bench_raytrace() {
         }
         acc
     });
+    // Same-phase oracle row: the per-pair reference enumeration on the
+    // identical 100 links. The shared_tree/reference median ratio within
+    // one run is the phase-independent speedup evidence (absolute medians
+    // swing with host performance phase; see DESIGN.md).
+    bench("raytrace/reference_100links", || {
+        let mut acc = 0usize;
+        for i in 0..100u32 {
+            let t = 0.08 + (i as f64) * 0.084;
+            let src = Point::new(0.3 + t, 0.4 + (i % 7) as f64 * 0.35);
+            let dst = Point::new(8.7 - t, 2.8 - (i % 5) as f64 * 0.45);
+            acc += trace_paths_reference(&room, black_box(src), black_box(dst), &cfg).len();
+        }
+        acc
+    });
 }
 
 fn bench_array_synthesis() {
@@ -128,6 +149,29 @@ fn bench_array_synthesis() {
     bench("phy/steered_pattern", || {
         array.steered_pattern(black_box(Angle::from_degrees(17.0)))
     });
+    // Same-phase oracle row: the scalar reference synthesis on identical
+    // weights. The steered_pattern/reference ratio within one run is the
+    // phase-independent speedup evidence.
+    let w = array.steering_weights(Angle::from_degrees(17.0));
+    bench("phy/steered_pattern_reference", || {
+        array.pattern_from_weights_reference(black_box(&w))
+    });
+    // Steady-state synthesis into reused scratch and output: after the
+    // warm-up call every buffer has its final capacity, so the kernel must
+    // never touch the allocator again.
+    {
+        let mut scratch = SynthScratch::default();
+        let mut out = vec![0.0f64; mmwave_phy::AntennaPattern::DEFAULT_SAMPLES];
+        array.pattern_samples_into(&mut scratch, &w, &mut out);
+        let r = bench("phy/pattern_samples_into_warm", || {
+            array.pattern_samples_into(&mut scratch, black_box(&w), &mut out);
+            out[0]
+        });
+        assert_eq!(
+            r.allocs_per_iter, 0.0,
+            "pattern_samples_into allocated in steady state"
+        );
+    }
     // Hit path: after the first iteration every call is a cache lookup
     // plus an `Arc` clone of the sector table.
     let ctx = SimCtx::new();
@@ -181,6 +225,37 @@ fn bench_detector() {
             0.01,
             &DetectorConfig::default(),
         )
+    });
+    // Same-phase oracle row for the chunked detector.
+    bench("capture/detect_reference_100k_samples", || {
+        detect_frames_reference(
+            black_box(&samples),
+            period,
+            SimTime::ZERO,
+            0.01,
+            &DetectorConfig::default(),
+        )
+    });
+    // Steady-state sampling into reused scratch and output buffers: must
+    // stay allocation-free once the buffers reached their final capacity.
+    {
+        let mut rng3 = SimRng::root(3).stream("bench3");
+        let mut scratch = SampleScratch::default();
+        let mut out = Vec::new();
+        trace.sample_into(1e8, &mut rng3, &mut scratch, &mut out);
+        let r = bench("capture/sample_into_warm", || {
+            trace.sample_into(1e8, &mut rng3, &mut scratch, &mut out);
+            out.len()
+        });
+        assert_eq!(
+            r.allocs_per_iter, 0.0,
+            "SignalTrace::sample_into allocated in steady state"
+        );
+    }
+    // Same-phase oracle row for the chunked sampler.
+    let mut rng_ref = SimRng::root(2).stream("bench2");
+    bench("capture/sample_1ms_trace_reference", || {
+        trace.sample_reference(1e8, &mut rng_ref)
     });
     let mut rng2 = SimRng::root(2).stream("bench2");
     let r = bench("capture/sample_1ms_trace", move || {
@@ -282,6 +357,53 @@ fn bench_link_cache() {
     *warm.link_cache_mut() = LinkGainCache::with_mode(CacheMode::Cached);
     one_tx(&mut warm);
     bench("link/begin_tx_warm", move || one_tx(&mut warm));
+
+    // The same warm cycle with every buffer recycled: the finished
+    // transmission's power vector goes back to the medium's pool and the
+    // MPDU vector shuttles between frame and bench, so a steady-state
+    // begin_tx/finish_tx round trip never touches the allocator.
+    {
+        let (env_r, dev_r, offs_r) = (&env, &devices, &offs);
+        let mut recycled = Medium::new();
+        *recycled.link_cache_mut() = LinkGainCache::with_mode(CacheMode::Cached);
+        one_tx(&mut recycled);
+        let mut mpdus = vec![Mpdu {
+            bytes: 1500,
+            tag: 0,
+        }];
+        let r = bench("link/begin_tx_warm_recycled", move || {
+            let id = recycled.begin_tx(
+                env_r,
+                dev_r,
+                Frame {
+                    src: 0,
+                    dst: Some(1),
+                    kind: FrameKind::Data {
+                        mpdus: std::mem::take(&mut mpdus),
+                        mcs: 11,
+                        retry: 0,
+                    },
+                    seq: 1,
+                },
+                PatKey::Dir(16),
+                0.0,
+                SimTime::ZERO,
+                SimTime::from_micros(5),
+                offs_r,
+            );
+            let tx = recycled.finish_tx(id, -68.0).expect("tx exists");
+            let p = tx.power_at[1];
+            if let FrameKind::Data { mpdus: m, .. } = tx.frame.kind {
+                mpdus = m;
+            }
+            recycled.recycle_power(tx.power_at);
+            p
+        });
+        assert_eq!(
+            r.allocs_per_iter, 0.0,
+            "warm begin_tx/finish_tx cycle allocated in steady state"
+        );
+    }
 
     let mut bypass = Medium::new();
     *bypass.link_cache_mut() = LinkGainCache::with_mode(CacheMode::Bypass);

@@ -10,8 +10,10 @@
 //! re-exports `std::hint::black_box` so bench bodies read like the
 //! criterion originals.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -19,6 +21,46 @@ pub use std::hint::black_box;
 
 /// Schema tag stamped into the JSON trajectory.
 pub const BENCH_SCHEMA: &str = "mmwave-bench/1";
+
+/// Allocation-counting wrapper around the system allocator.
+///
+/// A bench binary opts in with
+/// `#[global_allocator] static A: CountingAlloc = CountingAlloc;`
+/// after which [`bench`] attributes heap-allocation *events* (`alloc`,
+/// `alloc_zeroed`, `realloc` — frees are not events) to each benchmark as
+/// `allocs_per_iter`. The counter is a single relaxed `fetch_add`, cheap
+/// enough to leave on for every measurement; without the attribute the
+/// counter stays at zero and the column reads 0.0 everywhere.
+pub struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Allocation events since process start. Zero for the whole run unless
+/// the binary installed [`CountingAlloc`] as its global allocator.
+pub fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
 
 /// Tuning knobs for the measurement loop.
 #[derive(Clone, Copy, Debug)]
@@ -60,6 +102,11 @@ pub struct BenchResult {
     pub min_ns: f64,
     pub median_ns: f64,
     pub mean_ns: f64,
+    /// Heap-allocation events per iteration across the measured phase
+    /// (warm-up excluded). Exactly 0.0 means the steady state never
+    /// touched the allocator; requires [`CountingAlloc`] to be installed,
+    /// else always 0.0.
+    pub allocs_per_iter: f64,
 }
 
 static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
@@ -96,6 +143,9 @@ pub fn bench_with<T>(cfg: BenchConfig, name: &str, mut f: impl FnMut() -> T) -> 
     }
 
     let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    // The sample vector is pre-sized and the timing calls are
+    // allocation-free, so every event in this window belongs to `f`.
+    let allocs_before = alloc_events();
     for _ in 0..samples {
         let t = Instant::now();
         for _ in 0..iters {
@@ -103,12 +153,14 @@ pub fn bench_with<T>(cfg: BenchConfig, name: &str, mut f: impl FnMut() -> T) -> 
         }
         per_iter.push(t.elapsed().as_secs_f64() / iters as f64);
     }
+    let allocs = alloc_events() - allocs_before;
+    let allocs_per_iter = allocs as f64 / (samples as f64 * iters as f64);
     per_iter.sort_by(|a, b| a.total_cmp(b));
     let min = per_iter[0];
     let median = per_iter[per_iter.len() / 2];
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
     println!(
-        "{name:<44} {iters:>7} it/sample   min {}  median {}  mean {}",
+        "{name:<44} {iters:>7} it/sample   min {}  median {}  mean {}  allocs {allocs_per_iter:>7.1}/it",
         fmt_time(min),
         fmt_time(median),
         fmt_time(mean)
@@ -119,6 +171,7 @@ pub fn bench_with<T>(cfg: BenchConfig, name: &str, mut f: impl FnMut() -> T) -> 
         min_ns: min * 1e9,
         median_ns: median * 1e9,
         mean_ns: mean * 1e9,
+        allocs_per_iter,
     };
     RESULTS.lock().expect("bench registry").push(result.clone());
     result
@@ -149,12 +202,13 @@ pub fn results_json() -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"name\": {}, \"iters_per_sample\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}",
+            "\n    {{\"name\": {}, \"iters_per_sample\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"allocs_per_iter\": {}}}",
             json_string(&r.name),
             r.iters,
             json_num(r.min_ns),
             json_num(r.median_ns),
             json_num(r.mean_ns),
+            json_num(r.allocs_per_iter),
         ));
     }
     if !results.is_empty() {
@@ -231,6 +285,7 @@ mod tests {
         assert!(json.contains("\"name\": \"test/noop\""));
         assert!(json.contains("\\\"quoted\\\""), "quotes escaped: {json}");
         assert!(json.contains("\"min_ns\""));
+        assert!(json.contains("\"allocs_per_iter\""));
 
         // Minimum measurement budget: a body slower than target/samples
         // would calibrate to one iteration per sample; the floor lifts

@@ -63,8 +63,22 @@ impl DetectedFrame {
     }
 }
 
+/// Samples per chunk of the fused detector pass. Also the ceiling on the
+/// smoothing window the chunked path supports (wider windows fall back to
+/// the reference path); the carry + abs + envelope stack buffers total
+/// 16 KiB.
+const DETECT_CHUNK: usize = 512;
+
 /// Detect frames in a sampled waveform (`samples` at spacing `period`,
 /// starting at `t0`, front-end noise RMS `noise_rms_v`).
+///
+/// Returns exactly what [`detect_frames_reference`] returns (a
+/// differential test pins them sample-for-sample) without materializing
+/// the envelope vector: samples are processed in chunks — a vectorizable
+/// rectify/widen pass, the serial moving-average accumulation (whose adds
+/// keep the reference's exact order and pairing), a vectorizable
+/// normalize pass, and the hysteresis state machine over the chunk's
+/// envelope values.
 pub fn detect_frames(
     samples: &[f32],
     period: SimDuration,
@@ -77,6 +91,110 @@ pub fn detect_frames(
     }
     // Rectified moving-average envelope. A rectified sine has mean 2/π of
     // its peak; correct for that so thresholds compare against amplitude.
+    let win = (cfg.smooth.as_nanos() / period.as_nanos()).max(1) as usize;
+    if win > DETECT_CHUNK {
+        return detect_frames_reference(samples, period, t0, noise_rms_v, cfg);
+    }
+    let correction = std::f64::consts::PI / 2.0;
+    let on_thr = noise_rms_v * cfg.on_factor;
+    let off_thr = noise_rms_v * cfg.off_factor;
+    let gap_samples = (cfg.min_gap.as_nanos() / period.as_nanos()).max(1) as usize;
+
+    let n = samples.len();
+    let mut frames = Vec::new();
+    let mut open: Option<(usize, f64, usize)> = None; // (start idx, amp sum, count)
+    let mut below_run = 0usize;
+    let mut acc = 0.0f64;
+    // `buf[..win]` carries the previous chunk's trailing rectified
+    // samples (the values the moving average drops as the window slides);
+    // `buf[win..win + len]` is the current chunk.
+    let mut buf = [0.0f64; 2 * DETECT_CHUNK];
+    let mut env = [0.0f64; DETECT_CHUNK];
+    let mut i0 = 0usize;
+    while i0 < n {
+        let len = DETECT_CHUNK.min(n - i0);
+        // Rectify and widen (vectorizes; no loop-carried state).
+        for (b, &s) in buf[win..win + len].iter_mut().zip(&samples[i0..i0 + len]) {
+            *b = s.abs() as f64;
+        }
+        // Serial accumulation — the only loop-carried dependency, kept to
+        // two adds per sample in the reference's exact order.
+        if i0 >= win {
+            for k in 0..len {
+                acc += buf[win + k];
+                acc -= buf[k];
+                env[k] = acc;
+            }
+        } else {
+            for k in 0..len {
+                acc += buf[win + k];
+                if i0 + k >= win {
+                    // `buf[k]` is `a[i0 + k − win]` in either buffer region.
+                    acc -= buf[k];
+                }
+                env[k] = acc;
+            }
+        }
+        // Normalize (vectorizes once the window is saturated).
+        if i0 >= win {
+            let denominator = win as f64;
+            for e in env[..len].iter_mut() {
+                *e = *e / denominator * correction;
+            }
+        } else {
+            for (k, e) in env[..len].iter_mut().enumerate() {
+                let denominator = win.min(i0 + k + 1) as f64;
+                *e = *e / denominator * correction;
+            }
+        }
+        // Hysteresis state machine over the chunk.
+        for (k, &e) in env[..len].iter().enumerate() {
+            let i = i0 + k;
+            match open {
+                None => {
+                    if e > on_thr {
+                        open = Some((i, e, 1));
+                        below_run = 0;
+                    }
+                }
+                Some((start, sum, count)) => {
+                    if e < off_thr {
+                        below_run += 1;
+                        if below_run >= gap_samples {
+                            let end = i - below_run + 1;
+                            push_frame(&mut frames, start, end, sum, count, t0, period, cfg);
+                            open = None;
+                        }
+                    } else {
+                        below_run = 0;
+                        open = Some((start, sum + e, count + 1));
+                    }
+                }
+            }
+        }
+        // Slide the carry: the next chunk's moving average drops these.
+        buf.copy_within(len..len + win, 0);
+        i0 += len;
+    }
+    if let Some((start, sum, count)) = open {
+        push_frame(&mut frames, start, n, sum, count, t0, period, cfg);
+    }
+    frames
+}
+
+/// The pre-SoA detector, kept verbatim as the bit-level specification of
+/// [`detect_frames`] — the differential suite and the same-phase reference
+/// benches run both over identical waveforms.
+pub fn detect_frames_reference(
+    samples: &[f32],
+    period: SimDuration,
+    t0: SimTime,
+    noise_rms_v: f64,
+    cfg: &DetectorConfig,
+) -> Vec<DetectedFrame> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
     let win = (cfg.smooth.as_nanos() / period.as_nanos()).max(1) as usize;
     let correction = std::f64::consts::PI / 2.0;
     let mut envelope = Vec::with_capacity(samples.len());

@@ -47,7 +47,9 @@ pub mod trace;
 pub mod vubiq;
 
 pub use classify::{split_by_amplitude, AmplitudeClass};
-pub use detect::{detect_frames, utilization, DetectedFrame, DetectorConfig};
+pub use detect::{
+    detect_frames, detect_frames_reference, utilization, DetectedFrame, DetectorConfig,
+};
 pub use scan::{angular_profile, semicircle_scan, AngularProfile, ScanPoint};
-pub use trace::{SignalTrace, TraceSegment};
+pub use trace::{SampleScratch, SignalTrace, TraceSegment};
 pub use vubiq::VubiqReceiver;

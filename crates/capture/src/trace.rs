@@ -50,6 +50,23 @@ fn sampling_tables() -> &'static (Vec<f64>, Vec<f64>) {
     })
 }
 
+/// Samples rendered per inner chunk of [`SignalTrace::sample_into`]: the
+/// bits buffer (4 KiB) stays L1-resident and the stage-2 loop is long
+/// enough to amortize its vector prologue.
+const SAMPLE_CHUNK: usize = 512;
+
+/// Reusable sweep state for [`SignalTrace::sample_into`]: segment indices
+/// sorted by start time and the currently-active set. Once grown to the
+/// trace's segment count, sampling performs no allocations (the output
+/// vector is caller-owned and likewise reused).
+#[derive(Clone, Debug, Default)]
+pub struct SampleScratch {
+    /// Segment indices sorted by `(start, index)`.
+    by_start: Vec<u32>,
+    /// Indices of segments overlapping the current sample instant.
+    active: Vec<u32>,
+}
+
 /// Ground-truth tag carried by a segment (never used by the detectors —
 /// only by tests validating them).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -152,11 +169,36 @@ impl SignalTrace {
     /// the envelope is recoverable (the paper's "this prevents decoding").
     /// Returns `(sample_period, samples)`.
     ///
-    /// Runs faster than real time: the envelope is piecewise constant, so
-    /// segments are scanned only at segment boundaries (not per sample),
-    /// and phase/noise come from precomputed tables indexed by one raw RNG
-    /// draw per sample (see [`sampling_tables`]).
+    /// Convenience wrapper over [`SignalTrace::sample_into`] with fresh
+    /// buffers; hot callers (campaign loops, benches) should hold a
+    /// [`SampleScratch`] and reuse an output vector instead.
     pub fn sample(&self, rate_hz: f64, rng: &mut SimRng) -> (SimDuration, Vec<f32>) {
+        let mut out = Vec::new();
+        let period = self.sample_into(rate_hz, rng, &mut SampleScratch::default(), &mut out);
+        (period, out)
+    }
+
+    /// [`SignalTrace::sample`] into caller-owned buffers: `out` is cleared
+    /// and refilled, `scratch` holds the segment sweep state. Performs no
+    /// allocations once the buffers have grown to the trace's size.
+    ///
+    /// The waveform is bit-identical to [`SignalTrace::sample_reference`]
+    /// for the same RNG stream (verified by a differential test): samples
+    /// draw exactly one `next_u64` each, in emission order, and the
+    /// per-sample float expression is unchanged. Speed comes from the
+    /// *structure*: the envelope is piecewise constant, so segments are
+    /// scanned only at boundaries, and each run of constant-envelope
+    /// samples is rendered in two stages — a serial RNG fill of a bits
+    /// chunk, then a table-lookup/multiply/convert loop over the chunk
+    /// with no loop-carried state, which autovectorizes (AVX2 gathers for
+    /// the table loads).
+    pub fn sample_into(
+        &self,
+        rate_hz: f64,
+        rng: &mut SimRng,
+        scratch: &mut SampleScratch,
+        out: &mut Vec<f32>,
+    ) -> SimDuration {
         assert!(rate_hz > 0.0);
         let period = SimDuration::from_secs_f64(1.0 / rate_hz);
         assert!(!period.is_zero(), "sample rate above 1 GS/s tick limit");
@@ -164,7 +206,93 @@ impl SignalTrace {
         let (noise_tab, cos_tab) = sampling_tables();
         let noise_rms = self.noise_rms_v;
         let mask = (TABLE_LEN - 1) as u64;
+        let segs = &self.segments;
         // Sort segment starts for an O(n + m) sweep instead of O(n·m).
+        // The (start, index) key reproduces the reference's *stable* sort
+        // with the allocation-free unstable one — tie order decides the
+        // f64 summation order of overlapping envelopes, so it must match.
+        let by_start = &mut scratch.by_start;
+        by_start.clear();
+        by_start.extend(0..segs.len() as u32);
+        by_start.sort_unstable_by_key(|&i| (segs[i as usize].start, i));
+        let active = &mut scratch.active;
+        active.clear();
+        let mut next_seg = 0;
+        out.clear();
+        out.resize(n, 0.0);
+        let mut t = self.window_start;
+        let mut emitted = 0usize;
+        while emitted < n {
+            // Reconcile the active set at the current sample instant
+            // (starts are inclusive, ends exclusive, as before).
+            while next_seg < by_start.len() && segs[by_start[next_seg] as usize].start <= t {
+                active.push(by_start[next_seg]);
+                next_seg += 1;
+            }
+            active.retain(|&s| segs[s as usize].end > t);
+            let env_sq: f64 = active
+                .iter()
+                .map(|&s| {
+                    let a = segs[s as usize].amplitude_v;
+                    a * a
+                })
+                .sum();
+            let env = env_sq.sqrt();
+            // The envelope holds until the next segment boundary: emit the
+            // whole run of samples without touching the segment list.
+            let mut boundary = active
+                .iter()
+                .map(|&s| segs[s as usize].end)
+                .min()
+                .unwrap_or(SimTime::MAX);
+            if next_seg < by_start.len() {
+                boundary = boundary.min(segs[by_start[next_seg] as usize].start);
+            }
+            let run = if boundary == SimTime::MAX {
+                n - emitted
+            } else {
+                // Samples at t, t+p, … strictly before the boundary.
+                let span = boundary.since(t).as_nanos();
+                let p = period.as_nanos();
+                (span.div_ceil(p) as usize).min(n - emitted)
+            };
+            // Two-stage chunked render of the run.
+            let mut bits = [0u64; SAMPLE_CHUNK];
+            let mut done = 0usize;
+            while done < run {
+                let b = (run - done).min(SAMPLE_CHUNK);
+                // Stage 1: serial RNG fill — one draw per sample, in
+                // emission order (the loop-carried part, nothing else).
+                for w in bits[..b].iter_mut() {
+                    *w = rng.next_u64();
+                }
+                // Stage 2: independent per-sample table/math/convert.
+                let o = &mut out[emitted + done..emitted + done + b];
+                for (y, &w) in o.iter_mut().zip(bits[..b].iter()) {
+                    let noise = noise_tab[(w & mask) as usize] * noise_rms;
+                    let c = cos_tab[((w >> TABLE_BITS) & mask) as usize];
+                    *y = (env * c + noise) as f32;
+                }
+                done += b;
+            }
+            emitted += run;
+            t = t + SimDuration::from_nanos(period.as_nanos() * run as u64);
+        }
+        period
+    }
+
+    /// The pre-SoA scalar sampler, kept verbatim as the bit-level
+    /// specification of [`SignalTrace::sample_into`] — differential tests
+    /// and the same-phase reference benches run it against the chunked
+    /// path on identical RNG streams.
+    pub fn sample_reference(&self, rate_hz: f64, rng: &mut SimRng) -> (SimDuration, Vec<f32>) {
+        assert!(rate_hz > 0.0);
+        let period = SimDuration::from_secs_f64(1.0 / rate_hz);
+        assert!(!period.is_zero(), "sample rate above 1 GS/s tick limit");
+        let n = (self.window().as_secs_f64() * rate_hz).floor() as usize;
+        let (noise_tab, cos_tab) = sampling_tables();
+        let noise_rms = self.noise_rms_v;
+        let mask = (TABLE_LEN - 1) as u64;
         let mut by_start: Vec<&TraceSegment> = self.segments.iter().collect();
         by_start.sort_by_key(|s| s.start);
         let mut active: Vec<&TraceSegment> = Vec::new();
@@ -173,8 +301,6 @@ impl SignalTrace {
         let mut t = self.window_start;
         let mut emitted = 0usize;
         while emitted < n {
-            // Reconcile the active set at the current sample instant
-            // (starts are inclusive, ends exclusive, as before).
             while next_seg < by_start.len() && by_start[next_seg].start <= t {
                 active.push(by_start[next_seg]);
                 next_seg += 1;
@@ -182,8 +308,6 @@ impl SignalTrace {
             active.retain(|s| s.end > t);
             let env_sq: f64 = active.iter().map(|s| s.amplitude_v * s.amplitude_v).sum();
             let env = env_sq.sqrt();
-            // The envelope holds until the next segment boundary: emit the
-            // whole run of samples without touching the segment list.
             let mut boundary = active.iter().map(|s| s.end).min().unwrap_or(SimTime::MAX);
             if next_seg < by_start.len() {
                 boundary = boundary.min(by_start[next_seg].start);
@@ -191,7 +315,6 @@ impl SignalTrace {
             let run = if boundary == SimTime::MAX {
                 n - emitted
             } else {
-                // Samples at t, t+p, … strictly before the boundary.
                 let span = boundary.since(t).as_nanos();
                 let p = period.as_nanos();
                 (span.div_ceil(p) as usize).min(n - emitted)

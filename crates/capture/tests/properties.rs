@@ -170,3 +170,79 @@ fn long_fraction_monotone() {
         }
     }
 }
+
+/// The chunked sampler reproduces the reference sampler bit-for-bit on the
+/// same RNG stream, across random segment layouts (overlaps included) and
+/// both the allocating and the scratch-reusing entry points.
+#[test]
+fn sample_matches_reference_bitwise() {
+    use mmwave_capture::SampleScratch;
+    let mut scratch = SampleScratch::default();
+    let mut out = Vec::new();
+    for case in 0..CASES {
+        let mut r = SimRng::root(case).stream("soa-sample");
+        let frames = gen_frames(&mut r);
+        let tr = build_trace(&frames);
+        for rate in [1e8, 2.5e7] {
+            let (pa, a) = tr.sample_reference(rate, &mut SimRng::root(case).stream("s"));
+            let (pb, b) = tr.sample(rate, &mut SimRng::root(case).stream("s"));
+            let mut rng_c = SimRng::root(case).stream("s");
+            let pc = tr.sample_into(rate, &mut rng_c, &mut scratch, &mut out);
+            assert_eq!(pa, pb, "case {case}");
+            assert_eq!(pa, pc, "case {case}");
+            assert_eq!(a.len(), b.len(), "case {case}");
+            assert_eq!(a.len(), out.len(), "case {case}");
+            for k in 0..a.len() {
+                assert_eq!(a[k].to_bits(), b[k].to_bits(), "case {case} sample {k}");
+                assert_eq!(a[k].to_bits(), out[k].to_bits(), "case {case} sample {k}");
+            }
+        }
+    }
+}
+
+/// The fused detector reproduces the reference detector exactly — same
+/// frame list, same bit-exact boundaries and mean amplitudes — across
+/// random layouts, sample rates (varying the smoothing window) and
+/// detector tunings (including gap/window sizes around the chunk size).
+#[test]
+fn detect_matches_reference_exactly() {
+    use mmwave_capture::detect_frames_reference;
+    for case in 0..CASES {
+        let mut r = SimRng::root(case).stream("soa-detect");
+        let frames = gen_frames(&mut r);
+        let tr = build_trace(&frames);
+        let mut rng = SimRng::root(case ^ 0x5a5a).stream("det");
+        let (period, samples) = tr.sample(1e8, &mut rng);
+        let mut cfgs = vec![DetectorConfig::default()];
+        cfgs.push(DetectorConfig {
+            smooth: SimDuration::from_nanos(5_120), // win == DETECT_CHUNK
+            ..DetectorConfig::default()
+        });
+        cfgs.push(DetectorConfig {
+            smooth: SimDuration::from_nanos(10_000), // wide: reference fallback
+            min_gap: SimDuration::from_nanos(50),
+            ..DetectorConfig::default()
+        });
+        cfgs.push(DetectorConfig {
+            on_factor: 2.0,
+            off_factor: 1.5,
+            min_gap: SimDuration::from_nanos(10),
+            min_frame: SimDuration::from_nanos(0),
+            smooth: SimDuration::from_nanos(10), // win == 1
+        });
+        for (ci, cfg) in cfgs.iter().enumerate() {
+            let a = detect_frames_reference(&samples, period, tr.window_start, tr.noise_rms_v, cfg);
+            let b = detect_frames(&samples, period, tr.window_start, tr.noise_rms_v, cfg);
+            assert_eq!(a.len(), b.len(), "case {case} cfg {ci}");
+            for (fa, fb) in a.iter().zip(&b) {
+                assert_eq!(fa.start, fb.start, "case {case} cfg {ci}");
+                assert_eq!(fa.end, fb.end, "case {case} cfg {ci}");
+                assert_eq!(
+                    fa.mean_amplitude_v.to_bits(),
+                    fb.mean_amplitude_v.to_bits(),
+                    "case {case} cfg {ci}"
+                );
+            }
+        }
+    }
+}

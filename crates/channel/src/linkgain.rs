@@ -85,28 +85,50 @@ pub struct CacheStats {
     pub invalidations: u64,
 }
 
-/// One traced path with its direction-independent radiometrics pre-folded.
-#[derive(Clone, Copy, Debug)]
-struct FoldedPath {
-    /// `10^(−path_loss/10)`: Friis + oxygen + reflection losses, linear.
-    base_lin: f64,
+/// The traced paths of one interned pair with their direction-independent
+/// radiometrics pre-folded, stored as parallel arrays (structure of arrays):
+/// the gain folds iterate one quantity across all paths at a time, so each
+/// fold walks one dense slice instead of striding through per-path structs.
+#[derive(Clone, Debug, Default)]
+struct FoldedPaths {
+    /// `10^(−path_loss/10)` per path: Friis + oxygen + reflection, linear.
+    base_lin: Vec<f64>,
     /// World azimuth from the lower-indexed endpoint toward its first
     /// bounce (departure when `lo` transmits, arrival when it receives).
-    lo_world: mmwave_geom::Angle,
+    lo_world: Vec<mmwave_geom::Angle>,
     /// World azimuth from the higher-indexed endpoint toward its last
     /// bounce (arrival when `lo` transmits, departure when `hi` does).
-    hi_world: mmwave_geom::Angle,
+    hi_world: Vec<mmwave_geom::Angle>,
 }
 
-/// Pattern sample indices resolved for one endpoint of an interned pair.
+impl FoldedPaths {
+    fn len(&self) -> usize {
+        self.base_lin.len()
+    }
+
+    /// The endpoint-side world azimuths, one per path.
+    fn world(&self, side: Side) -> &[mmwave_geom::Angle] {
+        match side {
+            Side::Lo => &self.lo_world,
+            Side::Hi => &self.hi_world,
+        }
+    }
+}
+
+/// Pattern sample indices resolved for one endpoint of an interned pair,
+/// as parallel arrays in path order (the SoA mate of [`FoldedPaths`]).
 #[derive(Clone, Debug, Default)]
 struct Resolved {
     /// Orientation generation of the endpoint when resolved.
     orient_gen: u64,
     /// Sample count of the pattern family the triples index into.
     n: usize,
-    /// `(i0, i1, frac)` per path, in path order.
-    idx: Vec<(u32, u32, f64)>,
+    /// Lower sample index per path.
+    i0: Vec<u32>,
+    /// Upper (wrapped) sample index per path.
+    i1: Vec<u32>,
+    /// Interpolation fraction per path.
+    frac: Vec<f64>,
 }
 
 /// Interned path set for one unordered device pair.
@@ -114,7 +136,7 @@ struct Resolved {
 struct PairEntry {
     lo_pos_gen: u64,
     hi_pos_gen: u64,
-    paths: Vec<FoldedPath>,
+    paths: FoldedPaths,
     lo_res: Resolved,
     hi_res: Resolved,
 }
@@ -463,15 +485,18 @@ impl LinkGainCache {
         if fresh {
             return;
         }
-        let paths = env
-            .paths(lo_node.position, hi_node.position)
-            .iter()
-            .map(|p| FoldedPath {
-                base_lin: db_to_lin(-path_loss_db(env.budget.freq_hz, p)),
-                lo_world: p.departure,
-                hi_world: p.arrival,
-            })
-            .collect();
+        let traced = env.paths(lo_node.position, hi_node.position);
+        let mut paths = FoldedPaths::default();
+        paths.base_lin.reserve_exact(traced.len());
+        paths.lo_world.reserve_exact(traced.len());
+        paths.hi_world.reserve_exact(traced.len());
+        for p in traced.iter() {
+            paths
+                .base_lin
+                .push(db_to_lin(-path_loss_db(env.budget.freq_hz, p)));
+            paths.lo_world.push(p.departure);
+            paths.hi_world.push(p.arrival);
+        }
         self.stats.path_traces += 1;
         self.pairs.insert(
             (lo, hi),
@@ -536,8 +561,8 @@ impl LinkGainCache {
             for s_hi in 0..n_hi {
                 let gh = &g_hi[s_hi * n_paths..(s_hi + 1) * n_paths];
                 let mut sum = 0.0;
-                for (p, path) in entry.paths.iter().enumerate() {
-                    sum += path.base_lin * gl[p] * gh[p];
+                for ((&base, &l), &h) in entry.paths.base_lin.iter().zip(gl).zip(gh) {
+                    sum += base * l * h;
                 }
                 lin[s_lo * n_hi + s_hi] = sum;
                 if sum > best.2 {
@@ -579,44 +604,51 @@ enum Side {
 /// generation or the pattern family's sample count changed.
 fn refresh_resolution(
     res: &mut Resolved,
-    paths: &[FoldedPath],
+    paths: &FoldedPaths,
     node: &RadioNode,
     pattern: &AntennaPattern,
     orient_gen: u64,
     side: Side,
 ) {
-    if res.orient_gen == orient_gen && res.n == pattern.len() && res.idx.len() == paths.len() {
+    if res.orient_gen == orient_gen && res.n == pattern.len() && res.i0.len() == paths.len() {
         return;
     }
-    res.idx.clear();
-    for p in paths {
-        let world = match side {
-            Side::Lo => p.lo_world,
-            Side::Hi => p.hi_world,
-        };
+    res.i0.clear();
+    res.i1.clear();
+    res.frac.clear();
+    for &world in paths.world(side) {
         let (i0, i1, frac) = pattern.sample_pos(node.to_local(world));
-        res.idx.push((i0 as u32, i1 as u32, frac));
+        res.i0.push(i0 as u32);
+        res.i1.push(i1 as u32);
+        res.frac.push(frac);
     }
     res.orient_gen = orient_gen;
     res.n = pattern.len();
 }
 
 /// Σ over paths of `base_lin · g_src · g_dst`, with both pattern gains
-/// replayed from pre-resolved triples.
+/// replayed from pre-resolved triples. The accumulation order (path 0, 1,
+/// …) and the per-path product order match the original per-struct fold
+/// exactly, so the sum is bit-identical.
 fn weighted_sum(
-    paths: &[FoldedPath],
+    paths: &FoldedPaths,
     src_res: &Resolved,
     src_pattern: &AntennaPattern,
     dst_res: &Resolved,
     dst_pattern: &AntennaPattern,
 ) -> f64 {
     let mut sum = 0.0;
-    for (i, p) in paths.iter().enumerate() {
-        let (a0, a1, af) = src_res.idx[i];
-        let (b0, b1, bf) = dst_res.idx[i];
-        sum += p.base_lin
-            * src_pattern.gain_lin_at(a0 as usize, a1 as usize, af)
-            * dst_pattern.gain_lin_at(b0 as usize, b1 as usize, bf);
+    for (i, &base) in paths.base_lin.iter().enumerate() {
+        sum +=
+            base * src_pattern.gain_lin_at(
+                src_res.i0[i] as usize,
+                src_res.i1[i] as usize,
+                src_res.frac[i],
+            ) * dst_pattern.gain_lin_at(
+                dst_res.i0[i] as usize,
+                dst_res.i1[i] as usize,
+                dst_res.frac[i],
+            );
     }
     sum
 }
@@ -628,21 +660,21 @@ fn sector_gains(
     cb: &Codebook,
     res: &Resolved,
     node: &RadioNode,
-    paths: &[FoldedPath],
+    paths: &FoldedPaths,
     side: Side,
 ) -> Vec<f64> {
     let mut out = Vec::with_capacity(cb.len() * paths.len());
     for s in cb.sectors() {
         if s.pattern.len() == res.n {
-            for &(i0, i1, frac) in &res.idx {
-                out.push(s.pattern.gain_lin_at(i0 as usize, i1 as usize, frac));
+            for i in 0..res.i0.len() {
+                out.push(s.pattern.gain_lin_at(
+                    res.i0[i] as usize,
+                    res.i1[i] as usize,
+                    res.frac[i],
+                ));
             }
         } else {
-            for p in paths {
-                let world = match side {
-                    Side::Lo => p.lo_world,
-                    Side::Hi => p.hi_world,
-                };
+            for &world in paths.world(side) {
                 out.push(s.pattern.gain_lin(node.to_local(world)));
             }
         }

@@ -32,8 +32,8 @@ pub mod vec2;
 pub use angle::{arc, full_circle, Angle};
 pub use material::Material;
 pub use raytrace::{
-    shared_tree, trace_paths, trace_paths_reference, ImageTree, MirrorNode, PathKind, PropPath,
-    TraceConfig,
+    shared_tree, trace_paths, trace_paths_reference, ClearWall, ImageTree, MirrorNode, PathKind,
+    PropPath, TraceConfig,
 };
 pub use room::{ConferenceRoom, Room, Wall, Zone};
 pub use segment::Segment;

@@ -96,7 +96,7 @@ impl Default for TraceConfig {
     }
 }
 
-fn make_path(kind: PathKind, vertices: Vec<Point>, bounces: &[(&Material, &str)]) -> PropPath {
+fn make_path(kind: PathKind, vertices: &[Point], bounces: &[(&Material, &str)]) -> PropPath {
     debug_assert!(vertices.len() >= 2);
     let length_m = vertices.windows(2).map(|w| w[0].distance(w[1])).sum();
     let departure = Angle::from_radians((vertices[1] - vertices[0]).angle());
@@ -108,7 +108,7 @@ fn make_path(kind: PathKind, vertices: Vec<Point>, bounces: &[(&Material, &str)]
         departure,
         arrival,
         reflection_loss_db: bounces.iter().map(|(m, _)| m.reflection_loss_db()).sum(),
-        vertices,
+        vertices: vertices.to_vec(),
         materials: bounces.iter().map(|(m, _)| **m).collect(),
         wall_labels: bounces.iter().map(|(_, l)| l.to_string()).collect(),
     }
@@ -120,6 +120,43 @@ fn legs_clear(room: &Room, vertices: &[Point]) -> bool {
         // Degenerate legs (bounce point coincides with an endpoint, e.g. in
         // a wall corner) invalidate the path.
         w[0].distance(w[1]) > SKIP_NEAR && room.is_clear(w[0], w[1], SKIP_NEAR)
+    })
+}
+
+/// `Segment::intersect`-exact obstruction sweep for one leg `p → q` over
+/// the tree's precomputed wall constants. `tol_t` depends only on the leg
+/// (the reference recomputes `r.length()` — a libm `hypot` — per wall), and
+/// `tol_u` comes precomputed per wall, so the loop body is pure mul/div
+/// arithmetic. Every comparison reproduces the reference expression on the
+/// same bits, so the decision matches `Room::is_clear(p, q, SKIP_NEAR)`
+/// wall for wall (disabled walls never obstruct and are simply absent).
+fn leg_is_clear(walls: &[ClearWall], p: Point, q: Point, r: Vec2, tol_t: f64) -> bool {
+    for w in walls {
+        let denom = r.cross(w.s);
+        if denom.abs() < GEOM_EPS {
+            continue;
+        }
+        let ap = w.a - p;
+        let t = ap.cross(w.s) / denom;
+        let u = ap.cross(r) / denom;
+        if t > tol_t && t < 1.0 - tol_t && u >= -w.tol_u && u <= 1.0 + w.tol_u {
+            let x = p + r * t;
+            if x.distance(p) > SKIP_NEAR && x.distance(q) > SKIP_NEAR {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// [`legs_clear`] over the precomputed wall constants: the degenerate-leg
+/// check and the obstruction tolerance share one `r.length()` per leg
+/// (`Point::distance` is `(q − p).length()`, the exact same expression).
+fn legs_clear_fast(walls: &[ClearWall], vertices: &[Point]) -> bool {
+    vertices.windows(2).all(|w| {
+        let r = w[1] - w[0];
+        let rl = r.length();
+        rl > SKIP_NEAR && leg_is_clear(walls, w[0], w[1], r, GEOM_EPS / rl.max(GEOM_EPS))
     })
 }
 
@@ -140,6 +177,23 @@ pub struct MirrorNode {
     pub d: Vec2,
 }
 
+/// One enabled wall's obstruction-test constants, precomputed once per
+/// geometry generation. `s` is the raw extent `seg.b − seg.a` (exactly what
+/// `Segment::intersect` derives per call) and `tol_u` its length tolerance
+/// `GEOM_EPS / s.length().max(GEOM_EPS)` — the only wall-dependent `hypot`
+/// in the obstruction test. Covers **all** enabled walls (not just the
+/// reflective ones), in `room.walls()` order, so a sweep over this array
+/// is decision-identical to `Room::is_clear`.
+#[derive(Clone, Copy, Debug)]
+pub struct ClearWall {
+    /// Wall anchor (`seg.a`).
+    pub a: Point,
+    /// Raw extent `seg.b − seg.a` (not normalized).
+    pub s: Vec2,
+    /// `GEOM_EPS / s.length().max(GEOM_EPS)`, the `u`-parameter tolerance.
+    pub tol_u: f64,
+}
+
 /// Per-room mirror-image expansion, computed once per geometry generation
 /// and shared across all device pairs.
 ///
@@ -156,6 +210,9 @@ pub struct ImageTree {
     loss_bits: u64,
     /// Reflective walls in `room.walls()` order (the reference filter order).
     pub nodes: Vec<MirrorNode>,
+    /// Obstruction-test constants for every *enabled* wall, in
+    /// `room.walls()` order — the SoA side of [`ClearWall`].
+    pub clear: Vec<ClearWall>,
 }
 
 impl ImageTree {
@@ -172,10 +229,24 @@ impl ImageTree {
                 d: w.seg.direction(),
             })
             .collect();
+        let clear = room
+            .walls()
+            .iter()
+            .filter(|w| w.enabled)
+            .map(|w| {
+                let s = w.seg.b - w.seg.a;
+                ClearWall {
+                    a: w.seg.a,
+                    s,
+                    tol_u: GEOM_EPS / s.length().max(GEOM_EPS),
+                }
+            })
+            .collect();
         ImageTree {
             generation: room.generation(),
             loss_bits: cfg.max_bounce_loss_db.to_bits(),
             nodes,
+            clear,
         }
     }
 
@@ -212,16 +283,20 @@ pub fn trace_paths(room: &Room, tx: Point, rx: Point, cfg: &TraceConfig) -> Vec<
         return paths;
     }
 
-    // Order 0: line of sight.
-    if room.is_clear(tx, rx, SKIP_NEAR) {
-        paths.push(make_path(PathKind::LineOfSight, vec![tx, rx], &[]));
-    }
-
     let tree = shared_tree(room, cfg);
     let walls = room.walls();
 
+    // Order 0: line of sight. No degenerate-leg guard here — the reference
+    // applies only `is_clear` to the LoS leg (the pair-coincidence test
+    // above already ran), so the sweep is called directly.
+    let r = rx - tx;
+    if leg_is_clear(&tree.clear, tx, rx, r, GEOM_EPS / r.length().max(GEOM_EPS)) {
+        paths.push(make_path(PathKind::LineOfSight, &[tx, rx], &[]));
+    }
+
     // Order 1: mirror tx across each node; the bounce point is where the
-    // image–rx segment crosses the wall.
+    // image–rx segment crosses the wall. Candidate vertices live on the
+    // stack; only accepted paths allocate (inside `make_path`).
     if cfg.max_order >= 1 {
         for node in &tree.nodes {
             let w = &walls[node.wall];
@@ -232,11 +307,11 @@ pub fn trace_paths(room: &Room, tx: Point, rx: Point, cfg: &TraceConfig) -> Vec<
             let Some((_, bounce)) = w.seg.intersect(image, rx) else {
                 continue;
             };
-            let verts = vec![tx, bounce, rx];
-            if legs_clear(room, &verts) {
+            let verts = [tx, bounce, rx];
+            if legs_clear_fast(&tree.clear, &verts) {
                 paths.push(make_path(
                     PathKind::Reflected { order: 1 },
-                    verts,
+                    &verts,
                     &[(&w.material, w.label.as_str())],
                 ));
             }
@@ -267,11 +342,11 @@ pub fn trace_paths(room: &Room, tx: Point, rx: Point, cfg: &TraceConfig) -> Vec<
                 let Some((_, b1)) = w1.seg.intersect(image1, b2) else {
                     continue;
                 };
-                let verts = vec![tx, b1, b2, rx];
-                if legs_clear(room, &verts) {
+                let verts = [tx, b1, b2, rx];
+                if legs_clear_fast(&tree.clear, &verts) {
                     paths.push(make_path(
                         PathKind::Reflected { order: 2 },
-                        verts,
+                        &verts,
                         &[
                             (&w1.material, w1.label.as_str()),
                             (&w2.material, w2.label.as_str()),
@@ -302,7 +377,7 @@ pub fn trace_paths_reference(
 
     // Order 0: line of sight.
     if room.is_clear(tx, rx, SKIP_NEAR) {
-        paths.push(make_path(PathKind::LineOfSight, vec![tx, rx], &[]));
+        paths.push(make_path(PathKind::LineOfSight, &[tx, rx], &[]));
     }
 
     let reflective: Vec<_> = room
@@ -323,11 +398,11 @@ pub fn trace_paths_reference(
             let Some((_, bounce)) = w.seg.intersect(image, rx) else {
                 continue;
             };
-            let verts = vec![tx, bounce, rx];
+            let verts = [tx, bounce, rx];
             if legs_clear(room, &verts) {
                 paths.push(make_path(
                     PathKind::Reflected { order: 1 },
-                    verts,
+                    &verts,
                     &[(&w.material, w.label.as_str())],
                 ));
             }
@@ -358,11 +433,11 @@ pub fn trace_paths_reference(
                 let Some((_, b1)) = w1.seg.intersect(image1, b2) else {
                     continue;
                 };
-                let verts = vec![tx, b1, b2, rx];
+                let verts = [tx, b1, b2, rx];
                 if legs_clear(room, &verts) {
                     paths.push(make_path(
                         PathKind::Reflected { order: 2 },
-                        verts,
+                        &verts,
                         &[
                             (&w1.material, w1.label.as_str()),
                             (&w2.material, w2.label.as_str()),

@@ -413,8 +413,11 @@ impl Medium {
         self.energy_at(dev) > threshold_dbm
     }
 
-    /// Return a spent `power_at` buffer to the reuse pool.
-    pub(crate) fn recycle_power(&mut self, v: Vec<f64>) {
+    /// Return a spent `power_at` buffer to the reuse pool. The MAC calls
+    /// this after consuming a finished transmission; external drivers of
+    /// `begin_tx`/`finish_tx` (tests, benches) can do the same to keep the
+    /// steady-state frame path allocation-free.
+    pub fn recycle_power(&mut self, v: Vec<f64>) {
         if self.power_pool.len() < 16 {
             self.power_pool.push(v);
         }

@@ -11,6 +11,7 @@
 //!   absolute gain (element roll-off + quantization lobes).
 
 use crate::antenna::ArrayConfig;
+use crate::fastmath;
 use crate::pattern::AntennaPattern;
 use mmwave_geom::Angle;
 use mmwave_sim::rng::SimRng;
@@ -41,9 +42,10 @@ impl Complex {
             im: mag * phase.sin(),
         }
     }
-    /// Magnitude.
+    /// Magnitude. Routed through [`crate::fastmath`] — bit-identical to
+    /// `self.re.hypot(self.im)` on every input, but inlinable.
     pub fn abs(self) -> f64 {
-        self.re.hypot(self.im)
+        fastmath::hypot(self.re, self.im)
     }
     /// Complex multiplication.
     pub fn mul(self, o: Complex) -> Complex {
@@ -70,22 +72,50 @@ impl Complex {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ArrayFingerprint([u64; 11]);
 
-/// Precomputed per-array synthesis tables over the default angle grid.
+/// Precomputed per-array synthesis tables over the default angle grid,
+/// stored structure-of-arrays so the synthesis loops autovectorize.
 ///
 /// For grid sample `k` (azimuth `θ_k = k·2π/n`) and column `i`:
-/// `steer[k·cols + i] = e^{j·TAU·y_i·sin θ_k}` — exactly the phasor the
-/// reference path computes per element per angle, stored once. `element_db`
-/// and `rows_gain_db` are the remaining pure-of-θ/config terms of the
-/// sample expression. ~720 × cols complex values ≈ 90 KiB for 8 columns.
+/// `steer_re[i·n + k] + j·steer_im[i·n + k] = e^{j·TAU·y_i·sin θ_k}` —
+/// exactly the phasor the reference path computes per element per angle,
+/// stored once. The layout is *column-major* (one contiguous angle run per
+/// column) so the per-column accumulation stage streams unit-stride f64
+/// slices. `element_db` and `rows_gain_db` are the remaining
+/// pure-of-θ/config terms of the sample expression. ~720 × cols × 2 f64s
+/// ≈ 90 KiB for 8 columns.
 #[derive(Clone, Debug)]
 struct SteeringBasis {
-    /// Row-major steering phasors, `DEFAULT_SAMPLES` rows × `columns`.
-    steer: Vec<Complex>,
+    /// Real steering parts, column-major: `columns` runs of `n` samples.
+    steer_re: Vec<f64>,
+    /// Imaginary steering parts, same layout as `steer_re`.
+    steer_im: Vec<f64>,
     /// Element gain (dBi) at each grid azimuth.
     element_db: Vec<f64>,
     /// Constant elevation-stack gain `10·log10(rows)`.
     rows_gain_db: f64,
 }
+
+/// Reusable scratch for SoA pattern synthesis: chunk accumulators plus the
+/// error-folded weight rows. Once the buffers have grown to an array's
+/// size, synthesis through [`PhasedArray::pattern_samples_into`] performs
+/// no allocations — keep one per context (the codebook keeps one in its
+/// per-`SimCtx` store; benches assert the zero-alloc property).
+#[derive(Clone, Debug, Default)]
+pub struct SynthScratch {
+    /// In-flight field sums (real) for the current angle chunk.
+    acc_re: Vec<f64>,
+    /// In-flight field sums (imaginary) for the current angle chunk.
+    acc_im: Vec<f64>,
+    /// Error-folded non-zero weights `(column, re, im)`, rows concatenated.
+    folded: Vec<(u32, f64, f64)>,
+    /// Per row: end offset into `folded` and the `active` normalizer.
+    row_meta: Vec<(usize, f64)>,
+}
+
+/// Angle samples per synthesis chunk. Sized so one chunk of every basis
+/// column plus the accumulators stays L1-resident while all sectors of a
+/// batched synthesis re-read it (8 columns: 120·8·2·8 B ≈ 15 KiB).
+const SYNTH_CHUNK: usize = 120;
 
 /// A concrete phased array instance with frozen manufacturing errors.
 #[derive(Clone, Debug)]
@@ -165,20 +195,25 @@ impl PhasedArray {
         self.basis.get_or_init(|| {
             let n = AntennaPattern::DEFAULT_SAMPLES;
             let cols = self.config.columns;
-            let mut steer = Vec::with_capacity(n * cols);
+            let mut steer_re = vec![0.0; n * cols];
+            let mut steer_im = vec![0.0; n * cols];
             let mut element_db = Vec::with_capacity(n);
             for k in 0..n {
                 // Identical expressions to the reference closure path, so
-                // every table entry is the exact f64 it would compute.
+                // every table entry is the exact f64 it would compute
+                // (storage order cannot change a value's bits).
                 let theta = Angle::from_radians(TAU * k as f64 / n as f64);
                 let s = theta.radians().sin();
-                for &y in &self.positions_wl {
-                    steer.push(Complex::polar(1.0, TAU * y * s));
+                for (i, &y) in self.positions_wl.iter().enumerate() {
+                    let ph = Complex::polar(1.0, TAU * y * s);
+                    steer_re[i * n + k] = ph.re;
+                    steer_im[i * n + k] = ph.im;
                 }
                 element_db.push(self.config.element.gain_dbi(theta));
             }
             SteeringBasis {
-                steer,
+                steer_re,
+                steer_im,
                 element_db,
                 rows_gain_db: 10.0 * (self.config.rows as f64).log10(),
             }
@@ -191,50 +226,167 @@ impl PhasedArray {
         self.positions_wl.iter().map(|&y| -TAU * y * s).collect()
     }
 
+    /// Fold each weight row with the frozen element errors into `scratch`:
+    /// zero-weight columns are dropped exactly where the reference loop
+    /// `continue`s them, preserving the per-sample summation order.
+    fn fold_rows(&self, scratch: &mut SynthScratch, rows: &[&[Complex]]) {
+        scratch.folded.clear();
+        scratch.row_meta.clear();
+        for weights in rows {
+            assert_eq!(weights.len(), self.config.columns, "weight length mismatch");
+            let active: f64 = weights.iter().map(|w| w.abs().powi(2)).sum();
+            assert!(active > 0.0, "all elements off");
+            for (i, (w, e)) in weights.iter().zip(&self.errors).enumerate() {
+                if w.abs() != 0.0 {
+                    let we = w.mul(*e);
+                    scratch.folded.push((i as u32, we.re, we.im));
+                }
+            }
+            scratch.row_meta.push((scratch.folded.len(), active));
+        }
+    }
+
+    /// Staged SoA synthesis core: every weight row in `rows` is synthesized
+    /// into the matching slice of `outs` (each `DEFAULT_SAMPLES` long).
+    ///
+    /// The angle grid is walked in [`SYNTH_CHUNK`]-sized chunks; per chunk
+    /// and row, stage A accumulates the folded column phasors
+    /// (vectorization runs *across* the chunk's independent angle samples,
+    /// while each sample still sums its columns in reference order), and
+    /// stage B/C converts field sums to dB samples. With more than one row
+    /// the basis chunk loaded by the first row is re-read L1-hot by all
+    /// others — that is the batched-codebook amortization.
+    ///
+    /// Bit-identity with [`PhasedArray::pattern_from_weights_reference`]
+    /// holds because every per-sample scalar op sequence is unchanged:
+    /// `acc ± (w·e)·steer` in column order, `hypot`, square, divide,
+    /// `10·log10`, clamp, and the final dB adds — only the iteration
+    /// *across* samples and rows is restructured.
+    fn synth_rows_into(
+        &self,
+        scratch: &mut SynthScratch,
+        rows: &[&[Complex]],
+        outs: &mut [&mut [f64]],
+    ) {
+        debug_assert_eq!(rows.len(), outs.len());
+        self.fold_rows(scratch, rows);
+        let basis = self.basis();
+        let n = AntennaPattern::DEFAULT_SAMPLES;
+        let SynthScratch {
+            acc_re,
+            acc_im,
+            folded,
+            row_meta,
+        } = scratch;
+        acc_re.resize(SYNTH_CHUNK, 0.0);
+        acc_im.resize(SYNTH_CHUNK, 0.0);
+        let mut start = 0;
+        while start < n {
+            let len = SYNTH_CHUNK.min(n - start);
+            let edb = &basis.element_db[start..start + len];
+            let mut row_start = 0;
+            for (r, &(row_end, active)) in row_meta.iter().enumerate() {
+                let acc_re = &mut acc_re[..len];
+                let acc_im = &mut acc_im[..len];
+                // Stage A: per-column axpy over the chunk's angle run. The
+                // first column stores instead of accumulating (an exact
+                // replacement for zero-init + add: `0.0 + t` can only flip
+                // the sign of an exact zero, which stage B's `abs` absorbs).
+                let mut cols = folded[row_start..row_end].iter();
+                match cols.next() {
+                    Some(&(i, wre, wim)) => {
+                        let col = i as usize * n + start;
+                        let cre = &basis.steer_re[col..col + len];
+                        let cim = &basis.steer_im[col..col + len];
+                        for (((ar, ai), cr), ci) in
+                            acc_re.iter_mut().zip(acc_im.iter_mut()).zip(cre).zip(cim)
+                        {
+                            *ar = wre * cr - wim * ci;
+                            *ai = wre * ci + wim * cr;
+                        }
+                    }
+                    None => {
+                        acc_re.fill(0.0);
+                        acc_im.fill(0.0);
+                    }
+                }
+                for &(i, wre, wim) in cols {
+                    let col = i as usize * n + start;
+                    let cre = &basis.steer_re[col..col + len];
+                    let cim = &basis.steer_im[col..col + len];
+                    for (((ar, ai), cr), ci) in
+                        acc_re.iter_mut().zip(acc_im.iter_mut()).zip(cre).zip(cim)
+                    {
+                        *ar += wre * cr - wim * ci;
+                        *ai += wre * ci + wim * cr;
+                    }
+                }
+                // Stages B+C fused: field magnitude, normalization so an
+                // ideal uniform array peaks at element_gain +
+                // 10·log10(columns) (+ rows gain), dB conversion, clamp.
+                // `af² → log10 → ·10 → max(−60)` maps an exactly-zero
+                // field to −60 just like the reference's `af_power > 0`
+                // branch (`10·log10(0) = −inf`, clamped).
+                let out = &mut outs[r][start..start + len];
+                fastmath::pattern_db_slice(acc_re, acc_im, active, edb, basis.rows_gain_db, out);
+                row_start = row_end;
+            }
+            start += len;
+        }
+    }
+
     /// Synthesize the pattern for an arbitrary per-column weight vector
     /// (`weights[i]` applied to column `i`). Columns with zero weight are
     /// switched off. This is the primitive the codebook builds on.
     ///
-    /// Runs on the precomputed steering basis — no trig and no allocations
-    /// beyond the output vector — and is bit-identical to
-    /// [`PhasedArray::pattern_from_weights_reference`]: `(w·e)·steer` keeps
-    /// the reference path's multiplication and accumulation order, and every
-    /// basis entry is the exact f64 the closure would compute.
+    /// Runs on the precomputed steering basis — no trig — and is
+    /// bit-identical to [`PhasedArray::pattern_from_weights_reference`]:
+    /// see [`PhasedArray::synth_rows_into`].
     pub fn pattern_from_weights(&self, weights: &[Complex]) -> AntennaPattern {
-        assert_eq!(weights.len(), self.config.columns, "weight length mismatch");
-        let active: f64 = weights.iter().map(|w| w.abs().powi(2)).sum();
-        assert!(active > 0.0, "all elements off");
-        let basis = self.basis();
-        let cols = self.config.columns;
-        // Fold each weight with its frozen element error once per call;
-        // zero-weight columns are dropped here exactly where the reference
-        // loop `continue`s them, preserving the summation order.
-        let folded: Vec<(usize, Complex)> = weights
-            .iter()
-            .zip(&self.errors)
-            .enumerate()
-            .filter(|(_, (w, _))| w.abs() != 0.0)
-            .map(|(i, (w, e))| (i, w.mul(*e)))
-            .collect();
-        let n = AntennaPattern::DEFAULT_SAMPLES;
-        let mut samples = Vec::with_capacity(n);
-        for k in 0..n {
-            let row = &basis.steer[k * cols..(k + 1) * cols];
-            let mut field = Complex::default();
-            for &(i, we) in &folded {
-                field = field.add(we.mul(row[i]));
-            }
-            // Normalize so an ideal uniform array peaks at
-            // element_gain + 10·log10(columns) (+ rows gain).
-            let af_power = field.abs().powi(2) / active;
-            let af_db = if af_power > 0.0 {
-                10.0 * af_power.log10()
-            } else {
-                -60.0
-            };
-            samples.push(basis.element_db[k] + af_db.max(-60.0) + basis.rows_gain_db);
-        }
+        let mut scratch = SynthScratch::default();
+        self.pattern_from_weights_with(&mut scratch, weights)
+    }
+
+    /// [`PhasedArray::pattern_from_weights`] with caller-provided scratch;
+    /// allocates only the returned pattern's sample buffer.
+    pub fn pattern_from_weights_with(
+        &self,
+        scratch: &mut SynthScratch,
+        weights: &[Complex],
+    ) -> AntennaPattern {
+        let mut samples = vec![0.0; AntennaPattern::DEFAULT_SAMPLES];
+        self.synth_rows_into(scratch, &[weights], &mut [samples.as_mut_slice()]);
         AntennaPattern::from_samples(samples)
+    }
+
+    /// Synthesize into a caller-owned sample buffer: zero allocations in
+    /// steady state (once `scratch` and `out` have grown to size).
+    pub fn pattern_samples_into(
+        &self,
+        scratch: &mut SynthScratch,
+        weights: &[Complex],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(AntennaPattern::DEFAULT_SAMPLES, 0.0);
+        self.synth_rows_into(scratch, &[weights], &mut [out.as_mut_slice()]);
+    }
+
+    /// Batched synthesis: one pattern per weight row, in one pass over the
+    /// angle grid. All rows share each L1-hot basis chunk, which is what
+    /// makes cold codebook synthesis ~linear in rows instead of re-reading
+    /// the 90 KiB basis per sector. Bit-identical to calling
+    /// [`PhasedArray::pattern_from_weights`] per row.
+    pub fn patterns_from_weight_rows(
+        &self,
+        scratch: &mut SynthScratch,
+        rows: &[&[Complex]],
+    ) -> Vec<AntennaPattern> {
+        let n = AntennaPattern::DEFAULT_SAMPLES;
+        let mut outs: Vec<Vec<f64>> = rows.iter().map(|_| vec![0.0; n]).collect();
+        let mut views: Vec<&mut [f64]> = outs.iter_mut().map(|v| v.as_mut_slice()).collect();
+        self.synth_rows_into(scratch, rows, &mut views);
+        outs.into_iter().map(AntennaPattern::from_samples).collect()
     }
 
     /// Reference synthesis: evaluates the closed-form sample expression per
@@ -296,17 +448,23 @@ impl PhasedArray {
         self.pattern_from_weights(&weights)
     }
 
-    /// A quasi-omni pattern: only the elements listed in `active` radiate,
-    /// with the given (quantized) phases. Few active elements → wide beam;
-    /// their interference produces the characteristic gaps of Fig. 16.
-    pub fn quasi_omni_pattern(&self, active: &[(usize, f64)]) -> AntennaPattern {
+    /// The weight vector of a quasi-omni entry: only the elements listed in
+    /// `active` radiate, with the given (quantized) phases.
+    pub fn quasi_omni_weights(&self, active: &[(usize, f64)]) -> Vec<Complex> {
         assert!(!active.is_empty());
         let mut weights = vec![Complex::default(); self.config.columns];
         for &(idx, phase) in active {
             assert!(idx < self.config.columns, "element index out of range");
             weights[idx] = Complex::polar(1.0, self.config.shifter.quantize(phase));
         }
-        self.pattern_from_weights(&weights)
+        weights
+    }
+
+    /// A quasi-omni pattern: only the elements listed in `active` radiate,
+    /// with the given (quantized) phases. Few active elements → wide beam;
+    /// their interference produces the characteristic gaps of Fig. 16.
+    pub fn quasi_omni_pattern(&self, active: &[(usize, f64)]) -> AntennaPattern {
+        self.pattern_from_weights(&self.quasi_omni_weights(active))
     }
 }
 

@@ -14,7 +14,7 @@
 //! pattern (side lobes, gaps, scan loss at the sector fan's edge) comes from
 //! the array model, not from hand-drawn shapes.
 
-use crate::array::{ArrayFingerprint, PhasedArray};
+use crate::array::{ArrayFingerprint, Complex, PhasedArray, SynthScratch};
 use mmwave_geom::Angle;
 use mmwave_sim::ctx::SimCtx;
 use std::cell::RefCell;
@@ -107,6 +107,23 @@ pub struct CodebookPrebuild {
 /// [`CodebookPrebuild::install`]).
 #[derive(Default)]
 struct PrebuiltSlot(std::cell::OnceCell<CodebookPrebuild>);
+
+/// Per-context pattern-synthesis scratch, shared by every codebook build in
+/// the context so cold synthesis allocates no per-call accumulators.
+#[derive(Default)]
+struct SynthSlot(RefCell<SynthScratch>);
+
+/// Synthesize one sector batch through the context's shared scratch.
+fn synth_batch(
+    ctx: &SimCtx,
+    array: &PhasedArray,
+    rows: &[Vec<Complex>],
+) -> Vec<crate::pattern::AntennaPattern> {
+    let row_views: Vec<&[Complex]> = rows.iter().map(|r| r.as_slice()).collect();
+    let slot = ctx.ext_or_insert_with(SynthSlot::default);
+    let mut scratch = slot.0.borrow_mut();
+    array.patterns_from_weight_rows(&mut scratch, &row_views)
+}
 
 impl CodebookPrebuild {
     /// Synthesize the standard device codebooks for `arrays` — the
@@ -234,16 +251,22 @@ impl Codebook {
             half_span_bits: half_span.to_bits(),
         };
         Codebook::cached(ctx, key, || {
-            (0..n)
+            // Batched synthesis: all sector weight rows in one pass over
+            // the angle grid (bit-identical to per-sector synthesis).
+            let steers: Vec<Angle> = (0..n)
                 .map(|i| {
                     let frac = i as f64 / (n - 1) as f64;
-                    let steer = Angle::from_radians(-half_span + 2.0 * half_span * frac);
-                    Sector {
-                        id: i,
-                        steer,
-                        pattern: array.steered_pattern(steer),
-                    }
+                    Angle::from_radians(-half_span + 2.0 * half_span * frac)
                 })
+                .collect();
+            let rows: Vec<Vec<Complex>> =
+                steers.iter().map(|&s| array.steering_weights(s)).collect();
+            let patterns = synth_batch(ctx, array, &rows);
+            steers
+                .into_iter()
+                .zip(patterns)
+                .enumerate()
+                .map(|(id, (steer, pattern))| Sector { id, steer, pattern })
                 .collect()
         })
     }
@@ -277,19 +300,15 @@ impl Codebook {
         };
         Codebook::cached(ctx, key, || {
             let phases = [0.0, PI / 2.0, PI, -PI / 2.0];
-            let mut sectors = Vec::with_capacity(32);
-            let mut id = 0;
+            let mut steers = Vec::with_capacity(32);
+            let mut rows = Vec::with_capacity(32);
             'outer: for &dp in &phases {
                 for i in 0..cols - 1 {
-                    sectors.push(Sector {
-                        id,
-                        // Nominal direction of a 2-element pair with phase
-                        // difference dp at λ/2 spacing: sinθ = dp/π.
-                        steer: Angle::from_radians((dp / PI).clamp(-1.0, 1.0).asin()),
-                        pattern: array.quasi_omni_pattern(&[(i, 0.0), (i + 1, dp)]),
-                    });
-                    id += 1;
-                    if id == 28 {
+                    // Nominal direction of a 2-element pair with phase
+                    // difference dp at λ/2 spacing: sinθ = dp/π.
+                    steers.push(Angle::from_radians((dp / PI).clamp(-1.0, 1.0).asin()));
+                    rows.push(array.quasi_omni_weights(&[(i, 0.0), (i + 1, dp)]));
+                    if rows.len() == 28 {
                         break 'outer;
                     }
                 }
@@ -298,15 +317,18 @@ impl Codebook {
             for k in 0..4 {
                 let i = k % (cols - 2);
                 let dp = phases[k % 4];
-                sectors.push(Sector {
-                    id,
-                    steer: Angle::ZERO,
-                    pattern: array.quasi_omni_pattern(&[(i, 0.0), (i + 2, dp)]),
-                });
-                id += 1;
+                steers.push(Angle::ZERO);
+                rows.push(array.quasi_omni_weights(&[(i, 0.0), (i + 2, dp)]));
             }
-            debug_assert_eq!(sectors.len(), 32);
-            sectors
+            debug_assert_eq!(rows.len(), 32);
+            // One batched pass synthesizes the whole discovery sweep.
+            let patterns = synth_batch(ctx, array, &rows);
+            steers
+                .into_iter()
+                .zip(patterns)
+                .enumerate()
+                .map(|(id, (steer, pattern))| Sector { id, steer, pattern })
+                .collect()
         })
     }
 

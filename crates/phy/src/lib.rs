@@ -34,6 +34,7 @@ pub mod antenna;
 pub mod array;
 pub mod calib;
 pub mod codebook;
+pub mod fastmath;
 pub mod horn;
 pub mod mcs;
 pub mod pattern;
@@ -41,7 +42,7 @@ pub mod propagation;
 pub mod rate_adapt;
 
 pub use antenna::{ArrayConfig, ElementPattern, PhaseShifter};
-pub use array::{ArrayFingerprint, Complex, PhasedArray};
+pub use array::{ArrayFingerprint, Complex, PhasedArray, SynthScratch};
 pub use codebook::{Codebook, CodebookKind, CodebookPrebuild, Sector};
 pub use horn::{horn_25dbi, open_waveguide};
 pub use mcs::{Mcs, McsTable, Modulation};

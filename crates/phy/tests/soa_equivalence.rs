@@ -1,0 +1,212 @@
+//! The SoA synthesis entry points must be **bit-identical** to the
+//! reference closure path.
+//!
+//! `tests/basis_equivalence.rs` pins the basis-vs-closure equivalence for
+//! the allocating `pattern_from_weights` wrapper. This suite pins the
+//! remaining SoA surface added for the zero-alloc hot loops:
+//!
+//! * [`PhasedArray::pattern_samples_into`] — synthesis into a caller-owned
+//!   buffer with reused [`SynthScratch`], the steady-state kernel form;
+//! * [`PhasedArray::patterns_from_weight_rows`] — batched multi-row
+//!   synthesis, the cold-codebook form.
+//!
+//! Every comparison is `to_bits` equality per sample, never a tolerance:
+//! buffer reuse across calls and row batching must not change a single
+//! bit of any pattern, or the calibration seeds and golden campaign
+//! artifacts drift.
+
+use mmwave_geom::Angle;
+use mmwave_phy::{calib, AntennaPattern, ArrayConfig, Complex, PhasedArray, SynthScratch};
+use mmwave_sim::rng::SimRng;
+
+/// Every canonical device of the paper's measurement rigs.
+fn canonical_arrays() -> Vec<(String, PhasedArray)> {
+    let wigig = [
+        ("dock", calib::DOCK_SEED),
+        ("laptop", calib::LAPTOP_SEED),
+        ("dock_b", calib::DOCK_B_SEED),
+        ("laptop_b", calib::LAPTOP_B_SEED),
+    ];
+    let wihd = [
+        ("wihd_tx", calib::WIHD_TX_SEED),
+        ("wihd_rx", calib::WIHD_RX_SEED),
+    ];
+    let mut arrays = Vec::new();
+    for (name, seed) in wigig {
+        arrays.push((
+            format!("{name}({seed})"),
+            PhasedArray::new(ArrayConfig::wigig_2x8(seed)),
+        ));
+    }
+    for (name, seed) in wihd {
+        arrays.push((
+            format!("{name}({seed})"),
+            PhasedArray::new(ArrayConfig::wihd_24(seed)),
+        ));
+    }
+    arrays
+}
+
+fn assert_samples_bit_identical(name: &str, fast: &[f64], reference: &AntennaPattern) {
+    assert_eq!(fast.len(), reference.len(), "{name}: sample count");
+    for (k, (a, b)) in fast.iter().zip(reference.samples()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{name}: sample {k} differs ({a:?} vs {b:?})"
+        );
+    }
+}
+
+/// Deterministic weight vectors exercising magnitudes off the unit circle,
+/// arbitrary phases, and occasional switched-off columns.
+fn random_weight_rows(cols: usize, rows: usize, stream: &str) -> Vec<Vec<Complex>> {
+    let mut rng = SimRng::root(0x50ae).stream(stream);
+    (0..rows)
+        .map(|_| {
+            loop {
+                let w: Vec<Complex> = (0..cols)
+                    .map(|_| {
+                        if rng.uniform(0.0, 1.0) < 0.15 {
+                            Complex::default() // switched-off column
+                        } else {
+                            Complex::polar(
+                                rng.uniform(0.1, 1.0),
+                                rng.uniform(-std::f64::consts::PI, std::f64::consts::PI),
+                            )
+                        }
+                    })
+                    .collect();
+                if w.iter().any(|c| c.abs() > 0.0) {
+                    return w;
+                }
+            }
+        })
+        .collect()
+}
+
+/// `pattern_samples_into` with ONE scratch and ONE output buffer reused
+/// across every canonical device and a dense sweep of steering angles:
+/// stale buffer contents from previous calls must never leak into the
+/// next synthesis.
+#[test]
+fn samples_into_bit_identical_with_reused_buffers() {
+    let mut scratch = SynthScratch::default();
+    let mut out: Vec<f64> = Vec::new();
+    for (name, arr) in canonical_arrays() {
+        let mut deg = -80.0;
+        while deg <= 80.0 {
+            let w = arr.steering_weights(Angle::from_degrees(deg));
+            arr.pattern_samples_into(&mut scratch, &w, &mut out);
+            assert_samples_bit_identical(
+                &format!("{name} steered {deg}°"),
+                &out,
+                &arr.pattern_from_weights_reference(&w),
+            );
+            deg += 7.5;
+        }
+    }
+}
+
+/// Quasi-omni (sparse) weights through the buffer-reuse path: the
+/// zero-weight skip must match the reference closure's skip exactly even
+/// when the scratch was last used by a dense weight vector.
+#[test]
+fn samples_into_bit_identical_for_sparse_weights() {
+    let mut scratch = SynthScratch::default();
+    let mut out: Vec<f64> = Vec::new();
+    for (name, arr) in canonical_arrays() {
+        let cols = arr.config().columns;
+        // Dense call first so the sparse call truly reuses warm buffers.
+        let dense = arr.steering_weights(Angle::from_degrees(13.0));
+        arr.pattern_samples_into(&mut scratch, &dense, &mut out);
+        for i in 0..cols - 1 {
+            for dp in [0.0, std::f64::consts::FRAC_PI_2, std::f64::consts::PI] {
+                let w = arr.quasi_omni_weights(&[(i, 0.0), (i + 1, dp)]);
+                arr.pattern_samples_into(&mut scratch, &w, &mut out);
+                assert_samples_bit_identical(
+                    &format!("{name} qo pair {i} dp {dp}"),
+                    &out,
+                    &arr.pattern_from_weights_reference(&w),
+                );
+            }
+        }
+    }
+}
+
+/// Randomized weight vectors (deterministic seeds): magnitudes off the
+/// unit circle and arbitrary unquantized phases, through both the
+/// buffer-reuse path and the batched path.
+#[test]
+fn randomized_weights_bit_identical() {
+    let mut scratch = SynthScratch::default();
+    let mut out: Vec<f64> = Vec::new();
+    for (name, arr) in canonical_arrays() {
+        let rows = random_weight_rows(arr.config().columns, 12, &name);
+        for (r, w) in rows.iter().enumerate() {
+            arr.pattern_samples_into(&mut scratch, w, &mut out);
+            assert_samples_bit_identical(
+                &format!("{name} random row {r}"),
+                &out,
+                &arr.pattern_from_weights_reference(w),
+            );
+        }
+        // The same rows as one batch must reproduce the same bits.
+        let views: Vec<&[Complex]> = rows.iter().map(|w| w.as_slice()).collect();
+        let batched = arr.patterns_from_weight_rows(&mut scratch, &views);
+        assert_eq!(batched.len(), rows.len(), "{name}: batch size");
+        for (r, (pat, w)) in batched.iter().zip(&rows).enumerate() {
+            assert_samples_bit_identical(
+                &format!("{name} batched random row {r}"),
+                pat.samples(),
+                &arr.pattern_from_weights_reference(w),
+            );
+        }
+    }
+}
+
+/// Batched synthesis over every directional codebook steering vector of a
+/// device, in one `patterns_from_weight_rows` call — the exact shape the
+/// cold codebook build uses — against per-row reference synthesis.
+#[test]
+fn batched_codebook_rows_bit_identical() {
+    let mut scratch = SynthScratch::default();
+    for (name, arr) in canonical_arrays() {
+        let weights: Vec<Vec<Complex>> = (0..32)
+            .map(|s| {
+                let deg = -77.5 + 5.0 * s as f64;
+                arr.steering_weights(Angle::from_degrees(deg))
+            })
+            .collect();
+        let views: Vec<&[Complex]> = weights.iter().map(|w| w.as_slice()).collect();
+        let batched = arr.patterns_from_weight_rows(&mut scratch, &views);
+        for (s, (pat, w)) in batched.iter().zip(&weights).enumerate() {
+            assert_samples_bit_identical(
+                &format!("{name} batched sector {s}"),
+                pat.samples(),
+                &arr.pattern_from_weights_reference(w),
+            );
+        }
+    }
+}
+
+/// Mixed-length batches (1, 2, then the remainder) must match the
+/// all-at-once batch and the reference: chunk boundaries inside
+/// `synth_rows_into` cannot depend on how rows are grouped.
+#[test]
+fn batch_partitioning_does_not_change_bits() {
+    let mut scratch = SynthScratch::default();
+    for (name, arr) in canonical_arrays() {
+        let rows = random_weight_rows(arr.config().columns, 7, &format!("part-{name}"));
+        let views: Vec<&[Complex]> = rows.iter().map(|w| w.as_slice()).collect();
+        let whole = arr.patterns_from_weight_rows(&mut scratch, &views);
+        let mut pieced = Vec::new();
+        pieced.extend(arr.patterns_from_weight_rows(&mut scratch, &views[..1]));
+        pieced.extend(arr.patterns_from_weight_rows(&mut scratch, &views[1..3]));
+        pieced.extend(arr.patterns_from_weight_rows(&mut scratch, &views[3..]));
+        assert_eq!(whole.len(), pieced.len(), "{name}: partition size");
+        for (r, (a, b)) in whole.iter().zip(&pieced).enumerate() {
+            assert_samples_bit_identical(&format!("{name} partition row {r}"), a.samples(), b);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Tabulate kernel medians across two bench trajectory files:
+#
+#   scripts/bench_diff.sh OLD.json NEW.json
+#
+# Typical use: compare the committed baseline against a fresh run
+# before re-baselining —
+#
+#   git show HEAD:BENCH_kernels.json > /tmp/old.json
+#   BENCH_OUT=/tmp/new.json cargo bench -p mmwave-bench --bench kernels
+#   scripts/bench_diff.sh /tmp/old.json /tmp/new.json
+#
+# Caveat (see DESIGN.md § "SoA kernels & batched synthesis"): the two
+# files were usually produced in different machine phases, so the ratio
+# column mixes code changes with host clock drift. For speedup *claims*
+# prefer the same-phase `*_reference` rows inside one run; this table is
+# for spotting which kernels moved, not for quoting.
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+old="$1"
+new="$2"
+[[ -r "$old" ]] || { echo "bench_diff: cannot read $old" >&2; exit 2; }
+[[ -r "$new" ]] || { echo "bench_diff: cannot read $new" >&2; exit 2; }
+
+# The trajectory files are hand-rolled JSON with one result object per
+# line, so a grep/sed pipeline extracts (name, median) robustly.
+extract() {
+    grep -o '"name": "[^"]*"[^}]*"median_ns": [0-9.]*' "$1" \
+        | sed -E 's/^"name": "([^"]*)".*"median_ns": ([0-9.]+)$/\1\t\2/'
+}
+
+awk -F'\t' '
+    NR == FNR { old[$1] = $2; next }
+    {
+        seen[$1] = 1
+        if ($1 in old) {
+            ratio = old[$1] > 0 ? $2 / old[$1] : 0
+            printf "%-46s %12.1f %12.1f %9.2fx\n", $1, old[$1], $2, ratio
+        } else {
+            printf "%-46s %12s %12.1f %10s\n", $1, "-", $2, "new"
+        }
+    }
+    END {
+        for (k in old) {
+            if (!(k in seen)) {
+                printf "%-46s %12.1f %12s %10s\n", k, old[k], "-", "removed"
+            }
+        }
+    }
+' <(extract "$old") <(extract "$new") | {
+    printf "%-46s %12s %12s %10s\n" "kernel" "old med ns" "new med ns" "new/old"
+    sort
+}

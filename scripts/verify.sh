@@ -36,6 +36,15 @@ echo "==> spatial pruning suites"
 cargo test -q --release -p mmwave-channel --test spatial_pruning_property
 cargo test -q --release -p mmwave-campaign --test spatial_equivalence
 
+echo "==> SoA kernel equivalence suites"
+# Every SoA/chunked hot path must reproduce its retained scalar
+# reference bit-for-bit: pattern synthesis (basis + buffer-reuse +
+# batched rows), scope-trace sampling/detection, and ray clearance.
+cargo test -q --release -p mmwave-phy --test basis_equivalence
+cargo test -q --release -p mmwave-phy --test soa_equivalence
+cargo test -q --release -p mmwave-capture --test properties
+cargo test -q --release -p mmwave-geom --test image_tree_equivalence
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -81,6 +90,46 @@ if [[ -n "$violations" ]]; then
     echo "$violations"
     exit 1
 fi
+
+echo "==> forbidden-pattern gate (allocation in hot-loop kernels)"
+# The steady-state bodies of the SoA kernels are allocation-free by
+# contract (the bench harness hard-asserts allocs_per_iter == 0 for
+# their warm benches). Ban the two literal allocation idioms inside the
+# named function bodies so a heap call cannot creep in between bench
+# runs. Setup/cold-path functions (pattern_from_weights,
+# patterns_from_weight_rows, detect_frames, trace_paths, ...) allocate
+# their outputs by design and are deliberately not listed.
+check_no_alloc() {
+    local file="$1" fname="$2" body hits
+    body=$(awk -v fn="$fname" '
+        $0 ~ "fn " fn "[ (<]" { infn = 1 }
+        infn {
+            print
+            n = gsub(/{/, "{"); m = gsub(/}/, "}")
+            depth += n - m
+            if (n > 0) started = 1
+            if (started && depth <= 0) exit
+        }
+    ' "$file")
+    if [[ -z "$body" ]]; then
+        echo "hot-loop allocation gate: fn $fname not found in $file"
+        exit 1
+    fi
+    hits=$(grep -n 'Vec::new()\|vec!\[' <<<"$body" | grep -vE '^\s*//' \
+        | grep -vE '^[0-9]+:\s*//' || true)
+    if [[ -n "$hits" ]]; then
+        echo "allocation idiom in hot-loop fn $fname ($file) — use caller-provided scratch:"
+        echo "$hits"
+        exit 1
+    fi
+}
+check_no_alloc crates/phy/src/array.rs synth_rows_into
+check_no_alloc crates/phy/src/array.rs fold_rows
+check_no_alloc crates/phy/src/array.rs pattern_samples_into
+check_no_alloc crates/capture/src/trace.rs sample_into
+check_no_alloc crates/geom/src/raytrace.rs leg_is_clear
+check_no_alloc crates/geom/src/raytrace.rs legs_clear_fast
+check_no_alloc crates/channel/src/linkgain.rs weighted_sum
 
 echo "==> cc_compare quick experiment"
 # The congestion plane's end-to-end check: loss-based and rate-based
