@@ -609,6 +609,38 @@ fn bench_tcp_second() {
     }
 }
 
+fn bench_campaign() {
+    use mmwave_campaign::{artifact, manifest, RunRecord, RunStatus};
+    use mmwave_sim::metrics::EngineCounters;
+    // The control plane hashes every chunk twice per campaign task
+    // (once on append, once per --resume verify), so the FNV-1a walk
+    // over a representative chunk body is a real per-task cost. The
+    // chunk is rendered once outside the timed loop: this measures the
+    // hash, not the JSON encoder.
+    let record = RunRecord {
+        experiment: "fig23".into(),
+        title: "TCP loss under reflected interference".into(),
+        seed: 7,
+        quick: false,
+        scenario: "office-floor".into(),
+        status: RunStatus::Pass,
+        violations: Vec::new(),
+        output: "series loss_pct: 19.7 18.9 21.2 20.4\n".repeat(40),
+        panic_message: None,
+        wall_ms: 1234.5,
+        engine: EngineCounters {
+            events_popped: 4_812_331,
+            peak_queue_depth: 911,
+            link_gain_hits: 88_104,
+            ..EngineCounters::default()
+        },
+    };
+    let chunk = artifact::run_to_json(&record).render();
+    bench("campaign/manifest_hash_chunk", move || {
+        manifest::fnv1a64(black_box(chunk.as_bytes()))
+    });
+}
+
 fn main() {
     bench_event_queue();
     bench_raytrace();
@@ -619,6 +651,7 @@ fn main() {
     bench_spatial();
     bench_mac_second();
     bench_tcp_second();
+    bench_campaign();
 
     // Machine-readable trajectory at the repo root, committed alongside
     // the code so perf history travels with `git log`. `BENCH_OUT` lets

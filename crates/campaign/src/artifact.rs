@@ -9,13 +9,19 @@
 //!
 //! Everything except *execution metadata* is a pure function of the
 //! campaign matrix, so artifacts produced with different `--jobs` values
-//! are byte-identical after [`normalize_execution`]. Execution metadata is
-//! exactly: every `wall_ms` field, and the manifest's `jobs` field.
+//! (or `--workers` process counts, or a `--resume` rerun) are
+//! byte-identical after [`normalize_execution`]. Execution metadata is
+//! exactly: every `wall_ms` field, the manifest's `jobs` / `workers` /
+//! `tasks_resumed` / `chunks_streamed` fields, and every `chunk_hash`
+//! (which hashes on-disk chunk bytes — wall time included — so it is
+//! integrity metadata, not campaign physics).
 //!
 //! Schemas (see DESIGN.md for the field-by-field description):
 //!
-//! * manifest: `schema = "mmwave-campaign/1"`
-//! * run:      `schema = "mmwave-campaign-run/8"` (v2 added the
+//! * manifest: `schema = "mmwave-campaign/2"` (v2 added the streaming
+//!   control-plane execution fields: `workers`, `tasks_resumed`,
+//!   `chunks_streamed`, and a per-run `chunk_hash` integrity line)
+//! * run:      `schema = "mmwave-campaign-run/9"` (v2 added the
 //!   `engine.link_gain_*` cache counters; v3 added the `scenario` label
 //!   and the `engine.scenario_mutations` / `engine.faults_injected`
 //!   fault-scenario counters; v4 added the `engine.codebook_hits` /
@@ -28,7 +34,12 @@
 //!   `engine.codebook_prebuilt_hits` counter for cache misses resolved
 //!   from the campaign-wide prebuilt codebook pool; v8 added the
 //!   `engine.spatial_pruned_pairs` / `engine.spatial_zone_invalidations`
-//!   interference-graph counters)
+//!   interference-graph counters; v9 rides the process-sharded control
+//!   plane: run reports double as the streamed artifact *chunks* the
+//!   control plane appends incrementally and the worker protocol carries
+//!   verbatim — the fields are unchanged, the engine block is now encoded
+//!   and decoded through [`EngineCounters::FIELDS`] so the wire
+//!   marshalling cannot drift from the schema)
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -37,8 +48,8 @@ use crate::json::Json;
 use crate::{CampaignResult, RunRecord, RunStatus};
 use mmwave_sim::metrics::EngineCounters;
 
-pub const MANIFEST_SCHEMA: &str = "mmwave-campaign/1";
-pub const RUN_SCHEMA: &str = "mmwave-campaign-run/8";
+pub const MANIFEST_SCHEMA: &str = "mmwave-campaign/2";
+pub const RUN_SCHEMA: &str = "mmwave-campaign-run/9";
 
 fn obj(fields: Vec<(&str, Json)>) -> Json {
     Json::Obj(
@@ -76,39 +87,15 @@ pub fn run_to_json(r: &RunRecord) -> Json {
         ("wall_ms", Json::Num(r.wall_ms)),
         (
             "engine",
-            obj(vec![
-                ("events_popped", Json::Int(r.engine.events_popped)),
-                ("events_cancelled", Json::Int(r.engine.events_cancelled)),
-                ("peak_queue_depth", Json::Int(r.engine.peak_queue_depth)),
-                ("link_gain_hits", Json::Int(r.engine.link_gain_hits)),
-                ("link_gain_misses", Json::Int(r.engine.link_gain_misses)),
-                (
-                    "link_gain_invalidations",
-                    Json::Int(r.engine.link_gain_invalidations),
-                ),
-                ("scenario_mutations", Json::Int(r.engine.scenario_mutations)),
-                ("faults_injected", Json::Int(r.engine.faults_injected)),
-                ("codebook_hits", Json::Int(r.engine.codebook_hits)),
-                ("codebook_misses", Json::Int(r.engine.codebook_misses)),
-                (
-                    "codebook_prebuilt_hits",
-                    Json::Int(r.engine.codebook_prebuilt_hits),
-                ),
-                ("cc_reports_folded", Json::Int(r.engine.cc_reports_folded)),
-                (
-                    "cc_patterns_installed",
-                    Json::Int(r.engine.cc_patterns_installed),
-                ),
-                ("cc_loss_epochs", Json::Int(r.engine.cc_loss_epochs)),
-                (
-                    "spatial_pruned_pairs",
-                    Json::Int(r.engine.spatial_pruned_pairs),
-                ),
-                (
-                    "spatial_zone_invalidations",
-                    Json::Int(r.engine.spatial_zone_invalidations),
-                ),
-            ]),
+            // Encoded from the counter field table so the schema, the wire
+            // protocol, and the struct can never disagree on field set or
+            // order.
+            Json::Obj(
+                r.engine
+                    .fields()
+                    .map(|(name, value)| (name.to_string(), Json::Int(value)))
+                    .collect(),
+            ),
         ),
     ])
 }
@@ -120,13 +107,15 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
     if schema != RUN_SCHEMA {
         return Err(format!("unknown run schema '{schema}'"));
     }
-    let engine = field("engine")?;
-    let counter = |k: &str| -> Result<u64, String> {
-        engine
-            .get(k)
+    let engine_json = field("engine")?;
+    let mut engine = EngineCounters::default();
+    for name in EngineCounters::FIELDS {
+        let value = engine_json
+            .get(name)
             .and_then(Json::as_u64)
-            .ok_or_else(|| format!("engine.{k} must be a non-negative integer"))
-    };
+            .ok_or_else(|| format!("engine.{name} must be a non-negative integer"))?;
+        assert!(engine.set(name, value), "FIELDS names are valid");
+    }
     Ok(RunRecord {
         experiment: field("experiment")?
             .as_str()
@@ -170,28 +159,17 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
         wall_ms: field("wall_ms")?
             .as_f64()
             .ok_or("wall_ms must be a number")?,
-        engine: EngineCounters {
-            events_popped: counter("events_popped")?,
-            events_cancelled: counter("events_cancelled")?,
-            peak_queue_depth: counter("peak_queue_depth")?,
-            link_gain_hits: counter("link_gain_hits")?,
-            link_gain_misses: counter("link_gain_misses")?,
-            link_gain_invalidations: counter("link_gain_invalidations")?,
-            scenario_mutations: counter("scenario_mutations")?,
-            faults_injected: counter("faults_injected")?,
-            codebook_hits: counter("codebook_hits")?,
-            codebook_misses: counter("codebook_misses")?,
-            codebook_prebuilt_hits: counter("codebook_prebuilt_hits")?,
-            cc_reports_folded: counter("cc_reports_folded")?,
-            cc_patterns_installed: counter("cc_patterns_installed")?,
-            cc_loss_epochs: counter("cc_loss_epochs")?,
-            spatial_pruned_pairs: counter("spatial_pruned_pairs")?,
-            spatial_zone_invalidations: counter("spatial_zone_invalidations")?,
-        },
+        engine,
     })
 }
 
 /// Encode the campaign manifest: config echo, totals, and a run index.
+///
+/// Each run line carries a `chunk_hash` — the FNV-1a 64 hash of the run's
+/// on-disk artifact chunk bytes (exactly what [`run_to_json`] renders; the
+/// codec round-trips bit-exactly, so re-encoding a decoded chunk
+/// reproduces the disk bytes). The resumable control-plane manifest
+/// records the same hashes, making the two indexes cross-checkable.
 pub fn manifest_to_json(result: &CampaignResult) -> Json {
     let (passed, shape_failed, panicked) = result.counts();
     obj(vec![
@@ -206,6 +184,9 @@ pub fn manifest_to_json(result: &CampaignResult) -> Json {
         ("shape_failed", Json::Int(shape_failed as u64)),
         ("panicked", Json::Int(panicked as u64)),
         ("jobs", Json::Int(result.jobs as u64)),
+        ("workers", Json::Int(result.workers as u64)),
+        ("tasks_resumed", Json::Int(result.tasks_resumed)),
+        ("chunks_streamed", Json::Int(result.chunks_streamed)),
         ("wall_ms", Json::Num(result.wall_ms)),
         (
             "runs",
@@ -214,6 +195,7 @@ pub fn manifest_to_json(result: &CampaignResult) -> Json {
                     .records
                     .iter()
                     .map(|r| {
+                        let chunk = run_to_json(r).render();
                         obj(vec![
                             ("experiment", Json::Str(r.experiment.clone())),
                             ("title", Json::Str(r.title.clone())),
@@ -222,6 +204,13 @@ pub fn manifest_to_json(result: &CampaignResult) -> Json {
                             (
                                 "artifact",
                                 Json::Str(run_artifact_name(&r.experiment, r.seed)),
+                            ),
+                            (
+                                "chunk_hash",
+                                Json::Str(format!(
+                                    "{:016x}",
+                                    crate::manifest::fnv1a64(chunk.as_bytes())
+                                )),
                             ),
                             ("wall_ms", Json::Num(r.wall_ms)),
                         ])
@@ -232,19 +221,21 @@ pub fn manifest_to_json(result: &CampaignResult) -> Json {
     ])
 }
 
-/// Zero out execution metadata in place: every `wall_ms` field (at any
-/// nesting depth) and any top-level `jobs` field. After this, artifacts
-/// from the same matrix are byte-identical regardless of worker count.
+/// Zero out execution metadata in place, at any nesting depth: every
+/// `wall_ms` field, the `jobs` / `workers` / `tasks_resumed` /
+/// `chunks_streamed` scheduling fields, and every `chunk_hash` (it hashes
+/// chunk bytes that include a wall time). After this, artifacts from the
+/// same matrix are byte-identical regardless of worker count, process
+/// sharding, or how many tasks a `--resume` rerun skipped.
 pub fn normalize_execution(v: &mut Json) {
     match v {
         Json::Obj(fields) => {
             for (k, val) in fields.iter_mut() {
-                if k == "wall_ms" {
-                    *val = Json::Num(0.0);
-                } else if k == "jobs" {
-                    *val = Json::Int(0);
-                } else {
-                    normalize_execution(val);
+                match k.as_str() {
+                    "wall_ms" => *val = Json::Num(0.0),
+                    "jobs" | "workers" | "tasks_resumed" | "chunks_streamed" => *val = Json::Int(0),
+                    "chunk_hash" => *val = Json::Str("0000000000000000".into()),
+                    _ => normalize_execution(val),
                 }
             }
         }
@@ -255,6 +246,54 @@ pub fn normalize_execution(v: &mut Json) {
         }
         _ => {}
     }
+}
+
+/// Render `v` with execution metadata masked — the canonical byte form
+/// every determinism/equivalence suite compares. One definition instead
+/// of a per-test reimplementation: a new volatile field gets masked here
+/// (and in [`normalize_execution`]) exactly once.
+pub fn canonicalize(v: &Json) -> String {
+    let mut c = v.clone();
+    normalize_execution(&mut c);
+    c.render()
+}
+
+/// [`canonicalize`] for artifact text read back from disk (chunk files,
+/// written manifests). Errors on unparseable JSON.
+pub fn canonicalize_text(text: &str) -> Result<String, String> {
+    Ok(canonicalize(&Json::parse(text).map_err(|e| e.to_string())?))
+}
+
+/// The full canonical artifact set for a completed campaign, in artifact
+/// order: `manifest.json` first, then one `runs/<id>-s<seed>.json` chunk
+/// per record. Each body is [`canonicalize`]d, so two sets from the same
+/// matrix compare byte-equal regardless of jobs/workers/resume.
+pub fn canonical_artifacts(result: &CampaignResult) -> Vec<(String, String)> {
+    let mut files = Vec::with_capacity(result.records.len() + 1);
+    files.push((
+        "manifest.json".to_string(),
+        canonicalize(&manifest_to_json(result)),
+    ));
+    for r in &result.records {
+        files.push((
+            run_artifact_name(&r.experiment, r.seed),
+            canonicalize(&run_to_json(r)),
+        ));
+    }
+    files
+}
+
+/// [`canonical_artifacts`] folded into one diffable document (the golden
+/// test's on-disk format): `=== <name> ===` headers, a blank line after
+/// each body.
+pub fn canonical_document(result: &CampaignResult) -> String {
+    let mut doc = String::new();
+    for (name, body) in canonical_artifacts(result) {
+        doc.push_str(&format!("=== {name} ===\n"));
+        doc.push_str(&body);
+        doc.push('\n');
+    }
+    doc
 }
 
 /// Write `manifest.json` plus every per-run report under `out`.
@@ -342,21 +381,58 @@ mod tests {
         assert!(run_from_json(&Json::Obj(vec![])).is_err());
     }
 
-    #[test]
-    fn normalize_zeroes_wall_times_and_jobs() {
-        let result = CampaignResult {
+    fn result() -> CampaignResult {
+        CampaignResult {
             records: vec![record(RunStatus::Pass)],
             seeds: vec![42],
             quick: true,
             jobs: 8,
+            workers: 2,
+            tasks_resumed: 3,
+            chunks_streamed: 5,
             wall_ms: 777.7,
-        };
-        let mut m = manifest_to_json(&result);
+        }
+    }
+
+    #[test]
+    fn normalize_zeroes_execution_metadata() {
+        let mut m = manifest_to_json(&result());
         normalize_execution(&mut m);
         assert_eq!(m.get("wall_ms"), Some(&Json::Num(0.0)));
         assert_eq!(m.get("jobs"), Some(&Json::Int(0)));
+        assert_eq!(m.get("workers"), Some(&Json::Int(0)));
+        assert_eq!(m.get("tasks_resumed"), Some(&Json::Int(0)));
+        assert_eq!(m.get("chunks_streamed"), Some(&Json::Int(0)));
         let runs = m.get("runs").and_then(Json::as_arr).expect("runs");
         assert_eq!(runs[0].get("wall_ms"), Some(&Json::Num(0.0)));
+        assert_eq!(
+            runs[0].get("chunk_hash"),
+            Some(&Json::Str("0000000000000000".into()))
+        );
+    }
+
+    #[test]
+    fn canonical_artifacts_mask_only_execution_metadata() {
+        // Same matrix, different execution metadata: canonical bytes must
+        // agree; raw manifests must not (the fields exist and differ).
+        let a = result();
+        let mut b = result();
+        b.jobs = 1;
+        b.workers = 0;
+        b.tasks_resumed = 0;
+        b.chunks_streamed = 1;
+        b.wall_ms = 1.0;
+        b.records[0].wall_ms = 99.0;
+        assert_ne!(manifest_to_json(&a).render(), manifest_to_json(&b).render());
+        assert_eq!(canonical_artifacts(&a), canonical_artifacts(&b));
+        // And the document form round-trips through disk text.
+        let (name, body) = &canonical_artifacts(&a)[1];
+        assert_eq!(name, "runs/fig09-s42.json");
+        let raw = run_to_json(&a.records[0]).render();
+        assert_eq!(&canonicalize_text(&raw).expect("parses"), body);
+        let doc = canonical_document(&a);
+        assert!(doc.starts_with("=== manifest.json ===\n"));
+        assert!(doc.contains("=== runs/fig09-s42.json ===\n"));
     }
 
     #[test]

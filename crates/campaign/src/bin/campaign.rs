@@ -1,11 +1,18 @@
 //! Campaign CLI: run the experiment × seed matrix on a worker pool.
 //!
 //! ```text
-//! campaign [--jobs N] [--seeds A..B | --seeds N] [--quick] [--out DIR]
-//!          [--cc ALG] [--prune MODE] [--json] [--list] [all | <id> ...]
+//! campaign [--jobs N] [--workers N] [--resume] [--seeds A..B | --seeds N]
+//!          [--quick] [--out DIR] [--cc ALG] [--prune MODE] [--json]
+//!          [--list] [all | <id> ...]
+//! campaign worker
 //! ```
 //!
 //! * `--jobs N`    worker threads (default: one per core)
+//! * `--workers N` shard across N `campaign worker` subprocesses instead
+//!   of in-process threads (requires `--out`; artifact bytes are
+//!   identical either way)
+//! * `--resume`    skip tasks whose artifact chunk already exists and
+//!   hashes clean against `<out>/campaign.manifest` (requires `--out`)
 //! * `--seeds A..B` half-open seed range (`--seeds 1..5` = seeds 1,2,3,4);
 //!   a single number runs just that seed (default: 1)
 //! * `--quick`     quick mode (shorter campaigns, fewer sweep points)
@@ -14,20 +21,28 @@
 //! * `--prune MODE` spatial prune-mode override (`enforce`, `audit`;
 //!   default: each experiment's own choice — audit re-checks every pruned
 //!   pair through the full radiometric chain and panics on leakage)
-//! * `--out DIR`   write `manifest.json` + `runs/*.json` artifacts
+//! * `--out DIR`   write `manifest.json` + `runs/*.json` artifacts,
+//!   streamed incrementally with a resumable `campaign.manifest` ledger
 //! * `--json`      print the manifest JSON to stdout instead of the table
 //! * `--list`      list registered experiments and exit
+//!
+//! `campaign worker` is the subprocess datapath the control plane spawns
+//! for `--workers N`: it executes framed tasks from stdin onto stdout
+//! (see `mmwave_campaign::proto`) and is not meant for interactive use.
 //!
 //! Exit status: 0 if every run passed, 1 if any run failed its shape
 //! checks or panicked (the campaign always completes — a panicking
 //! experiment becomes a failed run, it does not abort the matrix), 2 on
 //! usage errors.
 
-use mmwave_campaign::{artifact, runner, CampaignConfig};
+use mmwave_campaign::control::{self, ControlOpts};
+use mmwave_campaign::{artifact, runner, worker, CampaignConfig};
 use mmwave_core::experiments::{self, Experiment};
 
 struct Cli {
     jobs: usize,
+    workers: usize,
+    resume: bool,
     seeds: Vec<u64>,
     quick: bool,
     cc: Option<mmwave_transport::CcKind>,
@@ -57,6 +72,8 @@ fn parse_seeds(spec: &str) -> Result<Vec<u64>, String> {
 fn parse_args() -> Result<Cli, String> {
     let mut cli = Cli {
         jobs: 0,
+        workers: 0,
+        resume: false,
         seeds: vec![1],
         quick: false,
         cc: None,
@@ -76,6 +93,11 @@ fn parse_args() -> Result<Cli, String> {
                 let v = args.next().ok_or("--jobs needs a value")?;
                 cli.jobs = v.parse().map_err(|_| format!("bad job count: {v}"))?;
             }
+            "--workers" => {
+                let v = args.next().ok_or("--workers needs a value")?;
+                cli.workers = v.parse().map_err(|_| format!("bad worker count: {v}"))?;
+            }
+            "--resume" => cli.resume = true,
             "--seeds" => {
                 let v = args.next().ok_or("--seeds needs a value (N or A..B)")?;
                 cli.seeds = parse_seeds(&v)?;
@@ -122,11 +144,16 @@ fn select(ids: &[String]) -> Result<Vec<&'static Experiment>, String> {
 }
 
 fn main() {
+    // The worker datapath: not a campaign invocation at all, just the
+    // stdio task loop the control plane drives.
+    if std::env::args().nth(1).as_deref() == Some("worker") {
+        std::process::exit(worker::worker_main());
+    }
     let cli = match parse_args() {
         Ok(c) => c,
         Err(e) => {
             eprintln!(
-                "{e}\nusage: campaign [--jobs N] [--seeds A..B] [--quick] [--cc ALG] [--out DIR] [--json] [--list] [all | <id> ...]"
+                "{e}\nusage: campaign [--jobs N] [--workers N] [--resume] [--seeds A..B] [--quick] [--cc ALG] [--out DIR] [--json] [--list] [all | <id> ...]"
             );
             std::process::exit(2);
         }
@@ -154,17 +181,39 @@ fn main() {
         cc: cli.cc,
         prune: cli.prune,
     };
-    let result = runner::run(&cfg);
-
-    if let Some(dir) = &cli.out_dir {
-        match artifact::write_artifacts(&result, std::path::Path::new(dir)) {
-            Ok(manifest) => eprintln!("wrote {}", manifest.display()),
+    let result = if let Some(dir) = &cli.out_dir {
+        // Artifact runs go through the streaming control plane: chunks +
+        // the resumable ledger land incrementally, and the datapath can
+        // be process-sharded.
+        let opts = ControlOpts {
+            workers: cli.workers,
+            resume: cli.resume,
+            worker_cmd: Vec::new(),
+        };
+        match control::run_streaming(&cfg, std::path::Path::new(dir), &opts) {
+            Ok(summary) => {
+                if cli.resume {
+                    eprintln!(
+                        "resumed {} hash-clean task(s), executed {}",
+                        summary.resumed.len(),
+                        summary.executed.len()
+                    );
+                }
+                eprintln!("wrote {}", summary.manifest_path.display());
+                summary.result
+            }
             Err(e) => {
-                eprintln!("cannot write artifacts to {dir}: {e}");
+                eprintln!("campaign failed under {dir}: {e}");
                 std::process::exit(2);
             }
         }
-    }
+    } else {
+        if cli.workers > 0 || cli.resume {
+            eprintln!("--workers/--resume need --out (the manifest lives there)");
+            std::process::exit(2);
+        }
+        runner::run(&cfg)
+    };
 
     if cli.json {
         print!("{}", artifact::manifest_to_json(&result).render());

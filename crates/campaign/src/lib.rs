@@ -12,6 +12,13 @@
 //!   `std::thread` worker pool. Tasks flow through an mpsc channel that
 //!   idle workers pull from (channel-based work stealing), with the
 //!   heaviest cost tier dispatched first so the pool drains evenly.
+//! * **Control plane / worker datapath** — [`control::run_streaming`]
+//!   is the production entry point: it streams tasks to workers (the
+//!   in-process pool, or `campaign worker` subprocesses speaking the
+//!   [`proto`] stdio framing), appends each completed artifact chunk
+//!   incrementally, and maintains a resumable ledger ([`manifest`]) of
+//!   per-chunk hashes so an interrupted campaign can `--resume` past
+//!   every hash-clean task.
 //! * **Determinism** — results are bitwise identical for any worker count
 //!   and any scheduling order: each task's randomness is a pure function
 //!   of `(experiment id, seed)` (experiments fork labelled `SimRng`
@@ -48,8 +55,12 @@
 //! ```
 
 pub mod artifact;
+pub mod control;
 pub mod json;
+pub mod manifest;
+pub mod proto;
 pub mod runner;
+pub mod worker;
 
 use mmwave_core::experiments::Experiment;
 use mmwave_sim::ctx::CacheMode;
@@ -185,7 +196,7 @@ impl RunStatus {
 }
 
 /// The structured outcome of one task: everything the artifact records.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
     /// Experiment id ("fig09", "table1", …).
     pub experiment: String,
@@ -225,6 +236,15 @@ pub struct CampaignResult {
     pub quick: bool,
     /// Worker threads actually used (execution metadata).
     pub jobs: usize,
+    /// Worker *processes* the control plane sharded across; 0 when the
+    /// datapath stayed in-process (execution metadata).
+    pub workers: usize,
+    /// Tasks skipped by `--resume` because their chunk verified hash-clean
+    /// against the manifest (execution metadata).
+    pub tasks_resumed: u64,
+    /// Chunks written incrementally by the streaming control plane; 0 for
+    /// the buffered [`runner::run`] path (execution metadata).
+    pub chunks_streamed: u64,
     /// Total campaign wall time in milliseconds (execution metadata).
     pub wall_ms: f64,
 }

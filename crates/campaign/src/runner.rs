@@ -61,50 +61,12 @@ pub fn run_with_prune_mode(cfg: &CampaignConfig, mode: PruneMode) -> CampaignRes
     run_tasks(cfg, tasks)
 }
 
-fn run_tasks(cfg: &CampaignConfig, mut tasks: Vec<TaskSpec>) -> CampaignResult {
-    silence_worker_panics();
+fn run_tasks(cfg: &CampaignConfig, tasks: Vec<TaskSpec>) -> CampaignResult {
     let t0 = Instant::now();
-
-    // Longest-processing-time dispatch: heavy tiers first. The sort is
-    // stable, so within a tier the matrix order is preserved.
-    tasks.sort_by_key(|t| std::cmp::Reverse(t.exp.cost));
-
     let jobs = cfg.effective_jobs().min(tasks.len()).max(1);
-
-    // Campaign-wide codebook prebuild: pay the cold sector synthesis for
-    // the canonical device arrays exactly once, before any worker starts,
-    // and share the frozen pool into every task's context. Per-task
-    // counters stay a pure function of the task (the pool's contents
-    // depend on nothing a task does), so artifacts remain deterministic.
-    let prebuild = CodebookPrebuild::standard_devices();
-
-    let (task_tx, task_rx) = mpsc::channel::<TaskSpec>();
-    for t in tasks {
-        task_tx.send(t).expect("receiver alive");
-    }
-    drop(task_tx); // workers drain until the channel reports empty+closed
-
-    let shared_rx = Arc::new(Mutex::new(task_rx));
-    let (rec_tx, rec_rx) = mpsc::channel::<((usize, u64), RunRecord)>();
-
-    let mut workers = Vec::with_capacity(jobs);
-    for w in 0..jobs {
-        let rx = Arc::clone(&shared_rx);
-        let tx = rec_tx.clone();
-        let pool = prebuild.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("campaign-worker-{w}"))
-            .spawn(move || worker_loop(rx, tx, pool))
-            .expect("spawn campaign worker");
-        workers.push(handle);
-    }
-    drop(rec_tx);
-
-    let mut keyed: Vec<((usize, u64), RunRecord)> = rec_rx.iter().collect();
-    for w in workers {
-        w.join()
-            .expect("campaign worker infrastructure must not panic");
-    }
+    let pool = ThreadPool::spawn(tasks, jobs);
+    let mut keyed: Vec<((usize, u64), RunRecord)> = pool.records.iter().collect();
+    pool.join();
 
     keyed.sort_by_key(|(key, _)| *key);
     CampaignResult {
@@ -112,7 +74,74 @@ fn run_tasks(cfg: &CampaignConfig, mut tasks: Vec<TaskSpec>) -> CampaignResult {
         seeds: cfg.seeds.clone(),
         quick: cfg.quick,
         jobs,
+        workers: 0,
+        tasks_resumed: 0,
+        chunks_streamed: 0,
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// The in-process worker pool, decoupled from result collection so the
+/// streaming control plane ([`crate::control`]) can append each record's
+/// artifact chunk the moment it lands instead of waiting for the whole
+/// campaign: records arrive on [`ThreadPool::records`] in completion
+/// order, keyed by matrix cell.
+pub(crate) struct ThreadPool {
+    /// Completed records in completion (not matrix) order.
+    pub(crate) records: mpsc::Receiver<((usize, u64), RunRecord)>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// LPT-sort `tasks`, prebuild the shared codebook pool, and start
+    /// `jobs` worker threads draining the queue.
+    pub(crate) fn spawn(mut tasks: Vec<TaskSpec>, jobs: usize) -> ThreadPool {
+        silence_worker_panics();
+
+        // Longest-processing-time dispatch: heavy tiers first. The sort is
+        // stable, so within a tier the matrix order is preserved.
+        tasks.sort_by_key(|t| std::cmp::Reverse(t.exp.cost));
+
+        // Campaign-wide codebook prebuild: pay the cold sector synthesis
+        // for the canonical device arrays exactly once, before any worker
+        // starts, and share the frozen pool into every task's context.
+        // Per-task counters stay a pure function of the task (the pool's
+        // contents depend on nothing a task does), so artifacts remain
+        // deterministic.
+        let prebuild = CodebookPrebuild::standard_devices();
+
+        let (task_tx, task_rx) = mpsc::channel::<TaskSpec>();
+        for t in tasks {
+            task_tx.send(t).expect("receiver alive");
+        }
+        drop(task_tx); // workers drain until the channel reports empty+closed
+
+        let shared_rx = Arc::new(Mutex::new(task_rx));
+        let (rec_tx, rec_rx) = mpsc::channel::<((usize, u64), RunRecord)>();
+
+        let mut handles = Vec::with_capacity(jobs);
+        for w in 0..jobs.max(1) {
+            let rx = Arc::clone(&shared_rx);
+            let tx = rec_tx.clone();
+            let pool = prebuild.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("campaign-worker-{w}"))
+                .spawn(move || worker_loop(rx, tx, pool))
+                .expect("spawn campaign worker");
+            handles.push(handle);
+        }
+        ThreadPool {
+            records: rec_rx,
+            handles,
+        }
+    }
+
+    /// Join every worker thread. Call after draining [`Self::records`].
+    pub(crate) fn join(self) {
+        for w in self.handles {
+            w.join()
+                .expect("campaign worker infrastructure must not panic");
+        }
     }
 }
 
@@ -222,8 +251,9 @@ fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Install (once, process-wide) a panic hook that suppresses the default
 /// stderr backtrace spam for campaign worker threads — their panics are
 /// captured into `RunRecord`s — while delegating unchanged for every other
-/// thread.
-fn silence_worker_panics() {
+/// thread. (The worker subprocess loop runs its tasks on a thread named
+/// with the same prefix for the same reason.)
+pub(crate) fn silence_worker_panics() {
     static HOOK: OnceLock<()> = OnceLock::new();
     HOOK.get_or_init(|| {
         let previous = panic::take_hook();

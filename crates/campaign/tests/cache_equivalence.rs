@@ -39,20 +39,7 @@ fn normalized_artifacts(mode: CacheMode) -> Vec<(String, String)> {
         cc: None,
         prune: None,
     };
-    let result = runner::run_with_cache_mode(&cfg, mode);
-    let mut files = Vec::new();
-    let mut manifest = artifact::manifest_to_json(&result);
-    artifact::normalize_execution(&mut manifest);
-    files.push(("manifest.json".to_string(), manifest.render()));
-    for r in &result.records {
-        let mut j = artifact::run_to_json(r);
-        artifact::normalize_execution(&mut j);
-        files.push((
-            artifact::run_artifact_name(&r.experiment, r.seed),
-            j.render(),
-        ));
-    }
-    files
+    artifact::canonical_artifacts(&runner::run_with_cache_mode(&cfg, mode))
 }
 
 #[test]

@@ -27,20 +27,7 @@ fn normalized_artifacts(jobs: usize) -> Vec<(String, String)> {
         cc: None,
         prune: None,
     };
-    let result = runner::run(&cfg);
-    let mut files = Vec::new();
-    let mut manifest = artifact::manifest_to_json(&result);
-    artifact::normalize_execution(&mut manifest);
-    files.push(("manifest.json".to_string(), manifest.render()));
-    for r in &result.records {
-        let mut j = artifact::run_to_json(r);
-        artifact::normalize_execution(&mut j);
-        files.push((
-            artifact::run_artifact_name(&r.experiment, r.seed),
-            j.render(),
-        ));
-    }
-    files
+    artifact::canonical_artifacts(&runner::run(&cfg))
 }
 
 #[test]

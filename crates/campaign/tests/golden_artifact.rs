@@ -49,24 +49,7 @@ fn render_artifacts() -> String {
         cc: None,
         prune: None,
     };
-    let result = runner::run(&cfg);
-    let mut doc = String::new();
-    let mut manifest = artifact::manifest_to_json(&result);
-    artifact::normalize_execution(&mut manifest);
-    doc.push_str("=== manifest.json ===\n");
-    doc.push_str(&manifest.render());
-    doc.push('\n');
-    for r in &result.records {
-        let mut j = artifact::run_to_json(r);
-        artifact::normalize_execution(&mut j);
-        doc.push_str(&format!(
-            "=== {} ===\n",
-            artifact::run_artifact_name(&r.experiment, r.seed)
-        ));
-        doc.push_str(&j.render());
-        doc.push('\n');
-    }
-    doc
+    artifact::canonical_document(&runner::run(&cfg))
 }
 
 fn golden_path() -> PathBuf {

@@ -51,6 +51,15 @@ impl PruneMode {
             PruneMode::Audit => "audit",
         }
     }
+
+    /// Inverse of [`PruneMode::as_str`] (CLI flags, wire protocol).
+    pub fn from_str(s: &str) -> Option<PruneMode> {
+        match s {
+            "enforce" => Some(PruneMode::Enforce),
+            "audit" => Some(PruneMode::Audit),
+            _ => None,
+        }
+    }
 }
 
 /// Conservative inputs to the coupling bound.

@@ -105,40 +105,51 @@ pub struct Waypoint {
 /// (whitespace-separated), blank lines and `#` comments ignored.
 /// Times must be non-negative, finite, and non-decreasing.
 pub fn parse_waypoints(text: &str) -> Result<Vec<Waypoint>, String> {
+    parse_waypoints_inner(text).map_err(|(line, msg)| format!("waypoint line {line}: {msg}"))
+}
+
+/// [`parse_waypoints`] with a source label (typically a file name):
+/// errors render compiler-style as `source:line: message`, with 1-based
+/// line numbers counted in the raw text (comments and blanks included),
+/// so the reported location is the one an editor jumps to.
+pub fn parse_waypoints_from(source: &str, text: &str) -> Result<Vec<Waypoint>, String> {
+    parse_waypoints_inner(text).map_err(|(line, msg)| format!("{source}:{line}: {msg}"))
+}
+
+/// The actual parser; errors are `(1-based line, message)` so the public
+/// wrappers above decide the location prefix exactly once.
+fn parse_waypoints_inner(text: &str) -> Result<Vec<Waypoint>, (usize, String)> {
     let mut out: Vec<Waypoint> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
+        let err = |msg: String| (lineno + 1, msg);
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 4 {
-            return Err(format!(
-                "waypoint line {}: expected `t x y theta`, got {} field(s)",
-                lineno + 1,
+            return Err(err(format!(
+                "expected `t x y theta`, got {} field(s)",
                 fields.len()
-            ));
+            )));
         }
         let mut vals = [0.0f64; 4];
         for (v, f) in vals.iter_mut().zip(&fields) {
-            *v = f
-                .parse()
-                .map_err(|e| format!("waypoint line {}: `{f}`: {e}", lineno + 1))?;
+            *v = f.parse().map_err(|e| err(format!("`{f}`: {e}")))?;
             if !v.is_finite() {
-                return Err(format!("waypoint line {}: `{f}` is not finite", lineno + 1));
+                return Err(err(format!("`{f}` is not finite")));
             }
         }
         let [t, x, y, theta_deg] = vals;
         if t < 0.0 {
-            return Err(format!("waypoint line {}: negative time {t}", lineno + 1));
+            return Err(err(format!("negative time {t}")));
         }
         if let Some(prev) = out.last() {
             if t < prev.t {
-                return Err(format!(
-                    "waypoint line {}: time {t} goes backwards (previous {})",
-                    lineno + 1,
+                return Err(err(format!(
+                    "time {t} goes backwards (previous {})",
                     prev.t
-                ));
+                )));
             }
         }
         out.push(Waypoint { t, x, y, theta_deg });
@@ -212,8 +223,30 @@ impl Scenario {
     /// [`WorldMutation::MoveDevice`] at its timestamp. Errors on malformed
     /// text; appends to any events already scripted.
     pub fn from_waypoints(self, dev: usize, text: &str) -> Result<Scenario, String> {
+        Ok(self.script_waypoints(dev, parse_waypoints(text)?))
+    }
+
+    /// [`Scenario::from_waypoints`], but reading the trace from a file —
+    /// recorded-trace ingestion for mobility logs captured outside the
+    /// simulator. I/O failures carry the path; malformed waypoints report
+    /// compiler-style `path:line: message` locations (1-based lines), so
+    /// a bad trace is jumpable straight from the error text.
+    pub fn from_waypoints_file(
+        self,
+        dev: usize,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Scenario, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("waypoint file {}: {e}", path.display()))?;
+        let waypoints = parse_waypoints_from(&path.display().to_string(), &text)?;
+        Ok(self.script_waypoints(dev, waypoints))
+    }
+
+    /// Append one [`WorldMutation::MoveDevice`] per waypoint.
+    fn script_waypoints(self, dev: usize, waypoints: Vec<Waypoint>) -> Scenario {
         let mut s = self;
-        for w in parse_waypoints(text)? {
+        for w in waypoints {
             s = s.at(
                 SimTime::from_secs_f64(w.t),
                 WorldMutation::MoveDevice {
@@ -223,23 +256,7 @@ impl Scenario {
                 },
             );
         }
-        Ok(s)
-    }
-
-    /// [`Scenario::from_waypoints`], but reading the trace from a file —
-    /// recorded-trace ingestion for mobility logs captured outside the
-    /// simulator. Errors carry the path for I/O failures and the line
-    /// number for malformed waypoints.
-    pub fn from_waypoints_file(
-        self,
-        dev: usize,
-        path: impl AsRef<std::path::Path>,
-    ) -> Result<Scenario, String> {
-        let path = path.as_ref();
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("waypoint file {}: {e}", path.display()))?;
-        self.from_waypoints(dev, &text)
-            .map_err(|e| format!("waypoint file {}: {e}", path.display()))
+        s
     }
 
     /// The scripted events, in insertion order.
@@ -400,6 +417,36 @@ mod tests {
             err.contains("mmwave-waypoints-definitely-missing.txt"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn labelled_parse_errors_are_compiler_style() {
+        // The bad line is the 4th raw line: comments and blanks above it
+        // still count, so the reported location is editor-jumpable.
+        let text = "# recorded trace\n\n0 1 2 90\n1 2 three 4\n";
+        let err = parse_waypoints_from("trace.txt", text).expect_err("malformed");
+        assert!(err.starts_with("trace.txt:4: "), "{err}");
+        assert!(err.contains("`three`"), "{err}");
+        // Same text through the unlabelled path keeps the legacy prefix.
+        let err = parse_waypoints(text).expect_err("malformed");
+        assert!(err.starts_with("waypoint line 4: "), "{err}");
+    }
+
+    #[test]
+    fn waypoint_file_parse_errors_carry_path_and_line() {
+        let path = std::env::temp_dir().join(format!(
+            "mmwave-waypoints-badline-{}-{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, "0 1 2 90\n# hold\n5 0 0 0\n2 0 0 0\n").expect("write trace");
+        let err = Scenario::new()
+            .from_waypoints_file(0, &path)
+            .expect_err("backwards time must error");
+        std::fs::remove_file(&path).ok();
+        let loc = format!("{}:4: ", path.display());
+        assert!(err.starts_with(&loc), "{err}");
+        assert!(err.contains("goes backwards"), "{err}");
     }
 
     #[test]

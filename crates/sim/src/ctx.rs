@@ -44,6 +44,25 @@ pub enum CacheMode {
     Bypass,
 }
 
+impl CacheMode {
+    /// Stable identifier (wire protocol, CLI flag values, test labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheMode::Cached => "cached",
+            CacheMode::Bypass => "bypass",
+        }
+    }
+
+    /// Inverse of [`CacheMode::as_str`].
+    pub fn from_str(s: &str) -> Option<CacheMode> {
+        match s {
+            "cached" => Some(CacheMode::Cached),
+            "bypass" => Some(CacheMode::Bypass),
+            _ => None,
+        }
+    }
+}
+
 struct CtxInner {
     events_popped: Cell<u64>,
     events_cancelled: Cell<u64>,

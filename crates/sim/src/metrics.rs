@@ -59,3 +59,114 @@ pub struct EngineCounters {
     /// zones the wall touches instead of flushing every pair.
     pub spatial_zone_invalidations: u64,
 }
+
+impl EngineCounters {
+    /// Every counter's stable field name, in artifact/schema order. The
+    /// campaign artifact codec and the worker wire protocol both iterate
+    /// this table instead of hand-listing fields, so adding a counter is
+    /// one struct field plus one entry here — encode, decode and
+    /// cross-process marshalling pick it up in lockstep.
+    pub const FIELDS: [&'static str; 16] = [
+        "events_popped",
+        "events_cancelled",
+        "peak_queue_depth",
+        "link_gain_hits",
+        "link_gain_misses",
+        "link_gain_invalidations",
+        "scenario_mutations",
+        "faults_injected",
+        "codebook_hits",
+        "codebook_misses",
+        "codebook_prebuilt_hits",
+        "cc_reports_folded",
+        "cc_patterns_installed",
+        "cc_loss_epochs",
+        "spatial_pruned_pairs",
+        "spatial_zone_invalidations",
+    ];
+
+    /// Read a counter by its [`Self::FIELDS`] name.
+    pub fn get(&self, field: &str) -> Option<u64> {
+        Some(match field {
+            "events_popped" => self.events_popped,
+            "events_cancelled" => self.events_cancelled,
+            "peak_queue_depth" => self.peak_queue_depth,
+            "link_gain_hits" => self.link_gain_hits,
+            "link_gain_misses" => self.link_gain_misses,
+            "link_gain_invalidations" => self.link_gain_invalidations,
+            "scenario_mutations" => self.scenario_mutations,
+            "faults_injected" => self.faults_injected,
+            "codebook_hits" => self.codebook_hits,
+            "codebook_misses" => self.codebook_misses,
+            "codebook_prebuilt_hits" => self.codebook_prebuilt_hits,
+            "cc_reports_folded" => self.cc_reports_folded,
+            "cc_patterns_installed" => self.cc_patterns_installed,
+            "cc_loss_epochs" => self.cc_loss_epochs,
+            "spatial_pruned_pairs" => self.spatial_pruned_pairs,
+            "spatial_zone_invalidations" => self.spatial_zone_invalidations,
+            _ => return None,
+        })
+    }
+
+    /// Write a counter by its [`Self::FIELDS`] name. Returns false (and
+    /// changes nothing) for an unknown name.
+    pub fn set(&mut self, field: &str, value: u64) -> bool {
+        let slot = match field {
+            "events_popped" => &mut self.events_popped,
+            "events_cancelled" => &mut self.events_cancelled,
+            "peak_queue_depth" => &mut self.peak_queue_depth,
+            "link_gain_hits" => &mut self.link_gain_hits,
+            "link_gain_misses" => &mut self.link_gain_misses,
+            "link_gain_invalidations" => &mut self.link_gain_invalidations,
+            "scenario_mutations" => &mut self.scenario_mutations,
+            "faults_injected" => &mut self.faults_injected,
+            "codebook_hits" => &mut self.codebook_hits,
+            "codebook_misses" => &mut self.codebook_misses,
+            "codebook_prebuilt_hits" => &mut self.codebook_prebuilt_hits,
+            "cc_reports_folded" => &mut self.cc_reports_folded,
+            "cc_patterns_installed" => &mut self.cc_patterns_installed,
+            "cc_loss_epochs" => &mut self.cc_loss_epochs,
+            "spatial_pruned_pairs" => &mut self.spatial_pruned_pairs,
+            "spatial_zone_invalidations" => &mut self.spatial_zone_invalidations,
+            _ => return false,
+        };
+        *slot = value;
+        true
+    }
+
+    /// `(name, value)` pairs in [`Self::FIELDS`] order.
+    pub fn fields(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Self::FIELDS
+            .iter()
+            .map(|f| (*f, self.get(f).expect("FIELDS names are valid")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_table_covers_every_counter_exactly_once() {
+        // A counter reachable by name must round-trip through get/set, and
+        // setting every field to a distinct value must make every field
+        // read back distinct (catches a copy-pasted match arm pointing two
+        // names at one slot).
+        let mut c = EngineCounters::default();
+        for (i, f) in EngineCounters::FIELDS.iter().enumerate() {
+            assert!(c.set(f, (i + 1) as u64), "unknown field {f}");
+        }
+        let mut seen: Vec<u64> = c.fields().map(|(_, v)| v).collect();
+        assert_eq!(seen.len(), EngineCounters::FIELDS.len());
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            EngineCounters::FIELDS.len(),
+            "two field names alias the same slot"
+        );
+        assert_eq!(c.get("events_popped"), Some(1));
+        assert_eq!(c.get("nonexistent"), None);
+        assert!(!c.set("nonexistent", 9));
+    }
+}

@@ -36,6 +36,16 @@ echo "==> spatial pruning suites"
 cargo test -q --release -p mmwave-channel --test spatial_pruning_property
 cargo test -q --release -p mmwave-campaign --test spatial_equivalence
 
+echo "==> campaign control-plane suites"
+# The worker wire protocol smoked against the real `campaign worker`
+# subprocess, crash-recovery resume (damaged chunks / torn manifest →
+# only the damaged tasks re-execute), and the sharded-vs-in-process
+# equivalence: `--workers N` must emit the same artifact bytes as the
+# in-process pool.
+cargo test -q --release -p mmwave-campaign --test worker_protocol
+cargo test -q --release -p mmwave-campaign --test resume
+cargo test -q --release -p mmwave-campaign --test process_equivalence
+
 echo "==> SoA kernel equivalence suites"
 # Every SoA/chunked hot path must reproduce its retained scalar
 # reference bit-for-bit: pattern synthesis (basis + buffer-reuse +
